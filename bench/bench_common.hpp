@@ -1,0 +1,78 @@
+// Shared helpers for the paper-table/figure benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "mine/mining.hpp"
+#include "prof/profile.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace serep::bench {
+
+struct Opts {
+    unsigned faults = 100;
+    unsigned threads = 2;
+    npb::Klass klass = npb::Klass::S;
+    std::uint64_t seed = 0xDAC2018;
+
+    static Opts parse(int argc, const char* const* argv, unsigned default_faults) {
+        util::Cli cli(argc, argv);
+        Opts o;
+        o.faults = static_cast<unsigned>(cli.get_int("faults", default_faults));
+        o.threads = static_cast<unsigned>(cli.get_int("threads", 2));
+        const std::string k = cli.get("class", "S");
+        o.klass = k == "Mini" ? npb::Klass::Mini
+                  : k == "W" ? npb::Klass::W
+                             : npb::Klass::S;
+        o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xDAC2018));
+        return o;
+    }
+
+    core::CampaignConfig campaign_config() const {
+        core::CampaignConfig c;
+        c.n_faults = faults;
+        c.host_threads = threads;
+        c.seed = seed;
+        return c;
+    }
+};
+
+inline core::CampaignResult run_fi(const npb::Scenario& s, const Opts& o) {
+    return core::run_campaign(s, o.campaign_config());
+}
+
+/// "SER-1" / "MPI-4" style column id used in the paper's figures.
+inline std::string cell_id(npb::Api api, unsigned cores) {
+    return std::string(npb::api_name(api)) + "-" + std::to_string(cores);
+}
+
+inline std::vector<std::string> outcome_cells(const core::CampaignResult& r) {
+    using core::Outcome;
+    return {util::Table::pct(r.pct(Outcome::Vanished)),
+            util::Table::pct(r.pct(Outcome::ONA)),
+            util::Table::pct(r.pct(Outcome::OMM)),
+            util::Table::pct(r.pct(Outcome::UT)),
+            util::Table::pct(r.pct(Outcome::Hang))};
+}
+
+class Stopwatch {
+public:
+    Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+    double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace serep::bench

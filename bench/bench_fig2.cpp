@@ -1,0 +1,5 @@
+// Figure 2: ARMv7 outcome distributions + mismatch.
+#include "bench_fig23.hpp"
+int main(int argc, char** argv) {
+    return serep::bench::run_figure(serep::isa::Profile::V7, argc, argv);
+}

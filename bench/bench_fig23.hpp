@@ -1,0 +1,91 @@
+// Shared driver for Figures 2 (ARMv7) and 3 (ARMv8): per-application
+// outcome distributions for SER-1 / API-1 / API-2 / API-4, plus the
+// MPI-vs-OMP mismatch series (sub-figure c).
+#pragma once
+
+#include <optional>
+
+#include "bench_common.hpp"
+
+namespace serep::bench {
+
+inline int run_figure(isa::Profile prof, int argc, const char* const* argv) {
+    using npb::Api;
+    using npb::App;
+    const Opts o = Opts::parse(argc, argv, 60);
+    const char* fig = prof == isa::Profile::V7 ? "Figure 2" : "Figure 3";
+    std::printf("=== %s: NPB fault injections, %s (%u faults/scenario, class %s)\n",
+                fig, isa::profile_name(prof), o.faults,
+                o.klass == npb::Klass::S ? "S" : "Mini");
+    std::printf("Paper: 8,000 faults/scenario on a 5,000-core cluster; shapes "
+                "(who masks more, where UT/Hang rise with cores) are the\n"
+                "reproduction target, not absolute percentages.\n\n");
+    Stopwatch sw;
+
+    std::map<std::string, core::CampaignResult> results;
+    auto run_cell = [&](App app, Api api, unsigned cores) {
+        npb::Scenario s{prof, app, api, cores, o.klass};
+        results.emplace(s.name(), run_fi(s, o));
+    };
+
+    for (Api api : {Api::MPI, Api::OMP}) {
+        const char* sub = api == Api::MPI ? "(a) MPI benchmarks" : "(b) OMP benchmarks";
+        util::Table t({"app", "cell", "Vanish", "ONA", "OMM", "UT", "Hang"});
+        for (App app : npb::kAllApps) {
+            if (!npb::app_has_api(app, api)) continue;
+            // SER-1 column (the paper displays it in both sub-figures)
+            npb::Scenario ser{prof, app, Api::Serial, 1, o.klass};
+            if (!results.count(ser.name())) run_cell(app, Api::Serial, 1);
+            t.add_row([&] {
+                auto cells = outcome_cells(results.at(ser.name()));
+                cells.insert(cells.begin(), {npb::app_name(app), "SER-1"});
+                return cells;
+            }());
+            for (unsigned cores : {1u, 2u, 4u}) {
+                if (api == Api::MPI && !npb::mpi_cores_allowed(app, cores)) continue;
+                run_cell(app, api, cores);
+                npb::Scenario s{prof, app, api, cores, o.klass};
+                t.add_row([&] {
+                    auto cells = outcome_cells(results.at(s.name()));
+                    cells.insert(cells.begin(), {"", cell_id(api, cores)});
+                    return cells;
+                }());
+            }
+        }
+        std::printf("--- %s\n%s\n", sub, t.str().c_str());
+    }
+
+    // (c) mismatch between the APIs where both exist
+    util::Table mt({"app", "cores", "mismatch", "dominant shift"});
+    for (App app : npb::kAllApps) {
+        if (!npb::app_has_api(app, Api::MPI) || !npb::app_has_api(app, Api::OMP))
+            continue;
+        for (unsigned cores : {1u, 2u, 4u}) {
+            if (!npb::mpi_cores_allowed(app, cores)) continue;
+            const npb::Scenario sm{prof, app, Api::MPI, cores, o.klass};
+            const npb::Scenario so{prof, app, Api::OMP, cores, o.klass};
+            const auto& rm = results.at(sm.name());
+            const auto& ro = results.at(so.name());
+            // dominant shifted category
+            double best = 0;
+            const char* what = "-";
+            for (unsigned oc = 0; oc < core::kOutcomeCount; ++oc) {
+                const auto out = static_cast<core::Outcome>(oc);
+                const double d = rm.pct(out) - ro.pct(out);
+                if (std::abs(d) > std::abs(best)) {
+                    best = d;
+                    what = core::outcome_name(out);
+                }
+            }
+            mt.add_row({npb::app_name(app), std::to_string(cores),
+                        util::Table::pct(mine::mismatch(rm, ro)),
+                        std::string(what) + (best >= 0 ? " higher in MPI" : " higher in OMP")});
+        }
+    }
+    std::printf("--- (c) MPI vs OMP mismatch (sum of |category deltas|)\n%s\n",
+                mt.str().c_str());
+    std::printf("[%s done in %.1fs]\n", fig, sw.seconds());
+    return 0;
+}
+
+} // namespace serep::bench

@@ -1,0 +1,29 @@
+// Ablation: register-file strikes vs data-memory strikes (the framework
+// supports both, as the related-work simulators in the paper's §2 do).
+// Memory faults hit mostly cold data (large arrays, single-use) and mask
+// even more often; strikes in result arrays surface directly as OMM.
+#include "bench_common.hpp"
+
+using namespace serep;
+using namespace serep::bench;
+
+int main(int argc, char** argv) {
+    const Opts o = Opts::parse(argc, argv, 200);
+    std::printf("=== Fault-target ablation: registers vs data memory\n\n");
+    util::Table t({"scenario", "target", "Vanish", "ONA", "OMM", "UT", "Hang"});
+    for (npb::App app : {npb::App::IS, npb::App::MG}) {
+        for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
+            const npb::Scenario s{p, app, npb::Api::Serial, 1, o.klass};
+            for (bool mem : {false, true}) {
+                auto cfg = o.campaign_config();
+                cfg.memory_faults = mem;
+                const auto r = core::run_campaign(s, cfg);
+                auto cells = outcome_cells(r);
+                cells.insert(cells.begin(), {s.name(), mem ? "memory" : "registers"});
+                t.add_row(cells);
+            }
+        }
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

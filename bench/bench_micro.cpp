@@ -1,0 +1,68 @@
+// google-benchmark microbenchmarks: simulator throughput (MIPS), soft-float
+// operation cost, cache-model cost, machine cloning (campaign checkpoint)
+// cost — the engineering numbers behind the campaign-time estimates.
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.hpp"
+#include "npb/npb.hpp"
+#include "sim/cache.hpp"
+
+using namespace serep;
+
+namespace {
+
+const npb::Scenario kV8{isa::Profile::V8, npb::App::IS, npb::Api::Serial, 1,
+                        npb::Klass::Mini};
+const npb::Scenario kV7{isa::Profile::V7, npb::App::IS, npb::Api::Serial, 1,
+                        npb::Klass::Mini};
+const npb::Scenario kV7FP{isa::Profile::V7, npb::App::EP, npb::Api::Serial, 1,
+                          npb::Klass::Mini};
+
+void BM_SimulatorMips(benchmark::State& state, const npb::Scenario& s) {
+    std::uint64_t instr = 0;
+    for (auto _ : state) {
+        sim::Machine m = npb::make_machine(s, false);
+        m.run_until(~0ULL >> 1);
+        instr += m.total_retired();
+    }
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(instr) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void BM_MachineClone(benchmark::State& state) {
+    sim::Machine m = npb::make_machine(kV8, false);
+    m.run_until(10000);
+    for (auto _ : state) {
+        sim::Machine c = m;
+        benchmark::DoNotOptimize(c.total_retired());
+    }
+}
+
+void BM_CacheAccess(benchmark::State& state) {
+    sim::Cache c(sim::kL1Config);
+    std::uint64_t a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a));
+        a += 64;
+    }
+}
+
+void BM_GoldenPlusInjection(benchmark::State& state) {
+    core::CampaignConfig cfg;
+    cfg.n_faults = 8;
+    cfg.host_threads = 1;
+    for (auto _ : state) {
+        auto r = core::run_campaign(kV8, cfg);
+        benchmark::DoNotOptimize(r.total());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int, kV8);
+BENCHMARK_CAPTURE(BM_SimulatorMips, v7_int, kV7);
+BENCHMARK_CAPTURE(BM_SimulatorMips, v7_softfloat, kV7FP);
+BENCHMARK(BM_MachineClone);
+BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_GoldenPlusInjection);
+BENCHMARK_MAIN();

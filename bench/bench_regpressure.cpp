@@ -1,0 +1,46 @@
+// Ablation (paper §4.1.2): register-file exposure. The V7 file has 16
+// 32-bit targets with PC/SP inside; the V8 file has 32 64-bit targets with
+// PC outside — so any single critical register is ~4x less likely to be
+// struck on ARMv8. This bench groups campaign outcomes per struck register.
+#include "bench_common.hpp"
+
+using namespace serep;
+using namespace serep::bench;
+
+int main(int argc, char** argv) {
+    const Opts o = Opts::parse(argc, argv, 600);
+    std::printf("=== Register-file exposure (IS serial, %u faults)\n\n", o.faults);
+    for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
+        const npb::Scenario s{p, npb::App::IS, npb::Api::Serial, 1, o.klass};
+        const auto fi = run_fi(s, o);
+        const auto info = isa::profile_info(p);
+        std::vector<std::array<std::uint64_t, core::kOutcomeCount>> per_reg(
+            info.gpr_count);
+        std::vector<std::uint64_t> hits(info.gpr_count, 0);
+        for (const auto& rec : fi.records) {
+            if (rec.fault.target.kind != core::FaultTarget::Kind::GPR) continue;
+            ++hits[rec.fault.target.reg];
+            ++per_reg[rec.fault.target.reg][static_cast<unsigned>(rec.outcome)];
+        }
+        std::printf("--- %s: %u injectable GPRs x %u bits "
+                    "(critical-register strike probability %.1f%%)\n",
+                    isa::profile_name(p), info.gpr_count, info.width_bits,
+                    100.0 * 2.0 / info.gpr_count);
+        util::Table t({"reg", "hits", "bad% (OMM+UT+Hang)", "note"});
+        for (unsigned r = 0; r < info.gpr_count; ++r) {
+            if (!hits[r]) continue;
+            const double bad =
+                100.0 *
+                static_cast<double>(per_reg[r][2] + per_reg[r][3] + per_reg[r][4]) /
+                static_cast<double>(hits[r]);
+            std::string note;
+            if (r == info.sp_index) note = "SP";
+            if (r == info.pc_index && info.pc_is_gpr) note = "PC";
+            if (r == info.lr_index) note = "LR";
+            t.add_row({isa::reg_name(p, r), std::to_string(hits[r]),
+                       util::Table::num(bad, 1), note});
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+    return 0;
+}

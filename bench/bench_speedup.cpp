@@ -1,0 +1,38 @@
+// Ablation (paper §4.1.1): ARMv8-vs-ARMv7 per-application speedup.
+// The paper reports up to ~10x runtime speedup and a ~25x average executed-
+// instruction reduction, attributed to hardware FP replacing the soft-float
+// library (plus hardware divide).
+#include "bench_common.hpp"
+
+using namespace serep;
+using namespace serep::bench;
+
+int main(int argc, char** argv) {
+    const Opts o = Opts::parse(argc, argv, 0);
+    std::printf("=== ARMv8 vs ARMv7 speedup per application (serial, class %s)\n\n",
+                o.klass == npb::Klass::S ? "S" : "Mini");
+    util::Table t({"app", "v7 instr", "v8 instr", "instr ratio", "tick ratio",
+                   "v7 softfloat%"});
+    double worst = 0, best = 1e30;
+    for (npb::App app : npb::kAllApps) {
+        const npb::Scenario s7{isa::Profile::V7, app, npb::Api::Serial, 1, o.klass};
+        const npb::Scenario s8{isa::Profile::V8, app, npb::Api::Serial, 1, o.klass};
+        const auto p7 = prof::profile_scenario(s7);
+        const auto p8 = prof::profile_scenario(s8);
+        const double ir = static_cast<double>(p7.instructions) /
+                          static_cast<double>(p8.instructions);
+        const double tr =
+            static_cast<double>(p7.ticks) / static_cast<double>(p8.ticks);
+        worst = std::max(worst, ir);
+        best = std::min(best, ir);
+        t.add_row({npb::app_name(app), std::to_string(p7.instructions),
+                   std::to_string(p8.instructions), util::Table::num(ir, 1) + "x",
+                   util::Table::num(tr, 1) + "x",
+                   util::Table::num(p7.softfloat_share, 1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("instruction-ratio range: %.1fx (integer apps) .. %.1fx "
+                "(FP-heavy apps). Paper: up to ~10x time, ~25x instructions.\n",
+                best, worst);
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Table 1: NPB workload summary — single-run time, executed instructions
+// and fault-campaign cost, smaller/average/larger per ISA.
+//
+// Paper values (for shape comparison): ARMv8 executes 41.1e6 / 654e6 /
+// 3.08e9 instructions (smaller/average/larger), ARMv7 299e6 / 16.5e9 /
+// 87.4e9 — a ~25x average inflation from the soft-float ISA; total campaign
+// hours 82,820 (v8) vs 1,152,160 (v7).
+#include "bench_common.hpp"
+
+using namespace serep;
+using namespace serep::bench;
+
+int main(int argc, char** argv) {
+    const Opts o = Opts::parse(argc, argv, 100);
+    std::printf("=== Table 1: workload summary (class %s serial golden runs)\n\n",
+                o.klass == npb::Klass::S ? "S" : "Mini");
+    util::Table t({"ISA", "metric", "smaller", "average", "larger"});
+    double ratio_avg[2] = {0, 0};
+    for (isa::Profile p : {isa::Profile::V8, isa::Profile::V7}) {
+        std::uint64_t mn = ~0ULL, mx = 0, sum = 0;
+        double tmn = 1e300, tmx = 0, tsum = 0;
+        double hmn = 1e300, hmx = 0, hsum = 0;
+        unsigned n = 0;
+        for (npb::App app : npb::kAllApps) {
+            if (app == npb::App::DT) continue; // match the 10 serial apps
+            const npb::Scenario s{p, app, npb::Api::Serial, 1, o.klass};
+            Stopwatch sw;
+            sim::Machine m = npb::make_machine(s, false);
+            m.run_until(~0ULL >> 1);
+            const double host_s = sw.seconds();
+            const auto instr = m.total_retired();
+            mn = std::min(mn, instr);
+            mx = std::max(mx, instr);
+            sum += instr;
+            tmn = std::min(tmn, host_s);
+            tmx = std::max(tmx, host_s);
+            tsum += host_s;
+            // campaign cost estimate: faults x ~60% of a run (checkpointing)
+            const double c = host_s * o.faults * 0.6 / 3600.0;
+            hmn = std::min(hmn, c);
+            hmx = std::max(hmx, c);
+            hsum += c;
+            ++n;
+        }
+        const char* isa_n = isa::profile_name(p);
+        t.add_row({isa_n, "executed instructions", std::to_string(mn),
+                   std::to_string(sum / n), std::to_string(mx)});
+        t.add_row({isa_n, "single run (host ms)", util::Table::num(tmn * 1e3),
+                   util::Table::num(tsum / n * 1e3), util::Table::num(tmx * 1e3)});
+        t.add_row({isa_n, "campaign (host hours)", util::Table::num(hmn, 4),
+                   util::Table::num(hsum / n, 4), util::Table::num(hmx, 4)});
+        ratio_avg[p == isa::Profile::V7] = static_cast<double>(sum) / n;
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("ARMv7/ARMv8 average instruction ratio: %.1fx (paper: ~25x; "
+                "driven by the soft-float library)\n",
+                ratio_avg[1] / ratio_avg[0]);
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Table 2: IS case study — Hang occurrence vs the normalized function-calls
+// x branches index (F*B), for MPI/OMP x ARMv7/ARMv8 x 1/2/4 cores.
+//
+// Paper shape: within each block the F*B index and the Hang rate rise
+// together with the core count (e.g. IS MPI V7: Hang 0.41->0.63->3.00%,
+// F*B 1.00->1.02->1.70).
+#include "bench_common.hpp"
+
+using namespace serep;
+using namespace serep::bench;
+
+int main(int argc, char** argv) {
+    const Opts o = Opts::parse(argc, argv, 150);
+    std::printf("=== Table 2: Hang vs normalized F*B index (IS)\n\n");
+    util::Table t({"scenario", "cores", "Hang%", "branches", "f.calls", "F*B"});
+    for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
+        for (npb::Api api : {npb::Api::MPI, npb::Api::OMP}) {
+            std::optional<prof::ProfileData> base;
+            for (unsigned cores : {1u, 2u, 4u}) {
+                const npb::Scenario s{p, npb::App::IS, api, cores, o.klass};
+                const auto fi = run_fi(s, o);
+                const auto pd = prof::profile_scenario(s);
+                if (!base) base = pd;
+                const std::string block = std::string("IS ") + npb::api_name(api) +
+                                          " " + isa::profile_name(p);
+                t.add_row({cores == 1 ? block : "", std::to_string(cores),
+                           util::Table::num(fi.pct(core::Outcome::Hang), 3),
+                           std::to_string(pd.branches), std::to_string(pd.fb_calls),
+                           util::Table::num(mine::fb_index(pd, *base), 3)});
+            }
+        }
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

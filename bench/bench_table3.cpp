@@ -1,0 +1,36 @@
+// Table 3: ARMv7 memory transactions vs soft-error classes for MG and IS
+// (MPI x 1/2/4 cores).
+//
+// Paper shape: higher memory-instruction share goes with higher UT (wrong
+// address calculations through the recycled V7 address registers).
+#include "bench_common.hpp"
+
+using namespace serep;
+using namespace serep::bench;
+
+int main(int argc, char** argv) {
+    const Opts o = Opts::parse(argc, argv, 150);
+    std::printf("=== Table 3: ARMv7 memory transactions and outcomes (MG/IS MPI)\n\n");
+    util::Table t({"#", "scenario", "V+OMM+ONA", "UT", "MemInst%", "RD/WR"});
+    unsigned row = 1;
+    for (npb::App app : {npb::App::MG, npb::App::IS}) {
+        for (unsigned cores : {1u, 2u, 4u}) {
+            const npb::Scenario s{isa::Profile::V7, app, npb::Api::MPI, cores,
+                                  o.klass};
+            const auto fi = run_fi(s, o);
+            const auto pd = prof::profile_scenario(s);
+            const double benign = fi.pct(core::Outcome::Vanished) +
+                                  fi.pct(core::Outcome::OMM) +
+                                  fi.pct(core::Outcome::ONA);
+            t.add_row({std::to_string(row++),
+                       std::string(npb::app_name(app)) + " MPIx" +
+                           std::to_string(cores),
+                       util::Table::num(benign, 1),
+                       util::Table::num(fi.pct(core::Outcome::UT), 1),
+                       util::Table::num(pd.mem_pct, 1),
+                       util::Table::num(pd.rd_wr_ratio, 2)});
+        }
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

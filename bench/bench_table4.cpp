@@ -1,0 +1,39 @@
+// Table 4: ARMv8 memory transactions vs soft-error classes for LU/SP (OMP)
+// and FT (MPI), 1/2/4 cores.
+//
+// Paper shape: falling memory-instruction share across A-C / D-F tracks a
+// falling UT rate; the constant-share G-I block keeps a steady UT rate.
+#include "bench_common.hpp"
+
+using namespace serep;
+using namespace serep::bench;
+
+int main(int argc, char** argv) {
+    const Opts o = Opts::parse(argc, argv, 150);
+    std::printf("=== Table 4: ARMv8 memory transactions and outcomes\n\n");
+    util::Table t({"#", "scenario", "V+OMM+ONA", "UT", "MemInst%", "RD/WR"});
+    const char* tag = "ABCDEFGHI";
+    unsigned row = 0;
+    auto block = [&](npb::App app, npb::Api api) {
+        for (unsigned cores : {1u, 2u, 4u}) {
+            const npb::Scenario s{isa::Profile::V8, app, api, cores, o.klass};
+            const auto fi = run_fi(s, o);
+            const auto pd = prof::profile_scenario(s);
+            const double benign = fi.pct(core::Outcome::Vanished) +
+                                  fi.pct(core::Outcome::OMM) +
+                                  fi.pct(core::Outcome::ONA);
+            t.add_row({std::string(1, tag[row++]),
+                       std::string(npb::app_name(app)) + " " + npb::api_name(api) +
+                           "x" + std::to_string(cores),
+                       util::Table::num(benign, 1),
+                       util::Table::num(fi.pct(core::Outcome::UT), 1),
+                       util::Table::num(pd.mem_pct, 1),
+                       util::Table::num(pd.rd_wr_ratio, 2)});
+        }
+    };
+    block(npb::App::LU, npb::Api::OMP);
+    block(npb::App::SP, npb::Api::OMP);
+    block(npb::App::FT, npb::Api::MPI);
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

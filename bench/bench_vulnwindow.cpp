@@ -1,0 +1,43 @@
+// Paper §4.2.2: the parallelization-library vulnerability window — the
+// share of execution spent in kernel + OMP/MPI library code. The paper
+// bounds the API's reliability impact at <23% in the worst case.
+#include "bench_common.hpp"
+
+using namespace serep;
+using namespace serep::bench;
+
+int main(int argc, char** argv) {
+    const Opts o = Opts::parse(argc, argv, 0);
+    std::printf("=== Vulnerability windows (kernel + API instruction share)\n\n");
+    util::Table t({"scenario", "kernel%", "api%", "window%", "softfloat%",
+                   "ctx switches"});
+    double worst = 0;
+    std::string worst_name;
+    for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
+        for (npb::App app : {npb::App::EP, npb::App::CG, npb::App::IS, npb::App::MG,
+                             npb::App::FT, npb::App::LU}) {
+            for (npb::Api api : {npb::Api::OMP, npb::Api::MPI}) {
+                if (!npb::app_has_api(app, api)) continue;
+                for (unsigned cores : {2u, 4u}) {
+                    if (api == npb::Api::MPI && !npb::mpi_cores_allowed(app, cores))
+                        continue;
+                    const npb::Scenario s{p, app, api, cores, o.klass};
+                    const auto pd = prof::profile_scenario(s);
+                    if (pd.vuln_window > worst) {
+                        worst = pd.vuln_window;
+                        worst_name = s.name();
+                    }
+                    t.add_row({s.name(), util::Table::num(pd.kernel_share, 1),
+                               util::Table::num(pd.api_share, 1),
+                               util::Table::num(pd.vuln_window, 1),
+                               util::Table::num(pd.softfloat_share, 1),
+                               std::to_string(pd.ctx_switches)});
+                }
+            }
+        }
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("worst-case window: %.1f%% (%s). Paper: <23%% worst case.\n",
+                worst, worst_name.c_str());
+    return 0;
+}

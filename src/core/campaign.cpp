@@ -1,0 +1,146 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace serep::core {
+
+std::uint64_t CampaignResult::total() const noexcept {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+}
+
+double CampaignResult::pct(Outcome o) const noexcept {
+    const auto t = total();
+    if (!t) return 0;
+    return 100.0 * static_cast<double>(counts[static_cast<unsigned>(o)]) /
+           static_cast<double>(t);
+}
+
+double CampaignResult::masked_pct() const noexcept {
+    return pct(Outcome::Vanished) + pct(Outcome::ONA);
+}
+
+std::vector<Fault> make_fault_list(const sim::Machine& m, const GoldenRef& golden,
+                                   const CampaignConfig& cfg) {
+    util::check(golden.total_retired > golden.app_start,
+                "fault list: empty application window");
+    util::Rng rng(cfg.seed);
+    const unsigned cores = m.cores();
+    const auto& info = isa::profile_info(m.image().profile);
+    std::vector<Fault> faults;
+    faults.reserve(cfg.n_faults);
+    for (unsigned i = 0; i < cfg.n_faults; ++i) {
+        Fault f;
+        f.at_retired = rng.range(golden.app_start, golden.total_retired - 1);
+        if (cfg.memory_faults) {
+            f.target.kind = FaultTarget::Kind::MEM;
+            f.target.phys = rng.below(m.mem().phys_size());
+            f.target.bit = static_cast<unsigned>(rng.below(8));
+        } else {
+            const unsigned fp_regs = cfg.include_fp_regs ? info.fp_reg_count : 0;
+            const unsigned total_regs = info.gpr_count + fp_regs;
+            const unsigned pick = static_cast<unsigned>(rng.below(total_regs));
+            f.target.core = static_cast<unsigned>(rng.below(cores));
+            if (pick < info.gpr_count) {
+                f.target.kind = FaultTarget::Kind::GPR;
+                f.target.reg = pick;
+                f.target.bit = static_cast<unsigned>(rng.below(info.width_bits));
+            } else {
+                f.target.kind = FaultTarget::Kind::FP;
+                f.target.reg = pick - info.gpr_count;
+                f.target.bit = static_cast<unsigned>(rng.below(64));
+            }
+        }
+        faults.push_back(f);
+    }
+    std::sort(faults.begin(), faults.end(), [](const Fault& a, const Fault& b) {
+        return a.at_retired < b.at_retired;
+    });
+    return faults;
+}
+
+CampaignResult run_campaign(const npb::Scenario& s, const CampaignConfig& cfg) {
+    // Phase 1: golden execution.
+    sim::Machine golden_m = npb::make_machine(s, false);
+    golden_m.run_until(~0ULL >> 1);
+    util::check(golden_m.status() == sim::RunStatus::Shutdown,
+                "golden run did not terminate: " + s.name());
+    util::check(golden_m.exit_code() == 0, "golden run failed: " + s.name());
+
+    CampaignResult result;
+    result.scenario = s;
+    result.golden = capture_golden(golden_m);
+
+    // Phase 2: fault list (time-sorted).
+    const std::vector<Fault> faults = make_fault_list(golden_m, result.golden, cfg);
+    result.records.resize(faults.size());
+
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(static_cast<double>(result.golden.total_retired) *
+                                   cfg.watchdog_factor) +
+        200'000;
+
+    // Phase 3: parallel injections. Contiguous fault ranges per worker keep
+    // the result deterministic for any thread count.
+    const unsigned nthreads =
+        std::max(1u, std::min<unsigned>(cfg.host_threads,
+                                        static_cast<unsigned>(faults.size())));
+    auto worker = [&](unsigned wid) {
+        const std::size_t per = (faults.size() + nthreads - 1) / nthreads;
+        const std::size_t lo = wid * per;
+        const std::size_t hi = std::min(faults.size(), lo + per);
+        if (lo >= hi) return;
+        sim::Machine base = npb::make_machine(s, false);
+        for (std::size_t i = lo; i < hi; ++i) {
+            const Fault& f = faults[i];
+            base.run_until(f.at_retired); // monotonic fast-forward
+            sim::Machine run = base;      // checkpoint clone
+            apply_fault(run, f.target);
+            run.run_until(budget);
+            const bool watchdog = run.status() == sim::RunStatus::Running;
+            FaultRecord rec;
+            rec.fault = f;
+            rec.outcome = classify(run, result.golden, watchdog);
+            rec.retired = run.total_retired();
+            result.records[i] = rec;
+        }
+    };
+    if (nthreads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned w = 0; w < nthreads; ++w) pool.emplace_back(worker, w);
+        for (auto& t : pool) t.join();
+    }
+
+    // Phase 4: merge.
+    for (const FaultRecord& r : result.records)
+        ++result.counts[static_cast<unsigned>(r.outcome)];
+    return result;
+}
+
+std::string campaign_csv(const CampaignResult& r) {
+    std::ostringstream os;
+    util::CsvWriter w(os);
+    w.row({"scenario", "at", "kind", "core", "reg", "bit", "outcome", "retired"});
+    for (const FaultRecord& rec : r.records) {
+        const char* kind = rec.fault.target.kind == FaultTarget::Kind::GPR ? "gpr"
+                           : rec.fault.target.kind == FaultTarget::Kind::FP ? "fp"
+                                                                            : "mem";
+        w.row({r.scenario.name(), std::to_string(rec.fault.at_retired), kind,
+               std::to_string(rec.fault.target.core),
+               std::to_string(rec.fault.target.reg),
+               std::to_string(rec.fault.target.bit), outcome_name(rec.outcome),
+               std::to_string(rec.retired)});
+    }
+    return os.str();
+}
+
+} // namespace serep::core

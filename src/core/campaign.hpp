@@ -1,0 +1,59 @@
+// Fault-injection campaign runner — the paper's four-phase workflow:
+//  1. golden execution (reference capture),
+//  2. fault-list generation (seeded uniform random),
+//  3. parallel injection runs (host thread pool standing in for the paper's
+//     5,000-core cluster; faults are time-sorted so each worker advances one
+//     base machine monotonically and clones it at each strike — checkpoint
+//     fast-forward),
+//  4. merged outcome database.
+// Results are bit-deterministic for a given seed, independent of the host
+// thread count.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "npb/npb.hpp"
+
+namespace serep::core {
+
+struct CampaignConfig {
+    unsigned n_faults = 150;
+    std::uint64_t seed = 0xDAC2018;
+    double watchdog_factor = 4.0;   ///< Hang when run exceeds golden x factor
+    bool include_fp_regs = false;   ///< add V8 FP registers to the target space
+    bool memory_faults = false;     ///< target data memory instead of registers
+    unsigned host_threads = 2;
+};
+
+struct FaultRecord {
+    Fault fault;
+    Outcome outcome = Outcome::Vanished;
+    std::uint64_t retired = 0; ///< instructions retired by the faulty run
+};
+
+struct CampaignResult {
+    npb::Scenario scenario;
+    GoldenRef golden;
+    std::array<std::uint64_t, kOutcomeCount> counts{};
+    std::vector<FaultRecord> records;
+
+    std::uint64_t total() const noexcept;
+    double pct(Outcome o) const noexcept;
+    /// "masking rate": executions with no user-visible error (Vanished+ONA).
+    double masked_pct() const noexcept;
+};
+
+/// Generate the fault list (phase 2) — exposed for tests and tools.
+std::vector<Fault> make_fault_list(const sim::Machine& golden_machine,
+                                   const GoldenRef& golden,
+                                   const CampaignConfig& cfg);
+
+/// Run the full campaign for one scenario.
+CampaignResult run_campaign(const npb::Scenario& s, const CampaignConfig& cfg);
+
+/// Append per-fault records as CSV rows (phase 4 database export).
+std::string campaign_csv(const CampaignResult& r);
+
+} // namespace serep::core

@@ -1,0 +1,96 @@
+#include "core/fault.hpp"
+
+#include "isa/layout.hpp"
+
+namespace serep::core {
+
+const char* outcome_name(Outcome o) noexcept {
+    switch (o) {
+        case Outcome::Vanished: return "Vanished";
+        case Outcome::ONA: return "ONA";
+        case Outcome::OMM: return "OMM";
+        case Outcome::UT: return "UT";
+        case Outcome::Hang: return "Hang";
+    }
+    return "??";
+}
+
+namespace {
+
+void fnv(std::uint64_t& h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001b3ULL;
+    }
+}
+
+} // namespace
+
+std::uint64_t arch_state_hash(const sim::Machine& m) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned c = 0; c < m.cores(); ++c) {
+        const isa::RegFile& r = m.core(c).regs;
+        for (unsigned i = 0; i < 33; ++i) fnv(h, r.x(i));
+        fnv(h, r.flags().pack());
+        if (isa::profile_info(r.profile()).has_fp_regs)
+            for (unsigned i = 0; i < 32; ++i) fnv(h, r.v_bits(i));
+    }
+    return h;
+}
+
+std::uint64_t static_data_hash(const sim::Machine& m, unsigned proc) {
+    const std::uint64_t base =
+        m.mem().kern_size() + std::uint64_t{proc} * m.mem().user_size();
+    return m.mem().hash_range(base, m.image().udata_size);
+}
+
+std::uint64_t kernel_region_hash(const sim::Machine& m) {
+    return m.mem().hash_range(0, m.mem().kern_size());
+}
+
+GoldenRef capture_golden(const sim::Machine& m) {
+    GoldenRef g;
+    g.total_retired = m.total_retired();
+    g.ticks = m.time_ticks();
+    g.app_start = m.app_start_retired();
+    g.exit_code = m.exit_code();
+    for (unsigned p = 0; p < m.config().procs; ++p) {
+        g.outputs.push_back(m.output(p));
+        g.data_hash.push_back(static_data_hash(m, p));
+    }
+    g.kern_hash = kernel_region_hash(m);
+    g.arch_hash = arch_state_hash(m);
+    return g;
+}
+
+void apply_fault(sim::Machine& m, const FaultTarget& t) {
+    switch (t.kind) {
+        case FaultTarget::Kind::GPR: m.flip_gpr(t.core, t.reg, t.bit); break;
+        case FaultTarget::Kind::FP: m.flip_fp(t.core, t.reg, t.bit); break;
+        case FaultTarget::Kind::MEM: m.flip_mem(t.phys, t.bit % 8); break;
+    }
+}
+
+Outcome classify(const sim::Machine& m, const GoldenRef& golden, bool hit_watchdog) {
+    if (m.status() == sim::RunStatus::KernelPanic) return Outcome::UT;
+    if (hit_watchdog || m.status() == sim::RunStatus::Running ||
+        m.status() == sim::RunStatus::Deadlock)
+        return Outcome::Hang;
+    // terminated: error indication?
+    for (unsigned p = 0; p < m.config().procs; ++p) {
+        const int code = m.proc_exit_code(p);
+        if (code != 0) return Outcome::UT; // includes never-exited (-1)
+    }
+    if (m.exit_code() != golden.exit_code) return Outcome::UT;
+    // silent data corruption?
+    for (unsigned p = 0; p < m.config().procs; ++p) {
+        if (m.output(p) != golden.outputs[p]) return Outcome::OMM;
+        if (static_data_hash(m, p) != golden.data_hash[p]) return Outcome::OMM;
+    }
+    // architectural traces?
+    if (arch_state_hash(m) != golden.arch_hash) return Outcome::ONA;
+    if (kernel_region_hash(m) != golden.kern_hash) return Outcome::ONA;
+    return Outcome::Vanished;
+}
+
+} // namespace serep::core

@@ -1,0 +1,67 @@
+// Fault model and outcome classification (the paper's §3.2).
+//
+// Single-bit upsets: one bit-flip per run at a uniformly random
+// (instruction index, core, register, bit) point within the application
+// lifespan (OS boot excluded). Outcomes follow Cho et al.:
+//   Vanished — no fault traces at all
+//   ONA      — output/result memory intact, architectural state differs
+//   OMM      — application terminated normally but output/result memory differ
+//   UT       — abnormal termination with an error indication
+//   Hang     — no termination (watchdog) or deadlock
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace serep::core {
+
+enum class Outcome : std::uint8_t { Vanished, ONA, OMM, UT, Hang };
+inline constexpr unsigned kOutcomeCount = 5;
+const char* outcome_name(Outcome o) noexcept;
+
+struct FaultTarget {
+    enum class Kind : std::uint8_t { GPR, FP, MEM };
+    Kind kind = Kind::GPR;
+    unsigned core = 0;   ///< struck core (GPR/FP)
+    unsigned reg = 0;    ///< register index within the architectural file
+    unsigned bit = 0;    ///< flipped bit
+    std::uint64_t phys = 0; ///< physical byte (MEM)
+};
+
+struct Fault {
+    std::uint64_t at_retired = 0; ///< global instruction index of the strike
+    FaultTarget target;
+};
+
+/// Reference captured from the faultless run (phase 1 of the workflow).
+struct GoldenRef {
+    std::uint64_t total_retired = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t app_start = 0;
+    int exit_code = 0;
+    std::vector<std::string> outputs;     ///< per process
+    std::vector<std::uint64_t> data_hash; ///< per-process static data region
+    std::uint64_t kern_hash = 0;          ///< kernel region (TCBs, channels)
+    std::uint64_t arch_hash = 0;          ///< all register files
+};
+
+/// Hash of the architectural register state of every core.
+std::uint64_t arch_state_hash(const sim::Machine& m);
+/// Hash of one process's static data region (where results live).
+std::uint64_t static_data_hash(const sim::Machine& m, unsigned proc);
+std::uint64_t kernel_region_hash(const sim::Machine& m);
+
+/// Capture the golden reference from a finished faultless run.
+GoldenRef capture_golden(const sim::Machine& m);
+
+/// Classify a finished faulty run against the golden reference.
+/// `hit_watchdog` marks runs stopped by the instruction budget.
+Outcome classify(const sim::Machine& m, const GoldenRef& golden, bool hit_watchdog);
+
+void apply_fault(sim::Machine& m, const FaultTarget& t);
+
+} // namespace serep::core

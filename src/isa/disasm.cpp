@@ -1,0 +1,146 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+#include "isa/sysreg.hpp"
+
+namespace serep::isa {
+
+std::string reg_name(Profile p, unsigned index) {
+    const ProfileInfo info = profile_info(p);
+    if (index == info.sp_index) return "sp";
+    if (index == info.pc_index) return "pc";
+    if (index == info.lr_index) return p == Profile::V7 ? "lr" : "x30";
+    return (p == Profile::V7 ? "r" : "x") + std::to_string(index);
+}
+
+std::string fp_reg_name(unsigned index) { return "v" + std::to_string(index); }
+
+const char* cond_name(Cond c) noexcept {
+    switch (c) {
+        case Cond::EQ: return "eq";
+        case Cond::NE: return "ne";
+        case Cond::CS: return "cs";
+        case Cond::CC: return "cc";
+        case Cond::MI: return "mi";
+        case Cond::PL: return "pl";
+        case Cond::VS: return "vs";
+        case Cond::VC: return "vc";
+        case Cond::HI: return "hi";
+        case Cond::LS: return "ls";
+        case Cond::GE: return "ge";
+        case Cond::LT: return "lt";
+        case Cond::GT: return "gt";
+        case Cond::LE: return "le";
+        case Cond::AL: return "al";
+    }
+    return "??";
+}
+
+const char* trap_cause_name(TrapCause c) noexcept {
+    switch (c) {
+        case TrapCause::NONE: return "none";
+        case TrapCause::SVC: return "svc";
+        case TrapCause::UNDEF: return "undef";
+        case TrapCause::DATA_ABORT: return "data_abort";
+        case TrapCause::PREFETCH_ABORT: return "prefetch_abort";
+        case TrapCause::IRQ_TIMER: return "irq_timer";
+        case TrapCause::IRQ_IPI: return "irq_ipi";
+    }
+    return "??";
+}
+
+namespace {
+
+bool is_fp_dst(Op op) {
+    switch (op) {
+        case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+        case Op::FSQRT: case Op::FNEG: case Op::FABS: case Op::FMADD:
+        case Op::FMOV: case Op::FMOVI: case Op::SCVTF: case Op::FMOVXV:
+        case Op::FLDR: case Op::FSTR:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool is_fp_src(Op op) {
+    switch (op) {
+        case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+        case Op::FSQRT: case Op::FNEG: case Op::FABS: case Op::FMADD:
+        case Op::FMOV: case Op::FCMP: case Op::FCVTZS: case Op::FMOVVX:
+            return true;
+        default:
+            return false;
+    }
+}
+
+} // namespace
+
+std::string disasm(const Instr& ins, Profile p) {
+    const OpInfo& info = op_info(ins.op);
+    std::ostringstream os;
+    os << info.name;
+    if (ins.op == Op::BCOND) {
+        os << cond_name(ins.cond);
+    } else if (p == Profile::V7 && ins.cond != Cond::AL) {
+        os << '.' << cond_name(ins.cond);
+    } else if ((ins.op == Op::CSEL || ins.op == Op::CSET)) {
+        os << ' ' << cond_name(ins.cond) << ',';
+    }
+
+    auto rn = [&](std::uint8_t r) { return reg_name(p, r); };
+    auto vn = [&](std::uint8_t r) { return fp_reg_name(r); };
+    bool first = true;
+    auto sep = [&]() -> std::ostringstream& {
+        os << (first ? " " : ", ");
+        first = false;
+        return os;
+    };
+
+    if (ins.rd != kNoReg) sep() << (is_fp_dst(ins.op) && ins.op != Op::FMOVVX ? vn(ins.rd) : rn(ins.rd));
+    if (ins.rn != kNoReg) {
+        const bool mem = op_info(ins.op).is_load || op_info(ins.op).is_store;
+        if (mem && ins.op != Op::STREX) {
+            sep() << '[' << rn(ins.rn);
+            if (ins.rm != kNoReg) {
+                os << " + " << rn(ins.rm);
+                if (ins.shift) os << " << " << int(ins.shift);
+            } else if (ins.imm) {
+                os << " + #" << ins.imm;
+            }
+            os << ']';
+        } else {
+            sep() << (is_fp_src(ins.op) && ins.op != Op::FMOVXV && ins.op != Op::SCVTF ? vn(ins.rn) : rn(ins.rn));
+        }
+    }
+    const bool mem = op_info(ins.op).is_load || op_info(ins.op).is_store;
+    if (ins.rm != kNoReg && !mem) sep() << (is_fp_src(ins.op) ? vn(ins.rm) : rn(ins.rm));
+    if (ins.ra != kNoReg) sep() << (ins.op == Op::FMADD ? vn(ins.ra) : rn(ins.ra));
+    if (ins.op == Op::LDM || ins.op == Op::STM) {
+        sep() << "{mask=0x" << std::hex << ins.regmask << std::dec << '}';
+        if (ins.wb) os << '!';
+    }
+    switch (ins.op) {
+        case Op::MOVI: case Op::ADDI: case Op::SUBI: case Op::ANDI:
+        case Op::ORRI: case Op::EORI: case Op::ADDSI: case Op::SUBSI:
+        case Op::CMPI: case Op::LSLI: case Op::LSRI: case Op::ASRI:
+        case Op::LSLSI: case Op::LSRSI: case Op::SVC:
+            sep() << '#' << ins.imm;
+            break;
+        case Op::B: case Op::BCOND: case Op::BL: case Op::CBZ: case Op::CBNZ:
+            sep() << "0x" << std::hex << ins.imm << std::dec;
+            break;
+        case Op::FMOVI:
+            sep() << '#' << ins.imm;
+            break;
+        case Op::SYSRD: case Op::SYSWR:
+            sep() << "sys" << ins.imm;
+            break;
+        default:
+            break;
+    }
+    return os.str();
+}
+
+} // namespace serep::isa

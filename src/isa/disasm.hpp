@@ -1,0 +1,14 @@
+// Human-readable rendering of instructions (debugging, traces, tests).
+#pragma once
+
+#include <string>
+
+#include "isa/instr.hpp"
+#include "isa/profile.hpp"
+
+namespace serep::isa {
+
+/// Render one instruction, e.g. "addi r4, r4, #1" / "fmadd v2, v0, v1, v2".
+std::string disasm(const Instr& ins, Profile p);
+
+} // namespace serep::isa

@@ -1,0 +1,54 @@
+// NZCV condition flags and ARM-style condition codes.
+#pragma once
+
+#include <cstdint>
+
+namespace serep::isa {
+
+struct Flags {
+    bool n = false; ///< negative
+    bool z = false; ///< zero
+    bool c = false; ///< carry / not-borrow
+    bool v = false; ///< signed overflow
+
+    /// Pack to the canonical NZCV nibble (N=bit3 .. V=bit0).
+    constexpr std::uint64_t pack() const noexcept {
+        return (std::uint64_t{n} << 3) | (std::uint64_t{z} << 2) |
+               (std::uint64_t{c} << 1) | std::uint64_t{v};
+    }
+    static constexpr Flags unpack(std::uint64_t bits) noexcept {
+        return Flags{(bits >> 3 & 1) != 0, (bits >> 2 & 1) != 0,
+                     (bits >> 1 & 1) != 0, (bits & 1) != 0};
+    }
+    constexpr bool operator==(const Flags&) const noexcept = default;
+};
+
+/// ARM condition codes.
+enum class Cond : std::uint8_t {
+    EQ, NE, CS, CC, MI, PL, VS, VC, HI, LS, GE, LT, GT, LE, AL
+};
+
+constexpr bool cond_holds(Cond c, const Flags& f) noexcept {
+    switch (c) {
+        case Cond::EQ: return f.z;
+        case Cond::NE: return !f.z;
+        case Cond::CS: return f.c;
+        case Cond::CC: return !f.c;
+        case Cond::MI: return f.n;
+        case Cond::PL: return !f.n;
+        case Cond::VS: return f.v;
+        case Cond::VC: return !f.v;
+        case Cond::HI: return f.c && !f.z;
+        case Cond::LS: return !f.c || f.z;
+        case Cond::GE: return f.n == f.v;
+        case Cond::LT: return f.n != f.v;
+        case Cond::GT: return !f.z && f.n == f.v;
+        case Cond::LE: return f.z || f.n != f.v;
+        case Cond::AL: return true;
+    }
+    return true;
+}
+
+const char* cond_name(Cond c) noexcept;
+
+} // namespace serep::isa

@@ -1,0 +1,33 @@
+// The structural instruction word.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/flags.hpp"
+#include "isa/op.hpp"
+
+namespace serep::isa {
+
+/// One µISA instruction. Operand fields not used by an opcode hold kNoReg/0.
+///
+/// `imm` carries immediates, absolute branch targets (code byte addresses,
+/// resolved by the assembler), sysreg ids, and FMOVI double bit patterns.
+struct Instr {
+    Op op = Op::NOP;
+    Cond cond = Cond::AL;      ///< V7: any instruction; V8: BCOND/CSEL/CSET only
+    std::uint8_t rd = kNoReg;  ///< destination (or status reg for STREX, rt1 for LDP/STP)
+    std::uint8_t rn = kNoReg;  ///< first source / base address register
+    std::uint8_t rm = kNoReg;  ///< second source / index register (memory ops)
+    std::uint8_t ra = kNoReg;  ///< third operand (FMADD accumulator, UMULL hi, LDP/STP rt2)
+    std::uint8_t shift = 0;    ///< scale shift for register-offset addressing
+    bool wb = false;           ///< writeback (LDM/STM)
+    std::uint16_t regmask = 0; ///< register list (LDM/STM)
+    std::int64_t imm = 0;
+};
+
+static_assert(sizeof(Instr) <= 24, "keep the interpreter's working set small");
+
+/// Code byte addresses: instructions occupy 4 bytes each.
+inline constexpr std::uint64_t kInstrBytes = 4;
+
+} // namespace serep::isa

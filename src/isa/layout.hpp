@@ -1,0 +1,30 @@
+// Guest address-space layout (shared by assembler, simulator, OS, loader).
+//
+// One 32-bit-friendly map used by both profiles (V8 stores these as 64-bit
+// values; any flipped high bit lands outside a region and faults, just as a
+// flipped bit 31 does on V7):
+//
+//   CODE_BASE  0x00400000   Harvard code space, 4 bytes/instruction,
+//                           kernel text first, user text after.
+//   USER_BASE  0x20000000   per-process private data: static data, heap
+//                           (grows up via brk), main stack (top of region,
+//                           grows down). Unmapped gap in between faults.
+//   KERN_BASE  0xC0000000   kernel data: TCBs, run queue, channels, kernel
+//                           stacks. Kernel-mode-only; user access faults.
+#pragma once
+
+#include <cstdint>
+
+namespace serep::isa::layout {
+
+inline constexpr std::uint64_t kPageSize = 4096;
+inline constexpr std::uint64_t kCodeBase = 0x0040'0000;
+inline constexpr std::uint64_t kUserBase = 0x2000'0000;
+inline constexpr std::uint64_t kKernBase = 0xC000'0000;
+
+/// Defaults; Machine configuration may size regions differently.
+inline constexpr std::uint64_t kDefaultUserSize = 4 * 1024 * 1024;
+inline constexpr std::uint64_t kDefaultKernSize = 512 * 1024;
+inline constexpr std::uint64_t kMainStackSize = 64 * 1024;
+
+} // namespace serep::isa::layout

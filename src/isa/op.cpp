@@ -1,0 +1,115 @@
+#include "isa/op.hpp"
+
+#include <array>
+
+namespace serep::isa {
+
+namespace {
+
+// name, branch, call, load, store, fp, privileged, v7_only, v8_only
+constexpr std::array<OpInfo, 84> kOpTable = {{
+    {"movi", false, false, false, false, false, false, false, false},
+    {"mov", false, false, false, false, false, false, false, false},
+    {"mvn", false, false, false, false, false, false, false, false},
+    {"add", false, false, false, false, false, false, false, false},
+    {"sub", false, false, false, false, false, false, false, false},
+    {"and", false, false, false, false, false, false, false, false},
+    {"orr", false, false, false, false, false, false, false, false},
+    {"eor", false, false, false, false, false, false, false, false},
+    {"mul", false, false, false, false, false, false, false, false},
+    {"addi", false, false, false, false, false, false, false, false},
+    {"subi", false, false, false, false, false, false, false, false},
+    {"andi", false, false, false, false, false, false, false, false},
+    {"orri", false, false, false, false, false, false, false, false},
+    {"eori", false, false, false, false, false, false, false, false},
+    {"adds", false, false, false, false, false, false, false, false},
+    {"subs", false, false, false, false, false, false, false, false},
+    {"addsi", false, false, false, false, false, false, false, false},
+    {"subsi", false, false, false, false, false, false, false, false},
+    {"adcs", false, false, false, false, false, false, false, false},
+    {"sbcs", false, false, false, false, false, false, false, false},
+    {"umull", false, false, false, false, false, false, true, false},
+    {"smull", false, false, false, false, false, false, true, false},
+    {"umulh", false, false, false, false, false, false, false, true},
+    {"udiv", false, false, false, false, false, false, false, true},
+    {"sdiv", false, false, false, false, false, false, false, true},
+    {"lsli", false, false, false, false, false, false, false, false},
+    {"lsri", false, false, false, false, false, false, false, false},
+    {"asri", false, false, false, false, false, false, false, false},
+    {"lslv", false, false, false, false, false, false, false, false},
+    {"lsrv", false, false, false, false, false, false, false, false},
+    {"asrv", false, false, false, false, false, false, false, false},
+    {"lslsi", false, false, false, false, false, false, false, false},
+    {"lsrsi", false, false, false, false, false, false, false, false},
+    {"clz", false, false, false, false, false, false, false, false},
+    {"cmp", false, false, false, false, false, false, false, false},
+    {"cmpi", false, false, false, false, false, false, false, false},
+    {"cmn", false, false, false, false, false, false, false, false},
+    {"tst", false, false, false, false, false, false, false, false},
+    {"csel", false, false, false, false, false, false, false, true},
+    {"cset", false, false, false, false, false, false, false, true},
+    {"b", true, false, false, false, false, false, false, false},
+    {"b.cond", true, false, false, false, false, false, false, false},
+    {"bl", true, true, false, false, false, false, false, false},
+    {"blr", true, true, false, false, false, false, false, false},
+    {"br", true, false, false, false, false, false, false, false},
+    {"ret", true, false, false, false, false, false, false, false},
+    {"cbz", true, false, false, false, false, false, false, true},
+    {"cbnz", true, false, false, false, false, false, false, true},
+    {"ldr", false, false, true, false, false, false, false, false},
+    {"str", false, false, false, true, false, false, false, false},
+    {"ldrw", false, false, true, false, false, false, false, true},
+    {"strw", false, false, false, true, false, false, false, true},
+    {"ldrb", false, false, true, false, false, false, false, false},
+    {"strb", false, false, false, true, false, false, false, false},
+    {"ldm", false, false, true, false, false, false, true, false},
+    {"stm", false, false, false, true, false, false, true, false},
+    {"ldp", false, false, true, false, false, false, false, true},
+    {"stp", false, false, false, true, false, false, false, true},
+    {"ldrex", false, false, true, false, false, false, false, false},
+    {"strex", false, false, false, true, false, false, false, false},
+    {"fadd", false, false, false, false, true, false, false, true},
+    {"fsub", false, false, false, false, true, false, false, true},
+    {"fmul", false, false, false, false, true, false, false, true},
+    {"fdiv", false, false, false, false, true, false, false, true},
+    {"fsqrt", false, false, false, false, true, false, false, true},
+    {"fneg", false, false, false, false, true, false, false, true},
+    {"fabs", false, false, false, false, true, false, false, true},
+    {"fmadd", false, false, false, false, true, false, false, true},
+    {"fmov", false, false, false, false, true, false, false, true},
+    {"fmovi", false, false, false, false, true, false, false, true},
+    {"fcmp", false, false, false, false, true, false, false, true},
+    {"fcvtzs", false, false, false, false, true, false, false, true},
+    {"scvtf", false, false, false, false, true, false, false, true},
+    {"fmovvx", false, false, false, false, true, false, false, true},
+    {"fmovxv", false, false, false, false, true, false, false, true},
+    {"fldr", false, false, true, false, true, false, false, true},
+    {"fstr", false, false, false, true, true, false, false, true},
+    {"svc", false, false, false, false, false, false, false, false},
+    {"sysrd", false, false, false, false, false, false, false, false},
+    {"syswr", false, false, false, false, false, false, false, false},
+    {"eret", true, false, false, false, false, true, false, false},
+    {"wfi", false, false, false, false, false, true, false, false},
+    {"nop", false, false, false, false, false, false, false, false},
+    {"hlt", false, false, false, false, false, true, false, false},
+}};
+
+// UDF is the last opcode; kOpTable covers MOVI..HLT, UDF handled below.
+constexpr OpInfo kUdfInfo = {"udf", false, false, false, false, false, false, false, false};
+
+} // namespace
+
+const OpInfo& op_info(Op op) noexcept {
+    const auto idx = static_cast<std::size_t>(op);
+    if (idx >= kOpTable.size()) return kUdfInfo;
+    return kOpTable[idx];
+}
+
+bool op_valid_for(Op op, Profile p) noexcept {
+    const OpInfo& info = op_info(op);
+    if (p == Profile::V7 && info.v8_only) return false;
+    if (p == Profile::V8 && info.v7_only) return false;
+    return true;
+}
+
+} // namespace serep::isa

@@ -1,0 +1,94 @@
+// µISA opcodes and their static properties.
+//
+// Instructions are structural (no binary encoding): the fault model of the
+// paper targets *state* (registers, memory), not instruction words, so the
+// code space is immutable. PC remains a real byte address so PC corruption
+// behaves like hardware (misaligned / wild fetches).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/profile.hpp"
+
+namespace serep::isa {
+
+enum class Op : std::uint8_t {
+    // moves / ALU (register forms: rd, rn, rm; immediate forms: rd, rn, imm)
+    MOVI,   ///< rd = imm (full-width immediate)
+    MOV,    ///< rd = rn
+    MVN,    ///< rd = ~rn
+    ADD, SUB, AND, ORR, EOR, MUL,
+    ADDI, SUBI, ANDI, ORRI, EORI,
+    ADDS, SUBS,          ///< flag-setting add/sub (register)
+    ADDSI, SUBSI,        ///< flag-setting add/sub (immediate)
+    ADCS, SBCS,          ///< add/sub with carry, flag-setting
+    UMULL,               ///< V7: {rd=lo, ra=hi} = rn * rm (32x32->64)
+    SMULL,               ///< V7: signed widening multiply
+    UMULH,               ///< V8: rd = high 64 bits of rn * rm
+    UDIV, SDIV,          ///< V8 only (A9 has no hardware divide)
+    LSLI, LSRI, ASRI,    ///< shift by immediate
+    LSLV, LSRV, ASRV,    ///< shift by register
+    LSLSI, LSRSI,        ///< flag-setting shift by immediate (carry-out), imm in [1,W-1]
+    CLZ,                 ///< count leading zeros
+    CMP, CMPI, CMN, TST, ///< compare / test (flags only)
+    CSEL,                ///< V8: rd = cond ? rn : rm
+    CSET,                ///< V8: rd = cond ? 1 : 0
+    // branches
+    B,                   ///< unconditional, imm = absolute code byte address
+    BCOND,               ///< conditional branch (cond field)
+    BL,                  ///< call: LR = next pc, jump imm
+    BLR,                 ///< indirect call: LR = next pc, jump rn
+    BR,                  ///< indirect jump rn (no link)
+    RET,                 ///< jump LR
+    CBZ, CBNZ,           ///< V8: compare rn against zero and branch
+    // memory (addressing: [rn + imm] or [rn + rm << shift] when rm != NO_REG)
+    LDR, STR,            ///< width-W load/store
+    LDRW, STRW,          ///< 32-bit load (zero-extend) / store low 32 — V8 only
+    LDRB, STRB,          ///< byte load (zero-extend) / store
+    LDM, STM,            ///< V7: multi-register load/store, regmask, optional writeback
+    LDP, STP,            ///< V8: pair load/store at [rn + imm], rd and ra
+    LDREX, STREX,        ///< exclusive width-W pair (STREX: rd = status, rn = addr, rm = value)
+    // floating point (V8 only; V7 lowers to soft-float library calls)
+    FADD, FSUB, FMUL, FDIV,   ///< vd, vn, vm
+    FSQRT, FNEG, FABS,        ///< vd, vn
+    FMADD,                    ///< vd = vn * vm + va
+    FMOV,                     ///< vd = vn
+    FMOVI,                    ///< vd = immediate double (bits in imm)
+    FCMP,                     ///< set NZCV from vn ? vm
+    FCVTZS,                   ///< rd = (int) vn, truncate toward zero
+    SCVTF,                    ///< vd = (double) signed rn
+    FMOVVX,                   ///< rd = raw bits of vn
+    FMOVXV,                   ///< vd = raw bits of rn
+    FLDR, FSTR,               ///< 8-byte FP load/store, same addressing as LDR
+    // system
+    SVC,                 ///< supervisor call, imm = syscall number (traps)
+    SYSRD,               ///< rd = sysreg[imm]
+    SYSWR,               ///< sysreg[imm] = rn
+    ERET,                ///< return from trap: mode=USER, PC=EPC (privileged)
+    WFI,                 ///< wait for interrupt (privileged)
+    NOP,
+    HLT,                 ///< halt this core (privileged; kernel shutdown only)
+    UDF,                 ///< explicit undefined instruction (traps)
+};
+
+inline constexpr std::uint8_t kNoReg = 0xFF;
+
+/// Static classification used by the profiler and timing model.
+struct OpInfo {
+    const char* name;
+    bool is_branch;      ///< control-transfer instruction (B/BCOND/BL/BLR/BR/RET/CBZ/CBNZ)
+    bool is_call;        ///< BL/BLR
+    bool is_load;
+    bool is_store;
+    bool is_fp;          ///< FP data-processing or FP memory
+    bool privileged;     ///< UNDEF trap when executed in user mode
+    bool v7_only;
+    bool v8_only;
+};
+
+const OpInfo& op_info(Op op) noexcept;
+
+/// True when `op` may appear in code assembled for profile `p`.
+bool op_valid_for(Op op, Profile p) noexcept;
+
+} // namespace serep::isa

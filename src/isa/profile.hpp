@@ -1,0 +1,63 @@
+// µISA profiles.
+//
+// One RISC instruction set with two profiles mirroring the architectural
+// asymmetries the paper attributes its results to:
+//
+//  * Profile::V7 (Cortex-A9 / ARMv7-like):  32-bit, 16 GPRs with SP=R13,
+//    LR=R14 and PC=R15 *inside* the register file, NZCV flags, conditional
+//    execution on any instruction, LDM/STM, exclusive word accesses,
+//    **no integer divide** and **no FP registers** (doubles go through a
+//    guest soft-float library, as the paper's compiler chose for the A9).
+//  * Profile::V8 (Cortex-A72 / ARMv8-like):  64-bit, 31 GPRs + dedicated SP,
+//    PC not architecturally addressable, 32 x 64-bit FP registers with
+//    hardware FADD/FMUL/FDIV/FSQRT/FMADD, CSEL/CBZ instead of conditional
+//    execution, LDP/STP instead of LDM/STM, hardware divide.
+//
+// The fault injector derives its target space from the profile: 16 x 32 bit
+// targets on V7 (PC/SP included) versus 32 x 64 on V8 — reproducing the
+// paper's "critical registers are less likely to be struck on ARMv8" effect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace serep::isa {
+
+enum class Profile : std::uint8_t { V7, V8 };
+
+/// Architectural constants for a profile.
+struct ProfileInfo {
+    unsigned width_bits;      ///< integer register width (32 or 64)
+    unsigned width_bytes;     ///< width_bits / 8
+    unsigned gpr_count;       ///< architecturally addressable GPRs (incl. SP; incl. PC on V7)
+    unsigned sp_index;        ///< register index of SP
+    unsigned lr_index;        ///< register index of the link register
+    unsigned pc_index;        ///< internal index of PC (== architectural R15 on V7)
+    bool pc_is_gpr;           ///< true when PC is part of the GPR file (V7)
+    bool has_fp_regs;         ///< 32 x 64-bit FP registers (V8)
+    bool has_conditional_exec;///< condition field valid on any instruction (V7)
+    bool has_hw_divide;       ///< UDIV/SDIV available (V8)
+    unsigned fp_reg_count;    ///< 32 on V8, 0 on V7
+};
+
+constexpr ProfileInfo profile_info(Profile p) noexcept {
+    if (p == Profile::V7) {
+        return ProfileInfo{32, 4, 16, 13, 14, 15, true, false, true, false, 0};
+    }
+    return ProfileInfo{64, 8, 32, 31, 30, 32, false, true, false, true, 32};
+}
+
+inline const char* profile_name(Profile p) noexcept {
+    return p == Profile::V7 ? "ARMv7" : "ARMv8";
+}
+
+/// Register-name helper ("r4", "sp", "pc", "x19", ...).
+std::string reg_name(Profile p, unsigned index);
+std::string fp_reg_name(unsigned index);
+
+// Internal register-file slot indices (see RegFile): on V8 we store
+// X0..X30 at 0..30, SP at 31, PC at 32. On V7, R0..R12, SP=13, LR=14, PC=15.
+inline constexpr unsigned kV8SpIndex = 31;
+inline constexpr unsigned kV8PcIndex = 32;
+
+} // namespace serep::isa

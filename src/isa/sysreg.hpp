@@ -1,0 +1,40 @@
+// System registers (SYSRD/SYSWR operands) and trap causes.
+#pragma once
+
+#include <cstdint>
+
+namespace serep::isa {
+
+/// System register ids. "user" column: readable from user mode.
+enum class SysReg : std::uint8_t {
+    CORE_ID = 0,   ///< ro, user — hart index
+    TIMER = 1,     ///< rw, kernel — countdown in retired instructions; 0 disables
+    EPC = 2,       ///< rw, kernel — trap return address
+    CAUSE = 3,     ///< ro, kernel — trap cause (low 8 bits) | aux (SVC number << 8)
+    BADADDR = 4,   ///< ro, kernel — faulting data/fetch address
+    FLAGS = 5,     ///< rw, kernel — packed NZCV (for context save/restore)
+    USP = 6,       ///< rw, kernel — banked user stack pointer
+    TLS = 7,       ///< rw kernel / ro user — current thread control block address
+    IPI_SEND = 8,  ///< wo, kernel — bitmask of cores to interrupt
+    CONSOLE = 9,   ///< wo, kernel — emit one byte to current process console
+    MAP_BRK = 10,  ///< wo, kernel — set current process heap top (maps pages)
+    SHUTDOWN = 11, ///< wo, kernel — end of application; value = exit code
+    INSTRET = 12,  ///< ro, user — instructions retired on this core
+    NCORES = 13,   ///< ro, user — number of cores
+    CURPROC = 14,  ///< rw, kernel — process whose address space is active on this core
+    PROC_EXIT = 15,///< wo, kernel — record a process exit: (proc << 8) | exit code
+};
+
+enum class TrapCause : std::uint8_t {
+    NONE = 0,
+    SVC,            ///< supervisor call (aux = syscall number)
+    UNDEF,          ///< illegal/privileged instruction in user mode
+    DATA_ABORT,     ///< unmapped/forbidden/misaligned data access
+    PREFETCH_ABORT, ///< bad instruction fetch address
+    IRQ_TIMER,
+    IRQ_IPI,
+};
+
+const char* trap_cause_name(TrapCause c) noexcept;
+
+} // namespace serep::isa

@@ -1,0 +1,433 @@
+#include "kasm/assembler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace serep::kasm {
+
+using isa::Cond;
+using isa::Instr;
+using isa::Op;
+using util::check;
+
+// ---------- DataSeg ----------
+
+std::uint64_t DataSeg::align(std::uint64_t a) {
+    check(a != 0 && (a & (a - 1)) == 0, "DataSeg::align: power of two required");
+    size_ = (size_ + a - 1) & ~(a - 1);
+    return cursor();
+}
+
+std::uint64_t DataSeg::reserve(std::uint64_t n) {
+    const std::uint64_t va = cursor();
+    size_ += n;
+    return va;
+}
+
+void DataSeg::emit(const void* data, std::size_t n) {
+    // Coalesce with the previous chunk when contiguous.
+    const std::uint64_t va = cursor();
+    if (!chunks_.empty()) {
+        DataChunk& last = chunks_.back();
+        if (last.vaddr + last.bytes.size() == va) {
+            const auto* p = static_cast<const std::uint8_t*>(data);
+            last.bytes.insert(last.bytes.end(), p, p + n);
+            size_ += n;
+            return;
+        }
+    }
+    DataChunk c;
+    c.vaddr = va;
+    c.bytes.assign(static_cast<const std::uint8_t*>(data),
+                   static_cast<const std::uint8_t*>(data) + n);
+    chunks_.push_back(std::move(c));
+    size_ += n;
+}
+
+std::uint64_t DataSeg::u8(std::uint8_t v) {
+    const std::uint64_t va = cursor();
+    emit(&v, 1);
+    return va;
+}
+std::uint64_t DataSeg::u32(std::uint32_t v) {
+    align(4);
+    const std::uint64_t va = cursor();
+    emit(&v, 4);
+    return va;
+}
+std::uint64_t DataSeg::u64v(std::uint64_t v) {
+    align(8);
+    const std::uint64_t va = cursor();
+    emit(&v, 8);
+    return va;
+}
+std::uint64_t DataSeg::f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    return u64v(bits);
+}
+std::uint64_t DataSeg::bytes(const void* data, std::size_t n) {
+    const std::uint64_t va = cursor();
+    emit(data, n);
+    return va;
+}
+
+// ---------- Assembler ----------
+
+Assembler::Assembler(isa::Profile p) : prof_(p), info_(isa::profile_info(p)) {
+    image_.profile = p;
+    image_.code_base = isa::layout::kCodeBase;
+}
+
+Reg Assembler::tmp(unsigned i) const {
+    if (prof_ == isa::Profile::V7) {
+        static constexpr Reg t[] = {0, 1, 2, 3, 12};
+        check(i < 5, "V7 has 5 scratch registers (r0-r3, r12)");
+        return t[i];
+    }
+    check(i < 16, "V8 scratch registers are x0-x15");
+    return static_cast<Reg>(i);
+}
+
+Reg Assembler::sav(unsigned i) const {
+    if (prof_ == isa::Profile::V7) {
+        check(i < 8, "V7 callee-saved registers are r4-r11");
+        return static_cast<Reg>(4 + i);
+    }
+    check(i < 10, "V8 callee-saved registers are x19-x28");
+    return static_cast<Reg>(19 + i);
+}
+
+Label Assembler::newl() {
+    label_addr_.push_back(-1);
+    return Label{static_cast<std::uint32_t>(label_addr_.size() - 1)};
+}
+
+void Assembler::bind(Label l) {
+    check(l.id < label_addr_.size(), "bind: unknown label");
+    check(label_addr_[l.id] < 0, "bind: label already bound");
+    label_addr_[l.id] = static_cast<std::int64_t>(here());
+}
+
+void Assembler::func(const std::string& name, ModTag tag) {
+    check(sym_addr_.count(name) == 0, "duplicate function symbol: " + name);
+    sym_addr_[name] = here();
+    image_.code_syms.push_back(CodeSymbol{name, here(), tag});
+}
+
+void Assembler::data_sym(const std::string& name, std::uint64_t va) {
+    check(image_.data_syms.count(name) == 0, "duplicate data symbol: " + name);
+    image_.data_syms[name] = va;
+}
+
+void Assembler::push(Instr ins) {
+    if (pending_cond_ != Cond::AL) {
+        check(prof_ == isa::Profile::V7,
+              "conditional execution is a V7-only feature");
+        check(ins.op != Op::BCOND && ins.op != Op::CSEL && ins.op != Op::CSET,
+              "when(): wrong opcode");
+        ins.cond = pending_cond_;
+        pending_cond_ = Cond::AL;
+    }
+    code_.push_back(ins);
+}
+
+void Assembler::emit(Instr ins) {
+    check(isa::op_valid_for(ins.op, prof_),
+          std::string("opcode invalid for profile: ") + isa::op_info(ins.op).name);
+    push(ins);
+}
+
+namespace {
+Instr make(Op op, Reg rd = isa::kNoReg, Reg rn = isa::kNoReg,
+           Reg rm = isa::kNoReg, std::int64_t imm = 0) {
+    Instr i;
+    i.op = op;
+    i.rd = rd;
+    i.rn = rn;
+    i.rm = rm;
+    i.imm = imm;
+    return i;
+}
+} // namespace
+
+void Assembler::movi(Reg rd, std::int64_t imm) { emit(make(Op::MOVI, rd, isa::kNoReg, isa::kNoReg, imm)); }
+
+void Assembler::movi_sym(Reg rd, const std::string& sym) {
+    sym_fixups_.push_back(SymFixup{code_.size(), sym, true});
+    emit(make(Op::MOVI, rd, isa::kNoReg, isa::kNoReg, 0));
+}
+
+void Assembler::mov(Reg rd, Reg rn) { emit(make(Op::MOV, rd, rn)); }
+void Assembler::mvn(Reg rd, Reg rn) { emit(make(Op::MVN, rd, rn)); }
+void Assembler::add(Reg rd, Reg rn, Reg rm) { emit(make(Op::ADD, rd, rn, rm)); }
+void Assembler::sub(Reg rd, Reg rn, Reg rm) { emit(make(Op::SUB, rd, rn, rm)); }
+void Assembler::and_(Reg rd, Reg rn, Reg rm) { emit(make(Op::AND, rd, rn, rm)); }
+void Assembler::orr(Reg rd, Reg rn, Reg rm) { emit(make(Op::ORR, rd, rn, rm)); }
+void Assembler::eor(Reg rd, Reg rn, Reg rm) { emit(make(Op::EOR, rd, rn, rm)); }
+void Assembler::mul(Reg rd, Reg rn, Reg rm) { emit(make(Op::MUL, rd, rn, rm)); }
+void Assembler::addi(Reg rd, Reg rn, std::int64_t imm) { emit(make(Op::ADDI, rd, rn, isa::kNoReg, imm)); }
+void Assembler::subi(Reg rd, Reg rn, std::int64_t imm) { emit(make(Op::SUBI, rd, rn, isa::kNoReg, imm)); }
+void Assembler::andi(Reg rd, Reg rn, std::int64_t imm) { emit(make(Op::ANDI, rd, rn, isa::kNoReg, imm)); }
+void Assembler::orri(Reg rd, Reg rn, std::int64_t imm) { emit(make(Op::ORRI, rd, rn, isa::kNoReg, imm)); }
+void Assembler::eori(Reg rd, Reg rn, std::int64_t imm) { emit(make(Op::EORI, rd, rn, isa::kNoReg, imm)); }
+void Assembler::adds(Reg rd, Reg rn, Reg rm) { emit(make(Op::ADDS, rd, rn, rm)); }
+void Assembler::subs(Reg rd, Reg rn, Reg rm) { emit(make(Op::SUBS, rd, rn, rm)); }
+void Assembler::addsi(Reg rd, Reg rn, std::int64_t imm) { emit(make(Op::ADDSI, rd, rn, isa::kNoReg, imm)); }
+void Assembler::subsi(Reg rd, Reg rn, std::int64_t imm) { emit(make(Op::SUBSI, rd, rn, isa::kNoReg, imm)); }
+void Assembler::adcs(Reg rd, Reg rn, Reg rm) { emit(make(Op::ADCS, rd, rn, rm)); }
+void Assembler::sbcs(Reg rd, Reg rn, Reg rm) { emit(make(Op::SBCS, rd, rn, rm)); }
+
+void Assembler::umull(Reg rdlo, Reg rdhi, Reg rn, Reg rm) {
+    Instr i = make(Op::UMULL, rdlo, rn, rm);
+    i.ra = rdhi;
+    emit(i);
+}
+void Assembler::smull(Reg rdlo, Reg rdhi, Reg rn, Reg rm) {
+    Instr i = make(Op::SMULL, rdlo, rn, rm);
+    i.ra = rdhi;
+    emit(i);
+}
+void Assembler::umulh(Reg rd, Reg rn, Reg rm) { emit(make(Op::UMULH, rd, rn, rm)); }
+void Assembler::udiv(Reg rd, Reg rn, Reg rm) { emit(make(Op::UDIV, rd, rn, rm)); }
+void Assembler::sdiv(Reg rd, Reg rn, Reg rm) { emit(make(Op::SDIV, rd, rn, rm)); }
+
+void Assembler::lsli(Reg rd, Reg rn, unsigned sh) {
+    check(sh < info_.width_bits, "shift out of range");
+    emit(make(Op::LSLI, rd, rn, isa::kNoReg, sh));
+}
+void Assembler::lsri(Reg rd, Reg rn, unsigned sh) {
+    check(sh < info_.width_bits, "shift out of range");
+    emit(make(Op::LSRI, rd, rn, isa::kNoReg, sh));
+}
+void Assembler::asri(Reg rd, Reg rn, unsigned sh) {
+    check(sh < info_.width_bits, "shift out of range");
+    emit(make(Op::ASRI, rd, rn, isa::kNoReg, sh));
+}
+void Assembler::lslv(Reg rd, Reg rn, Reg rm) { emit(make(Op::LSLV, rd, rn, rm)); }
+void Assembler::lsrv(Reg rd, Reg rn, Reg rm) { emit(make(Op::LSRV, rd, rn, rm)); }
+void Assembler::asrv(Reg rd, Reg rn, Reg rm) { emit(make(Op::ASRV, rd, rn, rm)); }
+void Assembler::lslsi(Reg rd, Reg rn, unsigned sh) {
+    check(sh >= 1 && sh < info_.width_bits, "flag-setting shift must be in [1,W-1]");
+    emit(make(Op::LSLSI, rd, rn, isa::kNoReg, sh));
+}
+void Assembler::lsrsi(Reg rd, Reg rn, unsigned sh) {
+    check(sh >= 1 && sh < info_.width_bits, "flag-setting shift must be in [1,W-1]");
+    emit(make(Op::LSRSI, rd, rn, isa::kNoReg, sh));
+}
+void Assembler::clz(Reg rd, Reg rn) { emit(make(Op::CLZ, rd, rn)); }
+void Assembler::cmp(Reg rn, Reg rm) { emit(make(Op::CMP, isa::kNoReg, rn, rm)); }
+void Assembler::cmpi(Reg rn, std::int64_t imm) { emit(make(Op::CMPI, isa::kNoReg, rn, isa::kNoReg, imm)); }
+void Assembler::cmn(Reg rn, Reg rm) { emit(make(Op::CMN, isa::kNoReg, rn, rm)); }
+void Assembler::tst(Reg rn, Reg rm) { emit(make(Op::TST, isa::kNoReg, rn, rm)); }
+
+void Assembler::csel(Reg rd, Reg rn, Reg rm, Cond c) {
+    Instr i = make(Op::CSEL, rd, rn, rm);
+    i.cond = c;
+    emit(i);
+}
+void Assembler::cset(Reg rd, Cond c) {
+    Instr i = make(Op::CSET, rd);
+    i.cond = c;
+    emit(i);
+}
+
+void Assembler::b(Label l) {
+    label_fixups_.push_back(LabelFixup{code_.size(), l.id});
+    emit(make(Op::B));
+}
+void Assembler::b(Cond c, Label l) {
+    label_fixups_.push_back(LabelFixup{code_.size(), l.id});
+    Instr i = make(Op::BCOND);
+    i.cond = c;
+    emit(i);
+}
+void Assembler::b_to(const std::string& sym, Cond c) {
+    sym_fixups_.push_back(SymFixup{code_.size(), sym, false});
+    if (c == Cond::AL) {
+        emit(make(Op::B));
+    } else {
+        Instr i = make(Op::BCOND);
+        i.cond = c;
+        emit(i);
+    }
+}
+
+void Assembler::bl(Label l) {
+    label_fixups_.push_back(LabelFixup{code_.size(), l.id});
+    emit(make(Op::BL));
+}
+void Assembler::bl(const std::string& sym) {
+    sym_fixups_.push_back(SymFixup{code_.size(), sym, false});
+    emit(make(Op::BL));
+}
+void Assembler::blr(Reg rn) { emit(make(Op::BLR, isa::kNoReg, rn)); }
+void Assembler::br(Reg rn) { emit(make(Op::BR, isa::kNoReg, rn)); }
+void Assembler::ret() { emit(make(Op::RET)); }
+void Assembler::cbz(Reg rn, Label l) {
+    label_fixups_.push_back(LabelFixup{code_.size(), l.id});
+    emit(make(Op::CBZ, isa::kNoReg, rn));
+}
+void Assembler::cbnz(Reg rn, Label l) {
+    label_fixups_.push_back(LabelFixup{code_.size(), l.id});
+    emit(make(Op::CBNZ, isa::kNoReg, rn));
+}
+
+Instr Assembler::mem_imm(Op op, Reg rd, Reg base, std::int64_t off) const {
+    Instr i = make(op, rd, base, isa::kNoReg, off);
+    return i;
+}
+Instr Assembler::mem_idx(Op op, Reg rd, Reg base, Reg idx, unsigned sh) const {
+    Instr i = make(op, rd, base, idx, 0);
+    i.shift = static_cast<std::uint8_t>(sh);
+    return i;
+}
+
+void Assembler::ldr(Reg rd, Reg base, std::int64_t off) { emit(mem_imm(Op::LDR, rd, base, off)); }
+void Assembler::str(Reg rd, Reg base, std::int64_t off) { emit(mem_imm(Op::STR, rd, base, off)); }
+void Assembler::ldr_idx(Reg rd, Reg base, Reg idx, unsigned sh) { emit(mem_idx(Op::LDR, rd, base, idx, sh)); }
+void Assembler::str_idx(Reg rd, Reg base, Reg idx, unsigned sh) { emit(mem_idx(Op::STR, rd, base, idx, sh)); }
+void Assembler::ldrw(Reg rd, Reg base, std::int64_t off) { emit(mem_imm(Op::LDRW, rd, base, off)); }
+void Assembler::strw(Reg rd, Reg base, std::int64_t off) { emit(mem_imm(Op::STRW, rd, base, off)); }
+void Assembler::ldrw_idx(Reg rd, Reg base, Reg idx, unsigned sh) { emit(mem_idx(Op::LDRW, rd, base, idx, sh)); }
+void Assembler::strw_idx(Reg rd, Reg base, Reg idx, unsigned sh) { emit(mem_idx(Op::STRW, rd, base, idx, sh)); }
+void Assembler::ldrb(Reg rd, Reg base, std::int64_t off) { emit(mem_imm(Op::LDRB, rd, base, off)); }
+void Assembler::strb(Reg rd, Reg base, std::int64_t off) { emit(mem_imm(Op::STRB, rd, base, off)); }
+void Assembler::ldrb_idx(Reg rd, Reg base, Reg idx) { emit(mem_idx(Op::LDRB, rd, base, idx, 0)); }
+void Assembler::strb_idx(Reg rd, Reg base, Reg idx) { emit(mem_idx(Op::STRB, rd, base, idx, 0)); }
+
+void Assembler::ldm(Reg base, std::uint16_t mask, bool writeback) {
+    check(mask != 0, "ldm: empty register list");
+    check((mask & 0x8000u) == 0, "ldm: PC not allowed in register list");
+    check(!writeback || (mask & (1u << base)) == 0, "ldm: base in list with writeback");
+    Instr i = make(Op::LDM, isa::kNoReg, base);
+    i.regmask = mask;
+    i.wb = writeback;
+    emit(i);
+}
+void Assembler::stm(Reg base, std::uint16_t mask, bool writeback) {
+    check(mask != 0, "stm: empty register list");
+    check((mask & 0x8000u) == 0, "stm: PC not allowed in register list");
+    check(!writeback || (mask & (1u << base)) == 0, "stm: base in list with writeback");
+    Instr i = make(Op::STM, isa::kNoReg, base);
+    i.regmask = mask;
+    i.wb = writeback;
+    emit(i);
+}
+void Assembler::ldp(Reg rt1, Reg rt2, Reg base, std::int64_t off) {
+    Instr i = mem_imm(Op::LDP, rt1, base, off);
+    i.ra = rt2;
+    emit(i);
+}
+void Assembler::stp(Reg rt1, Reg rt2, Reg base, std::int64_t off) {
+    Instr i = mem_imm(Op::STP, rt1, base, off);
+    i.ra = rt2;
+    emit(i);
+}
+void Assembler::ldrex(Reg rd, Reg base) { emit(make(Op::LDREX, rd, base)); }
+void Assembler::strex(Reg status, Reg base, Reg value) {
+    emit(make(Op::STREX, status, base, value));
+}
+
+void Assembler::fadd(Reg vd, Reg vn, Reg vm) { emit(make(Op::FADD, vd, vn, vm)); }
+void Assembler::fsub(Reg vd, Reg vn, Reg vm) { emit(make(Op::FSUB, vd, vn, vm)); }
+void Assembler::fmul(Reg vd, Reg vn, Reg vm) { emit(make(Op::FMUL, vd, vn, vm)); }
+void Assembler::fdiv(Reg vd, Reg vn, Reg vm) { emit(make(Op::FDIV, vd, vn, vm)); }
+void Assembler::fsqrt(Reg vd, Reg vn) { emit(make(Op::FSQRT, vd, vn)); }
+void Assembler::fneg(Reg vd, Reg vn) { emit(make(Op::FNEG, vd, vn)); }
+void Assembler::fabs_(Reg vd, Reg vn) { emit(make(Op::FABS, vd, vn)); }
+void Assembler::fmadd(Reg vd, Reg vn, Reg vm, Reg va) {
+    Instr i = make(Op::FMADD, vd, vn, vm);
+    i.ra = va;
+    emit(i);
+}
+void Assembler::fmov(Reg vd, Reg vn) { emit(make(Op::FMOV, vd, vn)); }
+void Assembler::fmovi(Reg vd, double value) {
+    std::int64_t bits;
+    std::memcpy(&bits, &value, 8);
+    emit(make(Op::FMOVI, vd, isa::kNoReg, isa::kNoReg, bits));
+}
+void Assembler::fcmp(Reg vn, Reg vm) { emit(make(Op::FCMP, isa::kNoReg, vn, vm)); }
+void Assembler::fcvtzs(Reg rd, Reg vn) { emit(make(Op::FCVTZS, rd, vn)); }
+void Assembler::scvtf(Reg vd, Reg rn) { emit(make(Op::SCVTF, vd, rn)); }
+void Assembler::fmovvx(Reg rd, Reg vn) { emit(make(Op::FMOVVX, rd, vn)); }
+void Assembler::fmovxv(Reg vd, Reg rn) { emit(make(Op::FMOVXV, vd, rn)); }
+void Assembler::fldr(Reg vd, Reg base, std::int64_t off) { emit(mem_imm(Op::FLDR, vd, base, off)); }
+void Assembler::fstr(Reg vd, Reg base, std::int64_t off) { emit(mem_imm(Op::FSTR, vd, base, off)); }
+void Assembler::fldr_idx(Reg vd, Reg base, Reg idx, unsigned sh) { emit(mem_idx(Op::FLDR, vd, base, idx, sh)); }
+void Assembler::fstr_idx(Reg vd, Reg base, Reg idx, unsigned sh) { emit(mem_idx(Op::FSTR, vd, base, idx, sh)); }
+
+void Assembler::svc(unsigned num) { emit(make(Op::SVC, isa::kNoReg, isa::kNoReg, isa::kNoReg, num)); }
+void Assembler::sysrd(Reg rd, isa::SysReg sr) {
+    emit(make(Op::SYSRD, rd, isa::kNoReg, isa::kNoReg, static_cast<std::int64_t>(sr)));
+}
+void Assembler::syswr(isa::SysReg sr, Reg rn) {
+    emit(make(Op::SYSWR, isa::kNoReg, rn, isa::kNoReg, static_cast<std::int64_t>(sr)));
+}
+void Assembler::eret() { emit(make(Op::ERET)); }
+void Assembler::wfi() { emit(make(Op::WFI)); }
+void Assembler::nop() { emit(make(Op::NOP)); }
+void Assembler::hlt() { emit(make(Op::HLT)); }
+void Assembler::udf() { emit(make(Op::UDF)); }
+
+void Assembler::ldr_word_idx(Reg rd, Reg base, Reg idx) {
+    ldr_idx(rd, base, idx, prof_ == isa::Profile::V7 ? 2 : 3);
+}
+void Assembler::str_word_idx(Reg rd, Reg base, Reg idx) {
+    str_idx(rd, base, idx, prof_ == isa::Profile::V7 ? 2 : 3);
+}
+
+Image Assembler::finalize() {
+    for (const LabelFixup& f : label_fixups_) {
+        check(label_addr_[f.label] >= 0, "unbound label referenced");
+        code_[f.at].imm = label_addr_[f.label];
+    }
+    for (const SymFixup& f : sym_fixups_) {
+        auto it = sym_addr_.find(f.name);
+        if (it != sym_addr_.end()) {
+            code_[f.at].imm = static_cast<std::int64_t>(it->second);
+            continue;
+        }
+        if (f.data_ok) {
+            auto dit = image_.data_syms.find(f.name);
+            if (dit != image_.data_syms.end()) {
+                code_[f.at].imm = static_cast<std::int64_t>(dit->second);
+                continue;
+            }
+        }
+        util::fail("undefined symbol: " + f.name);
+    }
+
+    image_.code = std::move(code_);
+    image_.kdata_init = kdata_.take_chunks();
+    image_.udata_init = udata_.take_chunks();
+    image_.kdata_size = kdata_.size();
+    image_.udata_size = udata_.size();
+
+    std::sort(image_.code_syms.begin(), image_.code_syms.end(),
+              [](const CodeSymbol& a, const CodeSymbol& b) { return a.addr < b.addr; });
+
+    // Per-instruction attribution: function index 0 = "(unattributed)".
+    image_.func_names.clear();
+    image_.func_tags.clear();
+    image_.func_names.push_back("(none)");
+    image_.func_tags.push_back(ModTag::APP);
+    image_.func_of_instr.assign(image_.code.size(), 0);
+    std::size_t si = 0;
+    std::uint16_t cur = 0;
+    for (std::size_t i = 0; i < image_.code.size(); ++i) {
+        const std::uint64_t addr = image_.code_base + i * isa::kInstrBytes;
+        while (si < image_.code_syms.size() && image_.code_syms[si].addr <= addr) {
+            image_.func_names.push_back(image_.code_syms[si].name);
+            image_.func_tags.push_back(image_.code_syms[si].tag);
+            cur = static_cast<std::uint16_t>(image_.func_names.size() - 1);
+            ++si;
+        }
+        image_.func_of_instr[i] = cur;
+    }
+    return std::move(image_);
+}
+
+} // namespace serep::kasm

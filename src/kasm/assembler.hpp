@@ -1,0 +1,246 @@
+// Macro-assembler for the µISA.
+//
+// Everything that runs inside the simulator — nanokernel, guest runtimes
+// (soft-float, libomp, libmpi), and the NPB kernels — is emitted through
+// this class. It provides labels with fixups, named functions (symbol table
+// + module tags for vulnerability-window attribution), call-by-name linking,
+// and two data-segment builders (kernel and user regions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/flags.hpp"
+#include "isa/instr.hpp"
+#include "isa/layout.hpp"
+#include "isa/profile.hpp"
+#include "isa/sysreg.hpp"
+#include "kasm/image.hpp"
+
+namespace serep::kasm {
+
+using Reg = std::uint8_t;
+
+struct Label {
+    std::uint32_t id = 0;
+};
+
+/// Builder for one data region (kernel or user). Memory is zero-initialized;
+/// only explicitly emitted bytes become load-time chunks.
+class DataSeg {
+public:
+    explicit DataSeg(std::uint64_t base) : base_(base) {}
+
+    std::uint64_t base() const noexcept { return base_; }
+    std::uint64_t cursor() const noexcept { return base_ + size_; }
+    std::uint64_t size() const noexcept { return size_; }
+
+    std::uint64_t align(std::uint64_t a);
+    /// Reserve `n` zeroed bytes; returns their VA.
+    std::uint64_t reserve(std::uint64_t n);
+    std::uint64_t u8(std::uint8_t v);
+    std::uint64_t u32(std::uint32_t v);
+    std::uint64_t u64v(std::uint64_t v);
+    std::uint64_t f64(double v);
+    std::uint64_t bytes(const void* data, std::size_t n);
+
+    std::vector<DataChunk> take_chunks() { return std::move(chunks_); }
+
+private:
+    void emit(const void* data, std::size_t n);
+    std::uint64_t base_;
+    std::uint64_t size_ = 0;
+    std::vector<DataChunk> chunks_;
+};
+
+class Assembler {
+public:
+    explicit Assembler(isa::Profile p);
+
+    isa::Profile profile() const noexcept { return prof_; }
+    const isa::ProfileInfo& info() const noexcept { return info_; }
+    unsigned wbytes() const noexcept { return info_.width_bytes; }
+
+    // ---- registers with ABI roles (profile-dependent) ----
+    Reg sp() const noexcept { return static_cast<Reg>(info_.sp_index); }
+    Reg lr() const noexcept { return static_cast<Reg>(info_.lr_index); }
+    Reg pc() const noexcept { return static_cast<Reg>(info_.pc_index); } // V7 only
+    /// Argument/return registers a0..a3 (r0..r3 / x0..x3).
+    Reg arg(unsigned i) const noexcept { return static_cast<Reg>(i); }
+    /// Caller-saved scratch registers t0.. (r0..r3,r12 / x0..x15).
+    Reg tmp(unsigned i) const;
+    unsigned tmp_count() const noexcept { return prof_ == isa::Profile::V7 ? 5 : 16; }
+    /// Callee-saved registers s0.. (r4..r11 / x19..x28).
+    Reg sav(unsigned i) const;
+    unsigned sav_count() const noexcept { return prof_ == isa::Profile::V7 ? 8 : 10; }
+
+    // ---- labels / symbols ----
+    Label newl();
+    void bind(Label l);
+    /// Begin a named function at the current address.
+    void func(const std::string& name, ModTag tag);
+    std::uint64_t here() const noexcept {
+        return image_.code_base + code_.size() * isa::kInstrBytes;
+    }
+    bool has_func(const std::string& name) const { return sym_addr_.count(name) != 0; }
+
+    // ---- data segments ----
+    DataSeg& kdata() noexcept { return kdata_; }
+    DataSeg& udata() noexcept { return udata_; }
+    /// Define a named data symbol at `va`.
+    void data_sym(const std::string& name, std::uint64_t va);
+
+    // ---- raw emit (validity-checked) ----
+    void emit(isa::Instr ins);
+    /// Set condition on the next emitted instruction (V7 conditional execution).
+    Assembler& when(isa::Cond c) { pending_cond_ = c; return *this; }
+
+    // ---- ALU ----
+    void movi(Reg rd, std::int64_t imm);
+    /// Load a data/code symbol's address (fixup at finalize).
+    void movi_sym(Reg rd, const std::string& sym);
+    void mov(Reg rd, Reg rn);
+    void mvn(Reg rd, Reg rn);
+    void add(Reg rd, Reg rn, Reg rm);
+    void sub(Reg rd, Reg rn, Reg rm);
+    void and_(Reg rd, Reg rn, Reg rm);
+    void orr(Reg rd, Reg rn, Reg rm);
+    void eor(Reg rd, Reg rn, Reg rm);
+    void mul(Reg rd, Reg rn, Reg rm);
+    void addi(Reg rd, Reg rn, std::int64_t imm);
+    void subi(Reg rd, Reg rn, std::int64_t imm);
+    void andi(Reg rd, Reg rn, std::int64_t imm);
+    void orri(Reg rd, Reg rn, std::int64_t imm);
+    void eori(Reg rd, Reg rn, std::int64_t imm);
+    void adds(Reg rd, Reg rn, Reg rm);
+    void subs(Reg rd, Reg rn, Reg rm);
+    void addsi(Reg rd, Reg rn, std::int64_t imm);
+    void subsi(Reg rd, Reg rn, std::int64_t imm);
+    void adcs(Reg rd, Reg rn, Reg rm);
+    void sbcs(Reg rd, Reg rn, Reg rm);
+    void umull(Reg rdlo, Reg rdhi, Reg rn, Reg rm); // V7
+    void smull(Reg rdlo, Reg rdhi, Reg rn, Reg rm); // V7
+    void umulh(Reg rd, Reg rn, Reg rm);             // V8
+    void udiv(Reg rd, Reg rn, Reg rm);              // V8
+    void sdiv(Reg rd, Reg rn, Reg rm);              // V8
+    void lsli(Reg rd, Reg rn, unsigned sh);
+    void lsri(Reg rd, Reg rn, unsigned sh);
+    void asri(Reg rd, Reg rn, unsigned sh);
+    void lslv(Reg rd, Reg rn, Reg rm);
+    void lsrv(Reg rd, Reg rn, Reg rm);
+    void asrv(Reg rd, Reg rn, Reg rm);
+    void lslsi(Reg rd, Reg rn, unsigned sh);
+    void lsrsi(Reg rd, Reg rn, unsigned sh);
+    void clz(Reg rd, Reg rn);
+    void cmp(Reg rn, Reg rm);
+    void cmpi(Reg rn, std::int64_t imm);
+    void cmn(Reg rn, Reg rm);
+    void tst(Reg rn, Reg rm);
+    void csel(Reg rd, Reg rn, Reg rm, isa::Cond c); // V8
+    void cset(Reg rd, isa::Cond c);                 // V8
+
+    // ---- branches ----
+    void b(Label l);
+    void b(isa::Cond c, Label l);
+    /// Branch to a named function symbol (tail-calls between subsystems).
+    void b_to(const std::string& sym, isa::Cond c = isa::Cond::AL);
+    void bl(Label l);
+    void bl(const std::string& sym);
+    void blr(Reg rn);
+    void br(Reg rn);
+    void ret();
+    void cbz(Reg rn, Label l);  // V8
+    void cbnz(Reg rn, Label l); // V8
+
+    // ---- memory ----
+    void ldr(Reg rd, Reg base, std::int64_t off = 0);
+    void str(Reg rd, Reg base, std::int64_t off = 0);
+    void ldr_idx(Reg rd, Reg base, Reg idx, unsigned scale_shift);
+    void str_idx(Reg rd, Reg base, Reg idx, unsigned scale_shift);
+    void ldrw(Reg rd, Reg base, std::int64_t off = 0);  // V8
+    void strw(Reg rd, Reg base, std::int64_t off = 0);  // V8
+    void ldrw_idx(Reg rd, Reg base, Reg idx, unsigned scale_shift); // V8
+    void strw_idx(Reg rd, Reg base, Reg idx, unsigned scale_shift); // V8
+    void ldrb(Reg rd, Reg base, std::int64_t off = 0);
+    void strb(Reg rd, Reg base, std::int64_t off = 0);
+    void ldrb_idx(Reg rd, Reg base, Reg idx);
+    void strb_idx(Reg rd, Reg base, Reg idx);
+    void ldm(Reg base, std::uint16_t mask, bool writeback); // V7
+    void stm(Reg base, std::uint16_t mask, bool writeback); // V7
+    void ldp(Reg rt1, Reg rt2, Reg base, std::int64_t off); // V8
+    void stp(Reg rt1, Reg rt2, Reg base, std::int64_t off); // V8
+    void ldrex(Reg rd, Reg base);
+    void strex(Reg status, Reg base, Reg value);
+
+    // ---- floating point (V8) ----
+    void fadd(Reg vd, Reg vn, Reg vm);
+    void fsub(Reg vd, Reg vn, Reg vm);
+    void fmul(Reg vd, Reg vn, Reg vm);
+    void fdiv(Reg vd, Reg vn, Reg vm);
+    void fsqrt(Reg vd, Reg vn);
+    void fneg(Reg vd, Reg vn);
+    void fabs_(Reg vd, Reg vn);
+    void fmadd(Reg vd, Reg vn, Reg vm, Reg va);
+    void fmov(Reg vd, Reg vn);
+    void fmovi(Reg vd, double value);
+    void fcmp(Reg vn, Reg vm);
+    void fcvtzs(Reg rd, Reg vn);
+    void scvtf(Reg vd, Reg rn);
+    void fmovvx(Reg rd, Reg vn);
+    void fmovxv(Reg vd, Reg rn);
+    void fldr(Reg vd, Reg base, std::int64_t off = 0);
+    void fstr(Reg vd, Reg base, std::int64_t off = 0);
+    void fldr_idx(Reg vd, Reg base, Reg idx, unsigned scale_shift);
+    void fstr_idx(Reg vd, Reg base, Reg idx, unsigned scale_shift);
+
+    // ---- system ----
+    void svc(unsigned num);
+    void sysrd(Reg rd, isa::SysReg sr);
+    void syswr(isa::SysReg sr, Reg rn);
+    void eret();
+    void wfi();
+    void nop();
+    void hlt();
+    void udf();
+
+    /// Width-dependent helpers: load/store a pointer-sized element with
+    /// index scaled by the profile word size (4 on V7, 8 on V8).
+    void ldr_word_idx(Reg rd, Reg base, Reg idx);
+    void str_word_idx(Reg rd, Reg base, Reg idx);
+
+    /// Resolve fixups, sort symbols, build per-instruction attribution.
+    Image finalize();
+
+    /// Mark the kernel/user text boundary (call after emitting kernel code).
+    /// Idempotent: the first call wins.
+    void end_kernel_text() {
+        if (image_.kernel_text_end == 0) image_.kernel_text_end = here();
+    }
+    void set_user_entry(std::uint64_t a) { image_.user_entry = a; }
+    void set_kernel_boot(std::uint64_t a) { image_.kernel_boot = a; }
+    void set_vec_entry(std::uint64_t a) { image_.vec_entry = a; }
+
+private:
+    void push(isa::Instr ins);
+    isa::Instr mem_imm(isa::Op op, Reg rd, Reg base, std::int64_t off) const;
+    isa::Instr mem_idx(isa::Op op, Reg rd, Reg base, Reg idx, unsigned sh) const;
+
+    isa::Profile prof_;
+    isa::ProfileInfo info_;
+    std::vector<isa::Instr> code_;
+    Image image_;
+    DataSeg kdata_{isa::layout::kKernBase};
+    DataSeg udata_{isa::layout::kUserBase};
+
+    std::vector<std::int64_t> label_addr_;             // -1 = unbound
+    struct LabelFixup { std::size_t at; std::uint32_t label; };
+    struct SymFixup { std::size_t at; std::string name; bool data_ok; };
+    std::vector<LabelFixup> label_fixups_;
+    std::vector<SymFixup> sym_fixups_;
+    std::map<std::string, std::uint64_t> sym_addr_;
+    isa::Cond pending_cond_ = isa::Cond::AL;
+};
+
+} // namespace serep::kasm

@@ -1,0 +1,34 @@
+#include "kasm/image.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace serep::kasm {
+
+const char* mod_tag_name(ModTag t) noexcept {
+    switch (t) {
+        case ModTag::KERNEL: return "kernel";
+        case ModTag::LIBRT: return "librt";
+        case ModTag::SOFTFLOAT: return "softfloat";
+        case ModTag::OMP: return "omp";
+        case ModTag::MPI: return "mpi";
+        case ModTag::APP: return "app";
+    }
+    return "??";
+}
+
+std::uint64_t Image::sym(const std::string& name) const {
+    const auto it = std::find_if(code_syms.begin(), code_syms.end(),
+                                 [&](const CodeSymbol& s) { return s.name == name; });
+    util::check(it != code_syms.end(), "Image::sym: undefined symbol " + name);
+    return it->addr;
+}
+
+std::uint64_t Image::data_sym(const std::string& name) const {
+    const auto it = data_syms.find(name);
+    util::check(it != data_syms.end(), "Image::data_sym: undefined symbol " + name);
+    return it->second;
+}
+
+} // namespace serep::kasm

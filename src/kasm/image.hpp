@@ -1,0 +1,71 @@
+// Linked program image: code, data initializers, symbols, entry points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hpp"
+#include "isa/profile.hpp"
+
+namespace serep::kasm {
+
+/// Which subsystem a function belongs to — drives the paper's
+/// "vulnerability window" attribution (kernel / API / app shares).
+enum class ModTag : std::uint8_t { KERNEL, LIBRT, SOFTFLOAT, OMP, MPI, APP };
+
+const char* mod_tag_name(ModTag t) noexcept;
+
+struct CodeSymbol {
+    std::string name;
+    std::uint64_t addr; ///< code byte address
+    ModTag tag;
+};
+
+/// Initialized bytes to copy into a data region at load time.
+struct DataChunk {
+    std::uint64_t vaddr;
+    std::vector<std::uint8_t> bytes;
+};
+
+/// A fully linked guest program (kernel + runtimes + application).
+struct Image {
+    isa::Profile profile = isa::Profile::V7;
+    std::vector<isa::Instr> code;
+    std::uint64_t code_base = 0;
+    std::uint64_t kernel_text_end = 0; ///< user-mode fetch below this faults
+
+    std::vector<DataChunk> kdata_init, udata_init;
+    std::uint64_t kdata_size = 0, udata_size = 0;
+
+    std::vector<CodeSymbol> code_syms;      ///< sorted by address
+    std::map<std::string, std::uint64_t> data_syms;
+
+    std::uint64_t user_entry = 0;   ///< "main" (set by the application builder)
+    std::uint64_t kernel_boot = 0;  ///< per-core boot entry
+    std::uint64_t vec_entry = 0;    ///< single trap vector
+
+    /// Per-instruction function index (into func_names/func_tags) for O(1)
+    /// profiler attribution; built by Assembler::finalize().
+    std::vector<std::uint16_t> func_of_instr;
+    std::vector<std::string> func_names;
+    std::vector<ModTag> func_tags;
+
+    std::uint64_t code_end() const noexcept {
+        return code_base + code.size() * isa::kInstrBytes;
+    }
+    bool contains_code(std::uint64_t byte_addr) const noexcept {
+        return byte_addr >= code_base && byte_addr < code_end() &&
+               (byte_addr & 3) == 0;
+    }
+    std::size_t instr_index(std::uint64_t byte_addr) const noexcept {
+        return static_cast<std::size_t>((byte_addr - code_base) / isa::kInstrBytes);
+    }
+
+    /// Address of a required symbol; throws util::Error when missing.
+    std::uint64_t sym(const std::string& name) const;
+    std::uint64_t data_sym(const std::string& name) const;
+};
+
+} // namespace serep::kasm

@@ -1,0 +1,350 @@
+#include "kgen/kgen.hpp"
+
+#include "rt/frames.hpp"
+#include "util/bitops.hpp"
+#include "util/check.hpp"
+
+namespace serep::kgen {
+
+using isa::Cond;
+using isa::Profile;
+using util::check;
+
+KGen::KGen(Assembler& a, CodegenOptions o)
+    : a(a), opts(o), v7(a.profile() == Profile::V7), W(a.wbytes()) {}
+
+// ---------------- integer variables ----------------
+
+Reg KGen::ivar() {
+    const unsigned count = a.sav_count();
+    for (unsigned i = 0; i < count; ++i) {
+        if (!(ivar_mask_ & (1u << i))) {
+            ivar_mask_ |= 1u << i;
+            return a.sav(i);
+        }
+    }
+    util::fail("KGen: out of integer variable registers");
+}
+
+void KGen::release(Reg r) {
+    for (unsigned i = 0; i < a.sav_count(); ++i) {
+        if (a.sav(i) == r) {
+            check((ivar_mask_ & (1u << i)) != 0, "KGen: double release");
+            ivar_mask_ &= ~(1u << i);
+            return;
+        }
+    }
+    util::fail("KGen: release of non-ivar register");
+}
+
+unsigned KGen::ivars_free() const {
+    unsigned used = 0;
+    for (unsigned i = 0; i < a.sav_count(); ++i)
+        used += (ivar_mask_ >> i) & 1;
+    return a.sav_count() - used;
+}
+
+// ---------------- frames ----------------
+
+void KGen::enter_frame(unsigned fp_slots) {
+    check(!in_frame_, "KGen: nested frames are not supported");
+    in_frame_ = true;
+    frame_slots_ = fp_slots;
+    rt::push_saved(a); // callee-saved set + lr (bodies are blr'd by runtimes)
+    if (v7) {
+        check(fp_slots <= 32, "KGen: too many V7 FP slots");
+        if (fp_slots) a.subi(a.sp(), a.sp(), fp_slots * 8);
+    } else {
+        // save the callee-saved FP window V8..V23 backing the FVs
+        a.subi(a.sp(), a.sp(), 16 * 8);
+        for (unsigned i = 0; i < 16; ++i)
+            a.fstr(static_cast<Reg>(8 + i), a.sp(), i * 8);
+    }
+}
+
+void KGen::leave_frame() {
+    check(in_frame_, "KGen: leave_frame without enter_frame");
+    in_frame_ = false;
+    if (v7) {
+        if (frame_slots_) a.addi(a.sp(), a.sp(), frame_slots_ * 8);
+    } else {
+        for (unsigned i = 0; i < 16; ++i)
+            a.fldr(static_cast<Reg>(8 + i), a.sp(), i * 8);
+        a.addi(a.sp(), a.sp(), 16 * 8);
+    }
+    rt::pop_saved(a);
+    check(fv_mask_ == 0, "KGen: leaked FV at leave_frame");
+    ivar_mask_ = 0; // frame end releases every integer variable
+}
+
+// ---------------- FP values ----------------
+
+FV KGen::fv() {
+    const unsigned limit = v7 ? frame_slots_ : 16;
+    check(!v7 || in_frame_, "KGen: V7 FVs need a frame");
+    for (unsigned i = 0; i < limit; ++i) {
+        if (!(fv_mask_ & (1u << i))) {
+            fv_mask_ |= 1u << i;
+            return FV{static_cast<std::uint16_t>(i)};
+        }
+    }
+    util::fail("KGen: out of FP values");
+}
+
+void KGen::ffree(FV v) {
+    check(v.valid() && (fv_mask_ & (1u << v.id)), "KGen: bad ffree");
+    fv_mask_ &= ~(1u << v.id);
+}
+
+void KGen::fli(FV dst, double value) {
+    if (v7) {
+        const std::uint64_t bits = util::f64_bits(value);
+        a.movi(0, static_cast<std::int64_t>(bits & 0xFFFFFFFFu));
+        a.movi(1, static_cast<std::int64_t>(bits >> 32));
+        store_res(dst);
+    } else {
+        a.fmovi(vreg(dst), value);
+    }
+}
+
+void KGen::fmov(FV dst, FV src) {
+    if (dst.id == src.id) return;
+    if (v7) {
+        a.ldr(0, a.sp(), slot_off(src));
+        a.ldr(1, a.sp(), slot_off(src) + 4);
+        store_res(dst);
+    } else {
+        a.fmov(vreg(dst), vreg(src));
+    }
+}
+
+void KGen::fld(FV dst, Reg base, Reg idx) {
+    if (v7) {
+        // route the address through r0 so callers may keep live values in
+        // r3/r12 (base/idx must not be r0/r1)
+        a.lsli(0, idx, 3);
+        a.add(0, base, 0);
+        a.ldr(1, 0, 4);
+        a.ldr(0, 0, 0);
+        store_res(dst);
+    } else {
+        a.fldr_idx(vreg(dst), base, idx, 3);
+    }
+}
+
+void KGen::fld_imm(FV dst, Reg base, std::int64_t elem_index) {
+    if (v7) {
+        a.ldr(0, base, elem_index * 8);
+        a.ldr(1, base, elem_index * 8 + 4);
+        store_res(dst);
+    } else {
+        a.fldr(vreg(dst), base, elem_index * 8);
+    }
+}
+
+void KGen::fst(FV src, Reg base, Reg idx) {
+    if (v7) {
+        a.lsli(0, idx, 3);
+        a.add(0, base, 0);
+        a.ldr(1, a.sp(), slot_off(src));
+        a.str(1, 0, 0);
+        a.ldr(1, a.sp(), slot_off(src) + 4);
+        a.str(1, 0, 4);
+    } else {
+        a.fstr_idx(vreg(src), base, idx, 3);
+    }
+}
+
+void KGen::fst_imm(FV src, Reg base, std::int64_t elem_index) {
+    if (v7) {
+        a.ldr(0, a.sp(), slot_off(src));
+        a.ldr(1, a.sp(), slot_off(src) + 4);
+        a.str(0, base, elem_index * 8);
+        a.str(1, base, elem_index * 8 + 4);
+    } else {
+        a.fstr(vreg(src), base, elem_index * 8);
+    }
+}
+
+void KGen::load_ab(FV x, FV y) {
+    a.ldr(0, a.sp(), slot_off(x));
+    a.ldr(1, a.sp(), slot_off(x) + 4);
+    a.ldr(2, a.sp(), slot_off(y));
+    a.ldr(3, a.sp(), slot_off(y) + 4);
+}
+
+void KGen::store_res(FV dst) {
+    a.str(0, a.sp(), slot_off(dst));
+    a.str(1, a.sp(), slot_off(dst) + 4);
+}
+
+void KGen::binop_call(const char* sym, FV dst, FV x, FV y) {
+    load_ab(x, y);
+    a.bl(sym);
+    store_res(dst);
+}
+
+void KGen::fadd(FV dst, FV x, FV y) {
+    if (v7) binop_call("__adddf3", dst, x, y);
+    else a.fadd(vreg(dst), vreg(x), vreg(y));
+}
+void KGen::fsub(FV dst, FV x, FV y) {
+    if (v7) binop_call("__subdf3", dst, x, y);
+    else a.fsub(vreg(dst), vreg(x), vreg(y));
+}
+void KGen::fmul(FV dst, FV x, FV y) {
+    if (v7) binop_call("__muldf3", dst, x, y);
+    else a.fmul(vreg(dst), vreg(x), vreg(y));
+}
+void KGen::fdiv(FV dst, FV x, FV y) {
+    if (v7) binop_call("__divdf3", dst, x, y);
+    else a.fdiv(vreg(dst), vreg(x), vreg(y));
+}
+
+void KGen::fneg(FV dst, FV x) {
+    if (v7) {
+        a.ldr(0, a.sp(), slot_off(x));
+        a.ldr(1, a.sp(), slot_off(x) + 4);
+        a.eori(1, 1, 0x80000000u);
+        store_res(dst);
+    } else {
+        a.fneg(vreg(dst), vreg(x));
+    }
+}
+
+void KGen::fmac(FV acc, FV x, FV y) {
+    if (v7) {
+        // product stays in r0:r1 between the two library calls
+        load_ab(x, y);
+        a.bl("__muldf3");
+        a.ldr(2, a.sp(), slot_off(acc));
+        a.ldr(3, a.sp(), slot_off(acc) + 4);
+        a.bl("__adddf3");
+        store_res(acc);
+    } else if (opts.contract_fma) {
+        a.fmadd(vreg(acc), vreg(x), vreg(y), vreg(acc));
+    } else {
+        // contraction disabled: separate round-to-nearest mul and add,
+        // mirroring -ffp-contract=off
+        a.fmul(0, vreg(x), vreg(y)); // V0/V1 are scratch outside the FV window
+        a.fadd(vreg(acc), vreg(acc), 0);
+    }
+}
+
+void KGen::fcmp(FV x, FV y) {
+    if (v7) {
+        load_ab(x, y);
+        a.bl("__cmpdf2");
+        a.cmpi(0, 0);
+    } else {
+        a.fcmp(vreg(x), vreg(y));
+    }
+}
+
+void KGen::f2i(Reg dst, FV x) {
+    if (v7) {
+        a.ldr(0, a.sp(), slot_off(x));
+        a.ldr(1, a.sp(), slot_off(x) + 4);
+        a.bl("__fixdfsi");
+        a.mov(dst, 0);
+    } else {
+        a.fcvtzs(dst, vreg(x));
+    }
+}
+
+void KGen::i2f(FV dst, Reg src) {
+    if (v7) {
+        a.mov(0, src);
+        a.bl("__floatsidf");
+        store_res(dst);
+    } else {
+        a.scvtf(vreg(dst), src);
+    }
+}
+
+// ---------------- integer helpers ----------------
+
+void KGen::idiv(Reg dst, Reg n, Reg d) {
+    if (v7) {
+        a.mov(0, n);
+        a.mov(1, d);
+        a.bl("__udiv32");
+        a.mov(dst, 0);
+    } else {
+        a.udiv(dst, n, d);
+    }
+}
+
+void KGen::imod(Reg dst, Reg n, Reg d) {
+    if (v7) {
+        a.mov(0, n);
+        a.mov(1, d);
+        a.bl("__udiv32");
+        a.mov(dst, 1); // remainder comes back in r1
+    } else {
+        a.udiv(0, n, d);
+        a.mul(0, 0, d);
+        a.sub(dst, n, 0);
+    }
+}
+
+void KGen::lcg_step(Reg x) {
+    a.movi(12, 1103515245);
+    a.mul(x, x, 12);
+    a.addi(x, x, 12345);
+    if (!v7) a.andi(x, x, 0xFFFFFFFFu); // keep sequences identical across ISAs
+}
+
+// ---------------- control flow ----------------
+
+void KGen::for_up(Reg i, std::int64_t from, Reg to_exclusive,
+                  const std::function<void()>& body) {
+    a.movi(i, from);
+    auto loop = a.newl(), done = a.newl();
+    a.bind(loop);
+    a.cmp(i, to_exclusive);
+    a.b(Cond::GE, done);
+    body();
+    a.addi(i, i, 1);
+    a.b(loop);
+    a.bind(done);
+}
+
+void KGen::for_up_imm(Reg i, std::int64_t from, std::int64_t to_exclusive,
+                      const std::function<void()>& body) {
+    a.movi(i, from);
+    auto loop = a.newl(), done = a.newl();
+    a.bind(loop);
+    a.cmpi(i, to_exclusive);
+    a.b(Cond::GE, done);
+    body();
+    a.addi(i, i, 1);
+    a.b(loop);
+    a.bind(done);
+}
+
+void KGen::par_bounds(Reg begin, Reg end, Reg n, Reg tid, Reg nth) {
+    // `n` may arrive in a volatile register (r12); stash it in `begin`
+    // before the division call can clobber it.
+    a.mov(begin, n);
+    a.add(end, n, nth);
+    a.subi(end, end, 1);
+    idiv(end, end, nth); // chunk = ceil(n / nth); begin (callee-saved) survives
+    a.mul(12, end, tid); // r12 = tid*chunk (no calls below)
+    a.add(end, 12, end);
+    // clamp both to n (held in `begin`)
+    if (v7) {
+        a.cmp(12, begin);
+        a.when(Cond::GT).mov(12, begin);
+        a.cmp(end, begin);
+        a.when(Cond::GT).mov(end, begin);
+    } else {
+        a.cmp(12, begin);
+        a.csel(12, begin, 12, Cond::GT);
+        a.cmp(end, begin);
+        a.csel(end, begin, end, Cond::GT);
+    }
+    a.mov(begin, 12);
+}
+
+} // namespace serep::kgen

@@ -1,0 +1,114 @@
+// Code-generation eDSL over the assembler — the "compiler" for application
+// kernels. One kernel source (C++ builder code) lowers differently per
+// profile, reproducing the compiler behaviours the paper reasons about:
+//
+//  * V8: doubles live in FP registers; FP ops are single instructions
+//    (FMADD fused); divisions are hardware.
+//  * V7: doubles live in stack slots; every FP op loads operands into
+//    r0..r3, calls the soft-float library and stores the result back —
+//    the "load/store template with recycled registers" the paper blames
+//    for the higher ARMv7 UT rate — and integer division is a call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "kasm/assembler.hpp"
+
+namespace serep::kgen {
+
+using kasm::Assembler;
+using kasm::Reg;
+
+/// A double-precision value handle: an FP register on V8, a stack slot on V7.
+struct FV {
+    std::uint16_t id = 0xFFFF;
+    bool valid() const noexcept { return id != 0xFFFF; }
+};
+
+/// Codegen options — the paper's future-work "compiler flags" axis.
+struct CodegenOptions {
+    /// Allow fused multiply-add contraction on V8 (-ffp-contract analogue).
+    bool contract_fma = true;
+};
+
+class KGen {
+public:
+    explicit KGen(Assembler& a, CodegenOptions opts = {});
+
+    Assembler& a;
+    const CodegenOptions opts;
+    const bool v7;
+    const unsigned W;
+
+    // ---- integer variable registers (callee-saved pool) ----
+    Reg ivar();
+    void release(Reg r);
+    unsigned ivars_free() const;
+
+    // ---- function frames ----
+    /// Open a frame with room for `fp_slots` V7 stack slots (no-op cost on
+    /// V8 beyond bookkeeping). Must bracket all FV use inside a function.
+    void enter_frame(unsigned fp_slots);
+    void leave_frame();
+
+    // ---- FP values ----
+    FV fv();
+    void ffree(FV v);
+    void fli(FV dst, double value);
+    void fmov(FV dst, FV src);
+    /// dst = base[idx]  (8-byte elements; idx is an element index register)
+    void fld(FV dst, Reg base, Reg idx);
+    void fld_imm(FV dst, Reg base, std::int64_t elem_index);
+    void fst(FV src, Reg base, Reg idx);
+    void fst_imm(FV src, Reg base, std::int64_t elem_index);
+    void fadd(FV dst, FV x, FV y);
+    void fsub(FV dst, FV x, FV y);
+    void fmul(FV dst, FV x, FV y);
+    void fdiv(FV dst, FV x, FV y);
+    void fneg(FV dst, FV x);
+    /// acc += x*y — FMADD on V8 (fused), mul-then-add calls on V7.
+    void fmac(FV acc, FV x, FV y);
+    /// set NZCV from (x ? y): use signed conditions (LT/GT/EQ/GE/LE).
+    void fcmp(FV x, FV y);
+    void f2i(Reg dst, FV x);
+    void i2f(FV dst, Reg src);
+
+    // ---- integer helpers ----
+    /// dst = n / d (unsigned; soft division call on V7)
+    void idiv(Reg dst, Reg n, Reg d);
+    /// dst = n % d
+    void imod(Reg dst, Reg n, Reg d);
+    /// 32-bit LCG step identical on both profiles: x = (x*1103515245+12345) & 0xFFFFFFFF
+    void lcg_step(Reg x);
+
+    // ---- structured control flow ----
+    /// for (i = from; i < to_reg; ++i) body().  `i` must be an ivar.
+    void for_up(Reg i, std::int64_t from, Reg to_exclusive,
+                const std::function<void()>& body);
+    void for_up_imm(Reg i, std::int64_t from, std::int64_t to_exclusive,
+                    const std::function<void()>& body);
+
+    /// Compute this thread's [begin, end) block for n items over nth threads:
+    /// chunk = ceil(n / nth); begin = min(tid*chunk, n); end = min(begin+chunk, n).
+    void par_bounds(Reg begin, Reg end, Reg n, Reg tid, Reg nth);
+
+    /// V8 FP register backing an FV: the callee-saved window V8..V23
+    /// (kgen frames save/restore it, so FVs survive function calls).
+    Reg vreg(FV v) const { return static_cast<Reg>(8 + v.id); }
+
+private:
+    std::int64_t slot_off(FV v) const { return static_cast<std::int64_t>(v.id) * 8; }
+    void load_ab(FV x, FV y);   // V7: x -> r0:r1, y -> r2:r3
+    void store_res(FV dst);     // V7: r0:r1 -> dst slot
+    void binop_call(const char* sym, FV dst, FV x, FV y);
+
+    std::uint32_t ivar_mask_ = 0; // allocated callee-saved indices
+    std::uint32_t fv_mask_ = 0;   // allocated FV ids (V8: V regs; V7: slots)
+    unsigned frame_slots_ = 0;
+    bool in_frame_ = false;
+    std::map<std::uint64_t, std::uint64_t> const_pool_; // unused on V7 (movi pairs)
+};
+
+} // namespace serep::kgen

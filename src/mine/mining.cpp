@@ -1,0 +1,147 @@
+#include "mine/mining.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace serep::mine {
+
+void Dataset::add(const core::CampaignResult& fi, const prof::ProfileData& prof) {
+    Row r;
+    r.scenario = fi.scenario.name();
+    r.isa = isa::profile_name(fi.scenario.isa);
+    r.app = npb::app_name(fi.scenario.app);
+    r.api = npb::api_name(fi.scenario.api);
+    r.cores = fi.scenario.cores;
+    r.values = prof.metrics();
+    for (unsigned o = 0; o < core::kOutcomeCount; ++o) {
+        const auto oc = static_cast<core::Outcome>(o);
+        r.values[std::string("pct_") + core::outcome_name(oc)] = fi.pct(oc);
+    }
+    r.values["pct_masked"] = fi.masked_pct();
+    r.values["cores"] = r.cores;
+    rows_.push_back(std::move(r));
+}
+
+std::vector<double> Dataset::column(const std::string& key) const {
+    std::vector<double> out;
+    for (const Row& r : rows_) {
+        const auto it = r.values.find(key);
+        if (it != r.values.end()) out.push_back(it->second);
+    }
+    return out;
+}
+
+std::vector<std::string> Dataset::keys() const {
+    std::set<std::string> k;
+    for (const Row& r : rows_)
+        for (const auto& [key, _] : r.values) k.insert(key);
+    return {k.begin(), k.end()};
+}
+
+std::string Dataset::to_csv() const {
+    std::ostringstream os;
+    util::CsvWriter w(os);
+    const auto ks = keys();
+    std::vector<std::string> header = {"scenario", "isa", "app", "api"};
+    header.insert(header.end(), ks.begin(), ks.end());
+    w.row(header);
+    for (const Row& r : rows_) {
+        std::vector<std::string> cells = {r.scenario, r.isa, r.app, r.api};
+        for (const auto& k : ks) {
+            const auto it = r.values.find(k);
+            cells.push_back(it == r.values.end() ? "" : std::to_string(it->second));
+        }
+        w.row(cells);
+    }
+    return os.str();
+}
+
+double mean(const std::vector<double>& v) {
+    if (v.empty()) return 0;
+    double s = 0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double stdev(const std::vector<double>& v) {
+    if (v.size() < 2) return 0;
+    const double m = mean(v);
+    double s = 0;
+    for (double x : v) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+    if (x.size() != y.size() || x.size() < 2) return 0;
+    const double mx = mean(x), my = mean(y);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    if (sxx == 0 || syy == 0) return 0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+std::vector<double> ranks(const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+    std::vector<double> r(v.size());
+    std::size_t i = 0;
+    while (i < idx.size()) {
+        std::size_t j = i;
+        while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]]) ++j;
+        const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+        i = j + 1;
+    }
+    return r;
+}
+
+} // namespace
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+    return pearson(ranks(x), ranks(y));
+}
+
+std::vector<Correlation> correlations(const Dataset& d, const std::string& target) {
+    std::vector<Correlation> out;
+    const auto ty = d.column(target);
+    for (const auto& k : d.keys()) {
+        if (k == target) continue;
+        const auto x = d.column(k);
+        if (x.size() != ty.size()) continue;
+        out.push_back({k, pearson(x, ty)});
+    }
+    std::sort(out.begin(), out.end(), [](const Correlation& a, const Correlation& b) {
+        return std::fabs(a.r) > std::fabs(b.r);
+    });
+    return out;
+}
+
+double mismatch(const core::CampaignResult& a, const core::CampaignResult& b) {
+    double m = 0;
+    for (unsigned o = 0; o < core::kOutcomeCount; ++o) {
+        const auto oc = static_cast<core::Outcome>(o);
+        m += std::fabs(a.pct(oc) - b.pct(oc));
+    }
+    return m;
+}
+
+double fb_index(const prof::ProfileData& p, const prof::ProfileData& baseline) {
+    const double base = static_cast<double>(baseline.fb_calls) *
+                        static_cast<double>(baseline.branches);
+    if (base == 0) return 0;
+    return (static_cast<double>(p.fb_calls) * static_cast<double>(p.branches)) / base;
+}
+
+} // namespace serep::mine

@@ -1,0 +1,62 @@
+// Cross-layer data-mining engine (the paper's §3.4 tool, in C++).
+//
+// Joins fault-injection outcome statistics with profiling metrics into one
+// dataset, then mines relationships: Pearson/Spearman correlations, the
+// function-calls x branches "F*B" index of Table 2, and the MPI-vs-OMP
+// mismatch metric of Figures 2c/3c.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "prof/profile.hpp"
+
+namespace serep::mine {
+
+/// One scenario's joined record.
+struct Row {
+    std::string scenario, isa, app, api;
+    unsigned cores = 0;
+    std::map<std::string, double> values;
+};
+
+class Dataset {
+public:
+    void add(const core::CampaignResult& fi, const prof::ProfileData& prof);
+    void add_row(Row r) { rows_.push_back(std::move(r)); }
+
+    const std::vector<Row>& rows() const noexcept { return rows_; }
+    /// Column values for rows that contain `key` (ordered by row).
+    std::vector<double> column(const std::string& key) const;
+    /// All metric keys present in at least one row.
+    std::vector<std::string> keys() const;
+
+    std::string to_csv() const;
+
+private:
+    std::vector<Row> rows_;
+};
+
+// ---- statistics ----
+double mean(const std::vector<double>& v);
+double stdev(const std::vector<double>& v);
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+struct Correlation {
+    std::string key;
+    double r = 0;
+};
+/// Correlations of every metric against `target`, sorted by |r| descending.
+std::vector<Correlation> correlations(const Dataset& d, const std::string& target);
+
+/// Paper's mismatch metric: sum of absolute per-category percentage
+/// differences between two campaigns (Figures 2c/3c).
+double mismatch(const core::CampaignResult& a, const core::CampaignResult& b);
+
+/// Table 2's index: (function calls x branches), normalized to a baseline.
+double fb_index(const prof::ProfileData& p, const prof::ProfileData& baseline);
+
+} // namespace serep::mine

@@ -1,0 +1,374 @@
+#include "npb/common.hpp"
+
+#include "os/abi.hpp"
+#include "util/check.hpp"
+
+namespace serep::npb {
+
+using isa::Cond;
+using kasm::Assembler;
+using kasm::Label;
+using kasm::ModTag;
+using kasm::Reg;
+
+const Params& params_for(Klass k) noexcept {
+    static const Params mini{
+        /*ep*/ 160,
+        /*is*/ 512, 64,
+        /*cg*/ 6, 3,
+        /*mg*/ 5, 2,
+        /*ft*/ 4, 1,
+        /*lu*/ 8, 2,
+        /*sp*/ 8, 2,
+        /*bt*/ 6, 2,
+        /*dt*/ 8, 32,
+        /*dc*/ 384,
+        /*ua*/ 96, 192, 2,
+    };
+    static const Params s{
+        /*ep*/ 1024,
+        /*is*/ 4096, 256,
+        /*cg*/ 12, 5,
+        /*mg*/ 8, 4,
+        /*ft*/ 8, 1,
+        /*lu*/ 20, 2,
+        /*sp*/ 18, 2,
+        /*bt*/ 12, 2,
+        /*dt*/ 8, 256,
+        /*dc*/ 4096,
+        /*ua*/ 512, 1024, 3,
+    };
+    static const Params w{
+        /*ep*/ 4096,
+        /*is*/ 16384, 512,
+        /*cg*/ 20, 8,
+        /*mg*/ 12, 6,
+        /*ft*/ 8, 3,
+        /*lu*/ 32, 3,
+        /*sp*/ 28, 3,
+        /*bt*/ 18, 3,
+        /*dt*/ 8, 1024,
+        /*dc*/ 16384,
+        /*ua*/ 1024, 2048, 4,
+    };
+    if (k == Klass::W) return w;
+    return k == Klass::Mini ? mini : s;
+}
+
+void emit_common_data(Assembler& a) {
+    const char ok[] = "VERIFICATION SUCCESSFUL\n";
+    const char bad[] = "VERIFICATION FAILED\n";
+    const char cs[] = "CHECKSUM ";
+    a.data_sym("vs_ok", a.udata().bytes(ok, sizeof(ok) - 1));
+    a.data_sym("vs_bad", a.udata().bytes(bad, sizeof(bad) - 1));
+    a.data_sym("vs_cs", a.udata().bytes(cs, sizeof(cs) - 1));
+    a.udata().align(8);
+    a.data_sym("np_partials", a.udata().reserve(8 * 8));
+    a.data_sym("np_partials_r", a.udata().reserve(8 * 8));
+    a.data_sym("np_upartials", a.udata().reserve(8 * 8));
+}
+
+void Ctx::main_prologue() {
+    if (api == Api::MPI) {
+        a.bl("mpi_init"); // rank/size still in r0/r1 at main entry
+    } else if (api == Api::OMP) {
+        a.bl("omp_init");
+    }
+}
+
+void Ctx::run_phase(const char* fn, std::int64_t arg) {
+    switch (api) {
+        case Api::Serial:
+            a.movi(0, arg);
+            a.movi(1, 0);
+            a.movi(2, 1);
+            a.bl(fn);
+            break;
+        case Api::OMP:
+            a.movi_sym(0, fn);
+            a.movi(1, arg);
+            a.bl("omp_parallel");
+            break;
+        case Api::MPI:
+            a.movi(0, arg);
+            a.movi_sym(1, "mpi_rank");
+            a.ldr(1, 1, 0);
+            a.movi_sym(2, "mpi_size");
+            a.ldr(2, 2, 0);
+            a.bl(fn);
+            break;
+    }
+}
+
+void Ctx::emit_print_sym(const char* sym, unsigned len) {
+    a.movi_sym(0, sym);
+    a.movi(1, len);
+    a.svc(os::SYS_WRITE);
+}
+
+void Ctx::skip_unless_rank0_begin(Label& skip) {
+    if (api == Api::MPI) {
+        a.movi_sym(12, "mpi_rank");
+        a.ldr(12, 12, 0);
+        a.cmpi(12, 0);
+        a.b(Cond::NE, skip);
+    }
+}
+
+void Ctx::verify_f64(kgen::FV cs, double expected, double rel_tol) {
+    const double bound = rel_tol * (expected == 0.0 ? 1.0 : expected);
+    const double bound2 = bound * bound;
+    auto skip = a.newl(), fail = a.newl(), done = a.newl();
+    skip_unless_rank0_begin(skip);
+    // print "CHECKSUM <hex bits>"
+    emit_print_sym("vs_cs", 9);
+    if (g.v7) {
+        a.ldr(0, a.sp(), static_cast<std::int64_t>(cs.id) * 8);
+        a.ldr(1, a.sp(), static_cast<std::int64_t>(cs.id) * 8 + 4);
+    } else {
+        a.fmovvx(0, g.vreg(cs));
+    }
+    a.bl("rt_print_hex");
+    // (cs - expected)^2 <= bound2 ?
+    auto d = g.fv(), r = g.fv();
+    g.fli(r, expected);
+    g.fsub(d, cs, r);
+    g.fmul(d, d, d);
+    g.fli(r, bound2);
+    g.fcmp(d, r);
+    a.b(Cond::GT, fail);
+    emit_print_sym("vs_ok", 24);
+    a.b(done);
+    a.bind(fail);
+    emit_print_sym("vs_bad", 20);
+    a.bind(done);
+    g.ffree(d);
+    g.ffree(r);
+    a.bind(skip);
+}
+
+void Ctx::verify_u32(Reg cs, std::uint32_t expected) {
+    auto skip = a.newl(), fail = a.newl(), done = a.newl();
+    skip_unless_rank0_begin(skip);
+    emit_print_sym("vs_cs", 9);
+    a.mov(0, cs);
+    if (!g.v7) a.andi(0, 0, 0xFFFFFFFFu);
+    a.bl("rt_print_dec");
+    a.movi(12, expected);
+    if (!g.v7) a.andi(cs, cs, 0xFFFFFFFFu);
+    a.cmp(cs, 12);
+    a.b(Cond::NE, fail);
+    emit_print_sym("vs_ok", 24);
+    a.b(done);
+    a.bind(fail);
+    emit_print_sym("vs_bad", 20);
+    a.bind(done);
+    a.bind(skip);
+}
+
+void Ctx::fill_f64(const char* sym, unsigned n, std::uint32_t seed, double scale) {
+    const auto i = g.ivar(), b = g.ivar(), s = g.ivar();
+    auto f = g.fv();
+    a.movi_sym(b, sym);
+    g.for_up_imm(i, 0, n, [&] {
+        a.movi(s, 2654435761);
+        a.mul(s, i, s);
+        a.movi(12, seed);
+        a.add(s, s, 12);
+        if (!g.v7) a.andi(s, s, 0xFFFFFFFFu);
+        g.lcg_step(s);
+        a.lsri(s, s, 8);
+        a.andi(s, s, 0xFFFFFF);
+        g.i2f(f, s);
+        auto sc = g.fv();
+        g.fli(sc, scale / 16777216.0);
+        g.fmul(f, f, sc);
+        g.ffree(sc);
+        g.fst(f, b, i);
+    });
+    g.ffree(f);
+    g.release(i);
+    g.release(b);
+    g.release(s);
+}
+
+void Ctx::combine_partials_f64(kgen::FV cs, const char* partial_sym) {
+    if (api == Api::Serial) {
+        const auto b = g.ivar();
+        a.movi_sym(b, partial_sym);
+        g.fld_imm(cs, b, 0);
+        g.release(b);
+        return;
+    }
+    if (api == Api::OMP) {
+        const auto b = g.ivar(), i = g.ivar(), nth = g.ivar();
+        auto t = g.fv();
+        a.movi_sym(nth, "omp_nth");
+        a.ldr(nth, nth, 0);
+        a.movi_sym(b, partial_sym);
+        g.fli(cs, 0.0);
+        g.for_up(i, 0, nth, [&] {
+            g.fld(t, b, i);
+            g.fadd(cs, cs, t);
+        });
+        g.ffree(t);
+        g.release(b);
+        g.release(i);
+        g.release(nth);
+        return;
+    }
+    // MPI: rank r wrote partials[r] (zeros elsewhere in its private copy);
+    // allreduce all 8 slots elementwise, then sum them locally.
+    a.movi_sym(0, partial_sym);
+    a.movi_sym(1, "np_partials_r");
+    a.movi(2, 8);
+    a.bl("mpi_allreduce_f64");
+    const auto b = g.ivar(), i = g.ivar();
+    auto t = g.fv();
+    a.movi_sym(b, "np_partials_r");
+    g.fli(cs, 0.0);
+    g.for_up_imm(i, 0, 8, [&] {
+        g.fld(t, b, i);
+        g.fadd(cs, cs, t);
+    });
+    g.ffree(t);
+    g.release(b);
+    g.release(i);
+}
+
+void Ctx::allgather(const char* sym, unsigned nrows, unsigned row_bytes) {
+    if (api != Api::MPI) return;
+    const auto root = g.ivar(), lo = g.ivar(), hi = g.ivar(), n = g.ivar(),
+               size = g.ivar();
+    a.movi_sym(size, "mpi_size");
+    a.ldr(size, size, 0);
+    g.for_up(root, 0, size, [&] {
+        a.movi(n, nrows);
+        g.par_bounds(lo, hi, n, root, size);
+        a.sub(hi, hi, lo); // rows in this block
+        a.movi(n, row_bytes);
+        a.mul(hi, hi, n);  // bytes
+        a.mul(lo, lo, n);  // offset
+        a.movi_sym(0, sym);
+        a.add(0, 0, lo);
+        a.mov(1, hi);
+        a.mov(2, root);
+        a.bl("mpi_bcast");
+    });
+    g.release(root);
+    g.release(lo);
+    g.release(hi);
+    g.release(n);
+    g.release(size);
+}
+
+void Ctx::halo_exchange(const char* sym, unsigned nrows, unsigned row_bytes) {
+    if (api != Api::MPI) return;
+    const auto rank = g.ivar(), size = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+               chunk = g.ivar(), t = g.ivar();
+    a.movi_sym(rank, "mpi_rank");
+    a.ldr(rank, rank, 0);
+    a.movi_sym(size, "mpi_size");
+    a.ldr(size, size, 0);
+    a.movi(lo, nrows);
+    a.mov(12, lo);
+    g.par_bounds(lo, hi, 12, rank, size);
+    // chunk = ceil(nrows / size): plane p is owned by rank p / chunk
+    a.movi(chunk, nrows);
+    a.add(chunk, chunk, size);
+    a.subi(chunk, chunk, 1);
+    g.idiv(chunk, chunk, size);
+    auto empty = a.newl();
+    a.cmp(lo, hi);
+    a.b(Cond::GE, empty);
+    // sends first (channels are buffered), then receives
+    for (int phase = 0; phase < 2; ++phase) {
+        auto no_low = a.newl(), no_high = a.newl();
+        // low edge: neighbour owns row lo-1
+        a.cmpi(lo, 0);
+        a.b(Cond::EQ, no_low);
+        a.subi(t, lo, 1);
+        g.idiv(0, t, chunk); // partner rank
+        if (phase == 0) {
+            a.movi_sym(1, sym);
+            a.movi(2, row_bytes);
+            a.mul(3, lo, 2);
+            a.add(1, 1, 3); // my lowest row
+        } else {
+            a.movi_sym(1, sym);
+            a.movi(2, row_bytes);
+            a.mul(3, t, 2);
+            a.add(1, 1, 3); // halo slot lo-1
+        }
+        a.bl(phase == 0 ? "mpi_send" : "mpi_recv");
+        a.bind(no_low);
+        // high edge: neighbour owns row hi
+        a.cmpi(hi, nrows);
+        a.b(Cond::GE, no_high);
+        g.idiv(0, hi, chunk);
+        a.movi_sym(1, sym);
+        a.movi(2, row_bytes);
+        if (phase == 0) {
+            a.subi(t, hi, 1);
+            a.mul(3, t, 2);
+        } else {
+            a.mul(3, hi, 2);
+        }
+        a.add(1, 1, 3);
+        a.bl(phase == 0 ? "mpi_send" : "mpi_recv");
+        a.bind(no_high);
+    }
+    a.bind(empty);
+    g.release(rank);
+    g.release(size);
+    g.release(lo);
+    g.release(hi);
+    g.release(chunk);
+    g.release(t);
+}
+
+void Ctx::combine_partials_u32(Reg cs, const char* partial_sym) {
+    if (api == Api::Serial) {
+        a.movi_sym(cs, partial_sym);
+        a.ldr(cs, cs, 0);
+        return;
+    }
+    if (api == Api::OMP) {
+        const auto b = g.ivar(), i = g.ivar(), nth = g.ivar();
+        a.movi_sym(nth, "omp_nth");
+        a.ldr(nth, nth, 0);
+        a.movi_sym(b, partial_sym);
+        a.movi(cs, 0);
+        g.for_up(i, 0, nth, [&] {
+            a.ldr_word_idx(12, b, i);
+            a.add(cs, cs, 12);
+        });
+        if (!g.v7) a.andi(cs, cs, 0xFFFFFFFFu);
+        g.release(b);
+        g.release(i);
+        g.release(nth);
+        return;
+    }
+    // MPI: word partial at offset 0 (stored as u32), reduce + bcast
+    a.movi_sym(0, partial_sym);
+    a.movi_sym(1, partial_sym);
+    a.addi(1, 1, 8);
+    a.movi(2, 1);
+    a.movi(3, 0);
+    a.bl("mpi_reduce_u32");
+    a.movi_sym(0, partial_sym);
+    a.addi(0, 0, 8);
+    a.movi(1, 4);
+    a.movi(2, 0);
+    a.bl("mpi_bcast");
+    a.movi_sym(cs, partial_sym);
+    a.ldr(12, cs, 8);
+    if (g.v7) {
+        a.mov(cs, 12);
+    } else {
+        a.movi(0, 0xFFFFFFFFu);
+        a.and_(cs, 12, 0);
+    }
+}
+
+} // namespace serep::npb

@@ -1,0 +1,127 @@
+// Shared infrastructure for the NPB kernel emitters (internal header).
+#pragma once
+
+#include <cstdint>
+
+#include "kasm/assembler.hpp"
+#include "kgen/kgen.hpp"
+#include "npb/npb.hpp"
+
+namespace serep::npb {
+
+/// Per-class workload sizes.
+struct Params {
+    unsigned ep_n;
+    unsigned is_n, is_buckets;
+    unsigned cg_g, cg_iters;      // grid g, matrix n = g*g
+    unsigned mg_m, mg_sweeps;     // cube edge m
+    unsigned ft_m, ft_iters;
+    unsigned lu_n, lu_iters;
+    unsigned sp_n, sp_iters;
+    unsigned bt_n, bt_iters;
+    unsigned dt_vnodes, dt_words; // virtual task nodes, words per block
+    unsigned dc_n;
+    unsigned ua_nodes, ua_elems, ua_iters;
+};
+
+const Params& params_for(Klass k) noexcept;
+
+/// Host mirror of the guest 32-bit LCG.
+constexpr std::uint32_t lcg(std::uint32_t x) noexcept {
+    return x * 1103515245u + 12345u;
+}
+/// Per-index derived seed (identical in guest emitters).
+constexpr std::uint32_t seed_at(std::uint32_t seed, std::uint32_t i) noexcept {
+    return (seed + i * 2654435761u);
+}
+/// Canonical double in [0, 1) from an LCG state (guest mirrors this).
+constexpr double unit_double(std::uint32_t s) noexcept {
+    return static_cast<double>((s >> 8) & 0xFFFFFF) * (1.0 / 16777216.0);
+}
+
+/// Emission context shared by all kernels.
+struct Ctx {
+    kasm::Assembler& a;
+    kgen::KGen g;
+    Api api;
+    const Params& P;
+
+    Ctx(kasm::Assembler& a, Api api, const Params& p, kgen::CodegenOptions opts = {})
+        : a(a), g(a, opts), api(api), P(p) {}
+
+    /// Call phase function `fn(arg, tid, nth)` according to the API:
+    /// serial -> (arg, 0, 1); OMP -> team via omp_parallel; MPI -> (arg,
+    /// rank, size) directly on every rank.
+    void run_phase(const char* fn, std::int64_t arg = 0);
+
+    /// Emit the API prologue in main (mpi_init / omp_init).
+    void main_prologue();
+
+    /// Verification tail (main thread / rank 0 prints; everyone exits 0):
+    /// |cs - expected|^2 <= bound2 using guest FP only.
+    void verify_f64(kgen::FV cs, double expected, double rel_tol = 1e-8);
+    void verify_u32(kasm::Reg cs, std::uint32_t expected);
+
+    /// Guest loop filling `n` doubles at symbol `sym` with
+    /// unit_double(lcg(seed_at(seed, i))) * scale. Replicated on all ranks.
+    void fill_f64(const char* sym, unsigned n, std::uint32_t seed, double scale);
+    /// Host mirror for references.
+    static double fill_value(std::uint32_t seed, std::uint32_t i, double scale) {
+        return unit_double(lcg(seed_at(seed, i))) * scale;
+    }
+
+    /// Reduce a per-thread/rank partial FP sum into `cs`:
+    ///  * Serial: cs = partials[0]
+    ///  * OMP: cs = sum of omp_partials[0..nth)
+    ///  * MPI: each rank wrote partials[0]; allreduce -> cs (all ranks)
+    /// `partial_sym` must have 8 doubles of space.
+    void combine_partials_f64(kgen::FV cs, const char* partial_sym);
+
+    /// Same for u32 partials at `partial_sym` (8 words, u32 each).
+    void combine_partials_u32(kasm::Reg cs, const char* partial_sym);
+
+    /// MPI only (no-op otherwise): make every rank's row-partition of
+    /// `sym` visible everywhere (rotating bcast; partition = par_bounds
+    /// over nrows, matching what the compute phases used).
+    void allgather(const char* sym, unsigned nrows, unsigned row_bytes);
+
+    /// MPI only (no-op otherwise): exchange only the boundary rows/planes
+    /// of each rank's par_bounds partition with the owning neighbours —
+    /// the halo pattern real stencil codes use (O(surface) traffic instead
+    /// of allgather's O(volume)). Requires a +/-1-row stencil.
+    void halo_exchange(const char* sym, unsigned nrows, unsigned row_bytes);
+
+private:
+    void emit_print_sym(const char* sym, unsigned len);
+    void skip_unless_rank0_begin(kasm::Label& skip);
+};
+
+/// Common data symbols every program gets (verification strings, partials).
+void emit_common_data(kasm::Assembler& a);
+
+// Kernel emitters: emit all functions + the body of main (after prologue);
+// each ends with verification and SYS_EXIT(0). Host reference mirrors.
+void emit_ep(Ctx& c);
+double ref_ep(const Params& p);
+void emit_is(Ctx& c);
+std::uint32_t ref_is(const Params& p);
+void emit_cg(Ctx& c);
+double ref_cg(const Params& p);
+void emit_mg(Ctx& c);
+double ref_mg(const Params& p);
+void emit_ft(Ctx& c);
+double ref_ft(const Params& p);
+void emit_lu(Ctx& c);
+double ref_lu(const Params& p);
+void emit_sp(Ctx& c);
+double ref_sp(const Params& p);
+void emit_bt(Ctx& c);
+double ref_bt(const Params& p);
+void emit_dt(Ctx& c);
+std::uint32_t ref_dt(const Params& p);
+void emit_dc(Ctx& c);
+std::uint32_t ref_dc(const Params& p);
+void emit_ua(Ctx& c);
+double ref_ua(const Params& p);
+
+} // namespace serep::npb

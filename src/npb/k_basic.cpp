@@ -1,0 +1,838 @@
+// EP, IS, DC, DT, UA kernels (+ host reference checksums).
+#include <vector>
+
+#include "npb/common.hpp"
+#include "os/abi.hpp"
+
+namespace serep::npb {
+
+using isa::Cond;
+using kasm::Label;
+using kasm::ModTag;
+using kasm::Reg;
+
+namespace {
+
+/// 32-bit load/store helpers (u32 arrays are 4-byte on both profiles).
+void ld32_idx(Ctx& c, Reg rd, Reg base, Reg idx) {
+    if (c.g.v7) c.a.ldr_idx(rd, base, idx, 2);
+    else c.a.ldrw_idx(rd, base, idx, 2);
+}
+void st32_idx(Ctx& c, Reg rd, Reg base, Reg idx) {
+    if (c.g.v7) c.a.str_idx(rd, base, idx, 2);
+    else c.a.strw_idx(rd, base, idx, 2);
+}
+void ld32(Ctx& c, Reg rd, Reg base, std::int64_t off) {
+    if (c.g.v7) c.a.ldr(rd, base, off);
+    else c.a.ldrw(rd, base, off);
+}
+void st32(Ctx& c, Reg rd, Reg base, std::int64_t off) {
+    if (c.g.v7) c.a.str(rd, base, off);
+    else c.a.strw(rd, base, off);
+}
+
+/// s = lcg(seed_at(seed, i)) — mirrors Ctx::fill_value's integer part.
+void emit_seeded_lcg(Ctx& c, Reg s, Reg i, std::uint32_t seed) {
+    c.a.movi(s, 2654435761);
+    c.a.mul(s, i, s);
+    c.a.movi(12, seed);
+    c.a.add(s, s, 12);
+    if (!c.g.v7) c.a.andi(s, s, 0xFFFFFFFFu);
+    c.g.lcg_step(s);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- EP
+
+void emit_ep(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned n = c.P.ep_n;
+    auto to_main = a.newl();
+    a.b(to_main);
+
+    a.func("ep_body", ModTag::APP);
+    {
+        g.enter_frame(6);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), s = g.ivar(), cnt = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(lo, n);
+        a.mov(12, lo);
+        g.par_bounds(lo, hi, 12, tid, nth);
+        auto x = g.fv(), y = g.fv(), t = g.fv(), one = g.fv(), ssum = g.fv();
+        g.fli(ssum, 0.0);
+        g.fli(one, 1.0);
+        a.movi(cnt, 0);
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl(), rej = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            emit_seeded_lcg(c, s, i, 77);
+            a.lsri(12, s, 8);
+            a.andi(12, 12, 0xFFFFFF);
+            g.i2f(x, 12);
+            auto sc = g.fv();
+            g.fli(sc, 2.0 / 16777216.0);
+            g.fmul(x, x, sc);
+            g.fsub(x, x, one);
+            g.lcg_step(s);
+            a.lsri(12, s, 8);
+            a.andi(12, 12, 0xFFFFFF);
+            g.i2f(y, 12);
+            g.fmul(y, y, sc);
+            g.ffree(sc);
+            g.fsub(y, y, one);
+            g.fmul(t, x, x);
+            g.fmac(t, y, y);
+            g.fcmp(t, one);
+            a.b(Cond::GT, rej);
+            g.fadd(ssum, ssum, t);
+            a.addi(cnt, cnt, 1);
+            a.bind(rej);
+            a.bind(skip);
+        });
+        // partial = ssum + (double)cnt
+        g.i2f(x, cnt);
+        g.fadd(ssum, ssum, x);
+        const auto b = g.ivar();
+        a.movi_sym(b, "np_partials");
+        g.fst(ssum, b, tid);
+        g.ffree(x);
+        g.ffree(y);
+        g.ffree(t);
+        g.ffree(one);
+        g.ffree(ssum);
+        g.leave_frame();
+        a.ret();
+    }
+
+    a.bind(to_main);
+    g.enter_frame(6);
+    c.run_phase("ep_body");
+    auto cs = g.fv();
+    c.combine_partials_f64(cs, "np_partials");
+    c.verify_f64(cs, ref_ep(c.P));
+    g.ffree(cs);
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+double ref_ep(const Params& p) {
+    double ssum = 0;
+    std::uint32_t cnt = 0;
+    for (std::uint32_t i = 0; i < p.ep_n; ++i) {
+        std::uint32_t s = lcg(seed_at(77, i));
+        const double x =
+            static_cast<double>((s >> 8) & 0xFFFFFF) * (2.0 / 16777216.0) - 1.0;
+        s = lcg(s);
+        const double y =
+            static_cast<double>((s >> 8) & 0xFFFFFF) * (2.0 / 16777216.0) - 1.0;
+        const double t = x * x + y * y;
+        if (t <= 1.0) {
+            ssum += t;
+            ++cnt;
+        }
+    }
+    return ssum + cnt;
+}
+
+// ---------------------------------------------------------------- IS
+
+void emit_is(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned n = c.P.is_n, B = c.P.is_buckets;
+    a.udata().align(8);
+    a.data_sym("is_keys", a.udata().reserve(4 * n));
+    a.data_sym("is_hist", a.udata().reserve(4 * B));
+    a.data_sym("is_hist_t", a.udata().reserve(4 * B * 8));
+    a.data_sym("is_prefix", a.udata().reserve(4 * B));
+    auto to_main = a.newl();
+    a.b(to_main);
+
+    // generate my slice of keys
+    a.func("is_gen", ModTag::APP);
+    {
+        g.enter_frame(0);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), s = g.ivar(), b = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(s, n);
+        g.par_bounds(lo, hi, s, tid, nth);
+        a.movi_sym(b, "is_keys");
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            emit_seeded_lcg(c, s, i, 13);
+            a.lsri(s, s, 8);
+            a.andi(s, s, B - 1);
+            st32_idx(c, s, b, i);
+            a.bind(skip);
+        });
+        g.leave_frame();
+        a.ret();
+    }
+
+    // local histogram of my slice into is_hist_t[tid]
+    a.func("is_hist_phase", ModTag::APP);
+    {
+        g.enter_frame(0);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), k = g.ivar(), hb = g.ivar(), kb = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, n);
+        g.par_bounds(lo, hi, i, tid, nth);
+        a.movi_sym(hb, "is_hist_t");
+        a.movi(12, 4 * B);
+        a.mul(k, tid, 12);
+        a.add(hb, hb, k); // my local table
+        // zero it
+        g.for_up_imm(i, 0, B, [&] {
+            a.movi(12, 0);
+            st32_idx(c, 12, hb, i);
+        });
+        a.movi_sym(kb, "is_keys");
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            ld32_idx(c, k, kb, i);
+            ld32_idx(c, 12, hb, k);
+            a.addi(12, 12, 1);
+            st32_idx(c, 12, hb, k);
+            a.bind(skip);
+        });
+        g.leave_frame();
+        a.ret();
+    }
+
+    // checksum: sum of prefix[key] over my keys
+    a.func("is_rank_phase", ModTag::APP);
+    {
+        g.enter_frame(0);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), k = g.ivar(), sum = g.ivar(), b = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, n);
+        g.par_bounds(lo, hi, i, tid, nth);
+        a.movi(sum, 0);
+        a.movi_sym(b, "is_keys");
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            ld32_idx(c, k, b, i);
+            a.movi_sym(12, "is_prefix");
+            if (c.g.v7) a.ldr_idx(k, 12, k, 2);
+            else a.ldrw_idx(k, 12, k, 2);
+            a.add(sum, sum, k);
+            a.bind(skip);
+        });
+        if (!g.v7) a.andi(sum, sum, 0xFFFFFFFFu);
+        a.movi_sym(b, "np_upartials");
+        if (c.api == Api::MPI) {
+            st32(c, sum, b, 0);
+        } else {
+            a.str_word_idx(sum, b, tid);
+        }
+        g.leave_frame();
+        a.ret();
+    }
+
+    a.bind(to_main);
+    g.enter_frame(4);
+    c.run_phase("is_gen");
+    c.run_phase("is_hist_phase");
+    {
+        // merge local histograms into is_hist (serial section / reduction)
+        const auto i = g.ivar(), t = g.ivar(), hb = g.ivar(), gb = g.ivar(),
+                   nth = g.ivar();
+        if (c.api == Api::MPI) {
+            // my local table is at is_hist_t + rank*4B
+            a.movi_sym(0, "is_hist_t");
+            a.movi_sym(12, "mpi_rank");
+            a.ldr(12, 12, 0);
+            a.movi(1, 4 * B);
+            a.mul(12, 12, 1);
+            a.add(0, 0, 12);
+            a.movi_sym(1, "is_hist");
+            a.movi(2, B);
+            a.movi(3, 0);
+            a.bl("mpi_reduce_u32");
+            a.movi_sym(0, "is_hist");
+            a.movi(1, 4 * B);
+            a.movi(2, 0);
+            a.bl("mpi_bcast");
+        } else {
+            if (c.api == Api::OMP) {
+                a.movi_sym(nth, "omp_nth");
+                a.ldr(nth, nth, 0);
+            } else {
+                a.movi(nth, 1);
+            }
+            a.movi_sym(gb, "is_hist");
+            g.for_up_imm(i, 0, B, [&] {
+                a.movi(12, 0);
+                st32_idx(c, 12, gb, i);
+            });
+            // accumulate: for b in [0,B): for t: hist[b] += hist_t[t][b]
+            g.for_up_imm(i, 0, B, [&] {
+                a.movi(12, 0);
+                a.mov(hb, 12);
+                g.for_up(t, 0, nth, [&] {
+                    a.movi_sym(12, "is_hist_t");
+                    a.movi(hb, 4 * B); // careful: hb reused as scratch
+                    a.mul(hb, t, hb);
+                    a.add(12, 12, hb);
+                    ld32_idx(c, hb, 12, i);
+                    ld32_idx(c, 12, gb, i);
+                    a.add(12, 12, hb);
+                    st32_idx(c, 12, gb, i);
+                });
+            });
+        }
+        // prefix sums (everyone computes the same result)
+        a.movi_sym(gb, "is_hist");
+        a.movi_sym(hb, "is_prefix");
+        a.movi(t, 0); // running
+        g.for_up_imm(i, 0, B, [&] {
+            st32_idx(c, t, hb, i);
+            ld32_idx(c, 12, gb, i);
+            a.add(t, t, 12);
+            if (!g.v7) a.andi(t, t, 0xFFFFFFFFu);
+        });
+        g.release(i);
+        g.release(t);
+        g.release(hb);
+        g.release(gb);
+        g.release(nth);
+    }
+    c.run_phase("is_rank_phase");
+    {
+        const auto cs = g.ivar();
+        c.combine_partials_u32(cs, "np_upartials");
+        c.verify_u32(cs, ref_is(c.P));
+        g.release(cs);
+    }
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+std::uint32_t ref_is(const Params& p) {
+    const unsigned n = p.is_n, B = p.is_buckets;
+    std::vector<std::uint32_t> keys(n), hist(B, 0), prefix(B, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        keys[i] = (lcg(seed_at(13, i)) >> 8) & (B - 1);
+        hist[keys[i]]++;
+    }
+    std::uint32_t run = 0;
+    for (unsigned b = 0; b < B; ++b) {
+        prefix[b] = run;
+        run += hist[b];
+    }
+    std::uint32_t cs = 0;
+    for (std::uint32_t i = 0; i < n; ++i) cs += prefix[keys[i]];
+    return cs;
+}
+
+// ---------------------------------------------------------------- DC
+
+void emit_dc(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned n = c.P.dc_n;
+    constexpr unsigned T1 = 16, T2 = 128, T3 = 512, TT = T1 + T2 + T3;
+    a.udata().align(8);
+    a.data_sym("dc_tab", a.udata().reserve(4 * TT));      // merged tables
+    a.data_sym("dc_tab_t", a.udata().reserve(4 * TT * 8)); // per-thread
+    auto to_main = a.newl();
+    a.b(to_main);
+
+    a.func("dc_scan", ModTag::APP);
+    {
+        g.enter_frame(0);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), s = g.ivar(), tb = g.ivar(), v = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, n);
+        g.par_bounds(lo, hi, i, tid, nth);
+        a.movi_sym(tb, "dc_tab_t");
+        a.movi(12, 4 * TT);
+        a.mul(v, tid, 12);
+        a.add(tb, tb, v);
+        g.for_up_imm(i, 0, TT, [&] {
+            a.movi(12, 0);
+            st32_idx(c, 12, tb, i);
+        });
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            emit_seeded_lcg(c, s, i, 41);
+            a.andi(v, s, 255); // measure value
+            // group keys: a = s>>8 & 15, b = s>>12 & 7, cc = s>>15 & 3
+            a.lsri(12, s, 8);
+            a.andi(12, 12, 15);
+            // t1[a] += v
+            ld32_idx(c, 3, tb, 12);
+            a.add(3, 3, v);
+            st32_idx(c, 3, tb, 12);
+            // t2 index = T1 + a*8 + (s>>12 & 7)
+            a.lsli(12, 12, 3);
+            a.lsri(3, s, 12);
+            a.andi(3, 3, 7);
+            a.add(12, 12, 3);
+            a.addi(12, 12, T1);
+            ld32_idx(c, 3, tb, 12);
+            a.add(3, 3, v);
+            st32_idx(c, 3, tb, 12);
+            // t3 index = T1+T2 + ((a*8+b)*4 + (s>>15 & 3))
+            a.subi(12, 12, T1);
+            a.lsli(12, 12, 2);
+            a.lsri(3, s, 15);
+            a.andi(3, 3, 3);
+            a.add(12, 12, 3);
+            a.addi(12, 12, T1 + T2);
+            ld32_idx(c, 3, tb, 12);
+            a.add(3, 3, v);
+            st32_idx(c, 3, tb, 12);
+            a.bind(skip);
+        });
+        g.leave_frame();
+        a.ret();
+    }
+
+    a.bind(to_main);
+    g.enter_frame(4);
+    c.run_phase("dc_scan");
+    {
+        const auto i = g.ivar(), t = g.ivar(), gb = g.ivar(), nth = g.ivar(),
+                   acc = g.ivar(), cs = g.ivar();
+        if (c.api == Api::OMP) {
+            a.movi_sym(nth, "omp_nth");
+            a.ldr(nth, nth, 0);
+        } else {
+            a.movi(nth, 1);
+        }
+        a.movi_sym(gb, "dc_tab");
+        a.movi(cs, 0);
+        g.for_up_imm(i, 0, TT, [&] {
+            a.movi(acc, 0);
+            g.for_up(t, 0, nth, [&] {
+                a.movi_sym(12, "dc_tab_t");
+                a.movi(3, 4 * TT);
+                a.mul(3, t, 3);
+                a.add(12, 12, 3);
+                ld32_idx(c, 3, 12, i);
+                a.add(acc, acc, 3);
+            });
+            st32_idx(c, acc, gb, i);
+            a.addi(12, i, 1);
+            a.mul(12, 12, acc);
+            a.add(cs, cs, 12);
+            if (!g.v7) a.andi(cs, cs, 0xFFFFFFFFu);
+        });
+        c.verify_u32(cs, ref_dc(c.P));
+        g.release(i);
+        g.release(t);
+        g.release(gb);
+        g.release(nth);
+        g.release(acc);
+        g.release(cs);
+    }
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+std::uint32_t ref_dc(const Params& p) {
+    constexpr unsigned T1 = 16, T2 = 128, T3 = 512, TT = T1 + T2 + T3;
+    std::vector<std::uint32_t> tab(TT, 0);
+    for (std::uint32_t i = 0; i < p.dc_n; ++i) {
+        const std::uint32_t s = lcg(seed_at(41, i));
+        const std::uint32_t v = s & 255;
+        const std::uint32_t ka = (s >> 8) & 15, kb = (s >> 12) & 7,
+                            kc = (s >> 15) & 3;
+        tab[ka] += v;
+        tab[T1 + ka * 8 + kb] += v;
+        tab[T1 + T2 + (ka * 8 + kb) * 4 + kc] += v;
+    }
+    std::uint32_t cs = 0;
+    for (unsigned i = 0; i < TT; ++i) cs += (i + 1) * tab[i];
+    return cs;
+}
+
+// ---------------------------------------------------------------- DT
+
+void emit_dt(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned V = c.P.dt_vnodes, W = c.P.dt_words;
+    a.udata().align(8);
+    a.data_sym("dt_buf", a.udata().reserve(4 * W));
+    auto to_main = a.newl();
+    a.b(to_main);
+
+    // fold one block seeded by pair id (r0 = pair id, buf optional):
+    // generate into dt_buf and return fold in r0.
+    a.func("dt_genfold", ModTag::APP);
+    {
+        g.enter_frame(0);
+        const auto pid = g.ivar(), i = g.ivar(), s = g.ivar(), f = g.ivar(),
+                   b = g.ivar();
+        a.mov(pid, 0);
+        a.movi(12, 2654435761);
+        a.mul(s, pid, 12);
+        a.movi(12, 97);
+        a.add(s, s, 12);
+        if (!g.v7) a.andi(s, s, 0xFFFFFFFFu);
+        a.movi(f, 0);
+        a.movi_sym(b, "dt_buf");
+        g.for_up_imm(i, 0, W, [&] {
+            g.lcg_step(s);
+            st32_idx(c, s, b, i);
+            a.eor(12, s, i);
+            a.add(f, f, 12);
+            if (!g.v7) a.andi(f, f, 0xFFFFFFFFu);
+        });
+        a.mov(0, f);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // fold dt_buf (already filled, e.g. received): r0 = fold
+    a.func("dt_fold", ModTag::APP);
+    {
+        g.enter_frame(0);
+        const auto i = g.ivar(), f = g.ivar(), b = g.ivar();
+        a.movi(f, 0);
+        a.movi_sym(b, "dt_buf");
+        g.for_up_imm(i, 0, W, [&] {
+            ld32_idx(c, 12, b, i);
+            a.eor(12, 12, i);
+            a.add(f, f, 12);
+            if (!g.v7) a.andi(f, f, 0xFFFFFFFFu);
+        });
+        a.mov(0, f);
+        g.leave_frame();
+        a.ret();
+    }
+
+    a.bind(to_main);
+    g.enter_frame(2);
+    {
+        const auto i = g.ivar(), j = g.ivar(), cs = g.ivar(), me = g.ivar(),
+                   size = g.ivar(), src = g.ivar(), dst = g.ivar();
+        if (c.api == Api::MPI) {
+            a.movi_sym(me, "mpi_rank");
+            a.ldr(me, me, 0);
+            a.movi_sym(size, "mpi_size");
+            a.ldr(size, size, 0);
+        } else {
+            a.movi(me, 0);
+            a.movi(size, 1);
+        }
+        a.movi(cs, 0);
+        g.for_up_imm(i, 0, V, [&] {
+            g.for_up_imm(j, 0, V, [&] {
+                auto skip = a.newl();
+                a.cmp(i, j);
+                a.b(Cond::EQ, skip);
+                // pair id = i*V + j
+                a.movi(12, V);
+                a.mul(12, i, 12);
+                a.add(12, 12, j);
+                if (c.api != Api::MPI) {
+                    // everything is local traffic
+                    a.mov(0, 12);
+                    a.bl("dt_genfold");
+                    a.add(cs, cs, 0);
+                    if (!g.v7) a.andi(cs, cs, 0xFFFFFFFFu);
+                } else {
+                    auto not_src = a.newl(), done = a.newl();
+                    // src owner = i % size; dst owner = j % size
+                    g.imod(src, i, size);
+                    g.imod(dst, j, size);
+                    a.movi(12, V);
+                    a.mul(12, i, 12);
+                    a.add(12, 12, j);
+                    a.cmp(src, me);
+                    a.b(Cond::NE, not_src);
+                    a.mov(0, 12);
+                    a.bl("dt_genfold");
+                    a.cmp(dst, me);
+                    auto remote = a.newl();
+                    a.b(Cond::NE, remote);
+                    a.add(cs, cs, 0);
+                    if (!g.v7) a.andi(cs, cs, 0xFFFFFFFFu);
+                    a.b(done);
+                    a.bind(remote);
+                    a.mov(0, dst);
+                    a.movi_sym(1, "dt_buf");
+                    a.movi(2, 4 * W);
+                    a.bl("mpi_send");
+                    a.b(done);
+                    a.bind(not_src);
+                    a.cmp(dst, me);
+                    a.b(Cond::NE, done);
+                    a.mov(0, src);
+                    a.movi_sym(1, "dt_buf");
+                    a.movi(2, 4 * W);
+                    a.bl("mpi_recv");
+                    a.bl("dt_fold");
+                    a.add(cs, cs, 0);
+                    if (!g.v7) a.andi(cs, cs, 0xFFFFFFFFu);
+                    a.bind(done);
+                }
+                a.bind(skip);
+            });
+        });
+        // combine across ranks
+        const auto b = g.ivar();
+        a.movi_sym(b, "np_upartials");
+        if (c.api == Api::MPI) {
+            st32(c, cs, b, 0);
+            c.combine_partials_u32(cs, "np_upartials");
+        } else {
+            a.str_word_idx(cs, b, me); // tid 0
+            c.combine_partials_u32(cs, "np_upartials");
+        }
+        c.verify_u32(cs, ref_dt(c.P));
+        g.release(b);
+        g.release(i);
+        g.release(j);
+        g.release(cs);
+        g.release(me);
+        g.release(size);
+        g.release(src);
+        g.release(dst);
+    }
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+std::uint32_t ref_dt(const Params& p) {
+    std::uint32_t cs = 0;
+    for (std::uint32_t i = 0; i < p.dt_vnodes; ++i) {
+        for (std::uint32_t j = 0; j < p.dt_vnodes; ++j) {
+            if (i == j) continue;
+            std::uint32_t s = (i * p.dt_vnodes + j) * 2654435761u + 97u;
+            for (std::uint32_t k = 0; k < p.dt_words; ++k) {
+                s = lcg(s);
+                cs += s ^ k;
+            }
+        }
+    }
+    return cs;
+}
+
+// ---------------------------------------------------------------- UA
+
+void emit_ua(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned N = c.P.ua_nodes, E = c.P.ua_elems, T = c.P.ua_iters;
+    // host-precomputed irregular mesh: element->node ids + node->element CSR
+    std::vector<std::uint32_t> idx(E * 4);
+    std::uint32_t s = 1234567;
+    for (auto& v : idx) {
+        s = lcg(s);
+        v = (s >> 8) % N;
+    }
+    std::vector<std::vector<std::uint32_t>> n2e(N);
+    for (unsigned e = 0; e < E; ++e)
+        for (unsigned k = 0; k < 4; ++k) n2e[idx[e * 4 + k]].push_back(e);
+    std::vector<std::uint32_t> roff(N + 1, 0), rlist;
+    for (unsigned nn = 0; nn < N; ++nn) {
+        roff[nn] = static_cast<std::uint32_t>(rlist.size());
+        for (auto e : n2e[nn]) rlist.push_back(e);
+    }
+    roff[N] = static_cast<std::uint32_t>(rlist.size());
+
+    a.udata().align(8);
+    a.data_sym("ua_idx", a.udata().bytes(idx.data(), idx.size() * 4));
+    a.udata().align(8);
+    a.data_sym("ua_roff", a.udata().bytes(roff.data(), roff.size() * 4));
+    a.udata().align(8);
+    a.data_sym("ua_rlist", a.udata().bytes(rlist.data(), rlist.size() * 4));
+    a.udata().align(8);
+    a.data_sym("ua_nval", a.udata().reserve(8 * N));
+    a.data_sym("ua_eval", a.udata().reserve(8 * E));
+    auto to_main = a.newl();
+    a.b(to_main);
+
+    // eval[e] = 0.25 * sum of its 4 node values
+    a.func("ua_gather", ModTag::APP);
+    {
+        g.enter_frame(4);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   e = g.ivar(), ib = g.ivar(), nb = g.ivar(), eb = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(e, E);
+        g.par_bounds(lo, hi, e, tid, nth);
+        a.movi_sym(ib, "ua_idx");
+        a.movi_sym(nb, "ua_nval");
+        a.movi_sym(eb, "ua_eval");
+        auto acc = g.fv(), t = g.fv(), q = g.fv();
+        g.for_up(e, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(e, lo);
+            a.b(Cond::LT, skip);
+            g.fli(acc, 0.0);
+            for (unsigned k = 0; k < 4; ++k) {
+                a.lsli(12, e, 2);
+                a.addi(12, 12, k);
+                if (g.v7) a.ldr_idx(12, ib, 12, 2);
+                else a.ldrw_idx(12, ib, 12, 2);
+                g.fld(t, nb, 12);
+                g.fadd(acc, acc, t);
+            }
+            g.fli(q, 0.25);
+            g.fmul(acc, acc, q);
+            g.fst(acc, eb, e);
+            a.bind(skip);
+        });
+        g.ffree(acc);
+        g.ffree(t);
+        g.ffree(q);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // nval[n] = 0.5*nval[n] + 0.125 * sum over CSR elements
+    a.func("ua_update", ModTag::APP);
+    {
+        g.enter_frame(5);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   nn = g.ivar(), j = g.ivar(), jend = g.ivar(), nb = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(nn, N);
+        g.par_bounds(lo, hi, nn, tid, nth);
+        a.movi_sym(nb, "ua_nval");
+        auto acc = g.fv(), t = g.fv(), h = g.fv();
+        g.for_up(nn, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(nn, lo);
+            a.b(Cond::LT, skip);
+            g.fli(acc, 0.0);
+            a.movi_sym(12, "ua_roff");
+            if (g.v7) a.ldr_idx(j, 12, nn, 2);
+            else a.ldrw_idx(j, 12, nn, 2);
+            a.addi(3, nn, 1);
+            if (g.v7) a.ldr_idx(jend, 12, 3, 2);
+            else a.ldrw_idx(jend, 12, 3, 2);
+            auto jl = a.newl(), jd = a.newl();
+            a.bind(jl);
+            a.cmp(j, jend);
+            a.b(Cond::GE, jd);
+            a.movi_sym(12, "ua_rlist");
+            if (g.v7) a.ldr_idx(12, 12, j, 2);
+            else a.ldrw_idx(12, 12, j, 2);
+            a.movi_sym(3, "ua_eval");
+            g.fld(t, 3, 12);
+            g.fadd(acc, acc, t);
+            a.addi(j, j, 1);
+            a.b(jl);
+            a.bind(jd);
+            g.fld(t, nb, nn);
+            g.fli(h, 0.5);
+            g.fmul(t, t, h);
+            g.fli(h, 0.125);
+            g.fmac(t, acc, h);
+            g.fst(t, nb, nn);
+            a.bind(skip);
+        });
+        g.ffree(acc);
+        g.ffree(t);
+        g.ffree(h);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // partial sum of my node values
+    a.func("ua_sum", ModTag::APP);
+    {
+        g.enter_frame(3);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), b = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, N);
+        g.par_bounds(lo, hi, i, tid, nth);
+        a.movi_sym(b, "ua_nval");
+        auto sum = g.fv(), t = g.fv();
+        g.fli(sum, 0.0);
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            g.fld(t, b, i);
+            g.fadd(sum, sum, t);
+            a.bind(skip);
+        });
+        a.movi_sym(b, "np_partials");
+        g.fst(sum, b, tid);
+        g.ffree(sum);
+        g.ffree(t);
+        g.leave_frame();
+        a.ret();
+    }
+
+    a.bind(to_main);
+    g.enter_frame(6);
+    c.fill_f64("ua_nval", N, 31, 1.0);
+    for (unsigned t = 0; t < T; ++t) {
+        c.run_phase("ua_gather");
+        c.allgather("ua_eval", E, 8);
+        c.run_phase("ua_update");
+        c.allgather("ua_nval", N, 8);
+    }
+    c.run_phase("ua_sum");
+    auto cs = g.fv();
+    c.combine_partials_f64(cs, "np_partials");
+    c.verify_f64(cs, ref_ua(c.P));
+    g.ffree(cs);
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+double ref_ua(const Params& p) {
+    const unsigned N = p.ua_nodes, E = p.ua_elems;
+    std::vector<std::uint32_t> idx(E * 4);
+    std::uint32_t s = 1234567;
+    for (auto& v : idx) {
+        s = lcg(s);
+        v = (s >> 8) % N;
+    }
+    std::vector<std::vector<std::uint32_t>> n2e(N);
+    for (unsigned e = 0; e < E; ++e)
+        for (unsigned k = 0; k < 4; ++k) n2e[idx[e * 4 + k]].push_back(e);
+    std::vector<double> nval(N), eval(E);
+    for (unsigned i = 0; i < N; ++i) nval[i] = Ctx::fill_value(31, i, 1.0);
+    for (unsigned t = 0; t < p.ua_iters; ++t) {
+        for (unsigned e = 0; e < E; ++e) {
+            double acc = 0;
+            for (unsigned k = 0; k < 4; ++k) acc += nval[idx[e * 4 + k]];
+            eval[e] = acc * 0.25;
+        }
+        for (unsigned nn = 0; nn < N; ++nn) {
+            double acc = 0;
+            for (auto e : n2e[nn]) acc += eval[e];
+            nval[nn] = nval[nn] * 0.5 + acc * 0.125;
+        }
+    }
+    double cs = 0;
+    for (unsigned i = 0; i < N; ++i) cs += nval[i];
+    return cs;
+}
+
+} // namespace serep::npb

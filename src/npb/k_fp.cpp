@@ -1,0 +1,916 @@
+// CG, MG, FT kernels (+ host references).
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "npb/common.hpp"
+#include "os/abi.hpp"
+
+namespace serep::npb {
+
+using isa::Cond;
+using kasm::ModTag;
+using kasm::Reg;
+
+// ---------------------------------------------------------------- CG
+//
+// Conjugate gradient on the 2-D 5-point Laplacian over a g x g grid
+// (n = g^2, SPD). Jacobi-style SpMV is order-independent, so serial, OMP
+// and MPI variants compute identical iterates (up to reduction order).
+
+void emit_cg(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned gg = c.P.cg_g, n = gg * gg, iters = c.P.cg_iters;
+    a.udata().align(8);
+    a.data_sym("cg_x", a.udata().reserve(8 * n));
+    a.data_sym("cg_r", a.udata().reserve(8 * n));
+    a.data_sym("cg_p", a.udata().reserve(8 * n));
+    a.data_sym("cg_q", a.udata().reserve(8 * n));
+    a.data_sym("cg_scal", a.udata().reserve(8 * 4)); // rho, alpha, beta, d
+    auto to_main = a.newl();
+    a.b(to_main);
+
+    // q = A p over my rows
+    a.func("cg_spmv", ModTag::APP);
+    {
+        g.enter_frame(4);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), pb = g.ivar(), qb = g.ivar(), col = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, n);
+        g.par_bounds(lo, hi, i, tid, nth);
+        a.movi_sym(pb, "cg_p");
+        a.movi_sym(qb, "cg_q");
+        auto acc = g.fv(), t = g.fv(), four = g.fv();
+        g.fli(four, 4.0);
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl(), noleft = a.newl(), noright = a.newl(),
+                 noup = a.newl(), nodown = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            g.fld(acc, pb, i);
+            g.fmul(acc, acc, four);
+            // col = i mod g
+            a.movi(12, gg);
+            g.imod(col, i, 12);
+            a.cmpi(col, 0);
+            a.b(Cond::EQ, noleft);
+            a.subi(12, i, 1);
+            g.fld(t, pb, 12);
+            g.fsub(acc, acc, t);
+            a.bind(noleft);
+            a.cmpi(col, gg - 1);
+            a.b(Cond::GE, noright);
+            a.addi(12, i, 1);
+            g.fld(t, pb, 12);
+            g.fsub(acc, acc, t);
+            a.bind(noright);
+            a.cmpi(i, gg);
+            a.b(Cond::LT, noup);
+            a.subi(12, i, gg);
+            g.fld(t, pb, 12);
+            g.fsub(acc, acc, t);
+            a.bind(noup);
+            a.cmpi(i, n - gg);
+            a.b(Cond::GE, nodown);
+            a.addi(12, i, gg);
+            g.fld(t, pb, 12);
+            g.fsub(acc, acc, t);
+            a.bind(nodown);
+            g.fst(acc, qb, i);
+            a.bind(skip);
+        });
+        g.ffree(acc);
+        g.ffree(t);
+        g.ffree(four);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // partials[tid] = dot(p, q) over my rows   (arg selects vectors:
+    // 0 -> p.q ; 1 -> r.r ; 2 -> x.x)
+    a.func("cg_dot", ModTag::APP);
+    {
+        g.enter_frame(4);
+        const auto arg = g.ivar(), tid = g.ivar(), nth = g.ivar(), lo = g.ivar(),
+                   hi = g.ivar(), i = g.ivar(), xb = g.ivar(), yb = g.ivar();
+        a.mov(arg, 0);
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, n);
+        g.par_bounds(lo, hi, i, tid, nth);
+        auto case1 = a.newl(), case2 = a.newl(), go = a.newl();
+        a.cmpi(arg, 1);
+        a.b(Cond::EQ, case1);
+        a.b(Cond::GT, case2);
+        a.movi_sym(xb, "cg_p");
+        a.movi_sym(yb, "cg_q");
+        a.b(go);
+        a.bind(case1);
+        a.movi_sym(xb, "cg_r");
+        a.movi_sym(yb, "cg_r");
+        a.b(go);
+        a.bind(case2);
+        a.movi_sym(xb, "cg_x");
+        a.movi_sym(yb, "cg_x");
+        a.bind(go);
+        auto sum = g.fv(), x = g.fv(), y = g.fv();
+        g.fli(sum, 0.0);
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            g.fld(x, xb, i);
+            g.fld(y, yb, i);
+            g.fmac(sum, x, y);
+            a.bind(skip);
+        });
+        a.movi_sym(xb, "np_partials");
+        g.fst(sum, xb, tid);
+        g.ffree(sum);
+        g.ffree(x);
+        g.ffree(y);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // axpy phases, arg selects: 0: x += alpha p ; 1: r -= alpha q ;
+    // 2: p = r + beta p
+    a.func("cg_axpy", ModTag::APP);
+    {
+        g.enter_frame(4);
+        const auto arg = g.ivar(), tid = g.ivar(), nth = g.ivar(), lo = g.ivar(),
+                   hi = g.ivar(), i = g.ivar(), xb = g.ivar(), yb = g.ivar();
+        a.mov(arg, 0);
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, n);
+        g.par_bounds(lo, hi, i, tid, nth);
+        g.release(tid);
+        g.release(nth);
+        auto scal = g.fv(), x = g.fv(), y = g.fv();
+        const auto sb = g.ivar();
+        a.movi_sym(sb, "cg_scal");
+        auto c1 = a.newl(), c2 = a.newl(), go = a.newl();
+        a.cmpi(arg, 1);
+        a.b(Cond::EQ, c1);
+        a.b(Cond::GT, c2);
+        a.movi_sym(xb, "cg_x");
+        a.movi_sym(yb, "cg_p");
+        g.fld_imm(scal, sb, 1); // alpha
+        a.b(go);
+        a.bind(c1);
+        a.movi_sym(xb, "cg_r");
+        a.movi_sym(yb, "cg_q");
+        g.fld_imm(scal, sb, 1); // alpha
+        g.fneg(scal, scal);
+        a.b(go);
+        a.bind(c2);
+        a.movi_sym(xb, "cg_p");
+        a.movi_sym(yb, "cg_p");
+        g.fld_imm(scal, sb, 2); // beta
+        a.bind(go);
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl(), normal = a.newl(), done = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            a.cmpi(arg, 2);
+            a.b(Cond::NE, normal);
+            // p = r + beta p
+            g.fld(x, yb, i); // p
+            g.fmul(x, x, scal);
+            a.movi_sym(12, "cg_r");
+            g.fld(y, 12, i);
+            g.fadd(x, x, y);
+            g.fst(x, xb, i);
+            a.b(done);
+            a.bind(normal);
+            g.fld(x, xb, i);
+            g.fld(y, yb, i);
+            g.fmac(x, y, scal);
+            g.fst(x, xb, i);
+            a.bind(done);
+            a.bind(skip);
+        });
+        g.ffree(scal);
+        g.ffree(x);
+        g.ffree(y);
+        g.leave_frame();
+        a.ret();
+    }
+
+    a.bind(to_main);
+    g.enter_frame(8);
+    {
+        // init: x = 0 (already), r = p = b = 1
+        const auto i = g.ivar(), b1 = g.ivar(), b2 = g.ivar();
+        auto one = g.fv();
+        g.fli(one, 1.0);
+        a.movi_sym(b1, "cg_r");
+        a.movi_sym(b2, "cg_p");
+        g.for_up_imm(i, 0, n, [&] {
+            g.fst(one, b1, i);
+            g.fst(one, b2, i);
+        });
+        g.ffree(one);
+        g.release(i);
+        g.release(b1);
+        g.release(b2);
+
+        auto rho = g.fv(), t = g.fv(), t2 = g.fv();
+        const auto sb = g.ivar();
+        a.movi_sym(sb, "cg_scal");
+        g.fli(rho, static_cast<double>(n)); // r.r of all-ones
+        for (unsigned it = 0; it < iters; ++it) {
+            c.run_phase("cg_spmv");
+            c.run_phase("cg_dot", 0); // p.q
+            c.combine_partials_f64(t, "np_partials");
+            // alpha = rho / d
+            g.fdiv(t2, rho, t);
+            {
+                const auto sb2 = g.ivar();
+                a.movi_sym(sb2, "cg_scal");
+                g.fst_imm(t2, sb2, 1);
+                g.release(sb2);
+            }
+            c.run_phase("cg_axpy", 0); // x += alpha p
+            c.run_phase("cg_axpy", 1); // r -= alpha q
+            c.run_phase("cg_dot", 1);  // r.r
+            c.combine_partials_f64(t, "np_partials");
+            // beta = rho2 / rho ; rho = rho2
+            g.fdiv(t2, t, rho);
+            g.fst_imm(t2, sb, 2);
+            g.fmov(rho, t);
+            c.run_phase("cg_axpy", 2); // p = r + beta p
+            c.allgather("cg_p", n, 8); // SpMV needs the full p next round
+        }
+        c.run_phase("cg_dot", 2); // x.x
+        auto cs = g.fv();
+        c.combine_partials_f64(cs, "np_partials");
+        c.verify_f64(cs, ref_cg(c.P));
+        g.ffree(cs);
+        g.ffree(rho);
+        g.ffree(t);
+        g.ffree(t2);
+    }
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+double ref_cg(const Params& p) {
+    const unsigned gg = p.cg_g, n = gg * gg;
+    std::vector<double> x(n, 0), r(n, 1), pv(n, 1), q(n, 0);
+    double rho = static_cast<double>(n);
+    for (unsigned it = 0; it < p.cg_iters; ++it) {
+        for (unsigned i = 0; i < n; ++i) {
+            double acc = 4.0 * pv[i];
+            const unsigned col = i % gg;
+            if (col > 0) acc -= pv[i - 1];
+            if (col < gg - 1) acc -= pv[i + 1];
+            if (i >= gg) acc -= pv[i - gg];
+            if (i < n - gg) acc -= pv[i + gg];
+            q[i] = acc;
+        }
+        double d = 0;
+        for (unsigned i = 0; i < n; ++i) d += pv[i] * q[i];
+        const double alpha = rho / d;
+        for (unsigned i = 0; i < n; ++i) x[i] += alpha * pv[i];
+        for (unsigned i = 0; i < n; ++i) r[i] -= alpha * q[i];
+        double rho2 = 0;
+        for (unsigned i = 0; i < n; ++i) rho2 += r[i] * r[i];
+        const double beta = rho2 / rho;
+        rho = rho2;
+        for (unsigned i = 0; i < n; ++i) pv[i] = r[i] + beta * pv[i];
+    }
+    double cs = 0;
+    for (unsigned i = 0; i < n; ++i) cs += x[i] * x[i];
+    return cs;
+}
+
+// ---------------------------------------------------------------- MG
+//
+// Memory-heavy 7-point Jacobi smoother on an m^3 grid (the multigrid
+// smoothing kernel; single grid level — documented simplification).
+
+void emit_mg(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned m = c.P.mg_m, m2 = m * m, n = m * m * m, S = c.P.mg_sweeps;
+    a.udata().align(8);
+    a.data_sym("mg_u", a.udata().reserve(8 * n));
+    a.data_sym("mg_v", a.udata().reserve(8 * n));
+    a.data_sym("mg_f", a.udata().reserve(8 * n));
+    auto to_main = a.newl();
+    a.b(to_main);
+
+    // one Jacobi sweep: arg 0: u->v, arg 1: v->u. Partition over z planes.
+    a.func("mg_sweep", ModTag::APP);
+    {
+        g.enter_frame(5);
+        const auto arg = g.ivar(), tid = g.ivar(), nth = g.ivar(), lo = g.ivar(),
+                   hi = g.ivar();
+        a.mov(arg, 0);
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(lo, m); // temp: element count
+        a.mov(12, lo);
+        g.par_bounds(lo, hi, 12, tid, nth);
+        g.release(tid);
+        g.release(nth);
+        const auto src = g.ivar(), dst = g.ivar();
+        auto swap = a.newl(), go = a.newl();
+        a.cmpi(arg, 0);
+        a.b(Cond::NE, swap);
+        a.movi_sym(src, "mg_u");
+        a.movi_sym(dst, "mg_v");
+        a.b(go);
+        a.bind(swap);
+        a.movi_sym(src, "mg_v");
+        a.movi_sym(dst, "mg_u");
+        a.bind(go);
+        g.release(arg);
+        const auto z = g.ivar(), y = g.ivar(), x = g.ivar(), idx = g.ivar();
+        auto acc = g.fv(), t = g.fv(), c6 = g.fv(), cf = g.fv();
+        g.fli(c6, 1.0 / 6.5);
+        g.fli(cf, 0.1);
+        g.for_up(z, 0, hi, [&] {
+            auto zskip = a.newl();
+            a.cmp(z, lo);
+            a.b(Cond::LT, zskip);
+            g.for_up_imm(y, 0, m, [&] {
+                g.for_up_imm(x, 0, m, [&] {
+                    auto interior = a.newl(), boundary = a.newl(), done = a.newl();
+                    // idx = (z*m + y)*m + x — kept in a call-safe register
+                    a.movi(12, m);
+                    a.mul(idx, z, 12);
+                    a.add(idx, idx, y);
+                    a.movi(3, m);
+                    a.mul(idx, idx, 3);
+                    a.add(idx, idx, x);
+                    // boundary if any coord is 0 or m-1
+                    a.cmpi(x, 0);
+                    a.b(Cond::EQ, boundary);
+                    a.cmpi(x, m - 1);
+                    a.b(Cond::EQ, boundary);
+                    a.cmpi(y, 0);
+                    a.b(Cond::EQ, boundary);
+                    a.cmpi(y, m - 1);
+                    a.b(Cond::EQ, boundary);
+                    a.cmpi(z, 0);
+                    a.b(Cond::EQ, boundary);
+                    a.cmpi(z, m - 1);
+                    a.b(Cond::EQ, boundary);
+                    a.b(interior);
+                    a.bind(boundary);
+                    g.fld(acc, src, idx);
+                    g.fst(acc, dst, idx);
+                    a.b(done);
+                    a.bind(interior);
+                    g.fli(acc, 0.0);
+                    const int offs[6] = {-1, 1, -static_cast<int>(m),
+                                         static_cast<int>(m),
+                                         -static_cast<int>(m2),
+                                         static_cast<int>(m2)};
+                    for (int off : offs) {
+                        a.addi(3, idx, off);
+                        g.fld(t, src, 3);
+                        g.fadd(acc, acc, t);
+                    }
+                    g.fmul(acc, acc, c6);
+                    a.movi_sym(3, "mg_f");
+                    g.fld(t, 3, idx);
+                    g.fmac(acc, t, cf);
+                    g.fst(acc, dst, idx);
+                    a.bind(done);
+                });
+            });
+            a.bind(zskip);
+        });
+        g.ffree(acc);
+        g.ffree(t);
+        g.ffree(c6);
+        g.ffree(cf);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // partial sum of the final buffer (arg 0: sum u, 1: sum v).
+    // Partitioned by z-planes so each rank only reads planes it owns —
+    // required because MPI exchanges halos, not the whole array.
+    a.func("mg_sum", ModTag::APP);
+    {
+        g.enter_frame(3);
+        const auto arg = g.ivar(), tid = g.ivar(), nth = g.ivar(), lo = g.ivar(),
+                   hi = g.ivar(), z = g.ivar(), j = g.ivar(), b = g.ivar();
+        a.mov(arg, 0);
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(z, m);
+        g.par_bounds(lo, hi, z, tid, nth);
+        auto pick = a.newl(), go = a.newl();
+        a.cmpi(arg, 0);
+        a.b(Cond::NE, pick);
+        a.movi_sym(b, "mg_u");
+        a.b(go);
+        a.bind(pick);
+        a.movi_sym(b, "mg_v");
+        a.bind(go);
+        auto sum = g.fv(), t = g.fv();
+        g.fli(sum, 0.0);
+        g.for_up(z, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(z, lo);
+            a.b(Cond::LT, skip);
+            g.for_up_imm(j, 0, m2, [&] {
+                a.movi(12, m2);
+                a.mul(12, z, 12);
+                a.add(12, 12, j);
+                g.fld(t, b, 12);
+                g.fadd(sum, sum, t);
+            });
+            a.bind(skip);
+        });
+        a.movi_sym(b, "np_partials");
+        g.fst(sum, b, tid);
+        g.ffree(sum);
+        g.ffree(t);
+        g.leave_frame();
+        a.ret();
+    }
+
+    a.bind(to_main);
+    g.enter_frame(6);
+    c.fill_f64("mg_u", n, 51, 1.0);
+    c.fill_f64("mg_f", n, 52, 1.0);
+    for (unsigned s = 0; s < S; ++s) {
+        c.run_phase("mg_sweep", s % 2);
+        // neighbours only need my boundary planes (true halo exchange);
+        // checksum partitions align with plane ownership when cores | m
+        c.halo_exchange(s % 2 == 0 ? "mg_v" : "mg_u", m, m2 * 8);
+    }
+    c.run_phase("mg_sum", S % 2 == 0 ? 0 : 1);
+    auto cs = g.fv();
+    c.combine_partials_f64(cs, "np_partials");
+    c.verify_f64(cs, ref_mg(c.P));
+    g.ffree(cs);
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+double ref_mg(const Params& p) {
+    const unsigned m = p.mg_m, m2 = m * m, n = m * m * m;
+    std::vector<double> u(n), v(n), f(n);
+    for (unsigned i = 0; i < n; ++i) u[i] = Ctx::fill_value(51, i, 1.0);
+    for (unsigned i = 0; i < n; ++i) f[i] = Ctx::fill_value(52, i, 1.0);
+    const double* src = u.data();
+    double* dst = v.data();
+    std::vector<double>* bufs[2] = {&u, &v};
+    for (unsigned s = 0; s < p.mg_sweeps; ++s) {
+        const std::vector<double>& in = *bufs[s % 2];
+        std::vector<double>& out = *bufs[(s + 1) % 2];
+        for (unsigned z = 0; z < m; ++z) {
+            for (unsigned y = 0; y < m; ++y) {
+                for (unsigned x = 0; x < m; ++x) {
+                    const unsigned i = (z * m + y) * m + x;
+                    if (x == 0 || x == m - 1 || y == 0 || y == m - 1 || z == 0 ||
+                        z == m - 1) {
+                        out[i] = in[i];
+                        continue;
+                    }
+                    double acc = in[i - 1] + in[i + 1] + in[i - m] + in[i + m] +
+                                 in[i - m2] + in[i + m2];
+                    acc *= 1.0 / 6.5;
+                    out[i] = acc + f[i] * 0.1;
+                }
+            }
+        }
+    }
+    (void)src;
+    (void)dst;
+    const std::vector<double>& fin = *bufs[p.mg_sweeps % 2];
+    double cs = 0;
+    for (unsigned i = 0; i < n; ++i) cs += fin[i];
+    return cs;
+}
+
+// ---------------------------------------------------------------- FT
+//
+// 3-D complex radix-2 FFT (iterative Cooley-Tukey with host-precomputed
+// bit-reversal and twiddle tables) + pointwise evolve, per-dimension line
+// partitioning with allgathers between dimension passes.
+
+void emit_ft(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned m = c.P.ft_m, n = m * m * m, T = c.P.ft_iters;
+    unsigned logm = 0;
+    while ((1u << logm) < m) ++logm;
+
+    // host tables: bit-reversal permutation and per-stage twiddles
+    std::vector<std::uint32_t> brev(m);
+    for (unsigned i = 0; i < m; ++i) {
+        unsigned r = 0;
+        for (unsigned b = 0; b < logm; ++b)
+            if (i & (1u << b)) r |= 1u << (logm - 1 - b);
+        brev[i] = r;
+    }
+    std::vector<double> twre, twim; // concatenated per stage len=2,4,..,m
+    for (unsigned len = 2; len <= m; len <<= 1) {
+        for (unsigned j = 0; j < len / 2; ++j) {
+            const double ang = -2.0 * M_PI * j / len;
+            twre.push_back(std::cos(ang));
+            twim.push_back(std::sin(ang));
+        }
+    }
+    a.udata().align(8);
+    a.data_sym("ft_re", a.udata().reserve(8 * n));
+    a.data_sym("ft_im", a.udata().reserve(8 * n));
+    a.data_sym("ft_brev", a.udata().bytes(brev.data(), brev.size() * 4));
+    a.udata().align(8);
+    a.data_sym("ft_twre", a.udata().bytes(twre.data(), twre.size() * 8));
+    a.data_sym("ft_twim", a.udata().bytes(twim.data(), twim.size() * 8));
+    a.data_sym("ft_lre", a.udata().reserve(8 * m * 8)); // per-thread line buffers
+    a.data_sym("ft_lim", a.udata().reserve(8 * m * 8));
+    auto to_main = a.newl();
+    a.b(to_main);
+
+    // fft of the line in the buffers at (r0 = re ptr, r1 = im ptr), in place
+    a.func("ft_fft_line", ModTag::APP);
+    {
+        g.enter_frame(12);
+        const auto i = g.ivar(), j = g.ivar(), len = g.ivar(), half = g.ivar(),
+                   base = g.ivar(), lre = g.ivar(), lim = g.ivar();
+        a.mov(lre, 0);
+        a.mov(lim, 1);
+        // bit-reversal permutation (swap when brev[i] > i)
+        auto tr = g.fv(), ti = g.fv(), ur = g.fv(), ui = g.fv();
+        g.for_up_imm(i, 0, m, [&] {
+            auto skip = a.newl();
+            a.movi_sym(12, "ft_brev");
+            if (g.v7) a.ldr_idx(j, 12, i, 2);
+            else a.ldrw_idx(j, 12, i, 2);
+            a.cmp(j, i);
+            a.b(Cond::LE, skip);
+            g.fld(tr, lre, i);
+            g.fld(ur, lre, j);
+            g.fst(tr, lre, j);
+            g.fst(ur, lre, i);
+            g.fld(ti, lim, i);
+            g.fld(ui, lim, j);
+            g.fst(ti, lim, j);
+            g.fst(ui, lim, i);
+            a.bind(skip);
+        });
+        // stages
+        auto wr = g.fv(), wi = g.fv();
+        const auto twoff = g.ivar();
+        a.movi(len, 2);
+        a.movi(twoff, 0);
+        auto stage = a.newl(), stages_done = a.newl();
+        a.bind(stage);
+        a.cmpi(len, m);
+        a.b(Cond::GT, stages_done);
+        a.lsri(half, len, 1);
+        a.movi(base, 0);
+        auto blocks = a.newl(), blocks_done = a.newl();
+        a.bind(blocks);
+        a.cmpi(base, m);
+        a.b(Cond::GE, blocks_done);
+        g.for_up(j, 0, half, [&] {
+            // w = tw[twoff + j]   (fld/fst preserve r3/r12; FP calls do not,
+            // so `i` — free after bit-reversal — carries the element index)
+            a.add(12, twoff, j);
+            a.movi_sym(3, "ft_twre");
+            g.fld(wr, 3, 12);
+            a.movi_sym(3, "ft_twim");
+            g.fld(wi, 3, 12);
+            // u = line[base+j]; t = line[base+j+half]
+            a.add(i, base, j);
+            g.fld(ur, lre, i);
+            g.fld(ui, lim, i);
+            a.add(12, i, half);
+            g.fld(tr, lre, 12);
+            g.fld(ti, lim, 12);
+            // (xr,xi) = w * t
+            auto xr = g.fv(), xi = g.fv();
+            g.fmul(xr, wr, tr);
+            auto tmp = g.fv();
+            g.fmul(tmp, wi, ti);
+            g.fsub(xr, xr, tmp);
+            g.fmul(xi, wr, ti);
+            g.fmul(tmp, wi, tr);
+            g.fadd(xi, xi, tmp);
+            g.ffree(tmp);
+            // line[base+j] = u + x ; line[base+j+half] = u - x
+            g.fadd(tr, ur, xr);
+            g.fadd(ti, ui, xi);
+            g.fst(tr, lre, i);
+            g.fst(ti, lim, i);
+            g.fsub(tr, ur, xr);
+            g.fsub(ti, ui, xi);
+            a.add(12, i, half);
+            g.fst(tr, lre, 12);
+            g.fst(ti, lim, 12);
+            g.ffree(xr);
+            g.ffree(xi);
+        });
+        a.add(base, base, len);
+        a.b(blocks);
+        a.bind(blocks_done);
+        a.add(twoff, twoff, half);
+        a.lsli(len, len, 1);
+        a.b(stage);
+        a.bind(stages_done);
+        g.ffree(tr);
+        g.ffree(ti);
+        g.ffree(ur);
+        g.ffree(ui);
+        g.ffree(wr);
+        g.ffree(wi);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // FFT pass along dimension `arg` (0=x,1=y,2=z): lines partitioned.
+    a.func("ft_pass", ModTag::APP);
+    {
+        g.enter_frame(2);
+        const auto arg = g.ivar(), tid = g.ivar(), nth = g.ivar(), lo = g.ivar(),
+                   hi = g.ivar();
+        a.mov(arg, 0);
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        if (c.api == Api::MPI) {
+            // the z pass touches scattered lines which a contiguous
+            // allgather cannot exchange — run it replicated (documented)
+            auto part = a.newl();
+            a.cmpi(arg, 2);
+            a.b(Cond::NE, part);
+            a.movi(tid, 0);
+            a.movi(nth, 1);
+            a.bind(part);
+        }
+        a.movi(lo, m * m); // lines per dimension
+        a.mov(12, lo);
+        g.par_bounds(lo, hi, 12, tid, nth);
+        // per-thread line buffers (OMP threads must not share them)
+        const auto lbre = g.ivar();
+        a.movi_sym(lbre, "ft_lre");
+        a.movi(12, m * 8);
+        a.mul(12, tid, 12);
+        a.add(lbre, lbre, 12);
+        g.release(tid);
+        g.release(nth);
+        const auto line = g.ivar(), k = g.ivar(), idx = g.ivar();
+        auto elem = g.fv();
+        g.for_up(line, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(line, lo);
+            a.b(Cond::LT, skip);
+            // copy line into the buffers: element k index depends on dim
+            const auto lb = g.ivar();
+            for (int dir = 0; dir < 2; ++dir) {
+                g.for_up_imm(k, 0, m, [&] {
+                    // compute flat index for (line, k) on dimension `arg`:
+                    //  x: idx = line*m + k
+                    //  y: idx = (line/m)*m*m + k*m + (line%m)
+                    //  z: idx = k*m*m + line
+                    auto dx = a.newl(), dy = a.newl(), computed = a.newl();
+                    a.cmpi(arg, 1);
+                    a.b(Cond::EQ, dy);
+                    a.b(Cond::GT, dx); // arg==2 -> z handled at dx label? no:
+                    // arg==0 (x):
+                    a.movi(12, m);
+                    a.mul(idx, line, 12);
+                    a.add(idx, idx, k);
+                    a.b(computed);
+                    a.bind(dy); // y
+                    a.movi(12, m);
+                    g.idiv(idx, line, 12);
+                    a.movi(3, m * m);
+                    a.mul(idx, idx, 3);
+                    a.movi(12, m);
+                    a.mul(3, k, 12);
+                    a.add(idx, idx, 3);
+                    a.movi(12, m);
+                    g.imod(3, line, 12);
+                    a.add(idx, idx, 3);
+                    a.b(computed);
+                    a.bind(dx); // z
+                    a.movi(12, m * m);
+                    a.mul(idx, k, 12);
+                    a.add(idx, idx, line);
+                    a.bind(computed);
+                    a.addi(lb, lbre, dir == 0 ? 0 : 8 * m * 8);
+                    a.movi_sym(3, dir == 0 ? "ft_re" : "ft_im");
+                    g.fld(elem, 3, idx);
+                    g.fst(elem, lb, k);
+                });
+            }
+            a.mov(0, lbre);
+            a.addi(1, lbre, 8 * m * 8);
+            a.bl("ft_fft_line");
+            // copy back
+            for (int dir = 0; dir < 2; ++dir) {
+                g.for_up_imm(k, 0, m, [&] {
+                    auto dx = a.newl(), dy = a.newl(), computed = a.newl();
+                    a.cmpi(arg, 1);
+                    a.b(Cond::EQ, dy);
+                    a.b(Cond::GT, dx);
+                    a.movi(12, m);
+                    a.mul(idx, line, 12);
+                    a.add(idx, idx, k);
+                    a.b(computed);
+                    a.bind(dy);
+                    a.movi(12, m);
+                    g.idiv(idx, line, 12);
+                    a.movi(3, m * m);
+                    a.mul(idx, idx, 3);
+                    a.movi(12, m);
+                    a.mul(3, k, 12);
+                    a.add(idx, idx, 3);
+                    a.movi(12, m);
+                    g.imod(3, line, 12);
+                    a.add(idx, idx, 3);
+                    a.b(computed);
+                    a.bind(dx);
+                    a.movi(12, m * m);
+                    a.mul(idx, k, 12);
+                    a.add(idx, idx, line);
+                    a.bind(computed);
+                    a.addi(lb, lbre, dir == 0 ? 0 : 8 * m * 8);
+                    a.movi_sym(3, dir == 0 ? "ft_re" : "ft_im");
+                    g.fld(elem, lb, k);
+                    g.fst(elem, 3, idx);
+                });
+            }
+            g.release(lb);
+            a.bind(skip);
+        });
+        g.ffree(elem);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // evolve: pointwise (re,im) *= (1 - eps*i/n) rotation-ish damping
+    a.func("ft_evolve", ModTag::APP);
+    {
+        g.enter_frame(4);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), rb = g.ivar(), ib = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, n);
+        g.par_bounds(lo, hi, i, tid, nth);
+        a.movi_sym(rb, "ft_re");
+        a.movi_sym(ib, "ft_im");
+        auto x = g.fv(), f = g.fv(), step = g.fv();
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            g.i2f(f, i);
+            g.fli(step, -0.5 / n);
+            g.fmul(f, f, step);
+            g.fli(step, 1.0);
+            g.fadd(f, f, step); // 1 - 0.5*i/n
+            g.fld(x, rb, i);
+            g.fmul(x, x, f);
+            g.fst(x, rb, i);
+            g.fld(x, ib, i);
+            g.fmul(x, x, f);
+            g.fst(x, ib, i);
+            a.bind(skip);
+        });
+        g.ffree(x);
+        g.ffree(f);
+        g.ffree(step);
+        g.leave_frame();
+        a.ret();
+    }
+
+    // partial checksum: sum re^2 + im^2
+    a.func("ft_sum", ModTag::APP);
+    {
+        g.enter_frame(3);
+        const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+                   i = g.ivar(), b = g.ivar();
+        a.mov(tid, 1);
+        a.mov(nth, 2);
+        a.movi(i, n);
+        g.par_bounds(lo, hi, i, tid, nth);
+        auto sum = g.fv(), t = g.fv();
+        g.fli(sum, 0.0);
+        g.for_up(i, 0, hi, [&] {
+            auto skip = a.newl();
+            a.cmp(i, lo);
+            a.b(Cond::LT, skip);
+            a.movi_sym(b, "ft_re");
+            g.fld(t, b, i);
+            g.fmac(sum, t, t);
+            a.movi_sym(b, "ft_im");
+            g.fld(t, b, i);
+            g.fmac(sum, t, t);
+            a.bind(skip);
+        });
+        a.movi_sym(b, "np_partials");
+        g.fst(sum, b, tid);
+        g.ffree(sum);
+        g.ffree(t);
+        g.leave_frame();
+        a.ret();
+    }
+
+    a.bind(to_main);
+    g.enter_frame(6);
+    c.fill_f64("ft_re", n, 61, 1.0);
+    c.fill_f64("ft_im", n, 62, 1.0);
+    for (unsigned t = 0; t < T; ++t) {
+        for (unsigned dim = 0; dim < 3; ++dim) {
+            c.run_phase("ft_pass", dim);
+            if (dim < 2) {
+                // x/y passes stay within z-planes; exchange whole planes
+                c.allgather("ft_re", m, m * m * 8);
+                c.allgather("ft_im", m, m * m * 8);
+            }
+            // z pass is replicated on MPI — no exchange needed
+        }
+        c.run_phase("ft_evolve");
+        c.allgather("ft_re", n, 8);
+        c.allgather("ft_im", n, 8);
+    }
+    c.run_phase("ft_sum");
+    auto cs = g.fv();
+    c.combine_partials_f64(cs, "np_partials");
+    c.verify_f64(cs, ref_ft(c.P));
+    g.ffree(cs);
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+double ref_ft(const Params& p) {
+    const unsigned m = p.ft_m, n = m * m * m;
+    std::vector<std::complex<double>> v(n);
+    for (unsigned i = 0; i < n; ++i)
+        v[i] = {Ctx::fill_value(61, i, 1.0), Ctx::fill_value(62, i, 1.0)};
+    unsigned logm = 0;
+    while ((1u << logm) < m) ++logm;
+    auto fft_line = [&](std::vector<std::complex<double>>& line) {
+        for (unsigned i = 0; i < m; ++i) {
+            unsigned r = 0;
+            for (unsigned b = 0; b < logm; ++b)
+                if (i & (1u << b)) r |= 1u << (logm - 1 - b);
+            if (r > i) std::swap(line[i], line[r]);
+        }
+        for (unsigned len = 2; len <= m; len <<= 1) {
+            for (unsigned base = 0; base < m; base += len) {
+                for (unsigned j = 0; j < len / 2; ++j) {
+                    const double ang = -2.0 * M_PI * j / len;
+                    const std::complex<double> w{std::cos(ang), std::sin(ang)};
+                    // mirror the guest's mul/add order exactly
+                    const std::complex<double> u = line[base + j];
+                    const std::complex<double> t0 = line[base + j + len / 2];
+                    const std::complex<double> x{
+                        w.real() * t0.real() - w.imag() * t0.imag(),
+                        w.real() * t0.imag() + w.imag() * t0.real()};
+                    line[base + j] = u + x;
+                    line[base + j + len / 2] = u - x;
+                }
+            }
+        }
+    };
+    std::vector<std::complex<double>> line(m);
+    for (unsigned t = 0; t < p.ft_iters; ++t) {
+        for (unsigned dim = 0; dim < 3; ++dim) {
+            for (unsigned l = 0; l < m * m; ++l) {
+                for (unsigned k = 0; k < m; ++k) {
+                    unsigned idx;
+                    if (dim == 0) idx = l * m + k;
+                    else if (dim == 1) idx = (l / m) * m * m + k * m + (l % m);
+                    else idx = k * m * m + l;
+                    line[k] = v[idx];
+                }
+                fft_line(line);
+                for (unsigned k = 0; k < m; ++k) {
+                    unsigned idx;
+                    if (dim == 0) idx = l * m + k;
+                    else if (dim == 1) idx = (l / m) * m * m + k * m + (l % m);
+                    else idx = k * m * m + l;
+                    v[idx] = line[k];
+                }
+            }
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            const double f = 1.0 + static_cast<double>(i) * (-0.5 / n);
+            v[i] *= f;
+        }
+    }
+    double cs = 0;
+    for (unsigned i = 0; i < n; ++i)
+        cs += v[i].real() * v[i].real() + v[i].imag() * v[i].imag();
+    return cs;
+}
+
+} // namespace serep::npb

@@ -1,0 +1,691 @@
+// LU, SP, BT kernels: alternating-direction line solvers on an n x n grid
+// (Jacobi-style outer coupling keeps serial/OMP/MPI numerics identical).
+//  * LU: constant-coefficient tridiagonal Thomas solves (SSOR-family).
+//  * SP: variable-diagonal tridiagonal solves (scalar pentadiagonal family;
+//    the diagonal varies per point, adding loads and FLOPs).
+//  * BT: 2x2 block-tridiagonal solves (block inversions per point; the
+//    block size is scaled down from NPB's 5x5 — documented).
+#include <vector>
+
+#include "npb/common.hpp"
+#include "os/abi.hpp"
+
+namespace serep::npb {
+
+using isa::Cond;
+using kasm::ModTag;
+using kasm::Reg;
+
+void emit_idx_imm_last(Ctx& c, Reg dir, Reg l, unsigned n);
+
+namespace {
+
+enum class Solver { LU, SP, BT };
+
+/// idx(l, k) into r12 (r3 scratch): dir==0 -> l*n + k ; dir==1 -> k*n + l
+void emit_idx(Ctx& c, Reg dir, Reg l, Reg k, unsigned n) {
+    auto& a = c.a;
+    auto row = c.a.newl(), done = c.a.newl();
+    a.cmpi(dir, 0);
+    a.b(Cond::EQ, row);
+    a.movi(3, n);
+    a.mul(12, k, 3);
+    a.add(12, 12, l);
+    a.b(done);
+    a.bind(row);
+    a.movi(3, n);
+    a.mul(12, l, 3);
+    a.add(12, 12, k);
+    a.bind(done);
+}
+
+struct SolverNames {
+    const char* u;
+    const char* v;
+    const char* cp;
+    const char* f;
+    const char* sweep;
+    const char* sum;
+};
+
+SolverNames names_of(Solver s) {
+    switch (s) {
+        case Solver::LU: return {"lu_u", "lu_v", "lu_cp", nullptr, "lu_sweep", "lu_sum"};
+        case Solver::SP: return {"sp_u", "sp_v", "sp_cp", "sp_f", "sp_sweep", "sp_sum"};
+        case Solver::BT: return {"bt_u", "bt_v", "bt_cp", nullptr, "bt_sweep", "bt_sum"};
+    }
+    return {};
+}
+
+/// LU / SP scalar tridiagonal sweep along direction `arg`.
+void emit_scalar_sweep(Ctx& c, Solver sv, unsigned n, unsigned seed_f) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const SolverNames nm = names_of(sv);
+    (void)seed_f;
+    a.func(nm.sweep, ModTag::APP);
+    g.enter_frame(8);
+    const auto dir = g.ivar(), tid = g.ivar(), nth = g.ivar(), lo = g.ivar(),
+               hi = g.ivar();
+    a.mov(dir, 0);
+    a.mov(tid, 1);
+    a.mov(nth, 2);
+    if (c.api == Api::MPI) {
+        // column sweeps write scattered columns; run them replicated
+        auto part = a.newl();
+        a.cmpi(dir, 1);
+        a.b(Cond::NE, part);
+        a.movi(tid, 0);
+        a.movi(nth, 1);
+        a.bind(part);
+    }
+    a.movi(lo, n);
+    a.mov(12, lo);
+    g.par_bounds(lo, hi, 12, tid, nth);
+    // per-thread scratch: cp[n], dp[n]
+    const auto cpb = g.ivar();
+    a.movi_sym(cpb, nm.cp);
+    a.movi(12, 2 * n * 8);
+    a.mul(12, tid, 12);
+    a.add(cpb, cpb, 12);
+    g.release(tid);
+    g.release(nth);
+    const auto inb = g.ivar(), outb = g.ivar(), l = g.ivar(), k = g.ivar();
+    {
+        auto d0 = a.newl(), dsel = a.newl();
+        a.cmpi(dir, 0);
+        a.b(Cond::EQ, d0);
+        a.movi_sym(inb, nm.v);
+        a.movi_sym(outb, nm.u);
+        a.b(dsel);
+        a.bind(d0);
+        a.movi_sym(inb, nm.u);
+        a.movi_sym(outb, nm.v);
+        a.bind(dsel);
+    }
+    auto d = g.fv(), m = g.fv(), t = g.fv(), bco = g.fv(), one = g.fv(),
+         quarter = g.fv();
+    g.fli(one, 1.0);
+    g.fli(quarter, 0.25);
+    g.for_up(l, 0, hi, [&] {
+        auto lskip = a.newl();
+        a.cmp(l, lo);
+        a.b(Cond::LT, lskip);
+        // ---- forward elimination ----
+        g.for_up_imm(k, 0, n, [&] {
+            // rhs d = 1 + 0.25*(perpendicular neighbours)
+            g.fmov(d, one);
+            auto no_prev = a.newl(), no_next = a.newl();
+            a.cmpi(l, 0);
+            a.b(Cond::EQ, no_prev);
+            emit_idx(c, dir, l, k, n);
+            auto off = a.newl();
+            (void)off;
+            // neighbour at line l-1: dir0 -> idx-n ; dir1 -> idx-1
+            a.cmpi(dir, 0);
+            auto sub1 = a.newl(), subbed = a.newl();
+            a.b(Cond::NE, sub1);
+            a.subi(12, 12, n);
+            a.b(subbed);
+            a.bind(sub1);
+            a.subi(12, 12, 1);
+            a.bind(subbed);
+            g.fld(t, inb, 12);
+            g.fmac(d, t, quarter);
+            a.bind(no_prev);
+            a.cmpi(l, n - 1);
+            a.b(Cond::GE, no_next);
+            emit_idx(c, dir, l, k, n);
+            a.cmpi(dir, 0);
+            auto add1 = a.newl(), added = a.newl();
+            a.b(Cond::NE, add1);
+            a.addi(12, 12, n);
+            a.b(added);
+            a.bind(add1);
+            a.addi(12, 12, 1);
+            a.bind(added);
+            g.fld(t, inb, 12);
+            g.fmac(d, t, quarter);
+            a.bind(no_next);
+            // diagonal coefficient
+            if (sv == Solver::SP) {
+                emit_idx(c, dir, l, k, n);
+                a.movi_sym(3, nm.f);
+                g.fld(bco, 3, 12);
+                auto half = g.fv();
+                g.fli(half, 0.5);
+                g.fmul(bco, bco, half);
+                g.ffree(half);
+                auto fourv = g.fv();
+                g.fli(fourv, 4.0);
+                g.fadd(bco, bco, fourv);
+                g.ffree(fourv);
+            } else {
+                g.fli(bco, 4.0);
+            }
+            auto first = a.newl(), fdone = a.newl();
+            a.cmpi(k, 0);
+            a.b(Cond::EQ, first);
+            // denom = b + cp[k-1] ; m = 1/denom
+            a.subi(3, k, 1);
+            g.fld(t, cpb, 3);
+            g.fadd(bco, bco, t);
+            g.fdiv(m, one, bco);
+            // d += dp[k-1] ; dp[k] = d*m
+            a.addi(3, k, n - 1);
+            g.fld(t, cpb, 3);
+            g.fadd(d, d, t);
+            a.b(fdone);
+            a.bind(first);
+            g.fdiv(m, one, bco);
+            a.bind(fdone);
+            // cp[k] = -m ; dp[k] = d*m
+            g.fneg(t, m);
+            g.fst(t, cpb, k);
+            g.fmul(d, d, m);
+            a.addi(3, k, n);
+            g.fst(d, cpb, 3);
+        });
+        // ---- back substitution ----
+        // x[n-1] = dp[n-1]
+        a.movi(3, 2 * n - 1);
+        g.fld(d, cpb, 3); // d = x_next
+        emit_idx_imm_last(c, dir, l, n);
+        g.fst(d, outb, 12);
+        a.movi(k, n - 2);
+        auto bloop = a.newl(), bdone = a.newl();
+        a.bind(bloop);
+        a.cmpi(k, 0);
+        a.b(Cond::LT, bdone);
+        // x = dp[k] - cp[k]*x_next
+        g.fld(t, cpb, k);
+        g.fmul(t, t, d); // cp[k]*x_next
+        a.addi(3, k, n);
+        g.fld(m, cpb, 3);
+        g.fsub(d, m, t);
+        emit_idx(c, dir, l, k, n);
+        g.fst(d, outb, 12);
+        a.subi(k, k, 1);
+        a.b(bloop);
+        a.bind(bdone);
+        a.bind(lskip);
+    });
+    g.ffree(d);
+    g.ffree(m);
+    g.ffree(t);
+    g.ffree(bco);
+    g.ffree(one);
+    g.ffree(quarter);
+    g.leave_frame();
+    a.ret();
+}
+
+} // namespace
+
+/// helper used above: idx(l, n-1) into r12
+void emit_idx_imm_last(Ctx& c, Reg dir, Reg l, unsigned n) {
+    auto& a = c.a;
+    auto row = a.newl(), done = a.newl();
+    a.cmpi(dir, 0);
+    a.b(Cond::EQ, row);
+    a.movi(3, n);
+    a.movi(12, n - 1);
+    a.mul(12, 12, 3);
+    a.add(12, 12, l);
+    a.b(done);
+    a.bind(row);
+    a.movi(3, n);
+    a.mul(12, l, 3);
+    a.addi(12, 12, n - 1);
+    a.bind(done);
+}
+
+namespace {
+
+/// Shared emitter for the element-sum checksum phase (partition elements).
+void emit_sum_phase(Ctx& c, const char* fname, const char* array, unsigned total) {
+    auto& a = c.a;
+    auto& g = c.g;
+    a.func(fname, ModTag::APP);
+    g.enter_frame(3);
+    const auto tid = g.ivar(), nth = g.ivar(), lo = g.ivar(), hi = g.ivar(),
+               i = g.ivar(), b = g.ivar();
+    a.mov(tid, 1);
+    a.mov(nth, 2);
+    a.movi(i, total);
+    g.par_bounds(lo, hi, i, tid, nth);
+    a.movi_sym(b, array);
+    auto sum = g.fv(), t = g.fv();
+    g.fli(sum, 0.0);
+    g.for_up(i, 0, hi, [&] {
+        auto skip = a.newl();
+        a.cmp(i, lo);
+        a.b(Cond::LT, skip);
+        g.fld(t, b, i);
+        g.fadd(sum, sum, t);
+        a.bind(skip);
+    });
+    a.movi_sym(b, "np_partials");
+    g.fst(sum, b, tid);
+    g.ffree(sum);
+    g.ffree(t);
+    g.leave_frame();
+    a.ret();
+}
+
+void emit_scalar_solver(Ctx& c, Solver sv, unsigned n, unsigned iters,
+                        double expected) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const SolverNames nm = names_of(sv);
+    a.udata().align(8);
+    a.data_sym(nm.u, a.udata().reserve(8 * n * n));
+    a.data_sym(nm.v, a.udata().reserve(8 * n * n));
+    a.data_sym(nm.cp, a.udata().reserve(8 * 2 * n * 8));
+    if (nm.f) a.data_sym(nm.f, a.udata().reserve(8 * n * n));
+    auto to_main = a.newl();
+    a.b(to_main);
+    emit_scalar_sweep(c, sv, n, 0);
+    emit_sum_phase(c, nm.sum, nm.u, n * n);
+    a.bind(to_main);
+    g.enter_frame(6);
+    c.fill_f64(nm.u, n * n, sv == Solver::LU ? 71 : 72, 1.0);
+    if (nm.f) c.fill_f64(nm.f, n * n, 73, 1.0);
+    for (unsigned it = 0; it < iters; ++it) {
+        c.run_phase(nm.sweep, 0);       // rows: u -> v
+        c.allgather(nm.v, n, n * 8);    // row blocks are contiguous
+        c.run_phase(nm.sweep, 1);       // cols: v -> u (replicated on MPI)
+    }
+    c.run_phase(nm.sum);
+    auto cs = g.fv();
+    c.combine_partials_f64(cs, "np_partials");
+    c.verify_f64(cs, expected);
+    g.ffree(cs);
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+double ref_scalar_solver(Solver sv, unsigned n, unsigned iters) {
+    std::vector<double> u(n * n), v(n * n), f(n * n);
+    for (unsigned i = 0; i < n * n; ++i)
+        u[i] = Ctx::fill_value(sv == Solver::LU ? 71 : 72, i, 1.0);
+    for (unsigned i = 0; i < n * n; ++i) f[i] = Ctx::fill_value(73, i, 1.0);
+    std::vector<double> cp(n), dp(n);
+    auto sweep = [&](const std::vector<double>& in, std::vector<double>& out,
+                     int dir) {
+        for (unsigned l = 0; l < n; ++l) {
+            for (unsigned k = 0; k < n; ++k) {
+                const unsigned idx = dir == 0 ? l * n + k : k * n + l;
+                double d = 1.0;
+                if (l > 0) d += in[dir == 0 ? idx - n : idx - 1] * 0.25;
+                if (l < n - 1) d += in[dir == 0 ? idx + n : idx + 1] * 0.25;
+                double b = 4.0;
+                if (sv == Solver::SP) b = f[idx] * 0.5 + 4.0;
+                double m;
+                if (k == 0) {
+                    m = 1.0 / b;
+                } else {
+                    m = 1.0 / (b + cp[k - 1]);
+                    d += dp[k - 1];
+                }
+                cp[k] = -m;
+                dp[k] = d * m;
+            }
+            double x = dp[n - 1];
+            out[dir == 0 ? l * n + (n - 1) : (n - 1) * n + l] = x;
+            for (int k = static_cast<int>(n) - 2; k >= 0; --k) {
+                x = dp[k] - cp[k] * x;
+                out[dir == 0 ? l * n + k : k * n + l] = x;
+            }
+        }
+    };
+    for (unsigned it = 0; it < iters; ++it) {
+        sweep(u, v, 0);
+        sweep(v, u, 1);
+    }
+    double cs = 0;
+    for (unsigned i = 0; i < n * n; ++i) cs += u[i];
+    return cs;
+}
+
+} // namespace
+
+void emit_lu(Ctx& c) {
+    emit_scalar_solver(c, Solver::LU, c.P.lu_n, c.P.lu_iters, ref_lu(c.P));
+}
+double ref_lu(const Params& p) {
+    return ref_scalar_solver(Solver::LU, p.lu_n, p.lu_iters);
+}
+
+void emit_sp(Ctx& c) {
+    emit_scalar_solver(c, Solver::SP, c.P.sp_n, c.P.sp_iters, ref_sp(c.P));
+}
+double ref_sp(const Params& p) {
+    return ref_scalar_solver(Solver::SP, p.sp_n, p.sp_iters);
+}
+
+// ---------------------------------------------------------------- BT
+
+namespace {
+
+void emit_bt_sweep(Ctx& c, unsigned n) {
+    auto& a = c.a;
+    auto& g = c.g;
+    a.func("bt_sweep", ModTag::APP);
+    g.enter_frame(14);
+    const auto dir = g.ivar(), tid = g.ivar(), nth = g.ivar(), lo = g.ivar(),
+               hi = g.ivar();
+    a.mov(dir, 0);
+    a.mov(tid, 1);
+    a.mov(nth, 2);
+    if (c.api == Api::MPI) {
+        auto part = a.newl();
+        a.cmpi(dir, 1);
+        a.b(Cond::NE, part);
+        a.movi(tid, 0);
+        a.movi(nth, 1);
+        a.bind(part);
+    }
+    a.movi(lo, n);
+    a.mov(12, lo);
+    g.par_bounds(lo, hi, 12, tid, nth);
+    // per-thread scratch: CP (4 doubles) + DP (2 doubles) per point
+    const auto cpb = g.ivar();
+    a.movi_sym(cpb, "bt_cp");
+    a.movi(12, 6 * n * 8);
+    a.mul(12, tid, 12);
+    a.add(cpb, cpb, 12);
+    g.release(tid);
+    g.release(nth);
+    const auto inb = g.ivar(), outb = g.ivar(), l = g.ivar(), k = g.ivar();
+    {
+        auto d0 = a.newl(), dsel = a.newl();
+        a.cmpi(dir, 0);
+        a.b(Cond::EQ, d0);
+        a.movi_sym(inb, "bt_v");
+        a.movi_sym(outb, "bt_u");
+        a.b(dsel);
+        a.bind(d0);
+        a.movi_sym(inb, "bt_u");
+        a.movi_sym(outb, "bt_v");
+        a.bind(dsel);
+    }
+    // FVs: m00 m01 m10 m11, det, d0v d1v, t, x0, x1, quarter, one
+    auto m00 = g.fv(), m01 = g.fv(), m10 = g.fv(), m11 = g.fv(), det = g.fv(),
+         d0v = g.fv(), d1v = g.fv(), t = g.fv(), x0 = g.fv(), x1 = g.fv(),
+         quarter = g.fv(), one = g.fv();
+    g.fli(quarter, 0.25);
+    g.fli(one, 1.0);
+    // CP slots: 6k..6k+3 ; DP slots: 6k+4, 6k+5 (interleaved per point)
+    g.for_up(l, 0, hi, [&] {
+        auto lskip = a.newl();
+        a.cmp(l, lo);
+        a.b(Cond::LT, lskip);
+        g.for_up_imm(k, 0, n, [&] {
+            // rhs vector d = (1,1) + 0.25 * (neighbour vectors)
+            g.fmov(d0v, one);
+            g.fmov(d1v, one);
+            for (int comp = 0; comp < 2; ++comp) {
+                auto& dv = comp == 0 ? d0v : d1v;
+                auto no_prev = a.newl(), no_next = a.newl();
+                a.cmpi(l, 0);
+                a.b(Cond::EQ, no_prev);
+                emit_idx(c, dir, l, k, n);
+                a.cmpi(dir, 0);
+                auto s1 = a.newl(), s2 = a.newl();
+                a.b(Cond::NE, s1);
+                a.subi(12, 12, n);
+                a.b(s2);
+                a.bind(s1);
+                a.subi(12, 12, 1);
+                a.bind(s2);
+                a.lsli(12, 12, 1);
+                a.addi(12, 12, comp);
+                g.fld(t, inb, 12);
+                g.fmac(dv, t, quarter);
+                a.bind(no_prev);
+                a.cmpi(l, n - 1);
+                a.b(Cond::GE, no_next);
+                emit_idx(c, dir, l, k, n);
+                a.cmpi(dir, 0);
+                auto a1 = a.newl(), a2 = a.newl();
+                a.b(Cond::NE, a1);
+                a.addi(12, 12, n);
+                a.b(a2);
+                a.bind(a1);
+                a.addi(12, 12, 1);
+                a.bind(a2);
+                a.lsli(12, 12, 1);
+                a.addi(12, 12, comp);
+                g.fld(t, inb, 12);
+                g.fmac(dv, t, quarter);
+                a.bind(no_next);
+            }
+            // M = B (+ CP[k-1]); B = [[4,-1],[1,4]]
+            g.fli(m00, 4.0);
+            g.fli(m01, -1.0);
+            g.fli(m10, 1.0);
+            g.fli(m11, 4.0);
+            auto first = a.newl(), fdone = a.newl();
+            a.cmpi(k, 0);
+            a.b(Cond::EQ, first);
+            // M += CP[k-1]; d += DP[k-1]. fadd is a call on V7 and clobbers
+            // r3, so the slot index is recomputed for every element.
+            for (int e = 0; e < 6; ++e) {
+                auto& me = e == 0   ? m00
+                           : e == 1 ? m01
+                           : e == 2 ? m10
+                           : e == 3 ? m11
+                           : e == 4 ? d0v
+                                    : d1v;
+                a.movi(3, 6);
+                a.mul(3, k, 3);
+                a.addi(3, 3, e - 6);
+                g.fld(t, cpb, 3);
+                g.fadd(me, me, t);
+            }
+            a.b(fdone);
+            a.bind(first);
+            a.bind(fdone);
+            // det = m00*m11 - m01*m10 ; idet = 1/det (reuse det)
+            g.fmul(det, m00, m11);
+            g.fmul(t, m01, m10);
+            g.fsub(det, det, t);
+            g.fdiv(det, one, det);
+            // INV = idet * [[m11, -m01], [-m10, m00]]
+            // CP[k] = -INV ; DP[k] = INV * d
+            // compute INV into (m00', m01', m10', m11') via temporaries:
+            g.fmul(t, m11, det);   // inv00
+            g.fmul(m11, m00, det); // inv11
+            g.fmov(m00, t);
+            g.fmul(t, m01, det);
+            g.fneg(m01, t); // inv01 = -m01*idet
+            g.fmul(t, m10, det);
+            g.fneg(m10, t); // inv10
+            // store CP = -INV
+            a.movi(3, 6);
+            a.mul(3, k, 3);
+            g.fneg(t, m00);
+            g.fst(t, cpb, 3);
+            a.addi(3, 3, 1);
+            g.fneg(t, m01);
+            g.fst(t, cpb, 3);
+            a.addi(3, 3, 1);
+            g.fneg(t, m10);
+            g.fst(t, cpb, 3);
+            a.addi(3, 3, 1);
+            g.fneg(t, m11);
+            g.fst(t, cpb, 3);
+            // DP = INV * d (the multiplies clobber r3 on V7 — recompute)
+            g.fmul(x0, m00, d0v);
+            g.fmac(x0, m01, d1v);
+            g.fmul(x1, m10, d0v);
+            g.fmac(x1, m11, d1v);
+            a.movi(3, 6);
+            a.mul(3, k, 3);
+            a.addi(3, 3, 4);
+            g.fst(x0, cpb, 3);
+            a.addi(3, 3, 1);
+            g.fst(x1, cpb, 3);
+        });
+        // back substitution: X[n-1] = DP[n-1]
+        a.movi(3, 6 * n - 2);
+        g.fld(x0, cpb, 3);
+        a.addi(3, 3, 1);
+        g.fld(x1, cpb, 3);
+        emit_idx_imm_last(c, dir, l, n);
+        a.lsli(12, 12, 1);
+        g.fst(x0, outb, 12);
+        a.addi(12, 12, 1);
+        g.fst(x1, outb, 12);
+        a.movi(k, n - 2);
+        auto bloop = a.newl(), bdone = a.newl();
+        a.bind(bloop);
+        a.cmpi(k, 0);
+        a.b(Cond::LT, bdone);
+        // X = DP[k] - CP[k] * X_next
+        a.movi(3, 6);
+        a.mul(3, k, 3);
+        g.fld(m00, cpb, 3);
+        a.addi(3, 3, 1);
+        g.fld(m01, cpb, 3);
+        a.addi(3, 3, 1);
+        g.fld(m10, cpb, 3);
+        a.addi(3, 3, 1);
+        g.fld(m11, cpb, 3);
+        a.addi(3, 3, 1);
+        g.fld(d0v, cpb, 3);
+        a.addi(3, 3, 1);
+        g.fld(d1v, cpb, 3);
+        g.fmul(t, m00, x0);
+        g.fmac(t, m01, x1);
+        g.fsub(d0v, d0v, t);
+        g.fmul(t, m10, x0);
+        g.fmac(t, m11, x1);
+        g.fsub(d1v, d1v, t);
+        g.fmov(x0, d0v);
+        g.fmov(x1, d1v);
+        emit_idx(c, dir, l, k, n);
+        a.lsli(12, 12, 1);
+        g.fst(x0, outb, 12);
+        a.addi(12, 12, 1);
+        g.fst(x1, outb, 12);
+        a.subi(k, k, 1);
+        a.b(bloop);
+        a.bind(bdone);
+        a.bind(lskip);
+    });
+    g.ffree(m00);
+    g.ffree(m01);
+    g.ffree(m10);
+    g.ffree(m11);
+    g.ffree(det);
+    g.ffree(d0v);
+    g.ffree(d1v);
+    g.ffree(t);
+    g.ffree(x0);
+    g.ffree(x1);
+    g.ffree(quarter);
+    g.ffree(one);
+    g.leave_frame();
+    a.ret();
+}
+
+} // namespace
+
+void emit_bt(Ctx& c) {
+    auto& a = c.a;
+    auto& g = c.g;
+    const unsigned n = c.P.bt_n, iters = c.P.bt_iters;
+    a.udata().align(8);
+    a.data_sym("bt_u", a.udata().reserve(8 * 2 * n * n));
+    a.data_sym("bt_v", a.udata().reserve(8 * 2 * n * n));
+    a.data_sym("bt_cp", a.udata().reserve(8 * 6 * n * 8));
+    auto to_main = a.newl();
+    a.b(to_main);
+    emit_bt_sweep(c, n);
+    emit_sum_phase(c, "bt_sum", "bt_u", 2 * n * n);
+    a.bind(to_main);
+    g.enter_frame(6);
+    c.fill_f64("bt_u", 2 * n * n, 74, 1.0);
+    for (unsigned it = 0; it < iters; ++it) {
+        c.run_phase("bt_sweep", 0);
+        c.allgather("bt_v", n, 2 * n * 8); // row l = 2n contiguous doubles
+        c.run_phase("bt_sweep", 1);
+    }
+    c.run_phase("bt_sum");
+    auto cs = g.fv();
+    c.combine_partials_f64(cs, "np_partials");
+    c.verify_f64(cs, ref_bt(c.P));
+    g.ffree(cs);
+    a.movi(0, 0);
+    a.svc(os::SYS_EXIT);
+}
+
+double ref_bt(const Params& p) {
+    const unsigned n = p.bt_n;
+    std::vector<double> u(2 * n * n), v(2 * n * n);
+    for (unsigned i = 0; i < 2 * n * n; ++i) u[i] = Ctx::fill_value(74, i, 1.0);
+    std::vector<double> cp(4 * n), dp(2 * n);
+    auto sweep = [&](const std::vector<double>& in, std::vector<double>& out,
+                     int dir) {
+        for (unsigned l = 0; l < n; ++l) {
+            for (unsigned k = 0; k < n; ++k) {
+                const unsigned idx = dir == 0 ? l * n + k : k * n + l;
+                double d0 = 1.0, d1 = 1.0;
+                if (l > 0) {
+                    const unsigned nb = dir == 0 ? idx - n : idx - 1;
+                    d0 += in[2 * nb] * 0.25;
+                    d1 += in[2 * nb + 1] * 0.25;
+                }
+                if (l < n - 1) {
+                    const unsigned nb = dir == 0 ? idx + n : idx + 1;
+                    d0 += in[2 * nb] * 0.25;
+                    d1 += in[2 * nb + 1] * 0.25;
+                }
+                double m00 = 4, m01 = -1, m10 = 1, m11 = 4;
+                if (k > 0) {
+                    m00 += cp[4 * (k - 1)];
+                    m01 += cp[4 * (k - 1) + 1];
+                    m10 += cp[4 * (k - 1) + 2];
+                    m11 += cp[4 * (k - 1) + 3];
+                    d0 += dp[2 * (k - 1)];
+                    d1 += dp[2 * (k - 1) + 1];
+                }
+                const double idet = 1.0 / (m00 * m11 - m01 * m10);
+                const double i00 = m11 * idet, i11 = m00 * idet,
+                             i01 = -(m01 * idet), i10 = -(m10 * idet);
+                cp[4 * k] = -i00;
+                cp[4 * k + 1] = -i01;
+                cp[4 * k + 2] = -i10;
+                cp[4 * k + 3] = -i11;
+                dp[2 * k] = i00 * d0 + i01 * d1;
+                dp[2 * k + 1] = i10 * d0 + i11 * d1;
+            }
+            double x0 = dp[2 * (n - 1)], x1 = dp[2 * (n - 1) + 1];
+            unsigned idx = dir == 0 ? l * n + (n - 1) : (n - 1) * n + l;
+            out[2 * idx] = x0;
+            out[2 * idx + 1] = x1;
+            for (int k = static_cast<int>(n) - 2; k >= 0; --k) {
+                const double nx0 =
+                    dp[2 * k] - (cp[4 * k] * x0 + cp[4 * k + 1] * x1);
+                const double nx1 =
+                    dp[2 * k + 1] - (cp[4 * k + 2] * x0 + cp[4 * k + 3] * x1);
+                x0 = nx0;
+                x1 = nx1;
+                idx = dir == 0 ? l * n + k : k * n + l;
+                out[2 * idx] = x0;
+                out[2 * idx + 1] = x1;
+            }
+        }
+    };
+    for (unsigned it = 0; it < p.bt_iters; ++it) {
+        sweep(u, v, 0);
+        sweep(v, u, 1);
+    }
+    double cs = 0;
+    for (unsigned i = 0; i < 2 * n * n; ++i) cs += u[i];
+    return cs;
+}
+
+} // namespace serep::npb

@@ -1,0 +1,41 @@
+// Syscall ABI shared by the nanokernel and the guest runtimes.
+//
+// Arguments in r0..r3 / x0..x3, return value in r0/x0. Blocking syscalls are
+// restartable: the kernel rewinds the saved PC to the SVC instruction before
+// blocking, so a woken thread re-executes the call.
+#pragma once
+
+#include <cstdint>
+
+namespace serep::os {
+
+enum Sys : unsigned {
+    SYS_EXIT = 0,          ///< (code)           process exit; never returns
+    SYS_WRITE = 1,         ///< (buf, len)       write bytes to the process console
+    SYS_BRK = 2,           ///< (new_top)        grow heap; 0 queries; returns top or 0
+    SYS_THREAD_CREATE = 3, ///< (entry, stack_top, arg) -> tid or -1
+    SYS_THREAD_EXIT = 4,   ///< (code)           never returns
+    SYS_THREAD_JOIN = 5,   ///< (tid) -> exit code
+    SYS_FUTEX_WAIT = 6,    ///< (addr, expected) -> 0 woken / 1 value mismatch
+    SYS_FUTEX_WAKE = 7,    ///< (addr, nmax) -> number woken
+    SYS_YIELD = 8,         ///< ()
+    SYS_CHAN_SEND = 9,     ///< (chan, buf, len) len % 4 == 0, len <= kChanMsgMax
+    SYS_CHAN_RECV = 10,    ///< (chan, buf, maxlen) -> message length
+};
+
+/// Channel message payload limit (bytes); larger transfers are chunked by
+/// the MPI runtime (eager-protocol style).
+inline constexpr std::uint64_t kChanMsgMax = 240;
+inline constexpr std::uint64_t kChanSlotBytes = 256;
+inline constexpr std::uint64_t kChanSlots = 32; ///< per-channel ring capacity
+
+/// Exit code the kernel assigns to processes it kills after a fault
+/// (segfault / undefined instruction / bad syscall argument).
+inline constexpr unsigned kKilledExitCode = 139;
+
+/// channel id carrying data from `src` to `dst`
+constexpr unsigned chan_id(unsigned src, unsigned dst, unsigned nprocs) noexcept {
+    return dst * nprocs + src;
+}
+
+} // namespace serep::os

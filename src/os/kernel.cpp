@@ -1,0 +1,875 @@
+#include "os/kernel.hpp"
+
+#include <bit>
+
+#include "isa/sysreg.hpp"
+#include "util/check.hpp"
+
+namespace serep::os {
+
+using isa::Cond;
+using isa::Profile;
+using isa::SysReg;
+using kasm::Assembler;
+using kasm::Label;
+using kasm::ModTag;
+using kasm::Reg;
+
+namespace {
+
+/// Emits the kernel. Register convention inside the kernel (all user state
+/// is saved to the TCB on entry, so registers 0..12 are free on both
+/// profiles; SP is the per-core kernel stack):
+///   r4  = current TCB pointer (valid through every handler)
+///   r0..r3 = scratch / leaf-call arguments
+///   r5..r12 = handler locals
+class KernelEmitter {
+public:
+    KernelEmitter(Assembler& a, const KLayout& l, const KernelConfig& cfg)
+        : a(a), l(l), cfg(cfg), v7(a.profile() == Profile::V7),
+          W(a.wbytes()),
+          stride_shift(static_cast<unsigned>(std::countr_zero(l.tcb_stride))),
+          user_end(isa::layout::kUserBase + cfg.user_size),
+          brk_limit(user_end - isa::layout::kMainStackSize - cfg.heap_guard) {}
+
+    void emit_all() {
+        emit_boot();
+        emit_lock();
+        emit_enqueue();
+        emit_ipi_idle();
+        emit_wake_scan();
+        emit_vec();
+        emit_resched();
+        emit_schedule();
+        emit_restore_eret();
+        emit_ret();
+        emit_fault();
+        emit_svc_dispatch();
+        emit_write();
+        emit_exit();
+        emit_brk();
+        emit_thread_create();
+        emit_thread_exit();
+        emit_thread_join();
+        emit_futex_wait();
+        emit_futex_wake();
+        emit_yield();
+        emit_chan_send();
+        emit_chan_recv();
+        a.end_kernel_text();
+    }
+
+private:
+    Assembler& a;
+    const KLayout& l;
+    const KernelConfig& cfg;
+    const bool v7;
+    const unsigned W;
+    const unsigned stride_shift;
+    const std::uint64_t user_end;
+    const std::uint64_t brk_limit;
+
+    std::int64_t i64(std::uint64_t v) const { return static_cast<std::int64_t>(v); }
+    /// Saved-argument slot i of the current TCB (offset from r4).
+    std::int64_t A(unsigned i) const { return i64(l.off_ctx_gpr + i * W); }
+    unsigned lr_slot() const { return v7 ? 13u : 30u; }
+
+    /// load global word at `addr` into rd (clobbers rd only)
+    void lg(Reg rd, std::uint64_t addr) {
+        a.movi(rd, i64(addr));
+        a.ldr(rd, rd, 0);
+    }
+    /// store rs to global word at `addr` (clobbers scratch)
+    void sg(std::uint64_t addr, Reg rs, Reg scratch) {
+        a.movi(scratch, i64(addr));
+        a.str(rs, scratch, 0);
+    }
+    /// 32-bit load/store regardless of profile (channel payload copies)
+    void ld32(Reg rd, Reg base, std::int64_t off) {
+        if (v7) a.ldr(rd, base, off);
+        else a.ldrw(rd, base, off);
+    }
+    void st32(Reg rd, Reg base, std::int64_t off) {
+        if (v7) a.str(rd, base, off);
+        else a.strw(rd, base, off);
+    }
+
+    // ---------------- boot ----------------
+    void emit_boot() {
+        a.func("k_boot", ModTag::KERNEL);
+        a.set_kernel_boot(a.here());
+        a.bl("k_lock_acquire");
+        a.b_to("k_schedule");
+    }
+
+    // ---------------- spinlock ----------------
+    void emit_lock() {
+        a.func("k_lock_acquire", ModTag::KERNEL); // clobbers 0,1,2
+        auto spin = a.newl();
+        a.movi(0, i64(l.klock));
+        a.bind(spin);
+        a.ldrex(1, 0);
+        a.cmpi(1, 0);
+        a.b(Cond::NE, spin);
+        a.movi(1, 1);
+        a.strex(2, 0, 1);
+        a.cmpi(2, 0);
+        a.b(Cond::NE, spin);
+        a.ret();
+
+        a.func("k_lock_release", ModTag::KERNEL); // clobbers 0,1
+        a.movi(0, i64(l.klock));
+        a.movi(1, 0);
+        a.str(1, 0, 0);
+        a.ret();
+    }
+
+    // ---------------- run queue ----------------
+    void emit_enqueue() {
+        // r0 = tid; lock held; leaf; clobbers 1,2,3
+        a.func("k_enqueue", ModTag::KERNEL);
+        lg(2, l.runq_tail);
+        a.andi(3, 2, kRunqCap - 1);
+        a.movi(1, i64(l.runq_base));
+        a.str_word_idx(0, 1, 3);
+        a.addi(2, 2, 1);
+        sg(l.runq_tail, 2, 1);
+        a.ret();
+    }
+
+    void emit_ipi_idle() {
+        // wake every idle core; lock held; leaf; clobbers 0,1,2,3,8
+        a.func("k_ipi_idle", ModTag::KERNEL);
+        auto loop = a.newl(), next = a.newl(), done = a.newl(), send = a.newl();
+        a.sysrd(0, SysReg::NCORES);
+        a.movi(1, 0); // core
+        a.movi(2, 0); // mask
+        a.bind(loop);
+        a.cmp(1, 0);
+        a.b(Cond::GE, done);
+        a.movi(3, i64(l.current_base));
+        a.ldr_word_idx(3, 3, 1);
+        a.cmpi(3, 0);
+        a.b(Cond::NE, next);
+        a.movi(8, 1);
+        a.lslv(8, 8, 1);
+        a.orr(2, 2, 8);
+        a.bind(next);
+        a.addi(1, 1, 1);
+        a.b(loop);
+        a.bind(done);
+        a.cmpi(2, 0);
+        a.b(Cond::NE, send);
+        a.ret();
+        a.bind(send);
+        a.syswr(SysReg::IPI_SEND, 2);
+        a.ret();
+    }
+
+    void emit_wake_scan() {
+        // r0 = reason, r1 = key: wake every blocked thread matching
+        // (reason, key) regardless of process (used for channels).
+        // Lock held. Clobbers 0,1,2,3,5,7,8,9,10,11.
+        a.func("k_wake_scan", ModTag::KERNEL);
+        auto loop = a.newl(), next = a.newl(), done = a.newl(), fin = a.newl();
+        a.subi(a.sp(), a.sp(), 2 * W);
+        a.str(a.lr(), a.sp(), 0);
+        a.mov(10, 0);  // reason
+        a.mov(11, 1);  // key
+        a.movi(9, 0);  // tid
+        a.movi(7, i64(l.tcb_base));
+        a.movi(5, 0); // count
+        a.bind(loop);
+        lg(0, l.nthreads);
+        a.cmp(9, 0);
+        a.b(Cond::GE, done);
+        a.ldr(0, 7, i64(l.off_state));
+        a.cmpi(0, TCB_BLOCKED);
+        a.b(Cond::NE, next);
+        a.ldr(0, 7, i64(l.off_reason));
+        a.cmp(0, 10);
+        a.b(Cond::NE, next);
+        a.ldr(0, 7, i64(l.off_wait_key));
+        a.cmp(0, 11);
+        a.b(Cond::NE, next);
+        a.movi(0, TCB_RUNNABLE);
+        a.str(0, 7, i64(l.off_state));
+        a.movi(0, BLK_NONE);
+        a.str(0, 7, i64(l.off_reason));
+        a.mov(0, 9);
+        a.bl("k_enqueue");
+        a.addi(5, 5, 1);
+        a.bind(next);
+        a.addi(9, 9, 1);
+        a.addi(7, 7, i64(l.tcb_stride));
+        a.b(loop);
+        a.bind(done);
+        a.cmpi(5, 0);
+        a.b(Cond::EQ, fin);
+        a.bl("k_ipi_idle");
+        a.bind(fin);
+        a.ldr(a.lr(), a.sp(), 0);
+        a.addi(a.sp(), a.sp(), 2 * W);
+        a.ret();
+    }
+
+    // ---------------- trap vector ----------------
+    void emit_vec() {
+        a.func("k_vec", ModTag::KERNEL);
+        a.set_vec_entry(a.here());
+        // stash r0, r1 on the kernel stack
+        if (v7) {
+            a.subi(a.sp(), a.sp(), 8);
+            a.str(0, a.sp(), 0);
+            a.str(1, a.sp(), 4);
+        } else {
+            a.subi(a.sp(), a.sp(), 16);
+            a.stp(0, 1, a.sp(), 0);
+        }
+        a.sysrd(0, SysReg::TLS); // r0 = current TCB
+        // save r2.. into context slots (positionally register == slot)
+        if (v7) {
+            a.addi(1, 0, i64(l.off_ctx_gpr + 2 * W));
+            a.stm(1, 0x5FFC, false); // r2..r12, lr -> slots 2..13
+        } else {
+            for (unsigned r = 2; r + 1 <= 29; r += 2)
+                a.stp(static_cast<Reg>(r), static_cast<Reg>(r + 1), 0,
+                      i64(l.off_ctx_gpr + r * W));
+            a.str(30, 0, i64(l.off_ctx_gpr + 30 * W));
+        }
+        // move the stashed r0/r1 into slots 0/1
+        if (v7) {
+            a.ldr(2, a.sp(), 0);
+            a.str(2, 0, A(0));
+            a.ldr(2, a.sp(), 4);
+            a.str(2, 0, A(1));
+            a.addi(a.sp(), a.sp(), 8);
+        } else {
+            a.ldp(2, 3, a.sp(), 0);
+            a.addi(a.sp(), a.sp(), 16);
+            a.str(2, 0, A(0));
+            a.str(3, 0, A(1));
+        }
+        // flags / pc / user sp
+        a.sysrd(1, SysReg::FLAGS);
+        a.str(1, 0, i64(l.off_ctx_flags));
+        a.sysrd(1, SysReg::EPC);
+        a.str(1, 0, i64(l.off_ctx_pc));
+        a.sysrd(1, SysReg::USP);
+        a.str(1, 0, i64(l.off_ctx_sp));
+        a.mov(4, 0); // r4 = TCB for all handlers
+        // dispatch on cause
+        a.sysrd(1, SysReg::CAUSE);
+        a.andi(2, 1, 0xFF);
+        a.cmpi(2, static_cast<int>(isa::TrapCause::SVC));
+        a.b_to("k_svc", Cond::EQ);
+        a.cmpi(2, static_cast<int>(isa::TrapCause::IRQ_TIMER));
+        a.b_to("k_resched", Cond::EQ);
+        a.cmpi(2, static_cast<int>(isa::TrapCause::IRQ_IPI));
+        a.b_to("k_resched", Cond::EQ);
+        a.b_to("k_fault"); // UNDEF / DATA_ABORT / PREFETCH_ABORT
+    }
+
+    void emit_resched() {
+        a.func("k_resched", ModTag::KERNEL);
+        a.bl("k_lock_acquire");
+        a.ldr(0, 4, i64(l.off_state));
+        a.cmpi(0, TCB_RUNNING);
+        a.b_to("k_schedule", Cond::NE); // killed remotely — do not requeue
+        a.movi(0, TCB_RUNNABLE);
+        a.str(0, 4, i64(l.off_state));
+        a.movi(0, i64(l.tcb_base));
+        a.sub(0, 4, 0);
+        a.lsri(0, 0, stride_shift); // r0 = tid
+        a.bl("k_enqueue");
+        a.b_to("k_schedule");
+    }
+
+    void emit_schedule() {
+        // Lock held on entry. Pops the queue and dispatches, or idles.
+        a.func("k_schedule", ModTag::KERNEL);
+        auto loop = a.newl(), idle = a.newl();
+        a.bind(loop);
+        lg(1, l.runq_head);
+        lg(3, l.runq_tail);
+        a.cmp(1, 3);
+        a.b(Cond::EQ, idle);
+        a.andi(3, 1, kRunqCap - 1);
+        a.movi(2, i64(l.runq_base));
+        a.ldr_word_idx(5, 2, 3); // r5 = tid
+        a.addi(1, 1, 1);
+        sg(l.runq_head, 1, 0);
+        a.lsli(4, 5, stride_shift);
+        a.movi(1, i64(l.tcb_base));
+        a.add(4, 4, 1); // r4 = tcb
+        a.ldr(1, 4, i64(l.off_state));
+        a.cmpi(1, TCB_RUNNABLE);
+        a.b(Cond::NE, loop); // stale entry (killed / already running)
+        a.movi(1, TCB_RUNNING);
+        a.str(1, 4, i64(l.off_state));
+        a.sysrd(1, SysReg::CORE_ID);
+        a.movi(2, i64(l.current_base));
+        a.addi(3, 5, 1);
+        a.str_word_idx(3, 2, 1); // CURRENT[core] = tid+1
+        a.syswr(SysReg::TLS, 4);
+        a.ldr(1, 4, i64(l.off_proc));
+        a.syswr(SysReg::CURPROC, 1);
+        a.movi(1, cfg.quantum);
+        a.syswr(SysReg::TIMER, 1);
+        a.bl("k_lock_release");
+        a.b_to("k_restore_eret");
+
+        a.bind(idle);
+        a.sysrd(1, SysReg::CORE_ID);
+        a.movi(2, i64(l.current_base));
+        a.movi(3, 0);
+        a.str_word_idx(3, 2, 1); // CURRENT[core] = 0
+        a.movi(1, 0);
+        a.syswr(SysReg::TIMER, 1);
+        a.bl("k_lock_release");
+        a.wfi();
+        a.bl("k_lock_acquire");
+        a.b(loop);
+    }
+
+    void emit_restore_eret() {
+        // r4 = TCB of the thread to resume; lock released.
+        a.func("k_restore_eret", ModTag::KERNEL);
+        a.ldr(1, 4, i64(l.off_ctx_flags));
+        a.syswr(SysReg::FLAGS, 1);
+        a.ldr(1, 4, i64(l.off_ctx_pc));
+        a.syswr(SysReg::EPC, 1);
+        a.ldr(1, 4, i64(l.off_ctx_sp));
+        a.syswr(SysReg::USP, 1);
+        if (v7) {
+            // r4 is itself restored by the LDM, so address the last two
+            // slots relative to the surviving base register r0.
+            a.addi(0, 4, i64(l.off_ctx_gpr + 2 * W));
+            a.ldm(0, 0x5FFC, false); // r2..r12, lr -> slots 2..13
+            a.ldr(1, 0, -static_cast<std::int64_t>(W));
+            a.ldr(0, 0, -2 * static_cast<std::int64_t>(W));
+        } else {
+            a.mov(0, 4);
+            for (unsigned r = 2; r + 1 <= 29; r += 2)
+                a.ldp(static_cast<Reg>(r), static_cast<Reg>(r + 1), 0,
+                      i64(l.off_ctx_gpr + r * W));
+            a.ldr(30, 0, i64(l.off_ctx_gpr + 30 * W));
+            a.ldr(1, 0, A(1));
+            a.ldr(0, 0, A(0));
+        }
+        a.eret();
+    }
+
+    void emit_ret() {
+        // r0 = syscall return value; r4 = TCB. No lock held.
+        a.func("k_ret", ModTag::KERNEL);
+        a.str(0, 4, A(0));
+        a.b_to("k_restore_eret");
+    }
+
+    // ---------------- fault / kill ----------------
+    void emit_fault() {
+        a.func("k_fault", ModTag::KERNEL);
+        a.bl("k_lock_acquire");
+        a.func("k_fault_locked", ModTag::KERNEL);
+        auto loop = a.newl(), next = a.newl(), done = a.newl(), cont = a.newl();
+        a.ldr(5, 4, i64(l.off_proc)); // r5 = victim proc
+        a.movi(6, i64(l.tcb_base));
+        a.movi(7, 0);
+        a.bind(loop);
+        lg(0, l.nthreads);
+        a.cmp(7, 0);
+        a.b(Cond::GE, done);
+        a.ldr(1, 6, i64(l.off_state));
+        a.cmpi(1, TCB_FREE);
+        a.b(Cond::EQ, next);
+        a.cmpi(1, TCB_DEAD);
+        a.b(Cond::EQ, next);
+        a.ldr(2, 6, i64(l.off_proc));
+        a.cmp(2, 5);
+        a.b(Cond::NE, next);
+        a.movi(1, TCB_DEAD);
+        a.str(1, 6, i64(l.off_state));
+        a.bind(next);
+        a.addi(7, 7, 1);
+        a.addi(6, 6, i64(l.tcb_stride));
+        a.b(loop);
+        a.bind(done);
+        lg(3, l.exit_or);
+        a.orri(3, 3, kKilledExitCode);
+        sg(l.exit_or, 3, 2);
+        a.lsli(0, 5, 8);
+        a.orri(0, 0, kKilledExitCode);
+        a.syswr(SysReg::PROC_EXIT, 0);
+        lg(3, l.live_procs);
+        a.subi(3, 3, 1);
+        sg(l.live_procs, 3, 2);
+        a.cmpi(3, 0);
+        a.b(Cond::NE, cont);
+        lg(3, l.exit_or);
+        a.syswr(SysReg::SHUTDOWN, 3);
+        a.bind(cont);
+        a.b_to("k_schedule");
+    }
+
+    // ---------------- syscall dispatch ----------------
+    void emit_svc_dispatch() {
+        a.func("k_svc", ModTag::KERNEL);
+        a.sysrd(0, SysReg::CAUSE);
+        a.lsri(0, 0, 8);
+        auto match = [&](unsigned num, const char* handler) {
+            a.cmpi(0, num);
+            a.b_to(handler, Cond::EQ);
+        };
+        match(SYS_EXIT, "k_sys_exit");
+        match(SYS_WRITE, "k_sys_write");
+        match(SYS_BRK, "k_sys_brk");
+        match(SYS_THREAD_CREATE, "k_sys_thread_create");
+        match(SYS_THREAD_EXIT, "k_sys_thread_exit");
+        match(SYS_THREAD_JOIN, "k_sys_thread_join");
+        match(SYS_FUTEX_WAIT, "k_sys_futex_wait");
+        match(SYS_FUTEX_WAKE, "k_sys_futex_wake");
+        match(SYS_YIELD, "k_sys_yield");
+        match(SYS_CHAN_SEND, "k_sys_chan_send");
+        match(SYS_CHAN_RECV, "k_sys_chan_recv");
+        a.b_to("k_fault"); // unknown syscall
+    }
+
+    /// range check [start, start+len) within user region; else kill.
+    /// Assumes lock NOT held when `locked` is false.
+    void emit_uvalid(Reg start, Reg len, bool locked) {
+        const char* target = locked ? "k_fault_locked" : "k_fault";
+        a.movi(0, i64(isa::layout::kUserBase));
+        a.cmp(start, 0);
+        a.b_to(target, Cond::CC);
+        a.add(0, start, len);
+        a.movi(1, i64(user_end));
+        a.cmp(0, 1);
+        a.b_to(target, Cond::HI);
+    }
+
+    /// rewind saved PC by one instruction (restartable blocking syscalls)
+    void emit_restart_pc() {
+        a.ldr(0, 4, i64(l.off_ctx_pc));
+        a.subi(0, 0, isa::kInstrBytes);
+        a.str(0, 4, i64(l.off_ctx_pc));
+    }
+
+    void emit_block(unsigned reason, Reg key_reg) {
+        a.movi(0, TCB_BLOCKED);
+        a.str(0, 4, i64(l.off_state));
+        a.movi(0, reason);
+        a.str(0, 4, i64(l.off_reason));
+        a.str(key_reg, 4, i64(l.off_wait_key));
+        emit_restart_pc();
+        a.b_to("k_schedule");
+    }
+
+    // ---------------- handlers ----------------
+    void emit_write() {
+        a.func("k_sys_write", ModTag::KERNEL);
+        auto loop = a.newl(), done = a.newl();
+        a.ldr(2, 4, A(0)); // buf
+        a.ldr(3, 4, A(1)); // len
+        emit_uvalid(2, 3, false);
+        a.bind(loop);
+        a.cmpi(3, 0);
+        a.b(Cond::EQ, done);
+        a.ldrb(1, 2, 0);
+        a.syswr(SysReg::CONSOLE, 1);
+        a.addi(2, 2, 1);
+        a.subi(3, 3, 1);
+        a.b(loop);
+        a.bind(done);
+        a.movi(0, 0);
+        a.b_to("k_ret");
+    }
+
+    void emit_exit() {
+        a.func("k_sys_exit", ModTag::KERNEL);
+        auto cont = a.newl();
+        a.bl("k_lock_acquire");
+        a.movi(0, TCB_DEAD);
+        a.str(0, 4, i64(l.off_state));
+        a.ldr(1, 4, A(0)); // code
+        a.str(1, 4, i64(l.off_exitcode));
+        lg(3, l.exit_or);
+        a.orr(3, 3, 1);
+        sg(l.exit_or, 3, 2);
+        a.ldr(0, 4, i64(l.off_proc));
+        a.lsli(0, 0, 8);
+        a.andi(1, 1, 0xFF);
+        a.orr(0, 0, 1);
+        a.syswr(SysReg::PROC_EXIT, 0);
+        lg(3, l.live_procs);
+        a.subi(3, 3, 1);
+        sg(l.live_procs, 3, 2);
+        a.cmpi(3, 0);
+        a.b(Cond::NE, cont);
+        lg(3, l.exit_or);
+        a.syswr(SysReg::SHUTDOWN, 3);
+        a.bind(cont);
+        a.b_to("k_schedule");
+    }
+
+    void emit_brk() {
+        a.func("k_sys_brk", ModTag::KERNEL);
+        auto query = a.newl(), fail = a.newl();
+        a.bl("k_lock_acquire");
+        a.ldr(1, 4, A(0)); // new top
+        a.sysrd(2, SysReg::CURPROC);
+        a.movi(3, i64(l.proc_heap_top));
+        a.lsli(0, 2, v7 ? 2 : 3);
+        a.add(6, 3, 0); // r6 = &heap_top[proc]
+        a.cmpi(1, 0);
+        a.b(Cond::NE, query); // fallthrough below is the set path; see bind
+        // query path (k_lock_release clobbers r0/r1 — stage results in r5)
+        a.ldr(5, 6, 0);
+        a.bl("k_lock_release");
+        a.mov(0, 5);
+        a.b_to("k_ret");
+        a.bind(query); // the "set" path
+        // base <= new_top <= brk_limit
+        a.movi(3, i64(l.proc_heap_base));
+        a.lsli(0, 2, v7 ? 2 : 3);
+        a.add(3, 3, 0);
+        a.ldr(0, 3, 0); // heap base
+        a.cmp(1, 0);
+        a.b(Cond::CC, fail);
+        a.movi(0, i64(brk_limit));
+        a.cmp(1, 0);
+        a.b(Cond::HI, fail);
+        a.str(1, 6, 0);
+        a.syswr(SysReg::MAP_BRK, 1);
+        a.mov(5, 1);
+        a.bl("k_lock_release");
+        a.mov(0, 5);
+        a.b_to("k_ret");
+        a.bind(fail);
+        a.bl("k_lock_release");
+        a.movi(0, 0);
+        a.b_to("k_ret");
+    }
+
+    void emit_thread_create() {
+        a.func("k_sys_thread_create", ModTag::KERNEL);
+        auto scan = a.newl(), found = a.newl(), nofree = a.newl(), skipn = a.newl();
+        a.bl("k_lock_acquire");
+        a.movi(6, i64(l.tcb_base));
+        a.movi(7, 0);
+        a.bind(scan);
+        a.cmpi(7, kMaxThreads);
+        a.b(Cond::GE, nofree);
+        a.ldr(0, 6, i64(l.off_state));
+        a.cmpi(0, TCB_FREE);
+        a.b(Cond::EQ, found);
+        a.addi(7, 7, 1);
+        a.addi(6, 6, i64(l.tcb_stride));
+        a.b(scan);
+        a.bind(found);
+        a.movi(0, TCB_RUNNABLE);
+        a.str(0, 6, i64(l.off_state));
+        a.sysrd(0, SysReg::CURPROC);
+        a.str(0, 6, i64(l.off_proc));
+        a.movi(0, 0);
+        a.str(0, 6, i64(l.off_joiner));
+        a.str(0, 6, i64(l.off_reason));
+        a.str(0, 6, i64(l.off_ctx_flags));
+        a.str(0, 6, i64(l.off_ctx_gpr + lr_slot() * W));
+        a.ldr(0, 4, A(0));
+        a.str(0, 6, i64(l.off_ctx_pc));
+        a.ldr(0, 4, A(1));
+        a.str(0, 6, i64(l.off_ctx_sp));
+        a.ldr(0, 4, A(2));
+        a.str(0, 6, i64(l.off_ctx_gpr)); // arg -> r0
+        lg(2, l.nthreads);
+        a.addi(3, 7, 1);
+        a.cmp(2, 3);
+        a.b(Cond::GE, skipn);
+        sg(l.nthreads, 3, 1);
+        a.bind(skipn);
+        a.mov(0, 7);
+        a.bl("k_enqueue");
+        a.bl("k_ipi_idle");
+        a.bl("k_lock_release");
+        a.mov(0, 7);
+        a.b_to("k_ret");
+        a.bind(nofree);
+        a.bl("k_lock_release");
+        a.movi(0, -1);
+        a.b_to("k_ret");
+    }
+
+    void emit_thread_exit() {
+        a.func("k_sys_thread_exit", ModTag::KERNEL);
+        auto sched = a.newl();
+        a.bl("k_lock_acquire");
+        a.movi(0, TCB_DEAD);
+        a.str(0, 4, i64(l.off_state));
+        a.ldr(1, 4, A(0));
+        a.str(1, 4, i64(l.off_exitcode));
+        a.ldr(6, 4, i64(l.off_joiner));
+        a.cmpi(6, 0);
+        a.b(Cond::EQ, sched);
+        a.subi(6, 6, 1); // joiner tid
+        a.lsli(7, 6, stride_shift);
+        a.movi(1, i64(l.tcb_base));
+        a.add(7, 7, 1);
+        a.ldr(0, 7, i64(l.off_state));
+        a.cmpi(0, TCB_BLOCKED);
+        a.b(Cond::NE, sched);
+        a.movi(0, TCB_RUNNABLE);
+        a.str(0, 7, i64(l.off_state));
+        a.movi(0, BLK_NONE);
+        a.str(0, 7, i64(l.off_reason));
+        a.mov(0, 6);
+        a.bl("k_enqueue");
+        a.bl("k_ipi_idle");
+        a.bind(sched);
+        a.b_to("k_schedule");
+    }
+
+    void emit_thread_join() {
+        a.func("k_sys_thread_join", ModTag::KERNEL);
+        auto block = a.newl(), bad = a.newl();
+        a.bl("k_lock_acquire");
+        a.ldr(6, 4, A(0)); // target tid
+        a.cmpi(6, kMaxThreads);
+        a.b(Cond::CS, bad);
+        a.lsli(7, 6, stride_shift);
+        a.movi(1, i64(l.tcb_base));
+        a.add(7, 7, 1);
+        a.ldr(0, 7, i64(l.off_state));
+        a.cmpi(0, TCB_DEAD);
+        a.b(Cond::NE, block);
+        a.ldr(5, 7, i64(l.off_exitcode));
+        a.bl("k_lock_release");
+        a.mov(0, 5);
+        a.b_to("k_ret");
+        a.bind(block);
+        // register as joiner: joiner = mytid + 1
+        a.movi(1, i64(l.tcb_base));
+        a.sub(2, 4, 1);
+        a.lsri(2, 2, stride_shift);
+        a.addi(2, 2, 1);
+        a.str(2, 7, i64(l.off_joiner));
+        emit_block(BLK_JOIN, 6);
+        a.bind(bad);
+        a.bl("k_lock_release");
+        a.movi(0, -1);
+        a.b_to("k_ret");
+    }
+
+    void emit_futex_wait() {
+        a.func("k_sys_futex_wait", ModTag::KERNEL);
+        auto block = a.newl();
+        a.bl("k_lock_acquire");
+        a.ldr(6, 4, A(0)); // addr
+        // word-aligned user address
+        a.andi(0, 6, W - 1);
+        a.cmpi(0, 0);
+        a.b_to("k_fault_locked", Cond::NE);
+        a.movi(0, i64(isa::layout::kUserBase));
+        a.cmp(6, 0);
+        a.b_to("k_fault_locked", Cond::CC);
+        a.movi(0, i64(user_end - W));
+        a.cmp(6, 0);
+        a.b_to("k_fault_locked", Cond::HI);
+        a.ldr(1, 6, 0); // current value
+        a.ldr(2, 4, A(1));
+        a.cmp(1, 2);
+        a.b(Cond::EQ, block);
+        a.bl("k_lock_release");
+        a.movi(0, 1);
+        a.b_to("k_ret");
+        a.bind(block);
+        emit_block(BLK_FUTEX, 6);
+    }
+
+    void emit_futex_wake() {
+        a.func("k_sys_futex_wake", ModTag::KERNEL);
+        auto loop = a.newl(), next = a.newl(), done = a.newl(), fin = a.newl();
+        a.bl("k_lock_acquire");
+        a.ldr(6, 4, A(0)); // addr
+        a.ldr(8, 4, A(1)); // nmax
+        a.movi(5, 0);      // count
+        a.movi(9, 0);      // tid
+        a.movi(7, i64(l.tcb_base));
+        a.bind(loop);
+        lg(0, l.nthreads);
+        a.cmp(9, 0);
+        a.b(Cond::GE, done);
+        a.cmp(5, 8);
+        a.b(Cond::GE, done);
+        a.ldr(0, 7, i64(l.off_state));
+        a.cmpi(0, TCB_BLOCKED);
+        a.b(Cond::NE, next);
+        a.ldr(0, 7, i64(l.off_reason));
+        a.cmpi(0, BLK_FUTEX);
+        a.b(Cond::NE, next);
+        a.ldr(0, 7, i64(l.off_wait_key));
+        a.cmp(0, 6);
+        a.b(Cond::NE, next);
+        a.ldr(0, 7, i64(l.off_proc));
+        a.sysrd(1, SysReg::CURPROC);
+        a.cmp(0, 1);
+        a.b(Cond::NE, next);
+        a.movi(0, TCB_RUNNABLE);
+        a.str(0, 7, i64(l.off_state));
+        a.movi(0, BLK_NONE);
+        a.str(0, 7, i64(l.off_reason));
+        a.mov(0, 9);
+        a.bl("k_enqueue");
+        a.addi(5, 5, 1);
+        a.bind(next);
+        a.addi(9, 9, 1);
+        a.addi(7, 7, i64(l.tcb_stride));
+        a.b(loop);
+        a.bind(done);
+        a.cmpi(5, 0);
+        a.b(Cond::EQ, fin);
+        a.bl("k_ipi_idle");
+        a.bind(fin);
+        a.bl("k_lock_release");
+        a.mov(0, 5);
+        a.b_to("k_ret");
+    }
+
+    void emit_yield() {
+        a.func("k_sys_yield", ModTag::KERNEL);
+        a.movi(0, 0);
+        a.str(0, 4, A(0)); // return 0
+        a.b_to("k_resched");
+    }
+
+    void emit_chan_send() {
+        a.func("k_sys_chan_send", ModTag::KERNEL);
+        auto room = a.newl(), cloop = a.newl(), cdone = a.newl();
+        a.bl("k_lock_acquire");
+        a.ldr(6, 4, A(0)); // chan
+        a.cmpi(6, l.nchan);
+        a.b_to("k_fault_locked", Cond::CS);
+        a.ldr(7, 4, A(1)); // buf
+        a.ldr(8, 4, A(2)); // len
+        a.cmpi(8, i64(kChanMsgMax));
+        a.b_to("k_fault_locked", Cond::HI);
+        a.andi(0, 8, 3);
+        a.cmpi(0, 0);
+        a.b_to("k_fault_locked", Cond::NE);
+        emit_uvalid_locked(7, 8);
+        // r9 = channel record
+        a.movi(0, i64(l.chan_stride));
+        a.mul(9, 6, 0);
+        a.movi(0, i64(l.chan_base));
+        a.add(9, 9, 0);
+        a.ldr(0, 9, i64(l.choff_head));
+        a.ldr(1, 9, i64(l.choff_tail));
+        a.sub(2, 1, 0);
+        a.cmpi(2, i64(kChanSlots));
+        a.b(Cond::CC, room);
+        emit_block(BLK_CHAN_SEND, 6);
+        a.bind(room);
+        // slot = ch + ring + (tail & mask) * slot_bytes
+        a.andi(2, 1, i64(kChanSlots - 1));
+        a.lsli(2, 2, 8); // slot bytes = 256
+        a.add(2, 2, 9);
+        a.addi(2, 2, i64(l.choff_ring));
+        a.str(8, 2, 0); // length word
+        a.addi(2, 2, 8);
+        a.lsri(3, 8, 2); // 32-bit word count
+        a.bind(cloop);
+        a.cmpi(3, 0);
+        a.b(Cond::EQ, cdone);
+        ld32(0, 7, 0);
+        st32(0, 2, 0);
+        a.addi(7, 7, 4);
+        a.addi(2, 2, 4);
+        a.subi(3, 3, 1);
+        a.b(cloop);
+        a.bind(cdone);
+        a.addi(1, 1, 1);
+        a.str(1, 9, i64(l.choff_tail));
+        a.movi(0, BLK_CHAN_RECV);
+        a.mov(1, 6);
+        a.bl("k_wake_scan");
+        a.bl("k_lock_release");
+        a.movi(0, 0);
+        a.b_to("k_ret");
+    }
+
+    void emit_chan_recv() {
+        a.func("k_sys_chan_recv", ModTag::KERNEL);
+        auto avail = a.newl(), trunc = a.newl(), cloop = a.newl(), cdone = a.newl();
+        a.bl("k_lock_acquire");
+        a.ldr(6, 4, A(0)); // chan
+        a.cmpi(6, l.nchan);
+        a.b_to("k_fault_locked", Cond::CS);
+        a.ldr(7, 4, A(1)); // buf
+        a.ldr(8, 4, A(2)); // maxlen
+        emit_uvalid_locked(7, 8);
+        a.movi(0, i64(l.chan_stride));
+        a.mul(9, 6, 0);
+        a.movi(0, i64(l.chan_base));
+        a.add(9, 9, 0);
+        a.ldr(0, 9, i64(l.choff_head));
+        a.ldr(1, 9, i64(l.choff_tail));
+        a.cmp(0, 1);
+        a.b(Cond::NE, avail);
+        emit_block(BLK_CHAN_RECV, 6);
+        a.bind(avail);
+        a.andi(2, 0, i64(kChanSlots - 1));
+        a.lsli(2, 2, 8);
+        a.add(2, 2, 9);
+        a.addi(2, 2, i64(l.choff_ring));
+        a.ldr(3, 2, 0); // len
+        a.cmp(3, 8);
+        a.b(Cond::LS, trunc);
+        a.mov(3, 8);
+        a.bind(trunc);
+        a.mov(12, 3); // saved return length
+        a.addi(2, 2, 8);
+        a.lsri(3, 3, 2);
+        a.bind(cloop);
+        a.cmpi(3, 0);
+        a.b(Cond::EQ, cdone);
+        ld32(0, 2, 0);
+        st32(0, 7, 0);
+        a.addi(2, 2, 4);
+        a.addi(7, 7, 4);
+        a.subi(3, 3, 1);
+        a.b(cloop);
+        a.bind(cdone);
+        a.ldr(0, 9, i64(l.choff_head));
+        a.addi(0, 0, 1);
+        a.str(0, 9, i64(l.choff_head));
+        a.movi(0, BLK_CHAN_SEND);
+        a.mov(1, 6);
+        a.bl("k_wake_scan");
+        a.bl("k_lock_release");
+        a.mov(0, 12);
+        a.b_to("k_ret");
+    }
+
+    /// uvalid variant for handlers that already hold the lock.
+    void emit_uvalid_locked(Reg start, Reg len) {
+        a.movi(0, i64(isa::layout::kUserBase));
+        a.cmp(start, 0);
+        a.b_to("k_fault_locked", Cond::CC);
+        a.add(0, start, len);
+        a.movi(1, i64(user_end));
+        a.cmp(0, 1);
+        a.b_to("k_fault_locked", Cond::HI);
+    }
+};
+
+} // namespace
+
+KLayout build_kernel(Assembler& a, unsigned nprocs, const KernelConfig& cfg) {
+    util::check(a.here() == isa::layout::kCodeBase,
+                "build_kernel must be called before any other code");
+    const KLayout l = KLayout::make(a.profile(), nprocs, cfg.kern_size);
+    KernelEmitter(a, l, cfg).emit_all();
+    return l;
+}
+
+} // namespace serep::os

@@ -1,0 +1,75 @@
+#include "os/klayout.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace serep::os {
+
+KLayout KLayout::make(isa::Profile p, unsigned nprocs, std::uint64_t kern_size) {
+    util::check(nprocs >= 1 && nprocs <= 8, "KLayout: 1..8 processes");
+    KLayout l;
+    const auto info = isa::profile_info(p);
+    l.w = info.width_bytes;
+    l.nprocs = nprocs;
+    l.nchan = nprocs * nprocs;
+    l.kern_size = kern_size;
+
+    std::uint64_t cur = isa::layout::kKernBase;
+    auto word = [&]() {
+        const std::uint64_t a = cur;
+        cur += l.w;
+        return a;
+    };
+    auto words = [&](unsigned n) {
+        const std::uint64_t a = cur;
+        cur += std::uint64_t{n} * l.w;
+        return a;
+    };
+    auto align = [&](std::uint64_t a) { cur = (cur + a - 1) & ~(a - 1); };
+
+    l.klock = word();
+    l.runq_head = word();
+    l.runq_tail = word();
+    l.live_procs = word();
+    l.nthreads = word();
+    l.exit_or = word();
+    l.current_base = words(kMaxCores);
+    l.runq_base = words(kRunqCap);
+    l.proc_heap_base = words(nprocs);
+    l.proc_heap_top = words(nprocs);
+
+    // channels
+    align(64);
+    l.choff_head = 0;
+    l.choff_tail = l.w;
+    l.choff_ring = 64; // keep ring cache-line aligned within the record
+    l.chan_stride = l.choff_ring + kChanSlots * kChanSlotBytes;
+    l.chan_base = cur;
+    cur += l.nchan * l.chan_stride;
+
+    // TCBs
+    l.off_state = 0;
+    l.off_proc = 1 * l.w;
+    l.off_joiner = 2 * l.w;
+    l.off_wait_key = 3 * l.w;
+    l.off_reason = 4 * l.w;
+    l.off_exitcode = 5 * l.w;
+    l.off_ctx_flags = 6 * l.w;
+    l.off_ctx_pc = 7 * l.w;
+    l.off_ctx_sp = 8 * l.w;
+    l.off_ctx_gpr = 9 * l.w;
+    l.ctx_gpr_slots = p == isa::Profile::V7 ? 14 : 31;
+    l.tcb_stride = std::bit_ceil<std::uint64_t>((9 + l.ctx_gpr_slots) * l.w);
+    align(64);
+    l.tcb_base = cur;
+    cur += kMaxThreads * l.tcb_stride;
+    l.kend = cur;
+
+    const std::uint64_t stacks = isa::layout::kKernBase + kern_size -
+                                 std::uint64_t{kMaxCores} * kKernStackBytes;
+    util::check(l.kend <= stacks, "KLayout: kernel region too small");
+    return l;
+}
+
+} // namespace serep::os

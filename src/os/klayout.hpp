@@ -1,0 +1,96 @@
+// Kernel data-structure layout, shared between the kernel code generator,
+// the loader (which seeds TCBs for the main threads), and the tests.
+//
+// Everything lives in the kernel region [KERN_BASE, KERN_BASE + kern_size):
+// globals, run queue, per-process heap bookkeeping, channel rings, the TCB
+// table, and per-core kernel stacks at the top.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/layout.hpp"
+#include "isa/profile.hpp"
+#include "os/abi.hpp"
+
+namespace serep::os {
+
+inline constexpr unsigned kMaxThreads = 16;
+inline constexpr unsigned kMaxCores = 8;
+inline constexpr unsigned kRunqCap = 32; ///< power of two, > kMaxThreads
+inline constexpr std::uint64_t kKernStackBytes = 2048;
+
+/// Thread states.
+enum TcbState : unsigned {
+    TCB_FREE = 0,
+    TCB_RUNNABLE = 1,
+    TCB_RUNNING = 2,
+    TCB_BLOCKED = 3,
+    TCB_DEAD = 4,
+};
+
+/// Block reasons.
+enum BlockReason : unsigned {
+    BLK_NONE = 0,
+    BLK_FUTEX = 1,
+    BLK_JOIN = 2,
+    BLK_CHAN_SEND = 3,
+    BLK_CHAN_RECV = 4,
+};
+
+/// All addresses are guest VAs in the kernel region; field offsets scale
+/// with the profile word size W.
+struct KLayout {
+    unsigned w = 4;          ///< word bytes
+    unsigned nprocs = 1;
+    unsigned nchan = 1;
+    std::uint64_t kern_size = isa::layout::kDefaultKernSize;
+
+    // globals
+    std::uint64_t klock = 0;
+    std::uint64_t runq_head = 0;
+    std::uint64_t runq_tail = 0;
+    std::uint64_t live_procs = 0;
+    std::uint64_t nthreads = 0;
+    std::uint64_t exit_or = 0;
+    std::uint64_t current_base = 0;   ///< CURRENT[core], kMaxCores words
+    std::uint64_t runq_base = 0;      ///< kRunqCap words
+    std::uint64_t proc_heap_base = 0; ///< heap base per proc, nprocs words
+    std::uint64_t proc_heap_top = 0;  ///< current brk per proc, nprocs words
+    std::uint64_t chan_base = 0;
+    std::uint64_t chan_stride = 0;    ///< bytes per channel record
+    std::uint64_t tcb_base = 0;
+    std::uint64_t tcb_stride = 0;     ///< bytes per TCB (power of two)
+
+    // TCB field byte offsets
+    std::uint64_t off_state = 0;
+    std::uint64_t off_proc = 0;
+    std::uint64_t off_joiner = 0;
+    std::uint64_t off_wait_key = 0;
+    std::uint64_t off_reason = 0;
+    std::uint64_t off_exitcode = 0;
+    std::uint64_t off_ctx_flags = 0;
+    std::uint64_t off_ctx_pc = 0;
+    std::uint64_t off_ctx_sp = 0;
+    std::uint64_t off_ctx_gpr = 0;    ///< slot i = saved GPR i (r0..r12,lr / x0..x30)
+    unsigned ctx_gpr_slots = 0;       ///< 14 on V7, 31 on V8
+
+    // channel field byte offsets (within a channel record)
+    std::uint64_t choff_head = 0;
+    std::uint64_t choff_tail = 0;
+    std::uint64_t choff_ring = 0;
+
+    std::uint64_t kend = 0; ///< first byte after static kernel data
+
+    std::uint64_t current(unsigned core) const { return current_base + core * w; }
+    std::uint64_t runq_slot(unsigned i) const { return runq_base + i * w; }
+    std::uint64_t tcb(unsigned tid) const { return tcb_base + tid * tcb_stride; }
+    std::uint64_t chan(unsigned id) const { return chan_base + id * chan_stride; }
+    std::uint64_t kstack_top(unsigned core) const {
+        return isa::layout::kKernBase + kern_size - core * kKernStackBytes;
+    }
+
+    static KLayout make(isa::Profile p, unsigned nprocs,
+                        std::uint64_t kern_size = isa::layout::kDefaultKernSize);
+};
+
+} // namespace serep::os

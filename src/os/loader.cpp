@@ -1,0 +1,68 @@
+#include "os/loader.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace serep::os {
+
+namespace layout = isa::layout;
+
+namespace {
+
+/// Write one kernel word (host-side poke during boot).
+void kpoke(sim::Machine& m, unsigned w, std::uint64_t va, std::uint64_t value) {
+    std::memcpy(m.mem().kern_data() + (va - layout::kKernBase), &value, w);
+}
+
+} // namespace
+
+sim::Machine boot_machine(std::shared_ptr<const kasm::Image> image,
+                          const KLayout& l, const BootConfig& cfg) {
+    util::check(cfg.procs >= 1 && cfg.procs <= kMaxThreads, "boot: bad proc count");
+    util::check(cfg.procs == l.nprocs, "boot: layout/proc count mismatch");
+    util::check(image->user_entry != 0, "boot: image has no user entry");
+    util::check(image->kernel_boot != 0 && image->vec_entry != 0,
+                "boot: image has no kernel");
+
+    sim::MachineConfig mc;
+    mc.cores = cfg.cores;
+    mc.procs = cfg.procs;
+    mc.user_size = cfg.user_size;
+    mc.kern_size = cfg.kern_size;
+    mc.profile = cfg.profile;
+    sim::Machine m(std::move(image), mc);
+    sim::load_image_data(m);
+
+    const unsigned w = l.w;
+    kpoke(m, w, l.live_procs, cfg.procs);
+    kpoke(m, w, l.nthreads, cfg.procs);
+    kpoke(m, w, l.runq_head, 0);
+    kpoke(m, w, l.runq_tail, cfg.procs);
+
+    const std::uint64_t heap0 =
+        (layout::kUserBase + m.image().udata_size + layout::kPageSize - 1) &
+        ~(layout::kPageSize - 1);
+    const std::uint64_t stack_top = layout::kUserBase + cfg.user_size - 32;
+
+    for (unsigned p = 0; p < cfg.procs; ++p) {
+        kpoke(m, w, l.proc_heap_base + p * w, heap0);
+        kpoke(m, w, l.proc_heap_top + p * w, heap0);
+        kpoke(m, w, l.runq_slot(p), p);
+        const std::uint64_t tcb = l.tcb(p);
+        kpoke(m, w, tcb + l.off_state, TCB_RUNNABLE);
+        kpoke(m, w, tcb + l.off_proc, p);
+        kpoke(m, w, tcb + l.off_ctx_pc, m.image().user_entry);
+        kpoke(m, w, tcb + l.off_ctx_sp, stack_top);
+        kpoke(m, w, tcb + l.off_ctx_gpr + 0 * w, p);         // rank
+        kpoke(m, w, tcb + l.off_ctx_gpr + 1 * w, cfg.procs); // nprocs
+    }
+
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        m.core(c).regs.set_pc(m.image().kernel_boot);
+        m.core(c).regs.set_sp(l.kstack_top(c));
+    }
+    return m;
+}
+
+} // namespace serep::os

@@ -1,0 +1,28 @@
+// Boot firmware: builds a Machine from a linked image, seeds the kernel data
+// structures for the main thread of every process (MPI rank), and points
+// every core at the kernel boot entry. This plays the role of the paper's
+// "OS startup" — it happens before the fault-injection window opens.
+#pragma once
+
+#include <memory>
+
+#include "os/klayout.hpp"
+#include "sim/machine.hpp"
+
+namespace serep::os {
+
+struct BootConfig {
+    unsigned cores = 1;
+    unsigned procs = 1; ///< one main thread (rank) per process
+    std::uint64_t user_size = isa::layout::kDefaultUserSize;
+    std::uint64_t kern_size = isa::layout::kDefaultKernSize;
+    bool profile = false;
+};
+
+/// Create and initialize a machine ready to run. Main thread p starts at
+/// image.user_entry with (r0, r1) = (rank, nprocs) and a stack at the top of
+/// its user region.
+sim::Machine boot_machine(std::shared_ptr<const kasm::Image> image,
+                          const KLayout& layout, const BootConfig& cfg);
+
+} // namespace serep::os

@@ -1,0 +1,132 @@
+#include "prof/profile.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace serep::prof {
+
+ProfileData collect(const sim::Machine& m) {
+    ProfileData p;
+    p.instructions = m.total_retired();
+    p.ticks = m.time_ticks();
+    std::uint64_t l1d_h = 0, l1d_m = 0, l1i_h = 0, l1i_m = 0;
+    std::vector<std::uint64_t> per_core_user;
+    for (unsigned c = 0; c < m.cores(); ++c) {
+        const sim::CoreCounters& k = m.counters(c);
+        p.user_instr += k.user_retired;
+        p.kernel_instr += k.kernel_retired;
+        p.branches += k.branches;
+        p.taken_branches += k.taken_branches;
+        p.calls += k.calls;
+        p.loads += k.loads;
+        p.stores += k.stores;
+        p.fp_ops += k.fp_ops;
+        p.wfi_sleeps += k.wfi_sleeps;
+        per_core_user.push_back(k.user_retired);
+        l1d_h += m.l1d(c).hits();
+        l1d_m += m.l1d(c).misses();
+        l1i_h += m.l1i(c).hits();
+        l1i_m += m.l1i(c).misses();
+    }
+    const sim::MachineCounters& mc = m.machine_counters();
+    p.ctx_switches = mc.ctx_switches;
+    for (auto v : mc.syscalls) p.syscalls += v;
+    p.timer_irqs = mc.traps[static_cast<unsigned>(isa::TrapCause::IRQ_TIMER)];
+
+    const double n = static_cast<double>(p.instructions);
+    if (n > 0) {
+        p.branch_pct = 100.0 * static_cast<double>(p.branches) / n;
+        p.mem_pct = 100.0 * static_cast<double>(p.loads + p.stores) / n;
+        p.fp_pct = 100.0 * static_cast<double>(p.fp_ops) / n;
+        p.kernel_share = 100.0 * static_cast<double>(p.kernel_instr) / n;
+    }
+    if (p.stores > 0)
+        p.rd_wr_ratio = static_cast<double>(p.loads) / static_cast<double>(p.stores);
+
+    // per-core balance (user instructions)
+    if (!per_core_user.empty()) {
+        double mean = 0;
+        for (auto v : per_core_user) mean += static_cast<double>(v);
+        mean /= static_cast<double>(per_core_user.size());
+        if (mean > 0) {
+            double dev = 0;
+            for (auto v : per_core_user)
+                dev += std::fabs(static_cast<double>(v) - mean);
+            p.balance_dev_pct =
+                100.0 * dev / (mean * static_cast<double>(per_core_user.size()));
+        }
+    }
+
+    // module attribution (requires profile-mode counters)
+    const kasm::Image& img = m.image();
+    const auto& fi = m.func_instr_counts();
+    if (!fi.empty()) {
+        std::uint64_t api = 0, sf = 0;
+        for (std::size_t f = 0; f < fi.size(); ++f) {
+            const kasm::ModTag tag = img.func_tags[f];
+            if (tag == kasm::ModTag::OMP || tag == kasm::ModTag::MPI) api += fi[f];
+            if (tag == kasm::ModTag::SOFTFLOAT) sf += fi[f];
+        }
+        if (n > 0) {
+            p.api_share = 100.0 * static_cast<double>(api) / n;
+            p.softfloat_share = 100.0 * static_cast<double>(sf) / n;
+        }
+    }
+    p.vuln_window = p.kernel_share + p.api_share;
+    p.fb_calls = p.calls;
+
+    if (l1d_h + l1d_m > 0)
+        p.l1d_miss_rate = 100.0 * static_cast<double>(l1d_m) /
+                          static_cast<double>(l1d_h + l1d_m);
+    if (l1i_h + l1i_m > 0)
+        p.l1i_miss_rate = 100.0 * static_cast<double>(l1i_m) /
+                          static_cast<double>(l1i_h + l1i_m);
+    const auto l2h = m.l2().hits(), l2m = m.l2().misses();
+    if (l2h + l2m > 0)
+        p.l2_miss_rate = 100.0 * static_cast<double>(l2m) /
+                         static_cast<double>(l2h + l2m);
+    return p;
+}
+
+ProfileData profile_scenario(const npb::Scenario& s) {
+    sim::Machine m = npb::make_machine(s, true);
+    m.run_until(~0ULL >> 1);
+    util::check(m.status() == sim::RunStatus::Shutdown,
+                "profiling run did not finish: " + s.name());
+    return collect(m);
+}
+
+std::map<std::string, double> ProfileData::metrics() const {
+    return {
+        {"instructions", static_cast<double>(instructions)},
+        {"ticks", static_cast<double>(ticks)},
+        {"user_instr", static_cast<double>(user_instr)},
+        {"kernel_instr", static_cast<double>(kernel_instr)},
+        {"branches", static_cast<double>(branches)},
+        {"taken_branches", static_cast<double>(taken_branches)},
+        {"calls", static_cast<double>(calls)},
+        {"loads", static_cast<double>(loads)},
+        {"stores", static_cast<double>(stores)},
+        {"fp_ops", static_cast<double>(fp_ops)},
+        {"ctx_switches", static_cast<double>(ctx_switches)},
+        {"syscalls", static_cast<double>(syscalls)},
+        {"timer_irqs", static_cast<double>(timer_irqs)},
+        {"wfi_sleeps", static_cast<double>(wfi_sleeps)},
+        {"branch_pct", branch_pct},
+        {"mem_pct", mem_pct},
+        {"rd_wr_ratio", rd_wr_ratio},
+        {"fp_pct", fp_pct},
+        {"balance_dev_pct", balance_dev_pct},
+        {"kernel_share", kernel_share},
+        {"api_share", api_share},
+        {"softfloat_share", softfloat_share},
+        {"vuln_window", vuln_window},
+        {"l1d_miss_rate", l1d_miss_rate},
+        {"l1i_miss_rate", l1i_miss_rate},
+        {"l2_miss_rate", l2_miss_rate},
+        {"fb_calls", static_cast<double>(fb_calls)},
+    };
+}
+
+} // namespace serep::prof

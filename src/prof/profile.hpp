@@ -1,0 +1,48 @@
+// Profiling: the gem5-statistics / OVPsim-coverage analogue.
+//
+// Collects microarchitectural and software metrics from an instrumented
+// golden run: instruction mix, memory-transaction share, per-core balance,
+// cache behaviour, kernel/API vulnerability windows, per-function call
+// counts. These are the features the data-mining tool correlates with
+// fault-injection outcomes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "npb/npb.hpp"
+#include "sim/machine.hpp"
+
+namespace serep::prof {
+
+struct ProfileData {
+    std::uint64_t instructions = 0;  ///< total retired
+    std::uint64_t ticks = 0;         ///< parallel execution time
+    std::uint64_t user_instr = 0, kernel_instr = 0;
+    std::uint64_t branches = 0, taken_branches = 0, calls = 0;
+    std::uint64_t loads = 0, stores = 0, fp_ops = 0;
+    std::uint64_t ctx_switches = 0, syscalls = 0, timer_irqs = 0;
+    std::uint64_t wfi_sleeps = 0;
+    double branch_pct = 0;   ///< branches / instructions
+    double mem_pct = 0;      ///< (loads+stores) / instructions
+    double rd_wr_ratio = 0;  ///< loads / stores
+    double fp_pct = 0;
+    double balance_dev_pct = 0; ///< mean |per-core user instr - mean| / mean
+    double kernel_share = 0;    ///< kernel-mode instruction fraction
+    double api_share = 0;       ///< OMP+MPI library instruction fraction
+    double softfloat_share = 0; ///< V7 soft-float library fraction
+    double vuln_window = 0;     ///< kernel_share + api_share (paper §4.2.2)
+    double l1d_miss_rate = 0, l1i_miss_rate = 0, l2_miss_rate = 0;
+    std::uint64_t fb_calls = 0; ///< function calls (for the F*B index)
+
+    /// Flat view for the mining dataset.
+    std::map<std::string, double> metrics() const;
+};
+
+/// Collect from a finished machine built with profile=true.
+ProfileData collect(const sim::Machine& m);
+
+/// Run the scenario's golden execution with instrumentation and collect.
+ProfileData profile_scenario(const npb::Scenario& s);
+
+} // namespace serep::prof

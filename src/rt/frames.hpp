@@ -1,0 +1,38 @@
+// Uniform guest function prologue/epilogue: save the callee-saved register
+// set + link register (AAPCS-style). Used by the runtimes and by kgen.
+#pragma once
+
+#include "kasm/assembler.hpp"
+
+namespace serep::rt {
+
+inline constexpr std::uint16_t kV7SavedMask = 0x4FF0; // r4-r11, lr
+
+/// Emit "push {r4-r11, lr}" / the A64 pair-store equivalent.
+inline void push_saved(kasm::Assembler& a) {
+    if (a.profile() == isa::Profile::V7) {
+        a.subi(a.sp(), a.sp(), 36);
+        a.stm(a.sp(), kV7SavedMask, false);
+    } else {
+        a.subi(a.sp(), a.sp(), 96);
+        for (unsigned i = 0; i < 10; i += 2)
+            a.stp(static_cast<kasm::Reg>(19 + i), static_cast<kasm::Reg>(20 + i),
+                  a.sp(), i * 8);
+        a.str(30, a.sp(), 80);
+    }
+}
+
+inline void pop_saved(kasm::Assembler& a) {
+    if (a.profile() == isa::Profile::V7) {
+        a.ldm(a.sp(), kV7SavedMask, false);
+        a.addi(a.sp(), a.sp(), 36);
+    } else {
+        for (unsigned i = 0; i < 10; i += 2)
+            a.ldp(static_cast<kasm::Reg>(19 + i), static_cast<kasm::Reg>(20 + i),
+                  a.sp(), i * 8);
+        a.ldr(30, a.sp(), 80);
+        a.addi(a.sp(), a.sp(), 96);
+    }
+}
+
+} // namespace serep::rt

@@ -1,0 +1,403 @@
+#include "rt/libmpi.hpp"
+
+#include "os/abi.hpp"
+#include "rt/frames.hpp"
+
+namespace serep::rt {
+
+using isa::Cond;
+using kasm::Assembler;
+using kasm::ModTag;
+using kasm::Reg;
+
+namespace {
+
+/// load word at data symbol into rd (clobbers rd)
+void lsym(Assembler& a, Reg rd, const char* sym) {
+    a.movi_sym(rd, sym);
+    a.ldr(rd, rd, 0);
+}
+
+} // namespace
+
+void build_libmpi(Assembler& a) {
+    const bool v7 = a.profile() == isa::Profile::V7;
+    const Reg s0 = v7 ? 4 : 19, s1 = v7 ? 5 : 20, s2 = v7 ? 6 : 21,
+              s3 = v7 ? 7 : 22, s4 = v7 ? 8 : 23;
+
+    a.udata().align(8);
+    a.data_sym("mpi_rank", a.udata().reserve(8));
+    a.data_sym("mpi_size", a.udata().reserve(8));
+    a.data_sym("mpi_scratch", a.udata().reserve(2048));
+
+    // mpi_init(rank r0, size r1)
+    a.func("mpi_init", ModTag::MPI);
+    a.movi_sym(2, "mpi_rank");
+    a.str(0, 2, 0);
+    a.movi_sym(2, "mpi_size");
+    a.str(1, 2, 0);
+    a.ret();
+
+    // mpi_send(dst r0, buf r1, len r2): chan = dst*size + me
+    a.func("mpi_send", ModTag::MPI);
+    {
+        auto loop = a.newl(), done = a.newl(), capped = a.newl();
+        push_saved(a);
+        lsym(a, 3, "mpi_size");
+        a.mul(s0, 0, 3);
+        lsym(a, 3, "mpi_rank");
+        a.add(s0, s0, 3); // chan
+        a.mov(s1, 1);     // position
+        a.mov(s2, 2);     // remaining
+        a.bind(loop);
+        a.cmpi(s2, 0);
+        a.b(Cond::EQ, done);
+        a.movi(3, os::kChanMsgMax);
+        a.mov(2, s2);
+        a.cmp(s2, 3);
+        a.b(Cond::LE, capped);
+        a.mov(2, 3);
+        a.bind(capped);
+        a.mov(0, s0);
+        a.mov(1, s1);
+        a.svc(os::SYS_CHAN_SEND);
+        a.add(s1, s1, 2);
+        a.sub(s2, s2, 2);
+        a.b(loop);
+        a.bind(done);
+        pop_saved(a);
+        a.ret();
+    }
+
+    // mpi_recv(src r0, buf r1, len r2): chan = me*size + src
+    a.func("mpi_recv", ModTag::MPI);
+    {
+        auto loop = a.newl(), done = a.newl(), capped = a.newl();
+        push_saved(a);
+        lsym(a, 3, "mpi_size");
+        lsym(a, s0, "mpi_rank");
+        a.mul(s0, s0, 3);
+        a.add(s0, s0, 0); // chan
+        a.mov(s1, 1);
+        a.mov(s2, 2);
+        a.bind(loop);
+        a.cmpi(s2, 0);
+        a.b(Cond::EQ, done);
+        a.movi(3, os::kChanMsgMax);
+        a.mov(2, s2);
+        a.cmp(s2, 3);
+        a.b(Cond::LE, capped);
+        a.mov(2, 3);
+        a.bind(capped);
+        a.mov(0, s0);
+        a.mov(1, s1);
+        a.svc(os::SYS_CHAN_RECV);
+        a.add(s1, s1, 2);
+        a.sub(s2, s2, 2);
+        a.b(loop);
+        a.bind(done);
+        pop_saved(a);
+        a.ret();
+    }
+
+    // mpi_barrier(): linear gather + release through rank 0
+    a.func("mpi_barrier", ModTag::MPI);
+    {
+        auto root = a.newl(), g1 = a.newl(), g2 = a.newl(), r1 = a.newl(),
+             r2 = a.newl(), out = a.newl();
+        push_saved(a);
+        lsym(a, s0, "mpi_rank");
+        lsym(a, s1, "mpi_size");
+        a.cmpi(s1, 1);
+        a.b(Cond::EQ, out);
+        a.cmpi(s0, 0);
+        a.b(Cond::EQ, root);
+        // non-root: send token to 0, wait for release
+        a.movi(0, 0);
+        a.movi_sym(1, "mpi_scratch");
+        a.movi(2, 4);
+        a.bl("mpi_send");
+        a.movi(0, 0);
+        a.movi_sym(1, "mpi_scratch");
+        a.movi(2, 4);
+        a.bl("mpi_recv");
+        a.b(out);
+        a.bind(root);
+        a.movi(s2, 1);
+        a.bind(g1);
+        a.cmp(s2, s1);
+        a.b(Cond::GE, g2);
+        a.mov(0, s2);
+        a.movi_sym(1, "mpi_scratch");
+        a.movi(2, 4);
+        a.bl("mpi_recv");
+        a.addi(s2, s2, 1);
+        a.b(g1);
+        a.bind(g2);
+        a.movi(s2, 1);
+        a.bind(r1);
+        a.cmp(s2, s1);
+        a.b(Cond::GE, r2);
+        a.mov(0, s2);
+        a.movi_sym(1, "mpi_scratch");
+        a.movi(2, 4);
+        a.bl("mpi_send");
+        a.addi(s2, s2, 1);
+        a.b(r1);
+        a.bind(r2);
+        a.bind(out);
+        pop_saved(a);
+        a.ret();
+    }
+
+    // mpi_bcast(buf r0, len r1, root r2)
+    a.func("mpi_bcast", ModTag::MPI);
+    {
+        auto sender = a.newl(), sl = a.newl(), snext = a.newl(), sdone = a.newl(),
+             out = a.newl();
+        push_saved(a);
+        a.mov(s0, 0); // buf
+        a.mov(s1, 1); // len
+        a.mov(s2, 2); // root
+        lsym(a, s3, "mpi_rank");
+        lsym(a, s4, "mpi_size");
+        a.cmpi(s4, 1);
+        a.b(Cond::EQ, out);
+        a.cmp(s3, s2);
+        a.b(Cond::EQ, sender);
+        a.mov(0, s2);
+        a.mov(1, s0);
+        a.mov(2, s1);
+        a.bl("mpi_recv");
+        a.b(out);
+        a.bind(sender);
+        a.movi(s3, 0); // dest iterator
+        a.bind(sl);
+        a.cmp(s3, s4);
+        a.b(Cond::GE, sdone);
+        a.cmp(s3, s2);
+        a.b(Cond::EQ, snext);
+        a.mov(0, s3);
+        a.mov(1, s0);
+        a.mov(2, s1);
+        a.bl("mpi_send");
+        a.bind(snext);
+        a.addi(s3, s3, 1);
+        a.b(sl);
+        a.bind(sdone);
+        a.bind(out);
+        pop_saved(a);
+        a.ret();
+    }
+
+    // mpi_reduce_f64(send r0, recv r1, count r2, root r3)
+    a.func("mpi_reduce_f64", ModTag::MPI);
+    {
+        auto amroot = a.newl(), rl = a.newl(), rnext = a.newl(), rdone = a.newl(),
+             al = a.newl(), adone = a.newl(), out = a.newl();
+        push_saved(a);
+        a.mov(s0, 0); // send
+        a.mov(s1, 1); // recv
+        a.mov(s2, 2); // count
+        a.mov(s3, 3); // root
+        lsym(a, 2, "mpi_rank");
+        a.cmp(2, s3);
+        a.b(Cond::EQ, amroot);
+        // non-root: ship the operand to the root
+        a.mov(0, s3);
+        a.mov(1, s0);
+        a.lsli(2, s2, 3);
+        a.bl("mpi_send");
+        a.b(out);
+        a.bind(amroot);
+        // recv = send (local copy)
+        a.mov(0, s1);
+        a.mov(1, s0);
+        a.lsli(2, s2, 3);
+        a.bl("rt_memcpy");
+        // for each other rank: receive into scratch, accumulate
+        a.movi(s4, 0); // rank iterator
+        a.bind(rl);
+        lsym(a, 2, "mpi_size");
+        a.cmp(s4, 2);
+        a.b(Cond::GE, rdone);
+        a.cmp(s4, s3);
+        a.b(Cond::EQ, rnext);
+        a.mov(0, s4);
+        a.movi_sym(1, "mpi_scratch");
+        a.lsli(2, s2, 3);
+        a.bl("mpi_recv");
+        // recv[i] += scratch[i]
+        a.movi(s0, 0); // reuse s0 as element index
+        a.bind(al);
+        a.cmp(s0, s2);
+        a.b(Cond::GE, adone);
+        if (v7) {
+            a.lsli(12, s0, 3);
+            a.add(12, s1, 12);
+            a.ldr(0, 12, 0);
+            a.ldr(1, 12, 4);
+            a.movi_sym(12, "mpi_scratch");
+            a.lsli(2, s0, 3);
+            a.add(12, 12, 2);
+            a.ldr(2, 12, 0);
+            a.ldr(3, 12, 4);
+            a.bl("__adddf3");
+            a.lsli(12, s0, 3);
+            a.add(12, s1, 12);
+            a.str(0, 12, 0);
+            a.str(1, 12, 4);
+        } else {
+            a.fldr_idx(0, s1, s0, 3);
+            a.movi_sym(2, "mpi_scratch");
+            a.fldr_idx(1, 2, s0, 3);
+            a.fadd(0, 0, 1);
+            a.fstr_idx(0, s1, s0, 3);
+        }
+        a.addi(s0, s0, 1);
+        a.b(al);
+        a.bind(adone);
+        a.bind(rnext);
+        a.addi(s4, s4, 1);
+        a.b(rl);
+        a.bind(rdone);
+        a.bind(out);
+        pop_saved(a);
+        a.ret();
+    }
+
+    // mpi_allreduce_f64(send r0, recv r1, count r2)
+    a.func("mpi_allreduce_f64", ModTag::MPI);
+    {
+        push_saved(a);
+        a.mov(s0, 1); // recv
+        a.mov(s1, 2); // count
+        a.mov(1, s0);
+        a.movi(3, 0);
+        a.bl("mpi_reduce_f64");
+        a.mov(0, s0);
+        a.lsli(1, s1, 3);
+        a.movi(2, 0);
+        a.bl("mpi_bcast");
+        pop_saved(a);
+        a.ret();
+    }
+
+    // mpi_reduce_u32(send r0, recv r1, count r2, root r3)
+    a.func("mpi_reduce_u32", ModTag::MPI);
+    {
+        auto amroot = a.newl(), rl = a.newl(), rnext = a.newl(), rdone = a.newl(),
+             al = a.newl(), adone = a.newl(), out = a.newl();
+        push_saved(a);
+        a.mov(s0, 0);
+        a.mov(s1, 1);
+        a.mov(s2, 2);
+        a.mov(s3, 3);
+        lsym(a, 2, "mpi_rank");
+        a.cmp(2, s3);
+        a.b(Cond::EQ, amroot);
+        a.mov(0, s3);
+        a.mov(1, s0);
+        a.lsli(2, s2, 2);
+        a.bl("mpi_send");
+        a.b(out);
+        a.bind(amroot);
+        a.mov(0, s1);
+        a.mov(1, s0);
+        a.lsli(2, s2, 2);
+        a.bl("rt_memcpy");
+        a.movi(s4, 0);
+        a.bind(rl);
+        lsym(a, 2, "mpi_size");
+        a.cmp(s4, 2);
+        a.b(Cond::GE, rdone);
+        a.cmp(s4, s3);
+        a.b(Cond::EQ, rnext);
+        a.mov(0, s4);
+        a.movi_sym(1, "mpi_scratch");
+        a.lsli(2, s2, 2);
+        a.bl("mpi_recv");
+        a.movi(s0, 0);
+        a.bind(al);
+        a.cmp(s0, s2);
+        a.b(Cond::GE, adone);
+        a.movi_sym(2, "mpi_scratch");
+        if (v7) {
+            a.ldr_idx(0, s1, s0, 2);
+            a.ldr_idx(1, 2, s0, 2);
+            a.add(0, 0, 1);
+            a.str_idx(0, s1, s0, 2);
+        } else {
+            a.ldrw_idx(0, s1, s0, 2);
+            a.ldrw_idx(1, 2, s0, 2);
+            a.add(0, 0, 1);
+            a.strw_idx(0, s1, s0, 2);
+        }
+        a.addi(s0, s0, 1);
+        a.b(al);
+        a.bind(adone);
+        a.bind(rnext);
+        a.addi(s4, s4, 1);
+        a.b(rl);
+        a.bind(rdone);
+        a.bind(out);
+        pop_saved(a);
+        a.ret();
+    }
+
+    // mpi_alltoall(send r0, recv r1, block r2): block k -> rank k
+    a.func("mpi_alltoall", ModTag::MPI);
+    {
+        auto sl = a.newl(), snext = a.newl(), sdone = a.newl(), rl = a.newl(),
+             rnext = a.newl(), rdone = a.newl();
+        push_saved(a);
+        a.mov(s0, 0); // send
+        a.mov(s1, 1); // recv
+        a.mov(s2, 2); // block
+        lsym(a, s3, "mpi_rank");
+        lsym(a, s4, "mpi_size");
+        // local block
+        a.mul(2, s3, s2);
+        a.add(0, s1, 2);
+        a.add(1, s0, 2);
+        a.mov(2, s2);
+        a.bl("rt_memcpy");
+        // send to everyone else first (fits channel rings), then receive
+        a.movi(12, 0);
+        a.mov(v7 ? 9 : 24, 12); // iterator in an extra saved register
+        const Reg it = v7 ? 9 : 24;
+        a.bind(sl);
+        a.cmp(it, s4);
+        a.b(Cond::GE, sdone);
+        a.cmp(it, s3);
+        a.b(Cond::EQ, snext);
+        a.mul(2, it, s2);
+        a.add(1, s0, 2);
+        a.mov(0, it);
+        a.mov(2, s2);
+        a.bl("mpi_send");
+        a.bind(snext);
+        a.addi(it, it, 1);
+        a.b(sl);
+        a.bind(sdone);
+        a.movi(it, 0);
+        a.bind(rl);
+        a.cmp(it, s4);
+        a.b(Cond::GE, rdone);
+        a.cmp(it, s3);
+        a.b(Cond::EQ, rnext);
+        a.mul(2, it, s2);
+        a.add(1, s1, 2);
+        a.mov(0, it);
+        a.mov(2, s2);
+        a.bl("mpi_recv");
+        a.bind(rnext);
+        a.addi(it, it, 1);
+        a.b(rl);
+        a.bind(rdone);
+        pop_saved(a);
+        a.ret();
+    }
+}
+
+} // namespace serep::rt

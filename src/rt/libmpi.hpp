@@ -1,0 +1,26 @@
+// MPI-like guest runtime: one process per rank, kernel message channels,
+// eager-protocol chunking, linear collectives. SPMD with independent
+// per-rank threads — the balanced structure the paper credits for MPI's
+// higher masking rate; lost/corrupted messages deadlock (-> Hang), the
+// failure mode the paper attributes to MPI.
+//
+// Guest symbols (tag MPI), args in r0..r3:
+//  * mpi_init(rank, size)
+//  * mpi_send(dst, buf, len)  / mpi_recv(src, buf, len)  — len % 4 == 0,
+//    chunked into <=240-byte channel messages
+//  * mpi_barrier()
+//  * mpi_bcast(buf, len, root)
+//  * mpi_reduce_f64(send, recv, count, root)   — count <= 256
+//  * mpi_allreduce_f64(send, recv, count)      — reduce to 0 + bcast
+//  * mpi_reduce_u32(send, recv, count, root)   — count <= 512
+//  * mpi_alltoall(send, recv, block_bytes)     — block <= 7168 per rank
+// Data symbols: mpi_rank, mpi_size.
+#pragma once
+
+#include "kasm/assembler.hpp"
+
+namespace serep::rt {
+
+void build_libmpi(kasm::Assembler& a);
+
+} // namespace serep::rt

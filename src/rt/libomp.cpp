@@ -1,0 +1,153 @@
+#include "rt/libomp.hpp"
+
+#include "isa/sysreg.hpp"
+#include "os/abi.hpp"
+#include "rt/frames.hpp"
+
+namespace serep::rt {
+
+using isa::Cond;
+using isa::SysReg;
+using kasm::Assembler;
+using kasm::ModTag;
+using kasm::Reg;
+
+void build_libomp(Assembler& a) {
+    const bool v7 = a.profile() == isa::Profile::V7;
+    const Reg s0 = v7 ? 4 : 19, s1 = v7 ? 5 : 20, s2 = v7 ? 6 : 21,
+              s3 = v7 ? 7 : 22;
+
+    a.udata().align(8);
+    a.data_sym("omp_nth", a.udata().reserve(8));
+    a.data_sym("omp_gen", a.udata().reserve(8));
+    a.data_sym("omp_fn", a.udata().reserve(8));
+    a.data_sym("omp_arg", a.udata().reserve(8));
+    a.data_sym("omp_done", a.udata().reserve(8));
+    a.data_sym("omp_partials", a.udata().reserve(8 * 8));
+
+    // old = omp_atomic_inc(addr r0)
+    a.func("omp_atomic_inc", ModTag::OMP);
+    auto retry = a.newl();
+    a.bind(retry);
+    a.ldrex(1, 0);
+    a.addi(2, 1, 1);
+    a.strex(3, 0, 2);
+    a.cmpi(3, 0);
+    a.b(Cond::NE, retry);
+    a.mov(0, 1);
+    a.ret();
+
+    // omp_worker(arg r0 = my thread id) — never returns
+    a.func("omp_worker", ModTag::OMP);
+    {
+        auto wloop = a.newl(), inner = a.newl(), go = a.newl();
+        a.mov(s0, 0); // my tid
+        a.movi(s1, 0); // last seen generation
+        a.bind(wloop);
+        a.movi_sym(s2, "omp_gen");
+        a.bind(inner);
+        a.ldr(2, s2, 0);
+        a.cmp(2, s1);
+        a.b(Cond::NE, go);
+        a.mov(0, s2);
+        a.mov(1, s1);
+        a.svc(os::SYS_FUTEX_WAIT);
+        a.b(inner);
+        a.bind(go);
+        a.mov(s1, 2);
+        // fn(arg, tid, nth)
+        a.movi_sym(2, "omp_fn");
+        a.ldr(s3, 2, 0);
+        a.movi_sym(2, "omp_arg");
+        a.ldr(0, 2, 0);
+        a.mov(1, s0);
+        a.movi_sym(2, "omp_nth");
+        a.ldr(2, 2, 0);
+        a.blr(s3);
+        // arrive: done++ then wake the joiner
+        a.movi_sym(0, "omp_done");
+        a.bl("omp_atomic_inc");
+        a.movi_sym(0, "omp_done");
+        a.movi(1, 1);
+        a.svc(os::SYS_FUTEX_WAKE);
+        a.b(wloop);
+    }
+
+    // omp_init() — team size from NCORES; spawns nth-1 workers
+    a.func("omp_init", ModTag::OMP);
+    {
+        auto loop = a.newl(), done = a.newl();
+        push_saved(a);
+        a.sysrd(s0, SysReg::NCORES);
+        a.movi_sym(2, "omp_nth");
+        a.str(s0, 2, 0);
+        a.movi(s1, 1);
+        a.bind(loop);
+        a.cmp(s1, s0);
+        a.b(Cond::GE, done);
+        // 16 KiB worker stack from the heap
+        a.movi(0, 0);
+        a.svc(os::SYS_BRK);
+        a.mov(s2, 0);
+        a.addi(0, s2, 16384);
+        a.svc(os::SYS_BRK);
+        a.mov(1, 0); // stack top
+        a.movi_sym(0, "omp_worker");
+        a.mov(2, s1);
+        a.svc(os::SYS_THREAD_CREATE);
+        a.addi(s1, s1, 1);
+        a.b(loop);
+        a.bind(done);
+        pop_saved(a);
+        a.ret();
+    }
+
+    // omp_parallel(fn r0, arg r1)
+    a.func("omp_parallel", ModTag::OMP);
+    {
+        auto wait = a.newl(), finished = a.newl();
+        push_saved(a);
+        a.movi_sym(2, "omp_fn");
+        a.str(0, 2, 0);
+        a.movi_sym(2, "omp_arg");
+        a.str(1, 2, 0);
+        a.movi_sym(2, "omp_done");
+        a.movi(3, 0);
+        a.str(3, 2, 0);
+        // publish a new generation, then wake the team
+        a.movi_sym(2, "omp_gen");
+        a.ldr(3, 2, 0);
+        a.addi(3, 3, 1);
+        a.str(3, 2, 0);
+        a.mov(0, 2);
+        a.movi(1, 8);
+        a.svc(os::SYS_FUTEX_WAKE);
+        // the caller is team member 0
+        a.movi_sym(2, "omp_fn");
+        a.ldr(3, 2, 0);
+        a.movi_sym(2, "omp_arg");
+        a.ldr(0, 2, 0);
+        a.movi(1, 0);
+        a.movi_sym(2, "omp_nth");
+        a.ldr(2, 2, 0);
+        a.blr(3);
+        // join: wait until done == nth-1
+        a.bind(wait);
+        a.movi_sym(2, "omp_nth");
+        a.ldr(s0, 2, 0);
+        a.subi(s0, s0, 1);
+        a.movi_sym(2, "omp_done");
+        a.ldr(3, 2, 0);
+        a.cmp(3, s0);
+        a.b(Cond::GE, finished);
+        a.mov(0, 2);
+        a.mov(1, 3);
+        a.svc(os::SYS_FUTEX_WAIT);
+        a.b(wait);
+        a.bind(finished);
+        pop_saved(a);
+        a.ret();
+    }
+}
+
+} // namespace serep::rt

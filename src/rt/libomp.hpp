@@ -1,0 +1,23 @@
+// OpenMP-like guest runtime: a persistent thread team driven through
+// fork/join parallel regions — the structure the paper's §4.2 reasons
+// about (serial sections leave cores idle in the scheduler; imbalance
+// raises the kernel's share of execution).
+//
+// API (guest symbols, tag OMP):
+//  * omp_init()                     — team size = core count (NCORES);
+//                                     creates workers with brk'd stacks
+//  * omp_parallel(fn, arg)          — run fn(arg, tid, nthreads) on every
+//                                     team member incl. the caller; returns
+//                                     after all arrive (futex join)
+//  * omp_atomic_inc(addr) -> old    — user-mode LDREX/STREX increment
+// Data symbols: omp_nth, and "omp_partials" — 8 doubles for reductions
+// (bodies write partial[tid]; the caller combines serially).
+#pragma once
+
+#include "kasm/assembler.hpp"
+
+namespace serep::rt {
+
+void build_libomp(kasm::Assembler& a);
+
+} // namespace serep::rt

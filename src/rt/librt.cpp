@@ -1,0 +1,227 @@
+#include "rt/librt.hpp"
+
+#include "isa/sysreg.hpp"
+#include "os/abi.hpp"
+
+namespace serep::rt {
+
+using isa::Cond;
+using isa::Profile;
+using kasm::Assembler;
+using kasm::ModTag;
+using kasm::Reg;
+
+namespace {
+
+/// digit value in `d` (0..15) -> ASCII in `ch` (clobbers flags)
+void emit_hex_digit(Assembler& a, Reg ch, Reg d) {
+    auto alpha = a.newl();
+    a.addi(ch, d, '0');
+    a.cmpi(d, 10);
+    a.b(Cond::LT, alpha);
+    a.addi(ch, d, 'a' - 10);
+    a.bind(alpha);
+}
+
+void emit_memcpy(Assembler& a) {
+    const bool v7 = a.profile() == Profile::V7;
+    const unsigned w = a.wbytes();
+    // rt_memcpy(dst r0, src r1, n r2); clobbers r3, r12
+    a.func("rt_memcpy", ModTag::LIBRT);
+    auto wloop = a.newl(), bloop = a.newl(), btest = a.newl(), done = a.newl();
+    a.bind(wloop);
+    a.cmpi(2, w);
+    a.b(Cond::CC, btest);
+    a.ldr(3, 1, 0);
+    a.str(3, 0, 0);
+    a.addi(0, 0, w);
+    a.addi(1, 1, w);
+    a.subi(2, 2, w);
+    a.b(wloop);
+    a.bind(btest);
+    a.cmpi(2, 0);
+    a.b(Cond::EQ, done);
+    a.bind(bloop);
+    a.ldrb(3, 1, 0);
+    a.strb(3, 0, 0);
+    a.addi(0, 0, 1);
+    a.addi(1, 1, 1);
+    a.subsi(2, 2, 1);
+    a.b(Cond::NE, bloop);
+    a.bind(done);
+    a.ret();
+    (void)v7;
+}
+
+void emit_memset(Assembler& a) {
+    // rt_memset(dst r0, byte r1, n r2)
+    a.func("rt_memset", ModTag::LIBRT);
+    auto loop = a.newl(), done = a.newl();
+    a.cmpi(2, 0);
+    a.b(Cond::EQ, done);
+    a.bind(loop);
+    a.strb(1, 0, 0);
+    a.addi(0, 0, 1);
+    a.subsi(2, 2, 1);
+    a.b(Cond::NE, loop);
+    a.bind(done);
+    a.ret();
+}
+
+void emit_udiv32(Assembler& a) {
+    // V7 software division: (r0 = num, r1 = den) -> r0 = quotient,
+    // r1 = remainder. Division by zero returns (0, num) like the ARM
+    // hardware quotient convention.
+    a.func("__udiv32", ModTag::LIBRT);
+    auto loop = a.newl(), skip = a.newl(), divzero = a.newl();
+    a.cmpi(1, 0);
+    a.b(Cond::EQ, divzero);
+    a.movi(2, 0);  // quotient
+    a.movi(3, 0);  // remainder
+    a.movi(12, 32);
+    a.bind(loop);
+    a.adds(0, 0, 0);  // num <<= 1, carry = old bit31
+    a.adcs(3, 3, 3);  // rem = rem<<1 | carry
+    a.lsli(2, 2, 1);
+    a.cmp(3, 1);
+    a.b(Cond::CC, skip);
+    a.sub(3, 3, 1);
+    a.orri(2, 2, 1);
+    a.bind(skip);
+    a.subsi(12, 12, 1);
+    a.b(Cond::NE, loop);
+    a.mov(0, 2);
+    a.mov(1, 3);
+    a.ret();
+    a.bind(divzero);
+    a.mov(1, 0);
+    a.movi(0, 0);
+    a.ret();
+}
+
+void emit_sdiv32(Assembler& a) {
+    // (r0 = num, r1 = den) -> r0 = quotient (truncated toward zero)
+    a.func("__sdiv32", ModTag::LIBRT);
+    // save r4, lr
+    a.subi(a.sp(), a.sp(), 8);
+    a.stm(a.sp(), (1u << 4) | (1u << 14), false);
+    a.eor(4, 0, 1);
+    a.lsri(4, 4, 31); // result sign
+    a.movi(12, 0);
+    a.cmpi(0, 0);
+    a.when(Cond::LT).sub(0, 12, 0);
+    a.cmpi(1, 0);
+    a.when(Cond::LT).sub(1, 12, 1);
+    a.bl("__udiv32");
+    a.movi(12, 0);
+    a.cmpi(4, 0);
+    a.when(Cond::NE).sub(0, 12, 0);
+    a.ldm(a.sp(), (1u << 4) | (1u << 14), false);
+    a.addi(a.sp(), a.sp(), 8);
+    a.ret();
+}
+
+void emit_print_hex(Assembler& a) {
+    const bool v7 = a.profile() == Profile::V7;
+    // V7: (r0 = lo, r1 = hi); V8: x0 = value. Prints 16 hex digits + '\n'.
+    // Clobbers r0..r3, r12. Not thread-safe (per-process scratch buffer).
+    a.func("rt_print_hex", ModTag::LIBRT);
+    a.movi_sym(3, "rt_scratch");
+    if (v7) {
+        // low word -> positions 15..8, high word -> 7..0
+        for (int src = 0; src < 2; ++src) {
+            const Reg val = src == 0 ? 0 : 1;
+            const int hi_idx = src == 0 ? 15 : 7;
+            for (int i = 0; i < 8; ++i) {
+                a.andi(2, val, 15);
+                emit_hex_digit(a, 12, 2);
+                a.strb(12, 3, hi_idx - i);
+                if (i != 7) a.lsri(val, val, 4);
+            }
+        }
+    } else {
+        for (int i = 15; i >= 0; --i) {
+            a.andi(2, 0, 15);
+            emit_hex_digit(a, 12, 2);
+            a.strb(12, 3, i);
+            if (i != 0) a.lsri(0, 0, 4);
+        }
+    }
+    a.movi(12, '\n');
+    a.strb(12, 3, 16);
+    a.mov(0, 3);
+    a.movi(1, 17);
+    a.svc(os::SYS_WRITE);
+    a.ret();
+}
+
+void emit_print_dec(Assembler& a) {
+    const bool v7 = a.profile() == Profile::V7;
+    // unsigned value in r0, prints decimal + '\n'. V7 exercises the
+    // software divider (the authentic no-hardware-divide cost).
+    a.func("rt_print_dec", ModTag::LIBRT);
+    if (v7) {
+        // save r4 (digit cursor), r5 (scratch base), lr
+        a.subi(a.sp(), a.sp(), 12);
+        a.stm(a.sp(), (1u << 4) | (1u << 5) | (1u << 14), false);
+        a.movi_sym(5, "rt_scratch");
+        a.movi(4, 31);
+        a.movi(12, '\n');
+        a.strb(12, 5, 31);
+        auto loop = a.newl();
+        a.bind(loop);
+        a.movi(1, 10);
+        a.bl("__udiv32"); // r0 = q, r1 = rem
+        a.addi(1, 1, '0');
+        a.subi(4, 4, 1);
+        a.strb_idx(1, 5, 4);
+        a.cmpi(0, 0);
+        a.b(Cond::NE, loop);
+        a.add(0, 5, 4);
+        a.movi(1, 32);
+        a.sub(1, 1, 4);
+        a.svc(os::SYS_WRITE);
+        a.ldm(a.sp(), (1u << 4) | (1u << 5) | (1u << 14), false);
+        a.addi(a.sp(), a.sp(), 12);
+        a.ret();
+    } else {
+        a.movi_sym(5, "rt_scratch"); // x5 scratch base (caller-saved on V8)
+        a.movi(4, 31);
+        a.movi(12, '\n');
+        a.strb(12, 5, 31);
+        auto loop = a.newl();
+        a.bind(loop);
+        a.movi(1, 10);
+        a.udiv(2, 0, 1);  // q
+        a.mul(3, 2, 1);
+        a.sub(3, 0, 3);   // rem
+        a.addi(3, 3, '0');
+        a.subi(4, 4, 1);
+        a.strb_idx(3, 5, 4);
+        a.mov(0, 2);
+        a.cmpi(0, 0);
+        a.b(Cond::NE, loop);
+        a.add(0, 5, 4);
+        a.movi(1, 32);
+        a.sub(1, 1, 4);
+        a.svc(os::SYS_WRITE);
+        a.ret();
+    }
+}
+
+} // namespace
+
+void build_librt(Assembler& a) {
+    a.udata().align(8);
+    a.data_sym("rt_scratch", a.udata().reserve(96));
+    emit_memcpy(a);
+    emit_memset(a);
+    if (a.profile() == Profile::V7) {
+        emit_udiv32(a);
+        emit_sdiv32(a);
+    }
+    emit_print_hex(a);
+    emit_print_dec(a);
+}
+
+} // namespace serep::rt

@@ -1,0 +1,21 @@
+// Guest runtime support library (libgcc/libc analogue), emitted as guest
+// code. On V7 this includes software integer division — the Cortex-A9 has
+// no divide instruction — so division-heavy code pays the authentic cost.
+#pragma once
+
+#include "kasm/assembler.hpp"
+
+namespace serep::rt {
+
+/// Emit librt functions (tag LIBRT). Provides:
+///  * rt_memcpy(dst, src, n)          — word-sized copy with byte tail
+///  * rt_memset(dst, byte, n)
+///  * __udiv32 / __umod32 (V7 only)   — software division, (r0 / r1)
+///  * __sdiv32 (V7 only)
+///  * rt_print_hex                    — value (r0 / r1:r0 pair on V7) as 16
+///                                      hex chars + '\n' to the console
+///  * rt_print_dec                    — unsigned decimal + '\n'
+/// A 96-byte per-process scratch buffer "rt_scratch" is reserved in udata.
+void build_librt(kasm::Assembler& a);
+
+} // namespace serep::rt

@@ -1,0 +1,593 @@
+#include "rt/softfloat.hpp"
+
+#include "util/check.hpp"
+
+namespace serep::rt {
+
+using isa::Cond;
+using kasm::Assembler;
+using kasm::ModTag;
+
+namespace {
+
+// Register roles inside the library (args r0..r3 per the ABI):
+//   r4 result sign   r5 sign(b)/scratch   r6 exp(a)/result exp   r7 exp(b)
+//   r8:r0 mantissa A (hi:lo)   r9:r2 mantissa B   r10 sticky
+//   r3, r11, r12 scratch (r1/r3 free once unpacked)
+constexpr std::uint16_t kSaveMask = 0x4FF0; // r4-r11 + lr
+constexpr int kSaveBytes = 9 * 4;
+
+void push_frame(Assembler& a) {
+    a.subi(a.sp(), a.sp(), kSaveBytes);
+    a.stm(a.sp(), kSaveMask, false);
+}
+void pop_frame_ret(Assembler& a) {
+    a.ldm(a.sp(), kSaveMask, false);
+    a.addi(a.sp(), a.sp(), kSaveBytes);
+    a.ret();
+}
+
+/// Shared rounding + packing. Inputs: r4 = sign, r6 = exponent field,
+/// r8:r0 = 56-bit mantissa (implicit bit at 55, i.e. hi bit 23) or zero,
+/// r10 = sticky. Output packed double in (r0, r1). Leaf (no stack).
+void emit_round_pack(Assembler& a) {
+    a.func("__sf_round_pack", ModTag::SOFTFLOAT);
+    auto inc = a.newl(), done = a.newl(), inf = a.newl(), zero = a.newl(),
+         noovf = a.newl();
+    a.orr(12, 8, 0);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, zero);
+    a.cmpi(10, 0);
+    a.when(Cond::NE).orri(0, 0, 1); // merge sticky into the S bit
+    a.andi(12, 0, 7);               // G|R|S
+    a.lsri(0, 0, 3);
+    a.lsli(11, 8, 29);
+    a.orr(0, 0, 11);
+    a.lsri(8, 8, 3);
+    a.cmpi(12, 4);
+    a.b(Cond::CC, done); // below half: truncate
+    a.b(Cond::HI, inc);  // above half: round up
+    a.andi(11, 0, 1);    // tie: round to even
+    a.cmpi(11, 0);
+    a.b(Cond::EQ, done);
+    a.bind(inc);
+    a.addsi(0, 0, 1);
+    a.movi(11, 0);
+    a.adcs(8, 8, 11);
+    a.movi(11, 0x200000); // mantissa overflow to 2^53?
+    a.tst(8, 11);
+    a.b(Cond::EQ, done);
+    a.lsri(0, 0, 1);
+    a.lsli(11, 8, 31);
+    a.orr(0, 0, 11);
+    a.lsri(8, 8, 1);
+    a.addi(6, 6, 1);
+    a.bind(done);
+    a.cmpi(6, 0x7FF);
+    a.b(Cond::GE, inf);
+    a.cmpi(6, 0);
+    a.b(Cond::LE, zero);
+    a.lsli(1, 4, 31);
+    a.lsli(11, 6, 20);
+    a.orr(1, 1, 11);
+    a.movi(11, 0xFFFFF);
+    a.and_(11, 8, 11);
+    a.orr(1, 1, 11);
+    a.ret();
+    a.bind(noovf); // (unused label kept out of the stream)
+    a.bind(inf);
+    a.lsli(1, 4, 31);
+    a.movi(11, 0x7FF00000);
+    a.orr(1, 1, 11);
+    a.movi(0, 0);
+    a.ret();
+    a.bind(zero);
+    a.lsli(1, 4, 31);
+    a.movi(0, 0);
+    a.ret();
+}
+
+/// Unpack exponents/signs of a and b into r4/r5 (signs) and r6/r7 (exps).
+void emit_unpack_se(Assembler& a) {
+    a.lsri(4, 1, 31);
+    a.lsri(5, 3, 31);
+    a.lsri(6, 1, 20);
+    a.andi(6, 6, 0x7FF);
+    a.lsri(7, 3, 20);
+    a.andi(7, 7, 0x7FF);
+}
+
+void emit_adddf3(Assembler& a) {
+    a.func("__adddf3", ModTag::SOFTFLOAT);
+    auto ret_a = a.newl(), ret_b = a.newl(), noswap = a.newl(), aligned = a.newl(),
+         shift_small = a.newl(), shift_big = a.newl(), b_tiny = a.newl(),
+         do_sub = a.newl(), asub = a.newl(), bswap = a.newl(), cancel = a.newl(),
+         nostick = a.newl(), norm = a.newl(), norm2 = a.newl(), pack = a.newl(),
+         add_noovf = a.newl();
+    push_frame(a);
+    emit_unpack_se(a);
+    a.cmpi(6, 0);
+    a.b(Cond::EQ, ret_b); // a == 0 (flushed): result is b
+    a.cmpi(7, 0);
+    a.b(Cond::EQ, ret_a);
+    a.cmpi(6, 0x7FF);
+    a.b(Cond::EQ, ret_a); // propagate a = inf/NaN
+    a.cmpi(7, 0x7FF);
+    a.b(Cond::EQ, ret_b);
+    // mantissas with implicit bit, pre-shifted left 3 (G/R/S space)
+    a.movi(12, 0xFFFFF);
+    a.and_(8, 1, 12);
+    a.orri(8, 8, 0x100000);
+    a.lsli(8, 8, 3);
+    a.lsri(11, 0, 29);
+    a.orr(8, 8, 11);
+    a.lsli(0, 0, 3);
+    a.and_(9, 3, 12);
+    a.orri(9, 9, 0x100000);
+    a.lsli(9, 9, 3);
+    a.lsri(11, 2, 29);
+    a.orr(9, 9, 11);
+    a.lsli(2, 2, 3);
+    a.movi(10, 0);
+    // make exp(a) >= exp(b)
+    a.cmp(6, 7);
+    a.b(Cond::GE, noswap);
+    a.mov(11, 6); a.mov(6, 7); a.mov(7, 11);
+    a.mov(11, 4); a.mov(4, 5); a.mov(5, 11);
+    a.mov(11, 8); a.mov(8, 9); a.mov(9, 11);
+    a.mov(11, 0); a.mov(0, 2); a.mov(2, 11);
+    a.bind(noswap);
+    a.sub(11, 6, 7); // d
+    a.cmpi(11, 0);
+    a.b(Cond::EQ, aligned);
+    a.cmpi(11, 56);
+    a.b(Cond::GE, b_tiny);
+    a.cmpi(11, 32);
+    a.b(Cond::GE, shift_big);
+    a.bind(shift_small); // d in [1,31]
+    a.movi(12, 1);
+    a.lslv(12, 12, 11);
+    a.subi(12, 12, 1);
+    a.and_(12, 2, 12);
+    a.orr(10, 10, 12);
+    a.lsrv(2, 2, 11);
+    a.movi(12, 32);
+    a.sub(12, 12, 11);
+    a.lslv(3, 9, 12);
+    a.orr(2, 2, 3);
+    a.lsrv(9, 9, 11);
+    a.b(aligned);
+    a.bind(shift_big); // d in [32,55]
+    a.orr(10, 10, 2);
+    a.subi(11, 11, 32);
+    a.movi(12, 1);
+    a.lslv(12, 12, 11);
+    a.subi(12, 12, 1);
+    a.and_(12, 9, 12);
+    a.orr(10, 10, 12);
+    a.lsrv(2, 9, 11);
+    a.movi(9, 0);
+    a.b(aligned);
+    a.bind(b_tiny);
+    a.orr(10, 10, 2);
+    a.orr(10, 10, 9);
+    a.movi(2, 0);
+    a.movi(9, 0);
+    a.bind(aligned);
+    a.cmp(4, 5);
+    a.b(Cond::NE, do_sub);
+    // same sign: magnitude add
+    a.adds(0, 0, 2);
+    a.adcs(8, 8, 9);
+    a.movi(11, 0x1000000); // carry into bit 24?
+    a.tst(8, 11);
+    a.b(Cond::EQ, add_noovf);
+    a.andi(11, 0, 1);
+    a.orr(10, 10, 11);
+    a.lsri(0, 0, 1);
+    a.lsli(11, 8, 31);
+    a.orr(0, 0, 11);
+    a.lsri(8, 8, 1);
+    a.addi(6, 6, 1);
+    a.bind(add_noovf);
+    a.b(pack);
+    a.bind(do_sub);
+    // |A| vs |B| (exponents already aligned)
+    a.cmp(8, 9);
+    a.b(Cond::HI, asub);
+    a.b(Cond::CC, bswap);
+    a.cmp(0, 2);
+    a.b(Cond::HI, asub);
+    a.b(Cond::CC, bswap);
+    a.bind(cancel); // equal magnitudes: exact zero (sticky only -> flush)
+    a.movi(8, 0);
+    a.movi(0, 0);
+    a.movi(4, 0);
+    a.movi(10, 0);
+    a.b(pack);
+    a.bind(bswap);
+    a.mov(11, 8); a.mov(8, 9); a.mov(9, 11);
+    a.mov(11, 0); a.mov(0, 2); a.mov(2, 11);
+    a.mov(4, 5);
+    a.bind(asub);
+    a.subs(0, 0, 2);
+    a.sbcs(8, 8, 9);
+    // alignment sticky means the true subtrahend was a hair larger
+    a.cmpi(10, 0);
+    a.b(Cond::EQ, nostick);
+    a.subsi(0, 0, 1);
+    a.movi(11, 0);
+    a.sbcs(8, 8, 11);
+    a.bind(nostick);
+    // Normalize so the leading bit lands at pair bit 55 (hi bit 23).
+    a.orr(11, 8, 0);
+    a.cmpi(11, 0);
+    a.b(Cond::EQ, pack); // zero mantissa -> packs to zero
+    a.cmpi(8, 0);
+    a.b(Cond::NE, norm);
+    // hi word empty: required shift n = 24 + clz(lo), n in [24, 55]
+    a.clz(11, 0);
+    a.addi(11, 11, 24);
+    a.sub(6, 6, 11);
+    a.cmpi(11, 32);
+    a.b(Cond::CC, norm2);
+    a.subi(11, 11, 32); // n >= 32: everything moves into hi
+    a.lslv(8, 0, 11);
+    a.movi(0, 0);
+    a.b(pack);
+    a.bind(norm2); // n in [24, 31]: split lo across the pair
+    a.movi(12, 32);
+    a.sub(12, 12, 11);
+    a.lsrv(8, 0, 12);
+    a.lslv(0, 0, 11);
+    a.b(pack);
+    a.bind(norm); // hi nonzero: n = clz(hi) - 8 in [0, 23]
+    a.clz(11, 8);
+    a.subi(11, 11, 8);
+    a.cmpi(11, 0);
+    a.b(Cond::EQ, pack);
+    a.lslv(8, 8, 11);
+    a.movi(12, 32);
+    a.sub(12, 12, 11);
+    a.lsrv(3, 0, 12);
+    a.orr(8, 8, 3);
+    a.lslv(0, 0, 11);
+    a.sub(6, 6, 11);
+    a.bind(pack);
+    a.bl("__sf_round_pack");
+    pop_frame_ret(a);
+    a.bind(ret_a);
+    pop_frame_ret(a);
+    a.bind(ret_b);
+    a.mov(0, 2);
+    a.mov(1, 3);
+    pop_frame_ret(a);
+}
+
+void emit_subdf3(Assembler& a) {
+    // a - b = a + (-b)
+    a.func("__subdf3", ModTag::SOFTFLOAT);
+    a.eori(3, 3, 0x80000000u);
+    a.b_to("__adddf3");
+}
+
+void emit_muldf3(Assembler& a) {
+    a.func("__muldf3", ModTag::SOFTFLOAT);
+    auto zero = a.newl(), inf = a.newl(), no105 = a.newl(), pack = a.newl();
+    push_frame(a);
+    emit_unpack_se(a);
+    a.eor(4, 4, 5); // result sign
+    a.cmpi(6, 0x7FF);
+    a.b(Cond::EQ, inf);
+    a.cmpi(7, 0x7FF);
+    a.b(Cond::EQ, inf);
+    a.cmpi(6, 0);
+    a.b(Cond::EQ, zero);
+    a.cmpi(7, 0);
+    a.b(Cond::EQ, zero);
+    // exponent base
+    a.add(6, 6, 7);
+    a.subi(6, 6, 1023);
+    // mantissas (hi21 with implicit; no pre-shift)
+    a.movi(12, 0xFFFFF);
+    a.and_(8, 1, 12);
+    a.orri(8, 8, 0x100000);
+    a.and_(9, 3, 12);
+    a.orri(9, 9, 0x100000);
+    // 106-bit product in W3:W2:W1:W0 = r3:r1:r7:r5
+    a.umull(5, 7, 0, 2);   // aL*bL
+    a.umull(10, 11, 0, 9); // aL*bH
+    a.adds(7, 7, 10);
+    a.movi(12, 0);
+    a.adcs(1, 11, 12);     // W2 (no further carry possible yet)
+    a.umull(10, 11, 2, 8); // bL*aH
+    a.adds(7, 7, 10);
+    a.adcs(1, 1, 11);
+    a.movi(12, 0);
+    a.adcs(3, 12, 12);     // W3 = carry
+    a.umull(10, 11, 8, 9); // aH*bH
+    a.adds(1, 1, 10);
+    a.adcs(3, 3, 11);
+    // normalize: bit 105 == W3 bit 9
+    a.movi(12, 0x200);
+    a.tst(3, 12);
+    a.b(Cond::EQ, no105);
+    // shift 50: exp+1
+    a.addi(6, 6, 1);
+    a.movi(12, 0x3FFFF);
+    a.and_(12, 7, 12);
+    a.orr(10, 5, 12); // sticky
+    a.lsri(0, 7, 18);
+    a.lsli(12, 1, 14);
+    a.orr(0, 0, 12);
+    a.lsri(8, 1, 18);
+    a.lsli(12, 3, 14);
+    a.orr(8, 8, 12);
+    a.b(pack);
+    a.bind(no105); // shift 49
+    a.movi(12, 0x1FFFF);
+    a.and_(12, 7, 12);
+    a.orr(10, 5, 12);
+    a.lsri(0, 7, 17);
+    a.lsli(12, 1, 15);
+    a.orr(0, 0, 12);
+    a.lsri(8, 1, 17);
+    a.lsli(12, 3, 15);
+    a.orr(8, 8, 12);
+    a.bind(pack);
+    a.bl("__sf_round_pack");
+    pop_frame_ret(a);
+    a.bind(zero);
+    a.lsli(1, 4, 31);
+    a.movi(0, 0);
+    pop_frame_ret(a);
+    a.bind(inf);
+    a.lsli(1, 4, 31);
+    a.movi(11, 0x7FF00000);
+    a.orr(1, 1, 11);
+    a.movi(0, 0);
+    pop_frame_ret(a);
+}
+
+void emit_divdf3(Assembler& a) {
+    a.func("__divdf3", ModTag::SOFTFLOAT);
+    auto zero = a.newl(), inf = a.newl(), nopre = a.newl(), doshift = a.newl(),
+         loop = a.newl(), geq = a.newl(), lt = a.newl(), pack = a.newl();
+    push_frame(a);
+    emit_unpack_se(a);
+    a.eor(4, 4, 5);
+    a.cmpi(6, 0x7FF);
+    a.b(Cond::EQ, inf); // a inf -> inf (a inf / b inf -> inf; documented)
+    a.cmpi(7, 0x7FF);
+    a.b(Cond::EQ, zero); // b inf -> 0
+    a.cmpi(6, 0);
+    a.b(Cond::EQ, zero); // 0 / x -> 0 (0/0 -> 0; documented)
+    a.cmpi(7, 0);
+    a.b(Cond::EQ, inf); // x / 0 -> inf
+    a.sub(6, 6, 7);
+    a.addi(6, 6, 1023);
+    a.movi(12, 0xFFFFF);
+    a.and_(8, 1, 12);
+    a.orri(8, 8, 0x100000);
+    a.and_(9, 3, 12);
+    a.orri(9, 9, 0x100000);
+    // if N < D: N <<= 1, exp -= 1  (then N in [D, 2D))
+    a.cmp(8, 9);
+    a.b(Cond::HI, nopre);
+    a.b(Cond::CC, doshift);
+    a.cmp(0, 2);
+    a.b(Cond::CS, nopre);
+    a.bind(doshift);
+    a.adds(0, 0, 0);
+    a.adcs(8, 8, 8);
+    a.subi(6, 6, 1);
+    a.bind(nopre);
+    // restoring division, 56 quotient bits into r11:r5
+    a.movi(11, 0);
+    a.movi(5, 0);
+    a.movi(7, 56);
+    a.bind(loop);
+    a.adds(5, 5, 5);
+    a.adcs(11, 11, 11);
+    a.cmp(8, 9);
+    a.b(Cond::HI, geq);
+    a.b(Cond::CC, lt);
+    a.cmp(0, 2);
+    a.b(Cond::CC, lt);
+    a.bind(geq);
+    a.subs(0, 0, 2);
+    a.sbcs(8, 8, 9);
+    a.orri(5, 5, 1);
+    a.bind(lt);
+    a.adds(0, 0, 0);
+    a.adcs(8, 8, 8);
+    a.subsi(7, 7, 1);
+    a.b(Cond::NE, loop);
+    a.orr(10, 8, 0); // sticky = remainder != 0
+    a.mov(8, 11);
+    a.mov(0, 5);
+    a.bind(pack);
+    a.bl("__sf_round_pack");
+    pop_frame_ret(a);
+    a.bind(zero);
+    a.lsli(1, 4, 31);
+    a.movi(0, 0);
+    pop_frame_ret(a);
+    a.bind(inf);
+    a.lsli(1, 4, 31);
+    a.movi(11, 0x7FF00000);
+    a.orr(1, 1, 11);
+    a.movi(0, 0);
+    pop_frame_ret(a);
+}
+
+void emit_cmpdf2(Assembler& a) {
+    // returns r0 = -1 / 0 / +1 for a < b / a == b / a > b.
+    // Zeros (flushed) compare equal regardless of sign; NaNs unsupported.
+    // Clobbers only r0..r3, r12 (directly callable from application code).
+    a.func("__cmpdf2", ModTag::SOFTFLOAT);
+    auto a_zero = a.newl(), b_zero = a.newl(), equal = a.newl(), less = a.newl(),
+         greater = a.newl(), signs_same = a.newl(), maglt = a.newl(),
+         maggt = a.newl(), differ = a.newl();
+    a.lsri(12, 1, 20);
+    a.andi(12, 12, 0x7FF);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, a_zero);
+    a.lsri(12, 3, 20);
+    a.andi(12, 12, 0x7FF);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, b_zero);
+    a.eor(12, 1, 3);
+    a.lsri(12, 12, 31);
+    a.cmpi(12, 0);
+    a.b(Cond::NE, differ);
+    a.bind(signs_same);
+    // same sign: compare magnitude (hi then lo), invert when negative
+    a.cmp(1, 3);
+    a.b(Cond::HI, maggt);
+    a.b(Cond::CC, maglt);
+    a.cmp(0, 2);
+    a.b(Cond::HI, maggt);
+    a.b(Cond::CC, maglt);
+    a.b(equal);
+    a.bind(differ); // opposite signs: a < b iff a negative
+    a.lsri(12, 1, 31);
+    a.cmpi(12, 0);
+    a.b(Cond::NE, less);
+    a.b(greater);
+    a.bind(maggt); // |a| > |b|
+    a.lsri(12, 1, 31);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, greater);
+    a.b(less);
+    a.bind(maglt);
+    a.lsri(12, 1, 31);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, less);
+    a.b(greater);
+    a.bind(a_zero);
+    // a == 0: result depends only on b
+    a.lsri(12, 3, 20);
+    a.andi(12, 12, 0x7FF);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, equal);
+    a.lsri(12, 3, 31);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, less); // b positive -> a < b
+    a.b(greater);
+    a.bind(b_zero); // a != 0, b == 0
+    a.lsri(12, 1, 31);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, greater);
+    a.b(less);
+    a.bind(equal);
+    a.movi(0, 0);
+    a.ret();
+    a.bind(less);
+    a.movi(0, -1);
+    a.ret();
+    a.bind(greater);
+    a.movi(0, 1);
+    a.ret();
+}
+
+void emit_fixdfsi(Assembler& a) {
+    // (r0, r1) double -> r0 int32, truncation toward zero, saturating.
+    a.func("__fixdfsi", ModTag::SOFTFLOAT);
+    auto ret0 = a.newl(), clamp = a.newl(), wide = a.newl(), apply = a.newl(),
+         neg = a.newl();
+    a.lsri(12, 1, 20);
+    a.andi(12, 12, 0x7FF);
+    a.cmpi(12, 0);
+    a.b(Cond::EQ, ret0);
+    a.subi(12, 12, 1023); // e
+    a.cmpi(12, 0);
+    a.b(Cond::LT, ret0);
+    a.cmpi(12, 30);
+    a.b(Cond::GT, clamp);
+    // mant hi21 in r2, lo stays r0
+    a.movi(2, 0xFFFFF);
+    a.and_(2, 1, 2);
+    a.orri(2, 2, 0x100000);
+    // result = mant53 >> (52 - e)
+    a.movi(3, 52);
+    a.sub(3, 3, 12); // shift in [22, 52]
+    a.cmpi(3, 32);
+    a.b(Cond::CC, wide);
+    // shift >= 32: comes entirely from hi
+    a.subi(3, 3, 32);
+    a.lsrv(0, 2, 3);
+    a.b(apply);
+    a.bind(wide); // shift in [22,31]: combine
+    a.lsrv(0, 0, 3);
+    a.movi(12, 32);
+    a.sub(12, 12, 3);
+    a.lslv(2, 2, 12);
+    a.orr(0, 0, 2);
+    a.bind(apply);
+    a.lsri(12, 1, 31);
+    a.cmpi(12, 0);
+    a.b(Cond::NE, neg);
+    a.ret();
+    a.bind(neg);
+    a.movi(12, 0);
+    a.sub(0, 12, 0);
+    a.ret();
+    a.bind(ret0);
+    a.movi(0, 0);
+    a.ret();
+    a.bind(clamp);
+    a.lsri(12, 1, 31);
+    a.cmpi(12, 0);
+    a.movi(0, 0x7FFFFFFF);
+    a.when(Cond::NE).movi(0, static_cast<std::int64_t>(0x80000000u));
+    a.ret();
+}
+
+void emit_floatsidf(Assembler& a) {
+    // r0 int32 -> (r0, r1) double (always exact). Clobbers r0..r3, r12.
+    a.func("__floatsidf", ModTag::SOFTFLOAT);
+    auto ret0 = a.newl(), pos = a.newl();
+    a.cmpi(0, 0);
+    a.b(Cond::EQ, ret0);
+    a.lsri(3, 0, 31); // sign
+    a.cmpi(3, 0);
+    a.b(Cond::EQ, pos);
+    a.movi(12, 0);
+    a.sub(0, 12, 0); // magnitude (INT_MIN -> 0x80000000, correct)
+    a.bind(pos);
+    a.clz(2, 0);
+    a.lslv(0, 0, 2); // normalize: bit 31 set
+    a.movi(12, 1023 + 31);
+    a.sub(2, 12, 2); // exponent field
+    // r1 = sign<<31 | exp<<20 | (normalized >> 11, implicit bit dropped)
+    a.lsli(1, 3, 31);
+    a.lsli(12, 2, 20);
+    a.orr(1, 1, 12);
+    a.lsri(12, 0, 11);
+    a.movi(3, 0xFFFFF);
+    a.and_(12, 12, 3);
+    a.orr(1, 1, 12);
+    a.lsli(0, 0, 21); // low 11 bits of the normalized value
+    a.ret();
+    a.bind(ret0);
+    a.movi(1, 0);
+    a.ret();
+}
+
+} // namespace
+
+void build_softfloat(Assembler& a) {
+    util::check(a.profile() == isa::Profile::V7,
+                "soft-float is the V7 (Cortex-A9) configuration only");
+    emit_round_pack(a);
+    emit_adddf3(a);
+    emit_subdf3(a);
+    emit_muldf3(a);
+    emit_divdf3(a);
+    emit_cmpdf2(a);
+    emit_fixdfsi(a);
+    emit_floatsidf(a);
+}
+
+} // namespace serep::rt

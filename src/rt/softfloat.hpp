@@ -1,0 +1,27 @@
+// Software IEEE-754 binary64 arithmetic for the V7 profile (guest code).
+//
+// The paper attributes most of the ARMv7/ARMv8 gap to the compiler choosing
+// the software FP library on the Cortex-A9; this module is that library.
+// Calling convention (AAPCS soft-float style):
+//   double a in (r0 = low word, r1 = high word), double b in (r2, r3),
+//   result in (r0, r1). Callee-saved r4-r11 preserved.
+//
+// Semantics: round-to-nearest-even on add/mul/div; subnormals are flushed
+// to zero on input and output (documented deviation — the NPB-style kernels
+// never reach subnormals); infinities propagate crudely and NaN handling is
+// not IEEE-complete (kernels avoid them). One known sub-ULP deviation:
+// effective subtraction with nonzero alignment sticky may round 1 ulp off
+// true IEEE in rare cases (documented; covered by tolerance in tests).
+//
+// Functions: __adddf3 __subdf3 __muldf3 __divdf3 __cmpdf2 __fixdfsi
+// __floatsidf and the shared internal __sf_round_pack.
+#pragma once
+
+#include "kasm/assembler.hpp"
+
+namespace serep::rt {
+
+/// Emit the soft-float library (tag SOFTFLOAT). V7 profile only.
+void build_softfloat(kasm::Assembler& a);
+
+} // namespace serep::rt

@@ -1,0 +1,59 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace serep::sim {
+
+Cache::Cache(const CacheConfig& cfg)
+    : sets_(cfg.size_bytes / (cfg.ways * cfg.line_bytes)),
+      ways_(cfg.ways),
+      line_shift_(static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes))) {
+    util::check(std::has_single_bit(cfg.line_bytes) && std::has_single_bit(sets_),
+                "Cache: line size and set count must be powers of two");
+    tags_.assign(std::size_t{sets_} * ways_, 0);
+    age_.resize(std::size_t{sets_} * ways_);
+    reset();
+}
+
+void Cache::reset() noexcept {
+    std::fill(tags_.begin(), tags_.end(), 0);
+    // Invariant: each set's ages are a permutation of 0..ways-1 (0 = MRU).
+    for (std::uint32_t s = 0; s < sets_; ++s)
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            age_[std::size_t{s} * ways_ + w] = static_cast<std::uint8_t>(w);
+    hits_ = misses_ = 0;
+}
+
+bool Cache::access(std::uint64_t addr) noexcept {
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint32_t set = static_cast<std::uint32_t>(line) & (sets_ - 1);
+    const std::uint64_t tag = line | 1ULL << 63; // bit 63 marks valid
+    std::uint64_t* t = &tags_[std::size_t{set} * ways_];
+    std::uint8_t* a = &age_[std::size_t{set} * ways_];
+
+    auto touch = [&](std::uint32_t w) {
+        const std::uint8_t old = a[w];
+        for (std::uint32_t k = 0; k < ways_; ++k)
+            if (a[k] < old) ++a[k];
+        a[w] = 0;
+    };
+
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (t[w] == tag) {
+            touch(w);
+            ++hits_;
+            return true;
+        }
+        if (a[w] == ways_ - 1) victim = w; // unique LRU way
+    }
+    ++misses_;
+    t[victim] = tag;
+    touch(victim);
+    return false;
+}
+
+} // namespace serep::sim

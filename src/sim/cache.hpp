@@ -1,0 +1,46 @@
+// Set-associative LRU cache model (tags only — used for timing and the
+// microarchitectural statistics the data-mining tool correlates).
+//
+// Configuration mirrors the paper's §3.1: per-core 32 KiB 4-way L1I and L1D,
+// shared 512 KiB 8-way L2, 64-byte lines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace serep::sim {
+
+struct CacheConfig {
+    std::uint32_t size_bytes;
+    std::uint32_t ways;
+    std::uint32_t line_bytes = 64;
+};
+
+inline constexpr CacheConfig kL1Config{32 * 1024, 4, 64};
+inline constexpr CacheConfig kL2Config{512 * 1024, 8, 64};
+
+/// Extra cycles charged on a miss at each level.
+inline constexpr std::uint64_t kL1MissPenalty = 8;   // L2 hit latency
+inline constexpr std::uint64_t kL2MissPenalty = 40;  // DRAM latency
+
+class Cache {
+public:
+    explicit Cache(const CacheConfig& cfg);
+
+    /// Look up `addr`; allocates on miss. Returns true on hit.
+    bool access(std::uint64_t addr) noexcept;
+
+    void reset() noexcept;
+
+    std::uint64_t hits() const noexcept { return hits_; }
+    std::uint64_t misses() const noexcept { return misses_; }
+
+private:
+    std::uint32_t sets_, ways_;
+    std::uint32_t line_shift_;
+    std::vector<std::uint64_t> tags_;  // sets x ways, 0 = invalid
+    std::vector<std::uint8_t> age_;    // LRU ages
+    std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+} // namespace serep::sim

@@ -1,0 +1,843 @@
+#include "sim/machine.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "isa/op.hpp"
+#include "util/bitops.hpp"
+#include "util/check.hpp"
+
+namespace serep::sim {
+
+using isa::Cond;
+using isa::Flags;
+using isa::Instr;
+using isa::Op;
+using isa::SysReg;
+using isa::TrapCause;
+using util::low_mask;
+
+const char* run_status_name(RunStatus s) noexcept {
+    switch (s) {
+        case RunStatus::Running: return "running";
+        case RunStatus::Shutdown: return "shutdown";
+        case RunStatus::KernelPanic: return "kernel_panic";
+        case RunStatus::Deadlock: return "deadlock";
+    }
+    return "??";
+}
+
+namespace {
+
+struct AluResult {
+    std::uint64_t value;
+    Flags flags;
+};
+
+/// ARM AddWithCarry at width W; sets all four flags.
+AluResult add_with_carry(std::uint64_t a, std::uint64_t b, std::uint64_t cin,
+                         unsigned w) noexcept {
+    const std::uint64_t mask = low_mask(w);
+    a &= mask;
+    b &= mask;
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(a) + b + (cin & 1);
+    const std::uint64_t r = static_cast<std::uint64_t>(wide) & mask;
+    Flags f;
+    f.n = ((r >> (w - 1)) & 1) != 0;
+    f.z = r == 0;
+    f.c = (wide >> w) != 0;
+    f.v = (((~(a ^ b) & (a ^ r)) >> (w - 1)) & 1) != 0;
+    return {r, f};
+}
+
+std::uint64_t shift_left(std::uint64_t v, unsigned amt, unsigned w) noexcept {
+    if (amt >= w) return 0;
+    return (v << amt) & low_mask(w);
+}
+std::uint64_t shift_right(std::uint64_t v, unsigned amt, unsigned w) noexcept {
+    v &= low_mask(w);
+    if (amt >= w) return 0;
+    return v >> amt;
+}
+std::uint64_t shift_right_arith(std::uint64_t v, unsigned amt, unsigned w) noexcept {
+    const std::int64_t s = util::sign_extend(v, w);
+    if (amt >= w) amt = w - 1;
+    return static_cast<std::uint64_t>(s >> amt) & low_mask(w);
+}
+
+} // namespace
+
+void load_image_data(Machine& m) {
+    namespace layout = isa::layout;
+    const kasm::Image& img = m.image();
+    Memory& mem = m.mem();
+    for (const kasm::DataChunk& c : img.kdata_init) {
+        util::check(c.vaddr >= layout::kKernBase &&
+                        c.vaddr + c.bytes.size() <= layout::kKernBase + mem.kern_size(),
+                    "load_image_data: kernel chunk out of range");
+        std::memcpy(mem.kern_data() + (c.vaddr - layout::kKernBase), c.bytes.data(),
+                    c.bytes.size());
+    }
+    for (unsigned p = 0; p < mem.nprocs(); ++p) {
+        for (const kasm::DataChunk& c : img.udata_init) {
+            util::check(c.vaddr >= layout::kUserBase &&
+                            c.vaddr + c.bytes.size() <= layout::kUserBase + mem.user_size(),
+                        "load_image_data: user chunk out of range");
+            std::memcpy(mem.user_data(p) + (c.vaddr - layout::kUserBase), c.bytes.data(),
+                        c.bytes.size());
+        }
+        // Map the static data segment and the main stack (top of the region).
+        if (img.udata_size > 0)
+            mem.map_user_range(p, layout::kUserBase, layout::kUserBase + img.udata_size);
+        const std::uint64_t top = layout::kUserBase + mem.user_size();
+        mem.map_user_range(p, top - layout::kMainStackSize, top);
+    }
+}
+
+Machine::Machine(std::shared_ptr<const kasm::Image> image, const MachineConfig& cfg)
+    : image_(std::move(image)),
+      cfg_(cfg),
+      mem_(cfg.procs, cfg.user_size, cfg.kern_size),
+      l2_(kL2Config) {
+    util::check(image_ != nullptr, "Machine: null image");
+    util::check(cfg.cores >= 1 && cfg.cores <= 8, "Machine: 1..8 cores");
+    cores_.assign(cfg.cores, CoreState(image_->profile));
+    counters_.assign(cfg.cores, CoreCounters{});
+    l1i_.assign(cfg.cores, Cache(kL1Config));
+    l1d_.assign(cfg.cores, Cache(kL1Config));
+    outputs_.assign(cfg.procs, std::string{});
+    proc_exit_codes_.assign(cfg.procs, -1);
+    if (cfg.profile) {
+        func_instr_.assign(image_->func_names.size(), 0);
+        func_calls_.assign(image_->func_names.size(), 0);
+        reg_writes_.assign(33, 0);
+    }
+}
+
+std::uint64_t Machine::time_ticks() const noexcept {
+    std::uint64_t t = 0;
+    for (const CoreState& c : cores_) t = std::max(t, c.local_tick);
+    return t;
+}
+
+void Machine::panic(TrapCause cause) {
+    status_ = RunStatus::KernelPanic;
+    panic_cause_ = cause;
+}
+
+void Machine::take_trap(CoreState& core, TrapCause cause, std::uint64_t aux,
+                        std::uint64_t badaddr) {
+    mcounters_.traps[static_cast<std::size_t>(cause)]++;
+    if (cause == TrapCause::SVC) mcounters_.syscalls[aux & 15]++;
+    core.epc = cause == TrapCause::SVC ? core.regs.pc() + isa::kInstrBytes
+                                       : core.regs.pc();
+    core.cause = static_cast<std::uint64_t>(cause) | (aux << 8);
+    core.badaddr = badaddr;
+    const std::uint64_t t = core.regs.sp();
+    core.regs.set_sp(core.banked_sp);
+    core.banked_sp = t;
+    core.mode = Mode::KERNEL;
+    core.regs.set_pc(image_->vec_entry);
+    core.excl_valid = false;
+}
+
+void Machine::write_gpr(CoreState& core, unsigned rd, std::uint64_t value) {
+    if (cfg_.profile) ++reg_writes_[rd];
+    if (core.regs.profile() == isa::Profile::V7 && rd == 15) {
+        // Writing R15 is a jump (the ARMv7 idiom the paper's PC-fault
+        // sensitivity rests on).
+        next_pc_ = value & core.regs.width_mask();
+        branch_taken_ = true;
+        return;
+    }
+    core.regs.set_x(rd, value);
+}
+
+void Machine::invalidate_reservations(std::uint64_t phys, const CoreState* except) {
+    for (CoreState& c : cores_) {
+        if (&c == except) continue;
+        if (c.excl_valid && (c.excl_addr >> 3) == (phys >> 3)) c.excl_valid = false;
+    }
+}
+
+bool Machine::data_access(CoreState& core, std::uint64_t vaddr, unsigned size,
+                          bool write, std::uint64_t& phys, std::uint64_t& cost) {
+    const Translation t =
+        mem_.translate(vaddr, size, core.mode == Mode::KERNEL, core.curproc);
+    if (!t.ok()) {
+        if (core.mode == Mode::KERNEL) {
+            panic(TrapCause::DATA_ABORT);
+        } else {
+            take_trap(core, TrapCause::DATA_ABORT,
+                      static_cast<std::uint64_t>(t.fault), vaddr);
+        }
+        return false;
+    }
+    phys = t.phys;
+    const auto ci = static_cast<unsigned>(&core - cores_.data());
+    if (!l1d_[ci].access(phys)) {
+        cost += kL1MissPenalty;
+        if (!l2_.access(phys)) cost += kL2MissPenalty;
+    }
+    if (write) invalidate_reservations(phys, nullptr);
+    return true;
+}
+
+bool Machine::sysreg_read(CoreState& core, SysReg sr, std::uint64_t& value) {
+    const bool kernel = core.mode == Mode::KERNEL;
+    switch (sr) {
+        case SysReg::CORE_ID:
+            value = static_cast<std::uint64_t>(&core - cores_.data());
+            return true;
+        case SysReg::TLS: value = core.tls; return true;
+        case SysReg::INSTRET: value = core.retired; return true;
+        case SysReg::NCORES: value = cores_.size(); return true;
+        case SysReg::TIMER: value = core.timer; return kernel;
+        case SysReg::EPC: value = core.epc; return kernel;
+        case SysReg::CAUSE: value = core.cause; return kernel;
+        case SysReg::BADADDR: value = core.badaddr; return kernel;
+        case SysReg::FLAGS: value = core.regs.flags().pack(); return kernel;
+        case SysReg::USP: value = core.banked_sp; return kernel;
+        case SysReg::CURPROC: value = core.curproc; return kernel;
+        default: return false;
+    }
+}
+
+bool Machine::sysreg_write(CoreState& core, SysReg sr, std::uint64_t value) {
+    if (core.mode != Mode::KERNEL) return false;
+    switch (sr) {
+        case SysReg::TIMER:
+            core.timer = value;
+            core.pending_timer = false;
+            return true;
+        case SysReg::EPC: core.epc = value; return true;
+        case SysReg::FLAGS: core.regs.flags() = Flags::unpack(value); return true;
+        case SysReg::USP: core.banked_sp = value; return true;
+        case SysReg::TLS:
+            if (core.tls != value) ++mcounters_.ctx_switches;
+            core.tls = value;
+            return true;
+        case SysReg::CURPROC:
+            if (value >= cfg_.procs) return false;
+            core.curproc = static_cast<std::uint32_t>(value);
+            return true;
+        case SysReg::IPI_SEND:
+            for (unsigned c = 0; c < cores_.size(); ++c) {
+                if (value & (std::uint64_t{1} << c)) {
+                    cores_[c].pending_ipi = true;
+                    cores_[c].wake_tick =
+                        std::max(cores_[c].wake_tick, core.local_tick);
+                }
+            }
+            return true;
+        case SysReg::CONSOLE:
+            outputs_[core.curproc] += static_cast<char>(value & 0xFF);
+            return true;
+        case SysReg::MAP_BRK: {
+            const std::uint64_t base = isa::layout::kUserBase;
+            if (value < base || value > base + cfg_.user_size) return false;
+            mem_.map_user_range(core.curproc, base, value);
+            return true;
+        }
+        case SysReg::SHUTDOWN:
+            status_ = RunStatus::Shutdown;
+            exit_code_ = static_cast<int>(value & 0xFF);
+            return true;
+        case SysReg::PROC_EXIT: {
+            const std::uint64_t proc = value >> 8;
+            if (proc >= cfg_.procs) return false;
+            proc_exit_codes_[proc] = static_cast<int>(value & 0xFF);
+            return true;
+        }
+        default: return false;
+    }
+}
+
+RunStatus Machine::run_until(std::uint64_t stop_at) {
+    while (status_ == RunStatus::Running && total_retired_ < stop_at) {
+        int best = -1;
+        std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
+        for (unsigned c = 0; c < cores_.size(); ++c) {
+            CoreState& k = cores_[c];
+            if (k.halted) continue;
+            if (k.sleeping) {
+                if (k.pending_timer || k.pending_ipi) {
+                    k.sleeping = false;
+                    k.pending_timer = false;
+                    k.pending_ipi = false;
+                    k.local_tick = std::max(k.local_tick, k.wake_tick);
+                } else {
+                    continue;
+                }
+            }
+            if (k.local_tick < best_tick) {
+                best_tick = k.local_tick;
+                best = static_cast<int>(c);
+            }
+        }
+        if (best < 0) {
+            status_ = RunStatus::Deadlock;
+            break;
+        }
+        step(static_cast<unsigned>(best));
+    }
+    return status_;
+}
+
+void Machine::step(unsigned ci) {
+    CoreState& core = cores_[ci];
+    CoreCounters& cnt = counters_[ci];
+    const unsigned w = core.regs.width_bits();
+    const std::uint64_t mask = core.regs.width_mask();
+    const isa::Profile prof = core.regs.profile();
+
+    // Pending interrupts preempt user code only; the kernel is
+    // non-preemptible and polls (WFI) instead.
+    if (core.mode == Mode::USER && (core.pending_timer || core.pending_ipi)) {
+        TrapCause cause;
+        if (core.pending_timer) {
+            cause = TrapCause::IRQ_TIMER;
+            core.pending_timer = false;
+        } else {
+            cause = TrapCause::IRQ_IPI;
+            core.pending_ipi = false;
+        }
+        take_trap(core, cause, 0, 0);
+        core.local_tick += 2;
+        return;
+    }
+
+    // Fetch.
+    const std::uint64_t pc = core.regs.pc();
+    const bool fetch_ok =
+        image_->contains_code(pc) &&
+        (core.mode == Mode::KERNEL || pc >= image_->kernel_text_end);
+    if (!fetch_ok) {
+        if (core.mode == Mode::KERNEL) {
+            panic(TrapCause::PREFETCH_ABORT);
+        } else {
+            take_trap(core, TrapCause::PREFETCH_ABORT, 0, pc);
+            core.local_tick += 2;
+        }
+        return;
+    }
+    std::uint64_t cost = 1;
+    if (!l1i_[ci].access(pc)) {
+        cost += kL1MissPenalty;
+        if (!l2_.access(pc)) cost += kL2MissPenalty;
+    }
+    const std::size_t idx = image_->instr_index(pc);
+    const Instr& ins = image_->code[idx];
+    const Mode mode_at_fetch = core.mode;
+    next_pc_ = pc + isa::kInstrBytes;
+    branch_taken_ = false;
+
+    // V7 conditional execution: a failed predicate retires as a bubble.
+    bool executed = true;
+    if (prof == isa::Profile::V7 && ins.cond != Cond::AL && ins.op != Op::BCOND &&
+        !cond_holds(ins.cond, core.regs.flags())) {
+        executed = false;
+    }
+
+    bool retire = true;     // false when the instruction faulted
+    if (executed) {
+        auto& regs = core.regs;
+        auto x = [&](unsigned r) { return regs.x(r); };
+        auto vb = [&](unsigned r) { return regs.v_bits(r); };
+        auto vd = [&](unsigned r) { return util::bits_f64(regs.v_bits(r)); };
+        auto setv = [&](unsigned r, double d) { regs.set_v_bits(r, util::f64_bits(d)); };
+        auto addr_of = [&]() {
+            const std::uint64_t base = x(ins.rn);
+            const std::uint64_t off = ins.rm != isa::kNoReg
+                                          ? (x(ins.rm) << ins.shift)
+                                          : static_cast<std::uint64_t>(ins.imm);
+            return (base + off) & mask;
+        };
+        // Returns false when the access faulted (trap already taken).
+        auto load = [&](std::uint64_t vaddr, unsigned size, std::uint64_t& out) {
+            std::uint64_t phys = 0;
+            if (!data_access(core, vaddr, size, false, phys, cost)) return false;
+            out = mem_.load(phys, size);
+            ++cnt.loads;
+            return true;
+        };
+        auto store = [&](std::uint64_t vaddr, unsigned size, std::uint64_t val) {
+            std::uint64_t phys = 0;
+            if (!data_access(core, vaddr, size, true, phys, cost)) return false;
+            mem_.store(phys, size, val);
+            ++cnt.stores;
+            return true;
+        };
+        auto trap_undef = [&] {
+            if (core.mode == Mode::KERNEL) {
+                panic(TrapCause::UNDEF);
+            } else {
+                take_trap(core, TrapCause::UNDEF, static_cast<std::uint64_t>(ins.op), 0);
+            }
+            retire = false;
+        };
+
+        switch (ins.op) {
+            case Op::MOVI: write_gpr(core, ins.rd, static_cast<std::uint64_t>(ins.imm)); break;
+            case Op::MOV: write_gpr(core, ins.rd, x(ins.rn)); break;
+            case Op::MVN: write_gpr(core, ins.rd, ~x(ins.rn)); break;
+            case Op::ADD: write_gpr(core, ins.rd, x(ins.rn) + x(ins.rm)); break;
+            case Op::SUB: write_gpr(core, ins.rd, x(ins.rn) - x(ins.rm)); break;
+            case Op::AND: write_gpr(core, ins.rd, x(ins.rn) & x(ins.rm)); break;
+            case Op::ORR: write_gpr(core, ins.rd, x(ins.rn) | x(ins.rm)); break;
+            case Op::EOR: write_gpr(core, ins.rd, x(ins.rn) ^ x(ins.rm)); break;
+            case Op::MUL: write_gpr(core, ins.rd, x(ins.rn) * x(ins.rm)); break;
+            case Op::ADDI: write_gpr(core, ins.rd, x(ins.rn) + static_cast<std::uint64_t>(ins.imm)); break;
+            case Op::SUBI: write_gpr(core, ins.rd, x(ins.rn) - static_cast<std::uint64_t>(ins.imm)); break;
+            case Op::ANDI: write_gpr(core, ins.rd, x(ins.rn) & static_cast<std::uint64_t>(ins.imm)); break;
+            case Op::ORRI: write_gpr(core, ins.rd, x(ins.rn) | static_cast<std::uint64_t>(ins.imm)); break;
+            case Op::EORI: write_gpr(core, ins.rd, x(ins.rn) ^ static_cast<std::uint64_t>(ins.imm)); break;
+            case Op::ADDS: {
+                const AluResult r = add_with_carry(x(ins.rn), x(ins.rm), 0, w);
+                regs.flags() = r.flags;
+                write_gpr(core, ins.rd, r.value);
+                break;
+            }
+            case Op::SUBS: {
+                const AluResult r = add_with_carry(x(ins.rn), ~x(ins.rm), 1, w);
+                regs.flags() = r.flags;
+                write_gpr(core, ins.rd, r.value);
+                break;
+            }
+            case Op::ADDSI: {
+                const AluResult r =
+                    add_with_carry(x(ins.rn), static_cast<std::uint64_t>(ins.imm), 0, w);
+                regs.flags() = r.flags;
+                write_gpr(core, ins.rd, r.value);
+                break;
+            }
+            case Op::SUBSI: {
+                const AluResult r =
+                    add_with_carry(x(ins.rn), ~static_cast<std::uint64_t>(ins.imm), 1, w);
+                regs.flags() = r.flags;
+                write_gpr(core, ins.rd, r.value);
+                break;
+            }
+            case Op::ADCS: {
+                const AluResult r =
+                    add_with_carry(x(ins.rn), x(ins.rm), regs.flags().c, w);
+                regs.flags() = r.flags;
+                write_gpr(core, ins.rd, r.value);
+                break;
+            }
+            case Op::SBCS: {
+                const AluResult r =
+                    add_with_carry(x(ins.rn), ~x(ins.rm), regs.flags().c, w);
+                regs.flags() = r.flags;
+                write_gpr(core, ins.rd, r.value);
+                break;
+            }
+            case Op::UMULL: {
+                const std::uint64_t p = static_cast<std::uint64_t>(static_cast<std::uint32_t>(x(ins.rn))) *
+                                        static_cast<std::uint32_t>(x(ins.rm));
+                write_gpr(core, ins.rd, p & 0xFFFFFFFFu);
+                write_gpr(core, ins.ra, p >> 32);
+                break;
+            }
+            case Op::SMULL: {
+                const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(x(ins.rn))) *
+                                       static_cast<std::int32_t>(x(ins.rm));
+                write_gpr(core, ins.rd, static_cast<std::uint64_t>(p) & 0xFFFFFFFFu);
+                write_gpr(core, ins.ra, static_cast<std::uint64_t>(p) >> 32);
+                break;
+            }
+            case Op::UMULH: {
+                const unsigned __int128 p =
+                    static_cast<unsigned __int128>(x(ins.rn)) * x(ins.rm);
+                write_gpr(core, ins.rd, static_cast<std::uint64_t>(p >> 64));
+                break;
+            }
+            case Op::UDIV: {
+                const std::uint64_t b = x(ins.rm);
+                write_gpr(core, ins.rd, b == 0 ? 0 : x(ins.rn) / b);
+                break;
+            }
+            case Op::SDIV: {
+                const std::int64_t a = util::sign_extend(x(ins.rn), w);
+                const std::int64_t b = util::sign_extend(x(ins.rm), w);
+                std::int64_t q = 0;
+                if (b != 0) {
+                    if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+                        q = a;
+                    } else {
+                        q = a / b;
+                    }
+                }
+                write_gpr(core, ins.rd, static_cast<std::uint64_t>(q));
+                break;
+            }
+            case Op::LSLI: write_gpr(core, ins.rd, shift_left(x(ins.rn), static_cast<unsigned>(ins.imm), w)); break;
+            case Op::LSRI: write_gpr(core, ins.rd, shift_right(x(ins.rn), static_cast<unsigned>(ins.imm), w)); break;
+            case Op::ASRI: write_gpr(core, ins.rd, shift_right_arith(x(ins.rn), static_cast<unsigned>(ins.imm), w)); break;
+            case Op::LSLV: write_gpr(core, ins.rd, shift_left(x(ins.rn), static_cast<unsigned>(x(ins.rm) & 0xFF), w)); break;
+            case Op::LSRV: write_gpr(core, ins.rd, shift_right(x(ins.rn), static_cast<unsigned>(x(ins.rm) & 0xFF), w)); break;
+            case Op::ASRV: write_gpr(core, ins.rd, shift_right_arith(x(ins.rn), static_cast<unsigned>(x(ins.rm) & 0xFF), w)); break;
+            case Op::LSLSI: {
+                const unsigned sh = static_cast<unsigned>(ins.imm);
+                const std::uint64_t a = x(ins.rn);
+                const std::uint64_t r = shift_left(a, sh, w);
+                regs.flags().c = util::get_bit(a, w - sh);
+                regs.flags().n = util::get_bit(r, w - 1);
+                regs.flags().z = r == 0;
+                write_gpr(core, ins.rd, r);
+                break;
+            }
+            case Op::LSRSI: {
+                const unsigned sh = static_cast<unsigned>(ins.imm);
+                const std::uint64_t a = x(ins.rn);
+                const std::uint64_t r = shift_right(a, sh, w);
+                regs.flags().c = util::get_bit(a, sh - 1);
+                regs.flags().n = false;
+                regs.flags().z = r == 0;
+                write_gpr(core, ins.rd, r);
+                break;
+            }
+            case Op::CLZ: {
+                const std::uint64_t a = x(ins.rn);
+                unsigned n;
+                if (a == 0) {
+                    n = w;
+                } else if (w == 32) {
+                    n = static_cast<unsigned>(std::countl_zero(static_cast<std::uint32_t>(a)));
+                } else {
+                    n = static_cast<unsigned>(std::countl_zero(a));
+                }
+                write_gpr(core, ins.rd, n);
+                break;
+            }
+            case Op::CMP: regs.flags() = add_with_carry(x(ins.rn), ~x(ins.rm), 1, w).flags; break;
+            case Op::CMPI: regs.flags() = add_with_carry(x(ins.rn), ~static_cast<std::uint64_t>(ins.imm), 1, w).flags; break;
+            case Op::CMN: regs.flags() = add_with_carry(x(ins.rn), x(ins.rm), 0, w).flags; break;
+            case Op::TST: {
+                const std::uint64_t r = (x(ins.rn) & x(ins.rm)) & mask;
+                regs.flags().n = util::get_bit(r, w - 1);
+                regs.flags().z = r == 0;
+                break;
+            }
+            case Op::CSEL:
+                write_gpr(core, ins.rd,
+                          cond_holds(ins.cond, regs.flags()) ? x(ins.rn) : x(ins.rm));
+                break;
+            case Op::CSET:
+                write_gpr(core, ins.rd, cond_holds(ins.cond, regs.flags()) ? 1 : 0);
+                break;
+
+            case Op::B:
+                next_pc_ = static_cast<std::uint64_t>(ins.imm);
+                branch_taken_ = true;
+                break;
+            case Op::BCOND:
+                if (cond_holds(ins.cond, regs.flags())) {
+                    next_pc_ = static_cast<std::uint64_t>(ins.imm);
+                    branch_taken_ = true;
+                }
+                break;
+            case Op::BL:
+                regs.set_lr(pc + isa::kInstrBytes);
+                next_pc_ = static_cast<std::uint64_t>(ins.imm);
+                branch_taken_ = true;
+                if (cfg_.profile) {
+                    const std::uint64_t t = static_cast<std::uint64_t>(ins.imm);
+                    if (image_->contains_code(t))
+                        ++func_calls_[image_->func_of_instr[image_->instr_index(t)]];
+                }
+                break;
+            case Op::BLR: {
+                const std::uint64_t t = x(ins.rn);
+                regs.set_lr(pc + isa::kInstrBytes);
+                next_pc_ = t;
+                branch_taken_ = true;
+                if (cfg_.profile && image_->contains_code(t))
+                    ++func_calls_[image_->func_of_instr[image_->instr_index(t)]];
+                break;
+            }
+            case Op::BR:
+                next_pc_ = x(ins.rn);
+                branch_taken_ = true;
+                break;
+            case Op::RET:
+                next_pc_ = regs.lr();
+                branch_taken_ = true;
+                break;
+            case Op::CBZ:
+                if (x(ins.rn) == 0) {
+                    next_pc_ = static_cast<std::uint64_t>(ins.imm);
+                    branch_taken_ = true;
+                }
+                break;
+            case Op::CBNZ:
+                if (x(ins.rn) != 0) {
+                    next_pc_ = static_cast<std::uint64_t>(ins.imm);
+                    branch_taken_ = true;
+                }
+                break;
+
+            case Op::LDR: {
+                std::uint64_t v;
+                if (!load(addr_of(), core.regs.profile() == isa::Profile::V7 ? 4 : 8, v)) { retire = false; break; }
+                write_gpr(core, ins.rd, v);
+                break;
+            }
+            case Op::STR:
+                if (!store(addr_of(), core.regs.profile() == isa::Profile::V7 ? 4 : 8, x(ins.rd))) retire = false;
+                break;
+            case Op::LDRW: {
+                std::uint64_t v;
+                if (!load(addr_of(), 4, v)) { retire = false; break; }
+                write_gpr(core, ins.rd, v);
+                break;
+            }
+            case Op::STRW:
+                if (!store(addr_of(), 4, x(ins.rd) & 0xFFFFFFFFu)) retire = false;
+                break;
+            case Op::LDRB: {
+                std::uint64_t v;
+                if (!load(addr_of(), 1, v)) { retire = false; break; }
+                write_gpr(core, ins.rd, v);
+                break;
+            }
+            case Op::STRB:
+                if (!store(addr_of(), 1, x(ins.rd) & 0xFF)) retire = false;
+                break;
+            case Op::LDM: {
+                std::uint64_t a = x(ins.rn) & mask;
+                unsigned n = 0;
+                for (unsigned r = 0; r < 15 && retire; ++r) {
+                    if (!(ins.regmask & (1u << r))) continue;
+                    std::uint64_t v;
+                    if (!load(a + 4 * n, 4, v)) { retire = false; break; }
+                    write_gpr(core, r, v);
+                    ++n;
+                }
+                if (retire && ins.wb) write_gpr(core, ins.rn, (x(ins.rn) + 4 * n) & mask);
+                break;
+            }
+            case Op::STM: {
+                const std::uint64_t a = x(ins.rn) & mask;
+                unsigned n = 0;
+                for (unsigned r = 0; r < 15 && retire; ++r) {
+                    if (!(ins.regmask & (1u << r))) continue;
+                    if (!store(a + 4 * n, 4, x(r))) { retire = false; break; }
+                    ++n;
+                }
+                if (retire && ins.wb) write_gpr(core, ins.rn, (x(ins.rn) + 4 * n) & mask);
+                break;
+            }
+            case Op::LDP: {
+                const std::uint64_t a = addr_of();
+                std::uint64_t v1, v2;
+                if (!load(a, 8, v1) || !load(a + 8, 8, v2)) { retire = false; break; }
+                write_gpr(core, ins.rd, v1);
+                write_gpr(core, ins.ra, v2);
+                break;
+            }
+            case Op::STP: {
+                const std::uint64_t a = addr_of();
+                if (!store(a, 8, x(ins.rd)) || !store(a + 8, 8, x(ins.ra))) retire = false;
+                break;
+            }
+            case Op::LDREX: {
+                const unsigned size = core.regs.profile() == isa::Profile::V7 ? 4 : 8;
+                std::uint64_t phys = 0;
+                if (!data_access(core, x(ins.rn) & mask, size, false, phys, cost)) { retire = false; break; }
+                write_gpr(core, ins.rd, mem_.load(phys, size));
+                ++cnt.loads;
+                core.excl_addr = phys;
+                core.excl_valid = true;
+                break;
+            }
+            case Op::STREX: {
+                const unsigned size = core.regs.profile() == isa::Profile::V7 ? 4 : 8;
+                const std::uint64_t vaddr = x(ins.rn) & mask;
+                const Translation t =
+                    mem_.translate(vaddr, size, core.mode == Mode::KERNEL, core.curproc);
+                if (!t.ok()) {
+                    if (core.mode == Mode::KERNEL) {
+                        panic(TrapCause::DATA_ABORT);
+                    } else {
+                        take_trap(core, TrapCause::DATA_ABORT,
+                                  static_cast<std::uint64_t>(t.fault), vaddr);
+                    }
+                    retire = false;
+                    break;
+                }
+                if (core.excl_valid && core.excl_addr == t.phys) {
+                    mem_.store(t.phys, size, x(ins.rm));
+                    ++cnt.stores;
+                    core.excl_valid = false;
+                    invalidate_reservations(t.phys, &core);
+                    write_gpr(core, ins.rd, 0);
+                } else {
+                    core.excl_valid = false;
+                    write_gpr(core, ins.rd, 1);
+                }
+                break;
+            }
+
+            case Op::FADD: setv(ins.rd, vd(ins.rn) + vd(ins.rm)); ++cnt.fp_ops; break;
+            case Op::FSUB: setv(ins.rd, vd(ins.rn) - vd(ins.rm)); ++cnt.fp_ops; break;
+            case Op::FMUL: setv(ins.rd, vd(ins.rn) * vd(ins.rm)); ++cnt.fp_ops; break;
+            case Op::FDIV: setv(ins.rd, vd(ins.rn) / vd(ins.rm)); ++cnt.fp_ops; cost += 10; break;
+            case Op::FSQRT: setv(ins.rd, std::sqrt(vd(ins.rn))); ++cnt.fp_ops; cost += 10; break;
+            case Op::FNEG: setv(ins.rd, -vd(ins.rn)); ++cnt.fp_ops; break;
+            case Op::FABS: setv(ins.rd, std::fabs(vd(ins.rn))); ++cnt.fp_ops; break;
+            case Op::FMADD: setv(ins.rd, std::fma(vd(ins.rn), vd(ins.rm), vd(ins.ra))); ++cnt.fp_ops; break;
+            case Op::FMOV: regs.set_v_bits(ins.rd, vb(ins.rn)); ++cnt.fp_ops; break;
+            case Op::FMOVI: regs.set_v_bits(ins.rd, static_cast<std::uint64_t>(ins.imm)); ++cnt.fp_ops; break;
+            case Op::FCMP: {
+                const double a = vd(ins.rn), b = vd(ins.rm);
+                Flags f;
+                if (std::isnan(a) || std::isnan(b)) {
+                    f = Flags{false, false, true, true};
+                } else if (a == b) {
+                    f = Flags{false, true, true, false};
+                } else if (a < b) {
+                    f = Flags{true, false, false, false};
+                } else {
+                    f = Flags{false, false, true, false};
+                }
+                regs.flags() = f;
+                ++cnt.fp_ops;
+                break;
+            }
+            case Op::FCVTZS: {
+                const double d = vd(ins.rn);
+                std::int64_t r;
+                if (std::isnan(d)) {
+                    r = 0;
+                } else if (d >= 9.2233720368547758e18) {
+                    r = std::numeric_limits<std::int64_t>::max();
+                } else if (d <= -9.2233720368547758e18) {
+                    r = std::numeric_limits<std::int64_t>::min();
+                } else {
+                    r = static_cast<std::int64_t>(d);
+                }
+                write_gpr(core, ins.rd, static_cast<std::uint64_t>(r));
+                ++cnt.fp_ops;
+                break;
+            }
+            case Op::SCVTF:
+                setv(ins.rd, static_cast<double>(static_cast<std::int64_t>(x(ins.rn))));
+                ++cnt.fp_ops;
+                break;
+            case Op::FMOVVX: write_gpr(core, ins.rd, vb(ins.rn)); ++cnt.fp_ops; break;
+            case Op::FMOVXV: regs.set_v_bits(ins.rd, x(ins.rn)); ++cnt.fp_ops; break;
+            case Op::FLDR: {
+                std::uint64_t v;
+                if (!load(addr_of(), 8, v)) { retire = false; break; }
+                regs.set_v_bits(ins.rd, v);
+                break;
+            }
+            case Op::FSTR:
+                if (!store(addr_of(), 8, vb(ins.rd))) retire = false;
+                break;
+
+            case Op::SVC:
+                if (core.mode == Mode::KERNEL) {
+                    panic(TrapCause::SVC);
+                    retire = false;
+                } else {
+                    // SVC retires; the trap redirects control flow.
+                    take_trap(core, TrapCause::SVC,
+                              static_cast<std::uint64_t>(ins.imm), 0);
+                    next_pc_ = core.regs.pc(); // already set by take_trap
+                }
+                break;
+            case Op::SYSRD: {
+                std::uint64_t v = 0;
+                if (!sysreg_read(core, static_cast<SysReg>(ins.imm), v)) {
+                    trap_undef();
+                    break;
+                }
+                write_gpr(core, ins.rd, v);
+                break;
+            }
+            case Op::SYSWR:
+                if (!sysreg_write(core, static_cast<SysReg>(ins.imm), x(ins.rn))) {
+                    trap_undef();
+                    break;
+                }
+                break;
+            case Op::ERET:
+                if (core.mode != Mode::KERNEL) {
+                    trap_undef();
+                    break;
+                }
+                {
+                    const std::uint64_t t = core.regs.sp();
+                    core.regs.set_sp(core.banked_sp);
+                    core.banked_sp = t;
+                }
+                core.mode = Mode::USER;
+                next_pc_ = core.epc;
+                branch_taken_ = true;
+                core.excl_valid = false;
+                if (!app_started_) {
+                    app_started_ = true;
+                    app_start_retired_ = total_retired_;
+                }
+                break;
+            case Op::WFI:
+                if (core.mode != Mode::KERNEL) {
+                    trap_undef();
+                    break;
+                }
+                if (core.pending_timer || core.pending_ipi) {
+                    core.pending_timer = false;
+                    core.pending_ipi = false;
+                } else {
+                    core.sleeping = true;
+                    ++cnt.wfi_sleeps;
+                }
+                break;
+            case Op::HLT:
+                if (core.mode != Mode::KERNEL) {
+                    trap_undef();
+                    break;
+                }
+                core.halted = true;
+                break;
+            case Op::NOP: break;
+            case Op::UDF: trap_undef(); break;
+        }
+    }
+
+    if (status_ == RunStatus::KernelPanic) return;
+
+    if (!retire) {
+        core.local_tick += cost + 2;
+        return;
+    }
+
+    if (ins.op != Op::SVC) core.regs.set_pc(next_pc_);
+    if (branch_taken_) cost += 1;
+
+    ++core.retired;
+    ++total_retired_;
+    if (mode_at_fetch == Mode::KERNEL) {
+        ++cnt.kernel_retired;
+    } else {
+        ++cnt.user_retired;
+    }
+    if (executed) {
+        const isa::OpInfo& oi = isa::op_info(ins.op);
+        if (oi.is_branch) {
+            ++cnt.branches;
+            if (branch_taken_) ++cnt.taken_branches;
+        }
+        if (oi.is_call) ++cnt.calls;
+    }
+    if (cfg_.profile) ++func_instr_[image_->func_of_instr[idx]];
+    if (core.timer > 0 && --core.timer == 0) core.pending_timer = true;
+    core.local_tick += cost;
+}
+
+} // namespace serep::sim

@@ -1,0 +1,184 @@
+// Multicore machine: cores, interpreter, traps, timers, caches, devices.
+//
+// The machine executes a linked Image (nanokernel + runtimes + application).
+// Timing: in-order, one instruction per cycle plus cache-miss penalties and a
+// taken-branch bubble; cores interleave by local tick (the core with the
+// smallest tick executes next), which models true parallel execution
+// deterministically.
+//
+// Machines are value-copyable: the fault-injection campaign clones the
+// machine at the injection instant and runs the clone to completion
+// (checkpoint fast-forward, phase 3 of the paper's workflow).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/regfile.hpp"
+#include "isa/sysreg.hpp"
+#include "kasm/image.hpp"
+#include "sim/cache.hpp"
+#include "sim/memory.hpp"
+
+namespace serep::sim {
+
+enum class Mode : std::uint8_t { USER, KERNEL };
+
+enum class RunStatus : std::uint8_t {
+    Running,      ///< stopped because the instruction budget was reached
+    Shutdown,     ///< kernel signalled end of application (all processes exited)
+    KernelPanic,  ///< exception while in kernel mode — unrecoverable
+    Deadlock,     ///< no core can ever make progress again
+};
+
+const char* run_status_name(RunStatus s) noexcept;
+
+class Machine;
+
+/// Copy the image's initialized data into guest memory and map the pages
+/// they (and the main stacks) live on: kernel chunks once, user chunks into
+/// every process (SPMD images). The OS loader builds on this.
+void load_image_data(Machine& m);
+
+struct MachineConfig {
+    unsigned cores = 1;
+    unsigned procs = 1;  ///< separate address spaces (MPI ranks); 1 for serial/OMP
+    std::uint64_t user_size = isa::layout::kDefaultUserSize;
+    std::uint64_t kern_size = isa::layout::kDefaultKernSize;
+    bool profile = false; ///< enable per-function / per-register attribution
+};
+
+/// One hardware thread.
+struct CoreState {
+    explicit CoreState(isa::Profile p) : regs(p) {}
+
+    isa::RegFile regs;
+    Mode mode = Mode::KERNEL;
+    bool sleeping = false;
+    bool halted = false;
+    std::uint64_t banked_sp = 0; ///< the inactive mode's SP
+    std::uint64_t epc = 0, cause = 0, badaddr = 0, tls = 0;
+    std::uint32_t curproc = 0;
+    std::uint64_t timer = 0;     ///< instructions until IRQ; 0 = disabled
+    bool pending_timer = false, pending_ipi = false;
+    std::uint64_t excl_addr = 0;
+    bool excl_valid = false;
+    std::uint64_t local_tick = 0;
+    std::uint64_t wake_tick = 0; ///< earliest tick a WFI wake may resume at
+    std::uint64_t retired = 0;
+};
+
+/// Per-core event counters (the gem5-statistics analogue).
+struct CoreCounters {
+    std::uint64_t user_retired = 0, kernel_retired = 0;
+    std::uint64_t branches = 0;   ///< branch instructions executed
+    std::uint64_t taken_branches = 0;
+    std::uint64_t calls = 0;      ///< BL/BLR
+    std::uint64_t loads = 0, stores = 0;   ///< memory transactions (elements)
+    std::uint64_t fp_ops = 0;     ///< FP data-processing instructions
+    std::uint64_t wfi_sleeps = 0;
+
+    std::uint64_t retired() const noexcept { return user_retired + kernel_retired; }
+};
+
+struct MachineCounters {
+    std::array<std::uint64_t, 8> traps{};        ///< by TrapCause
+    std::array<std::uint64_t, 16> syscalls{};    ///< by syscall number
+    std::uint64_t ctx_switches = 0;              ///< TLS retarget count
+};
+
+class Machine {
+public:
+    Machine(std::shared_ptr<const kasm::Image> image, const MachineConfig& cfg);
+
+    // Copyable for checkpoint-based campaign fast-forward.
+    Machine(const Machine&) = default;
+    Machine& operator=(const Machine&) = default;
+    Machine(Machine&&) = default;
+    Machine& operator=(Machine&&) = default;
+
+    const kasm::Image& image() const noexcept { return *image_; }
+    const MachineConfig& config() const noexcept { return cfg_; }
+    Memory& mem() noexcept { return mem_; }
+    const Memory& mem() const noexcept { return mem_; }
+    unsigned cores() const noexcept { return static_cast<unsigned>(cores_.size()); }
+    CoreState& core(unsigned c) { return cores_[c]; }
+    const CoreState& core(unsigned c) const { return cores_[c]; }
+
+    /// Execute until `total_retired() >= stop_at` or a terminal status.
+    RunStatus run_until(std::uint64_t stop_at);
+
+    RunStatus status() const noexcept { return status_; }
+    int exit_code() const noexcept { return exit_code_; }
+    isa::TrapCause panic_cause() const noexcept { return panic_cause_; }
+    std::uint64_t total_retired() const noexcept { return total_retired_; }
+    /// Parallel execution time = max core tick.
+    std::uint64_t time_ticks() const noexcept;
+
+    bool app_started() const noexcept { return app_started_; }
+    std::uint64_t app_start_retired() const noexcept { return app_start_retired_; }
+
+    const std::string& output(unsigned proc) const { return outputs_[proc]; }
+    int proc_exit_code(unsigned proc) const { return proc_exit_codes_[proc]; }
+
+    const CoreCounters& counters(unsigned c) const { return counters_[c]; }
+    const MachineCounters& machine_counters() const noexcept { return mcounters_; }
+    const Cache& l1i(unsigned c) const { return l1i_[c]; }
+    const Cache& l1d(unsigned c) const { return l1d_[c]; }
+    const Cache& l2() const noexcept { return l2_; }
+
+    // Profiling (valid when cfg.profile):
+    const std::vector<std::uint64_t>& func_instr_counts() const noexcept { return func_instr_; }
+    const std::vector<std::uint64_t>& func_call_counts() const noexcept { return func_calls_; }
+    const std::vector<std::uint64_t>& reg_write_counts() const noexcept { return reg_writes_; }
+
+    // ---- fault injection primitives ----
+    void flip_gpr(unsigned core, unsigned reg, unsigned bit) {
+        cores_[core].regs.flip_gpr_bit(reg, bit);
+    }
+    void flip_fp(unsigned core, unsigned reg, unsigned bit) {
+        cores_[core].regs.flip_fp_bit(reg, bit);
+    }
+    void flip_mem(std::uint64_t phys, unsigned bit) { mem_.flip_phys_bit(phys, bit); }
+
+private:
+    void step(unsigned c);
+    void take_trap(CoreState& core, isa::TrapCause cause, std::uint64_t aux,
+                   std::uint64_t badaddr);
+    void panic(isa::TrapCause cause);
+    void write_gpr(CoreState& core, unsigned rd, std::uint64_t value);
+    bool data_access(CoreState& core, std::uint64_t vaddr, unsigned size, bool write,
+                     std::uint64_t& phys, std::uint64_t& cost);
+    void invalidate_reservations(std::uint64_t phys, const CoreState* except);
+    bool sysreg_read(CoreState& core, isa::SysReg sr, std::uint64_t& value);
+    bool sysreg_write(CoreState& core, isa::SysReg sr, std::uint64_t value);
+
+    std::shared_ptr<const kasm::Image> image_;
+    MachineConfig cfg_;
+    Memory mem_;
+    std::vector<CoreState> cores_;
+    std::vector<CoreCounters> counters_;
+    MachineCounters mcounters_;
+    std::vector<Cache> l1i_, l1d_;
+    Cache l2_;
+    std::vector<std::string> outputs_;
+    std::vector<int> proc_exit_codes_;
+
+    RunStatus status_ = RunStatus::Running;
+    isa::TrapCause panic_cause_ = isa::TrapCause::NONE;
+    int exit_code_ = -1;
+    std::uint64_t total_retired_ = 0;
+    bool app_started_ = false;
+    std::uint64_t app_start_retired_ = 0;
+
+    std::vector<std::uint64_t> func_instr_, func_calls_, reg_writes_;
+
+    // interpreter state for the current step
+    std::uint64_t next_pc_ = 0;
+    bool branch_taken_ = false;
+};
+
+} // namespace serep::sim

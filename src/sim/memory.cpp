@@ -1,0 +1,72 @@
+#include "sim/memory.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace serep::sim {
+
+namespace layout = isa::layout;
+
+Memory::Memory(unsigned nprocs, std::uint64_t user_size, std::uint64_t kern_size)
+    : nprocs_(nprocs), user_size_(user_size), kern_size_(kern_size) {
+    util::check(nprocs >= 1 && nprocs <= 8, "Memory: 1..8 processes supported");
+    util::check(user_size % layout::kPageSize == 0 && kern_size % layout::kPageSize == 0,
+                "Memory: region sizes must be page-multiples");
+    phys_.assign(kern_size_ + std::uint64_t{nprocs_} * user_size_, 0);
+    pages_per_proc_ = user_size_ / layout::kPageSize;
+    page_mapped_.assign(nprocs_ * pages_per_proc_, 0);
+}
+
+Translation Memory::translate(std::uint64_t vaddr, unsigned size, bool kernel_mode,
+                              unsigned proc) const noexcept {
+    if ((vaddr & (size - 1)) != 0) return {0, MemFault::MISALIGNED};
+    if (vaddr >= layout::kKernBase && vaddr + size <= layout::kKernBase + kern_size_) {
+        if (!kernel_mode) return {0, MemFault::PERMISSION};
+        return {vaddr - layout::kKernBase, MemFault::NONE};
+    }
+    if (vaddr >= layout::kUserBase && vaddr + size <= layout::kUserBase + user_size_) {
+        const std::uint64_t off = vaddr - layout::kUserBase;
+        if (!page_mapped_[proc * pages_per_proc_ + off / layout::kPageSize])
+            return {0, MemFault::UNMAPPED};
+        return {kern_size_ + proc * user_size_ + off, MemFault::NONE};
+    }
+    return {0, MemFault::UNMAPPED};
+}
+
+std::uint64_t Memory::load(std::uint64_t phys, unsigned size) const noexcept {
+    std::uint64_t v = 0;
+    std::memcpy(&v, phys_.data() + phys, size);
+    return v;
+}
+
+void Memory::store(std::uint64_t phys, unsigned size, std::uint64_t value) noexcept {
+    std::memcpy(phys_.data() + phys, &value, size);
+}
+
+void Memory::map_user_range(unsigned proc, std::uint64_t lo, std::uint64_t hi) {
+    util::check(lo >= layout::kUserBase && hi <= layout::kUserBase + user_size_ && lo <= hi,
+                "map_user_range: out of user region");
+    const std::uint64_t first = (lo - layout::kUserBase) / layout::kPageSize;
+    const std::uint64_t last = (hi - layout::kUserBase + layout::kPageSize - 1) / layout::kPageSize;
+    for (std::uint64_t p = first; p < last && p < pages_per_proc_; ++p)
+        page_mapped_[proc * pages_per_proc_ + p] = 1;
+}
+
+bool Memory::user_page_mapped(unsigned proc, std::uint64_t vaddr) const noexcept {
+    if (vaddr < layout::kUserBase || vaddr >= layout::kUserBase + user_size_) return false;
+    return page_mapped_[proc * pages_per_proc_ +
+                        (vaddr - layout::kUserBase) / layout::kPageSize] != 0;
+}
+
+std::uint64_t Memory::hash_range(std::uint64_t phys, std::uint64_t len) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const std::uint8_t* p = phys_.data() + phys;
+    for (std::uint64_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace serep::sim

@@ -1,0 +1,78 @@
+// Guest physical memory with per-process address spaces and page-granular
+// protection.
+//
+// Physical layout: [kernel region][proc 0 user region][proc 1]...
+// Translation implements the address map in isa/layout.hpp:
+//  * kernel VAs require kernel mode,
+//  * user VAs translate through the *current* process and require the page
+//    to be mapped (static data + main stack at load; heap pages via brk),
+//  * anything else — including misaligned accesses — faults.
+// This is what turns corrupted address registers into segmentation faults,
+// the paper's §4.1.4 "UT from wrong address calculation" mechanism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/layout.hpp"
+
+namespace serep::sim {
+
+enum class MemFault : std::uint8_t { NONE, UNMAPPED, PERMISSION, MISALIGNED };
+
+struct Translation {
+    std::uint64_t phys = 0;
+    MemFault fault = MemFault::NONE;
+    bool ok() const noexcept { return fault == MemFault::NONE; }
+};
+
+class Memory {
+public:
+    Memory(unsigned nprocs, std::uint64_t user_size, std::uint64_t kern_size);
+
+    unsigned nprocs() const noexcept { return nprocs_; }
+    std::uint64_t user_size() const noexcept { return user_size_; }
+    std::uint64_t kern_size() const noexcept { return kern_size_; }
+
+    /// Translate a guest virtual access. `size` must be a power of two and
+    /// the access must be naturally aligned.
+    Translation translate(std::uint64_t vaddr, unsigned size, bool kernel_mode,
+                          unsigned proc) const noexcept;
+
+    // Physical accessors (little-endian).
+    std::uint64_t load(std::uint64_t phys, unsigned size) const noexcept;
+    void store(std::uint64_t phys, unsigned size, std::uint64_t value) noexcept;
+
+    /// Mark user pages [lo, hi) of `proc` as mapped (addresses are user VAs).
+    void map_user_range(unsigned proc, std::uint64_t lo, std::uint64_t hi);
+    bool user_page_mapped(unsigned proc, std::uint64_t vaddr) const noexcept;
+
+    /// Host-side raw access for the loader and the classifier.
+    std::uint8_t* kern_data() noexcept { return phys_.data(); }
+    const std::uint8_t* kern_data() const noexcept { return phys_.data(); }
+    std::uint8_t* user_data(unsigned proc) noexcept {
+        return phys_.data() + kern_size_ + proc * user_size_;
+    }
+    const std::uint8_t* user_data(unsigned proc) const noexcept {
+        return phys_.data() + kern_size_ + proc * user_size_;
+    }
+
+    /// 64-bit FNV-1a over a physical range (classifier helper).
+    std::uint64_t hash_range(std::uint64_t phys, std::uint64_t len) const noexcept;
+
+    /// Flip one bit of a physical byte (memory fault injection).
+    void flip_phys_bit(std::uint64_t phys, unsigned bit) noexcept {
+        phys_[phys] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+
+    std::uint64_t phys_size() const noexcept { return phys_.size(); }
+
+private:
+    unsigned nprocs_;
+    std::uint64_t user_size_, kern_size_;
+    std::vector<std::uint8_t> phys_;
+    std::vector<std::uint8_t> page_mapped_; // one byte per user page per proc
+    std::uint64_t pages_per_proc_;
+};
+
+} // namespace serep::sim

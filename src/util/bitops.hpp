@@ -1,0 +1,42 @@
+// Bit-level helpers used by the fault injector and the soft-float library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace serep::util {
+
+/// Flip bit `bit` (0 = LSB) of `v`. `bit` must be < 64.
+constexpr std::uint64_t flip_bit(std::uint64_t v, unsigned bit) noexcept {
+    return v ^ (std::uint64_t{1} << bit);
+}
+
+constexpr bool get_bit(std::uint64_t v, unsigned bit) noexcept {
+    return ((v >> bit) & 1u) != 0;
+}
+
+constexpr std::uint64_t set_bit(std::uint64_t v, unsigned bit, bool on) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << bit;
+    return on ? (v | mask) : (v & ~mask);
+}
+
+/// Mask keeping the low `width` bits (width in [1,64]).
+constexpr std::uint64_t low_mask(unsigned width) noexcept {
+    return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Sign-extend the low `width` bits of `v` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t v, unsigned width) noexcept {
+    const unsigned shift = 64 - width;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+constexpr bool is_aligned(std::uint64_t addr, unsigned bytes) noexcept {
+    return (addr & (bytes - 1)) == 0;
+}
+
+/// Bit-cast helpers between doubles and their IEEE-754 image.
+inline std::uint64_t f64_bits(double d) noexcept { return std::bit_cast<std::uint64_t>(d); }
+inline double bits_f64(std::uint64_t b) noexcept { return std::bit_cast<double>(b); }
+
+} // namespace serep::util

@@ -1,0 +1,27 @@
+// Contract and error-handling helpers shared across the library.
+//
+// Host-side configuration/setup errors throw serep::util::Error; guest-side
+// faults (the things we *study*) are values on the hot path, never
+// exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace serep::util {
+
+/// Exception type for host-side configuration and usage errors.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw serep::util::Error if `cond` is false. Used for precondition
+/// checks on public API boundaries (cheap enough to keep in release).
+inline void check(bool cond, const std::string& msg) {
+    if (!cond) throw Error(msg);
+}
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+} // namespace serep::util

@@ -1,0 +1,38 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace serep::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) continue;
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            kv_[arg] = argv[++i];
+        } else {
+            kv_[arg] = "1";
+        }
+    }
+}
+
+std::string Cli::get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace serep::util

@@ -1,0 +1,24 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+// Supports `--key value`, `--key=value`, and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace serep::util {
+
+class Cli {
+public:
+    Cli(int argc, const char* const* argv);
+
+    bool has(const std::string& key) const { return kv_.count(key) != 0; }
+    std::string get(const std::string& key, const std::string& dflt) const;
+    std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+    double get_double(const std::string& key, double dflt) const;
+
+private:
+    std::map<std::string, std::string> kv_;
+};
+
+} // namespace serep::util

@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+namespace serep::util {
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+    return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quoted(const std::string& cell) {
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << (needs_quoting(cells[i]) ? quoted(cells[i]) : cells[i]);
+    }
+    out_ << '\n';
+}
+
+std::vector<std::string> csv_parse_line(const std::string& line) {
+    std::vector<std::string> cells;
+    std::string cur;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cells.push_back(std::move(cur));
+    return cells;
+}
+
+std::vector<std::vector<std::string>> csv_parse(const std::string& text) {
+    std::vector<std::vector<std::string>> rows;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        rows.push_back(csv_parse_line(line));
+    }
+    return rows;
+}
+
+} // namespace serep::util

@@ -1,0 +1,28 @@
+// Minimal CSV writer/reader used by the campaign results database and the
+// data-mining tool. Values containing separators or quotes are quoted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace serep::util {
+
+/// Streams rows of string cells as RFC-4180-ish CSV.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+    void row(const std::vector<std::string>& cells);
+
+private:
+    std::ostream& out_;
+};
+
+/// Parse one CSV line into cells (handles quoted cells and embedded quotes).
+std::vector<std::string> csv_parse_line(const std::string& line);
+
+/// Parse a whole CSV document (splits on '\n', skips empty trailing line).
+std::vector<std::vector<std::string>> csv_parse(const std::string& text);
+
+} // namespace serep::util

@@ -1,0 +1,15 @@
+#include "util/rng.hpp"
+
+namespace serep::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+    // Lemire-style rejection to avoid modulo bias.
+    if (bound == 0) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+} // namespace serep::util

@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace serep::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    cells.resize(columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string Table::pct(double v, int precision) { return num(v, precision) + "%"; }
+
+std::string Table::str() const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < columns_.size(); ++c) {
+            const std::string& s = c < cells.size() ? cells[c] : std::string{};
+            os << "| " << s << std::string(width[c] - s.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    emit(columns_);
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << "|" << std::string(width[c] + 2, '-');
+    os << "|\n";
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+} // namespace serep::util

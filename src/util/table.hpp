@@ -1,0 +1,30 @@
+// ASCII table printer used by every benchmark harness to render the
+// paper-style tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace serep::util {
+
+/// Column-aligned ASCII table. First added row can serve as header
+/// (separator drawn beneath when `header(true)` was requested).
+class Table {
+public:
+    explicit Table(std::vector<std::string> columns);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with fixed precision.
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double v, int precision = 1);
+
+    /// Render with column padding; includes header separator.
+    std::string str() const;
+
+private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace serep::util

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+#include "isa/flags.hpp"
+#include "isa/op.hpp"
+#include "isa/profile.hpp"
+#include "isa/regfile.hpp"
+
+namespace si = serep::isa;
+
+TEST(Profile, V7Constants) {
+    const auto p = si::profile_info(si::Profile::V7);
+    EXPECT_EQ(p.width_bits, 32u);
+    EXPECT_EQ(p.gpr_count, 16u);
+    EXPECT_EQ(p.sp_index, 13u);
+    EXPECT_EQ(p.pc_index, 15u);
+    EXPECT_TRUE(p.pc_is_gpr);
+    EXPECT_FALSE(p.has_fp_regs);
+    EXPECT_TRUE(p.has_conditional_exec);
+    EXPECT_FALSE(p.has_hw_divide);
+}
+
+TEST(Profile, V8Constants) {
+    const auto p = si::profile_info(si::Profile::V8);
+    EXPECT_EQ(p.width_bits, 64u);
+    EXPECT_EQ(p.gpr_count, 32u);
+    EXPECT_EQ(p.sp_index, 31u);
+    EXPECT_EQ(p.pc_index, 32u);
+    EXPECT_FALSE(p.pc_is_gpr);
+    EXPECT_TRUE(p.has_fp_regs);
+    EXPECT_EQ(p.fp_reg_count, 32u);
+    EXPECT_TRUE(p.has_hw_divide);
+}
+
+TEST(Profile, InjectionTargetAsymmetry) {
+    // The paper's §4.1.2: V8 has 2x the register targets and 2x the bits,
+    // so any one critical register is 4x less likely to be struck.
+    const auto v7 = si::profile_info(si::Profile::V7);
+    const auto v8 = si::profile_info(si::Profile::V8);
+    EXPECT_EQ(v7.gpr_count * 2, v8.gpr_count);
+    EXPECT_EQ(v7.width_bits * 2, v8.width_bits);
+}
+
+TEST(Flags, PackUnpackRoundtrip) {
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        const si::Flags f = si::Flags::unpack(bits);
+        EXPECT_EQ(f.pack(), bits);
+    }
+}
+
+TEST(Flags, CondTable) {
+    si::Flags f; // all clear
+    EXPECT_FALSE(si::cond_holds(si::Cond::EQ, f));
+    EXPECT_TRUE(si::cond_holds(si::Cond::NE, f));
+    EXPECT_TRUE(si::cond_holds(si::Cond::AL, f));
+    f.z = true;
+    EXPECT_TRUE(si::cond_holds(si::Cond::EQ, f));
+    EXPECT_FALSE(si::cond_holds(si::Cond::NE, f));
+    EXPECT_TRUE(si::cond_holds(si::Cond::LE, f));
+    EXPECT_FALSE(si::cond_holds(si::Cond::GT, f));
+    // signed comparisons: N != V means LT
+    f = si::Flags{true, false, false, false};
+    EXPECT_TRUE(si::cond_holds(si::Cond::LT, f));
+    EXPECT_FALSE(si::cond_holds(si::Cond::GE, f));
+    f = si::Flags{true, false, false, true};
+    EXPECT_TRUE(si::cond_holds(si::Cond::GE, f));
+    // unsigned: HI = C && !Z
+    f = si::Flags{false, false, true, false};
+    EXPECT_TRUE(si::cond_holds(si::Cond::HI, f));
+    EXPECT_TRUE(si::cond_holds(si::Cond::CS, f));
+    EXPECT_FALSE(si::cond_holds(si::Cond::LS, f));
+}
+
+TEST(Op, TableMatchesEnum) {
+    EXPECT_STREQ(si::op_info(si::Op::MOVI).name, "movi");
+    EXPECT_STREQ(si::op_info(si::Op::ADDS).name, "adds");
+    EXPECT_STREQ(si::op_info(si::Op::UMULL).name, "umull");
+    EXPECT_STREQ(si::op_info(si::Op::CSEL).name, "csel");
+    EXPECT_STREQ(si::op_info(si::Op::LDREX).name, "ldrex");
+    EXPECT_STREQ(si::op_info(si::Op::FMADD).name, "fmadd");
+    EXPECT_STREQ(si::op_info(si::Op::SVC).name, "svc");
+    EXPECT_STREQ(si::op_info(si::Op::HLT).name, "hlt");
+    EXPECT_STREQ(si::op_info(si::Op::UDF).name, "udf");
+}
+
+TEST(Op, Classification) {
+    EXPECT_TRUE(si::op_info(si::Op::BL).is_branch);
+    EXPECT_TRUE(si::op_info(si::Op::BL).is_call);
+    EXPECT_FALSE(si::op_info(si::Op::B).is_call);
+    EXPECT_TRUE(si::op_info(si::Op::LDR).is_load);
+    EXPECT_TRUE(si::op_info(si::Op::STM).is_store);
+    EXPECT_TRUE(si::op_info(si::Op::FLDR).is_load);
+    EXPECT_TRUE(si::op_info(si::Op::FLDR).is_fp);
+    EXPECT_TRUE(si::op_info(si::Op::WFI).privileged);
+    EXPECT_TRUE(si::op_info(si::Op::ERET).privileged);
+    EXPECT_FALSE(si::op_info(si::Op::SVC).privileged);
+}
+
+TEST(Op, ProfileValidity) {
+    using si::Op;
+    using si::Profile;
+    EXPECT_TRUE(si::op_valid_for(Op::ADD, Profile::V7));
+    EXPECT_TRUE(si::op_valid_for(Op::ADD, Profile::V8));
+    EXPECT_TRUE(si::op_valid_for(Op::UMULL, Profile::V7));
+    EXPECT_FALSE(si::op_valid_for(Op::UMULL, Profile::V8));
+    EXPECT_FALSE(si::op_valid_for(Op::UDIV, Profile::V7)); // A9 has no divide
+    EXPECT_TRUE(si::op_valid_for(Op::UDIV, Profile::V8));
+    EXPECT_FALSE(si::op_valid_for(Op::FADD, Profile::V7)); // soft-float world
+    EXPECT_FALSE(si::op_valid_for(Op::LDM, Profile::V8));
+    EXPECT_FALSE(si::op_valid_for(Op::LDP, Profile::V7));
+    EXPECT_FALSE(si::op_valid_for(Op::CSEL, Profile::V7));
+}
+
+TEST(RegFile, WidthMasking) {
+    si::RegFile r7(si::Profile::V7);
+    r7.set_x(0, 0x1234567890ABCDEFull);
+    EXPECT_EQ(r7.x(0), 0x90ABCDEFu);
+    si::RegFile r8(si::Profile::V8);
+    r8.set_x(0, 0x1234567890ABCDEFull);
+    EXPECT_EQ(r8.x(0), 0x1234567890ABCDEFull);
+}
+
+TEST(RegFile, SpPcAliases) {
+    si::RegFile r7(si::Profile::V7);
+    r7.set_pc(0x400100);
+    EXPECT_EQ(r7.x(15), 0x400100u);
+    r7.set_sp(0x20001000);
+    EXPECT_EQ(r7.x(13), 0x20001000u);
+
+    si::RegFile r8(si::Profile::V8);
+    r8.set_pc(0x400100);
+    EXPECT_EQ(r8.x(32), 0x400100u);
+    r8.set_sp(0xABC0);
+    EXPECT_EQ(r8.x(31), 0xABC0u);
+}
+
+TEST(RegFile, InjectableCounts) {
+    EXPECT_EQ(si::RegFile(si::Profile::V7).injectable_gpr_count(), 16u);
+    EXPECT_EQ(si::RegFile(si::Profile::V8).injectable_gpr_count(), 32u);
+}
+
+TEST(RegFile, BitFlipIsInvolution) {
+    si::RegFile r(si::Profile::V8);
+    r.set_x(5, 0xDEADBEEF);
+    r.flip_gpr_bit(5, 17);
+    EXPECT_NE(r.x(5), 0xDEADBEEFu);
+    r.flip_gpr_bit(5, 17);
+    EXPECT_EQ(r.x(5), 0xDEADBEEFu);
+}
+
+TEST(RegFile, V7FlipStaysInWidth) {
+    si::RegFile r(si::Profile::V7);
+    r.flip_gpr_bit(3, 31);
+    EXPECT_EQ(r.x(3), 0x80000000u);
+}
+
+TEST(RegFile, ArchStateComparison) {
+    si::RegFile a(si::Profile::V8), b(si::Profile::V8);
+    EXPECT_TRUE(a.same_arch_state(b));
+    b.set_v_bits(7, 1);
+    EXPECT_FALSE(a.same_arch_state(b));
+    b.set_v_bits(7, 0);
+    b.flags().c = true;
+    EXPECT_FALSE(a.same_arch_state(b));
+}
+
+TEST(Disasm, RendersBasicForms) {
+    si::Instr i;
+    i.op = si::Op::ADDI;
+    i.rd = 4;
+    i.rn = 4;
+    i.imm = 1;
+    EXPECT_EQ(si::disasm(i, si::Profile::V7), "addi r4, r4, #1");
+
+    si::Instr l;
+    l.op = si::Op::LDR;
+    l.rd = 2;
+    l.rn = 13;
+    l.imm = 8;
+    EXPECT_EQ(si::disasm(l, si::Profile::V7), "ldr r2, [sp + #8]");
+
+    si::Instr f;
+    f.op = si::Op::FMADD;
+    f.rd = 2;
+    f.rn = 0;
+    f.rm = 1;
+    f.ra = 2;
+    EXPECT_EQ(si::disasm(f, si::Profile::V8), "fmadd v2, v0, v1, v2");
+}
+
+TEST(Disasm, V7ConditionalSuffix) {
+    si::Instr i;
+    i.op = si::Op::MOV;
+    i.cond = si::Cond::EQ;
+    i.rd = 0;
+    i.rn = 1;
+    EXPECT_EQ(si::disasm(i, si::Profile::V7), "mov.eq r0, r1");
+}
+
+TEST(RegNames, PerProfile) {
+    EXPECT_EQ(si::reg_name(si::Profile::V7, 14), "lr");
+    EXPECT_EQ(si::reg_name(si::Profile::V7, 15), "pc");
+    EXPECT_EQ(si::reg_name(si::Profile::V8, 31), "sp");
+    EXPECT_EQ(si::reg_name(si::Profile::V8, 19), "x19");
+}

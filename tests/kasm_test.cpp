@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "kasm/assembler.hpp"
+#include "util/check.hpp"
+
+namespace sk = serep::kasm;
+namespace si = serep::isa;
+using si::Profile;
+
+TEST(DataSeg, AlignReserveEmit) {
+    sk::DataSeg d(0x1000);
+    EXPECT_EQ(d.base(), 0x1000u);
+    d.u8(0xAA);
+    EXPECT_EQ(d.align(8), 0x1008u);
+    const auto va = d.u64v(0x1122334455667788ull);
+    EXPECT_EQ(va, 0x1008u);
+    const auto rva = d.reserve(100);
+    EXPECT_EQ(rva, 0x1010u);
+    EXPECT_EQ(d.size(), 0x10u + 100);
+}
+
+TEST(DataSeg, ChunksCoalesce) {
+    sk::DataSeg d(0x0);
+    d.u8(1);
+    d.u8(2);
+    d.u8(3);
+    auto chunks = d.take_chunks();
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].bytes.size(), 3u);
+    EXPECT_EQ(chunks[0].bytes[2], 3);
+}
+
+TEST(DataSeg, ReserveBreaksChunk) {
+    sk::DataSeg d(0x0);
+    d.u8(1);
+    d.reserve(16);
+    d.u8(2);
+    auto chunks = d.take_chunks();
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_EQ(chunks[1].vaddr, 17u);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+    sk::Assembler a(Profile::V7);
+    a.func("boot", sk::ModTag::KERNEL);
+    auto back = a.newl();
+    a.bind(back);
+    a.nop();
+    auto fwd = a.newl();
+    a.b(fwd);
+    a.b(back);
+    a.bind(fwd);
+    a.nop();
+    auto img = a.finalize();
+    // b fwd is the 2nd instruction (index 1), target = index 3.
+    EXPECT_EQ(img.code[1].imm, static_cast<std::int64_t>(img.code_base + 3 * 4));
+    EXPECT_EQ(img.code[2].imm, static_cast<std::int64_t>(img.code_base + 0 * 4));
+}
+
+TEST(Assembler, UnboundLabelThrows) {
+    sk::Assembler a(Profile::V7);
+    auto l = a.newl();
+    a.b(l);
+    EXPECT_THROW(a.finalize(), serep::util::Error);
+}
+
+TEST(Assembler, CallByNameLinksForwardToo) {
+    sk::Assembler a(Profile::V8);
+    a.func("caller", sk::ModTag::APP);
+    a.bl("callee"); // defined later
+    a.ret();
+    a.func("callee", sk::ModTag::LIBRT);
+    a.ret();
+    auto img = a.finalize();
+    EXPECT_EQ(img.code[0].imm, static_cast<std::int64_t>(img.sym("callee")));
+}
+
+TEST(Assembler, UndefinedSymbolThrows) {
+    sk::Assembler a(Profile::V8);
+    a.bl("nowhere");
+    EXPECT_THROW(a.finalize(), serep::util::Error);
+}
+
+TEST(Assembler, MoviSymResolvesDataSymbols) {
+    sk::Assembler a(Profile::V7);
+    const auto va = a.udata().u32(42);
+    a.data_sym("answer", va);
+    a.func("f", sk::ModTag::APP);
+    a.movi_sym(a.tmp(0), "answer");
+    a.ret();
+    auto img = a.finalize();
+    EXPECT_EQ(img.code[0].imm, static_cast<std::int64_t>(va));
+    EXPECT_EQ(img.data_sym("answer"), va);
+}
+
+TEST(Assembler, ProfileValidityEnforced) {
+    sk::Assembler a7(Profile::V7);
+    EXPECT_THROW(a7.udiv(0, 1, 2), serep::util::Error);
+    EXPECT_THROW(a7.fadd(0, 1, 2), serep::util::Error);
+    EXPECT_THROW(a7.ldp(0, 1, 2, 0), serep::util::Error);
+    sk::Assembler a8(Profile::V8);
+    EXPECT_THROW(a8.ldm(0, 0x6, false), serep::util::Error);
+    EXPECT_THROW(a8.umull(0, 1, 2, 3), serep::util::Error);
+}
+
+TEST(Assembler, LdmStmConstraints) {
+    sk::Assembler a(Profile::V7);
+    EXPECT_THROW(a.ldm(0, 0x8000, false), serep::util::Error); // PC in list
+    EXPECT_THROW(a.stm(0, 0, false), serep::util::Error);      // empty list
+    EXPECT_THROW(a.ldm(1, 0x0002, true), serep::util::Error);  // base in list + wb
+    a.ldm(0, 0x00F0, true); // fine
+}
+
+TEST(Assembler, ConditionalExecutionOnlyOnV7) {
+    sk::Assembler a8(Profile::V8);
+    EXPECT_THROW(a8.when(si::Cond::EQ).mov(0, 1), serep::util::Error);
+    sk::Assembler a7(Profile::V7);
+    a7.when(si::Cond::EQ).mov(0, 1);
+    auto img = a7.finalize();
+    EXPECT_EQ(img.code[0].cond, si::Cond::EQ);
+}
+
+TEST(Assembler, AbiRegisterRoles) {
+    sk::Assembler a7(Profile::V7);
+    EXPECT_EQ(a7.sp(), 13);
+    EXPECT_EQ(a7.lr(), 14);
+    EXPECT_EQ(a7.tmp(4), 12);
+    EXPECT_EQ(a7.sav(0), 4);
+    EXPECT_THROW(a7.sav(8), serep::util::Error);
+    sk::Assembler a8(Profile::V8);
+    EXPECT_EQ(a8.sp(), 31);
+    EXPECT_EQ(a8.lr(), 30);
+    EXPECT_EQ(a8.sav(0), 19);
+    EXPECT_EQ(a8.tmp(15), 15);
+}
+
+TEST(Assembler, FunctionAttributionTable) {
+    sk::Assembler a(Profile::V8);
+    a.nop(); // before any function -> index 0 "(none)"
+    a.func("alpha", sk::ModTag::OMP);
+    a.nop();
+    a.nop();
+    a.func("beta", sk::ModTag::MPI);
+    a.nop();
+    auto img = a.finalize();
+    ASSERT_EQ(img.func_of_instr.size(), 4u);
+    EXPECT_EQ(img.func_names[img.func_of_instr[0]], "(none)");
+    EXPECT_EQ(img.func_names[img.func_of_instr[1]], "alpha");
+    EXPECT_EQ(img.func_names[img.func_of_instr[2]], "alpha");
+    EXPECT_EQ(img.func_names[img.func_of_instr[3]], "beta");
+    EXPECT_EQ(img.func_tags[img.func_of_instr[3]], sk::ModTag::MPI);
+}
+
+TEST(Assembler, DuplicateFunctionThrows) {
+    sk::Assembler a(Profile::V8);
+    a.func("f", sk::ModTag::APP);
+    EXPECT_THROW(a.func("f", sk::ModTag::APP), serep::util::Error);
+}
+
+TEST(Image, ContainsCodeAndIndex) {
+    sk::Assembler a(Profile::V8);
+    a.func("f", sk::ModTag::APP);
+    a.nop();
+    a.nop();
+    auto img = a.finalize();
+    EXPECT_TRUE(img.contains_code(img.code_base));
+    EXPECT_TRUE(img.contains_code(img.code_base + 4));
+    EXPECT_FALSE(img.contains_code(img.code_base + 8));
+    EXPECT_FALSE(img.contains_code(img.code_base + 2)); // misaligned
+    EXPECT_FALSE(img.contains_code(0));
+    EXPECT_EQ(img.instr_index(img.code_base + 4), 1u);
+}
+
+TEST(Assembler, ShiftRangeChecks) {
+    sk::Assembler a(Profile::V7);
+    EXPECT_THROW(a.lsli(0, 1, 32), serep::util::Error);
+    EXPECT_THROW(a.lslsi(0, 1, 0), serep::util::Error);
+    a.lsli(0, 1, 31);
+    a.lslsi(0, 1, 31);
+    sk::Assembler a8(Profile::V8);
+    a8.lsli(0, 1, 63);
+    EXPECT_THROW(a8.lsli(0, 1, 64), serep::util::Error);
+}

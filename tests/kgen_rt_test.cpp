@@ -1,0 +1,361 @@
+// Integration tests for the codegen eDSL and the OMP/MPI guest runtimes,
+// parameterized over both ISA profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kgen/kgen.hpp"
+#include "os_harness.hpp"
+#include "rt/librt.hpp"
+#include "rt/libmpi.hpp"
+#include "rt/libomp.hpp"
+#include "rt/softfloat.hpp"
+#include "util/bitops.hpp"
+
+using namespace serep;
+using namespace serep::test;
+using isa::Cond;
+using kgen::KGen;
+
+namespace {
+
+/// Emit the runtime libraries appropriate for the profile.
+void emit_libs(Assembler& a) {
+    auto over = a.newl();
+    a.b(over);
+    rt::build_librt(a);
+    if (a.profile() == Profile::V7) rt::build_softfloat(a);
+    rt::build_libomp(a);
+    rt::build_libmpi(a);
+    a.bind(over);
+}
+
+double read_f64(const sim::Machine& m, unsigned proc, std::uint64_t va) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, m.mem().user_data(proc) + (va - isa::layout::kUserBase), 8);
+    return util::bits_f64(bits);
+}
+
+} // namespace
+
+class KGenBothProfiles : public ::testing::TestWithParam<Profile> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, KGenBothProfiles,
+                         ::testing::Values(Profile::V7, Profile::V8),
+                         [](const auto& info) {
+                             return info.param == Profile::V7 ? "V7" : "V8";
+                         });
+
+TEST_P(KGenBothProfiles, DotProductMatchesHost) {
+    const int n = 64;
+    std::vector<double> xs, ys;
+    double expect = 0;
+    for (int i = 0; i < n; ++i) {
+        xs.push_back(0.5 + i * 0.25);
+        ys.push_back(1.0 / (1 + i));
+    }
+    const Profile p = GetParam();
+    // host reference mirrors the guest order (fma on V8, mul+add on V7)
+    for (int i = 0; i < n; ++i) {
+        if (p == Profile::V8) expect = std::fma(xs[i], ys[i], expect);
+        else expect += xs[i] * ys[i];
+    }
+
+    auto r = run_os_program(p, 1, 1, [&](Assembler& a) {
+        auto over = a.newl();
+        a.b(over);
+        emit_libs(a);
+        a.udata().align(8);
+        std::uint64_t xv = a.udata().cursor();
+        for (double d : xs) a.udata().f64(d);
+        std::uint64_t yv = a.udata().cursor();
+        for (double d : ys) a.udata().f64(d);
+        a.data_sym("xs", xv);
+        a.data_sym("ys", yv);
+        a.data_sym("out", a.udata().reserve(8));
+        a.bind(over);
+        KGen g(a);
+        g.enter_frame(4);
+        auto acc = g.fv(), x = g.fv(), y = g.fv();
+        const auto i = g.ivar(), bx = g.ivar(), by = g.ivar();
+        a.movi_sym(bx, "xs");
+        a.movi_sym(by, "ys");
+        g.fli(acc, 0.0);
+        g.for_up_imm(i, 0, n, [&] {
+            g.fld(x, bx, i);
+            g.fld(y, by, i);
+            g.fmac(acc, x, y);
+        });
+        a.movi_sym(bx, "out");
+        g.fst_imm(acc, bx, 0);
+        g.ffree(acc);
+        g.ffree(x);
+        g.ffree(y);
+        g.leave_frame();
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    const double got = read_f64(r.machine, 0, r.machine.image().data_sym("out"));
+    EXPECT_NEAR(got, expect, std::fabs(expect) * 1e-12);
+}
+
+TEST_P(KGenBothProfiles, FpDivCompareAndConvert) {
+    auto r = run_os_program(GetParam(), 1, 1, [&](Assembler& a) {
+        auto over = a.newl();
+        a.b(over);
+        emit_libs(a);
+        a.udata().align(8);
+        a.data_sym("out", a.udata().reserve(32));
+        a.bind(over);
+        KGen g(a);
+        g.enter_frame(4);
+        auto x = g.fv(), y = g.fv(), q = g.fv();
+        const auto b = g.ivar(), t = g.ivar();
+        g.fli(x, 7.0);
+        g.fli(y, 2.0);
+        g.fdiv(q, x, y); // 3.5
+        a.movi_sym(b, "out");
+        g.fst_imm(q, b, 0);
+        g.f2i(t, q); // 3
+        a.str(t, b, 8);
+        g.i2f(q, t); // 3.0
+        g.fst_imm(q, b, 2);
+        // compare: 7.0 > 2.0 -> GT path stores 1
+        g.fcmp(x, y);
+        a.movi(t, 0);
+        auto le = a.newl();
+        a.b(Cond::LE, le);
+        a.movi(t, 1);
+        a.bind(le);
+        a.str(t, b, 24);
+        g.ffree(x);
+        g.ffree(y);
+        g.ffree(q);
+        g.leave_frame();
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    const auto out = r.machine.image().data_sym("out");
+    const unsigned wb = isa::profile_info(GetParam()).width_bytes;
+    EXPECT_DOUBLE_EQ(read_f64(r.machine, 0, out), 3.5);
+    EXPECT_EQ(upeek(r.machine, 0, out + 8, wb), 3u);
+    EXPECT_DOUBLE_EQ(read_f64(r.machine, 0, out + 16), 3.0);
+    EXPECT_EQ(upeek(r.machine, 0, out + 24, wb), 1u);
+}
+
+TEST_P(KGenBothProfiles, IntDivModAndLcg) {
+    auto r = run_os_program(GetParam(), 1, 1, [&](Assembler& a) {
+        auto over = a.newl();
+        a.b(over);
+        emit_libs(a);
+        a.udata().align(8);
+        a.data_sym("out", a.udata().reserve(32));
+        a.bind(over);
+        KGen g(a);
+        g.enter_frame(0);
+        const auto b = g.ivar(), n = g.ivar(), d = g.ivar(), t = g.ivar();
+        a.movi_sym(b, "out");
+        a.movi(n, 1000003);
+        a.movi(d, 97);
+        g.idiv(t, n, d);
+        a.str(t, b, 0);
+        g.imod(t, n, d);
+        a.str(t, b, 8);
+        a.movi(t, 12345);
+        g.lcg_step(t);
+        g.lcg_step(t);
+        a.str(t, b, 16);
+        g.leave_frame();
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    const auto out = r.machine.image().data_sym("out");
+    const unsigned wb = isa::profile_info(GetParam()).width_bytes;
+    EXPECT_EQ(upeek(r.machine, 0, out, wb), 1000003u / 97u);
+    EXPECT_EQ(upeek(r.machine, 0, out + 8, wb), 1000003u % 97u);
+    std::uint32_t x = 12345;
+    x = x * 1103515245u + 12345u;
+    x = x * 1103515245u + 12345u;
+    EXPECT_EQ(upeek(r.machine, 0, out + 16, wb) & 0xFFFFFFFFu, x);
+}
+
+TEST_P(KGenBothProfiles, ParBoundsPartitionsExactly) {
+    // begin/end for 4 threads over 10 items: chunk 3 -> [0,3)[3,6)[6,9)[9,10)
+    auto r = run_os_program(GetParam(), 1, 1, [&](Assembler& a) {
+        auto over = a.newl();
+        a.b(over);
+        emit_libs(a);
+        a.udata().align(8);
+        a.data_sym("out", a.udata().reserve(64));
+        a.bind(over);
+        KGen g(a);
+        g.enter_frame(0);
+        const auto b = g.ivar(), n = g.ivar(), nth = g.ivar(), tid = g.ivar(),
+                   lo = g.ivar(), hi = g.ivar();
+        a.movi_sym(b, "out");
+        a.movi(n, 10);
+        a.movi(nth, 4);
+        for (int t = 0; t < 4; ++t) {
+            a.movi(tid, t);
+            g.par_bounds(lo, hi, n, tid, nth);
+            a.str(lo, b, t * 16);
+            a.str(hi, b, t * 16 + 8);
+        }
+        g.leave_frame();
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    const auto out = r.machine.image().data_sym("out");
+    const unsigned wb = isa::profile_info(GetParam()).width_bytes;
+    const int expect[4][2] = {{0, 3}, {3, 6}, {6, 9}, {9, 10}};
+    for (int t = 0; t < 4; ++t) {
+        EXPECT_EQ(upeek(r.machine, 0, out + t * 16, wb),
+                  static_cast<unsigned>(expect[t][0]));
+        EXPECT_EQ(upeek(r.machine, 0, out + t * 16 + 8, wb),
+                  static_cast<unsigned>(expect[t][1]));
+    }
+}
+
+TEST_P(KGenBothProfiles, OmpParallelSumAcrossCores) {
+    const int n = 4000;
+    auto r = run_os_program(GetParam(), 2, 1, [&](Assembler& a) {
+        auto over = a.newl();
+        a.b(over);
+        emit_libs(a);
+        a.udata().align(8);
+        a.data_sym("counts", a.udata().reserve(64));
+
+        // body(arg, tid, nth): counts[tid] = sum of my block of 1..n
+        a.func("body", ModTag::APP);
+        {
+            KGen g(a);
+            g.enter_frame(0);
+            const auto tid = g.ivar(), nth = g.ivar(), nn = g.ivar(),
+                       lo = g.ivar(), hi = g.ivar(), sum = g.ivar(),
+                       i = g.ivar(), b = g.ivar();
+            a.mov(tid, 1);
+            a.mov(nth, 2);
+            a.movi(nn, n);
+            g.par_bounds(lo, hi, nn, tid, nth);
+            a.movi(sum, 0);
+            g.for_up(i, 0, hi, [&] {
+                a.cmp(i, lo);
+                auto skip = a.newl();
+                a.b(Cond::LT, skip);
+                a.add(sum, sum, i);
+                a.bind(skip);
+            });
+            a.movi_sym(b, "counts");
+            g.idiv(nn, sum, nth); // exercise idiv under OMP too (result unused)
+            a.str_word_idx(sum, b, tid);
+            g.leave_frame();
+            a.ret();
+        }
+
+        a.bind(over); // entry jump lands here, after the body definition
+        a.bl("omp_init");
+        a.movi_sym(0, "body");
+        a.movi(1, 0);
+        a.bl("omp_parallel");
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    const auto counts = r.machine.image().data_sym("counts");
+    const unsigned wb = isa::profile_info(GetParam()).width_bytes;
+    std::uint64_t s0 = 0, s1 = 0;
+    for (int i = 0; i < n / 2; ++i) s0 += i;
+    for (int i = n / 2; i < n; ++i) s1 += i;
+    const std::uint64_t mask = wb == 4 ? 0xFFFFFFFFull : ~0ull;
+    EXPECT_EQ(upeek(r.machine, 0, counts, wb), s0 & mask);
+    EXPECT_EQ(upeek(r.machine, 0, counts + wb, wb), s1 & mask);
+}
+
+TEST_P(KGenBothProfiles, MpiAllreduceAcrossRanks) {
+    auto r = run_os_program(GetParam(), 2, 2, [&](Assembler& a) {
+        auto over = a.newl();
+        a.b(over);
+        emit_libs(a);
+        a.udata().align(8);
+        a.data_sym("vals", a.udata().reserve(4 * 8));
+        a.data_sym("res", a.udata().reserve(4 * 8));
+        a.bind(over);
+        // main(rank, size)
+        a.func("start", ModTag::APP);
+        KGen g(a);
+        g.enter_frame(2);
+        const auto rank = g.ivar(), b = g.ivar(), i = g.ivar();
+        a.mov(rank, 0);
+        a.bl("mpi_init"); // r0=rank r1=size still intact at entry
+        // vals[i] = (rank+1) * (i+1)
+        auto f = g.fv();
+        a.movi_sym(b, "vals");
+        g.for_up_imm(i, 0, 4, [&] {
+            a.addi(12, i, 1);
+            const auto t = g.ivar();
+            a.addi(t, rank, 1);
+            a.mul(t, t, 12);
+            g.i2f(f, t);
+            g.fst(f, b, i);
+            g.release(t);
+        });
+        a.movi_sym(0, "vals");
+        a.movi_sym(1, "res");
+        a.movi(2, 4);
+        a.bl("mpi_allreduce_f64");
+        a.bl("mpi_barrier");
+        g.ffree(f);
+        g.leave_frame();
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    const auto res = r.machine.image().data_sym("res");
+    // sum over ranks 1,2: vals[i] = 3*(i+1)
+    for (unsigned proc = 0; proc < 2; ++proc)
+        for (int i = 0; i < 4; ++i)
+            EXPECT_DOUBLE_EQ(read_f64(r.machine, proc, res + i * 8), 3.0 * (i + 1))
+                << "proc " << proc << " elem " << i;
+}
+
+TEST_P(KGenBothProfiles, MpiAlltoallExchangesBlocks) {
+    const unsigned block = 16; // bytes
+    auto r = run_os_program(GetParam(), 2, 2, [&](Assembler& a) {
+        auto over = a.newl();
+        a.b(over);
+        emit_libs(a);
+        a.udata().align(8);
+        a.data_sym("sendb", a.udata().reserve(2 * block));
+        a.data_sym("recvb", a.udata().reserve(2 * block));
+        a.bind(over);
+        KGen g(a);
+        g.enter_frame(0);
+        const auto rank = g.ivar(), b = g.ivar(), i = g.ivar(), v = g.ivar();
+        a.mov(rank, 0);
+        a.bl("mpi_init");
+        // send word j = rank*100 + j
+        a.movi_sym(b, "sendb");
+        g.for_up_imm(i, 0, 2 * static_cast<int>(block) / 4, [&] {
+            a.movi(v, 100);
+            a.mul(v, rank, v);
+            a.add(v, v, i);
+            if (a.profile() == Profile::V7) a.str_idx(v, b, i, 2);
+            else a.strw_idx(v, b, i, 2);
+        });
+        a.movi_sym(0, "sendb");
+        a.movi_sym(1, "recvb");
+        a.movi(2, block);
+        a.bl("mpi_alltoall");
+        g.leave_frame();
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    const auto recvb = r.machine.image().data_sym("recvb");
+    // rank p's recv block k = rank k's send block p
+    for (unsigned p = 0; p < 2; ++p) {
+        for (unsigned k = 0; k < 2; ++k) {
+            for (unsigned j = 0; j < block / 4; ++j) {
+                const std::uint32_t expect = k * 100 + p * (block / 4) + j;
+                EXPECT_EQ(upeek(r.machine, p, recvb + k * block + j * 4, 4), expect)
+                    << "p=" << p << " k=" << k << " j=" << j;
+            }
+        }
+    }
+}

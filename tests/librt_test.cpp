@@ -1,0 +1,174 @@
+// Guest runtime library tests: software division, memcpy, console printing.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+#include "os_harness.hpp"
+#include "rt/librt.hpp"
+#include "util/rng.hpp"
+
+using namespace serep;
+using namespace serep::test;
+using isa::Cond;
+using kasm::Assembler;
+
+TEST(Librt, SoftwareDivisionSweep) {
+    util::Rng rng(42);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> cases = {
+        {0, 1}, {1, 1}, {100, 7}, {0xFFFFFFFF, 1}, {0xFFFFFFFF, 0xFFFFFFFF},
+        {7, 100}, {1u << 31, 2}, {12345, 0}, // div by zero -> q=0
+    };
+    for (int i = 0; i < 400; ++i)
+        cases.emplace_back(static_cast<std::uint32_t>(rng.next()),
+                           static_cast<std::uint32_t>(rng.below(1000) + 1));
+    for (int i = 0; i < 100; ++i)
+        cases.emplace_back(static_cast<std::uint32_t>(rng.next()),
+                           static_cast<std::uint32_t>(rng.next()));
+
+    std::uint64_t table = 0;
+    auto m = run_kernel_snippet(
+        Profile::V7,
+        [&](Assembler& a) {
+            auto start = a.newl();
+            a.b(start);
+            rt::build_librt(a);
+            a.kdata().align(8);
+            table = a.kdata().cursor();
+            for (auto [n, d] : cases) {
+                a.kdata().u32(n);
+                a.kdata().u32(d);
+                a.kdata().u32(0); // q
+                a.kdata().u32(0); // r
+            }
+            a.bind(start);
+            const auto ptr = a.sav(0), cnt = a.sav(1);
+            a.movi(ptr, static_cast<std::int64_t>(table));
+            a.movi(cnt, static_cast<std::int64_t>(cases.size()));
+            auto loop = a.newl();
+            a.bind(loop);
+            a.ldr(0, ptr, 0);
+            a.ldr(1, ptr, 4);
+            a.bl("__udiv32");
+            a.str(0, ptr, 8);
+            a.str(1, ptr, 12);
+            a.addi(ptr, ptr, 16);
+            a.subsi(cnt, cnt, 1);
+            a.b(Cond::NE, loop);
+            finish(a);
+        },
+        1, 1, 20'000'000);
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto [n, d] = cases[i];
+        const std::uint32_t eq = d == 0 ? 0 : n / d;
+        const std::uint32_t er = d == 0 ? n : n % d;
+        const auto off = table - isa::layout::kKernBase + i * 16;
+        ASSERT_EQ(m.mem().load(off + 8, 4), eq) << "q " << n << "/" << d;
+        ASSERT_EQ(m.mem().load(off + 12, 4), er) << "r " << n << "%" << d;
+    }
+}
+
+TEST(Librt, SignedDivisionTruncatesTowardZero) {
+    std::vector<std::pair<std::int32_t, std::int32_t>> cases = {
+        {7, 2}, {-7, 2}, {7, -2}, {-7, -2}, {0, 5}, {-1, 1}, {100, -10},
+        {-2147483647, 3},
+    };
+    std::uint64_t table = 0;
+    auto m = run_kernel_snippet(
+        Profile::V7,
+        [&](Assembler& a) {
+            auto start = a.newl();
+            a.b(start);
+            rt::build_librt(a);
+            a.kdata().align(8);
+            table = a.kdata().cursor();
+            for (auto [n, d] : cases) {
+                a.kdata().u32(static_cast<std::uint32_t>(n));
+                a.kdata().u32(static_cast<std::uint32_t>(d));
+                a.kdata().u32(0);
+                a.kdata().u32(0);
+            }
+            a.bind(start);
+            const auto ptr = a.sav(0), cnt = a.sav(1);
+            a.movi(ptr, static_cast<std::int64_t>(table));
+            a.movi(cnt, static_cast<std::int64_t>(cases.size()));
+            auto loop = a.newl();
+            a.bind(loop);
+            a.ldr(0, ptr, 0);
+            a.ldr(1, ptr, 4);
+            a.bl("__sdiv32");
+            a.str(0, ptr, 8);
+            a.addi(ptr, ptr, 16);
+            a.subsi(cnt, cnt, 1);
+            a.b(Cond::NE, loop);
+            finish(a);
+        },
+        1, 1, 5'000'000);
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto [n, d] = cases[i];
+        const auto off = table - isa::layout::kKernBase + i * 16;
+        ASSERT_EQ(static_cast<std::int32_t>(m.mem().load(off + 8, 4)), n / d)
+            << n << "/" << d;
+    }
+}
+
+class LibrtBothProfiles : public ::testing::TestWithParam<Profile> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, LibrtBothProfiles,
+                         ::testing::Values(Profile::V7, Profile::V8),
+                         [](const auto& info) {
+                             return info.param == Profile::V7 ? "V7" : "V8";
+                         });
+
+TEST_P(LibrtBothProfiles, MemcpyCopiesOddSizes) {
+    std::uint64_t src = 0, dst = 0;
+    auto m = run_kernel_snippet(
+        GetParam(),
+        [&](Assembler& a) {
+            auto start = a.newl();
+            a.b(start);
+            rt::build_librt(a);
+            a.kdata().align(8);
+            src = a.kdata().cursor();
+            for (int i = 0; i < 64; ++i)
+                a.kdata().u8(static_cast<std::uint8_t>(i * 3 + 1));
+            a.kdata().align(8);
+            dst = a.kdata().reserve(64);
+            a.bind(start);
+            a.movi(0, static_cast<std::int64_t>(dst));
+            a.movi(1, static_cast<std::int64_t>(src));
+            a.movi(2, 23); // odd size: words + byte tail
+            a.bl("rt_memcpy");
+            finish(a);
+        },
+        1, 1, 100'000);
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+    for (int i = 0; i < 23; ++i)
+        ASSERT_EQ(m.mem().load(dst - isa::layout::kKernBase + i, 1),
+                  static_cast<std::uint8_t>(i * 3 + 1));
+    // byte 23 untouched (reserve zero-fills)
+    ASSERT_EQ(m.mem().load(dst - isa::layout::kKernBase + 23, 1), 0u);
+}
+
+TEST_P(LibrtBothProfiles, PrintHexAndDecThroughConsole) {
+    const Profile p = GetParam();
+    auto r = run_os_program(p, 1, 1, [&](Assembler& a) {
+        auto over = a.newl();
+        a.b(over);
+        rt::build_librt(a);
+        a.bind(over);
+        if (p == Profile::V7) {
+            a.movi(0, static_cast<std::int64_t>(0x89ABCDEFu)); // lo
+            a.movi(1, 0x01234567);                             // hi
+        } else {
+            a.movi(0, static_cast<std::int64_t>(0x0123456789ABCDEFull));
+        }
+        a.bl("rt_print_hex");
+        a.movi(0, 3141592);
+        a.bl("rt_print_dec");
+        a.movi(0, 0);
+        a.bl("rt_print_dec");
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.output(0), "0123456789abcdef\n3141592\n0\n");
+}

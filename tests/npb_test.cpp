@@ -1,0 +1,83 @@
+// Every NPB kernel must run to completion and self-verify against the host
+// reference for every (ISA, API, core-count) combination at Mini class —
+// the end-to-end proof that simulator, kernel, runtimes and codegen agree.
+#include <gtest/gtest.h>
+
+#include "npb/npb.hpp"
+
+using namespace serep;
+using npb::Api;
+using npb::App;
+using npb::Klass;
+using npb::Scenario;
+
+namespace {
+
+std::vector<Scenario> all_mini_scenarios() {
+    std::vector<Scenario> v;
+    for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
+        for (App app : npb::kAllApps) {
+            v.push_back({p, app, Api::Serial, 1, Klass::Mini});
+            if (npb::app_has_api(app, Api::OMP)) {
+                v.push_back({p, app, Api::OMP, 2, Klass::Mini});
+                v.push_back({p, app, Api::OMP, 4, Klass::Mini});
+            }
+            if (npb::app_has_api(app, Api::MPI)) {
+                if (npb::mpi_cores_allowed(app, 2))
+                    v.push_back({p, app, Api::MPI, 2, Klass::Mini});
+                if (npb::mpi_cores_allowed(app, 4))
+                    v.push_back({p, app, Api::MPI, 4, Klass::Mini});
+            }
+        }
+    }
+    return v;
+}
+
+} // namespace
+
+class NpbScenario : public ::testing::TestWithParam<Scenario> {};
+
+INSTANTIATE_TEST_SUITE_P(All, NpbScenario, ::testing::ValuesIn(all_mini_scenarios()),
+                         [](const auto& info) {
+                             std::string n = info.param.name();
+                             for (auto& ch : n)
+                                 if (ch == '-') ch = '_';
+                             return n;
+                         });
+
+TEST_P(NpbScenario, RunsAndVerifies) {
+    const Scenario& s = GetParam();
+    sim::Machine m = npb::make_machine(s, false);
+    m.run_until(300'000'000);
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown) << s.name();
+    EXPECT_EQ(m.exit_code(), 0) << s.name();
+    EXPECT_NE(m.output(0).find("VERIFICATION SUCCESSFUL"), std::string::npos)
+        << s.name() << " output:\n"
+        << m.output(0);
+}
+
+TEST(NpbSuite, PaperScenarioCountIs130) {
+    EXPECT_EQ(npb::paper_scenarios(Klass::Mini).size(), 130u);
+}
+
+TEST(NpbSuite, AvailabilityMatchesPaper) {
+    EXPECT_FALSE(npb::app_has_api(App::DC, Api::MPI));
+    EXPECT_FALSE(npb::app_has_api(App::UA, Api::MPI));
+    EXPECT_FALSE(npb::app_has_api(App::DT, Api::OMP));
+    EXPECT_TRUE(npb::app_has_api(App::DT, Api::MPI));
+    EXPECT_FALSE(npb::mpi_cores_allowed(App::BT, 2));
+    EXPECT_FALSE(npb::mpi_cores_allowed(App::SP, 2));
+    EXPECT_TRUE(npb::mpi_cores_allowed(App::BT, 4));
+    EXPECT_TRUE(npb::mpi_cores_allowed(App::CG, 2));
+}
+
+TEST(NpbSuite, DeterministicAcrossRuns) {
+    const Scenario s{isa::Profile::V8, App::CG, Api::OMP, 2, Klass::Mini};
+    sim::Machine a = npb::make_machine(s, false);
+    sim::Machine b = npb::make_machine(s, false);
+    a.run_until(100'000'000);
+    b.run_until(100'000'000);
+    EXPECT_EQ(a.total_retired(), b.total_retired());
+    EXPECT_EQ(a.output(0), b.output(0));
+    EXPECT_EQ(a.time_ticks(), b.time_ticks());
+}

@@ -1,0 +1,161 @@
+// Nanokernel edge cases and failure-injection paths.
+#include <gtest/gtest.h>
+
+#include "os_harness.hpp"
+
+using namespace serep;
+using namespace serep::test;
+using isa::Cond;
+
+class OsEdgeBoth : public ::testing::TestWithParam<Profile> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, OsEdgeBoth,
+                         ::testing::Values(Profile::V7, Profile::V8),
+                         [](const auto& info) {
+                             return info.param == Profile::V7 ? "V7" : "V8";
+                         });
+
+TEST_P(OsEdgeBoth, ThreadTableExhaustionReturnsMinusOne) {
+    // kMaxThreads = 16; main is thread 0 — creating 16 more must fail once.
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        const auto i = a.sav(0), fails = a.sav(1), sp0 = a.sav(2);
+        // one shared stack is fine: the workers only spin
+        a.movi(0, 0);
+        a.svc(os::SYS_BRK);
+        a.mov(sp0, 0);
+        a.addi(0, sp0, 65536);
+        a.svc(os::SYS_BRK);
+        a.movi(i, 0);
+        a.movi(fails, 0);
+        auto loop = a.newl(), done = a.newl(), nofail = a.newl();
+        a.bind(loop);
+        a.cmpi(i, 17);
+        a.b(Cond::GE, done);
+        a.movi_sym(0, "spin");
+        a.addi(1, sp0, 65536);
+        a.movi(2, 0);
+        a.svc(os::SYS_THREAD_CREATE);
+        a.cmpi(0, 0);
+        a.b(Cond::GE, nofail);
+        a.addi(fails, fails, 1);
+        a.bind(nofail);
+        a.addi(i, i, 1);
+        a.b(loop);
+        a.bind(done);
+        a.mov(0, fails);
+        a.svc(os::SYS_EXIT); // exit code = number of failed creations
+        a.func("spin", ModTag::APP);
+        auto forever = a.newl();
+        a.bind(forever);
+        a.svc(os::SYS_YIELD);
+        a.b(forever);
+    }, 3'000'000);
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.exit_code(), 2); // slots 1..15 fit 15; 2 of 17 fail
+}
+
+TEST_P(OsEdgeBoth, JoinInvalidTidReturnsMinusOne) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        a.movi(0, 99); // way out of range
+        a.svc(os::SYS_THREAD_JOIN);
+        // exit 0 when the call failed as expected
+        a.cmpi(0, 0);
+        auto bad = a.newl();
+        a.b(Cond::GE, bad);
+        sys_exit(a, 0);
+        a.bind(bad);
+        sys_exit(a, 1);
+    });
+    EXPECT_EQ(r.machine.exit_code(), 0);
+}
+
+TEST_P(OsEdgeBoth, ChannelOversizeMessageKillsProcess) {
+    auto r = run_os_program(GetParam(), 1, 2, [](Assembler& a) {
+        const auto buf = a.udata().reserve(512);
+        a.data_sym("buf", buf);
+        const auto rank = a.sav(0);
+        a.mov(rank, 0);
+        a.cmpi(rank, 0);
+        auto other = a.newl();
+        a.b(Cond::NE, other);
+        a.movi(0, os::chan_id(0, 1, 2));
+        a.movi_sym(1, "buf");
+        a.movi(2, 400); // > kChanMsgMax -> killed
+        a.svc(os::SYS_CHAN_SEND);
+        sys_exit(a, 0);
+        a.bind(other);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+}
+
+TEST_P(OsEdgeBoth, UnalignedChannelLengthKills) {
+    auto r = run_os_program(GetParam(), 1, 2, [](Assembler& a) {
+        const auto buf = a.udata().reserve(64);
+        a.data_sym("buf", buf);
+        const auto rank = a.sav(0);
+        a.mov(rank, 0);
+        a.cmpi(rank, 0);
+        auto other = a.newl();
+        a.b(Cond::NE, other);
+        a.movi(0, os::chan_id(0, 1, 2));
+        a.movi_sym(1, "buf");
+        a.movi(2, 7); // len % 4 != 0
+        a.svc(os::SYS_CHAN_SEND);
+        sys_exit(a, 0);
+        a.bind(other);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+}
+
+TEST_P(OsEdgeBoth, ZeroLengthWriteIsFine) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        const auto buf = a.udata().reserve(16);
+        a.data_sym("b", buf);
+        a.movi_sym(0, "b");
+        a.movi(1, 0);
+        a.svc(os::SYS_WRITE);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.exit_code(), 0);
+    EXPECT_TRUE(r.machine.output(0).empty());
+}
+
+TEST_P(OsEdgeBoth, FutexWakeReturnsWokenCount) {
+    // No waiters: wake returns 0.
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        const auto f = a.udata().reserve(16);
+        a.data_sym("f", f);
+        a.movi_sym(0, "f");
+        a.movi(1, 8);
+        a.svc(os::SYS_FUTEX_WAKE);
+        a.svc(os::SYS_EXIT); // exit code = woken count (0)
+    });
+    EXPECT_EQ(r.machine.exit_code(), 0);
+}
+
+TEST_P(OsEdgeBoth, MisalignedFutexAddressKills) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        const auto f = a.udata().reserve(16);
+        a.data_sym("f", f);
+        a.movi_sym(0, "f");
+        a.addi(0, 0, 1); // misaligned
+        a.movi(1, 0);
+        a.svc(os::SYS_FUTEX_WAIT);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+}
+
+TEST_P(OsEdgeBoth, StackOverflowHitsGuardGap) {
+    // Recursing far past the mapped stack must fault, not corrupt the heap.
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        a.func("recurse", ModTag::APP);
+        a.subi(a.sp(), a.sp(), 4096);
+        a.str(0, a.sp(), 0); // touch the page
+        a.bl("recurse");
+        a.ret(); // never reached
+    }, 5'000'000);
+    // main falls through into "recurse" (it is emitted right after entry)
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+}

@@ -1,0 +1,67 @@
+// Helpers for OS-level tests: build kernel + user program, boot, run.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "kasm/assembler.hpp"
+#include "os/abi.hpp"
+#include "os/kernel.hpp"
+#include "os/loader.hpp"
+#include "sim/machine.hpp"
+
+namespace serep::test {
+
+using isa::Profile;
+using kasm::Assembler;
+using kasm::ModTag;
+
+struct OsProgram {
+    sim::Machine machine;
+    os::KLayout layout;
+};
+
+/// Build (kernel + user code), boot, and run. `user_code` is emitted as the
+/// entry function "main" and starts with (r0, r1) = (rank, nprocs).
+inline OsProgram run_os_program(Profile p, unsigned cores, unsigned procs,
+                                const std::function<void(Assembler&)>& user_code,
+                                std::uint64_t budget = 5'000'000,
+                                os::KernelConfig kcfg = {}) {
+    Assembler a(p);
+    const os::KLayout l = os::build_kernel(a, procs, kcfg);
+    a.func("main", ModTag::APP);
+    a.set_user_entry(a.here());
+    user_code(a);
+
+    auto img = std::make_shared<const kasm::Image>(a.finalize());
+    os::BootConfig bc;
+    bc.cores = cores;
+    bc.procs = procs;
+    bc.user_size = kcfg.user_size;
+    bc.kern_size = kcfg.kern_size;
+    sim::Machine m = os::boot_machine(std::move(img), l, bc);
+    m.run_until(budget);
+    return OsProgram{std::move(m), l};
+}
+
+/// Read one user-region word of process `proc` at VA `va`.
+inline std::uint64_t upeek(const sim::Machine& m, unsigned proc, std::uint64_t va,
+                           unsigned bytes) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, m.mem().user_data(proc) + (va - isa::layout::kUserBase), bytes);
+    return v;
+}
+
+// ---- tiny syscall emitters for user test code ----
+inline void sys_exit(Assembler& a, int code) {
+    a.movi(0, code);
+    a.svc(os::SYS_EXIT);
+}
+inline void sys_write_sym(Assembler& a, const std::string& sym, unsigned len) {
+    a.movi_sym(0, sym);
+    a.movi(1, len);
+    a.svc(os::SYS_WRITE);
+}
+
+} // namespace serep::test

@@ -1,0 +1,565 @@
+// Nanokernel integration tests: scheduling, preemption, context-switch
+// integrity, futexes, channels, process isolation and kill paths.
+#include <gtest/gtest.h>
+
+#include "os_harness.hpp"
+
+using namespace serep;
+using namespace serep::test;
+using isa::Cond;
+using os::Sys;
+
+class OsBothProfiles : public ::testing::TestWithParam<Profile> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, OsBothProfiles,
+                         ::testing::Values(Profile::V7, Profile::V8),
+                         [](const auto& info) {
+                             return info.param == Profile::V7 ? "V7" : "V8";
+                         });
+
+TEST_P(OsBothProfiles, ExitZeroShutsDown) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.exit_code(), 0);
+    EXPECT_EQ(r.machine.proc_exit_code(0), 0);
+    EXPECT_TRUE(r.machine.app_started());
+}
+
+TEST_P(OsBothProfiles, ExitCodePropagates) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        sys_exit(a, 7);
+    });
+    EXPECT_EQ(r.machine.exit_code(), 7);
+    EXPECT_EQ(r.machine.proc_exit_code(0), 7);
+}
+
+TEST_P(OsBothProfiles, WriteSyscallReachesConsole) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        const char msg[] = "hello, kernel\n";
+        const auto va = a.udata().bytes(msg, sizeof(msg) - 1);
+        a.data_sym("msg", va);
+        sys_write_sym(a, "msg", sizeof(msg) - 1);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.output(0), "hello, kernel\n");
+    EXPECT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+}
+
+TEST_P(OsBothProfiles, RanksGetPrivateOutputAndArgs) {
+    // Each rank writes 'A' + rank into its own scratch then to the console.
+    auto r = run_os_program(GetParam(), 2, 2, [](Assembler& a) {
+        const auto scratch = a.udata().reserve(16);
+        a.data_sym("scratch", scratch);
+        const auto s0 = a.sav(0);
+        a.mov(s0, 0); // rank
+        a.addi(2, s0, 'A');
+        a.movi_sym(3, "scratch");
+        a.strb(2, 3, 0);
+        a.mov(0, 3);
+        a.movi(1, 1);
+        a.svc(os::SYS_WRITE);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.output(0), "A");
+    EXPECT_EQ(r.machine.output(1), "B");
+    EXPECT_EQ(r.machine.proc_exit_code(0), 0);
+    EXPECT_EQ(r.machine.proc_exit_code(1), 0);
+}
+
+TEST_P(OsBothProfiles, BrkGrowsHeapAndMemoryIsUsable) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        const auto s0 = a.sav(0);
+        a.movi(0, 0);
+        a.svc(os::SYS_BRK);     // query
+        a.mov(s0, 0);           // heap base
+        a.addi(0, s0, 8192);
+        a.svc(os::SYS_BRK);     // grow
+        a.cmpi(0, 0);
+        auto ok = a.newl();
+        a.b(Cond::NE, ok);
+        sys_exit(a, 1);         // grow failed
+        a.bind(ok);
+        a.movi(1, 0xBEEF);
+        a.str(1, s0, 64);
+        a.ldr(2, s0, 64);
+        a.cmp(1, 2);
+        auto ok2 = a.newl();
+        a.b(Cond::EQ, ok2);
+        sys_exit(a, 2);
+        a.bind(ok2);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.exit_code(), 0);
+}
+
+TEST_P(OsBothProfiles, BrkBeyondLimitFails) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        a.movi(0, static_cast<std::int64_t>(isa::layout::kUserBase +
+                                            isa::layout::kDefaultUserSize));
+        a.svc(os::SYS_BRK);
+        a.cmpi(0, 0);
+        auto failed = a.newl();
+        a.b(Cond::EQ, failed);
+        sys_exit(a, 1); // unexpectedly succeeded
+        a.bind(failed);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.exit_code(), 0);
+}
+
+TEST_P(OsBothProfiles, TouchingUnmappedHeapKillsProcess) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        a.movi(2, static_cast<std::int64_t>(isa::layout::kUserBase + 1024 * 1024));
+        a.ldr(3, 2, 0); // unmapped -> data abort -> kill
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+}
+
+TEST_P(OsBothProfiles, UserTouchingKernelKilled) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        a.movi(2, static_cast<std::int64_t>(isa::layout::kKernBase));
+        a.ldr(3, 2, 0);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+}
+
+TEST_P(OsBothProfiles, WriteWithBadPointerKills) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        a.movi(0, static_cast<std::int64_t>(isa::layout::kKernBase));
+        a.movi(1, 4);
+        a.svc(os::SYS_WRITE);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+}
+
+namespace {
+
+/// Emit "allocate `bytes` of heap, result (old top) in `dst`".
+void emit_alloc(Assembler& a, kasm::Reg dst, unsigned bytes) {
+    a.movi(0, 0);
+    a.svc(os::SYS_BRK);
+    a.mov(dst, 0);
+    a.addi(0, dst, bytes);
+    a.svc(os::SYS_BRK);
+}
+
+} // namespace
+
+TEST_P(OsBothProfiles, ThreadCreateJoinReturnsExitCode) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        const auto flag = a.udata().reserve(16);
+        a.data_sym("flag", flag);
+        const auto s0 = a.sav(0), s1 = a.sav(1);
+        emit_alloc(a, s0, 16384);
+        // create worker: entry, stack_top = s0 + 16384, arg = 5
+        a.movi_sym(0, "worker");
+        a.addi(1, s0, 16384);
+        a.movi(2, 5);
+        a.svc(os::SYS_THREAD_CREATE);
+        a.mov(s1, 0); // tid
+        a.mov(0, s1);
+        a.svc(os::SYS_THREAD_JOIN);
+        // exit with the worker's code
+        a.svc(os::SYS_EXIT);
+        a.func("worker", ModTag::APP);
+        // set flag = arg, exit with arg * 8 + 2
+        a.movi_sym(1, "flag");
+        a.str(0, 1, 0);
+        a.lsli(0, 0, 3);
+        a.addi(0, 0, 2);
+        a.svc(os::SYS_THREAD_EXIT);
+    });
+    EXPECT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.exit_code(), 42);
+    EXPECT_EQ(upeek(r.machine, 0, r.machine.image().data_sym("flag"),
+                    isa::profile_info(GetParam()).width_bytes),
+              5u);
+}
+
+TEST_P(OsBothProfiles, PreemptionInterleavesTwoThreadsOnOneCore) {
+    // Both main and worker count to N; with one core only the timer can
+    // interleave them. Both finishing proves preemptive scheduling works.
+    const int n = 20000;
+    os::KernelConfig kc;
+    kc.quantum = 500;
+    auto r = run_os_program(GetParam(), 1, 1, [&](Assembler& a) {
+        const auto counters = a.udata().reserve(64);
+        a.data_sym("counters", counters);
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2);
+        emit_alloc(a, s0, 16384);
+        a.movi_sym(0, "worker");
+        a.addi(1, s0, 16384);
+        a.movi(2, 0);
+        a.svc(os::SYS_THREAD_CREATE);
+        a.mov(s2, 0);
+        // main loop
+        a.movi(s1, 0);
+        auto loop = a.newl();
+        a.bind(loop);
+        a.addi(s1, s1, 1);
+        a.cmpi(s1, n);
+        a.b(Cond::LT, loop);
+        a.movi_sym(1, "counters");
+        a.str(s1, 1, 0);
+        a.mov(0, s2);
+        a.svc(os::SYS_THREAD_JOIN);
+        sys_exit(a, 0);
+        a.func("worker", ModTag::APP);
+        const auto w = a.sav(0);
+        a.movi(w, 0);
+        auto wl = a.newl();
+        a.bind(wl);
+        a.addi(w, w, 1);
+        a.cmpi(w, n);
+        a.b(Cond::LT, wl);
+        a.movi_sym(1, "counters");
+        const unsigned wb = isa::profile_info(a.profile()).width_bytes;
+        a.str(w, 1, wb);
+        a.movi(0, 0);
+        a.svc(os::SYS_THREAD_EXIT);
+    }, 5'000'000, kc);
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    const unsigned wb = isa::profile_info(GetParam()).width_bytes;
+    const auto base = r.machine.image().data_sym("counters");
+    EXPECT_EQ(upeek(r.machine, 0, base, wb), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(upeek(r.machine, 0, base + wb, wb), static_cast<std::uint64_t>(n));
+    EXPECT_GT(r.machine.machine_counters().ctx_switches, 10u);
+}
+
+TEST_P(OsBothProfiles, ContextSwitchPreservesRegisterState) {
+    // A register-churning checksum under heavy preemption must match the
+    // host-computed value: context save/restore is lossless.
+    const Profile p = GetParam();
+    const std::uint64_t mask = isa::profile_info(p).width_bits == 32
+                                   ? 0xFFFFFFFFull
+                                   : ~0ull;
+    const int n = 30000;
+    std::uint64_t acc1 = 1, acc2 = 2, acc3 = 3;
+    for (int i = 1; i <= n; ++i) {
+        acc1 = (acc1 + (acc2 ^ static_cast<std::uint64_t>(i))) & mask;
+        acc2 = (acc2 ^ (acc1 | 1)) & mask;
+        acc3 = (acc3 + (acc1 & acc2)) & mask;
+    }
+    const std::uint64_t expect = (acc1 + acc2 + acc3) & mask;
+
+    os::KernelConfig kc;
+    kc.quantum = 177; // frequent, off-phase preemption
+    auto r = run_os_program(p, 1, 1, [&](Assembler& a) {
+        const auto out = a.udata().reserve(16);
+        a.data_sym("out", out);
+        const auto a1 = a.sav(0), a2 = a.sav(1), a3 = a.sav(2), i = a.sav(3),
+                   t = a.sav(4);
+        a.movi(a1, 1);
+        a.movi(a2, 2);
+        a.movi(a3, 3);
+        a.movi(i, 1);
+        auto loop = a.newl();
+        a.bind(loop);
+        a.eor(t, a2, i);
+        a.add(a1, a1, t);
+        a.orri(t, a1, 1);
+        a.eor(a2, a2, t);
+        a.and_(t, a1, a2);
+        a.add(a3, a3, t);
+        a.addi(i, i, 1);
+        a.cmpi(i, n);
+        a.b(Cond::LE, loop);
+        a.add(a1, a1, a2);
+        a.add(a1, a1, a3);
+        a.movi_sym(t, "out");
+        a.str(a1, t, 0);
+        sys_exit(a, 0);
+    }, 10'000'000, kc);
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    // single thread: the timer preempts constantly but TLS never changes
+    const auto timer_irqs = r.machine.machine_counters()
+                                .traps[static_cast<int>(isa::TrapCause::IRQ_TIMER)];
+    EXPECT_GT(timer_irqs, 100u);
+    EXPECT_EQ(upeek(r.machine, 0, r.machine.image().data_sym("out"),
+                    isa::profile_info(p).width_bytes),
+              expect);
+}
+
+TEST_P(OsBothProfiles, FutexHandshake) {
+    auto r = run_os_program(GetParam(), 2, 1, [](Assembler& a) {
+        const auto flag = a.udata().reserve(16);
+        a.data_sym("flag", flag);
+        const auto s0 = a.sav(0);
+        emit_alloc(a, s0, 16384);
+        a.movi_sym(0, "setter");
+        a.addi(1, s0, 16384);
+        a.movi(2, 0);
+        a.svc(os::SYS_THREAD_CREATE);
+        const auto tid = a.sav(1);
+        a.mov(tid, 0);
+        // wait until flag != 0
+        auto wait = a.newl(), done = a.newl();
+        a.bind(wait);
+        a.movi_sym(2, "flag");
+        a.ldr(3, 2, 0);
+        a.cmpi(3, 0);
+        a.b(Cond::NE, done);
+        a.mov(0, 2);
+        a.movi(1, 0);
+        a.svc(os::SYS_FUTEX_WAIT);
+        a.b(wait);
+        a.bind(done);
+        a.mov(0, tid);
+        a.svc(os::SYS_THREAD_JOIN);
+        a.movi_sym(2, "flag");
+        a.ldr(0, 2, 0);
+        a.svc(os::SYS_EXIT); // exit with flag value (99)
+        a.func("setter", ModTag::APP);
+        a.movi_sym(2, "flag");
+        a.movi(3, 99);
+        a.str(3, 2, 0);
+        a.mov(0, 2);
+        a.movi(1, 8);
+        a.svc(os::SYS_FUTEX_WAKE);
+        a.movi(0, 0);
+        a.svc(os::SYS_THREAD_EXIT);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.exit_code(), 99);
+}
+
+TEST_P(OsBothProfiles, FutexWaitValueMismatchReturnsImmediately) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        const auto flag = a.udata().reserve(16);
+        a.data_sym("flag", flag);
+        a.movi_sym(2, "flag");
+        a.movi(3, 5);
+        a.str(3, 2, 0);
+        a.mov(0, 2);
+        a.movi(1, 0); // expected 0, actual 5 -> mismatch, no block
+        a.svc(os::SYS_FUTEX_WAIT);
+        a.svc(os::SYS_EXIT); // exit code = return value (1)
+    });
+    EXPECT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.exit_code(), 1);
+}
+
+TEST_P(OsBothProfiles, ChannelSendRecvData) {
+    const unsigned nbytes = 64;
+    auto r = run_os_program(GetParam(), 1, 2, [&](Assembler& a) {
+        const bool v7 = a.profile() == Profile::V7;
+        const auto buf = a.udata().reserve(256);
+        a.data_sym("buf", buf);
+        const auto rank = a.sav(0), i = a.sav(1), bad = a.sav(2), base = a.sav(3);
+        auto st32 = [&](kasm::Reg rd, kasm::Reg idx) {
+            if (v7) a.str_idx(rd, base, idx, 2);
+            else a.strw_idx(rd, base, idx, 2);
+        };
+        auto ld32 = [&](kasm::Reg rd, kasm::Reg idx) {
+            if (v7) a.ldr_idx(rd, base, idx, 2);
+            else a.ldrw_idx(rd, base, idx, 2);
+        };
+        a.mov(rank, 0);
+        auto receiver = a.newl(), done = a.newl();
+        a.cmpi(rank, 0);
+        a.b(Cond::NE, receiver);
+        // rank 0: buf[i] = i*7+1, send
+        a.movi_sym(base, "buf");
+        a.movi(i, 0);
+        auto fill = a.newl();
+        a.bind(fill);
+        a.movi(2, 7);
+        a.mul(2, i, 2);
+        a.addi(2, 2, 1);
+        st32(2, i);
+        a.addi(i, i, 1);
+        a.cmpi(i, nbytes / 4);
+        a.b(Cond::LT, fill);
+        a.movi(0, os::chan_id(0, 1, 2));
+        a.movi_sym(1, "buf");
+        a.movi(2, nbytes);
+        a.svc(os::SYS_CHAN_SEND);
+        sys_exit(a, 0);
+        // rank 1: recv, verify
+        a.bind(receiver);
+        a.movi(0, os::chan_id(0, 1, 2));
+        a.movi_sym(1, "buf");
+        a.movi(2, 256);
+        a.svc(os::SYS_CHAN_RECV);
+        // r0 = length; verify
+        a.movi(bad, 0);
+        a.cmpi(0, nbytes);
+        a.b(Cond::EQ, done);
+        a.addi(bad, bad, 100); // length wrong
+        a.bind(done);
+        a.movi_sym(base, "buf");
+        a.movi(i, 0);
+        auto vloop = a.newl(), vnext = a.newl(), vdone = a.newl();
+        a.bind(vloop);
+        a.cmpi(i, nbytes / 4);
+        a.b(Cond::GE, vdone);
+        ld32(2, i);
+        a.movi(3, 7);
+        a.mul(3, i, 3);
+        a.addi(3, 3, 1);
+        a.cmp(2, 3);
+        a.b(Cond::EQ, vnext);
+        a.addi(bad, bad, 1);
+        a.bind(vnext);
+        a.addi(i, i, 1);
+        a.b(vloop);
+        a.bind(vdone);
+        a.mov(0, bad);
+        a.svc(os::SYS_EXIT);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.proc_exit_code(0), 0);
+    EXPECT_EQ(r.machine.proc_exit_code(1), 0);
+}
+
+TEST_P(OsBothProfiles, ChannelBackpressureBlocksSender) {
+    // Send more messages than the ring holds; receiver drains slowly.
+    const int nmsgs = 48; // ring holds 32
+    auto r = run_os_program(GetParam(), 2, 2, [&](Assembler& a) {
+        const auto buf = a.udata().reserve(256);
+        a.data_sym("buf", buf);
+        const auto rank = a.sav(0), i = a.sav(1), sum = a.sav(2);
+        a.mov(rank, 0);
+        auto receiver = a.newl();
+        a.cmpi(rank, 0);
+        a.b(Cond::NE, receiver);
+        // sender: message payload = [i]
+        a.movi(i, 0);
+        auto sl = a.newl();
+        a.bind(sl);
+        a.movi_sym(2, "buf");
+        a.str(i, 2, 0);
+        a.movi(0, os::chan_id(0, 1, 2));
+        a.movi_sym(1, "buf");
+        a.movi(2, a.wbytes());
+        a.svc(os::SYS_CHAN_SEND);
+        a.addi(i, i, 1);
+        a.cmpi(i, nmsgs);
+        a.b(Cond::LT, sl);
+        sys_exit(a, 0);
+        // receiver: sum payloads
+        a.bind(receiver);
+        a.movi(i, 0);
+        a.movi(sum, 0);
+        auto rl = a.newl();
+        a.bind(rl);
+        a.movi(0, os::chan_id(0, 1, 2));
+        a.movi_sym(1, "buf");
+        a.movi(2, 256);
+        a.svc(os::SYS_CHAN_RECV);
+        a.movi_sym(2, "buf");
+        a.ldr(3, 2, 0);
+        a.add(sum, sum, 3);
+        a.addi(i, i, 1);
+        a.cmpi(i, nmsgs);
+        a.b(Cond::LT, rl);
+        // exit code = sum % 251 (sum of 0..47 = 1128; 1128 % 251 = 124)
+        a.movi(2, 0);
+        auto mod = a.newl(), modd = a.newl();
+        a.bind(mod);
+        a.cmpi(sum, 251);
+        a.b(Cond::LT, modd);
+        a.subi(sum, sum, 251);
+        a.b(mod);
+        a.bind(modd);
+        a.mov(0, sum);
+        a.svc(os::SYS_EXIT);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.proc_exit_code(0), 0);
+    EXPECT_EQ(r.machine.proc_exit_code(1), 1128 % 251);
+}
+
+TEST_P(OsBothProfiles, MutualRecvDeadlocks) {
+    // Both ranks block in recv — the paper's "MPI is more prone to
+    // deadlocks" failure mode; the machine reports Deadlock (-> Hang).
+    auto r = run_os_program(GetParam(), 2, 2, [](Assembler& a) {
+        const auto buf = a.udata().reserve(256);
+        a.data_sym("buf", buf);
+        a.movi(0, 0); // chan 0 (wrong for both — neither sender exists)
+        a.movi_sym(1, "buf");
+        a.movi(2, 256);
+        a.svc(os::SYS_CHAN_RECV);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.status(), sim::RunStatus::Deadlock);
+    EXPECT_EQ(r.machine.proc_exit_code(0), -1);
+    EXPECT_EQ(r.machine.proc_exit_code(1), -1);
+}
+
+TEST_P(OsBothProfiles, WorkerRunsOnSecondCore) {
+    auto r = run_os_program(GetParam(), 2, 1, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1);
+        emit_alloc(a, s0, 16384);
+        a.movi_sym(0, "spin");
+        a.addi(1, s0, 16384);
+        a.movi(2, 0);
+        a.svc(os::SYS_THREAD_CREATE);
+        a.mov(s1, 0);
+        a.mov(0, s1);
+        a.svc(os::SYS_THREAD_JOIN);
+        sys_exit(a, 0);
+        a.func("spin", ModTag::APP);
+        const auto w = a.sav(0);
+        a.movi(w, 0);
+        auto wl = a.newl();
+        a.bind(wl);
+        a.addi(w, w, 1);
+        a.cmpi(w, 30000);
+        a.b(Cond::LT, wl);
+        a.movi(0, 0);
+        a.svc(os::SYS_THREAD_EXIT);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    // the spinner must have executed user instructions on core 1
+    EXPECT_GT(r.machine.counters(1).user_retired, 10000u);
+}
+
+TEST_P(OsBothProfiles, YieldCountsAsSyscallAndReschedules) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        for (int k = 0; k < 5; ++k) a.svc(os::SYS_YIELD);
+        sys_exit(a, 0);
+    });
+    ASSERT_EQ(r.machine.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(r.machine.machine_counters().syscalls[os::SYS_YIELD], 5u);
+    EXPECT_GT(r.machine.counters(0).kernel_retired, 100u);
+}
+
+TEST_P(OsBothProfiles, UnknownSyscallKills) {
+    auto r = run_os_program(GetParam(), 1, 1, [](Assembler& a) {
+        a.svc(15);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+}
+
+TEST_P(OsBothProfiles, OneRankCrashOthersDeadlockStillRecorded) {
+    // rank 0 segfaults; rank 1 blocks on a message that never arrives.
+    auto r = run_os_program(GetParam(), 2, 2, [](Assembler& a) {
+        const auto buf = a.udata().reserve(256);
+        a.data_sym("buf", buf);
+        const auto rank = a.sav(0);
+        a.mov(rank, 0);
+        auto recv = a.newl();
+        a.cmpi(rank, 0);
+        a.b(Cond::NE, recv);
+        a.movi(2, 0x10);
+        a.ldr(3, 2, 0); // rank 0 segfault
+        sys_exit(a, 0);
+        a.bind(recv);
+        a.movi(0, os::chan_id(0, 1, 2));
+        a.movi_sym(1, "buf");
+        a.movi(2, 256);
+        a.svc(os::SYS_CHAN_RECV);
+        sys_exit(a, 0);
+    });
+    EXPECT_EQ(r.machine.proc_exit_code(0), static_cast<int>(os::kKilledExitCode));
+    EXPECT_EQ(r.machine.proc_exit_code(1), -1);
+    EXPECT_EQ(r.machine.status(), sim::RunStatus::Deadlock);
+}

@@ -1,0 +1,210 @@
+// Property tests across module boundaries: guest par_bounds partitions,
+// soft-float boundary behaviour, classifier invariants under random faults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/campaign.hpp"
+#include "harness.hpp"
+#include "kgen/kgen.hpp"
+#include "rt/librt.hpp"
+#include "rt/softfloat.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+using namespace serep;
+using namespace serep::test;
+using isa::Cond;
+using kasm::Assembler;
+
+namespace {
+
+/// Guest-execute par_bounds for a table of (n, nth, tid) triples.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> guest_bounds(
+    Profile p, const std::vector<std::array<std::uint32_t, 3>>& cases) {
+    std::uint64_t table = 0;
+    auto m = run_kernel_snippet(
+        p,
+        [&](Assembler& a) {
+            auto start = a.newl();
+            a.b(start);
+            if (p == Profile::V7) rt::build_softfloat(a); // __udiv32 dependency
+            rt::build_librt(a);
+            a.kdata().align(8);
+            table = a.kdata().cursor();
+            for (const auto& c : cases) {
+                a.kdata().u64v(c[0]);
+                a.kdata().u64v(c[1]);
+                a.kdata().u64v(c[2]);
+                a.kdata().u64v(0); // out lo
+                a.kdata().u64v(0); // out hi
+            }
+            a.bind(start);
+            kgen::KGen g(a);
+            g.enter_frame(0);
+            const auto ptr = g.ivar(), cnt = g.ivar(), n = g.ivar(),
+                       tid = g.ivar(), nth = g.ivar(), lo = g.ivar(),
+                       hi = g.ivar();
+            a.movi(ptr, static_cast<std::int64_t>(table));
+            a.movi(cnt, static_cast<std::int64_t>(cases.size()));
+            auto loop = a.newl();
+            a.bind(loop);
+            a.ldr(n, ptr, 0);
+            a.ldr(tid, ptr, 8);
+            a.ldr(nth, ptr, 16);
+            g.par_bounds(lo, hi, n, tid, nth);
+            a.str(lo, ptr, 24);
+            a.str(hi, ptr, 32);
+            a.addi(ptr, ptr, 40);
+            a.subsi(cnt, cnt, 1);
+            a.b(Cond::NE, loop);
+            g.leave_frame();
+            finish(a);
+        },
+        1, 1, 30'000'000);
+    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    const unsigned w = isa::profile_info(p).width_bytes;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto off = table - isa::layout::kKernBase + i * 40;
+        out.emplace_back(m.mem().load(off + 24, w), m.mem().load(off + 32, w));
+    }
+    return out;
+}
+
+} // namespace
+
+class PropBothProfiles : public ::testing::TestWithParam<Profile> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, PropBothProfiles,
+                         ::testing::Values(Profile::V7, Profile::V8),
+                         [](const auto& info) {
+                             return info.param == Profile::V7 ? "V7" : "V8";
+                         });
+
+TEST_P(PropBothProfiles, ParBoundsPartitionsCoverExactly) {
+    // For many (n, nth): the union of all tids' [lo,hi) must tile [0,n).
+    std::vector<std::array<std::uint32_t, 3>> cases;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> combos;
+    for (std::uint32_t n : {0u, 1u, 2u, 3u, 7u, 8u, 16u, 63u, 100u, 1023u}) {
+        for (std::uint32_t nth : {1u, 2u, 3u, 4u, 7u, 8u}) {
+            combos.emplace_back(n, nth);
+            for (std::uint32_t tid = 0; tid < nth; ++tid)
+                cases.push_back({n, tid, nth});
+        }
+    }
+    const auto got = guest_bounds(GetParam(), cases);
+    std::size_t k = 0;
+    for (const auto& [n, nth] : combos) {
+        std::uint64_t expect_lo = 0;
+        for (std::uint32_t tid = 0; tid < nth; ++tid, ++k) {
+            const auto [lo, hi] = got[k];
+            EXPECT_EQ(lo, expect_lo) << "n=" << n << " nth=" << nth << " tid=" << tid;
+            EXPECT_LE(lo, hi);
+            EXPECT_LE(hi, n);
+            expect_lo = hi;
+        }
+        EXPECT_EQ(expect_lo, n) << "n=" << n << " nth=" << nth;
+    }
+}
+
+TEST(SoftFloatEdges, OverflowUnderflowAndSignedZero) {
+    const double dmax = std::numeric_limits<double>::max();
+    const double tiny = 1e-300;
+    std::vector<std::pair<double, double>> cases = {
+        {dmax, dmax},      // add -> +inf
+        {-dmax, -dmax},    // add -> -inf
+        {tiny, -tiny},     // exact cancel -> +0
+        {0.0, -0.0},
+        {1.0, -1.0},
+    };
+    // reuse the sweep runner from softfloat_test via a local copy: simpler
+    // to assemble directly here
+    std::uint64_t table = 0;
+    auto m = run_kernel_snippet(
+        Profile::V7,
+        [&](Assembler& a) {
+            auto start = a.newl();
+            a.b(start);
+            rt::build_softfloat(a);
+            a.kdata().align(8);
+            table = a.kdata().cursor();
+            for (auto [x, y] : cases) {
+                a.kdata().f64(x);
+                a.kdata().f64(y);
+                a.kdata().u64v(0);
+            }
+            a.bind(start);
+            const auto ptr = a.sav(0), n = a.sav(1);
+            a.movi(ptr, static_cast<std::int64_t>(table));
+            a.movi(n, static_cast<std::int64_t>(cases.size()));
+            auto loop = a.newl();
+            a.bind(loop);
+            a.ldr(0, ptr, 0);
+            a.ldr(1, ptr, 4);
+            a.ldr(2, ptr, 8);
+            a.ldr(3, ptr, 12);
+            a.bl("__adddf3");
+            a.str(0, ptr, 16);
+            a.str(1, ptr, 20);
+            a.addi(ptr, ptr, 24);
+            a.subsi(n, n, 1);
+            a.b(Cond::NE, loop);
+            finish(a);
+        },
+        1, 1, 1'000'000);
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+    auto res = [&](int i) {
+        return util::bits_f64(
+            m.mem().load(table - isa::layout::kKernBase + i * 24 + 16, 8));
+    };
+    EXPECT_TRUE(std::isinf(res(0)) && res(0) > 0);
+    EXPECT_TRUE(std::isinf(res(1)) && res(1) < 0);
+    EXPECT_EQ(res(2), 0.0);
+    EXPECT_EQ(res(3), 0.0);
+    EXPECT_EQ(res(4), 0.0);
+}
+
+TEST(ClassifierInvariants, RandomFaultsAlwaysClassify) {
+    // Any random strike must land in exactly one category and the machine
+    // must always reach a terminal condition within the watchdog budget.
+    const npb::Scenario s{isa::Profile::V7, npb::App::DC, npb::Api::Serial, 1,
+                          npb::Klass::Mini};
+    sim::Machine gm = npb::make_machine(s, false);
+    gm.run_until(~0ULL >> 1);
+    const auto g = core::capture_golden(gm);
+    util::Rng rng(777);
+    std::array<unsigned, core::kOutcomeCount> seen{};
+    for (int i = 0; i < 30; ++i) {
+        sim::Machine m = npb::make_machine(s, false);
+        const auto at = rng.range(g.app_start, g.total_retired - 1);
+        m.run_until(at);
+        m.flip_gpr(0, static_cast<unsigned>(rng.below(16)),
+                   static_cast<unsigned>(rng.below(32)));
+        m.run_until(g.total_retired * 4 + 200'000);
+        const auto o =
+            core::classify(m, g, m.status() == sim::RunStatus::Running);
+        ++seen[static_cast<unsigned>(o)];
+    }
+    unsigned total = 0;
+    for (auto c : seen) total += c;
+    EXPECT_EQ(total, 30u);
+    EXPECT_GT(seen[0] + seen[1], 0u); // something masks
+}
+
+TEST(ClassifierInvariants, InjectionAtAppStartAndEndAreValid) {
+    const npb::Scenario s{isa::Profile::V8, npb::App::EP, npb::Api::Serial, 1,
+                          npb::Klass::Mini};
+    sim::Machine gm = npb::make_machine(s, false);
+    gm.run_until(~0ULL >> 1);
+    const auto g = core::capture_golden(gm);
+    for (std::uint64_t at : {g.app_start, g.total_retired - 1}) {
+        sim::Machine m = npb::make_machine(s, false);
+        m.run_until(at);
+        m.flip_gpr(0, 0, 0);
+        m.run_until(g.total_retired * 4 + 200'000);
+        const auto o =
+            core::classify(m, g, m.status() == sim::RunStatus::Running);
+        EXPECT_LT(static_cast<unsigned>(o), core::kOutcomeCount);
+    }
+}

@@ -1,0 +1,674 @@
+// Instruction-semantics and machine-behaviour tests, parameterized over both
+// ISA profiles wherever the semantics are shared.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness.hpp"
+#include "isa/sysreg.hpp"
+#include "util/bitops.hpp"
+
+using namespace serep;
+using namespace serep::test;
+using isa::Cond;
+using isa::SysReg;
+using kasm::Assembler;
+
+class ExecBothProfiles : public ::testing::TestWithParam<Profile> {};
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ExecBothProfiles,
+                         ::testing::Values(Profile::V7, Profile::V8),
+                         [](const auto& info) {
+                             return info.param == Profile::V7 ? "V7" : "V8";
+                         });
+
+TEST_P(ExecBothProfiles, BasicAluAndMov) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2);
+        a.movi(s0, 5);
+        a.movi(s1, 7);
+        a.add(s2, s0, s1);
+        a.sub(s0, s2, s1); // 5 again
+        a.mul(s1, s2, s0); // 60
+        finish(a);
+    });
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+    Assembler a(GetParam());
+    EXPECT_EQ(m.core(0).regs.x(a.sav(0)), 5u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(1)), 60u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 12u);
+}
+
+TEST_P(ExecBothProfiles, LogicAndImmediates) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1);
+        a.movi(s0, 0xF0F0);
+        a.andi(s1, s0, 0xFF00);
+        a.orri(s1, s1, 0x000F);
+        a.eori(s1, s1, 0x1);
+        a.mvn(s0, s1);
+        a.mvn(s0, s0);
+        finish(a);
+    });
+    Assembler a(GetParam());
+    EXPECT_EQ(m.core(0).regs.x(a.sav(1)), 0xF00Eu);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(0)), 0xF00Eu);
+}
+
+TEST_P(ExecBothProfiles, FlagsViaSysreg) {
+    const Profile p = GetParam();
+    auto m = run_kernel_snippet(p, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2), s3 = a.sav(3);
+        a.movi(s0, 3);
+        a.movi(s1, 5);
+        a.subs(s2, s0, s1);          // 3-5: N=1 C=0
+        a.sysrd(s2, SysReg::FLAGS);
+        a.subs(s3, s1, s1);          // 0: Z=1 C=1
+        a.sysrd(s3, SysReg::FLAGS);
+        finish(a);
+    });
+    Assembler a(p);
+    const auto f1 = isa::Flags::unpack(m.core(0).regs.x(a.sav(2)));
+    EXPECT_TRUE(f1.n);
+    EXPECT_FALSE(f1.c);
+    EXPECT_FALSE(f1.z);
+    const auto f2 = isa::Flags::unpack(m.core(0).regs.x(a.sav(3)));
+    EXPECT_TRUE(f2.z);
+    EXPECT_TRUE(f2.c);
+}
+
+TEST(ExecV7, SignedOverflowSetsV) {
+    auto m = run_kernel_snippet(Profile::V7, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1);
+        a.movi(s0, 0x7FFFFFFF);
+        a.movi(s1, 1);
+        a.adds(s0, s0, s1);
+        a.sysrd(s1, SysReg::FLAGS);
+        finish(a);
+    });
+    Assembler a(Profile::V7);
+    const auto f = isa::Flags::unpack(m.core(0).regs.x(a.sav(1)));
+    EXPECT_TRUE(f.v);
+    EXPECT_TRUE(f.n);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(0)), 0x80000000u);
+}
+
+TEST(ExecV7, AdcsPropagatesCarryFor64BitAdd) {
+    // 0xFFFFFFFF + 1 with carry into high word: classic soft 64-bit add.
+    auto m = run_kernel_snippet(Profile::V7, [](Assembler& a) {
+        const auto lo = a.sav(0), hi = a.sav(1), t = a.sav(2);
+        a.movi(lo, 0xFFFFFFFF);
+        a.movi(hi, 0);
+        a.movi(t, 1);
+        a.addsi(lo, lo, 1);  // lo = 0, C=1
+        a.movi(t, 0);
+        a.adcs(hi, hi, t);   // hi = 1
+        finish(a);
+    });
+    Assembler a(Profile::V7);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(0)), 0u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(1)), 1u);
+}
+
+TEST_P(ExecBothProfiles, ShiftEdgeCases) {
+    const Profile p = GetParam();
+    const unsigned w = isa::profile_info(p).width_bits;
+    auto m = run_kernel_snippet(p, [&](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2), s3 = a.sav(3);
+        a.movi(s0, -1);
+        a.movi(s1, w); // shift by full width via register
+        a.lslv(s2, s0, s1);       // -> 0
+        a.asrv(s3, s0, s1);       // -> all ones (sign fill)
+        a.lsri(s0, s0, w - 1);    // -> 1
+        finish(a);
+    });
+    Assembler a(p);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 0u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(3)), m.core(0).regs.width_mask());
+    EXPECT_EQ(m.core(0).regs.x(a.sav(0)), 1u);
+}
+
+TEST_P(ExecBothProfiles, FlagSettingShiftsCarryOut) {
+    const Profile p = GetParam();
+    const unsigned w = isa::profile_info(p).width_bits;
+    auto m = run_kernel_snippet(p, [&](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2);
+        a.movi(s0, 0b110);
+        a.lsrsi(s1, s0, 2);            // shifts out a 1 -> C=1, result 1
+        a.sysrd(s1, SysReg::FLAGS);
+        a.movi(s0, 3);
+        a.lslsi(s2, s0, w - 1);        // top bit of 3 shifted out -> C=1
+        a.sysrd(s2, SysReg::FLAGS);
+        finish(a);
+    });
+    Assembler a(p);
+    EXPECT_TRUE(isa::Flags::unpack(m.core(0).regs.x(a.sav(1))).c);
+    EXPECT_TRUE(isa::Flags::unpack(m.core(0).regs.x(a.sav(2))).c);
+}
+
+TEST_P(ExecBothProfiles, ClzBehaviour) {
+    const Profile p = GetParam();
+    const unsigned w = isa::profile_info(p).width_bits;
+    auto m = run_kernel_snippet(p, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2);
+        a.movi(s0, 0);
+        a.clz(s1, s0);
+        a.movi(s0, 1);
+        a.clz(s2, s0);
+        finish(a);
+    });
+    Assembler a(p);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(1)), w);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), w - 1);
+}
+
+TEST(ExecV7, UmullWideningMultiply) {
+    auto m = run_kernel_snippet(Profile::V7, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2), s3 = a.sav(3);
+        a.movi(s0, 0xFFFFFFFF);
+        a.movi(s1, 0xFFFFFFFF);
+        a.umull(s2, s3, s0, s1); // (2^32-1)^2 = 0xFFFFFFFE00000001
+        finish(a);
+    });
+    Assembler a(Profile::V7);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 0x00000001u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(3)), 0xFFFFFFFEu);
+}
+
+TEST(ExecV7, SmullSignedMultiply) {
+    auto m = run_kernel_snippet(Profile::V7, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2), s3 = a.sav(3);
+        a.movi(s0, -3);
+        a.movi(s1, 4);
+        a.smull(s2, s3, s0, s1); // -12 = 0xFFFFFFFF_FFFFFFF4
+        finish(a);
+    });
+    Assembler a(Profile::V7);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 0xFFFFFFF4u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(3)), 0xFFFFFFFFu);
+}
+
+TEST(ExecV8, DivideIncludingZero) {
+    auto m = run_kernel_snippet(Profile::V8, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2), s3 = a.sav(3);
+        a.movi(s0, 100);
+        a.movi(s1, 7);
+        a.udiv(s2, s0, s1); // 14
+        a.movi(s1, 0);
+        a.udiv(s3, s0, s1); // ARM semantics: 0
+        a.movi(s0, -100);
+        a.movi(s1, 7);
+        a.sdiv(s0, s0, s1); // -14 (truncation toward zero)
+        finish(a);
+    });
+    Assembler a(Profile::V8);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 14u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(3)), 0u);
+    EXPECT_EQ(static_cast<std::int64_t>(m.core(0).regs.x(a.sav(0))), -14);
+}
+
+TEST(ExecV8, UmulhHighBits) {
+    auto m = run_kernel_snippet(Profile::V8, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2);
+        a.movi(s0, static_cast<std::int64_t>(0xFFFFFFFFFFFFFFFFull));
+        a.movi(s1, 2);
+        a.umulh(s2, s0, s1); // high 64 of (2^64-1)*2 = 1
+        finish(a);
+    });
+    Assembler a(Profile::V8);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 1u);
+}
+
+TEST_P(ExecBothProfiles, LoopSumViaCmpAndBranch) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto i = a.sav(0), sum = a.sav(1);
+        a.movi(i, 1);
+        a.movi(sum, 0);
+        auto loop = a.newl();
+        a.bind(loop);
+        a.add(sum, sum, i);
+        a.addi(i, i, 1);
+        a.cmpi(i, 10);
+        a.b(Cond::LE, loop);
+        finish(a);
+    });
+    Assembler a(GetParam());
+    EXPECT_EQ(m.core(0).regs.x(a.sav(1)), 55u);
+    EXPECT_GT(m.counters(0).branches, 9u);
+    EXPECT_GT(m.counters(0).taken_branches, 8u);
+}
+
+TEST_P(ExecBothProfiles, CallReturnLinkage) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto s0 = a.sav(0);
+        auto over = a.newl();
+        a.movi(s0, 1);
+        a.bl("double_it");
+        a.bl("double_it");
+        a.b(over);
+        a.func("double_it", ModTag::LIBRT);
+        a.add(s0, s0, s0);
+        a.ret();
+        a.bind(over);
+        finish(a);
+    });
+    Assembler a(GetParam());
+    EXPECT_EQ(m.core(0).regs.x(a.sav(0)), 4u);
+    EXPECT_EQ(m.counters(0).calls, 2u);
+}
+
+TEST_P(ExecBothProfiles, KernelMemoryRoundtrip) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto base = a.sav(0), v = a.sav(1), r = a.sav(2), b = a.sav(3);
+        const auto va = a.kdata().reserve(64);
+        a.movi(base, static_cast<std::int64_t>(va));
+        a.movi(v, 0x1234);
+        a.str(v, base, 8);
+        a.ldr(r, base, 8);
+        a.movi(v, 0xAB);
+        a.strb(v, base, 1);
+        a.ldrb(b, base, 1);
+        finish(a);
+    });
+    Assembler a(GetParam());
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 0x1234u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(3)), 0xABu);
+    EXPECT_GE(m.counters(0).stores, 2u);
+    EXPECT_GE(m.counters(0).loads, 2u);
+}
+
+TEST_P(ExecBothProfiles, IndexedAddressing) {
+    const Profile p = GetParam();
+    auto m = run_kernel_snippet(p, [&](Assembler& a) {
+        const auto base = a.sav(0), idx = a.sav(1), v = a.sav(2), r = a.sav(3);
+        const auto va = a.kdata().reserve(256);
+        a.movi(base, static_cast<std::int64_t>(va));
+        a.movi(idx, 5);
+        a.movi(v, 99);
+        a.str_word_idx(v, base, idx);
+        a.ldr_word_idx(r, base, idx);
+        finish(a);
+    });
+    Assembler a(p);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(3)), 99u);
+}
+
+TEST(ExecV7, LdmStmRoundtripWithWriteback) {
+    auto m = run_kernel_snippet(Profile::V7, [](Assembler& a) {
+        const auto va = a.kdata().reserve(64);
+        // r4=1 r5=2 r6=3, store multiple, clear, load multiple back
+        a.movi(4, 1);
+        a.movi(5, 2);
+        a.movi(6, 3);
+        a.movi(0, static_cast<std::int64_t>(va));
+        a.stm(0, 0x0070, true); // r4,r5,r6; writeback
+        a.movi(4, 0);
+        a.movi(5, 0);
+        a.movi(6, 0);
+        a.movi(0, static_cast<std::int64_t>(va));
+        a.ldm(0, 0x0070, false);
+        finish(a);
+    });
+    EXPECT_EQ(m.core(0).regs.x(4), 1u);
+    EXPECT_EQ(m.core(0).regs.x(5), 2u);
+    EXPECT_EQ(m.core(0).regs.x(6), 3u);
+}
+
+TEST(ExecV8, LdpStpRoundtrip) {
+    auto m = run_kernel_snippet(Profile::V8, [](Assembler& a) {
+        const auto va = a.kdata().reserve(64);
+        a.movi(19, 0x1111);
+        a.movi(20, 0x2222);
+        a.movi(0, static_cast<std::int64_t>(va));
+        a.stp(19, 20, 0, 16);
+        a.movi(19, 0);
+        a.movi(20, 0);
+        a.ldp(19, 20, 0, 16);
+        finish(a);
+    });
+    EXPECT_EQ(m.core(0).regs.x(19), 0x1111u);
+    EXPECT_EQ(m.core(0).regs.x(20), 0x2222u);
+}
+
+TEST_P(ExecBothProfiles, ExclusivePairSucceedsThenPlainStoreBreaksIt) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto va = a.kdata().reserve(16);
+        const auto base = a.sav(0), v = a.sav(1), st1 = a.sav(2), st2 = a.sav(3);
+        a.movi(base, static_cast<std::int64_t>(va));
+        a.movi(v, 7);
+        a.ldrex(a.tmp(0), base);
+        a.strex(st1, base, v);     // success -> 0
+        a.ldrex(a.tmp(0), base);
+        a.str(v, base, 0);         // plain store clears the reservation
+        a.strex(st2, base, v);     // fail -> 1
+        finish(a);
+    });
+    Assembler a(GetParam());
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 0u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(3)), 1u);
+}
+
+TEST(ExecV7, ConditionalExecutionSkipsAndRuns) {
+    auto m = run_kernel_snippet(Profile::V7, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1);
+        a.movi(s0, 0);
+        a.movi(s1, 0);
+        a.cmpi(s0, 0);
+        a.when(Cond::EQ).movi(s1, 111); // executes
+        a.when(Cond::NE).movi(s1, 222); // skipped
+        finish(a);
+    });
+    Assembler a(Profile::V7);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(1)), 111u);
+}
+
+TEST(ExecV8, CselAndCset) {
+    auto m = run_kernel_snippet(Profile::V8, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2), s3 = a.sav(3);
+        a.movi(s0, 10);
+        a.movi(s1, 20);
+        a.cmp(s0, s1);
+        a.csel(s2, s0, s1, Cond::LT); // 10
+        a.cset(s3, Cond::GE);         // 0
+        finish(a);
+    });
+    Assembler a(Profile::V8);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), 10u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(3)), 0u);
+}
+
+TEST(ExecV8, CbzCbnz) {
+    auto m = run_kernel_snippet(Profile::V8, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1);
+        auto t1 = a.newl(), done = a.newl();
+        a.movi(s0, 0);
+        a.movi(s1, 0);
+        a.cbz(s0, t1);
+        a.movi(s1, 999); // skipped
+        a.bind(t1);
+        a.addi(s1, s1, 5);
+        a.cbnz(s1, done);
+        a.movi(s1, 888); // skipped
+        a.bind(done);
+        finish(a);
+    });
+    Assembler a(Profile::V8);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(1)), 5u);
+}
+
+TEST(ExecV8, FloatingPointArithmetic) {
+    auto m = run_kernel_snippet(Profile::V8, [](Assembler& a) {
+        a.fmovi(0, 1.5);
+        a.fmovi(1, 2.25);
+        a.fadd(2, 0, 1);   // 3.75
+        a.fmul(3, 0, 1);   // 3.375
+        a.fsub(4, 1, 0);   // 0.75
+        a.fdiv(5, 1, 0);   // 1.5
+        a.fsqrt(6, 1);     // 1.5
+        a.fneg(7, 0);      // -1.5
+        a.fmadd(8, 0, 1, 2); // 1.5*2.25+3.75 = 7.125
+        finish(a);
+    });
+    auto d = [&](unsigned v) { return util::bits_f64(m.core(0).regs.v_bits(v)); };
+    EXPECT_DOUBLE_EQ(d(2), 3.75);
+    EXPECT_DOUBLE_EQ(d(3), 3.375);
+    EXPECT_DOUBLE_EQ(d(4), 0.75);
+    EXPECT_DOUBLE_EQ(d(5), 1.5);
+    EXPECT_DOUBLE_EQ(d(6), 1.5);
+    EXPECT_DOUBLE_EQ(d(7), -1.5);
+    EXPECT_DOUBLE_EQ(d(8), std::fma(1.5, 2.25, 3.75));
+    EXPECT_GE(m.counters(0).fp_ops, 9u);
+}
+
+TEST(ExecV8, FpCompareAndConvert) {
+    auto m = run_kernel_snippet(Profile::V8, [](Assembler& a) {
+        const auto s0 = a.sav(0), s1 = a.sav(1), s2 = a.sav(2);
+        a.fmovi(0, 2.0);
+        a.fmovi(1, 3.0);
+        a.fcmp(0, 1);
+        a.sysrd(s0, SysReg::FLAGS); // less-than: N set
+        a.fmovi(2, -7.9);
+        a.fcvtzs(s1, 2);           // truncate toward zero: -7
+        a.movi(s2, 41);
+        a.scvtf(3, s2);
+        a.fmovvx(s2, 3);           // bits of 41.0
+        finish(a);
+    });
+    Assembler a(Profile::V8);
+    const auto f = isa::Flags::unpack(m.core(0).regs.x(a.sav(0)));
+    EXPECT_TRUE(f.n);
+    EXPECT_FALSE(f.z);
+    EXPECT_EQ(static_cast<std::int64_t>(m.core(0).regs.x(a.sav(1))), -7);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(2)), util::f64_bits(41.0));
+}
+
+TEST(ExecV8, FpLoadStore) {
+    auto m = run_kernel_snippet(Profile::V8, [](Assembler& a) {
+        const auto va = a.kdata().f64(6.25);
+        a.movi(0, static_cast<std::int64_t>(va));
+        a.fldr(9, 0, 0);
+        a.fadd(9, 9, 9);
+        a.fstr(9, 0, 8); // a second slot
+        a.fldr(10, 0, 8);
+        finish(a);
+    });
+    EXPECT_DOUBLE_EQ(util::bits_f64(m.core(0).regs.v_bits(10)), 12.5);
+}
+
+TEST(ExecV7, WritingR15Jumps) {
+    auto m = run_kernel_snippet(Profile::V7, [](Assembler& a) {
+        const auto s0 = a.sav(0);
+        auto target = a.newl();
+        a.movi(s0, 1);
+        a.movi_sym(a.tmp(0), "landing");
+        a.mov(15, a.tmp(0)); // mov pc, r0 — a jump
+        a.movi(s0, 999);     // must be skipped
+        a.func("landing", ModTag::APP);
+        a.bind(target);
+        a.addi(s0, s0, 10);
+        finish(a);
+    });
+    Assembler a(Profile::V7);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(0)), 11u);
+}
+
+TEST_P(ExecBothProfiles, ConsoleOutputCapture) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto t = a.tmp(0);
+        for (char ch : std::string("ok\n")) {
+            a.movi(t, ch);
+            a.syswr(SysReg::CONSOLE, t);
+        }
+        finish(a);
+    });
+    EXPECT_EQ(m.output(0), "ok\n");
+}
+
+TEST_P(ExecBothProfiles, SysregCoreIdAndNcores) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        a.sysrd(a.sav(0), SysReg::CORE_ID);
+        a.sysrd(a.sav(1), SysReg::NCORES);
+        finish(a);
+    });
+    Assembler a(GetParam());
+    EXPECT_EQ(m.core(0).regs.x(a.sav(0)), 0u);
+    EXPECT_EQ(m.core(0).regs.x(a.sav(1)), 1u);
+}
+
+TEST_P(ExecBothProfiles, KernelDataAbortPanics) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        a.movi(a.tmp(0), 0x1000); // outside every region
+        a.ldr(a.tmp(1), a.tmp(0), 0);
+        finish(a);
+    });
+    EXPECT_EQ(m.status(), sim::RunStatus::KernelPanic);
+    EXPECT_EQ(m.panic_cause(), isa::TrapCause::DATA_ABORT);
+}
+
+TEST_P(ExecBothProfiles, WildJumpInKernelPanics) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        a.movi(a.tmp(0), 0x10);
+        a.br(a.tmp(0));
+    });
+    EXPECT_EQ(m.status(), sim::RunStatus::KernelPanic);
+    EXPECT_EQ(m.panic_cause(), isa::TrapCause::PREFETCH_ABORT);
+}
+
+TEST_P(ExecBothProfiles, InstructionBudgetStopsRunaway) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        auto loop = a.newl();
+        a.bind(loop);
+        a.b(loop);
+    }, 1, 1, 5000);
+    EXPECT_EQ(m.status(), sim::RunStatus::Running); // hung — budget hit
+    EXPECT_GE(m.total_retired(), 5000u);
+}
+
+TEST_P(ExecBothProfiles, AllCoresHaltedIsDeadlock) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) { a.hlt(); });
+    EXPECT_EQ(m.status(), sim::RunStatus::Deadlock);
+}
+
+TEST_P(ExecBothProfiles, WfiWithoutWakerIsDeadlock) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        a.wfi();
+        finish(a);
+    });
+    EXPECT_EQ(m.status(), sim::RunStatus::Deadlock);
+}
+
+TEST_P(ExecBothProfiles, IpiWakesSleepingCore) {
+    // Core 1 sleeps in WFI; core 0 IPIs it; core 1 then shuts the machine down.
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto t = a.tmp(0);
+        auto core1 = a.newl();
+        a.sysrd(t, SysReg::CORE_ID);
+        a.cmpi(t, 0);
+        a.b(Cond::NE, core1);
+        // core 0: send IPI to core 1, then halt
+        a.movi(t, 0b10);
+        a.syswr(SysReg::IPI_SEND, t);
+        a.hlt();
+        // core 1: sleep until IPI, then finish
+        a.bind(core1);
+        a.wfi();
+        finish(a);
+    }, 2);
+    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+}
+
+TEST_P(ExecBothProfiles, TimerFiresAfterQuantumInUserMode) {
+    // Kernel arms the timer, enters an infinite user loop; the IRQ returns
+    // control to the vector, which shuts down with the cause code.
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto t = a.tmp(0);
+        // trap vector: read CAUSE, shutdown with it
+        auto vec = a.newl(), user = a.newl(), boot2 = a.newl();
+        a.b(boot2);
+        a.bind(vec);
+        a.set_vec_entry(a.here());
+        a.sysrd(t, SysReg::CAUSE);
+        a.syswr(SysReg::SHUTDOWN, t);
+        a.bind(boot2);
+        a.movi(t, 100);
+        a.syswr(SysReg::TIMER, t);
+        a.movi_sym(t, "user_loop");
+        a.syswr(SysReg::EPC, t);
+        a.movi(t, static_cast<std::int64_t>(isa::layout::kUserBase));
+        a.syswr(SysReg::USP, t);
+        a.eret();
+        a.end_kernel_text();
+        a.func("user_loop", ModTag::APP);
+        a.bind(user);
+        auto loop = a.newl();
+        a.bind(loop);
+        a.b(loop);
+    });
+    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(m.exit_code(), static_cast<int>(isa::TrapCause::IRQ_TIMER));
+    EXPECT_TRUE(m.app_started());
+}
+
+TEST_P(ExecBothProfiles, UserPrivilegedInstructionTraps) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto t = a.tmp(0);
+        auto boot2 = a.newl();
+        a.b(boot2);
+        a.set_vec_entry(a.here());
+        a.sysrd(t, SysReg::CAUSE);
+        a.andi(t, t, 0xFF);
+        a.syswr(SysReg::SHUTDOWN, t);
+        a.bind(boot2);
+        a.movi_sym(t, "user_code");
+        a.syswr(SysReg::EPC, t);
+        a.eret();
+        a.end_kernel_text();
+        a.func("user_code", ModTag::APP);
+        a.wfi(); // privileged -> UNDEF
+    });
+    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(m.exit_code(), static_cast<int>(isa::TrapCause::UNDEF));
+}
+
+TEST_P(ExecBothProfiles, SvcDeliversNumberInCause) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto t = a.tmp(0);
+        auto boot2 = a.newl();
+        a.b(boot2);
+        a.set_vec_entry(a.here());
+        a.sysrd(t, SysReg::CAUSE);
+        a.lsri(t, t, 8); // aux = syscall number
+        a.syswr(SysReg::SHUTDOWN, t);
+        a.bind(boot2);
+        a.movi_sym(t, "user_code");
+        a.syswr(SysReg::EPC, t);
+        a.eret();
+        a.end_kernel_text();
+        a.func("user_code", ModTag::APP);
+        a.svc(9);
+    });
+    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(m.exit_code(), 9);
+    EXPECT_EQ(m.machine_counters().syscalls[9], 1u);
+}
+
+TEST_P(ExecBothProfiles, UserTouchingKernelMemoryTraps) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto t = a.tmp(0);
+        auto boot2 = a.newl();
+        a.b(boot2);
+        a.set_vec_entry(a.here());
+        a.sysrd(t, SysReg::CAUSE);
+        a.andi(t, t, 0xFF);
+        a.syswr(SysReg::SHUTDOWN, t);
+        a.bind(boot2);
+        a.movi_sym(t, "user_code");
+        a.syswr(SysReg::EPC, t);
+        a.eret();
+        a.end_kernel_text();
+        a.func("user_code", ModTag::APP);
+        a.movi(t, static_cast<std::int64_t>(isa::layout::kKernBase));
+        a.ldr(t, t, 0);
+    });
+    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(m.exit_code(), static_cast<int>(isa::TrapCause::DATA_ABORT));
+}
+
+TEST_P(ExecBothProfiles, TickTimeAdvancesWithCacheMisses) {
+    auto m = run_kernel_snippet(GetParam(), [](Assembler& a) {
+        const auto base = a.sav(0), i = a.sav(1), v = a.sav(2);
+        const auto va = a.kdata().reserve(64 * 1024);
+        a.movi(base, static_cast<std::int64_t>(va));
+        a.movi(i, 0);
+        auto loop = a.newl();
+        a.bind(loop);
+        a.str_idx(v, base, i, 0);
+        a.addi(i, i, 256); // new cache line every time
+        a.cmpi(i, 32768);
+        a.b(Cond::LT, loop);
+        finish(a);
+    });
+    // Every store misses L1: time must exceed instruction count considerably.
+    EXPECT_GT(m.time_ticks(), m.total_retired() * 2);
+    EXPECT_GT(m.l1d(0).misses(), 100u);
+}

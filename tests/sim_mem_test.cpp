@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "sim/memory.hpp"
+
+namespace ss = serep::sim;
+namespace layout = serep::isa::layout;
+
+TEST(Memory, KernelRegionRequiresKernelMode) {
+    ss::Memory m(1, 1 << 20, 1 << 18);
+    auto t = m.translate(layout::kKernBase + 0x100, 4, true, 0);
+    EXPECT_TRUE(t.ok());
+    EXPECT_EQ(t.phys, 0x100u);
+    t = m.translate(layout::kKernBase + 0x100, 4, false, 0);
+    EXPECT_EQ(t.fault, ss::MemFault::PERMISSION);
+}
+
+TEST(Memory, UserPagesNeedMapping) {
+    ss::Memory m(2, 1 << 20, 1 << 18);
+    const auto va = layout::kUserBase + 0x2000;
+    EXPECT_EQ(m.translate(va, 4, false, 0).fault, ss::MemFault::UNMAPPED);
+    m.map_user_range(0, va, va + layout::kPageSize);
+    EXPECT_TRUE(m.translate(va, 4, false, 0).ok());
+    // proc 1 still unmapped — address spaces are private
+    EXPECT_EQ(m.translate(va, 4, false, 1).fault, ss::MemFault::UNMAPPED);
+}
+
+TEST(Memory, PerProcessTranslationIsDisjoint) {
+    ss::Memory m(2, 1 << 20, 1 << 18);
+    const auto va = layout::kUserBase;
+    m.map_user_range(0, va, va + 4096);
+    m.map_user_range(1, va, va + 4096);
+    const auto p0 = m.translate(va, 4, false, 0).phys;
+    const auto p1 = m.translate(va, 4, false, 1).phys;
+    EXPECT_NE(p0, p1);
+    m.store(p0, 4, 0x11111111);
+    m.store(p1, 4, 0x22222222);
+    EXPECT_EQ(m.load(p0, 4), 0x11111111u);
+    EXPECT_EQ(m.load(p1, 4), 0x22222222u);
+}
+
+TEST(Memory, MisalignedFaults) {
+    ss::Memory m(1, 1 << 20, 1 << 18);
+    EXPECT_EQ(m.translate(layout::kKernBase + 2, 4, true, 0).fault,
+              ss::MemFault::MISALIGNED);
+    EXPECT_EQ(m.translate(layout::kKernBase + 4, 8, true, 0).fault,
+              ss::MemFault::MISALIGNED);
+    EXPECT_TRUE(m.translate(layout::kKernBase + 1, 1, true, 0).ok());
+}
+
+TEST(Memory, OutOfRangeFaults) {
+    ss::Memory m(1, 1 << 20, 1 << 18);
+    EXPECT_EQ(m.translate(0x1000, 4, true, 0).fault, ss::MemFault::UNMAPPED);
+    EXPECT_EQ(m.translate(layout::kUserBase + (1 << 20), 4, true, 0).fault,
+              ss::MemFault::UNMAPPED);
+    // exactly past the region end
+    EXPECT_EQ(m.translate(layout::kKernBase + (1 << 18), 4, true, 0).fault,
+              ss::MemFault::UNMAPPED);
+}
+
+TEST(Memory, LoadStoreWidths) {
+    ss::Memory m(1, 1 << 20, 1 << 18);
+    m.store(0x100, 8, 0x1122334455667788ull);
+    EXPECT_EQ(m.load(0x100, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.load(0x100, 4), 0x55667788u);
+    EXPECT_EQ(m.load(0x100, 1), 0x88u);
+    m.store(0x100, 1, 0xFF);
+    EXPECT_EQ(m.load(0x100, 4), 0x556677FFu);
+}
+
+TEST(Memory, HashChangesWithContent) {
+    ss::Memory m(1, 1 << 20, 1 << 18);
+    const auto h0 = m.hash_range(0, 4096);
+    m.store(0x10, 4, 1);
+    EXPECT_NE(m.hash_range(0, 4096), h0);
+}
+
+TEST(Memory, FlipPhysBitIsInvolution) {
+    ss::Memory m(1, 1 << 20, 1 << 18);
+    m.store(0x40, 4, 0xA5A5A5A5);
+    m.flip_phys_bit(0x40, 3);
+    EXPECT_EQ(m.load(0x40, 1), 0xA5u ^ 0x08u);
+    m.flip_phys_bit(0x40, 3);
+    EXPECT_EQ(m.load(0x40, 1), 0xA5u);
+}
+
+TEST(Cache, HitAfterMiss) {
+    ss::Cache c(ss::kL1Config);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038)); // same 64-byte line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+    // 4-way: fill one set with 4 lines, touch first 3, add a 5th ->
+    // the untouched 4th line is the victim.
+    ss::Cache c(ss::CacheConfig{4 * 64, 4, 64}); // 1 set, 4 ways
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_FALSE(c.access(i * 64));
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_TRUE(c.access(1 * 64));
+    EXPECT_TRUE(c.access(2 * 64));
+    EXPECT_FALSE(c.access(4 * 64)); // evicts line 3
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(3 * 64)); // line 3 gone
+}
+
+TEST(Cache, ResetClears) {
+    ss::Cache c(ss::kL1Config);
+    c.access(0x0);
+    c.access(0x0);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_FALSE(c.access(0x0));
+}
+
+TEST(Cache, SetsArePowerOfTwoConfig) {
+    // 32 KiB 4-way 64B lines = 128 sets; distinct sets don't conflict.
+    ss::Cache c(ss::kL1Config);
+    for (int i = 0; i < 128; ++i) EXPECT_FALSE(c.access(std::uint64_t(i) * 64));
+    for (int i = 0; i < 128; ++i) EXPECT_TRUE(c.access(std::uint64_t(i) * 64));
+}

@@ -1,0 +1,343 @@
+// Property tests: the V7 guest soft-float library against host IEEE-754.
+//
+// A single guest program sweeps a table of operand pairs placed in kernel
+// data; the host then compares every result. Add/sub admit a documented
+// <=1-ulp deviation on effective subtraction with alignment sticky; mul and
+// div must be bit-exact (round-to-nearest-even) for normal results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "harness.hpp"
+#include "rt/softfloat.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+using namespace serep;
+using namespace serep::test;
+using isa::Cond;
+using kasm::Assembler;
+
+namespace {
+
+/// Flush subnormals to signed zero (the library's documented behaviour).
+double flushed(double x) {
+    if (x != 0.0 && std::fabs(x) < 2.2250738585072014e-308)
+        return std::signbit(x) ? -0.0 : 0.0;
+    return x;
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+    if (a == b) return 0; // covers +0 vs -0
+    auto key = [](double d) {
+        const std::uint64_t bits = util::f64_bits(d);
+        // map to a monotonic integer line
+        return (bits & 0x8000000000000000ull) ? 0x8000000000000000ull - (bits & 0x7FFFFFFFFFFFFFFFull)
+                                              : 0x8000000000000000ull + bits;
+    };
+    const std::uint64_t ka = key(a), kb = key(b);
+    return ka > kb ? ka - kb : kb - ka;
+}
+
+double make_double(util::Rng& rng, int exp_lo, int exp_hi) {
+    const int e = static_cast<int>(rng.range(0, exp_hi - exp_lo)) + exp_lo;
+    const std::uint64_t mant = rng.next() & ((1ull << 52) - 1);
+    const std::uint64_t sign = rng.next() & 1;
+    const std::uint64_t bits =
+        (sign << 63) | (static_cast<std::uint64_t>(e + 1023) << 52) | mant;
+    return util::bits_f64(bits);
+}
+
+struct SweepResult {
+    std::vector<double> got;
+};
+
+/// Run `op_sym` over `cases` pairs; results read back from kernel memory.
+SweepResult run_binop_sweep(const std::string& op_sym,
+                            const std::vector<std::pair<double, double>>& cases) {
+    std::uint64_t table_va = 0;
+    auto m = run_kernel_snippet(
+        Profile::V7,
+        [&](Assembler& a) {
+            auto start = a.newl();
+            a.b(start);
+            rt::build_softfloat(a);
+            a.kdata().align(8);
+            table_va = a.kdata().cursor();
+            for (const auto& [x, y] : cases) {
+                a.kdata().f64(x);
+                a.kdata().f64(y);
+                a.kdata().u64v(0); // out
+            }
+            a.func("driver", ModTag::APP);
+            a.bind(start);
+            const auto ptr = a.sav(0), n = a.sav(1);
+            a.movi(ptr, static_cast<std::int64_t>(table_va));
+            a.movi(n, static_cast<std::int64_t>(cases.size()));
+            auto loop = a.newl();
+            a.bind(loop);
+            a.ldr(0, ptr, 0);
+            a.ldr(1, ptr, 4);
+            a.ldr(2, ptr, 8);
+            a.ldr(3, ptr, 12);
+            a.bl(op_sym);
+            a.str(0, ptr, 16);
+            a.str(1, ptr, 20);
+            a.addi(ptr, ptr, 24);
+            a.subsi(n, n, 1);
+            a.b(Cond::NE, loop);
+            finish(a);
+        },
+        1, 1, 80'000'000);
+    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+    SweepResult r;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const std::uint64_t off = table_va - isa::layout::kKernBase + i * 24 + 16;
+        r.got.push_back(util::bits_f64(m.mem().load(off, 8)));
+    }
+    return r;
+}
+
+std::vector<std::pair<double, double>> interesting_pairs() {
+    return {
+        {1.0, 1.0},
+        {1.0, -1.0},
+        {0.0, 3.5},
+        {3.5, 0.0},
+        {0.0, 0.0},
+        {-0.0, 0.0},
+        {1.0, 1e-30},
+        {1e30, -1e30},
+        {1.5, 2.5},
+        {0.1, 0.2},
+        {1.0000000000000002, -1.0},          // 1 ulp apart
+        {6.0, 3.0},
+        {-8.0, 0.125},
+        {3.141592653589793, 2.718281828459045},
+        {1e300, 1e300},                       // overflow to inf on add/mul
+        {1e-200, 1e-200},                     // underflow to 0 on mul
+    };
+}
+
+} // namespace
+
+TEST(SoftFloat, AddInterestingCases) {
+    auto cases = interesting_pairs();
+    auto r = run_binop_sweep("__adddf3", cases);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const double expect = flushed(cases[i].first + cases[i].second);
+        EXPECT_LE(ulp_distance(r.got[i], expect), 1u)
+            << "a=" << cases[i].first << " b=" << cases[i].second
+            << " got=" << r.got[i] << " expect=" << expect;
+    }
+}
+
+TEST(SoftFloat, AddRandomSweepMostlyExact) {
+    util::Rng rng(2024);
+    std::vector<std::pair<double, double>> cases;
+    for (int i = 0; i < 1500; ++i)
+        cases.emplace_back(make_double(rng, -60, 60), make_double(rng, -60, 60));
+    // near-cancellation pairs
+    for (int i = 0; i < 500; ++i) {
+        const double x = make_double(rng, -10, 10);
+        const double eps = make_double(rng, -40, -20);
+        cases.emplace_back(x, -x + eps);
+    }
+    auto r = run_binop_sweep("__adddf3", cases);
+    std::size_t exact = 0;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const double expect = flushed(cases[i].first + cases[i].second);
+        const auto d = ulp_distance(r.got[i], expect);
+        ASSERT_LE(d, 1u) << "case " << i << ": a=" << cases[i].first
+                         << " b=" << cases[i].second;
+        exact += d == 0;
+    }
+    EXPECT_GE(exact, cases.size() * 99 / 100);
+}
+
+TEST(SoftFloat, SubViaNegatedAdd) {
+    util::Rng rng(7);
+    std::vector<std::pair<double, double>> cases;
+    for (int i = 0; i < 800; ++i)
+        cases.emplace_back(make_double(rng, -50, 50), make_double(rng, -50, 50));
+    auto r = run_binop_sweep("__subdf3", cases);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const double expect = flushed(cases[i].first - cases[i].second);
+        ASSERT_LE(ulp_distance(r.got[i], expect), 1u) << "case " << i;
+    }
+}
+
+TEST(SoftFloat, MulExactRoundToNearestEven) {
+    util::Rng rng(99);
+    std::vector<std::pair<double, double>> cases = {
+        {1.0, 1.0}, {2.0, 0.5}, {3.0, 3.0}, {0.1, 10.0}, {0.0, 5.0}, {-2.0, 8.0},
+    };
+    for (int i = 0; i < 2000; ++i)
+        cases.emplace_back(make_double(rng, -150, 150), make_double(rng, -150, 150));
+    auto r = run_binop_sweep("__muldf3", cases);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const double expect = flushed(cases[i].first * cases[i].second);
+        ASSERT_EQ(util::f64_bits(r.got[i]), util::f64_bits(expect))
+            << "case " << i << ": a=" << cases[i].first << " b=" << cases[i].second
+            << " got=" << r.got[i] << " expect=" << expect;
+    }
+}
+
+TEST(SoftFloat, DivExactRoundToNearestEven) {
+    util::Rng rng(1234);
+    std::vector<std::pair<double, double>> cases = {
+        {1.0, 3.0}, {2.0, 2.0}, {10.0, 4.0}, {-9.0, 3.0}, {1.0, 10.0},
+    };
+    for (int i = 0; i < 1200; ++i)
+        cases.emplace_back(make_double(rng, -150, 150), make_double(rng, -150, 150));
+    auto r = run_binop_sweep("__divdf3", cases);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const double expect = flushed(cases[i].first / cases[i].second);
+        ASSERT_EQ(util::f64_bits(r.got[i]), util::f64_bits(expect))
+            << "case " << i << ": a=" << cases[i].first << " b=" << cases[i].second
+            << " got=" << r.got[i] << " expect=" << expect;
+    }
+}
+
+TEST(SoftFloat, DivisionByZeroGivesInfinity) {
+    auto r = run_binop_sweep("__divdf3", {{3.0, 0.0}, {-3.0, 0.0}});
+    EXPECT_TRUE(std::isinf(r.got[0]));
+    EXPECT_GT(r.got[0], 0);
+    EXPECT_TRUE(std::isinf(r.got[1]));
+    EXPECT_LT(r.got[1], 0);
+}
+
+TEST(SoftFloat, CompareSweep) {
+    util::Rng rng(5);
+    std::vector<std::pair<double, double>> cases = {
+        {1.0, 2.0}, {2.0, 1.0}, {1.0, 1.0}, {-1.0, 1.0}, {0.0, -0.0},
+        {-3.0, -4.0}, {0.0, 1e-300 * 0.5}, // rhs flushes to zero
+    };
+    for (int i = 0; i < 500; ++i)
+        cases.emplace_back(make_double(rng, -80, 80), make_double(rng, -80, 80));
+    for (int i = 0; i < 100; ++i) {
+        const double x = make_double(rng, -5, 5);
+        cases.emplace_back(x, x);
+    }
+    std::uint64_t table_va = 0;
+    auto m = run_kernel_snippet(
+        Profile::V7,
+        [&](Assembler& a) {
+            auto start = a.newl();
+            a.b(start);
+            rt::build_softfloat(a);
+            a.kdata().align(8);
+            table_va = a.kdata().cursor();
+            for (const auto& [x, y] : cases) {
+                a.kdata().f64(x);
+                a.kdata().f64(y);
+                a.kdata().u64v(0xAAAAAAAAAAAAAAAAull);
+            }
+            a.bind(start);
+            const auto ptr = a.sav(0), n = a.sav(1);
+            a.movi(ptr, static_cast<std::int64_t>(table_va));
+            a.movi(n, static_cast<std::int64_t>(cases.size()));
+            auto loop = a.newl();
+            a.bind(loop);
+            a.ldr(0, ptr, 0);
+            a.ldr(1, ptr, 4);
+            a.ldr(2, ptr, 8);
+            a.ldr(3, ptr, 12);
+            a.bl("__cmpdf2");
+            a.str(0, ptr, 16);
+            a.addi(ptr, ptr, 24);
+            a.subsi(n, n, 1);
+            a.b(Cond::NE, loop);
+            finish(a);
+        },
+        1, 1, 20'000'000);
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const double x = flushed(cases[i].first), y = flushed(cases[i].second);
+        const int expect = x < y ? -1 : (x > y ? 1 : 0);
+        const auto off = table_va - isa::layout::kKernBase + i * 24 + 16;
+        const int got = static_cast<std::int32_t>(m.mem().load(off, 4));
+        ASSERT_EQ(got, expect) << "case " << i << ": a=" << x << " b=" << y;
+    }
+}
+
+TEST(SoftFloat, FixAndFloatConversions) {
+    util::Rng rng(77);
+    std::vector<double> fix_cases = {0.0,   0.5,  -0.5,   1.0,    -1.0,  7.9,
+                                     -7.9,  1e9,  -1e9,   2.5e9,  -2.5e9, 1e300,
+                                     -1e300, 0.99, 123456.789, -2147483647.0};
+    for (int i = 0; i < 300; ++i) fix_cases.push_back(make_double(rng, -4, 34));
+    std::vector<std::int32_t> float_cases = {0, 1, -1, 42, -42, 2147483647,
+                                             static_cast<std::int32_t>(-2147483648LL),
+                                             1000000, -99999};
+    for (int i = 0; i < 300; ++i)
+        float_cases.push_back(static_cast<std::int32_t>(rng.next()));
+
+    std::uint64_t fix_va = 0, flt_va = 0;
+    auto m = run_kernel_snippet(
+        Profile::V7,
+        [&](Assembler& a) {
+            auto start = a.newl();
+            a.b(start);
+            rt::build_softfloat(a);
+            a.kdata().align(8);
+            fix_va = a.kdata().cursor();
+            for (double d : fix_cases) {
+                a.kdata().f64(d);
+                a.kdata().u64v(0); // out int (low word)
+            }
+            flt_va = a.kdata().cursor();
+            for (std::int32_t v : float_cases) {
+                a.kdata().u64v(static_cast<std::uint32_t>(v));
+                a.kdata().u64v(0); // out double
+            }
+            a.bind(start);
+            const auto ptr = a.sav(0), n = a.sav(1);
+            a.movi(ptr, static_cast<std::int64_t>(fix_va));
+            a.movi(n, static_cast<std::int64_t>(fix_cases.size()));
+            auto l1 = a.newl();
+            a.bind(l1);
+            a.ldr(0, ptr, 0);
+            a.ldr(1, ptr, 4);
+            a.bl("__fixdfsi");
+            a.str(0, ptr, 8);
+            a.addi(ptr, ptr, 16);
+            a.subsi(n, n, 1);
+            a.b(Cond::NE, l1);
+            a.movi(ptr, static_cast<std::int64_t>(flt_va));
+            a.movi(n, static_cast<std::int64_t>(float_cases.size()));
+            auto l2 = a.newl();
+            a.bind(l2);
+            a.ldr(0, ptr, 0);
+            a.bl("__floatsidf");
+            a.str(0, ptr, 8);
+            a.str(1, ptr, 12);
+            a.addi(ptr, ptr, 16);
+            a.subsi(n, n, 1);
+            a.b(Cond::NE, l2);
+            finish(a);
+        },
+        1, 1, 20'000'000);
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+    for (std::size_t i = 0; i < fix_cases.size(); ++i) {
+        const double d = fix_cases[i];
+        std::int32_t expect;
+        if (d >= 2147483647.0) {
+            expect = 2147483647;
+        } else if (d <= -2147483648.0) {
+            expect = static_cast<std::int32_t>(-2147483648LL);
+        } else {
+            expect = static_cast<std::int32_t>(d);
+        }
+        const auto off = fix_va - isa::layout::kKernBase + i * 16 + 8;
+        ASSERT_EQ(static_cast<std::int32_t>(m.mem().load(off, 4)), expect)
+            << "fix case " << i << " d=" << d;
+    }
+    for (std::size_t i = 0; i < float_cases.size(); ++i) {
+        const double expect = static_cast<double>(float_cases[i]);
+        const auto off = flt_va - isa::layout::kKernBase + i * 16 + 8;
+        ASSERT_EQ(m.mem().load(off, 8), util::f64_bits(expect))
+            << "float case " << i << " v=" << float_cases[i];
+    }
+}

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bitops.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace su = serep::util;
+
+TEST(Bitops, FlipAndGet) {
+    EXPECT_EQ(su::flip_bit(0, 0), 1u);
+    EXPECT_EQ(su::flip_bit(1, 0), 0u);
+    EXPECT_EQ(su::flip_bit(0, 63), 0x8000000000000000ULL);
+    EXPECT_TRUE(su::get_bit(0x10, 4));
+    EXPECT_FALSE(su::get_bit(0x10, 3));
+    EXPECT_EQ(su::set_bit(0, 5, true), 0x20u);
+    EXPECT_EQ(su::set_bit(0xFF, 0, false), 0xFEu);
+}
+
+TEST(Bitops, Masks) {
+    EXPECT_EQ(su::low_mask(1), 1u);
+    EXPECT_EQ(su::low_mask(32), 0xFFFFFFFFu);
+    EXPECT_EQ(su::low_mask(64), ~0ULL);
+}
+
+TEST(Bitops, SignExtend) {
+    EXPECT_EQ(su::sign_extend(0x80, 8), -128);
+    EXPECT_EQ(su::sign_extend(0x7F, 8), 127);
+    EXPECT_EQ(su::sign_extend(0xFFFFFFFFull, 32), -1);
+    EXPECT_EQ(su::sign_extend(0x123, 32), 0x123);
+}
+
+TEST(Bitops, F64Roundtrip) {
+    for (double d : {0.0, 1.0, -3.5, 1e300, -1e-300}) {
+        EXPECT_EQ(su::bits_f64(su::f64_bits(d)), d);
+    }
+}
+
+TEST(Rng, Deterministic) {
+    su::Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    su::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAll) {
+    su::Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.below(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+    su::Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.range(5, 10);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 10u);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    su::Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChildStreamsIndependent) {
+    su::Rng root(123);
+    su::Rng c1 = root.child(1);
+    su::Rng c2 = root.child(2);
+    su::Rng c1again = root.child(1);
+    EXPECT_EQ(c1.next(), c1again.next());
+    EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Csv, WriteSimple) {
+    std::ostringstream os;
+    su::CsvWriter w(os);
+    w.row({"a", "b", "c"});
+    w.row({"1", "2,3", "he said \"hi\""});
+    EXPECT_EQ(os.str(), "a,b,c\n1,\"2,3\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, ParseRoundtrip) {
+    std::ostringstream os;
+    su::CsvWriter w(os);
+    w.row({"x,y", "plain", "q\"q"});
+    const auto rows = su::csv_parse(os.str());
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].size(), 3u);
+    EXPECT_EQ(rows[0][0], "x,y");
+    EXPECT_EQ(rows[0][1], "plain");
+    EXPECT_EQ(rows[0][2], "q\"q");
+}
+
+TEST(Csv, ParseMultiline) {
+    const auto rows = su::csv_parse("a,b\r\nc,d\n\ne,f\n");
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Table, AlignsColumns) {
+    su::Table t({"name", "v"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+    EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(Table, NumFormat) {
+    EXPECT_EQ(su::Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(su::Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(Cli, ParsesForms) {
+    const char* argv[] = {"prog", "--faults", "500", "--fast", "--cls=W"};
+    su::Cli cli(5, argv);
+    EXPECT_EQ(cli.get_int("faults", 0), 500);
+    EXPECT_TRUE(cli.has("fast"));
+    EXPECT_EQ(cli.get("cls", "S"), "W");
+    EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+}
