@@ -11,6 +11,7 @@
 
 #include "core/campaign.hpp"
 #include "mine/mining.hpp"
+#include "orch/batch_runner.hpp"
 #include "prof/profile.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -47,6 +48,18 @@ struct Opts {
 
 inline core::CampaignResult run_fi(const npb::Scenario& s, const Opts& o) {
     return core::run_campaign(s, o.campaign_config());
+}
+
+/// Run many scenarios as one orchestrated batch: golden runs are cached per
+/// scenario and every campaign's fault runs interleave on one work-stealing
+/// pool. Results come back in scenario order.
+inline std::vector<core::CampaignResult> run_fi_batch(
+    const std::vector<npb::Scenario>& scenarios, const Opts& o) {
+    orch::BatchOptions opts;
+    opts.threads = std::max(1u, o.threads);
+    orch::BatchRunner runner(opts);
+    for (const auto& s : scenarios) runner.add(s, o.campaign_config());
+    return runner.run_all();
 }
 
 /// "SER-1" / "MPI-4" style column id used in the paper's figures.

@@ -13,12 +13,20 @@ int main(int argc, char** argv) {
     const Opts o = Opts::parse(argc, argv, 150);
     std::printf("=== Table 2: Hang vs normalized F*B index (IS)\n\n");
     util::Table t({"scenario", "cores", "Hang%", "branches", "f.calls", "F*B"});
+    // All 12 campaigns run as one orchestrated batch on a shared pool.
+    std::vector<npb::Scenario> scenarios;
+    for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8})
+        for (npb::Api api : {npb::Api::MPI, npb::Api::OMP})
+            for (unsigned cores : {1u, 2u, 4u})
+                scenarios.push_back({p, npb::App::IS, api, cores, o.klass});
+    const auto results = run_fi_batch(scenarios, o);
+    std::size_t idx = 0;
     for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
         for (npb::Api api : {npb::Api::MPI, npb::Api::OMP}) {
             std::optional<prof::ProfileData> base;
             for (unsigned cores : {1u, 2u, 4u}) {
-                const npb::Scenario s{p, npb::App::IS, api, cores, o.klass};
-                const auto fi = run_fi(s, o);
+                const npb::Scenario& s = scenarios[idx];
+                const auto& fi = results[idx++];
                 const auto pd = prof::profile_scenario(s);
                 if (!base) base = pd;
                 const std::string block = std::string("IS ") + npb::api_name(api) +

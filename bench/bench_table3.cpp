@@ -12,12 +12,19 @@ int main(int argc, char** argv) {
     const Opts o = Opts::parse(argc, argv, 150);
     std::printf("=== Table 3: ARMv7 memory transactions and outcomes (MG/IS MPI)\n\n");
     util::Table t({"#", "scenario", "V+OMM+ONA", "UT", "MemInst%", "RD/WR"});
+    // All 6 campaigns run as one orchestrated batch on a shared pool.
+    std::vector<npb::Scenario> scenarios;
+    for (npb::App app : {npb::App::MG, npb::App::IS})
+        for (unsigned cores : {1u, 2u, 4u})
+            scenarios.push_back(
+                {isa::Profile::V7, app, npb::Api::MPI, cores, o.klass});
+    const auto results = run_fi_batch(scenarios, o);
     unsigned row = 1;
+    std::size_t idx = 0;
     for (npb::App app : {npb::App::MG, npb::App::IS}) {
         for (unsigned cores : {1u, 2u, 4u}) {
-            const npb::Scenario s{isa::Profile::V7, app, npb::Api::MPI, cores,
-                                  o.klass};
-            const auto fi = run_fi(s, o);
+            const npb::Scenario& s = scenarios[idx];
+            const auto& fi = results[idx++];
             const auto pd = prof::profile_scenario(s);
             const double benign = fi.pct(core::Outcome::Vanished) +
                                   fi.pct(core::Outcome::OMM) +

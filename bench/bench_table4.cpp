@@ -13,27 +13,31 @@ int main(int argc, char** argv) {
     std::printf("=== Table 4: ARMv8 memory transactions and outcomes\n\n");
     util::Table t({"#", "scenario", "V+OMM+ONA", "UT", "MemInst%", "RD/WR"});
     const char* tag = "ABCDEFGHI";
-    unsigned row = 0;
-    auto block = [&](npb::App app, npb::Api api) {
-        for (unsigned cores : {1u, 2u, 4u}) {
-            const npb::Scenario s{isa::Profile::V8, app, api, cores, o.klass};
-            const auto fi = run_fi(s, o);
-            const auto pd = prof::profile_scenario(s);
-            const double benign = fi.pct(core::Outcome::Vanished) +
-                                  fi.pct(core::Outcome::OMM) +
-                                  fi.pct(core::Outcome::ONA);
-            t.add_row({std::string(1, tag[row++]),
-                       std::string(npb::app_name(app)) + " " + npb::api_name(api) +
-                           "x" + std::to_string(cores),
-                       util::Table::num(benign, 1),
-                       util::Table::num(fi.pct(core::Outcome::UT), 1),
-                       util::Table::num(pd.mem_pct, 1),
-                       util::Table::num(pd.rd_wr_ratio, 2)});
-        }
+    // All 9 campaigns run as one orchestrated batch on a shared pool.
+    std::vector<npb::Scenario> scenarios;
+    auto queue_block = [&](npb::App app, npb::Api api) {
+        for (unsigned cores : {1u, 2u, 4u})
+            scenarios.push_back({isa::Profile::V8, app, api, cores, o.klass});
     };
-    block(npb::App::LU, npb::Api::OMP);
-    block(npb::App::SP, npb::Api::OMP);
-    block(npb::App::FT, npb::Api::MPI);
+    queue_block(npb::App::LU, npb::Api::OMP);
+    queue_block(npb::App::SP, npb::Api::OMP);
+    queue_block(npb::App::FT, npb::Api::MPI);
+    const auto results = run_fi_batch(scenarios, o);
+    for (std::size_t idx = 0; idx < scenarios.size(); ++idx) {
+        const npb::Scenario& s = scenarios[idx];
+        const auto& fi = results[idx];
+        const auto pd = prof::profile_scenario(s);
+        const double benign = fi.pct(core::Outcome::Vanished) +
+                              fi.pct(core::Outcome::OMM) +
+                              fi.pct(core::Outcome::ONA);
+        t.add_row({std::string(1, tag[idx]),
+                   std::string(npb::app_name(s.app)) + " " + npb::api_name(s.api) +
+                       "x" + std::to_string(s.cores),
+                   util::Table::num(benign, 1),
+                   util::Table::num(fi.pct(core::Outcome::UT), 1),
+                   util::Table::num(pd.mem_pct, 1),
+                   util::Table::num(pd.rd_wr_ratio, 2)});
+    }
     std::printf("%s\n", t.str().c_str());
     return 0;
 }

@@ -1,14 +1,18 @@
 // Phase-4 database tool: run the paper's full 130-scenario campaign (or a
-// filtered subset) and write the merged per-fault record database plus the
-// joined profiling dataset as CSV — the artifacts the paper's data-mining
-// tool consumes.
+// filtered subset) as ONE orchestrated batch and stream the merged per-fault
+// record database (CSV), the per-campaign summaries (JSONL) and the joined
+// profiling dataset (CSV) — the artifacts the paper's data-mining tool
+// consumes.
 //
-//   ./examples/full_campaign --faults 100 --out campaign
-//   ./examples/full_campaign --isa v8 --api MPI --faults 500
+//   ./full_campaign --faults 100 --out campaign
+//   ./full_campaign --isa v8 --api MPI --faults 500 --threads 8
+//   ./full_campaign --stride 100000        # fixed checkpoint stride
+//   ./full_campaign --no-checkpoints       # from-reset replay per fault
 #include <cstdio>
 #include <fstream>
 
 #include "mine/mining.hpp"
+#include "orch/batch_runner.hpp"
 #include "util/cli.hpp"
 
 using namespace serep;
@@ -26,37 +30,52 @@ int main(int argc, char** argv) {
     const npb::Klass klass =
         cli.get("class", "S") == "Mini" ? npb::Klass::Mini : npb::Klass::S;
 
-    auto scenarios = npb::paper_scenarios(klass);
-    std::printf("campaign over the paper's %zu scenarios", scenarios.size());
-    if (!isa_f.empty() || !api_f.empty() || !app_f.empty()) std::printf(" (filtered)");
-    std::printf(", %u faults each\n", cfg.n_faults);
+    orch::BatchOptions opts;
+    opts.threads = std::max(1u, cfg.host_threads);
+    opts.ladder.stride = static_cast<std::uint64_t>(cli.get_int("stride", 0));
+    opts.ladder.enabled = !cli.has("no-checkpoints");
 
-    mine::Dataset dataset;
-    std::ofstream db(out + "_faults.csv");
-    bool first = true;
-    unsigned done = 0;
-    for (const auto& s : scenarios) {
+    orch::BatchRunner runner(opts);
+    std::vector<npb::Scenario> selected;
+    for (const auto& s : npb::paper_scenarios(klass)) {
         if (!isa_f.empty() &&
             isa_f != (s.isa == isa::Profile::V7 ? "v7" : "v8"))
             continue;
         if (!api_f.empty() && api_f != npb::api_name(s.api)) continue;
         if (!app_f.empty() && app_f != npb::app_name(s.app)) continue;
-        const auto fi = core::run_campaign(s, cfg);
-        const auto pd = prof::profile_scenario(s);
+        selected.push_back(s);
+        runner.add(s, cfg);
+    }
+    std::printf("campaign over %zu of the paper's scenarios, %u faults each, "
+                "%u threads, checkpoints %s\n",
+                selected.size(), cfg.n_faults, opts.threads,
+                opts.ladder.enabled ? "on" : "off");
+
+    std::ofstream db(out + "_faults.csv");
+    std::ofstream jsonl(out + "_campaigns.jsonl");
+    runner.set_csv_sink(&db);
+    runner.set_json_sink(&jsonl);
+    const auto results = runner.run_all();
+
+    mine::Dataset dataset;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const auto& fi = results[i];
+        const auto pd = prof::profile_scenario(selected[i]);
         dataset.add(fi, pd);
-        const std::string csv = core::campaign_csv(fi);
-        // keep one header line in the merged DB
-        db << (first ? csv : csv.substr(csv.find('\n') + 1));
-        first = false;
-        std::printf("[%3u] %-18s V=%4.1f%% ONA=%4.1f%% OMM=%4.1f%% UT=%4.1f%% "
+        std::printf("[%3zu] %-18s V=%4.1f%% ONA=%4.1f%% OMM=%4.1f%% UT=%4.1f%% "
                     "Hang=%4.1f%%\n",
-                    ++done, s.name().c_str(), fi.pct(core::Outcome::Vanished),
-                    fi.pct(core::Outcome::ONA), fi.pct(core::Outcome::OMM),
-                    fi.pct(core::Outcome::UT), fi.pct(core::Outcome::Hang));
+                    i + 1, selected[i].name().c_str(),
+                    fi.pct(core::Outcome::Vanished), fi.pct(core::Outcome::ONA),
+                    fi.pct(core::Outcome::OMM), fi.pct(core::Outcome::UT),
+                    fi.pct(core::Outcome::Hang));
     }
     std::ofstream(out + "_dataset.csv") << dataset.to_csv();
-    std::printf("wrote %s_faults.csv (per-fault records) and %s_dataset.csv "
-                "(scenario x metric join)\n",
-                out.c_str(), out.c_str());
+    std::printf("%zu golden executions for %zu campaigns (cache hits: %zu)\n",
+                runner.golden_executions(), selected.size(),
+                selected.size() - runner.golden_executions());
+    std::printf("wrote %s_faults.csv (per-fault records), %s_campaigns.jsonl "
+                "(per-campaign summaries) and %s_dataset.csv (scenario x "
+                "metric join)\n",
+                out.c_str(), out.c_str(), out.c_str());
     return 0;
 }

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
-#include <thread>
 
+#include "orch/batch_runner.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace serep::core {
@@ -67,79 +68,74 @@ std::vector<Fault> make_fault_list(const sim::Machine& m, const GoldenRef& golde
 }
 
 CampaignResult run_campaign(const npb::Scenario& s, const CampaignConfig& cfg) {
-    // Phase 1: golden execution.
-    sim::Machine golden_m = npb::make_machine(s, false);
-    golden_m.run_until(~0ULL >> 1);
-    util::check(golden_m.status() == sim::RunStatus::Shutdown,
-                "golden run did not terminate: " + s.name());
-    util::check(golden_m.exit_code() == 0, "golden run failed: " + s.name());
-
-    CampaignResult result;
-    result.scenario = s;
-    result.golden = capture_golden(golden_m);
-
-    // Phase 2: fault list (time-sorted).
-    const std::vector<Fault> faults = make_fault_list(golden_m, result.golden, cfg);
-    result.records.resize(faults.size());
-
-    const std::uint64_t budget =
-        static_cast<std::uint64_t>(static_cast<double>(result.golden.total_retired) *
-                                   cfg.watchdog_factor) +
-        200'000;
-
-    // Phase 3: parallel injections. Contiguous fault ranges per worker keep
-    // the result deterministic for any thread count.
-    const unsigned nthreads =
-        std::max(1u, std::min<unsigned>(cfg.host_threads,
-                                        static_cast<unsigned>(faults.size())));
-    auto worker = [&](unsigned wid) {
-        const std::size_t per = (faults.size() + nthreads - 1) / nthreads;
-        const std::size_t lo = wid * per;
-        const std::size_t hi = std::min(faults.size(), lo + per);
-        if (lo >= hi) return;
-        sim::Machine base = npb::make_machine(s, false);
-        for (std::size_t i = lo; i < hi; ++i) {
-            const Fault& f = faults[i];
-            base.run_until(f.at_retired); // monotonic fast-forward
-            sim::Machine run = base;      // checkpoint clone
-            apply_fault(run, f.target);
-            run.run_until(budget);
-            const bool watchdog = run.status() == sim::RunStatus::Running;
-            FaultRecord rec;
-            rec.fault = f;
-            rec.outcome = classify(run, result.golden, watchdog);
-            rec.retired = run.total_retired();
-            result.records[i] = rec;
-        }
-    };
-    if (nthreads == 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> pool;
-        for (unsigned w = 0; w < nthreads; ++w) pool.emplace_back(worker, w);
-        for (auto& t : pool) t.join();
-    }
-
-    // Phase 4: merge.
-    for (const FaultRecord& r : result.records)
-        ++result.counts[static_cast<unsigned>(r.outcome)];
-    return result;
+    // Thin single-job wrapper over the orchestrator: one scenario, its own
+    // pool of cfg.host_threads workers, auto checkpoint stride.
+    orch::BatchOptions opts;
+    opts.threads = std::max(1u, cfg.host_threads);
+    orch::BatchRunner runner(opts);
+    runner.add(s, cfg);
+    auto results = runner.run_all();
+    return std::move(results.front());
 }
+
+namespace {
+const char* fault_kind_name(FaultTarget::Kind k) noexcept {
+    return k == FaultTarget::Kind::GPR ? "gpr"
+           : k == FaultTarget::Kind::FP ? "fp"
+                                        : "mem";
+}
+} // namespace
 
 std::string campaign_csv(const CampaignResult& r) {
     std::ostringstream os;
     util::CsvWriter w(os);
     w.row({"scenario", "at", "kind", "core", "reg", "bit", "outcome", "retired"});
     for (const FaultRecord& rec : r.records) {
-        const char* kind = rec.fault.target.kind == FaultTarget::Kind::GPR ? "gpr"
-                           : rec.fault.target.kind == FaultTarget::Kind::FP ? "fp"
-                                                                            : "mem";
-        w.row({r.scenario.name(), std::to_string(rec.fault.at_retired), kind,
+        w.row({r.scenario.name(), std::to_string(rec.fault.at_retired),
+               fault_kind_name(rec.fault.target.kind),
                std::to_string(rec.fault.target.core),
                std::to_string(rec.fault.target.reg),
                std::to_string(rec.fault.target.bit), outcome_name(rec.outcome),
                std::to_string(rec.retired)});
     }
+    return os.str();
+}
+
+std::string campaign_json(const CampaignResult& r) {
+    std::ostringstream os;
+    util::JsonWriter j(os);
+    j.begin_object();
+    j.key("scenario").value(r.scenario.name());
+    j.key("golden").begin_object();
+    j.key("total_retired").value(r.golden.total_retired);
+    j.key("ticks").value(r.golden.ticks);
+    j.key("app_start").value(r.golden.app_start);
+    j.key("exit_code").value(r.golden.exit_code);
+    j.end_object();
+    j.key("counts").begin_object();
+    for (unsigned o = 0; o < kOutcomeCount; ++o)
+        j.key(outcome_name(static_cast<Outcome>(o))).value(r.counts[o]);
+    j.end_object();
+    j.key("pct").begin_object();
+    for (unsigned o = 0; o < kOutcomeCount; ++o)
+        j.key(outcome_name(static_cast<Outcome>(o)))
+            .value(r.pct(static_cast<Outcome>(o)));
+    j.end_object();
+    j.key("masked_pct").value(r.masked_pct());
+    j.key("records").begin_array();
+    for (const FaultRecord& rec : r.records) {
+        j.begin_object();
+        j.key("at").value(rec.fault.at_retired);
+        j.key("kind").value(fault_kind_name(rec.fault.target.kind));
+        j.key("core").value(rec.fault.target.core);
+        j.key("reg").value(rec.fault.target.reg);
+        j.key("bit").value(rec.fault.target.bit);
+        j.key("outcome").value(outcome_name(rec.outcome));
+        j.key("retired").value(rec.retired);
+        j.end_object();
+    }
+    j.end_array();
+    j.end_object();
     return os.str();
 }
 

@@ -1,13 +1,17 @@
 // Fault-injection campaign runner — the paper's four-phase workflow:
-//  1. golden execution (reference capture),
+//  1. golden execution (reference capture + checkpoint ladder),
 //  2. fault-list generation (seeded uniform random),
-//  3. parallel injection runs (host thread pool standing in for the paper's
-//     5,000-core cluster; faults are time-sorted so each worker advances one
-//     base machine monotonically and clones it at each strike — checkpoint
-//     fast-forward),
-//  4. merged outcome database.
+//  3. parallel injection runs (a process-wide work-stealing pool standing in
+//     for the paper's 5,000-core cluster; each run resumes from the deepest
+//     golden-run checkpoint at or before its strike instant — see
+//     orch/checkpoint.hpp and orch/batch_runner.hpp),
+//  4. merged outcome database (CSV + JSON).
 // Results are bit-deterministic for a given seed, independent of the host
-// thread count.
+// thread count and of the checkpoint stride.
+//
+// run_campaign() is a thin single-job wrapper over orch::BatchRunner; batch
+// drivers (examples/full_campaign, bench/bench_table*) submit many jobs to
+// one runner so golden runs are shared and fault runs interleave.
 #pragma once
 
 #include <array>
@@ -55,5 +59,9 @@ CampaignResult run_campaign(const npb::Scenario& s, const CampaignConfig& cfg);
 
 /// Append per-fault records as CSV rows (phase 4 database export).
 std::string campaign_csv(const CampaignResult& r);
+
+/// One campaign as a compact JSON object (the CSV database's JSON sibling):
+/// scenario, golden reference, outcome counts/percentages, per-fault records.
+std::string campaign_json(const CampaignResult& r);
 
 } // namespace serep::core

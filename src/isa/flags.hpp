@@ -20,7 +20,10 @@ struct Flags {
         return Flags{(bits >> 3 & 1) != 0, (bits >> 2 & 1) != 0,
                      (bits >> 1 & 1) != 0, (bits & 1) != 0};
     }
-    constexpr bool operator==(const Flags&) const noexcept = default;
+    constexpr bool operator==(const Flags& o) const noexcept {
+        return n == o.n && z == o.z && c == o.c && v == o.v;
+    }
+    constexpr bool operator!=(const Flags& o) const noexcept { return !(*this == o); }
 };
 
 /// ARM condition codes.

@@ -1,0 +1,224 @@
+#include "orch/batch_runner.hpp"
+
+#include <atomic>
+
+#include "npb/npb.hpp"
+#include "util/check.hpp"
+
+namespace serep::orch {
+
+struct BatchRunner::GoldenEntry {
+    GoldenEntry(CheckpointLadder l, core::GoldenRef r)
+        : ladder(std::move(l)), ref(std::move(r)) {}
+    CheckpointLadder ladder;
+    core::GoldenRef ref;
+    /// Jobs of the current run_all still using this ladder; the last
+    /// finisher trims the ladder to its base rung so batch memory is
+    /// bounded by ladders-in-flight, not total scenario count.
+    std::atomic<std::size_t> active_jobs{0};
+};
+
+struct BatchRunner::JobState {
+    npb::Scenario scenario;
+    core::CampaignConfig cfg;
+    GoldenEntry* golden = nullptr;
+    std::vector<core::Fault> faults;
+    std::uint64_t budget = 0;
+    std::atomic<std::size_t> remaining{0};
+    core::CampaignResult result;
+    std::atomic<bool> done{false}; ///< counts merged, ready to flush
+    bool flushed = false;
+};
+
+namespace {
+
+/// Golden runs (and ladders) depend on everything in the scenario.
+/// Scenario::name() omits klass and the fma flag, so append both.
+std::string golden_key(const npb::Scenario& s) {
+    return s.name() + "|k" + std::to_string(static_cast<unsigned>(s.klass)) +
+           (s.contract_fma ? "|fma" : "|nofma");
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(BatchOptions opts) : opts_(opts) {
+    if (opts_.threads != 0) own_pool_ = std::make_unique<Scheduler>(opts_.threads);
+}
+
+BatchRunner::~BatchRunner() = default;
+
+std::size_t BatchRunner::add(const npb::Scenario& s, const core::CampaignConfig& cfg) {
+    auto job = std::make_unique<JobState>();
+    job->scenario = s;
+    job->cfg = cfg;
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+BatchRunner::GoldenEntry* BatchRunner::golden_for(const npb::Scenario& s) {
+    const std::string key = golden_key(s);
+    for (auto& [k, entry] : golden_cache_)
+        if (k == key) return entry.get();
+    return nullptr;
+}
+
+void BatchRunner::complete_job(JobState& job) {
+    for (const core::FaultRecord& r : job.result.records)
+        ++job.result.counts[static_cast<unsigned>(r.outcome)];
+    job.done.store(true, std::memory_order_release);
+    // Last job on this scenario in the batch: no injection run can touch the
+    // ladder anymore (every task finishes with its clone before decrementing
+    // its job's counter), so release all rungs. A later batch on the same
+    // runner still hits the golden cache (reference + fault list reuse) and
+    // reinstalls a rebuilt base for from-reset replay.
+    if (job.golden &&
+        job.golden->active_jobs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        job.golden->ladder.release_all();
+    flush_ready();
+}
+
+void BatchRunner::flush_ready() {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    while (next_flush_ < jobs_.size() &&
+           jobs_[next_flush_]->done.load(std::memory_order_acquire)) {
+        JobState& job = *jobs_[next_flush_];
+        if (!job.flushed) {
+            if (csv_sink_) {
+                const std::string csv = core::campaign_csv(job.result);
+                if (csv_header_written_) {
+                    *csv_sink_ << csv.substr(csv.find('\n') + 1);
+                } else {
+                    *csv_sink_ << csv;
+                    csv_header_written_ = true;
+                }
+            }
+            if (json_sink_) *json_sink_ << core::campaign_json(job.result) << '\n';
+            job.flushed = true;
+        }
+        ++next_flush_;
+    }
+}
+
+namespace {
+/// Distinct scenarios whose ladders may be live at once; bounds batch memory
+/// to LadderOptions::memory_budget_bytes (split across the wave) while still
+/// interleaving every wave's fault runs on one pool.
+constexpr std::size_t kMaxLaddersInFlight = 16;
+} // namespace
+
+void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
+                           Scheduler& pool) {
+    // Phase 1+2 (per distinct scenario): golden execution + checkpoint
+    // ladder, in parallel across cache misses.
+    std::vector<std::pair<std::string, npb::Scenario>> missing;
+    for (std::size_t j : wave_jobs) {
+        const std::string key = golden_key(jobs_[j]->scenario);
+        bool known = golden_for(jobs_[j]->scenario) != nullptr;
+        for (const auto& kv : missing) known = known || kv.first == key;
+        if (!known) missing.emplace_back(key, jobs_[j]->scenario);
+    }
+    // Split the snapshot budget across the ladders actually being built this
+    // wave (cache hits are base-only after release_all and cost ~nothing).
+    LadderOptions ladder_opts = opts_.ladder;
+    ladder_opts.memory_budget_bytes =
+        opts_.ladder.memory_budget_bytes /
+        std::max<std::size_t>(1, missing.size());
+    std::vector<std::unique_ptr<GoldenEntry>> built(missing.size());
+    pool.parallel_for(missing.size(), [&](std::size_t i) {
+        const npb::Scenario& s = missing[i].second;
+        sim::Machine m = npb::make_machine(s, false);
+        CheckpointLadder ladder = run_golden_with_ladder(m, ladder_opts);
+        util::check(m.status() == sim::RunStatus::Shutdown,
+                    "golden run did not terminate: " + s.name());
+        util::check(m.exit_code() == 0, "golden run failed: " + s.name());
+        core::GoldenRef ref = core::capture_golden(m);
+        built[i] = std::make_unique<GoldenEntry>(std::move(ladder), std::move(ref));
+    });
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        golden_cache_.emplace_back(missing[i].first, std::move(built[i]));
+    golden_runs_ += missing.size();
+
+    // Phase 3 setup: fault lists (deterministic from seed + golden ref).
+    std::vector<std::pair<JobState*, std::uint32_t>> tasks;
+    for (std::size_t j : wave_jobs) {
+        JobState& job = *jobs_[j];
+        job.golden = golden_for(job.scenario);
+        // A cache hit from an earlier batch has had its rungs released;
+        // reinstall the (deterministically rebuilt) base machine.
+        if (job.golden->ladder.empty())
+            job.golden->ladder.reset_base(npb::make_machine(job.scenario, false));
+        job.golden->active_jobs.fetch_add(1, std::memory_order_relaxed);
+        const sim::Machine& base = job.golden->ladder.nearest(0);
+        job.result.scenario = job.scenario;
+        job.result.golden = job.golden->ref;
+        job.faults = core::make_fault_list(base, job.golden->ref, job.cfg);
+        job.result.records.resize(job.faults.size());
+        job.budget = static_cast<std::uint64_t>(
+                         static_cast<double>(job.golden->ref.total_retired) *
+                         job.cfg.watchdog_factor) +
+                     200'000;
+        job.remaining.store(job.faults.size(), std::memory_order_relaxed);
+        if (job.faults.empty()) {
+            complete_job(job);
+            continue;
+        }
+        for (std::uint32_t i = 0; i < job.faults.size(); ++i)
+            tasks.emplace_back(&job, i);
+    }
+
+    // Phase 3: every job's injection runs interleaved on one pool. Each run
+    // resumes from the deepest ladder rung at or before its strike instant.
+    pool.parallel_for(tasks.size(), [&](std::size_t t) {
+        JobState& job = *tasks[t].first;
+        const std::uint32_t i = tasks[t].second;
+        const core::Fault& f = job.faults[i];
+        sim::Machine run = job.golden->ladder.nearest(f.at_retired);
+        ff_retired_.fetch_add(f.at_retired - run.total_retired(),
+                              std::memory_order_relaxed);
+        run.run_until(f.at_retired);
+        core::apply_fault(run, f.target);
+        run.run_until(job.budget);
+        const bool watchdog = run.status() == sim::RunStatus::Running;
+        core::FaultRecord rec;
+        rec.fault = f;
+        rec.outcome = core::classify(run, job.golden->ref, watchdog);
+        rec.retired = run.total_retired();
+        job.result.records[i] = rec;
+        // Phase 4: the finisher merges counts and streams the job in order.
+        if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            complete_job(job);
+    });
+}
+
+std::vector<core::CampaignResult> BatchRunner::run_all() {
+    const std::size_t first = next_flush_; // jobs before this already ran
+    Scheduler& pool = scheduler();
+
+    // Consecutive pending jobs are grouped into waves spanning at most
+    // kMaxLaddersInFlight distinct scenarios each, so the snapshot memory
+    // budget holds at any batch size (130-scenario full campaigns included).
+    std::size_t cursor = first;
+    while (cursor < jobs_.size()) {
+        std::vector<std::size_t> wave;
+        std::vector<std::string> wave_keys;
+        while (cursor < jobs_.size()) {
+            const std::string key = golden_key(jobs_[cursor]->scenario);
+            bool seen = false;
+            for (const auto& k : wave_keys) seen = seen || k == key;
+            if (!seen) {
+                if (wave_keys.size() == kMaxLaddersInFlight) break;
+                wave_keys.push_back(key);
+            }
+            wave.push_back(cursor++);
+        }
+        run_wave(wave, pool);
+    }
+
+    std::vector<core::CampaignResult> results;
+    results.reserve(jobs_.size() - first);
+    for (std::size_t j = first; j < jobs_.size(); ++j)
+        results.push_back(std::move(jobs_[j]->result));
+    return results;
+}
+
+} // namespace serep::orch

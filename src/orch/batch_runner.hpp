@@ -1,0 +1,89 @@
+// Campaign batch orchestrator (the paper's cluster job manager, in-process).
+//
+// BatchRunner takes a list of Scenario x CampaignConfig jobs and runs them as
+// one workload on a single work-stealing pool:
+//   * golden executions are cached per scenario — two jobs on the same
+//     scenario share one golden run and one checkpoint ladder,
+//   * every job's fault runs are interleaved on the shared pool, so a batch
+//     of skewed campaigns keeps all host threads busy,
+//   * injection runs start from the nearest checkpoint-ladder rung instead of
+//     fast-forwarding from reset (see orch/checkpoint.hpp),
+//   * finished campaigns stream to optional CSV / JSONL sinks in job order.
+//
+// Invariant (inherited from the legacy runner and covered by orch_test):
+// CampaignResult::counts and campaign_csv output are bit-identical for a
+// given seed regardless of pool width or checkpoint stride.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "orch/checkpoint.hpp"
+#include "orch/scheduler.hpp"
+
+namespace serep::orch {
+
+struct BatchOptions {
+    unsigned threads = 0; ///< pool width; 0 = the shared process-wide pool
+    LadderOptions ladder; ///< checkpoint-ladder knobs (batch-wide)
+};
+
+class BatchRunner {
+public:
+    explicit BatchRunner(BatchOptions opts = {});
+    ~BatchRunner();
+
+    /// Queue one campaign; returns its job index (also its result index).
+    std::size_t add(const npb::Scenario& s, const core::CampaignConfig& cfg);
+
+    /// Merged per-fault CSV rows, one header for the whole batch.
+    void set_csv_sink(std::ostream* os) { csv_sink_ = os; }
+    /// One JSON object per campaign, newline-delimited (JSONL).
+    void set_json_sink(std::ostream* os) { json_sink_ = os; }
+
+    /// Run all queued jobs; returns results in add() order. Jobs may be
+    /// queued and run again on the same runner; the golden cache persists.
+    std::vector<core::CampaignResult> run_all();
+
+    /// Golden executions actually performed (cache-miss counter; test hook
+    /// for the one-golden-run-per-scenario guarantee).
+    std::size_t golden_executions() const noexcept { return golden_runs_; }
+
+    /// Instructions replayed to position injection clones at their strike
+    /// instants (checkpoint -> strike fast-forward). Deterministic for a
+    /// given seed and ladder config: the ladder's benefit is exactly the
+    /// reduction of this number vs the stride-disabled path, which is how
+    /// bench_speedup gates the >= 1.5x claim without wall-clock flakiness.
+    std::uint64_t fast_forward_retired() const noexcept {
+        return ff_retired_.load(std::memory_order_relaxed);
+    }
+
+    Scheduler& scheduler() noexcept {
+        return own_pool_ ? *own_pool_ : Scheduler::instance();
+    }
+
+private:
+    struct GoldenEntry;
+    struct JobState;
+
+    GoldenEntry* golden_for(const npb::Scenario& s);
+    void run_wave(const std::vector<std::size_t>& wave_jobs, Scheduler& pool);
+    void complete_job(JobState& job);
+    void flush_ready();
+
+    BatchOptions opts_;
+    std::unique_ptr<Scheduler> own_pool_;
+    std::vector<std::pair<std::string, std::unique_ptr<GoldenEntry>>> golden_cache_;
+    std::vector<std::unique_ptr<JobState>> jobs_;
+    std::size_t golden_runs_ = 0;
+    std::ostream* csv_sink_ = nullptr;
+    std::ostream* json_sink_ = nullptr;
+    std::mutex flush_mu_;
+    std::size_t next_flush_ = 0;
+    bool csv_header_written_ = false;
+    std::atomic<std::uint64_t> ff_retired_{0};
+};
+
+} // namespace serep::orch

@@ -1,0 +1,82 @@
+#include "orch/checkpoint.hpp"
+
+#include <algorithm>
+
+namespace serep::orch {
+
+namespace {
+/// Auto-mode starting stride; doubles via thinning on long runs.
+constexpr std::uint64_t kAutoInitialStride = 1u << 16;
+} // namespace
+
+CheckpointLadder::CheckpointLadder(const sim::Machine& m, const LadderOptions& opts) {
+    rungs_.push_back(m);
+    const std::size_t per_rung = sim::machine_footprint_bytes(m);
+    const std::size_t by_memory =
+        std::max<std::size_t>(1, opts.memory_budget_bytes / per_rung);
+    max_rungs_ = std::max<std::size_t>(1, std::min(opts.max_checkpoints, by_memory));
+    stride_ = !opts.enabled ? 0
+              : opts.stride ? opts.stride
+                            : kAutoInitialStride;
+}
+
+void CheckpointLadder::offer(const sim::Machine& m) {
+    if (stride_ == 0) return;
+    if (m.total_retired() < rungs_.back().total_retired() + stride_) return;
+    rungs_.push_back(m);
+    while (checkpoints() > max_rungs_) {
+        // Over budget: keep every other rung, double the effective stride.
+        std::vector<sim::Machine> kept;
+        kept.reserve(rungs_.size() / 2 + 1);
+        for (std::size_t i = 0; i < rungs_.size(); i += 2)
+            kept.push_back(std::move(rungs_[i]));
+        rungs_ = std::move(kept);
+        stride_ *= 2;
+    }
+}
+
+const sim::Machine& CheckpointLadder::nearest(std::uint64_t at) const noexcept {
+    // Deepest rung with total_retired() <= at; rungs are ascending.
+    std::size_t best = 0;
+    for (std::size_t i = rungs_.size(); i-- > 0;) {
+        if (rungs_[i].total_retired() <= at) {
+            best = i;
+            break;
+        }
+    }
+    return rungs_[best];
+}
+
+std::uint64_t CheckpointLadder::next_boundary() const noexcept {
+    if (stride_ == 0) return ~std::uint64_t{0};
+    return rungs_.back().total_retired() + stride_;
+}
+
+void CheckpointLadder::reset_base(sim::Machine m) {
+    rungs_.clear();
+    rungs_.push_back(std::move(m));
+}
+
+std::size_t CheckpointLadder::footprint_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& r : rungs_) total += sim::machine_footprint_bytes(r);
+    return total;
+}
+
+CheckpointLadder run_golden_with_ladder(sim::Machine& m, const LadderOptions& opts,
+                                        std::uint64_t stop_at) {
+    CheckpointLadder ladder(m, opts);
+    // Drive pauses off the ladder's *current* stride (not the initial one):
+    // after thinning doubles the stride, the golden run pauses coarser too,
+    // so a fine starting stride costs O(max_checkpoints * log) pauses, not
+    // O(run_length / initial_stride).
+    while (m.status() == sim::RunStatus::Running && m.total_retired() < stop_at) {
+        const std::uint64_t boundary = ladder.next_boundary();
+        m.run_until(std::min(boundary, stop_at));
+        if (m.status() == sim::RunStatus::Running && m.total_retired() < stop_at)
+            ladder.offer(m);
+    }
+    return ladder;
+}
+
+} // namespace serep::orch

@@ -1,0 +1,81 @@
+// Golden-run checkpoint ladder: cheap single-fault runs.
+//
+// The legacy campaign loop made injection runs affordable by sorting faults
+// and advancing one base machine per worker monotonically — which ties the
+// fault-to-worker assignment to the fast-forward state and rules out work
+// stealing. The ladder decouples them: during the golden execution we keep
+// value copies of the machine at a fixed retired-instruction stride, and
+// every injection run clones the deepest snapshot at or before its strike
+// instant, replaying at most one stride of instructions instead of the whole
+// prefix. Snapshot positions depend only on the deterministic instruction
+// stream, so outcomes are bit-identical for any stride (including a disabled
+// ladder, which degenerates to from-reset replay).
+//
+// Auto mode starts from a fine stride and, whenever the rung count would
+// exceed the budget, drops every other rung and doubles the stride — so one
+// golden pass yields a ladder of at most `max_checkpoints` rungs whatever
+// the run length turns out to be.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/snapshot.hpp"
+
+namespace serep::orch {
+
+struct LadderOptions {
+    bool enabled = true;
+    std::uint64_t stride = 0;  ///< retired instructions between rungs; 0 = auto
+    std::size_t max_checkpoints = 24;  ///< rung budget (auto mode halves to fit)
+    /// Cap on live snapshot bytes. BatchRunner treats this as a batch-wide
+    /// cap: it divides it across the ladders concurrently in flight.
+    std::size_t memory_budget_bytes = std::size_t{1} << 30;
+};
+
+class CheckpointLadder {
+public:
+    /// Captures `m`'s current (pre-run) state as the base rung.
+    CheckpointLadder(const sim::Machine& m, const LadderOptions& opts);
+
+    /// Golden-run callback: consider a paused machine for the next rung.
+    void offer(const sim::Machine& m);
+
+    /// Deepest snapshot with total_retired() <= at (the base rung at worst).
+    const sim::Machine& nearest(std::uint64_t at) const noexcept;
+
+    /// Retired-instruction count at which the next rung is due (~0 when the
+    /// ladder is disabled). Tracks thinning: the golden driver re-reads this
+    /// each pause so it never pauses finer than the current stride.
+    std::uint64_t next_boundary() const noexcept;
+
+    /// Drop every rung, base included. Called once no in-flight injection
+    /// run references the ladder; a later batch must reset_base() first
+    /// (the base is a deterministic rebuild — npb::make_machine — so it is
+    /// not worth retaining one Machine copy per cached scenario).
+    void release_all() { rungs_.clear(); }
+    bool empty() const noexcept { return rungs_.empty(); }
+    /// Reinstall a freshly built (pre-run) machine as the base rung.
+    void reset_base(sim::Machine m);
+
+    std::uint64_t stride() const noexcept { return stride_; }
+    /// Rung count, excluding the base (0 when released).
+    std::size_t checkpoints() const noexcept {
+        return rungs_.empty() ? 0 : rungs_.size() - 1;
+    }
+    std::size_t footprint_bytes() const noexcept;
+
+private:
+    std::vector<sim::Machine> rungs_; ///< ascending total_retired(); [0] = base
+    std::uint64_t stride_;
+    std::size_t max_rungs_;
+};
+
+/// Run a freshly booted machine to completion (phase 1), building the ladder
+/// along the way. Returns the ladder; `m` finishes in its terminal state and
+/// is what capture_golden() should consume.
+CheckpointLadder run_golden_with_ladder(sim::Machine& m, const LadderOptions& opts,
+                                        std::uint64_t stop_at = ~0ULL >> 1);
+
+} // namespace serep::orch

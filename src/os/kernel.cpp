@@ -1,8 +1,8 @@
 #include "os/kernel.hpp"
 
-#include <bit>
 
 #include "isa/sysreg.hpp"
+#include "util/bitops.hpp"
 #include "util/check.hpp"
 
 namespace serep::os {
@@ -28,7 +28,7 @@ public:
     KernelEmitter(Assembler& a, const KLayout& l, const KernelConfig& cfg)
         : a(a), l(l), cfg(cfg), v7(a.profile() == Profile::V7),
           W(a.wbytes()),
-          stride_shift(static_cast<unsigned>(std::countr_zero(l.tcb_stride))),
+          stride_shift(static_cast<unsigned>(util::ctz64(l.tcb_stride))),
           user_end(isa::layout::kUserBase + cfg.user_size),
           brk_limit(user_end - isa::layout::kMainStackSize - cfg.heap_guard) {}
 

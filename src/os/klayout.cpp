@@ -1,6 +1,7 @@
 #include "os/klayout.hpp"
 
-#include <bit>
+#include "util/bitops.hpp"
+
 
 #include "util/check.hpp"
 
@@ -60,7 +61,7 @@ KLayout KLayout::make(isa::Profile p, unsigned nprocs, std::uint64_t kern_size) 
     l.off_ctx_sp = 8 * l.w;
     l.off_ctx_gpr = 9 * l.w;
     l.ctx_gpr_slots = p == isa::Profile::V7 ? 14 : 31;
-    l.tcb_stride = std::bit_ceil<std::uint64_t>((9 + l.ctx_gpr_slots) * l.w);
+    l.tcb_stride = util::bit_ceil64((9 + l.ctx_gpr_slots) * l.w);
     align(64);
     l.tcb_base = cur;
     cur += kMaxThreads * l.tcb_stride;

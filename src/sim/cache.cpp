@@ -1,8 +1,8 @@
 #include "sim/cache.hpp"
 
 #include <algorithm>
-#include <bit>
 
+#include "util/bitops.hpp"
 #include "util/check.hpp"
 
 namespace serep::sim {
@@ -10,8 +10,8 @@ namespace serep::sim {
 Cache::Cache(const CacheConfig& cfg)
     : sets_(cfg.size_bytes / (cfg.ways * cfg.line_bytes)),
       ways_(cfg.ways),
-      line_shift_(static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes))) {
-    util::check(std::has_single_bit(cfg.line_bytes) && std::has_single_bit(sets_),
+      line_shift_(static_cast<std::uint32_t>(util::ctz64(cfg.line_bytes))) {
+    util::check((cfg.line_bytes & (cfg.line_bytes - 1)) == 0 && (sets_ & (sets_ - 1)) == 0 && cfg.line_bytes && sets_,
                 "Cache: line size and set count must be powers of two");
     tags_.assign(std::size_t{sets_} * ways_, 0);
     age_.resize(std::size_t{sets_} * ways_);

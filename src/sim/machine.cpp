@@ -1,6 +1,5 @@
 #include "sim/machine.hpp"
 
-#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -506,9 +505,9 @@ void Machine::step(unsigned ci) {
                 if (a == 0) {
                     n = w;
                 } else if (w == 32) {
-                    n = static_cast<unsigned>(std::countl_zero(static_cast<std::uint32_t>(a)));
+                    n = util::clz(a, 32);
                 } else {
-                    n = static_cast<unsigned>(std::countl_zero(a));
+                    n = util::clz(a, 64);
                 }
                 write_gpr(core, ins.rd, n);
                 break;

@@ -1,0 +1,27 @@
+#include "sim/snapshot.hpp"
+
+#include <algorithm>
+
+namespace serep::sim {
+
+std::size_t machine_footprint_bytes(const Machine& m) noexcept {
+    // Guest physical memory dwarfs everything else (register files, caches,
+    // counters are a few KB). Add a fixed allowance for the rest.
+    return static_cast<std::size_t>(m.mem().phys_size()) + (64u << 10);
+}
+
+RunStatus run_with_checkpoints(Machine& m, std::uint64_t stride,
+                               std::uint64_t stop_at,
+                               const std::function<void(const Machine&)>& on_checkpoint) {
+    if (stride == 0 || !on_checkpoint) return m.run_until(stop_at);
+    while (m.status() == RunStatus::Running && m.total_retired() < stop_at) {
+        const std::uint64_t boundary =
+            (m.total_retired() / stride + 1) * stride;
+        m.run_until(std::min(boundary, stop_at));
+        if (m.status() == RunStatus::Running && m.total_retired() < stop_at)
+            on_checkpoint(m);
+    }
+    return m.status();
+}
+
+} // namespace serep::sim

@@ -1,0 +1,30 @@
+// Snapshot helpers for checkpoint-based campaign fast-forward.
+//
+// A Machine is value-copyable, so a snapshot is simply a copy taken while the
+// interpreter is paused at a run_until() boundary. Because execution is fully
+// deterministic, a copy taken at retired-instruction count R and resumed
+// behaves bit-identically to a from-reset execution driven past R — the
+// invariant the orchestrator's checkpoint ladder is built on (and that
+// tests/property_test.cpp verifies across random snapshot points).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/machine.hpp"
+
+namespace serep::sim {
+
+/// Approximate host bytes held by one Machine value copy. Dominated by guest
+/// physical memory; used by the orchestrator to budget its checkpoint ladder.
+std::size_t machine_footprint_bytes(const Machine& m) noexcept;
+
+/// Run `m` until `stop_at` or a terminal status, pausing at every multiple of
+/// `stride` retired instructions to invoke `on_checkpoint` (stride == 0 runs
+/// straight through). The callback observes the machine at the boundary; a
+/// value copy taken there is a valid resume point.
+RunStatus run_with_checkpoints(Machine& m, std::uint64_t stride,
+                               std::uint64_t stop_at,
+                               const std::function<void(const Machine&)>& on_checkpoint);
+
+} // namespace serep::sim

@@ -1,8 +1,8 @@
 // Bit-level helpers used by the fault injector and the soft-float library.
 #pragma once
 
-#include <bit>
 #include <cstdint>
+#include <cstring>
 
 namespace serep::util {
 
@@ -35,8 +35,55 @@ constexpr bool is_aligned(std::uint64_t addr, unsigned bytes) noexcept {
     return (addr & (bytes - 1)) == 0;
 }
 
+/// Count trailing zero bits (64 for v == 0).
+constexpr unsigned ctz64(std::uint64_t v) noexcept {
+    if (v == 0) return 64;
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_ctzll(v));
+#else
+    unsigned n = 0;
+    while ((v & 1) == 0) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+/// Count leading zero bits of a value interpreted at `width` bits (width for
+/// v == 0; v must fit in `width` bits). Hot: the interpreter's CLZ emulation.
+constexpr unsigned clz(std::uint64_t v, unsigned width = 64) noexcept {
+    if (v == 0) return width;
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_clzll(v)) - (64 - width);
+#else
+    unsigned n = 0;
+    std::uint64_t probe = std::uint64_t{1} << (width - 1);
+    while (probe != 0 && (v & probe) == 0) {
+        probe >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+/// Smallest power of two >= v (v must be <= 2^63).
+constexpr std::uint64_t bit_ceil64(std::uint64_t v) noexcept {
+    std::uint64_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+}
+
 /// Bit-cast helpers between doubles and their IEEE-754 image.
-inline std::uint64_t f64_bits(double d) noexcept { return std::bit_cast<std::uint64_t>(d); }
-inline double bits_f64(std::uint64_t b) noexcept { return std::bit_cast<double>(b); }
+inline std::uint64_t f64_bits(double d) noexcept {
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof b);
+    return b;
+}
+inline double bits_f64(std::uint64_t b) noexcept {
+    double d;
+    std::memcpy(&d, &b, sizeof d);
+    return d;
+}
 
 } // namespace serep::util

@@ -1,0 +1,119 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace serep::util {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        const auto c = static_cast<unsigned char>(ch);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::pre_value() {
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!has_elem_.empty()) {
+        if (has_elem_.back()) out_ << ',';
+        has_elem_.back() = true;
+    }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    pre_value();
+    out_ << '{';
+    has_elem_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    has_elem_.pop_back();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    pre_value();
+    out_ << '[';
+    has_elem_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    has_elem_.pop_back();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+    if (!has_elem_.empty()) {
+        if (has_elem_.back()) out_ << ',';
+        has_elem_.back() = true;
+    }
+    out_ << '"' << json_escape(k) << "\":";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+    pre_value();
+    out_ << '"' << json_escape(v) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    pre_value();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    pre_value();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    pre_value();
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.10g", v);
+        out_ << buf;
+    } else {
+        out_ << "null"; // JSON has no inf/nan
+    }
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    pre_value();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+} // namespace serep::util

@@ -1,0 +1,45 @@
+// Minimal streaming JSON writer — the campaign database's JSON sibling to
+// CsvWriter. Emits compact RFC 8259 output; commas and string escaping are
+// handled by a container-state stack so callers just nest begin/end calls.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace serep::util {
+
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Emit an object key; the next value/begin call is its value.
+    JsonWriter& key(const std::string& k);
+
+    JsonWriter& value(const std::string& v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(double v);
+    JsonWriter& value(bool v);
+
+private:
+    void pre_value();
+
+    std::ostream& out_;
+    /// One entry per open container: true once it holds an element.
+    std::vector<bool> has_elem_;
+    bool after_key_ = false;
+};
+
+} // namespace serep::util

@@ -1,0 +1,199 @@
+// Orchestration layer: work-stealing scheduler, checkpoint ladder,
+// BatchRunner golden cache, and the campaign determinism invariant
+// (bit-identical outcomes for any pool width and checkpoint stride).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "core/campaign.hpp"
+#include "orch/batch_runner.hpp"
+#include "orch/checkpoint.hpp"
+#include "orch/scheduler.hpp"
+#include "util/check.hpp"
+
+using namespace serep;
+
+namespace {
+
+const npb::Scenario kSmall{isa::Profile::V7, npb::App::DC, npb::Api::Serial, 1,
+                           npb::Klass::Mini};
+const npb::Scenario kSmallV8{isa::Profile::V8, npb::App::EP, npb::Api::Serial, 1,
+                             npb::Klass::Mini};
+
+core::CampaignConfig small_config(unsigned faults = 40,
+                                  std::uint64_t seed = 0xDAC2018) {
+    core::CampaignConfig cfg;
+    cfg.n_faults = faults;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Scheduler, ParallelForExecutesEveryIndexExactlyOnce) {
+    orch::Scheduler pool(8);
+    constexpr std::size_t n = 5000;
+    std::vector<std::atomic<unsigned>> hits(n);
+    const std::uint64_t before = pool.tasks_executed();
+    pool.parallel_for(n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    EXPECT_EQ(pool.tasks_executed() - before, n);
+}
+
+TEST(Scheduler, IdleWorkersStealFromSkewedRanges) {
+    orch::Scheduler pool(4);
+    constexpr std::size_t n = 400;
+    std::vector<std::atomic<unsigned>> hits(n);
+    const std::uint64_t before = pool.tasks_stolen();
+    // The caller's initial range [0, 100) is slow; helpers drain their own
+    // ranges quickly and must steal from it to finish.
+    pool.parallel_for(n, [&](std::size_t i) {
+        if (i < 100) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    EXPECT_GT(pool.tasks_stolen() - before, 0u);
+}
+
+TEST(Scheduler, PropagatesBodyExceptions) {
+    orch::Scheduler pool(2);
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                       if (i == 7) util::fail("boom");
+                                   }),
+                 util::Error);
+}
+
+TEST(CheckpointLadder, RungCountRespectsBudgetAndNearestIsOrdered) {
+    sim::Machine m = npb::make_machine(kSmall, false);
+    orch::LadderOptions opts;
+    opts.stride = 500; // absurdly fine: forces thinning
+    opts.max_checkpoints = 8;
+    orch::CheckpointLadder ladder = orch::run_golden_with_ladder(m, opts);
+    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+    EXPECT_LE(ladder.checkpoints(), 8u);
+    EXPECT_GT(ladder.checkpoints(), 0u);
+    EXPECT_GT(ladder.stride(), 500u); // thinning doubled it
+    for (std::uint64_t at : {std::uint64_t{0}, m.total_retired() / 3,
+                             m.total_retired() - 1}) {
+        EXPECT_LE(ladder.nearest(at).total_retired(), at);
+    }
+    EXPECT_GT(ladder.footprint_bytes(), 0u);
+}
+
+TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsAndStrides) {
+    // The header's hard invariant: same seed => byte-identical counts and
+    // CSV whatever the pool width or checkpoint stride (including disabled).
+    struct Variant {
+        unsigned threads;
+        std::uint64_t stride;
+        bool enabled;
+    };
+    const Variant variants[] = {
+        {1, 30'000, true}, {2, 30'000, true},  {8, 30'000, true},
+        {2, 7'000, true},  {8, 911, true},     {2, 0, false},
+    };
+    std::vector<std::array<std::uint64_t, core::kOutcomeCount>> counts;
+    std::vector<std::string> csvs, jsons;
+    for (const Variant& v : variants) {
+        orch::BatchOptions opts;
+        opts.threads = v.threads;
+        opts.ladder.stride = v.stride;
+        opts.ladder.enabled = v.enabled;
+        orch::BatchRunner runner(opts);
+        runner.add(kSmall, small_config());
+        const auto results = runner.run_all();
+        ASSERT_EQ(results.size(), 1u);
+        counts.push_back(results[0].counts);
+        csvs.push_back(core::campaign_csv(results[0]));
+        jsons.push_back(core::campaign_json(results[0]));
+    }
+    for (std::size_t i = 1; i < csvs.size(); ++i) {
+        EXPECT_EQ(counts[i], counts[0]) << "variant " << i;
+        EXPECT_EQ(csvs[i], csvs[0]) << "variant " << i;
+        EXPECT_EQ(jsons[i], jsons[0]) << "variant " << i;
+    }
+}
+
+TEST(BatchRunner, MatchesRunCampaignWrapper) {
+    const auto direct = core::run_campaign(kSmall, small_config());
+    orch::BatchRunner runner;
+    runner.add(kSmall, small_config());
+    const auto batched = runner.run_all();
+    ASSERT_EQ(batched.size(), 1u);
+    EXPECT_EQ(batched[0].counts, direct.counts);
+    EXPECT_EQ(core::campaign_csv(batched[0]), core::campaign_csv(direct));
+}
+
+TEST(BatchRunner, GoldenCacheRunsOneGoldenPerScenario) {
+    orch::BatchRunner runner;
+    // Two jobs on the same scenario (different seeds) share one golden run.
+    runner.add(kSmall, small_config(20, 1));
+    runner.add(kSmall, small_config(20, 2));
+    const auto results = runner.run_all();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(runner.golden_executions(), 1u);
+    // Different seeds => different fault lists, same golden reference.
+    EXPECT_NE(core::campaign_csv(results[0]), core::campaign_csv(results[1]));
+    EXPECT_EQ(results[0].golden.total_retired, results[1].golden.total_retired);
+
+    // A later batch on the runner reuses the cache; a new scenario misses.
+    runner.add(kSmall, small_config(10, 3));
+    runner.add(kSmallV8, small_config(10, 3));
+    const auto more = runner.run_all();
+    ASSERT_EQ(more.size(), 2u);
+    EXPECT_EQ(runner.golden_executions(), 2u);
+}
+
+TEST(BatchRunner, GoldenCacheDistinguishesProblemClass) {
+    // Same isa/app/api/cores but a different problem class is a different
+    // golden run — the cache key must not collide on Scenario::name().
+    npb::Scenario bigger = kSmall;
+    bigger.klass = npb::Klass::S;
+    orch::BatchRunner runner;
+    runner.add(kSmall, small_config(5));
+    runner.add(bigger, small_config(5));
+    const auto results = runner.run_all();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(runner.golden_executions(), 2u);
+    EXPECT_NE(results[0].golden.total_retired, results[1].golden.total_retired);
+}
+
+TEST(BatchRunner, StreamsMergedCsvAndJsonlInJobOrder) {
+    std::ostringstream csv, jsonl;
+    orch::BatchRunner runner;
+    runner.set_csv_sink(&csv);
+    runner.set_json_sink(&jsonl);
+    runner.add(kSmall, small_config(15));
+    runner.add(kSmallV8, small_config(25));
+    const auto results = runner.run_all();
+    ASSERT_EQ(results.size(), 2u);
+
+    // One header, then 15 + 25 data rows, jobs in add() order.
+    std::istringstream lines(csv.str());
+    std::string line;
+    std::vector<std::string> rows;
+    while (std::getline(lines, line)) rows.push_back(line);
+    ASSERT_EQ(rows.size(), 1u + 15 + 25);
+    EXPECT_EQ(rows[0].rfind("scenario,", 0), 0u);
+    EXPECT_NE(rows[1].find(kSmall.name()), std::string::npos);
+    EXPECT_NE(rows[16].find(kSmallV8.name()), std::string::npos);
+
+    std::istringstream jlines(jsonl.str());
+    std::vector<std::string> jrows;
+    while (std::getline(jlines, line)) jrows.push_back(line);
+    ASSERT_EQ(jrows.size(), 2u);
+    EXPECT_EQ(jrows[0].front(), '{');
+    EXPECT_EQ(jrows[0].back(), '}');
+    EXPECT_NE(jrows[0].find("\"scenario\":\"" + kSmall.name() + "\""),
+              std::string::npos);
+    EXPECT_NE(jrows[1].find("\"scenario\":\"" + kSmallV8.name() + "\""),
+              std::string::npos);
+}

@@ -10,6 +10,7 @@
 #include "kgen/kgen.hpp"
 #include "rt/librt.hpp"
 #include "rt/softfloat.hpp"
+#include "sim/snapshot.hpp"
 #include "util/bitops.hpp"
 #include "util/rng.hpp"
 
@@ -190,6 +191,65 @@ TEST(ClassifierInvariants, RandomFaultsAlwaysClassify) {
     for (auto c : seen) total += c;
     EXPECT_EQ(total, 30u);
     EXPECT_GT(seen[0] + seen[1], 0u); // something masks
+}
+
+TEST(CheckpointInvariants, CloneFromMidRunCheckpointMatchesFromResetReplay) {
+    // The orchestrator's checkpoint-ladder premise: a machine value-copied at
+    // an arbitrary paused instant and run to completion is indistinguishable
+    // from the uninterrupted from-reset execution.
+    for (const npb::Scenario& s :
+         {npb::Scenario{isa::Profile::V8, npb::App::EP, npb::Api::Serial, 1,
+                        npb::Klass::Mini},
+          npb::Scenario{isa::Profile::V7, npb::App::IS, npb::Api::OMP, 2,
+                        npb::Klass::Mini}}) {
+        sim::Machine reference = npb::make_machine(s, false);
+        reference.run_until(~0ULL >> 1);
+        ASSERT_EQ(reference.status(), sim::RunStatus::Shutdown) << s.name();
+
+        util::Rng rng(0xC0FFEE);
+        for (int trial = 0; trial < 6; ++trial) {
+            const auto point = rng.range(1, reference.total_retired() - 1);
+            sim::Machine paused = npb::make_machine(s, false);
+            paused.run_until(point);
+            ASSERT_EQ(paused.status(), sim::RunStatus::Running);
+            sim::Machine resumed = paused; // the checkpoint clone
+            resumed.run_until(~0ULL >> 1);
+
+            EXPECT_EQ(resumed.status(), reference.status()) << s.name();
+            EXPECT_EQ(resumed.exit_code(), reference.exit_code()) << s.name();
+            EXPECT_EQ(resumed.total_retired(), reference.total_retired())
+                << s.name() << " snapshot at " << point;
+            EXPECT_EQ(core::arch_state_hash(resumed),
+                      core::arch_state_hash(reference))
+                << s.name();
+            for (unsigned p = 0; p < resumed.config().procs; ++p) {
+                EXPECT_EQ(resumed.output(p), reference.output(p))
+                    << s.name() << " proc " << p;
+                EXPECT_EQ(resumed.proc_exit_code(p), reference.proc_exit_code(p))
+                    << s.name() << " proc " << p;
+            }
+        }
+    }
+}
+
+TEST(CheckpointInvariants, StrideDrivenRunMatchesStraightRun) {
+    // Pausing at checkpoint boundaries must not perturb execution.
+    const npb::Scenario s{isa::Profile::V8, npb::App::DC, npb::Api::Serial, 1,
+                          npb::Klass::Mini};
+    sim::Machine straight = npb::make_machine(s, false);
+    straight.run_until(~0ULL >> 1);
+
+    sim::Machine chunked = npb::make_machine(s, false);
+    unsigned checkpoints = 0;
+    sim::run_with_checkpoints(chunked, 1000, ~0ULL >> 1,
+                              [&](const sim::Machine&) { ++checkpoints; });
+
+    EXPECT_GT(checkpoints, 0u);
+    EXPECT_EQ(chunked.status(), straight.status());
+    EXPECT_EQ(chunked.exit_code(), straight.exit_code());
+    EXPECT_EQ(chunked.total_retired(), straight.total_retired());
+    EXPECT_EQ(core::arch_state_hash(chunked), core::arch_state_hash(straight));
+    EXPECT_EQ(chunked.output(0), straight.output(0));
 }
 
 TEST(ClassifierInvariants, InjectionAtAppStartAndEndAreValid) {
