@@ -8,11 +8,16 @@
 //   ./full_campaign --isa v8 --api MPI --faults 500 --threads 8
 //   ./full_campaign --stride 100000        # fixed checkpoint stride
 //   ./full_campaign --no-checkpoints       # from-reset replay per fault
+//   ./full_campaign --no-delta             # full-copy checkpoint rungs
+//
+// To split the campaign across processes or hosts, use `serep shard` /
+// `serep merge` (tools/serep.cpp) — the merged database is byte-identical
+// to this tool's single-process output.
 #include <cstdio>
 #include <fstream>
 
 #include "mine/mining.hpp"
-#include "orch/batch_runner.hpp"
+#include "orch/shard.hpp"
 #include "util/cli.hpp"
 
 using namespace serep;
@@ -23,29 +28,23 @@ int main(int argc, char** argv) {
     cfg.n_faults = static_cast<unsigned>(cli.get_int("faults", 100));
     cfg.host_threads = static_cast<unsigned>(cli.get_int("threads", 2));
     cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xDAC2018));
-    const std::string isa_f = cli.get("isa", "");
-    const std::string api_f = cli.get("api", "");
-    const std::string app_f = cli.get("app", "");
     const std::string out = cli.get("out", "campaign");
-    const npb::Klass klass =
-        cli.get("class", "S") == "Mini" ? npb::Klass::Mini : npb::Klass::S;
+
+    orch::CampaignFilter filter;
+    filter.isa = cli.get("isa", "");
+    filter.api = cli.get("api", "");
+    filter.app = cli.get("app", "");
+    filter.klass = orch::parse_klass(cli.get("class", "S"));
 
     orch::BatchOptions opts;
     opts.threads = std::max(1u, cfg.host_threads);
     opts.ladder.stride = static_cast<std::uint64_t>(cli.get_int("stride", 0));
     opts.ladder.enabled = !cli.has("no-checkpoints");
+    opts.ladder.delta_snapshots = !cli.has("no-delta");
 
     orch::BatchRunner runner(opts);
-    std::vector<npb::Scenario> selected;
-    for (const auto& s : npb::paper_scenarios(klass)) {
-        if (!isa_f.empty() &&
-            isa_f != (s.isa == isa::Profile::V7 ? "v7" : "v8"))
-            continue;
-        if (!api_f.empty() && api_f != npb::api_name(s.api)) continue;
-        if (!app_f.empty() && app_f != npb::app_name(s.app)) continue;
-        selected.push_back(s);
-        runner.add(s, cfg);
-    }
+    const std::vector<npb::Scenario> selected = orch::filter_scenarios(filter);
+    for (const auto& s : selected) runner.add(s, cfg);
     std::printf("campaign over %zu of the paper's scenarios, %u faults each, "
                 "%u threads, checkpoints %s\n",
                 selected.size(), cfg.n_faults, opts.threads,

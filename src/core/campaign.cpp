@@ -78,14 +78,6 @@ CampaignResult run_campaign(const npb::Scenario& s, const CampaignConfig& cfg) {
     return std::move(results.front());
 }
 
-namespace {
-const char* fault_kind_name(FaultTarget::Kind k) noexcept {
-    return k == FaultTarget::Kind::GPR ? "gpr"
-           : k == FaultTarget::Kind::FP ? "fp"
-                                        : "mem";
-}
-} // namespace
-
 std::string campaign_csv(const CampaignResult& r) {
     std::ostringstream os;
     util::CsvWriter w(os);

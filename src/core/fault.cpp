@@ -1,6 +1,7 @@
 #include "core/fault.hpp"
 
 #include "isa/layout.hpp"
+#include "util/hash.hpp"
 
 namespace serep::core {
 
@@ -15,19 +16,36 @@ const char* outcome_name(Outcome o) noexcept {
     return "??";
 }
 
-namespace {
-
-void fnv(std::uint64_t& h, std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xFF;
-        h *= 0x100000001b3ULL;
+bool outcome_from_name(const std::string& name, Outcome& out) noexcept {
+    for (unsigned o = 0; o < kOutcomeCount; ++o) {
+        if (name == outcome_name(static_cast<Outcome>(o))) {
+            out = static_cast<Outcome>(o);
+            return true;
+        }
     }
+    return false;
 }
 
+const char* fault_kind_name(FaultTarget::Kind k) noexcept {
+    return k == FaultTarget::Kind::GPR ? "gpr"
+           : k == FaultTarget::Kind::FP ? "fp"
+                                        : "mem";
+}
+
+bool fault_kind_from_name(const std::string& name, FaultTarget::Kind& out) noexcept {
+    if (name == "gpr") out = FaultTarget::Kind::GPR;
+    else if (name == "fp") out = FaultTarget::Kind::FP;
+    else if (name == "mem") out = FaultTarget::Kind::MEM;
+    else return false;
+    return true;
+}
+
+namespace {
+inline void fnv(std::uint64_t& h, std::uint64_t v) { util::fnv1a_u64(h, v); }
 } // namespace
 
 std::uint64_t arch_state_hash(const sim::Machine& m) {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::uint64_t h = util::kFnvOffset;
     for (unsigned c = 0; c < m.cores(); ++c) {
         const isa::RegFile& r = m.core(c).regs;
         for (unsigned i = 0; i < 33; ++i) fnv(h, r.x(i));

@@ -22,6 +22,8 @@ namespace serep::core {
 enum class Outcome : std::uint8_t { Vanished, ONA, OMM, UT, Hang };
 inline constexpr unsigned kOutcomeCount = 5;
 const char* outcome_name(Outcome o) noexcept;
+/// Inverse of outcome_name; returns false on an unknown name.
+bool outcome_from_name(const std::string& name, Outcome& out) noexcept;
 
 struct FaultTarget {
     enum class Kind : std::uint8_t { GPR, FP, MEM };
@@ -31,6 +33,10 @@ struct FaultTarget {
     unsigned bit = 0;    ///< flipped bit
     std::uint64_t phys = 0; ///< physical byte (MEM)
 };
+
+/// "gpr" / "fp" / "mem" — the names the CSV/JSON databases use.
+const char* fault_kind_name(FaultTarget::Kind k) noexcept;
+bool fault_kind_from_name(const std::string& name, FaultTarget::Kind& out) noexcept;
 
 struct Fault {
     std::uint64_t at_retired = 0; ///< global instruction index of the strike

@@ -22,7 +22,7 @@ void st32_idx(Ctx& c, Reg rd, Reg base, Reg idx) {
     if (c.g.v7) c.a.str_idx(rd, base, idx, 2);
     else c.a.strw_idx(rd, base, idx, 2);
 }
-void ld32(Ctx& c, Reg rd, Reg base, std::int64_t off) {
+[[maybe_unused]] void ld32(Ctx& c, Reg rd, Reg base, std::int64_t off) {
     if (c.g.v7) c.a.ldr(rd, base, off);
     else c.a.ldrw(rd, base, off);
 }

@@ -22,7 +22,9 @@ struct BatchRunner::JobState {
     npb::Scenario scenario;
     core::CampaignConfig cfg;
     GoldenEntry* golden = nullptr;
-    std::vector<core::Fault> faults;
+    std::vector<core::Fault> faults;     ///< faults actually injected
+    std::vector<std::uint32_t> ordinals; ///< full-list position per fault (sharding)
+    std::uint32_t fault_space = 0;       ///< full (pre-filter) fault-list size
     std::uint64_t budget = 0;
     std::atomic<std::size_t> remaining{0};
     core::CampaignResult result;
@@ -148,10 +150,23 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
         if (job.golden->ladder.empty())
             job.golden->ladder.reset_base(npb::make_machine(job.scenario, false));
         job.golden->active_jobs.fetch_add(1, std::memory_order_relaxed);
-        const sim::Machine& base = job.golden->ladder.nearest(0);
+        const sim::Machine& base = job.golden->ladder.base();
         job.result.scenario = job.scenario;
         job.result.golden = job.golden->ref;
-        job.faults = core::make_fault_list(base, job.golden->ref, job.cfg);
+        std::vector<core::Fault> full =
+            core::make_fault_list(base, job.golden->ref, job.cfg);
+        job.fault_space = static_cast<std::uint32_t>(full.size());
+        if (opts_.fault_filter) {
+            job.faults.clear();
+            job.ordinals.clear();
+            for (std::uint32_t i = 0; i < full.size(); ++i) {
+                if (!opts_.fault_filter(full[i])) continue;
+                job.faults.push_back(full[i]);
+                job.ordinals.push_back(i);
+            }
+        } else {
+            job.faults = std::move(full);
+        }
         job.result.records.resize(job.faults.size());
         job.budget = static_cast<std::uint64_t>(
                          static_cast<double>(job.golden->ref.total_retired) *
@@ -172,7 +187,7 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
         JobState& job = *tasks[t].first;
         const std::uint32_t i = tasks[t].second;
         const core::Fault& f = job.faults[i];
-        sim::Machine run = job.golden->ladder.nearest(f.at_retired);
+        sim::Machine run = job.golden->ladder.clone_nearest(f.at_retired);
         ff_retired_.fetch_add(f.at_retired - run.total_retired(),
                               std::memory_order_relaxed);
         run.run_until(f.at_retired);
@@ -188,6 +203,14 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
         if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
             complete_job(job);
     });
+}
+
+std::uint32_t BatchRunner::job_fault_space(std::size_t j) const {
+    return jobs_.at(j)->fault_space;
+}
+
+const std::vector<std::uint32_t>& BatchRunner::job_ordinals(std::size_t j) const {
+    return jobs_.at(j)->ordinals;
 }
 
 std::vector<core::CampaignResult> BatchRunner::run_all() {

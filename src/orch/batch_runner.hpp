@@ -15,6 +15,7 @@
 // given seed regardless of pool width or checkpoint stride.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -28,6 +29,12 @@ namespace serep::orch {
 struct BatchOptions {
     unsigned threads = 0; ///< pool width; 0 = the shared process-wide pool
     LadderOptions ladder; ///< checkpoint-ladder knobs (batch-wide)
+    /// Fault-space sharding hook: when set, each job still generates its
+    /// full deterministic fault list (phase 2), but only the faults the
+    /// filter accepts are injected; their positions in the full list are
+    /// kept as per-job ordinals (job_ordinals) so a merger can reassemble
+    /// the unsharded record array. Golden runs are unaffected.
+    std::function<bool(const core::Fault&)> fault_filter;
 };
 
 class BatchRunner {
@@ -59,6 +66,14 @@ public:
     std::uint64_t fast_forward_retired() const noexcept {
         return ff_retired_.load(std::memory_order_relaxed);
     }
+
+    /// Size of job j's full (pre-filter) fault list. Equals the record count
+    /// unless a fault_filter is installed. Valid after run_all().
+    std::uint32_t job_fault_space(std::size_t j) const;
+    /// Global fault-list ordinal of each record of job j (ordinals[i] is the
+    /// position record i held in the full list). Empty when no filter is
+    /// installed (identity mapping). Valid after run_all().
+    const std::vector<std::uint32_t>& job_ordinals(std::size_t j) const;
 
     Scheduler& scheduler() noexcept {
         return own_pool_ ? *own_pool_ : Scheduler::instance();

@@ -7,59 +7,108 @@ namespace serep::orch {
 namespace {
 /// Auto-mode starting stride; doubles via thinning on long runs.
 constexpr std::uint64_t kAutoInitialStride = 1u << 16;
+
+/// Keep rungs r2, r4, ... of r1..rk (equivalent to keeping every other rung
+/// of the base-rooted ladder [base, r1, r2, ...]).
+template <typename T>
+void drop_every_other(std::vector<T>& rungs) {
+    std::vector<T> kept;
+    kept.reserve(rungs.size() / 2);
+    for (std::size_t i = 1; i < rungs.size(); i += 2)
+        kept.push_back(std::move(rungs[i]));
+    rungs = std::move(kept);
+}
 } // namespace
 
-CheckpointLadder::CheckpointLadder(const sim::Machine& m, const LadderOptions& opts) {
-    rungs_.push_back(m);
-    const std::size_t per_rung = sim::machine_footprint_bytes(m);
-    const std::size_t by_memory =
-        std::max<std::size_t>(1, opts.memory_budget_bytes / per_rung);
-    max_rungs_ = std::max<std::size_t>(1, std::min(opts.max_checkpoints, by_memory));
+CheckpointLadder::CheckpointLadder(sim::Machine& m, const LadderOptions& opts)
+    : base_(m), delta_mode_(opts.delta_snapshots),
+      budget_bytes_(opts.memory_budget_bytes) {
+    // From here on, m's dirty set is exactly "written since the base rung" —
+    // what make_machine_delta() diffs against the base.
+    m.mem().clear_dirty();
+    if (delta_mode_) {
+        // Delta rungs have data-dependent sizes; the byte budget is enforced
+        // dynamically in enforce_budgets() instead of precomputed.
+        max_rungs_ = std::max<std::size_t>(1, opts.max_checkpoints);
+    } else {
+        const std::size_t per_rung = sim::machine_footprint_bytes(m);
+        const std::size_t by_memory =
+            std::max<std::size_t>(1, opts.memory_budget_bytes / per_rung);
+        max_rungs_ =
+            std::max<std::size_t>(1, std::min(opts.max_checkpoints, by_memory));
+    }
     stride_ = !opts.enabled ? 0
               : opts.stride ? opts.stride
                             : kAutoInitialStride;
+    peak_ = footprint_bytes();
 }
 
-void CheckpointLadder::offer(const sim::Machine& m) {
-    if (stride_ == 0) return;
-    if (m.total_retired() < rungs_.back().total_retired() + stride_) return;
-    rungs_.push_back(m);
-    while (checkpoints() > max_rungs_) {
+std::uint64_t CheckpointLadder::last_retired() const noexcept {
+    if (!deltas_.empty()) return deltas_.back().retired();
+    if (!full_.empty()) return full_.back().total_retired();
+    return base_ ? base_->total_retired() : 0;
+}
+
+void CheckpointLadder::offer(sim::Machine& m) {
+    if (stride_ == 0 || !base_) return;
+    if (m.total_retired() < last_retired() + stride_) return;
+    if (delta_mode_)
+        deltas_.push_back(sim::make_machine_delta(m, *base_));
+    else
+        full_.push_back(m);
+    enforce_budgets();
+    peak_ = std::max(peak_, footprint_bytes());
+}
+
+void CheckpointLadder::enforce_budgets() {
+    while (checkpoints() > max_rungs_ ||
+           (checkpoints() > 1 && footprint_bytes() > budget_bytes_)) {
         // Over budget: keep every other rung, double the effective stride.
-        std::vector<sim::Machine> kept;
-        kept.reserve(rungs_.size() / 2 + 1);
-        for (std::size_t i = 0; i < rungs_.size(); i += 2)
-            kept.push_back(std::move(rungs_[i]));
-        rungs_ = std::move(kept);
+        drop_every_other(full_);
+        drop_every_other(deltas_);
         stride_ *= 2;
     }
 }
 
-const sim::Machine& CheckpointLadder::nearest(std::uint64_t at) const noexcept {
+std::uint64_t CheckpointLadder::nearest_retired(std::uint64_t at) const noexcept {
+    for (std::size_t i = deltas_.size(); i-- > 0;)
+        if (deltas_[i].retired() <= at) return deltas_[i].retired();
+    for (std::size_t i = full_.size(); i-- > 0;)
+        if (full_[i].total_retired() <= at) return full_[i].total_retired();
+    return base_ ? base_->total_retired() : 0;
+}
+
+sim::Machine CheckpointLadder::clone_nearest(std::uint64_t at) const {
     // Deepest rung with total_retired() <= at; rungs are ascending.
-    std::size_t best = 0;
-    for (std::size_t i = rungs_.size(); i-- > 0;) {
-        if (rungs_[i].total_retired() <= at) {
-            best = i;
-            break;
-        }
-    }
-    return rungs_[best];
+    for (std::size_t i = deltas_.size(); i-- > 0;)
+        if (deltas_[i].retired() <= at)
+            return sim::restore_machine_delta(deltas_[i], *base_);
+    for (std::size_t i = full_.size(); i-- > 0;)
+        if (full_[i].total_retired() <= at) return full_[i];
+    return *base_;
 }
 
 std::uint64_t CheckpointLadder::next_boundary() const noexcept {
     if (stride_ == 0) return ~std::uint64_t{0};
-    return rungs_.back().total_retired() + stride_;
+    return last_retired() + stride_;
+}
+
+void CheckpointLadder::release_all() {
+    base_.reset();
+    full_.clear();
+    deltas_.clear();
 }
 
 void CheckpointLadder::reset_base(sim::Machine m) {
-    rungs_.clear();
-    rungs_.push_back(std::move(m));
+    full_.clear();
+    deltas_.clear();
+    base_.emplace(std::move(m));
 }
 
 std::size_t CheckpointLadder::footprint_bytes() const noexcept {
-    std::size_t total = 0;
-    for (const auto& r : rungs_) total += sim::machine_footprint_bytes(r);
+    std::size_t total = base_ ? sim::machine_footprint_bytes(*base_) : 0;
+    for (const auto& r : full_) total += sim::machine_footprint_bytes(r);
+    for (const auto& d : deltas_) total += d.footprint_bytes();
     return total;
 }
 

@@ -4,20 +4,30 @@
 // and advancing one base machine per worker monotonically — which ties the
 // fault-to-worker assignment to the fast-forward state and rules out work
 // stealing. The ladder decouples them: during the golden execution we keep
-// value copies of the machine at a fixed retired-instruction stride, and
-// every injection run clones the deepest snapshot at or before its strike
-// instant, replaying at most one stride of instructions instead of the whole
-// prefix. Snapshot positions depend only on the deterministic instruction
-// stream, so outcomes are bit-identical for any stride (including a disabled
-// ladder, which degenerates to from-reset replay).
+// snapshots of the machine at a fixed retired-instruction stride, and every
+// injection run clones the deepest snapshot at or before its strike instant,
+// replaying at most one stride of instructions instead of the whole prefix.
+// Snapshot positions depend only on the deterministic instruction stream, so
+// outcomes are bit-identical for any stride (including a disabled ladder,
+// which degenerates to from-reset replay).
 //
-// Auto mode starts from a fine stride and, whenever the rung count would
-// exceed the budget, drops every other rung and doubles the stride — so one
-// golden pass yields a ladder of at most `max_checkpoints` rungs whatever
-// the run length turns out to be.
+// Rung representation: the base rung is a full Machine copy; deeper rungs
+// default to dirty-page delta snapshots against the base (sim/snapshot.hpp)
+// — full non-memory state plus only the memory pages that differ — so a
+// ladder costs roughly one machine plus the working set instead of
+// max_checkpoints machines. Each shard of a sharded campaign can therefore
+// afford denser rungs under the same memory budget. delta_snapshots = false
+// restores the PR-1 full-copy behaviour (used by tests to prove the two
+// modes are bit-identical and to measure the footprint win).
+//
+// Auto mode starts from a fine stride and, whenever the rung count (or the
+// byte budget) would be exceeded, drops every other rung and doubles the
+// stride — so one golden pass yields a ladder of at most `max_checkpoints`
+// rungs whatever the run length turns out to be.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/machine.hpp"
@@ -32,18 +42,33 @@ struct LadderOptions {
     /// Cap on live snapshot bytes. BatchRunner treats this as a batch-wide
     /// cap: it divides it across the ladders concurrently in flight.
     std::size_t memory_budget_bytes = std::size_t{1} << 30;
+    /// Store rungs as dirty-page deltas against the base (default) instead
+    /// of full Machine copies. Bit-identical outcomes either way.
+    bool delta_snapshots = true;
 };
 
 class CheckpointLadder {
 public:
-    /// Captures `m`'s current (pre-run) state as the base rung.
-    CheckpointLadder(const sim::Machine& m, const LadderOptions& opts);
+    /// Captures `m`'s current (pre-run) state as the base rung and clears
+    /// `m`'s dirty-page bitmap so subsequent offers see exactly the pages
+    /// written since this base.
+    CheckpointLadder(sim::Machine& m, const LadderOptions& opts);
 
     /// Golden-run callback: consider a paused machine for the next rung.
-    void offer(const sim::Machine& m);
+    /// Non-const in delta mode only to let make_machine_delta copy the
+    /// machine's shell without duplicating guest memory; `m` is unchanged
+    /// on return.
+    void offer(sim::Machine& m);
 
-    /// Deepest snapshot with total_retired() <= at (the base rung at worst).
-    const sim::Machine& nearest(std::uint64_t at) const noexcept;
+    /// Materialize the deepest snapshot with total_retired() <= at (the base
+    /// rung at worst) as a runnable clone.
+    sim::Machine clone_nearest(std::uint64_t at) const;
+    /// Retired count of the rung clone_nearest(at) would start from.
+    std::uint64_t nearest_retired(std::uint64_t at) const noexcept;
+
+    /// The base rung (pre-run machine); valid while !empty(). Fault-list
+    /// generation reads machine geometry from it.
+    const sim::Machine& base() const noexcept { return *base_; }
 
     /// Retired-instruction count at which the next rung is due (~0 when the
     /// ladder is disabled). Tracks thinning: the golden driver re-reads this
@@ -54,22 +79,33 @@ public:
     /// run references the ladder; a later batch must reset_base() first
     /// (the base is a deterministic rebuild — npb::make_machine — so it is
     /// not worth retaining one Machine copy per cached scenario).
-    void release_all() { rungs_.clear(); }
-    bool empty() const noexcept { return rungs_.empty(); }
+    void release_all();
+    bool empty() const noexcept { return !base_.has_value(); }
     /// Reinstall a freshly built (pre-run) machine as the base rung.
     void reset_base(sim::Machine m);
 
     std::uint64_t stride() const noexcept { return stride_; }
-    /// Rung count, excluding the base (0 when released).
+    /// Rung count above the base (0 when released).
     std::size_t checkpoints() const noexcept {
-        return rungs_.empty() ? 0 : rungs_.size() - 1;
+        return full_.size() + deltas_.size();
     }
     std::size_t footprint_bytes() const noexcept;
+    /// High-water mark of footprint_bytes() across the ladder's lifetime
+    /// (the number the delta-snapshot memory claim is gated on).
+    std::size_t peak_footprint_bytes() const noexcept { return peak_; }
 
 private:
-    std::vector<sim::Machine> rungs_; ///< ascending total_retired(); [0] = base
+    void enforce_budgets();
+    std::uint64_t last_retired() const noexcept;
+
+    std::optional<sim::Machine> base_;
+    std::vector<sim::Machine> full_;        ///< full-copy mode rungs, ascending
+    std::vector<sim::MachineDelta> deltas_; ///< delta mode rungs, ascending
+    bool delta_mode_;
     std::uint64_t stride_;
     std::size_t max_rungs_;
+    std::size_t budget_bytes_;
+    std::size_t peak_ = 0;
 };
 
 /// Run a freshly booted machine to completion (phase 1), building the ladder

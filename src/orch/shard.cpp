@@ -1,0 +1,346 @@
+#include "orch/shard.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "npb/npb.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace serep::orch {
+
+namespace {
+
+using util::fnv1a_str;
+using util::fnv1a_u64;
+
+const char* klass_name(npb::Klass k) noexcept {
+    switch (k) {
+        case npb::Klass::Mini: return "Mini";
+        case npb::Klass::S: return "S";
+        case npb::Klass::W: return "W";
+    }
+    return "??";
+}
+
+npb::Klass klass_from_name(const std::string& s) {
+    for (npb::Klass k : {npb::Klass::Mini, npb::Klass::S, npb::Klass::W})
+        if (s == klass_name(k)) return k;
+    util::fail("unknown problem class '" + s + "' (expected Mini, S, or W)");
+}
+
+isa::Profile profile_from_name(const std::string& s) {
+    for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8})
+        if (s == isa::profile_name(p)) return p;
+    util::fail("shard: unknown ISA profile '" + s + "'");
+}
+
+npb::App app_from_name(const std::string& s) {
+    for (npb::App a : npb::kAllApps)
+        if (s == npb::app_name(a)) return a;
+    util::fail("shard: unknown application '" + s + "'");
+}
+
+npb::Api api_from_name(const std::string& s) {
+    for (npb::Api a : {npb::Api::Serial, npb::Api::OMP, npb::Api::MPI})
+        if (s == npb::api_name(a)) return a;
+    util::fail("shard: unknown API '" + s + "'");
+}
+
+std::string hash_hex(std::uint64_t h) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+constexpr const char* kMagic = "serep-shard";
+constexpr std::uint64_t kVersion = 1;
+
+} // namespace
+
+std::uint64_t fault_id(const core::Fault& f) noexcept {
+    std::uint64_t h = util::kFnvOffset;
+    fnv1a_u64(h, f.at_retired);
+    fnv1a_u64(h, static_cast<std::uint64_t>(f.target.kind));
+    fnv1a_u64(h, f.target.core);
+    fnv1a_u64(h, f.target.reg);
+    fnv1a_u64(h, f.target.bit);
+    fnv1a_u64(h, f.target.phys);
+    return h;
+}
+
+std::vector<npb::Scenario> filter_scenarios(const CampaignFilter& f) {
+    std::vector<npb::Scenario> out;
+    for (const npb::Scenario& s : npb::paper_scenarios(f.klass)) {
+        if (!f.isa.empty() &&
+            f.isa != (s.isa == isa::Profile::V7 ? "v7" : "v8"))
+            continue;
+        if (!f.api.empty() && f.api != npb::api_name(s.api)) continue;
+        if (!f.app.empty() && f.app != npb::app_name(s.app)) continue;
+        out.push_back(s);
+    }
+    return out;
+}
+
+npb::Klass parse_klass(const std::string& name) { return klass_from_name(name); }
+
+std::uint64_t campaign_config_hash(const std::vector<ShardJobSpec>& jobs) {
+    std::uint64_t h = util::kFnvOffset;
+    fnv1a_u64(h, jobs.size());
+    for (const ShardJobSpec& j : jobs) {
+        fnv1a_str(h, j.scenario.name());
+        fnv1a_u64(h, static_cast<std::uint64_t>(j.scenario.klass));
+        fnv1a_u64(h, j.scenario.contract_fma);
+        fnv1a_u64(h, j.cfg.n_faults);
+        fnv1a_u64(h, j.cfg.seed);
+        std::uint64_t wd = 0;
+        static_assert(sizeof wd == sizeof j.cfg.watchdog_factor, "");
+        std::memcpy(&wd, &j.cfg.watchdog_factor, sizeof wd);
+        fnv1a_u64(h, wd);
+        fnv1a_u64(h, j.cfg.include_fp_regs);
+        fnv1a_u64(h, j.cfg.memory_faults);
+    }
+    return h;
+}
+
+ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs, const ShardPlan& plan,
+                        BatchOptions opts, std::ostream& os) {
+    util::check(plan.count >= 1 && plan.index < plan.count,
+                "run_shard: shard index out of range");
+    util::check(!jobs.empty(), "run_shard: empty job list");
+    opts.fault_filter = [plan](const core::Fault& f) { return plan.owns(f); };
+    BatchRunner runner(opts);
+    for (const ShardJobSpec& j : jobs) runner.add(j.scenario, j.cfg);
+    const std::vector<core::CampaignResult> results = runner.run_all();
+
+    // Manifest line: everything a merger needs to validate compatibility and
+    // rebuild the unsharded database.
+    {
+        util::JsonWriter w(os);
+        w.begin_object();
+        w.key("magic").value(kMagic);
+        w.key("version").value(kVersion);
+        w.key("shard").value(plan.index);
+        w.key("count").value(plan.count);
+        w.key("config_hash").value(hash_hex(campaign_config_hash(jobs)));
+        w.key("jobs").begin_array();
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            const ShardJobSpec& spec = jobs[j];
+            w.begin_object();
+            w.key("isa").value(isa::profile_name(spec.scenario.isa));
+            w.key("app").value(npb::app_name(spec.scenario.app));
+            w.key("api").value(npb::api_name(spec.scenario.api));
+            w.key("cores").value(spec.scenario.cores);
+            w.key("class").value(klass_name(spec.scenario.klass));
+            w.key("fma").value(spec.scenario.contract_fma);
+            w.key("n_faults").value(spec.cfg.n_faults);
+            w.key("seed").value(spec.cfg.seed);
+            w.key("watchdog").value(spec.cfg.watchdog_factor);
+            w.key("fault_space").value(runner.job_fault_space(j));
+            w.key("golden").begin_object();
+            w.key("total_retired").value(results[j].golden.total_retired);
+            w.key("ticks").value(results[j].golden.ticks);
+            w.key("app_start").value(results[j].golden.app_start);
+            w.key("exit_code").value(results[j].golden.exit_code);
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    os << '\n';
+
+    // Record lines: one per injected fault, keyed (job, full-list ordinal).
+    ShardRunStats stats;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        stats.fault_space += runner.job_fault_space(j);
+        const std::vector<std::uint32_t>& ords = runner.job_ordinals(j);
+        for (std::size_t i = 0; i < results[j].records.size(); ++i) {
+            const core::FaultRecord& rec = results[j].records[i];
+            util::JsonWriter w(os);
+            w.begin_object();
+            w.key("job").value(static_cast<std::uint64_t>(j));
+            w.key("ord").value(ords[i]);
+            w.key("at").value(rec.fault.at_retired);
+            w.key("kind").value(core::fault_kind_name(rec.fault.target.kind));
+            w.key("core").value(rec.fault.target.core);
+            w.key("reg").value(rec.fault.target.reg);
+            w.key("bit").value(rec.fault.target.bit);
+            w.key("phys").value(rec.fault.target.phys);
+            w.key("outcome").value(core::outcome_name(rec.outcome));
+            w.key("retired").value(rec.retired);
+            w.end_object();
+            os << '\n';
+            ++stats.owned;
+        }
+    }
+    return stats;
+}
+
+namespace {
+
+struct JobShape {
+    npb::Scenario scenario;
+    std::uint32_t fault_space = 0;
+    core::GoldenRef golden; ///< scalar fields only (outputs/hashes not in DB)
+};
+
+JobShape parse_job(const util::JsonValue& v) {
+    JobShape s;
+    s.scenario.isa = profile_from_name(v.at("isa").as_string());
+    s.scenario.app = app_from_name(v.at("app").as_string());
+    s.scenario.api = api_from_name(v.at("api").as_string());
+    s.scenario.cores = static_cast<unsigned>(v.at("cores").as_u64());
+    s.scenario.klass = klass_from_name(v.at("class").as_string());
+    s.scenario.contract_fma = v.at("fma").as_bool();
+    s.fault_space = static_cast<std::uint32_t>(v.at("fault_space").as_u64());
+    const util::JsonValue& g = v.at("golden");
+    s.golden.total_retired = g.at("total_retired").as_u64();
+    s.golden.ticks = g.at("ticks").as_u64();
+    s.golden.app_start = g.at("app_start").as_u64();
+    s.golden.exit_code = static_cast<int>(g.at("exit_code").as_double());
+    return s;
+}
+
+void check_jobs_agree(const JobShape& a, const JobShape& b, std::size_t j) {
+    const std::string ctx = "shard merge: job " + std::to_string(j);
+    util::check(a.scenario.name() == b.scenario.name() &&
+                    a.fault_space == b.fault_space,
+                ctx + ": job lists differ across shards");
+    util::check(a.golden.total_retired == b.golden.total_retired &&
+                    a.golden.ticks == b.golden.ticks &&
+                    a.golden.app_start == b.golden.app_start &&
+                    a.golden.exit_code == b.golden.exit_code,
+                ctx + ": golden references diverge across shards "
+                      "(nondeterministic golden run or config drift)");
+}
+
+} // namespace
+
+std::vector<core::CampaignResult> merge_shards(
+    const std::vector<std::string>& shard_dbs, std::ostream* csv_sink,
+    std::ostream* jsonl_sink) {
+    util::check(!shard_dbs.empty(), "shard merge: no shard databases given");
+
+    std::vector<JobShape> shape;
+    std::vector<core::CampaignResult> results;
+    std::vector<std::vector<std::uint8_t>> filled;
+    std::string config_hash;
+    unsigned shard_count = 0;
+    std::vector<std::uint8_t> seen_shards;
+    bool first_db = true; // explicit: an empty jobs array must not re-arm it
+
+    for (const std::string& db : shard_dbs) {
+        std::size_t pos = db.find('\n');
+        util::check(pos != std::string::npos, "shard merge: missing manifest line");
+        const util::JsonValue manifest = util::json_parse(db.substr(0, pos));
+        util::check(manifest.find("magic") &&
+                        manifest.at("magic").as_string() == kMagic,
+                    "shard merge: not a serep shard database");
+        util::check(manifest.at("version").as_u64() == kVersion,
+                    "shard merge: unsupported shard database version");
+        const unsigned count = static_cast<unsigned>(manifest.at("count").as_u64());
+        const unsigned index = static_cast<unsigned>(manifest.at("shard").as_u64());
+        const std::string hash = manifest.at("config_hash").as_string();
+        util::check(count >= 1 && index < count, "shard merge: bad shard index");
+
+        if (first_db) {
+            first_db = false;
+            shard_count = count;
+            config_hash = hash;
+            seen_shards.assign(count, 0);
+            util::check(!manifest.at("jobs").arr.empty(),
+                        "shard merge: shard database has an empty job list");
+            for (const util::JsonValue& jv : manifest.at("jobs").arr) {
+                shape.push_back(parse_job(jv));
+                core::CampaignResult r;
+                r.scenario = shape.back().scenario;
+                r.golden = shape.back().golden;
+                r.records.resize(shape.back().fault_space);
+                results.push_back(std::move(r));
+                filled.emplace_back(shape.back().fault_space, 0);
+            }
+        } else {
+            util::check(count == shard_count,
+                        "shard merge: shard counts differ across databases");
+            util::check(hash == config_hash,
+                        "shard merge: config hash mismatch — the databases "
+                        "come from different campaigns");
+            const auto& jobs = manifest.at("jobs").arr;
+            util::check(jobs.size() == shape.size(),
+                        "shard merge: job lists differ across shards");
+            for (std::size_t j = 0; j < jobs.size(); ++j)
+                check_jobs_agree(shape[j], parse_job(jobs[j]), j);
+        }
+        util::check(!seen_shards[index],
+                    "shard merge: shard " + std::to_string(index) +
+                        " appears more than once");
+        seen_shards[index] = 1;
+
+        // Record lines.
+        while (pos < db.size()) {
+            const std::size_t eol = db.find('\n', pos + 1);
+            const std::string line =
+                db.substr(pos + 1, eol == std::string::npos ? std::string::npos
+                                                            : eol - pos - 1);
+            pos = eol == std::string::npos ? db.size() : eol;
+            if (line.empty()) continue;
+            const util::JsonValue rv = util::json_parse(line);
+            const std::size_t j = rv.at("job").as_u64();
+            util::check(j < shape.size(), "shard merge: record for unknown job");
+            const std::uint32_t ord =
+                static_cast<std::uint32_t>(rv.at("ord").as_u64());
+            util::check(ord < shape[j].fault_space,
+                        "shard merge: record ordinal out of range");
+            util::check(!filled[j][ord],
+                        "shard merge: fault covered by more than one shard");
+            filled[j][ord] = 1;
+            core::FaultRecord& rec = results[j].records[ord];
+            rec.fault.at_retired = rv.at("at").as_u64();
+            util::check(core::fault_kind_from_name(rv.at("kind").as_string(),
+                                                   rec.fault.target.kind),
+                        "shard merge: unknown fault kind");
+            rec.fault.target.core = static_cast<unsigned>(rv.at("core").as_u64());
+            rec.fault.target.reg = static_cast<unsigned>(rv.at("reg").as_u64());
+            rec.fault.target.bit = static_cast<unsigned>(rv.at("bit").as_u64());
+            rec.fault.target.phys = rv.at("phys").as_u64();
+            core::Outcome o;
+            util::check(core::outcome_from_name(rv.at("outcome").as_string(), o),
+                        "shard merge: unknown outcome");
+            rec.outcome = o;
+            rec.retired = rv.at("retired").as_u64();
+        }
+    }
+
+    for (unsigned s = 0; s < shard_count; ++s)
+        util::check(seen_shards[s],
+                    "shard merge: shard " + std::to_string(s) + " of " +
+                        std::to_string(shard_count) + " is missing");
+    for (std::size_t j = 0; j < shape.size(); ++j)
+        for (std::uint32_t o = 0; o < shape[j].fault_space; ++o)
+            util::check(filled[j][o], "shard merge: job " + std::to_string(j) +
+                                          " fault " + std::to_string(o) +
+                                          " not covered by any shard");
+
+    // Phase 4: counts + the exact streams BatchRunner emits unsharded.
+    bool header_written = false;
+    for (core::CampaignResult& r : results) {
+        for (const core::FaultRecord& rec : r.records)
+            ++r.counts[static_cast<unsigned>(rec.outcome)];
+        if (csv_sink) {
+            const std::string csv = core::campaign_csv(r);
+            if (header_written) {
+                *csv_sink << csv.substr(csv.find('\n') + 1);
+            } else {
+                *csv_sink << csv;
+                header_written = true;
+            }
+        }
+        if (jsonl_sink) *jsonl_sink << core::campaign_json(r) << '\n';
+    }
+    return results;
+}
+
+} // namespace serep::orch

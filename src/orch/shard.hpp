@@ -1,0 +1,96 @@
+// Cross-process fault-space sharding with mergeable outcome databases.
+//
+// The paper's campaign is ~1.2M injections across 130 scenarios — beyond one
+// process. The shard layer splits it without giving up the repo's core
+// invariant (bit-identical outcome databases for a given seed):
+//
+//  * ShardPlan deterministically assigns every fault to exactly one of N
+//    shards by a *stable content id* (a hash of the fault's strike instant
+//    and target), not by fault-list position — so re-partitioning the same
+//    campaign into a different N never changes which run a fault gets or
+//    its classification, only where it executes.
+//  * run_shard() executes one shard of a job list against a BatchRunner
+//    fault filter and writes a self-contained outcome database: one JSONL
+//    manifest line (magic, shard index/count, a config hash over the exact
+//    job list, and each job's golden reference) followed by one record line
+//    per injected fault carrying its full-fault-list ordinal.
+//  * merge_shards() validates the manifests (same config hash, complete and
+//    disjoint shard cover, identical golden references), reassembles each
+//    job's record array by ordinal, and emits the same merged CSV / JSONL
+//    BatchRunner streams for an unsharded run — byte-identical, which
+//    orch_test and CI assert.
+//
+// Shards can run in separate processes or on separate hosts; the database
+// files are plain text and order-independent under merge.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "orch/batch_runner.hpp"
+
+namespace serep::orch {
+
+/// Stable content id of a fault: depends only on the strike instant and the
+/// target, never on list order or shard count.
+std::uint64_t fault_id(const core::Fault& f) noexcept;
+
+/// Deterministic 1-of-N assignment of the fault space.
+struct ShardPlan {
+    unsigned index = 0;
+    unsigned count = 1;
+
+    bool owns(const core::Fault& f) const noexcept {
+        return count <= 1 || fault_id(f) % count == index;
+    }
+};
+
+/// One campaign job, the unit both sharded and unsharded runs agree on.
+struct ShardJobSpec {
+    npb::Scenario scenario;
+    core::CampaignConfig cfg;
+};
+
+/// Scenario subset selection shared by full_campaign and the serep tool.
+/// Empty strings match everything; names follow the CLI convention:
+/// isa "v7"/"v8", npb::api_name ("SER"/"OMP"/"MPI"), npb::app_name ("EP", ...).
+struct CampaignFilter {
+    std::string isa, api, app;
+    npb::Klass klass = npb::Klass::S;
+};
+std::vector<npb::Scenario> filter_scenarios(const CampaignFilter& f);
+
+/// Strict problem-class parse ("Mini" / "S" / "W"); throws util::Error on
+/// anything else, so a typo cannot silently select a different campaign.
+npb::Klass parse_klass(const std::string& name);
+
+/// Hash over the exact job list (scenarios + campaign configs). Two shard
+/// databases merge only if their hashes match: same jobs, same seeds, same
+/// fault-space parameters.
+std::uint64_t campaign_config_hash(const std::vector<ShardJobSpec>& jobs);
+
+struct ShardRunStats {
+    std::size_t owned = 0;       ///< faults this shard injected
+    std::size_t fault_space = 0; ///< total faults across all jobs
+};
+
+/// Run shard `plan` of `jobs` on a BatchRunner configured from `opts`
+/// (opts.fault_filter is overwritten with the plan) and write the shard's
+/// outcome database to `os`.
+ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs, const ShardPlan& plan,
+                        BatchOptions opts, std::ostream& os);
+
+/// Merge shard databases (file *contents*, any order). Validates manifests
+/// and record cover, returns the per-job results in job order, and — when
+/// sinks are given — streams the merged per-fault CSV and per-campaign
+/// JSONL exactly as BatchRunner does for an unsharded run. Throws
+/// util::Error on any inconsistency (config-hash mismatch, missing or
+/// duplicate shard, golden-reference divergence, uncovered or
+/// double-covered fault ordinals).
+std::vector<core::CampaignResult> merge_shards(
+    const std::vector<std::string>& shard_dbs, std::ostream* csv_sink = nullptr,
+    std::ostream* jsonl_sink = nullptr);
+
+} // namespace serep::orch

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace serep::sim {
 
@@ -16,6 +17,28 @@ Memory::Memory(unsigned nprocs, std::uint64_t user_size, std::uint64_t kern_size
     phys_.assign(kern_size_ + std::uint64_t{nprocs_} * user_size_, 0);
     pages_per_proc_ = user_size_ / layout::kPageSize;
     page_mapped_.assign(nprocs_ * pages_per_proc_, 0);
+    // All-dirty until the first clear_dirty(): a snapshot consumer that never
+    // clears sees every page as a candidate, which is always correct.
+    dirty_.assign(phys_.size() / layout::kPageSize, 1);
+}
+
+void Memory::clone_payload_from(const Memory& base) {
+    util::check(base.nprocs_ == nprocs_ && base.user_size_ == user_size_ &&
+                    base.kern_size_ == kern_size_ && base.has_payload(),
+                "clone_payload_from: geometry mismatch or base is a shell");
+    phys_ = base.phys_;
+}
+
+void Memory::set_payload(std::vector<std::uint8_t> payload) {
+    util::check(payload.size() ==
+                    kern_size_ + std::uint64_t{nprocs_} * user_size_,
+                "set_payload: size does not match memory geometry");
+    phys_ = std::move(payload);
+}
+
+void Memory::write_page(std::uint64_t page, const std::uint8_t* bytes) noexcept {
+    std::memcpy(phys_.data() + page * layout::kPageSize, bytes, layout::kPageSize);
+    dirty_[page] = 1;
 }
 
 Translation Memory::translate(std::uint64_t vaddr, unsigned size, bool kernel_mode,
@@ -42,6 +65,8 @@ std::uint64_t Memory::load(std::uint64_t phys, unsigned size) const noexcept {
 
 void Memory::store(std::uint64_t phys, unsigned size, std::uint64_t value) noexcept {
     std::memcpy(phys_.data() + phys, &value, size);
+    // Naturally aligned <= 8-byte stores never straddle a page.
+    dirty_[phys / layout::kPageSize] = 1;
 }
 
 void Memory::map_user_range(unsigned proc, std::uint64_t lo, std::uint64_t hi) {
@@ -60,11 +85,11 @@ bool Memory::user_page_mapped(unsigned proc, std::uint64_t vaddr) const noexcept
 }
 
 std::uint64_t Memory::hash_range(std::uint64_t phys, std::uint64_t len) const noexcept {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::uint64_t h = util::kFnvOffset;
     const std::uint8_t* p = phys_.data() + phys;
     for (std::uint64_t i = 0; i < len; ++i) {
         h ^= p[i];
-        h *= 0x100000001b3ULL;
+        h *= util::kFnvPrime;
     }
     return h;
 }

@@ -9,8 +9,15 @@
 //  * anything else — including misaligned accesses — faults.
 // This is what turns corrupted address registers into segmentation faults,
 // the paper's §4.1.4 "UT from wrong address calculation" mechanism.
+//
+// Dirty-page tracking: every mutation path (store, bit flips, and — at image
+// load time — the raw host-side pointers) marks the touched physical page in
+// a per-page dirty bitmap. clear_dirty() resets it; the checkpoint ladder's
+// delta snapshots (sim/snapshot.hpp) use dirty-since-base as the exact set
+// of pages that can differ from the base rung.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -47,10 +54,16 @@ public:
     void map_user_range(unsigned proc, std::uint64_t lo, std::uint64_t hi);
     bool user_page_mapped(unsigned proc, std::uint64_t vaddr) const noexcept;
 
-    /// Host-side raw access for the loader and the classifier.
-    std::uint8_t* kern_data() noexcept { return phys_.data(); }
+    /// Host-side raw access for the loader and the classifier. The mutable
+    /// overloads hand out unchecked write access, so they conservatively mark
+    /// every page dirty (they are only used at image-load time in practice).
+    std::uint8_t* kern_data() noexcept {
+        mark_all_dirty();
+        return phys_.data();
+    }
     const std::uint8_t* kern_data() const noexcept { return phys_.data(); }
     std::uint8_t* user_data(unsigned proc) noexcept {
+        mark_all_dirty();
         return phys_.data() + kern_size_ + proc * user_size_;
     }
     const std::uint8_t* user_data(unsigned proc) const noexcept {
@@ -63,15 +76,49 @@ public:
     /// Flip one bit of a physical byte (memory fault injection).
     void flip_phys_bit(std::uint64_t phys, unsigned bit) noexcept {
         phys_[phys] ^= static_cast<std::uint8_t>(1u << bit);
+        dirty_[phys / isa::layout::kPageSize] = 1;
     }
 
     std::uint64_t phys_size() const noexcept { return phys_.size(); }
+
+    // ---- dirty-page tracking (delta snapshots) ----
+    std::uint64_t page_count() const noexcept { return dirty_.size(); }
+    /// One byte per physical page; non-zero = written since clear_dirty().
+    const std::vector<std::uint8_t>& dirty_pages() const noexcept { return dirty_; }
+    void clear_dirty() noexcept { std::fill(dirty_.begin(), dirty_.end(), 0); }
+    void mark_all_dirty() noexcept { std::fill(dirty_.begin(), dirty_.end(), 1); }
+
+    // ---- payload management (delta snapshots) ----
+    // A Machine copy whose memory payload has been dropped is a "shell": all
+    // metadata (geometry, page maps, dirty bits) survives, only the phys
+    // byte array is released. clone_payload_from() reinstates one from a
+    // geometry-identical base; the delta restore then patches changed pages.
+    bool has_payload() const noexcept { return !phys_.empty(); }
+    /// Actual host bytes held for guest physical memory (0 for a shell).
+    std::uint64_t payload_bytes() const noexcept { return phys_.size(); }
+    void drop_payload() noexcept {
+        phys_.clear();
+        phys_.shrink_to_fit();
+    }
+    void clone_payload_from(const Memory& base);
+    /// Move the payload out, leaving a shell; set_payload reinstalls it.
+    /// Lets make_machine_delta copy a Machine's non-memory state without
+    /// ever duplicating guest memory (take, copy the shell, reinstall).
+    std::vector<std::uint8_t> take_payload() noexcept { return std::move(phys_); }
+    void set_payload(std::vector<std::uint8_t> payload);
+
+    /// Raw page access for delta make/apply (page < page_count()).
+    const std::uint8_t* page_data(std::uint64_t page) const noexcept {
+        return phys_.data() + page * isa::layout::kPageSize;
+    }
+    void write_page(std::uint64_t page, const std::uint8_t* bytes) noexcept;
 
 private:
     unsigned nprocs_;
     std::uint64_t user_size_, kern_size_;
     std::vector<std::uint8_t> phys_;
     std::vector<std::uint8_t> page_mapped_; // one byte per user page per proc
+    std::vector<std::uint8_t> dirty_;       // one byte per physical page
     std::uint64_t pages_per_proc_;
 };
 

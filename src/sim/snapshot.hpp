@@ -1,15 +1,26 @@
 // Snapshot helpers for checkpoint-based campaign fast-forward.
 //
-// A Machine is value-copyable, so a snapshot is simply a copy taken while the
-// interpreter is paused at a run_until() boundary. Because execution is fully
-// deterministic, a copy taken at retired-instruction count R and resumed
-// behaves bit-identically to a from-reset execution driven past R — the
-// invariant the orchestrator's checkpoint ladder is built on (and that
-// tests/property_test.cpp verifies across random snapshot points).
+// A Machine is value-copyable, so a full snapshot is simply a copy taken
+// while the interpreter is paused at a run_until() boundary. Because
+// execution is fully deterministic, a copy taken at retired-instruction
+// count R and resumed behaves bit-identically to a from-reset execution
+// driven past R — the invariant the orchestrator's checkpoint ladder is
+// built on (and that tests/property_test.cpp verifies across random
+// snapshot points).
+//
+// Delta snapshots cut the memory cost: guest physical memory dominates a
+// Machine copy (megabytes vs a few KB of cores/caches/counters), and
+// between two nearby pause points only a small fraction of pages change.
+// A MachineDelta therefore stores the full non-memory state (a Machine
+// "shell" whose memory payload is dropped) plus only the pages that differ
+// from a designated base snapshot, found via the Memory dirty-page bitmap
+// and confirmed by content comparison. restore_machine_delta() rebuilds a
+// Machine bit-identical to the full copy the delta was made from.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/machine.hpp"
 
@@ -17,7 +28,33 @@ namespace serep::sim {
 
 /// Approximate host bytes held by one Machine value copy. Dominated by guest
 /// physical memory; used by the orchestrator to budget its checkpoint ladder.
+/// Counts the memory payload actually held, so a delta shell costs only the
+/// fixed allowance.
 std::size_t machine_footprint_bytes(const Machine& m) noexcept;
+
+/// Dirty-page delta of a paused machine against a base snapshot.
+struct MachineDelta {
+    Machine shell;                    ///< full state, memory payload dropped
+    std::vector<std::uint32_t> pages; ///< physical pages differing from base
+    std::vector<std::uint8_t> bytes;  ///< pages.size() * kPageSize page images
+
+    std::uint64_t retired() const noexcept { return shell.total_retired(); }
+    /// Host bytes this delta holds (page images + index + shell allowance).
+    std::size_t footprint_bytes() const noexcept;
+};
+
+/// Capture `cur` as a delta against `base`. Exact under the Memory dirty
+/// bitmap contract: `cur`'s dirty set must cover every page written since
+/// `base` was copied (clear_dirty() on the live machine right after taking
+/// the base copy establishes this). `base` must hold its memory payload.
+/// `cur` is non-const only to move its payload aside while the shell is
+/// copied (so guest memory is never duplicated); it is restored unchanged
+/// before returning.
+MachineDelta make_machine_delta(Machine& cur, const Machine& base);
+
+/// Rebuild the machine `make_machine_delta` saw, bit-identical: shell state,
+/// base memory payload, delta pages applied on top.
+Machine restore_machine_delta(const MachineDelta& d, const Machine& base);
 
 /// Run `m` until `stop_at` or a terminal status, pausing at every multiple of
 /// `stride` retired instructions to invoke `on_checkpoint` (stride == 0 runs

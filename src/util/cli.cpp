@@ -7,7 +7,10 @@ namespace serep::util {
 Cli::Cli(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0) continue;
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
         arg = arg.substr(2);
         const auto eq = arg.find('=');
         if (eq != std::string::npos) {
@@ -27,7 +30,9 @@ std::string Cli::get(const std::string& key, const std::string& dflt) const {
 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t dflt) const {
     const auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+    // Base 0 auto-detects 0x-prefixed hex, so `--seed=0xDAC2018` means what
+    // it says instead of silently parsing as 0.
+    return it == kv_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 0);
 }
 
 double Cli::get_double(const std::string& key, double dflt) const {

@@ -1,10 +1,15 @@
-// Tiny command-line flag parser for the bench harnesses and examples.
-// Supports `--key value`, `--key=value`, and boolean `--flag`.
+// Tiny command-line flag parser for the bench harnesses, examples, and the
+// serep tool. Supports `--key value`, `--key=value`, boolean `--flag`, and
+// positional operands (subcommands, input files) collected in argv order.
+// Note the inherent `--flag positional` ambiguity: a bare `--key` greedily
+// takes the next non-flag token as its value, so pass `--key=value` when
+// positionals follow.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace serep::util {
 
@@ -17,8 +22,12 @@ public:
     std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
     double get_double(const std::string& key, double dflt) const;
 
+    /// Arguments that are neither flags nor flag values, in argv order.
+    const std::vector<std::string>& positional() const { return positional_; }
+
 private:
     std::map<std::string, std::string> kv_;
+    std::vector<std::string> positional_;
 };
 
 } // namespace serep::util

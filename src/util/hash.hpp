@@ -1,0 +1,33 @@
+// Shared FNV-1a folding helpers. Several load-bearing stable hashes (the
+// classifier's architectural-state hash, shard fault ids, campaign config
+// hashes) must stay in lock-step across the codebase: one definition here,
+// no per-file copies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace serep::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Fold one 64-bit value into `h`, byte-wise little-endian.
+inline void fnv1a_u64(std::uint64_t& h, std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= kFnvPrime;
+    }
+}
+
+/// Fold a string's bytes, then its length (so "ab"+"c" != "a"+"bc" when
+/// several strings are folded in sequence).
+inline void fnv1a_str(std::uint64_t& h, const std::string& s) noexcept {
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    fnv1a_u64(h, s.size());
+}
+
+} // namespace serep::util

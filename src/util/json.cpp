@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
 
 namespace serep::util {
 
@@ -115,5 +118,256 @@ JsonWriter& JsonWriter::value(bool v) {
     out_ << (v ? "true" : "false");
     return *this;
 }
+
+// ---- parser ----
+
+const JsonValue* JsonValue::find(const std::string& key) const noexcept {
+    if (type != Type::Object) return nullptr;
+    for (const auto& [k, v] : obj)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+    const JsonValue* v = find(key);
+    check(v != nullptr, "json: missing member '" + key + "'");
+    return *v;
+}
+
+const std::string& JsonValue::as_string() const {
+    check(type == Type::String, "json: not a string");
+    return str;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+    check(type == Type::Number && is_integer, "json: not an integer");
+    return u64;
+}
+
+double JsonValue::as_double() const {
+    check(type == Type::Number, "json: not a number");
+    return number;
+}
+
+bool JsonValue::as_bool() const {
+    check(type == Type::Bool, "json: not a bool");
+    return boolean;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    JsonValue document() {
+        JsonValue v = value();
+        skip_ws();
+        check(pos_ == s_.size(), "json: trailing characters at " + here());
+        return v;
+    }
+
+private:
+    std::string here() const { return "offset " + std::to_string(pos_); }
+
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                    s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        check(pos_ < s_.size(), "json: unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c) {
+        check(pos_ < s_.size() && s_[pos_] == c,
+              std::string("json: expected '") + c + "' at " + here());
+        ++pos_;
+    }
+
+    bool consume_word(const char* w) {
+        std::size_t n = 0;
+        while (w[n]) ++n;
+        if (s_.compare(pos_, n, w) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    // Recursion guard: the parser descends once per container level, so a
+    // hostile/corrupt input like "[[[[..." would otherwise overflow the
+    // stack instead of throwing. Shard databases nest 3 levels deep; 64 is
+    // generous for any document we emit.
+    static constexpr int kMaxDepth = 64;
+
+    JsonValue value() {
+        skip_ws();
+        check(depth_ < kMaxDepth, "json: nesting deeper than 64 levels");
+        JsonValue v;
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"':
+                v.type = JsonValue::Type::String;
+                v.str = string();
+                return v;
+            case 't':
+                check(consume_word("true"), "json: bad literal at " + here());
+                v.type = JsonValue::Type::Bool;
+                v.boolean = true;
+                return v;
+            case 'f':
+                check(consume_word("false"), "json: bad literal at " + here());
+                v.type = JsonValue::Type::Bool;
+                return v;
+            case 'n':
+                check(consume_word("null"), "json: bad literal at " + here());
+                return v;
+            default: return number();
+        }
+    }
+
+    JsonValue object() {
+        expect('{');
+        ++depth_;
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            --depth_;
+            return v;
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            v.obj.emplace_back(std::move(key), value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            --depth_;
+            return v;
+        }
+    }
+
+    JsonValue array() {
+        expect('[');
+        ++depth_;
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            --depth_;
+            return v;
+        }
+        for (;;) {
+            v.arr.push_back(value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            --depth_;
+            return v;
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            check(pos_ < s_.size(), "json: unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            check(pos_ < s_.size(), "json: unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    check(pos_ + 4 <= s_.size(), "json: short \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') cp |= h - '0';
+                        else if (h >= 'a' && h <= 'f') cp |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F') cp |= h - 'A' + 10;
+                        else fail("json: bad \\u escape at " + here());
+                    }
+                    check(cp < 0xD800 || cp > 0xDFFF,
+                          "json: surrogate pairs unsupported");
+                    // UTF-8 encode the BMP code point.
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("json: bad escape at " + here());
+            }
+        }
+    }
+
+    JsonValue number() {
+        const std::size_t start = pos_;
+        bool integral = true;
+        if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+        while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+            while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+        }
+        const std::string tok = s_.substr(start, pos_ - start);
+        check(!tok.empty() && tok != "-", "json: bad number at " + here());
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = std::strtod(tok.c_str(), nullptr);
+        if (integral && tok[0] != '-') {
+            v.is_integer = true;
+            v.u64 = std::strtoull(tok.c_str(), nullptr, 10);
+        }
+        return v;
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+JsonValue json_parse(const std::string& text) { return Parser(text).document(); }
 
 } // namespace serep::util

@@ -78,9 +78,12 @@ TEST(ScenarioSpace, PaperListProperties) {
         omp += s.api == Api::OMP;
         mpi += s.api == Api::MPI;
         EXPECT_TRUE(npb::app_has_api(s.app, s.api)) << s.name();
-        if (s.api == Api::MPI)
+        if (s.api == Api::MPI) {
             EXPECT_TRUE(npb::mpi_cores_allowed(s.app, s.cores)) << s.name();
-        if (s.api == Api::Serial) EXPECT_EQ(s.cores, 1u);
+        }
+        if (s.api == Api::Serial) {
+            EXPECT_EQ(s.cores, 1u);
+        }
     }
     EXPECT_EQ(v7, 65u);
     EXPECT_EQ(ser, 20u);  // 10 per ISA

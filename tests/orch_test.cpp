@@ -1,6 +1,12 @@
-// Orchestration layer: work-stealing scheduler, checkpoint ladder,
-// BatchRunner golden cache, and the campaign determinism invariant
-// (bit-identical outcomes for any pool width and checkpoint stride).
+// Orchestration layer: work-stealing scheduler, checkpoint ladder (full and
+// delta-snapshot rungs), BatchRunner golden cache, fault-space sharding with
+// mergeable outcome databases, and the campaign determinism invariant
+// (bit-identical outcomes for any pool width, checkpoint stride, snapshot
+// representation, and shard count).
+//
+// Every campaign in this file pins its seed explicitly and asserts outcome
+// counts / database bytes — never scheduler log order — so results are
+// stable under any thread interleaving.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -12,6 +18,7 @@
 #include "orch/batch_runner.hpp"
 #include "orch/checkpoint.hpp"
 #include "orch/scheduler.hpp"
+#include "orch/shard.hpp"
 #include "util/check.hpp"
 
 using namespace serep;
@@ -23,8 +30,9 @@ const npb::Scenario kSmall{isa::Profile::V7, npb::App::DC, npb::Api::Serial, 1,
 const npb::Scenario kSmallV8{isa::Profile::V8, npb::App::EP, npb::Api::Serial, 1,
                              npb::Klass::Mini};
 
-core::CampaignConfig small_config(unsigned faults = 40,
-                                  std::uint64_t seed = 0xDAC2018) {
+/// Every call site names its seed: campaigns must not depend on an implicit
+/// shared default, and a test's fault list should be obvious from its text.
+core::CampaignConfig small_config(unsigned faults, std::uint64_t seed) {
     core::CampaignConfig cfg;
     cfg.n_faults = faults;
     cfg.seed = seed;
@@ -49,17 +57,22 @@ TEST(Scheduler, ParallelForExecutesEveryIndexExactlyOnce) {
 TEST(Scheduler, IdleWorkersStealFromSkewedRanges) {
     orch::Scheduler pool(4);
     constexpr std::size_t n = 400;
-    std::vector<std::atomic<unsigned>> hits(n);
-    const std::uint64_t before = pool.tasks_stolen();
     // The caller's initial range [0, 100) is slow; helpers drain their own
-    // ranges quickly and must steal from it to finish.
-    pool.parallel_for(n, [&](std::size_t i) {
-        if (i < 100) std::this_thread::sleep_for(std::chrono::milliseconds(2));
-        hits[i].fetch_add(1, std::memory_order_relaxed);
-    });
-    for (std::size_t i = 0; i < n; ++i)
-        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
-    EXPECT_GT(pool.tasks_stolen() - before, 0u);
+    // ranges quickly and must steal from it to finish. Stealing depends on
+    // OS thread wake-up timing, so allow a few attempts before judging —
+    // every attempt still asserts the exactly-once execution contract.
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        std::vector<std::atomic<unsigned>> hits(n);
+        const std::uint64_t before = pool.tasks_stolen();
+        pool.parallel_for(n, [&](std::size_t i) {
+            if (i < 100) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+        if (pool.tasks_stolen() - before > 0) return;
+    }
+    FAIL() << "no steal observed in 5 skewed parallel_for runs";
 }
 
 TEST(Scheduler, PropagatesBodyExceptions) {
@@ -72,33 +85,84 @@ TEST(Scheduler, PropagatesBodyExceptions) {
 }
 
 TEST(CheckpointLadder, RungCountRespectsBudgetAndNearestIsOrdered) {
-    sim::Machine m = npb::make_machine(kSmall, false);
-    orch::LadderOptions opts;
-    opts.stride = 500; // absurdly fine: forces thinning
-    opts.max_checkpoints = 8;
-    orch::CheckpointLadder ladder = orch::run_golden_with_ladder(m, opts);
-    EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
-    EXPECT_LE(ladder.checkpoints(), 8u);
-    EXPECT_GT(ladder.checkpoints(), 0u);
-    EXPECT_GT(ladder.stride(), 500u); // thinning doubled it
-    for (std::uint64_t at : {std::uint64_t{0}, m.total_retired() / 3,
-                             m.total_retired() - 1}) {
-        EXPECT_LE(ladder.nearest(at).total_retired(), at);
+    for (const bool delta : {true, false}) {
+        sim::Machine m = npb::make_machine(kSmall, false);
+        orch::LadderOptions opts;
+        opts.stride = 500; // absurdly fine: forces thinning
+        opts.max_checkpoints = 8;
+        opts.delta_snapshots = delta;
+        orch::CheckpointLadder ladder = orch::run_golden_with_ladder(m, opts);
+        EXPECT_EQ(m.status(), sim::RunStatus::Shutdown);
+        EXPECT_LE(ladder.checkpoints(), 8u);
+        EXPECT_GT(ladder.checkpoints(), 0u);
+        EXPECT_GT(ladder.stride(), 500u); // thinning doubled it
+        for (std::uint64_t at : {std::uint64_t{0}, m.total_retired() / 3,
+                                 m.total_retired() - 1}) {
+            EXPECT_LE(ladder.nearest_retired(at), at) << "delta=" << delta;
+            const sim::Machine clone = ladder.clone_nearest(at);
+            EXPECT_EQ(clone.total_retired(), ladder.nearest_retired(at));
+        }
+        EXPECT_GT(ladder.footprint_bytes(), 0u);
+        EXPECT_GE(ladder.peak_footprint_bytes(), ladder.footprint_bytes());
     }
-    EXPECT_GT(ladder.footprint_bytes(), 0u);
 }
 
-TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsAndStrides) {
+TEST(CheckpointLadder, DeltaLaddersMatchFullLaddersAndShrinkPeakBytes) {
+    // The tentpole memory claim, on a class-S campaign: with identical
+    // stride/rung budgets, delta-snapshot rungs must reproduce the same
+    // checkpoint positions as full Machine copies while cutting the peak
+    // snapshot footprint by at least 2x.
+    npb::Scenario s = kSmall;
+    s.klass = npb::Klass::S;
+
+    orch::LadderOptions opts;
+    opts.max_checkpoints = 12;
+
+    sim::Machine m_full = npb::make_machine(s, false);
+    opts.delta_snapshots = false;
+    orch::CheckpointLadder full = orch::run_golden_with_ladder(m_full, opts);
+
+    sim::Machine m_delta = npb::make_machine(s, false);
+    opts.delta_snapshots = true;
+    orch::CheckpointLadder delta = orch::run_golden_with_ladder(m_delta, opts);
+
+    ASSERT_EQ(m_full.total_retired(), m_delta.total_retired());
+    ASSERT_EQ(full.checkpoints(), delta.checkpoints());
+    ASSERT_GE(full.checkpoints(), 2u);
+    EXPECT_EQ(full.stride(), delta.stride());
+
+    // Same rung positions, bit-identical clones at arbitrary instants.
+    const std::uint64_t total = m_full.total_retired();
+    for (std::uint64_t at : {total / 7, total / 2, total - 1}) {
+        ASSERT_EQ(full.nearest_retired(at), delta.nearest_retired(at));
+        const sim::Machine a = full.clone_nearest(at);
+        const sim::Machine b = delta.clone_nearest(at);
+        EXPECT_EQ(a.total_retired(), b.total_retired());
+        EXPECT_EQ(core::arch_state_hash(a), core::arch_state_hash(b));
+        EXPECT_EQ(a.mem().hash_range(0, a.mem().phys_size()),
+                  b.mem().hash_range(0, b.mem().phys_size()));
+    }
+
+    // The acceptance gate: >= 2x peak snapshot bytes.
+    EXPECT_GE(full.peak_footprint_bytes(), 2 * delta.peak_footprint_bytes())
+        << "full peak " << full.peak_footprint_bytes() << " vs delta peak "
+        << delta.peak_footprint_bytes();
+}
+
+TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsStridesAndSnapshots) {
     // The header's hard invariant: same seed => byte-identical counts and
-    // CSV whatever the pool width or checkpoint stride (including disabled).
+    // CSV whatever the pool width, checkpoint stride (including disabled),
+    // or snapshot representation (full copies vs dirty-page deltas).
     struct Variant {
         unsigned threads;
         std::uint64_t stride;
         bool enabled;
+        bool delta;
     };
     const Variant variants[] = {
-        {1, 30'000, true}, {2, 30'000, true},  {8, 30'000, true},
-        {2, 7'000, true},  {8, 911, true},     {2, 0, false},
+        {1, 30'000, true, true}, {2, 30'000, true, true}, {8, 30'000, true, true},
+        {2, 30'000, true, false}, {2, 7'000, true, true}, {8, 911, true, false},
+        {2, 0, false, true},
     };
     std::vector<std::array<std::uint64_t, core::kOutcomeCount>> counts;
     std::vector<std::string> csvs, jsons;
@@ -107,8 +171,9 @@ TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsAndStrides) {
         opts.threads = v.threads;
         opts.ladder.stride = v.stride;
         opts.ladder.enabled = v.enabled;
+        opts.ladder.delta_snapshots = v.delta;
         orch::BatchRunner runner(opts);
-        runner.add(kSmall, small_config());
+        runner.add(kSmall, small_config(40, 0xDAC2018));
         const auto results = runner.run_all();
         ASSERT_EQ(results.size(), 1u);
         counts.push_back(results[0].counts);
@@ -123,9 +188,9 @@ TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsAndStrides) {
 }
 
 TEST(BatchRunner, MatchesRunCampaignWrapper) {
-    const auto direct = core::run_campaign(kSmall, small_config());
+    const auto direct = core::run_campaign(kSmall, small_config(40, 0xDAC2018));
     orch::BatchRunner runner;
-    runner.add(kSmall, small_config());
+    runner.add(kSmall, small_config(40, 0xDAC2018));
     const auto batched = runner.run_all();
     ASSERT_EQ(batched.size(), 1u);
     EXPECT_EQ(batched[0].counts, direct.counts);
@@ -158,8 +223,8 @@ TEST(BatchRunner, GoldenCacheDistinguishesProblemClass) {
     npb::Scenario bigger = kSmall;
     bigger.klass = npb::Klass::S;
     orch::BatchRunner runner;
-    runner.add(kSmall, small_config(5));
-    runner.add(bigger, small_config(5));
+    runner.add(kSmall, small_config(5, 0xDAC2018));
+    runner.add(bigger, small_config(5, 0xDAC2018));
     const auto results = runner.run_all();
     ASSERT_EQ(results.size(), 2u);
     EXPECT_EQ(runner.golden_executions(), 2u);
@@ -171,8 +236,8 @@ TEST(BatchRunner, StreamsMergedCsvAndJsonlInJobOrder) {
     orch::BatchRunner runner;
     runner.set_csv_sink(&csv);
     runner.set_json_sink(&jsonl);
-    runner.add(kSmall, small_config(15));
-    runner.add(kSmallV8, small_config(25));
+    runner.add(kSmall, small_config(15, 0xDAC2018));
+    runner.add(kSmallV8, small_config(25, 0xDAC2018));
     const auto results = runner.run_all();
     ASSERT_EQ(results.size(), 2u);
 
@@ -196,4 +261,126 @@ TEST(BatchRunner, StreamsMergedCsvAndJsonlInJobOrder) {
               std::string::npos);
     EXPECT_NE(jrows[1].find("\"scenario\":\"" + kSmallV8.name() + "\""),
               std::string::npos);
+}
+
+namespace {
+
+std::vector<orch::ShardJobSpec> shard_jobs() {
+    return {{kSmall, small_config(30, 0xABCDEF)},
+            {kSmallV8, small_config(25, 0x1234)}};
+}
+
+/// The unsharded reference streams (what BatchRunner emits in one process).
+void reference_streams(std::string& csv, std::string& jsonl) {
+    std::ostringstream c, j;
+    orch::BatchRunner runner;
+    runner.set_csv_sink(&c);
+    runner.set_json_sink(&j);
+    for (const orch::ShardJobSpec& spec : shard_jobs())
+        runner.add(spec.scenario, spec.cfg);
+    runner.run_all();
+    csv = c.str();
+    jsonl = j.str();
+}
+
+std::vector<std::string> run_all_shards(unsigned count) {
+    std::vector<std::string> dbs;
+    for (unsigned i = 0; i < count; ++i) {
+        std::ostringstream os;
+        orch::run_shard(shard_jobs(), {i, count}, orch::BatchOptions{}, os);
+        dbs.push_back(os.str());
+    }
+    return dbs;
+}
+
+} // namespace
+
+TEST(Shard, StableFaultIdsPartitionTheFaultSpace) {
+    // Every fault goes to exactly one shard, and the assignment depends on
+    // content only — the same fault owns the same id under any list order.
+    sim::Machine m = npb::make_machine(kSmall, false);
+    sim::Machine golden = m;
+    golden.run_until(~0ULL >> 1);
+    const core::GoldenRef ref = core::capture_golden(golden);
+    const auto faults =
+        core::make_fault_list(m, ref, small_config(200, 0xFEED));
+    for (unsigned count : {1u, 2u, 3u, 7u}) {
+        for (const core::Fault& f : faults) {
+            unsigned owners = 0;
+            for (unsigned i = 0; i < count; ++i)
+                owners += orch::ShardPlan{i, count}.owns(f) ? 1 : 0;
+            ASSERT_EQ(owners, 1u) << "count " << count;
+        }
+    }
+    // Ids are pure functions of content.
+    EXPECT_EQ(orch::fault_id(faults[0]), orch::fault_id(faults[0]));
+    EXPECT_NE(orch::fault_id(faults[0]), orch::fault_id(faults[1]));
+}
+
+TEST(Shard, ShardedRunsMergeByteIdenticalToUnsharded) {
+    // The acceptance invariant: split 3 ways, run each shard in its own
+    // BatchRunner (as separate processes would), merge the databases, and
+    // the merged CSV + JSONL equal the single-process bytes exactly.
+    std::string ref_csv, ref_jsonl;
+    reference_streams(ref_csv, ref_jsonl);
+
+    for (unsigned count : {1u, 3u}) {
+        const std::vector<std::string> dbs = run_all_shards(count);
+
+        // Shards genuinely partition the work (no shard sees everything).
+        if (count > 1) {
+            std::size_t total_records = 0;
+            for (const std::string& db : dbs) {
+                std::size_t lines = 0;
+                for (const char ch : db) lines += ch == '\n';
+                total_records += lines - 1; // minus the manifest
+            }
+            EXPECT_EQ(total_records, 30u + 25u);
+        }
+
+        std::ostringstream csv, jsonl;
+        const auto merged = orch::merge_shards(dbs, &csv, &jsonl);
+        ASSERT_EQ(merged.size(), 2u);
+        EXPECT_EQ(csv.str(), ref_csv) << "count " << count;
+        EXPECT_EQ(jsonl.str(), ref_jsonl) << "count " << count;
+        EXPECT_EQ(merged[0].total(), 30u);
+        EXPECT_EQ(merged[1].total(), 25u);
+    }
+
+    // Merge order must not matter.
+    std::vector<std::string> dbs = run_all_shards(3);
+    std::swap(dbs[0], dbs[2]);
+    std::ostringstream csv, jsonl;
+    orch::merge_shards(dbs, &csv, &jsonl);
+    EXPECT_EQ(csv.str(), ref_csv);
+    EXPECT_EQ(jsonl.str(), ref_jsonl);
+}
+
+TEST(Shard, MergeValidatesManifests) {
+    const std::vector<std::string> dbs = run_all_shards(3);
+
+    // Missing shard.
+    EXPECT_THROW(orch::merge_shards({dbs[0], dbs[2]}), util::Error);
+    // Duplicate shard.
+    EXPECT_THROW(orch::merge_shards({dbs[0], dbs[1], dbs[1]}), util::Error);
+    // Config mismatch: same shard layout, different seed.
+    auto other_jobs = shard_jobs();
+    other_jobs[0].cfg.seed = 0xBAD5EED;
+    std::ostringstream os;
+    orch::run_shard(other_jobs, {1, 3}, orch::BatchOptions{}, os);
+    EXPECT_THROW(orch::merge_shards({dbs[0], os.str(), dbs[2]}), util::Error);
+    // Garbage input.
+    EXPECT_THROW(orch::merge_shards({"not a manifest\n"}), util::Error);
+    EXPECT_THROW(orch::merge_shards({"{\"magic\":\"other\"}\n"}), util::Error);
+    // An empty job list is rejected outright — it must not re-arm the
+    // first-database initialization and skip cross-shard validation.
+    EXPECT_THROW(
+        orch::merge_shards({"{\"magic\":\"serep-shard\",\"version\":1,"
+                            "\"shard\":0,\"count\":3,\"config_hash\":\"0\","
+                            "\"jobs\":[]}\n",
+                            dbs[1], dbs[2]}),
+        util::Error);
+
+    // The intact set still merges after all those rejections.
+    EXPECT_EQ(orch::merge_shards(dbs).size(), 2u);
 }

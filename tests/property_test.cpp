@@ -252,6 +252,62 @@ TEST(CheckpointInvariants, StrideDrivenRunMatchesStraightRun) {
     EXPECT_EQ(chunked.output(0), straight.output(0));
 }
 
+TEST(CheckpointInvariants, RestoreFromDeltaMatchesRestoreFromFullCopy) {
+    // Delta-snapshot premise: a dirty-page delta against the base rung,
+    // restored, must be indistinguishable from a full Machine copy taken at
+    // the same paused instant — same registers, same memory image, and the
+    // same behaviour when resumed to completion.
+    for (const npb::Scenario& s :
+         {npb::Scenario{isa::Profile::V8, npb::App::EP, npb::Api::Serial, 1,
+                        npb::Klass::Mini},
+          npb::Scenario{isa::Profile::V7, npb::App::IS, npb::Api::OMP, 2,
+                        npb::Klass::Mini}}) {
+        sim::Machine live = npb::make_machine(s, false);
+        const sim::Machine base = live; // the ladder's base rung
+        live.mem().clear_dirty();       // dirty-since-base from here on
+
+        sim::Machine probe = npb::make_machine(s, false);
+        probe.run_until(~0ULL >> 1);
+        ASSERT_EQ(probe.status(), sim::RunStatus::Shutdown) << s.name();
+        const std::uint64_t total = probe.total_retired();
+
+        util::Rng rng(0xDE17A);
+        std::uint64_t at = 0;
+        for (int trial = 0; trial < 5; ++trial) {
+            // Ascending random rungs off one live golden run, like the ladder.
+            at += rng.range(1, (total - at) / 2 + 1);
+            live.run_until(at);
+            ASSERT_EQ(live.status(), sim::RunStatus::Running) << s.name();
+
+            const sim::Machine full = live; // full snapshot at this rung
+            const sim::MachineDelta delta = sim::make_machine_delta(live, base);
+            const sim::Machine restored = sim::restore_machine_delta(delta, base);
+
+            EXPECT_EQ(restored.total_retired(), full.total_retired());
+            EXPECT_EQ(core::arch_state_hash(restored), core::arch_state_hash(full))
+                << s.name() << " rung at " << at;
+            ASSERT_EQ(restored.mem().hash_range(0, restored.mem().phys_size()),
+                      full.mem().hash_range(0, full.mem().phys_size()))
+                << s.name() << " rung at " << at;
+
+            // A delta must actually be a delta, not a disguised full copy.
+            EXPECT_LT(delta.footprint_bytes(), sim::machine_footprint_bytes(full))
+                << s.name();
+
+            // Resumed clones behave identically to the reference run.
+            sim::Machine from_delta = restored;
+            from_delta.run_until(~0ULL >> 1);
+            EXPECT_EQ(from_delta.status(), probe.status()) << s.name();
+            EXPECT_EQ(from_delta.total_retired(), total) << s.name();
+            EXPECT_EQ(core::arch_state_hash(from_delta), core::arch_state_hash(probe))
+                << s.name() << " rung at " << at;
+            for (unsigned p = 0; p < probe.config().procs; ++p)
+                EXPECT_EQ(from_delta.output(p), probe.output(p))
+                    << s.name() << " proc " << p;
+        }
+    }
+}
+
 TEST(ClassifierInvariants, InjectionAtAppStartAndEndAreValid) {
     const npb::Scenario s{isa::Profile::V8, npb::App::EP, npb::Api::Serial, 1,
                           npb::Klass::Mini};

@@ -1,0 +1,140 @@
+// serep — the campaign command-line front end.
+//
+//   serep campaign [filters] --out=ref          one-process run, merged DB
+//   serep shard --shard=1 --shards=3 [filters] --out=shard1.jsonl
+//   serep merge --out=merged shard0.jsonl shard1.jsonl shard2.jsonl
+//
+// `shard` runs one deterministic 1-of-N slice of the fault space (stable
+// fault-id assignment, see orch/shard.hpp) to a self-contained outcome
+// database; shards of one campaign can run in different processes or on
+// different hosts. `merge` validates the shard manifests and reassembles
+// the exact CSV + JSONL a single-process `campaign` run would have written
+// — byte-identical, which CI enforces.
+//
+// Filters / config (campaign and shard modes, defaults in brackets):
+//   --class=S|Mini [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|CG|...
+//   --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]
+//   --stride=R [auto]  --no-checkpoints  --no-delta (full-copy rungs)
+//
+// Use --key=value forms: a bare `--key value` greedily eats the next token,
+// which matters once positional shard-file operands follow.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "orch/shard.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+using namespace serep;
+
+namespace {
+
+std::vector<orch::ShardJobSpec> jobs_from_cli(const util::Cli& cli) {
+    orch::CampaignFilter filter;
+    filter.isa = cli.get("isa", "");
+    filter.api = cli.get("api", "");
+    filter.app = cli.get("app", "");
+    filter.klass = orch::parse_klass(cli.get("class", "S"));
+
+    core::CampaignConfig cfg;
+    cfg.n_faults = static_cast<unsigned>(cli.get_int("faults", 100));
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xDAC2018));
+    cfg.host_threads = static_cast<unsigned>(cli.get_int("threads", 2));
+
+    std::vector<orch::ShardJobSpec> jobs;
+    for (const npb::Scenario& s : orch::filter_scenarios(filter))
+        jobs.push_back({s, cfg});
+    util::check(!jobs.empty(), "no scenarios match the given filters");
+    return jobs;
+}
+
+orch::BatchOptions batch_options_from_cli(const util::Cli& cli) {
+    orch::BatchOptions opts;
+    opts.threads = std::max<unsigned>(1, static_cast<unsigned>(cli.get_int("threads", 2)));
+    opts.ladder.stride = static_cast<std::uint64_t>(cli.get_int("stride", 0));
+    opts.ladder.enabled = !cli.has("no-checkpoints");
+    opts.ladder.delta_snapshots = !cli.has("no-delta");
+    return opts;
+}
+
+int cmd_campaign(const util::Cli& cli) {
+    const std::string out = cli.get("out", "campaign");
+    const std::vector<orch::ShardJobSpec> jobs = jobs_from_cli(cli);
+    orch::BatchRunner runner(batch_options_from_cli(cli));
+    for (const orch::ShardJobSpec& j : jobs) runner.add(j.scenario, j.cfg);
+
+    std::ofstream csv(out + "_faults.csv");
+    std::ofstream jsonl(out + "_campaigns.jsonl");
+    runner.set_csv_sink(&csv);
+    runner.set_json_sink(&jsonl);
+    const auto results = runner.run_all();
+    for (std::size_t i = 0; i < results.size(); ++i)
+        std::printf("[%3zu] %-18s masked=%5.1f%%\n", i + 1,
+                    results[i].scenario.name().c_str(), results[i].masked_pct());
+    std::printf("campaign: %zu jobs -> %s_faults.csv, %s_campaigns.jsonl\n",
+                jobs.size(), out.c_str(), out.c_str());
+    return 0;
+}
+
+int cmd_shard(const util::Cli& cli) {
+    orch::ShardPlan plan;
+    plan.index = static_cast<unsigned>(cli.get_int("shard", 0));
+    plan.count = static_cast<unsigned>(cli.get_int("shards", 1));
+    const std::string out =
+        cli.get("out", "shard" + std::to_string(plan.index) + ".jsonl");
+    const std::vector<orch::ShardJobSpec> jobs = jobs_from_cli(cli);
+
+    std::ofstream os(out);
+    util::check(os.good(), "cannot open output file " + out);
+    const orch::ShardRunStats stats =
+        orch::run_shard(jobs, plan, batch_options_from_cli(cli), os);
+    std::printf("shard %u/%u: %zu jobs, injected %zu of %zu faults -> %s\n",
+                plan.index, plan.count, jobs.size(), stats.owned,
+                stats.fault_space, out.c_str());
+    return 0;
+}
+
+int cmd_merge(const util::Cli& cli) {
+    const std::string out = cli.get("out", "merged");
+    const auto& files = cli.positional();
+    util::check(files.size() >= 2, "merge: give the shard database files "
+                                   "(after the 'merge' subcommand)");
+    std::vector<std::string> dbs;
+    for (std::size_t i = 1; i < files.size(); ++i) { // files[0] == "merge"
+        std::ifstream in(files[i]);
+        util::check(in.good(), "cannot read shard database " + files[i]);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        dbs.push_back(ss.str());
+    }
+    std::ofstream csv(out + "_faults.csv");
+    std::ofstream jsonl(out + "_campaigns.jsonl");
+    const auto results = orch::merge_shards(dbs, &csv, &jsonl);
+    std::printf("merge: %zu shard databases, %zu jobs -> %s_faults.csv, "
+                "%s_campaigns.jsonl\n",
+                dbs.size(), results.size(), out.c_str(), out.c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    util::Cli cli(argc, argv);
+    const std::string mode =
+        cli.positional().empty() ? "" : cli.positional().front();
+    try {
+        if (mode == "campaign") return cmd_campaign(cli);
+        if (mode == "shard") return cmd_shard(cli);
+        if (mode == "merge") return cmd_merge(cli);
+    } catch (const util::Error& e) {
+        std::fprintf(stderr, "serep %s: %s\n", mode.c_str(), e.what());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "usage: serep campaign|shard|merge [--key=value ...]\n"
+                 "  campaign  run the (filtered) campaign in-process\n"
+                 "  shard     run one 1-of-N slice to a shard database\n"
+                 "  merge     merge shard databases into the unsharded CSV/JSONL\n");
+    return 2;
+}
