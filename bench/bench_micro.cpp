@@ -1,11 +1,29 @@
 // google-benchmark microbenchmarks: simulator throughput (MIPS), soft-float
 // operation cost, cache-model cost, machine cloning (campaign checkpoint)
 // cost — the engineering numbers behind the campaign-time estimates.
+//
+// Engine-comparison mode (no google-benchmark needed):
+//   bench_micro --engines [--class=S] [--reps=3] [--gate=1.5]
+// runs the paper's class-S serial scenarios once per execution engine,
+// prints a JSON report of steps/sec (retired guest instructions per second)
+// for the legacy switch interpreter vs the decode-once cached engine, and
+// exits non-zero when the geometric-mean speedup falls below --gate. The
+// per-scenario runs are verified to retire identical instruction counts —
+// the engines must only differ in speed, never in behavior.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
 
 #include "core/campaign.hpp"
 #include "npb/npb.hpp"
+#include "orch/shard.hpp"
 #include "sim/cache.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
 
 using namespace serep;
 
@@ -18,10 +36,12 @@ const npb::Scenario kV7{isa::Profile::V7, npb::App::IS, npb::Api::Serial, 1,
 const npb::Scenario kV7FP{isa::Profile::V7, npb::App::EP, npb::Api::Serial, 1,
                           npb::Klass::Mini};
 
-void BM_SimulatorMips(benchmark::State& state, const npb::Scenario& s) {
+void BM_SimulatorMips(benchmark::State& state, const npb::Scenario& s,
+                      sim::Engine engine) {
     std::uint64_t instr = 0;
     for (auto _ : state) {
         sim::Machine m = npb::make_machine(s, false);
+        m.set_engine(engine);
         m.run_until(~0ULL >> 1);
         instr += m.total_retired();
     }
@@ -57,12 +77,116 @@ void BM_GoldenPlusInjection(benchmark::State& state) {
     }
 }
 
+// ---- engine-comparison mode (--engines) --------------------------------
+
+struct EngineRun {
+    double steps_per_sec = 0; ///< best of --reps
+    std::uint64_t retired = 0;
+};
+
+EngineRun measure(const npb::Scenario& s, sim::Engine engine, unsigned reps) {
+    EngineRun best;
+    for (unsigned r = 0; r < reps; ++r) {
+        sim::Machine m = npb::make_machine(s, false);
+        m.set_engine(engine);
+        const auto t0 = std::chrono::steady_clock::now();
+        m.run_until(~0ULL >> 1);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        const double rate = static_cast<double>(m.total_retired()) / secs;
+        if (rate > best.steps_per_sec) best.steps_per_sec = rate;
+        best.retired = m.total_retired();
+    }
+    return best;
+}
+
+int engine_compare(const util::Cli& cli) {
+    // This is a CI gate: refuse nonsense instead of silently disarming
+    // (a strtod failure would otherwise yield gate = 0, which always passes).
+    const double gate = cli.get_double("gate", 1.5);
+    if (!(gate > 0)) {
+        std::fprintf(stderr, "--gate must be a positive number\n");
+        return 2;
+    }
+    const std::int64_t reps_raw = cli.get_int("reps", 3);
+    if (reps_raw < 1 || reps_raw > 1000) {
+        std::fprintf(stderr, "--reps must be in [1, 1000]\n");
+        return 2;
+    }
+    const unsigned reps = static_cast<unsigned>(reps_raw);
+    const npb::Klass klass = orch::parse_klass(cli.get("class", "S"));
+
+    std::vector<npb::Scenario> scenarios;
+    for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8})
+        for (npb::App app : {npb::App::IS, npb::App::EP, npb::App::CG})
+            scenarios.push_back({p, app, npb::Api::Serial, 1, klass});
+
+    double log_ratio_sum = 0;
+    bool identical = true;
+    util::JsonWriter j(std::cout);
+    j.begin_object();
+    j.key("bench").value("engine_compare");
+    j.key("reps").value(reps);
+    j.key("scenarios").begin_array();
+    for (const npb::Scenario& s : scenarios) {
+        const EngineRun sw = measure(s, sim::Engine::Switch, reps);
+        const EngineRun ca = measure(s, sim::Engine::Cached, reps);
+        const double ratio = ca.steps_per_sec / sw.steps_per_sec;
+        log_ratio_sum += std::log(ratio);
+        identical = identical && sw.retired == ca.retired;
+        j.begin_object();
+        j.key("scenario").value(s.name());
+        j.key("retired").value(sw.retired);
+        j.key("switch_steps_per_sec").value(sw.steps_per_sec);
+        j.key("cached_steps_per_sec").value(ca.steps_per_sec);
+        j.key("ratio").value(ratio);
+        j.end_object();
+    }
+    j.end_array();
+    const double geomean =
+        std::exp(log_ratio_sum / static_cast<double>(scenarios.size()));
+    j.key("geomean_ratio").value(geomean);
+    j.key("gate").value(gate);
+    j.key("retired_identical").value(identical);
+    const bool pass = identical && geomean >= gate;
+    j.key("pass").value(pass);
+    j.end_object();
+    std::cout << "\n";
+    if (!identical)
+        std::fprintf(stderr, "FAIL: engines retired different counts\n");
+    else if (!pass)
+        std::fprintf(stderr,
+                     "FAIL: cached-engine speedup %.2fx below the %.2fx gate\n",
+                     geomean, gate);
+    return pass ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int, kV8);
-BENCHMARK_CAPTURE(BM_SimulatorMips, v7_int, kV7);
-BENCHMARK_CAPTURE(BM_SimulatorMips, v7_softfloat, kV7FP);
+BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int_cached, kV8, sim::Engine::Cached);
+BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int_switch, kV8, sim::Engine::Switch);
+BENCHMARK_CAPTURE(BM_SimulatorMips, v7_int_cached, kV7, sim::Engine::Cached);
+BENCHMARK_CAPTURE(BM_SimulatorMips, v7_int_switch, kV7, sim::Engine::Switch);
+BENCHMARK_CAPTURE(BM_SimulatorMips, v7_softfloat_cached, kV7FP,
+                  sim::Engine::Cached);
+BENCHMARK_CAPTURE(BM_SimulatorMips, v7_softfloat_switch, kV7FP,
+                  sim::Engine::Switch);
 BENCHMARK(BM_MachineClone);
 BENCHMARK(BM_CacheAccess);
 BENCHMARK(BM_GoldenPlusInjection);
-BENCHMARK_MAIN();
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    if (cli.has("engines")) {
+        try {
+            return engine_compare(cli);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_micro --engines: %s\n", e.what());
+            return 2;
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

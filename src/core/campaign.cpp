@@ -81,13 +81,17 @@ CampaignResult run_campaign(const npb::Scenario& s, const CampaignConfig& cfg) {
 std::string campaign_csv(const CampaignResult& r) {
     std::ostringstream os;
     util::CsvWriter w(os);
-    w.row({"scenario", "at", "kind", "core", "reg", "bit", "outcome", "retired"});
+    // `phys` is the struck physical byte for mem faults (0 for register
+    // faults, whose target is the core/reg/bit triple instead).
+    w.row({"scenario", "at", "kind", "core", "reg", "bit", "phys", "outcome",
+           "retired"});
     for (const FaultRecord& rec : r.records) {
         w.row({r.scenario.name(), std::to_string(rec.fault.at_retired),
                fault_kind_name(rec.fault.target.kind),
                std::to_string(rec.fault.target.core),
                std::to_string(rec.fault.target.reg),
-               std::to_string(rec.fault.target.bit), outcome_name(rec.outcome),
+               std::to_string(rec.fault.target.bit),
+               std::to_string(rec.fault.target.phys), outcome_name(rec.outcome),
                std::to_string(rec.retired)});
     }
     return os.str();
@@ -122,6 +126,7 @@ std::string campaign_json(const CampaignResult& r) {
         j.key("core").value(rec.fault.target.core);
         j.key("reg").value(rec.fault.target.reg);
         j.key("bit").value(rec.fault.target.bit);
+        j.key("phys").value(rec.fault.target.phys);
         j.key("outcome").value(outcome_name(rec.outcome));
         j.key("retired").value(rec.retired);
         j.end_object();

@@ -1,0 +1,181 @@
+#include "isa/encode.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace serep::isa {
+
+namespace {
+
+constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::UDF) + 1;
+
+constexpr OperandUse N = OperandUse::NONE;
+constexpr OperandUse G = OperandUse::GPR;
+constexpr OperandUse O = OperandUse::GPR_OPT;
+constexpr OperandUse F = OperandUse::FP;
+
+// Slot usage per opcode, in Op declaration order (see isa/op.hpp).
+constexpr std::array<OperandSpec, kOpCount> kSpecs = {{
+    {G, N, N, N}, // MOVI
+    {G, G, N, N}, // MOV
+    {G, G, N, N}, // MVN
+    {G, G, G, N}, // ADD
+    {G, G, G, N}, // SUB
+    {G, G, G, N}, // AND
+    {G, G, G, N}, // ORR
+    {G, G, G, N}, // EOR
+    {G, G, G, N}, // MUL
+    {G, G, N, N}, // ADDI
+    {G, G, N, N}, // SUBI
+    {G, G, N, N}, // ANDI
+    {G, G, N, N}, // ORRI
+    {G, G, N, N}, // EORI
+    {G, G, G, N}, // ADDS
+    {G, G, G, N}, // SUBS
+    {G, G, N, N}, // ADDSI
+    {G, G, N, N}, // SUBSI
+    {G, G, G, N}, // ADCS
+    {G, G, G, N}, // SBCS
+    {G, G, G, G}, // UMULL
+    {G, G, G, G}, // SMULL
+    {G, G, G, N}, // UMULH
+    {G, G, G, N}, // UDIV
+    {G, G, G, N}, // SDIV
+    {G, G, N, N}, // LSLI
+    {G, G, N, N}, // LSRI
+    {G, G, N, N}, // ASRI
+    {G, G, G, N}, // LSLV
+    {G, G, G, N}, // LSRV
+    {G, G, G, N}, // ASRV
+    {G, G, N, N}, // LSLSI
+    {G, G, N, N}, // LSRSI
+    {G, G, N, N}, // CLZ
+    {N, G, G, N}, // CMP
+    {N, G, N, N}, // CMPI
+    {N, G, G, N}, // CMN
+    {N, G, G, N}, // TST
+    {G, G, G, N}, // CSEL
+    {G, N, N, N}, // CSET
+    {N, N, N, N}, // B
+    {N, N, N, N}, // BCOND
+    {N, N, N, N}, // BL
+    {N, G, N, N}, // BLR
+    {N, G, N, N}, // BR
+    {N, N, N, N}, // RET
+    {N, G, N, N}, // CBZ
+    {N, G, N, N}, // CBNZ
+    {G, G, O, N}, // LDR
+    {G, G, O, N}, // STR
+    {G, G, O, N}, // LDRW
+    {G, G, O, N}, // STRW
+    {G, G, O, N}, // LDRB
+    {G, G, O, N}, // STRB
+    {N, G, N, N}, // LDM
+    {N, G, N, N}, // STM
+    {G, G, O, G}, // LDP
+    {G, G, O, G}, // STP
+    {G, G, N, N}, // LDREX
+    {G, G, G, N}, // STREX
+    {F, F, F, N}, // FADD
+    {F, F, F, N}, // FSUB
+    {F, F, F, N}, // FMUL
+    {F, F, F, N}, // FDIV
+    {F, F, N, N}, // FSQRT
+    {F, F, N, N}, // FNEG
+    {F, F, N, N}, // FABS
+    {F, F, F, F}, // FMADD
+    {F, F, N, N}, // FMOV
+    {F, N, N, N}, // FMOVI
+    {N, F, F, N}, // FCMP
+    {G, F, N, N}, // FCVTZS
+    {F, G, N, N}, // SCVTF
+    {G, F, N, N}, // FMOVVX
+    {F, G, N, N}, // FMOVXV
+    {F, G, O, N}, // FLDR
+    {F, G, O, N}, // FSTR
+    {N, N, N, N}, // SVC
+    {G, N, N, N}, // SYSRD
+    {N, G, N, N}, // SYSWR
+    {N, N, N, N}, // ERET
+    {N, N, N, N}, // WFI
+    {N, N, N, N}, // NOP
+    {N, N, N, N}, // HLT
+    {N, N, N, N}, // UDF
+}};
+
+bool slot_ok(OperandUse use, std::uint8_t reg, const ProfileInfo& info) noexcept {
+    switch (use) {
+        case OperandUse::NONE: return true;
+        case OperandUse::GPR: return reg < info.gpr_count;
+        case OperandUse::GPR_OPT: return reg == kNoReg || reg < info.gpr_count;
+        case OperandUse::FP: return reg < 32;
+    }
+    return false;
+}
+
+constexpr Instr kUdf = [] {
+    Instr u;
+    u.op = Op::UDF;
+    return u;
+}();
+
+} // namespace
+
+const OperandSpec& op_operand_spec(Op op) noexcept {
+    return kSpecs[static_cast<std::size_t>(op)];
+}
+
+void encode_instr(const Instr& ins, std::uint8_t out[kTextRecordBytes]) noexcept {
+    std::memset(out, 0, kTextRecordBytes);
+    out[0] = static_cast<std::uint8_t>(ins.op);
+    out[1] = static_cast<std::uint8_t>(ins.cond);
+    out[2] = ins.rd;
+    out[3] = ins.rn;
+    out[4] = ins.rm;
+    out[5] = ins.ra;
+    out[6] = ins.shift;
+    out[7] = ins.wb ? 1 : 0;
+    out[8] = static_cast<std::uint8_t>(ins.regmask & 0xFF);
+    out[9] = static_cast<std::uint8_t>(ins.regmask >> 8);
+    const auto imm = static_cast<std::uint64_t>(ins.imm);
+    for (unsigned b = 0; b < 8; ++b)
+        out[16 + b] = static_cast<std::uint8_t>(imm >> (8 * b));
+}
+
+Instr decode_instr(const std::uint8_t in[kTextRecordBytes], Profile p) noexcept {
+    if (in[0] >= kOpCount) return kUdf;
+    const Op op = static_cast<Op>(in[0]);
+    if (!op_valid_for(op, p)) return kUdf;
+    if (in[1] > static_cast<std::uint8_t>(Cond::AL)) return kUdf;
+
+    const ProfileInfo info = profile_info(p);
+    const OperandSpec& spec = kSpecs[in[0]];
+    if (!slot_ok(spec.rd, in[2], info) || !slot_ok(spec.rn, in[3], info) ||
+        !slot_ok(spec.rm, in[4], info) || !slot_ok(spec.ra, in[5], info))
+        return kUdf;
+
+    Instr ins;
+    ins.op = op;
+    ins.cond = static_cast<Cond>(in[1]);
+    ins.rd = in[2];
+    ins.rn = in[3];
+    ins.rm = in[4];
+    ins.ra = in[5];
+    ins.shift = static_cast<std::uint8_t>(in[6] & 63); // keep x << shift defined
+    ins.wb = (in[7] & 1) != 0;
+    ins.regmask = static_cast<std::uint16_t>(in[8] | (in[9] << 8));
+    std::uint64_t imm = 0;
+    for (unsigned b = 0; b < 8; ++b)
+        imm |= static_cast<std::uint64_t>(in[16 + b]) << (8 * b);
+    ins.imm = static_cast<std::int64_t>(imm);
+
+    // Flag-setting shifts index carry-out at bit (w - imm) / (imm - 1): only
+    // [1, width-1] is a meaningful — and memory-safe — shift amount.
+    if (op == Op::LSLSI || op == Op::LSRSI) {
+        if (ins.imm < 1 || ins.imm >= static_cast<std::int64_t>(info.width_bits))
+            return kUdf;
+    }
+    return ins;
+}
+
+} // namespace serep::isa

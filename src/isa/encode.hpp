@@ -1,0 +1,59 @@
+// Canonical text-word serialization of the structural µISA.
+//
+// The simulator's code space is Harvard and structural (isa::Instr records,
+// no binary encoding), which historically made guest text immune to the
+// paper's memory-fault model. The execution engine (sim/exec_cache.hpp)
+// closes that gap: every Machine mirrors its image's code into a dedicated
+// physical "text mirror" region as fixed-width records in the format below.
+// Memory faults that land in the mirror corrupt these bytes, and the
+// decode-once instruction cache re-decodes the affected page through
+// decode_instr(), whose job is to turn *any* byte pattern into a
+// deterministic, memory-safe instruction — invalid encodings become UDF,
+// exactly like a hardware UNDEF on a corrupted instruction word.
+//
+// Record layout (little-endian, kTextRecordBytes = 32, so one 4 KiB page
+// holds exactly 128 records):
+//   [0] op  [1] cond  [2] rd  [3] rn  [4] rm  [5] ra  [6] shift
+//   [7] flags (bit0 = wb)   [8..9] regmask   [10..15] reserved (zero)
+//   [16..23] imm (two's complement)          [24..31] reserved (zero)
+//
+// decode_instr(encode_instr(i)) == i for every instruction an Assembler can
+// emit (gated by tests/engine_test.cpp across every paper image).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instr.hpp"
+#include "isa/profile.hpp"
+
+namespace serep::isa {
+
+inline constexpr std::uint64_t kTextRecordBytes = 32;
+inline constexpr std::uint64_t kTextRecordsPerPage = 4096 / kTextRecordBytes;
+
+/// Operand-slot classes for decode-time validation. A corrupted register
+/// field must never index outside the architectural files (33 integer
+/// slots, 32 FP registers) — such encodings decode to UDF.
+enum class OperandUse : std::uint8_t {
+    NONE,    ///< slot unused by this opcode; any byte is acceptable
+    GPR,     ///< required integer register (< 33)
+    GPR_OPT, ///< integer register or kNoReg (register-offset addressing)
+    FP,      ///< required FP register (< 32)
+};
+
+struct OperandSpec {
+    OperandUse rd, rn, rm, ra;
+};
+
+/// Which register slots `op` reads/writes — drives decode validation.
+const OperandSpec& op_operand_spec(Op op) noexcept;
+
+/// Serialize one instruction into a kTextRecordBytes record.
+void encode_instr(const Instr& ins, std::uint8_t out[kTextRecordBytes]) noexcept;
+
+/// Deserialize one record. Total: every byte pattern yields a well-defined
+/// instruction; patterns that do not name a valid, executable, in-profile
+/// operation decode to UDF (→ UNDEF trap when executed).
+Instr decode_instr(const std::uint8_t in[kTextRecordBytes], Profile p) noexcept;
+
+} // namespace serep::isa

@@ -129,6 +129,7 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
     pool.parallel_for(missing.size(), [&](std::size_t i) {
         const npb::Scenario& s = missing[i].second;
         sim::Machine m = npb::make_machine(s, false);
+        m.set_engine(opts_.engine); // clones (ladder rungs, fault runs) inherit
         CheckpointLadder ladder = run_golden_with_ladder(m, ladder_opts);
         util::check(m.status() == sim::RunStatus::Shutdown,
                     "golden run did not terminate: " + s.name());
@@ -147,8 +148,11 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
         job.golden = golden_for(job.scenario);
         // A cache hit from an earlier batch has had its rungs released;
         // reinstall the (deterministically rebuilt) base machine.
-        if (job.golden->ladder.empty())
-            job.golden->ladder.reset_base(npb::make_machine(job.scenario, false));
+        if (job.golden->ladder.empty()) {
+            sim::Machine base = npb::make_machine(job.scenario, false);
+            base.set_engine(opts_.engine);
+            job.golden->ladder.reset_base(std::move(base));
+        }
         job.golden->active_jobs.fetch_add(1, std::memory_order_relaxed);
         const sim::Machine& base = job.golden->ladder.base();
         job.result.scenario = job.scenario;

@@ -29,6 +29,11 @@ namespace serep::orch {
 struct BatchOptions {
     unsigned threads = 0; ///< pool width; 0 = the shared process-wide pool
     LadderOptions ladder; ///< checkpoint-ladder knobs (batch-wide)
+    /// Execution engine for golden and fault runs. Outcomes are bit-identical
+    /// either way (gated in tests and CI); Cached is ~1.5-2x faster. The
+    /// scenario's decode-once ExecCache is built with the golden machine and
+    /// shared by every clone the checkpoint ladder materializes.
+    sim::Engine engine = sim::Engine::Cached;
     /// Fault-space sharding hook: when set, each job still generates its
     /// full deterministic fault list (phase 2), but only the faults the
     /// filter accepts are injected; their positions in the full list are

@@ -114,7 +114,22 @@ std::size_t CheckpointLadder::footprint_bytes() const noexcept {
 
 CheckpointLadder run_golden_with_ladder(sim::Machine& m, const LadderOptions& opts,
                                         std::uint64_t stop_at) {
-    CheckpointLadder ladder(m, opts);
+    LadderOptions eff = opts;
+    if (eff.enabled && eff.stride == 0 && eff.adaptive) {
+        // Adaptive stride: measure this scenario's golden run length on a
+        // throwaway clone, then space max_checkpoints rungs evenly across
+        // it. Deterministic (the probe is a faultless run), so checkpoint
+        // positions — and therefore outcomes — stay reproducible.
+        sim::Machine probe = m;
+        probe.run_until(stop_at);
+        if (probe.status() != sim::RunStatus::Running &&
+            probe.total_retired() > 0) {
+            const std::size_t rungs = std::max<std::size_t>(1, eff.max_checkpoints);
+            eff.stride = std::max<std::uint64_t>(
+                1, (probe.total_retired() + rungs - 1) / rungs);
+        }
+    }
+    CheckpointLadder ladder(m, eff);
     // Drive pauses off the ladder's *current* stride (not the initial one):
     // after thinning doubles the stride, the golden run pauses coarser too,
     // so a fine starting stride costs O(max_checkpoints * log) pauses, not

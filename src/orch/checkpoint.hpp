@@ -39,6 +39,14 @@ struct LadderOptions {
     bool enabled = true;
     std::uint64_t stride = 0;  ///< retired instructions between rungs; 0 = auto
     std::size_t max_checkpoints = 24;  ///< rung budget (auto mode halves to fit)
+    /// Auto-stride refinement: run a throwaway probe execution first and set
+    /// the stride to ceil(golden_length / max_checkpoints), so the ladder
+    /// comes out evenly spaced at the full rung budget instead of whatever
+    /// power-of-two multiple of the fixed initial stride thinning lands on.
+    /// Costs one extra golden execution per ladder build — amortized across
+    /// the campaign's fault runs, which each replay at most one (now much
+    /// shorter) stride. Only consulted when stride == 0.
+    bool adaptive = true;
     /// Cap on live snapshot bytes. BatchRunner treats this as a batch-wide
     /// cap: it divides it across the ladders concurrently in flight.
     std::size_t memory_budget_bytes = std::size_t{1} << 30;

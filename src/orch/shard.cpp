@@ -27,25 +27,26 @@ const char* klass_name(npb::Klass k) noexcept {
 npb::Klass klass_from_name(const std::string& s) {
     for (npb::Klass k : {npb::Klass::Mini, npb::Klass::S, npb::Klass::W})
         if (s == klass_name(k)) return k;
-    util::fail("unknown problem class '" + s + "' (expected Mini, S, or W)");
+    throw util::ValidationError("unknown problem class '" + s +
+                                "' (expected Mini, S, or W)");
 }
 
 isa::Profile profile_from_name(const std::string& s) {
     for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8})
         if (s == isa::profile_name(p)) return p;
-    util::fail("shard: unknown ISA profile '" + s + "'");
+    throw util::ValidationError("shard: unknown ISA profile '" + s + "'");
 }
 
 npb::App app_from_name(const std::string& s) {
     for (npb::App a : npb::kAllApps)
         if (s == npb::app_name(a)) return a;
-    util::fail("shard: unknown application '" + s + "'");
+    throw util::ValidationError("shard: unknown application '" + s + "'");
 }
 
 npb::Api api_from_name(const std::string& s) {
     for (npb::Api a : {npb::Api::Serial, npb::Api::OMP, npb::Api::MPI})
         if (s == npb::api_name(a)) return a;
-    util::fail("shard: unknown API '" + s + "'");
+    throw util::ValidationError("shard: unknown API '" + s + "'");
 }
 
 std::string hash_hex(std::uint64_t h) {
@@ -84,7 +85,13 @@ std::vector<npb::Scenario> filter_scenarios(const CampaignFilter& f) {
     return out;
 }
 
-npb::Klass parse_klass(const std::string& name) { return klass_from_name(name); }
+npb::Klass parse_klass(const std::string& name) {
+    for (npb::Klass k : {npb::Klass::Mini, npb::Klass::S, npb::Klass::W})
+        if (name == klass_name(k)) return k;
+    // CLI path: a typo is a usage error, not a data-validation one.
+    util::fail_usage("unknown problem class '" + name +
+                     "' (expected Mini, S, or W)");
+}
 
 std::uint64_t campaign_config_hash(const std::vector<ShardJobSpec>& jobs) {
     std::uint64_t h = util::kFnvOffset;
@@ -107,9 +114,9 @@ std::uint64_t campaign_config_hash(const std::vector<ShardJobSpec>& jobs) {
 
 ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs, const ShardPlan& plan,
                         BatchOptions opts, std::ostream& os) {
-    util::check(plan.count >= 1 && plan.index < plan.count,
-                "run_shard: shard index out of range");
-    util::check(!jobs.empty(), "run_shard: empty job list");
+    util::check_usage(plan.count >= 1 && plan.index < plan.count,
+                      "run_shard: shard index out of range");
+    util::check_usage(!jobs.empty(), "run_shard: empty job list");
     opts.fault_filter = [plan](const core::Fault& f) { return plan.owns(f); };
     BatchRunner runner(opts);
     for (const ShardJobSpec& j : jobs) runner.add(j.scenario, j.cfg);
@@ -206,10 +213,10 @@ JobShape parse_job(const util::JsonValue& v) {
 
 void check_jobs_agree(const JobShape& a, const JobShape& b, std::size_t j) {
     const std::string ctx = "shard merge: job " + std::to_string(j);
-    util::check(a.scenario.name() == b.scenario.name() &&
+    util::check_valid(a.scenario.name() == b.scenario.name() &&
                     a.fault_space == b.fault_space,
                 ctx + ": job lists differ across shards");
-    util::check(a.golden.total_retired == b.golden.total_retired &&
+    util::check_valid(a.golden.total_retired == b.golden.total_retired &&
                     a.golden.ticks == b.golden.ticks &&
                     a.golden.app_start == b.golden.app_start &&
                     a.golden.exit_code == b.golden.exit_code,
@@ -222,7 +229,7 @@ void check_jobs_agree(const JobShape& a, const JobShape& b, std::size_t j) {
 std::vector<core::CampaignResult> merge_shards(
     const std::vector<std::string>& shard_dbs, std::ostream* csv_sink,
     std::ostream* jsonl_sink) {
-    util::check(!shard_dbs.empty(), "shard merge: no shard databases given");
+    util::check_valid(!shard_dbs.empty(), "shard merge: no shard databases given");
 
     std::vector<JobShape> shape;
     std::vector<core::CampaignResult> results;
@@ -234,24 +241,24 @@ std::vector<core::CampaignResult> merge_shards(
 
     for (const std::string& db : shard_dbs) {
         std::size_t pos = db.find('\n');
-        util::check(pos != std::string::npos, "shard merge: missing manifest line");
+        util::check_valid(pos != std::string::npos, "shard merge: missing manifest line");
         const util::JsonValue manifest = util::json_parse(db.substr(0, pos));
-        util::check(manifest.find("magic") &&
+        util::check_valid(manifest.find("magic") &&
                         manifest.at("magic").as_string() == kMagic,
                     "shard merge: not a serep shard database");
-        util::check(manifest.at("version").as_u64() == kVersion,
+        util::check_valid(manifest.at("version").as_u64() == kVersion,
                     "shard merge: unsupported shard database version");
         const unsigned count = static_cast<unsigned>(manifest.at("count").as_u64());
         const unsigned index = static_cast<unsigned>(manifest.at("shard").as_u64());
         const std::string hash = manifest.at("config_hash").as_string();
-        util::check(count >= 1 && index < count, "shard merge: bad shard index");
+        util::check_valid(count >= 1 && index < count, "shard merge: bad shard index");
 
         if (first_db) {
             first_db = false;
             shard_count = count;
             config_hash = hash;
             seen_shards.assign(count, 0);
-            util::check(!manifest.at("jobs").arr.empty(),
+            util::check_valid(!manifest.at("jobs").arr.empty(),
                         "shard merge: shard database has an empty job list");
             for (const util::JsonValue& jv : manifest.at("jobs").arr) {
                 shape.push_back(parse_job(jv));
@@ -263,18 +270,18 @@ std::vector<core::CampaignResult> merge_shards(
                 filled.emplace_back(shape.back().fault_space, 0);
             }
         } else {
-            util::check(count == shard_count,
+            util::check_valid(count == shard_count,
                         "shard merge: shard counts differ across databases");
-            util::check(hash == config_hash,
+            util::check_valid(hash == config_hash,
                         "shard merge: config hash mismatch — the databases "
                         "come from different campaigns");
             const auto& jobs = manifest.at("jobs").arr;
-            util::check(jobs.size() == shape.size(),
+            util::check_valid(jobs.size() == shape.size(),
                         "shard merge: job lists differ across shards");
             for (std::size_t j = 0; j < jobs.size(); ++j)
                 check_jobs_agree(shape[j], parse_job(jobs[j]), j);
         }
-        util::check(!seen_shards[index],
+        util::check_valid(!seen_shards[index],
                     "shard merge: shard " + std::to_string(index) +
                         " appears more than once");
         seen_shards[index] = 1;
@@ -289,17 +296,17 @@ std::vector<core::CampaignResult> merge_shards(
             if (line.empty()) continue;
             const util::JsonValue rv = util::json_parse(line);
             const std::size_t j = rv.at("job").as_u64();
-            util::check(j < shape.size(), "shard merge: record for unknown job");
+            util::check_valid(j < shape.size(), "shard merge: record for unknown job");
             const std::uint32_t ord =
                 static_cast<std::uint32_t>(rv.at("ord").as_u64());
-            util::check(ord < shape[j].fault_space,
+            util::check_valid(ord < shape[j].fault_space,
                         "shard merge: record ordinal out of range");
-            util::check(!filled[j][ord],
+            util::check_valid(!filled[j][ord],
                         "shard merge: fault covered by more than one shard");
             filled[j][ord] = 1;
             core::FaultRecord& rec = results[j].records[ord];
             rec.fault.at_retired = rv.at("at").as_u64();
-            util::check(core::fault_kind_from_name(rv.at("kind").as_string(),
+            util::check_valid(core::fault_kind_from_name(rv.at("kind").as_string(),
                                                    rec.fault.target.kind),
                         "shard merge: unknown fault kind");
             rec.fault.target.core = static_cast<unsigned>(rv.at("core").as_u64());
@@ -307,7 +314,7 @@ std::vector<core::CampaignResult> merge_shards(
             rec.fault.target.bit = static_cast<unsigned>(rv.at("bit").as_u64());
             rec.fault.target.phys = rv.at("phys").as_u64();
             core::Outcome o;
-            util::check(core::outcome_from_name(rv.at("outcome").as_string(), o),
+            util::check_valid(core::outcome_from_name(rv.at("outcome").as_string(), o),
                         "shard merge: unknown outcome");
             rec.outcome = o;
             rec.retired = rv.at("retired").as_u64();
@@ -315,12 +322,12 @@ std::vector<core::CampaignResult> merge_shards(
     }
 
     for (unsigned s = 0; s < shard_count; ++s)
-        util::check(seen_shards[s],
+        util::check_valid(seen_shards[s],
                     "shard merge: shard " + std::to_string(s) + " of " +
                         std::to_string(shard_count) + " is missing");
     for (std::size_t j = 0; j < shape.size(); ++j)
         for (std::uint32_t o = 0; o < shape[j].fault_space; ++o)
-            util::check(filled[j][o], "shard merge: job " + std::to_string(j) +
+            util::check_valid(filled[j][o], "shard merge: job " + std::to_string(j) +
                                           " fault " + std::to_string(o) +
                                           " not covered by any shard");
 

@@ -30,6 +30,13 @@ public:
     /// Look up `addr`; allocates on miss. Returns true on hit.
     bool access(std::uint64_t addr) noexcept;
 
+    /// Count a hit that was filtered out before the lookup. The cached
+    /// execution engine keeps a per-core MRU line filter in front of L1:
+    /// re-touching the most-recently-used line is an LRU no-op (ages are
+    /// already 0-rooted at that way), so skipping the lookup leaves tags and
+    /// ages bit-identical — only the hit counter still needs to advance.
+    void credit_hit() noexcept { ++hits_; }
+
     void reset() noexcept;
 
     std::uint64_t hits() const noexcept { return hits_; }

@@ -1,0 +1,93 @@
+#include "sim/exec_cache.hpp"
+
+#include <mutex>
+
+#include "isa/op.hpp"
+#include "sim/exec_ops.hpp"
+
+namespace serep::sim {
+
+DecodedInstr ExecCache::make_decoded(const isa::Instr& ins, isa::Profile p,
+                                     bool user_ok) noexcept {
+    DecodedInstr d;
+    d.ins = ins;
+    d.fn = exec_handler(ins.op);
+    d.user_ok = user_ok;
+    d.check_cond = p == isa::Profile::V7 && ins.cond != isa::Cond::AL &&
+                   ins.op != isa::Op::BCOND;
+    const isa::OpInfo& oi = isa::op_info(ins.op);
+    d.cflags = static_cast<std::uint8_t>((oi.is_branch ? kDiBranch : 0) |
+                                         (oi.is_call ? kDiCall : 0));
+    const unsigned w = p == isa::Profile::V7 ? 4 : 8;
+    switch (ins.op) {
+        case isa::Op::LDR:
+        case isa::Op::STR:
+        case isa::Op::LDREX:
+        case isa::Op::STREX: d.mem_size = static_cast<std::uint8_t>(w); break;
+        case isa::Op::LDRW:
+        case isa::Op::STRW:
+        case isa::Op::LDM:
+        case isa::Op::STM: d.mem_size = 4; break;
+        case isa::Op::LDRB:
+        case isa::Op::STRB: d.mem_size = 1; break;
+        case isa::Op::LDP:
+        case isa::Op::STP:
+        case isa::Op::FLDR:
+        case isa::Op::FSTR: d.mem_size = 8; break;
+        default: break;
+    }
+    return d;
+}
+
+void ExecCache::decode_records(const std::uint8_t* bytes, std::size_t count,
+                               isa::Profile p, std::uint64_t first_addr,
+                               std::uint64_t kernel_text_end,
+                               DecodedInstr* out) noexcept {
+    for (std::size_t i = 0; i < count; ++i) {
+        const isa::Instr ins =
+            isa::decode_instr(bytes + i * isa::kTextRecordBytes, p);
+        const std::uint64_t addr = first_addr + i * isa::kInstrBytes;
+        out[i] = make_decoded(ins, p, addr >= kernel_text_end);
+    }
+}
+
+ExecCache::ExecCache(const kasm::Image& img) {
+    instrs_.reserve(img.code.size());
+    for (std::size_t i = 0; i < img.code.size(); ++i) {
+        const std::uint64_t addr = img.code_base + i * isa::kInstrBytes;
+        instrs_.push_back(
+            make_decoded(img.code[i], img.profile, addr >= img.kernel_text_end));
+    }
+}
+
+std::shared_ptr<const ExecCache> ExecCache::for_image(
+    const std::shared_ptr<const kasm::Image>& img) {
+    struct Entry {
+        std::weak_ptr<const kasm::Image> image;
+        std::weak_ptr<const ExecCache> cache;
+    };
+    static std::mutex mu;
+    static std::vector<Entry> registry;
+
+    std::lock_guard<std::mutex> lk(mu);
+    for (std::size_t i = 0; i < registry.size();) {
+        const std::shared_ptr<const kasm::Image> held = registry[i].image.lock();
+        if (!held) {
+            registry[i] = registry.back();
+            registry.pop_back();
+            continue;
+        }
+        if (held == img) {
+            if (auto c = registry[i].cache.lock()) return c;
+            std::shared_ptr<const ExecCache> rebuilt(new ExecCache(*img));
+            registry[i].cache = rebuilt;
+            return rebuilt;
+        }
+        ++i;
+    }
+    std::shared_ptr<const ExecCache> built(new ExecCache(*img));
+    registry.push_back({img, built});
+    return built;
+}
+
+} // namespace serep::sim

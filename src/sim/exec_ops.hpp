@@ -1,0 +1,20 @@
+// Per-op execution handlers for the cached engine's dispatch table.
+//
+// One function per µISA opcode, semantically identical to the corresponding
+// case of the legacy switch in sim/machine.cpp (kept behind
+// Machine::set_engine(Engine::Switch) as the reference implementation; the
+// two are cross-checked instruction-by-instruction and campaign-by-campaign
+// in tests/engine_test.cpp). The handlers are deliberately a second,
+// independent implementation: sharing the case bodies would turn the
+// differential tests into tautologies.
+#pragma once
+
+#include "isa/op.hpp"
+#include "sim/exec_cache.hpp"
+
+namespace serep::sim {
+
+/// Handler for `op` in the dispatch table (never null; UDF handles the rest).
+ExecHandler exec_handler(isa::Op op) noexcept;
+
+} // namespace serep::sim

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "isa/encode.hpp"
 #include "isa/op.hpp"
 #include "util/bitops.hpp"
 #include "util/check.hpp"
@@ -96,12 +97,18 @@ void load_image_data(Machine& m) {
     }
 }
 
+namespace {
+std::uint64_t text_mirror_bytes(const std::shared_ptr<const kasm::Image>& img) {
+    util::check(img != nullptr, "Machine: null image");
+    return img->code.size() * isa::kTextRecordBytes;
+}
+} // namespace
+
 Machine::Machine(std::shared_ptr<const kasm::Image> image, const MachineConfig& cfg)
     : image_(std::move(image)),
       cfg_(cfg),
-      mem_(cfg.procs, cfg.user_size, cfg.kern_size),
+      mem_(cfg.procs, cfg.user_size, cfg.kern_size, text_mirror_bytes(image_)),
       l2_(kL2Config) {
-    util::check(image_ != nullptr, "Machine: null image");
     util::check(cfg.cores >= 1 && cfg.cores <= 8, "Machine: 1..8 cores");
     cores_.assign(cfg.cores, CoreState(image_->profile));
     counters_.assign(cfg.cores, CoreCounters{});
@@ -113,6 +120,30 @@ Machine::Machine(std::shared_ptr<const kasm::Image> image, const MachineConfig& 
         func_instr_.assign(image_->func_names.size(), 0);
         func_calls_.assign(image_->func_names.size(), 0);
         reg_writes_.assign(33, 0);
+    }
+    const isa::ProfileInfo info = isa::profile_info(image_->profile);
+    width_bits_ = info.width_bits;
+    width_mask_ = low_mask(info.width_bits);
+    xcache_ = ExecCache::for_image(image_);
+    // Serialize the code into the guest text mirror so memory faults can hit
+    // it; the pristine mirror decodes back to exactly the shared cache.
+    std::vector<std::uint8_t> text(image_->code.size() * isa::kTextRecordBytes);
+    for (std::size_t i = 0; i < image_->code.size(); ++i)
+        isa::encode_instr(image_->code[i], text.data() + i * isa::kTextRecordBytes);
+    mem_.install_text(text.data(), text.size());
+    code_gen_seen_ = mem_.code_gen();
+}
+
+void Machine::set_engine(Engine e) noexcept {
+    if (engine_ == e) return;
+    engine_ = e;
+    // The MRU filters assume every prior access of this engine went through
+    // them; a fresh engine must rebuild that assumption from scratch.
+    for (CoreState& c : cores_) {
+        c.last_iline = CoreState::kNoLine;
+        c.last_dline = CoreState::kNoLine;
+        c.last_tkey = CoreState::kNoTrans;
+        c.last_tpage = 0;
     }
 }
 
@@ -231,6 +262,9 @@ bool Machine::sysreg_write(CoreState& core, SysReg sr, std::uint64_t value) {
                         std::max(cores_[c].wake_tick, core.local_tick);
                 }
             }
+            // Another core may be runnable now: the cached engine's burst
+            // loop must fall back to the scheduler scan.
+            sched_event_ = true;
             return true;
         case SysReg::CONSOLE:
             outputs_[core.curproc] += static_cast<char>(value & 0xFF);
@@ -259,6 +293,7 @@ RunStatus Machine::run_until(std::uint64_t stop_at) {
     while (status_ == RunStatus::Running && total_retired_ < stop_at) {
         int best = -1;
         std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
+        unsigned runnable = 0;
         for (unsigned c = 0; c < cores_.size(); ++c) {
             CoreState& k = cores_[c];
             if (k.halted) continue;
@@ -272,6 +307,7 @@ RunStatus Machine::run_until(std::uint64_t stop_at) {
                     continue;
                 }
             }
+            ++runnable;
             if (k.local_tick < best_tick) {
                 best_tick = k.local_tick;
                 best = static_cast<int>(c);
@@ -281,12 +317,175 @@ RunStatus Machine::run_until(std::uint64_t stop_at) {
             status_ = RunStatus::Deadlock;
             break;
         }
+        if (engine_ == Engine::Cached && runnable == 1) {
+            // Burst: with every other core halted or sleeping without a
+            // pending wake, the scan above would re-select this core until
+            // it sleeps, halts, or posts an IPI (sched_event_) — so skip
+            // the scan entirely. The schedule is exactly the reference one:
+            // no other core can become runnable during the burst.
+            CoreState& k = cores_[static_cast<unsigned>(best)];
+            sched_event_ = false;
+            do {
+                step_cached(static_cast<unsigned>(best));
+            } while (status_ == RunStatus::Running &&
+                     total_retired_ < stop_at && !sched_event_ &&
+                     !k.sleeping && !k.halted);
+            continue;
+        }
         step(static_cast<unsigned>(best));
     }
     return status_;
 }
 
 void Machine::step(unsigned ci) {
+    if (engine_ == Engine::Cached) {
+        step_cached(ci);
+    } else {
+        step_switch(ci);
+    }
+}
+
+const DecodedInstr* Machine::fetch_decoded(std::size_t idx) {
+    if (mem_.code_gen() != code_gen_seen_) refresh_code_overlay();
+    if (!overlay_.empty()) {
+        for (const OverlayPage& p : overlay_)
+            if (idx >= p.first && idx - p.first < p.recs.size())
+                return &p.recs[idx - p.first];
+    }
+    return &(*xcache_)[idx];
+}
+
+void Machine::refresh_code_overlay() {
+    code_gen_seen_ = mem_.code_gen();
+    if (!mem_.has_text()) return;
+    const std::vector<std::uint8_t>& dirty = mem_.code_dirty_pages();
+    for (std::uint64_t p = 0; p < dirty.size(); ++p) {
+        if (!dirty[p]) continue;
+        const std::uint64_t first = p * isa::kTextRecordsPerPage;
+        if (first >= xcache_->size()) break; // page past the last record
+        const std::size_t count = static_cast<std::size_t>(
+            std::min<std::uint64_t>(isa::kTextRecordsPerPage,
+                                    xcache_->size() - first));
+        OverlayPage* op = nullptr;
+        std::size_t at = overlay_.size();
+        for (std::size_t i = 0; i < overlay_.size(); ++i) {
+            if (overlay_[i].first == first) {
+                op = &overlay_[i];
+                break;
+            }
+            if (overlay_[i].first > first) {
+                at = i;
+                break;
+            }
+        }
+        if (!op) {
+            op = &*overlay_.insert(overlay_.begin() + static_cast<std::ptrdiff_t>(at),
+                                   OverlayPage{first, {}});
+        }
+        op->recs.resize(count);
+        ExecCache::decode_records(
+            mem_.text_data() + p * isa::layout::kPageSize, count,
+            image_->profile, image_->code_base + first * isa::kInstrBytes,
+            image_->kernel_text_end, op->recs.data());
+    }
+}
+
+/// The cached engine's step: identical semantics to step_switch(), with the
+/// per-instruction facts read from the DecodedInstr instead of re-derived,
+/// dispatch through the pre-resolved handler pointer, and MRU line filters
+/// in front of the L1 models (bit-identical cache evolution, see
+/// Cache::credit_hit).
+///
+/// The interrupt-preemption preamble and the retire epilogue here must stay
+/// in lockstep with step_switch(): unlike the op handlers (independent on
+/// purpose, for differential testing), these step mechanics are one
+/// specification with two transcriptions — edit both or the engines'
+/// bit-identity contract breaks (engine_test / orch_test will catch it).
+void Machine::step_cached(unsigned ci) {
+    CoreState& core = cores_[ci];
+    CoreCounters& cnt = counters_[ci];
+
+    if (core.mode == Mode::USER && (core.pending_timer || core.pending_ipi)) {
+        TrapCause cause;
+        if (core.pending_timer) {
+            cause = TrapCause::IRQ_TIMER;
+            core.pending_timer = false;
+        } else {
+            cause = TrapCause::IRQ_IPI;
+            core.pending_ipi = false;
+        }
+        take_trap(core, cause, 0, 0);
+        core.local_tick += 2;
+        return;
+    }
+
+    const std::uint64_t pc = core.regs.pc();
+    const DecodedInstr* di = nullptr;
+    if (image_->contains_code(pc)) di = fetch_decoded(image_->instr_index(pc));
+    if (!di || (core.mode != Mode::KERNEL && !di->user_ok)) {
+        if (core.mode == Mode::KERNEL) {
+            panic(TrapCause::PREFETCH_ABORT);
+        } else {
+            take_trap(core, TrapCause::PREFETCH_ABORT, 0, pc);
+            core.local_tick += 2;
+        }
+        return;
+    }
+
+    std::uint64_t cost = 1;
+    const std::uint64_t iline = pc >> 6; // 64-byte lines (kL1Config)
+    if (iline == core.last_iline) {
+        l1i_[ci].credit_hit();
+    } else {
+        if (!l1i_[ci].access(pc)) {
+            cost += kL1MissPenalty;
+            if (!l2_.access(pc)) cost += kL2MissPenalty;
+        }
+        core.last_iline = iline;
+    }
+
+    const Mode mode_at_fetch = core.mode;
+    next_pc_ = pc + isa::kInstrBytes;
+    branch_taken_ = false;
+
+    // V7 conditional execution: a failed predicate retires as a bubble.
+    const bool executed =
+        !di->check_cond || cond_holds(di->ins.cond, core.regs.flags());
+
+    StepCtx cx{core, cnt, *di, ci, pc, cost, true};
+    if (executed) di->fn(*this, cx);
+
+    if (status_ == RunStatus::KernelPanic) return;
+
+    if (!cx.retire) {
+        core.local_tick += cx.cost + 2;
+        return;
+    }
+
+    if (di->ins.op != Op::SVC) core.regs.set_pc(next_pc_);
+    if (branch_taken_) cx.cost += 1;
+
+    ++core.retired;
+    ++total_retired_;
+    if (mode_at_fetch == Mode::KERNEL) {
+        ++cnt.kernel_retired;
+    } else {
+        ++cnt.user_retired;
+    }
+    if (executed) {
+        if (di->cflags & kDiBranch) {
+            ++cnt.branches;
+            if (branch_taken_) ++cnt.taken_branches;
+        }
+        if (di->cflags & kDiCall) ++cnt.calls;
+    }
+    if (cfg_.profile)
+        ++func_instr_[image_->func_of_instr[image_->instr_index(pc)]];
+    if (core.timer > 0 && --core.timer == 0) core.pending_timer = true;
+    core.local_tick += cx.cost;
+}
+
+void Machine::step_switch(unsigned ci) {
     CoreState& core = cores_[ci];
     CoreCounters& cnt = counters_[ci];
     const unsigned w = core.regs.width_bits();
@@ -329,7 +528,10 @@ void Machine::step(unsigned ci) {
         if (!l2_.access(pc)) cost += kL2MissPenalty;
     }
     const std::size_t idx = image_->instr_index(pc);
-    const Instr& ins = image_->code[idx];
+    // Read through the text overlay so a fault-corrupted (re-decoded) page
+    // is visible to the legacy engine too — both engines execute the same
+    // instruction stream whatever the mirror holds.
+    const Instr& ins = fetch_decoded(idx)->ins;
     const Mode mode_at_fetch = core.mode;
     next_pc_ = pc + isa::kInstrBytes;
     branch_taken_ = false;

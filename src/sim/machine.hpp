@@ -21,11 +21,22 @@
 #include "isa/sysreg.hpp"
 #include "kasm/image.hpp"
 #include "sim/cache.hpp"
+#include "sim/exec_cache.hpp"
 #include "sim/memory.hpp"
 
 namespace serep::sim {
 
 enum class Mode : std::uint8_t { USER, KERNEL };
+
+/// Execution engine selection. Both engines are bit-identical in every
+/// observable (registers, memory, outcome databases, counters, ticks) —
+/// gated by tests/engine_test.cpp — so the choice is purely about speed:
+///  * Switch — the legacy single-switch interpreter, kept as the reference
+///    implementation for differential testing.
+///  * Cached — decode-once engine: pre-resolved handler dispatch through the
+///    shared ExecCache, MRU line filters in front of the L1 models, and a
+///    solo-core burst loop in run_until().
+enum class Engine : std::uint8_t { Switch, Cached };
 
 enum class RunStatus : std::uint8_t {
     Running,      ///< stopped because the instruction budget was reached
@@ -69,6 +80,22 @@ struct CoreState {
     std::uint64_t local_tick = 0;
     std::uint64_t wake_tick = 0; ///< earliest tick a WFI wake may resume at
     std::uint64_t retired = 0;
+
+    /// Cached-engine MRU line filters (see Cache::credit_hit): the line of
+    /// this core's most recent I/D access, or kNoLine. Purely an accelerator
+    /// — filtered hits leave cache tags, ages and counters bit-identical.
+    static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
+    std::uint64_t last_iline = kNoLine;
+    std::uint64_t last_dline = kNoLine;
+
+    /// Cached-engine one-entry translation filter. Sound because address
+    /// maps are monotone: map_user_range only ever maps pages, so a
+    /// successful translation can never become stale. Key packs
+    /// vpage | proc<<52 | kernel<<55 (all real keys < 2^56; kNoTrans has
+    /// bit 63 set and matches nothing).
+    static constexpr std::uint64_t kNoTrans = ~std::uint64_t{0};
+    std::uint64_t last_tkey = kNoTrans;
+    std::uint64_t last_tpage = 0; ///< phys page base for last_tkey
 };
 
 /// Per-core event counters (the gem5-statistics analogue).
@@ -88,6 +115,18 @@ struct MachineCounters {
     std::array<std::uint64_t, 8> traps{};        ///< by TrapCause
     std::array<std::uint64_t, 16> syscalls{};    ///< by syscall number
     std::uint64_t ctx_switches = 0;              ///< TLS retarget count
+};
+
+/// Per-step execution context handed to the cached engine's op handlers
+/// (sim/exec_ops.cpp). Mirrors the locals of the legacy switch body.
+struct StepCtx {
+    CoreState& core;
+    CoreCounters& cnt;
+    const DecodedInstr& di;
+    unsigned ci;          ///< core index
+    std::uint64_t pc;     ///< fetch pc
+    std::uint64_t cost;   ///< accumulated cycle cost of this step
+    bool retire;          ///< cleared when the instruction faulted
 };
 
 class Machine {
@@ -110,6 +149,19 @@ public:
 
     /// Execute until `total_retired() >= stop_at` or a terminal status.
     RunStatus run_until(std::uint64_t stop_at);
+
+    // ---- execution engine ----
+    Engine engine() const noexcept { return engine_; }
+    /// Select the engine; safe at any run_until() boundary. Resets the MRU
+    /// line filters so the two engines' cache models stay bit-identical.
+    void set_engine(Engine e) noexcept;
+    /// The shared decode-once cache (one per image, process-wide).
+    const std::shared_ptr<const ExecCache>& exec_cache() const noexcept {
+        return xcache_;
+    }
+    /// Text pages this machine has re-decoded on top of the shared cache
+    /// because a fault (or a snapshot restore) dirtied them. Test hook.
+    std::size_t code_overlay_pages() const noexcept { return overlay_.size(); }
 
     RunStatus status() const noexcept { return status_; }
     int exit_code() const noexcept { return exit_code_; }
@@ -145,7 +197,15 @@ public:
     void flip_mem(std::uint64_t phys, unsigned bit) { mem_.flip_phys_bit(phys, bit); }
 
 private:
+    friend struct ExecOps; ///< per-op handlers of the cached engine
+
     void step(unsigned c);
+    void step_switch(unsigned c);
+    void step_cached(unsigned c);
+    /// Decoded record for instruction index `idx`, reading through the
+    /// copy-on-write overlay of fault-dirtied text pages.
+    const DecodedInstr* fetch_decoded(std::size_t idx);
+    void refresh_code_overlay();
     void take_trap(CoreState& core, isa::TrapCause cause, std::uint64_t aux,
                    std::uint64_t badaddr);
     void panic(isa::TrapCause cause);
@@ -179,6 +239,21 @@ private:
     // interpreter state for the current step
     std::uint64_t next_pc_ = 0;
     bool branch_taken_ = false;
+
+    // ---- execution engine state ----
+    Engine engine_ = Engine::Cached;
+    std::shared_ptr<const ExecCache> xcache_; ///< shared, immutable
+    /// Copy-on-write re-decode of text pages this machine's fault dirtied.
+    struct OverlayPage {
+        std::uint64_t first = 0; ///< instruction index of the first record
+        std::vector<DecodedInstr> recs;
+    };
+    std::vector<OverlayPage> overlay_; ///< sorted by first, few entries
+    std::uint64_t code_gen_seen_ = 0;
+    bool sched_event_ = false; ///< cached-engine burst break (IPI posted)
+    // Profile-wide constants hoisted out of the per-step path.
+    std::uint64_t width_mask_ = 0;
+    unsigned width_bits_ = 0;
 };
 
 } // namespace serep::sim

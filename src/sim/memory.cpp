@@ -9,36 +9,55 @@ namespace serep::sim {
 
 namespace layout = isa::layout;
 
-Memory::Memory(unsigned nprocs, std::uint64_t user_size, std::uint64_t kern_size)
+Memory::Memory(unsigned nprocs, std::uint64_t user_size, std::uint64_t kern_size,
+               std::uint64_t text_size)
     : nprocs_(nprocs), user_size_(user_size), kern_size_(kern_size) {
     util::check(nprocs >= 1 && nprocs <= 8, "Memory: 1..8 processes supported");
     util::check(user_size % layout::kPageSize == 0 && kern_size % layout::kPageSize == 0,
                 "Memory: region sizes must be page-multiples");
-    phys_.assign(kern_size_ + std::uint64_t{nprocs_} * user_size_, 0);
+    text_base_ = kern_size_ + std::uint64_t{nprocs_} * user_size_;
+    text_size_ = (text_size + layout::kPageSize - 1) / layout::kPageSize *
+                 layout::kPageSize;
+    phys_.assign(text_base_ + text_size_, 0);
     pages_per_proc_ = user_size_ / layout::kPageSize;
     page_mapped_.assign(nprocs_ * pages_per_proc_, 0);
     // All-dirty until the first clear_dirty(): a snapshot consumer that never
     // clears sees every page as a candidate, which is always correct.
     dirty_.assign(phys_.size() / layout::kPageSize, 1);
+    code_dirty_.assign(text_size_ / layout::kPageSize, 0);
+}
+
+void Memory::install_text(const std::uint8_t* bytes, std::uint64_t len) noexcept {
+    std::memcpy(phys_.data() + text_base_, bytes,
+                std::min<std::uint64_t>(len, text_size_));
 }
 
 void Memory::clone_payload_from(const Memory& base) {
     util::check(base.nprocs_ == nprocs_ && base.user_size_ == user_size_ &&
-                    base.kern_size_ == kern_size_ && base.has_payload(),
+                    base.kern_size_ == kern_size_ &&
+                    base.text_size_ == text_size_ && base.has_payload(),
                 "clone_payload_from: geometry mismatch or base is a shell");
     phys_ = base.phys_;
+    // The adopted mirror may diverge from the pristine encode exactly where
+    // the *base* was ever struck; fold its sticky set into ours so the
+    // overlay refresh re-decodes those pages too (ours may be a shell from
+    // an unrelated point of the clone tree).
+    for (std::size_t p = 0; p < code_dirty_.size(); ++p)
+        code_dirty_[p] |= base.code_dirty_[p];
+    ++code_gen_; // mirror content replaced wholesale: force overlay refresh
 }
 
 void Memory::set_payload(std::vector<std::uint8_t> payload) {
-    util::check(payload.size() ==
-                    kern_size_ + std::uint64_t{nprocs_} * user_size_,
+    util::check(payload.size() == text_base_ + text_size_,
                 "set_payload: size does not match memory geometry");
     phys_ = std::move(payload);
+    ++code_gen_;
 }
 
 void Memory::write_page(std::uint64_t page, const std::uint8_t* bytes) noexcept {
     std::memcpy(phys_.data() + page * layout::kPageSize, bytes, layout::kPageSize);
     dirty_[page] = 1;
+    note_code_write(page);
 }
 
 Translation Memory::translate(std::uint64_t vaddr, unsigned size, bool kernel_mode,
@@ -67,6 +86,9 @@ void Memory::store(std::uint64_t phys, unsigned size, std::uint64_t value) noexc
     std::memcpy(phys_.data() + phys, &value, size);
     // Naturally aligned <= 8-byte stores never straddle a page.
     dirty_[phys / layout::kPageSize] = 1;
+    // No VA translates into the text mirror today, but keep guest stores in
+    // the code-write funnel so a future mapping cannot silently bypass it.
+    note_code_write(phys / layout::kPageSize);
 }
 
 void Memory::map_user_range(unsigned proc, std::uint64_t lo, std::uint64_t hi) {

@@ -35,7 +35,14 @@ struct Translation {
 
 class Memory {
 public:
-    Memory(unsigned nprocs, std::uint64_t user_size, std::uint64_t kern_size);
+    /// `text_size` appends a read-mostly "text mirror" region after the last
+    /// user region (rounded up to whole pages): the Machine serializes its
+    /// image's code there (isa/encode.hpp records) so memory faults can
+    /// corrupt guest text. Mutations inside the mirror go through the same
+    /// write funnel as everything else and additionally bump code_gen() /
+    /// mark code_page_dirty() so the execution engine re-decodes the page.
+    Memory(unsigned nprocs, std::uint64_t user_size, std::uint64_t kern_size,
+           std::uint64_t text_size = 0);
 
     unsigned nprocs() const noexcept { return nprocs_; }
     std::uint64_t user_size() const noexcept { return user_size_; }
@@ -77,6 +84,27 @@ public:
     void flip_phys_bit(std::uint64_t phys, unsigned bit) noexcept {
         phys_[phys] ^= static_cast<std::uint8_t>(1u << bit);
         dirty_[phys / isa::layout::kPageSize] = 1;
+        note_code_write(phys / isa::layout::kPageSize);
+    }
+
+    // ---- text mirror (decode-once execution engine) ----
+    bool has_text() const noexcept { return text_size_ != 0; }
+    /// Physical byte offset of the text mirror (== end of the user regions).
+    std::uint64_t text_base() const noexcept { return text_base_; }
+    std::uint64_t text_size() const noexcept { return text_size_; }
+    const std::uint8_t* text_data() const noexcept { return phys_.data() + text_base_; }
+    /// Install the pristine mirror bytes (image load; not a guest write, so
+    /// it neither dirties pages nor bumps the code generation).
+    void install_text(const std::uint8_t* bytes, std::uint64_t len) noexcept;
+
+    /// Bumped by every mutation that may have touched the mirror; the
+    /// Machine re-decodes pages whose sticky dirty bit is set whenever the
+    /// generation it last decoded at falls behind.
+    std::uint64_t code_gen() const noexcept { return code_gen_; }
+    /// One byte per *text* page, sticky (never cleared): set when a write
+    /// funnel mutation landed on that page.
+    const std::vector<std::uint8_t>& code_dirty_pages() const noexcept {
+        return code_dirty_;
     }
 
     std::uint64_t phys_size() const noexcept { return phys_.size(); }
@@ -104,6 +132,11 @@ public:
     /// Move the payload out, leaving a shell; set_payload reinstalls it.
     /// Lets make_machine_delta copy a Machine's non-memory state without
     /// ever duplicating guest memory (take, copy the shell, reinstall).
+    /// Contract: set_payload expects bytes taken from *this* memory (or a
+    /// clone whose code_dirty_pages() metadata this object already carries)
+    /// — installing a foreign payload whose text diverges on pages outside
+    /// that set would execute stale decodes. Use clone_payload_from for
+    /// cross-machine adoption; it merges the source's sticky text set.
     std::vector<std::uint8_t> take_payload() noexcept { return std::move(phys_); }
     void set_payload(std::vector<std::uint8_t> payload);
 
@@ -114,11 +147,24 @@ public:
     void write_page(std::uint64_t page, const std::uint8_t* bytes) noexcept;
 
 private:
+    /// Text-mirror write funnel: record a mutation of physical page
+    /// `phys_page` so the execution engine re-decodes it if it holds text.
+    void note_code_write(std::uint64_t phys_page) noexcept {
+        if (text_size_ == 0) return;
+        const std::uint64_t first = text_base_ / isa::layout::kPageSize;
+        if (phys_page < first) return;
+        code_dirty_[phys_page - first] = 1;
+        ++code_gen_;
+    }
+
     unsigned nprocs_;
     std::uint64_t user_size_, kern_size_;
+    std::uint64_t text_base_ = 0, text_size_ = 0;
     std::vector<std::uint8_t> phys_;
     std::vector<std::uint8_t> page_mapped_; // one byte per user page per proc
     std::vector<std::uint8_t> dirty_;       // one byte per physical page
+    std::vector<std::uint8_t> code_dirty_;  // one byte per text page, sticky
+    std::uint64_t code_gen_ = 0;
     std::uint64_t pages_per_proc_;
 };
 

@@ -16,6 +16,22 @@ public:
     explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// The caller asked for something nonsensical (bad flag value, unknown
+/// subcommand, filters matching nothing). Tools map this to a distinct
+/// exit code so scripts can tell operator mistakes from data problems.
+class UsageError : public Error {
+public:
+    explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// Input data failed validation (shard-database manifests that do not
+/// belong together, corrupt or incomplete outcome databases). Distinct
+/// from UsageError: the command line was fine, the artifacts are not.
+class ValidationError : public Error {
+public:
+    explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
 /// Throw serep::util::Error if `cond` is false. Used for precondition
 /// checks on public API boundaries (cheap enough to keep in release).
 inline void check(bool cond, const std::string& msg) {
@@ -23,5 +39,15 @@ inline void check(bool cond, const std::string& msg) {
 }
 
 [[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+[[noreturn]] inline void fail_usage(const std::string& msg) {
+    throw UsageError(msg);
+}
+
+inline void check_usage(bool cond, const std::string& msg) {
+    if (!cond) throw UsageError(msg);
+}
+inline void check_valid(bool cond, const std::string& msg) {
+    if (!cond) throw ValidationError(msg);
+}
 
 } // namespace serep::util

@@ -1,0 +1,410 @@
+// Differential tests for the decode-once execution engine.
+//
+// The cached engine (pre-decoded ExecCache + handler-table dispatch + MRU
+// line/translation filters + burst scheduling) must be bit-identical to the
+// legacy switch interpreter in every observable: registers, memory, ticks,
+// counters, outcome databases. This file cross-checks the two independent
+// implementations on random programs, random faults, whole campaigns, and
+// on fault-corrupted guest text (the mirror/overlay re-decode path).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/campaign.hpp"
+#include "harness.hpp"
+#include "isa/encode.hpp"
+#include "orch/batch_runner.hpp"
+#include "sim/snapshot.hpp"
+#include "util/rng.hpp"
+
+using namespace serep;
+using namespace serep::test;
+using isa::Cond;
+using kasm::Assembler;
+using kasm::Reg;
+
+namespace {
+
+bool same_instr(const isa::Instr& a, const isa::Instr& b) {
+    return a.op == b.op && a.cond == b.cond && a.rd == b.rd && a.rn == b.rn &&
+           a.rm == b.rm && a.ra == b.ra && a.shift == b.shift && a.wb == b.wb &&
+           a.regmask == b.regmask && a.imm == b.imm;
+}
+
+/// Everything observable about a finished machine, folded into one hash.
+std::uint64_t fingerprint(const sim::Machine& m) {
+    std::uint64_t h = core::arch_state_hash(m);
+    h ^= m.mem().hash_range(0, m.mem().phys_size());
+    h ^= m.time_ticks() * 0x9E3779B97F4A7C15ull;
+    h ^= m.total_retired() * 0xC2B2AE3D27D4EB4Full;
+    h ^= static_cast<std::uint64_t>(m.status()) << 1;
+    h ^= static_cast<std::uint64_t>(m.exit_code()) << 9;
+    for (unsigned c = 0; c < m.cores(); ++c) {
+        const sim::CoreCounters& k = m.counters(c);
+        h ^= k.retired() + k.branches * 3 + k.taken_branches * 5 + k.calls * 7 +
+             k.loads * 11 + k.stores * 13 + k.fp_ops * 17 + k.wfi_sleeps * 19;
+        h ^= m.l1i(c).hits() * 23 + m.l1i(c).misses() * 29;
+        h ^= m.l1d(c).hits() * 31 + m.l1d(c).misses() * 37;
+    }
+    h ^= m.l2().hits() * 41 + m.l2().misses() * 43;
+    return h;
+}
+
+/// run_kernel_snippet, but returning the *unrun* machine so the test can
+/// pick an engine (and corrupt text) before execution.
+sim::Machine build_snippet(isa::Profile p,
+                           const std::function<void(Assembler&)>& body) {
+    Assembler a(p);
+    a.func("boot", kasm::ModTag::KERNEL);
+    a.set_kernel_boot(a.here());
+    body(a);
+    a.end_kernel_text();
+    auto img = std::make_shared<const kasm::Image>(a.finalize());
+    sim::Machine m(std::move(img), sim::MachineConfig{});
+    sim::load_image_data(m);
+    m.core(0).regs.set_pc(m.image().kernel_boot);
+    m.core(0).regs.set_sp(kKernStackTop(0));
+    return m;
+}
+
+/// Emit a random but terminating kernel program: ALU soup over scratch
+/// registers, flag-setting ops, forward branches, and loads/stores into a
+/// kernel data buffer.
+void random_program(Assembler& a, util::Rng& rng, unsigned len) {
+    const bool v7 = a.profile() == isa::Profile::V7;
+    const unsigned w = a.wbytes();
+    a.kdata().align(8);
+    const std::uint64_t buf = a.kdata().cursor();
+    for (unsigned i = 0; i < 16; ++i) a.kdata().u64v(rng.next());
+
+    const Reg base = a.sav(0);
+    a.movi(base, static_cast<std::int64_t>(buf));
+    const unsigned nscratch = std::min(4u, a.tmp_count());
+    for (unsigned i = 0; i < nscratch; ++i)
+        a.movi(a.tmp(i), static_cast<std::int64_t>(rng.next() & 0xFFFF));
+
+    for (unsigned i = 0; i < len; ++i) {
+        const Reg rd = a.tmp(static_cast<unsigned>(rng.below(nscratch)));
+        const Reg rn = a.tmp(static_cast<unsigned>(rng.below(nscratch)));
+        const Reg rm = a.tmp(static_cast<unsigned>(rng.below(nscratch)));
+        switch (rng.below(14)) {
+            case 0: a.add(rd, rn, rm); break;
+            case 1: a.sub(rd, rn, rm); break;
+            case 2: a.eor(rd, rn, rm); break;
+            case 3: a.orr(rd, rn, rm); break;
+            case 4: a.and_(rd, rn, rm); break;
+            case 5: a.mul(rd, rn, rm); break;
+            case 6: a.adds(rd, rn, rm); break;
+            case 7: a.subsi(rd, rn, static_cast<std::int64_t>(rng.below(64))); break;
+            case 8: a.lsli(rd, rn, 1 + static_cast<unsigned>(rng.below(w * 8 - 2))); break;
+            case 9: a.clz(rd, rn); break;
+            case 10: { // aligned store+load inside the buffer
+                const std::int64_t off =
+                    static_cast<std::int64_t>(rng.below(16)) * 8;
+                a.str(rd, base, off);
+                a.ldr(rn, base, off);
+                break;
+            }
+            case 11: { // forward conditional skip (no backward edges: always
+                       // terminates whatever the flags say)
+                auto skip = a.newl();
+                a.b(static_cast<Cond>(rng.below(14)), skip);
+                a.eor(rd, rn, rm);
+                a.bind(skip);
+                break;
+            }
+            case 12:
+                if (v7) {
+                    a.umull(a.tmp(0), a.tmp(1), rn, rm);
+                } else {
+                    a.umulh(rd, rn, rm);
+                }
+                break;
+            case 13:
+                if (v7) {
+                    a.when(static_cast<Cond>(rng.below(15))).add(rd, rn, rm);
+                } else {
+                    a.csel(rd, rn, rm, static_cast<Cond>(rng.below(15)));
+                }
+                break;
+        }
+    }
+    finish(a);
+}
+
+} // namespace
+
+class EncodeBothProfiles : public ::testing::TestWithParam<isa::Profile> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, EncodeBothProfiles,
+                         ::testing::Values(isa::Profile::V7, isa::Profile::V8));
+
+TEST_P(EncodeBothProfiles, RoundTripsEveryInstructionOfThePaperImages) {
+    // decode(encode(i)) == i for every instruction the builders emit: the
+    // pristine text mirror must decode to exactly the shared ExecCache.
+    const isa::Profile p = GetParam();
+    for (npb::App app : npb::kAllApps) {
+        const npb::Scenario s{p, app, npb::Api::Serial, 1, npb::Klass::Mini};
+        const npb::BuiltProgram prog = npb::build_program(s);
+        std::uint8_t rec[isa::kTextRecordBytes];
+        for (const isa::Instr& ins : prog.image->code) {
+            isa::encode_instr(ins, rec);
+            const isa::Instr back = isa::decode_instr(rec, p);
+            ASSERT_TRUE(same_instr(ins, back))
+                << npb::app_name(app) << " op "
+                << static_cast<int>(ins.op);
+        }
+    }
+}
+
+TEST_P(EncodeBothProfiles, ArbitraryRecordsDecodeDeterministicallyToValidInstrs) {
+    const isa::Profile p = GetParam();
+    const isa::ProfileInfo info = isa::profile_info(p);
+    util::Rng rng(0xC0DE);
+    std::uint8_t rec[isa::kTextRecordBytes];
+    for (unsigned trial = 0; trial < 20000; ++trial) {
+        for (auto& b : rec) b = static_cast<std::uint8_t>(rng.below(256));
+        const isa::Instr a = isa::decode_instr(rec, p);
+        const isa::Instr b = isa::decode_instr(rec, p);
+        ASSERT_TRUE(same_instr(a, b)); // pure function of the bytes
+        if (a.op == isa::Op::UDF) continue;
+        // Whatever decodes as executable must respect the operand contract.
+        const isa::OperandSpec& spec = isa::op_operand_spec(a.op);
+        const auto ok = [&](isa::OperandUse u, std::uint8_t r) {
+            switch (u) {
+                case isa::OperandUse::GPR: return r < info.gpr_count;
+                case isa::OperandUse::GPR_OPT:
+                    return r == isa::kNoReg || r < info.gpr_count;
+                case isa::OperandUse::FP: return r < 32u;
+                case isa::OperandUse::NONE: return true;
+            }
+            return false;
+        };
+        ASSERT_TRUE(ok(spec.rd, a.rd) && ok(spec.rn, a.rn) && ok(spec.rm, a.rm) &&
+                    ok(spec.ra, a.ra));
+        ASSERT_TRUE(isa::op_valid_for(a.op, p));
+        ASSERT_LT(a.shift, 64);
+    }
+}
+
+class EngineBothProfiles : public ::testing::TestWithParam<isa::Profile> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, EngineBothProfiles,
+                         ::testing::Values(isa::Profile::V7, isa::Profile::V8));
+
+TEST_P(EngineBothProfiles, RandomProgramsRunBitIdenticallyOnBothEngines) {
+    const isa::Profile p = GetParam();
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        util::Rng rng(seed * 0x9E3779B9u);
+        const unsigned len = 50 + static_cast<unsigned>(rng.below(300));
+        const auto body = [&](Assembler& a) {
+            util::Rng prog_rng(seed);
+            random_program(a, prog_rng, len);
+        };
+        sim::Machine cached = build_snippet(p, body);
+        sim::Machine legacy = build_snippet(p, body);
+        cached.set_engine(sim::Engine::Cached);
+        legacy.set_engine(sim::Engine::Switch);
+        cached.run_until(1'000'000);
+        legacy.run_until(1'000'000);
+        ASSERT_EQ(cached.status(), sim::RunStatus::Shutdown) << "seed " << seed;
+        ASSERT_EQ(fingerprint(cached), fingerprint(legacy)) << "seed " << seed;
+    }
+}
+
+TEST_P(EngineBothProfiles, RandomFaultsDivergeIdenticallyOnBothEngines) {
+    // Inject the same random register/memory faults mid-run on both engines;
+    // the (possibly crashing, hanging, or trapping) aftermath must match
+    // bit for bit.
+    const isa::Profile p = GetParam();
+    const npb::Scenario s{p, npb::App::DC, npb::Api::Serial, 1,
+                          npb::Klass::Mini};
+    util::Rng rng(0xFA017);
+    for (unsigned trial = 0; trial < 12; ++trial) {
+        sim::Machine cached = npb::make_machine(s, false);
+        sim::Machine legacy = npb::make_machine(s, false);
+        cached.set_engine(sim::Engine::Cached);
+        legacy.set_engine(sim::Engine::Switch);
+        const std::uint64_t at = 1000 + rng.below(60'000);
+        cached.run_until(at);
+        legacy.run_until(at);
+
+        core::FaultTarget t;
+        const unsigned which = static_cast<unsigned>(rng.below(3));
+        if (which == 0) {
+            t.kind = core::FaultTarget::Kind::GPR;
+            t.reg = static_cast<unsigned>(
+                rng.below(isa::profile_info(p).gpr_count));
+            t.bit = static_cast<unsigned>(
+                rng.below(isa::profile_info(p).width_bits));
+        } else if (which == 1 && p == isa::Profile::V8) {
+            t.kind = core::FaultTarget::Kind::FP;
+            t.reg = static_cast<unsigned>(rng.below(32));
+            t.bit = static_cast<unsigned>(rng.below(64));
+        } else {
+            t.kind = core::FaultTarget::Kind::MEM;
+            t.phys = rng.below(cached.mem().phys_size());
+            t.bit = static_cast<unsigned>(rng.below(8));
+        }
+        core::apply_fault(cached, t);
+        core::apply_fault(legacy, t);
+        cached.run_until(2'000'000);
+        legacy.run_until(2'000'000);
+        ASSERT_EQ(fingerprint(cached), fingerprint(legacy))
+            << "trial " << trial << " kind " << static_cast<int>(t.kind)
+            << " phys " << t.phys;
+        ASSERT_EQ(cached.code_overlay_pages(), legacy.code_overlay_pages());
+    }
+}
+
+TEST(Engine, MulticoreOmpAndMpiRunBitIdenticallyOnBothEngines) {
+    // Multicore exercises what serial cannot: the burst loop's fallback to
+    // the scheduler scan, IPI wakeups (sched_event), per-core MRU filters,
+    // and the shared L2. Faulted runs perturb the interleaving too.
+    for (npb::Api api : {npb::Api::OMP, npb::Api::MPI}) {
+        for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
+            const npb::Scenario s{p, npb::App::IS, api, 2, npb::Klass::Mini};
+            sim::Machine cached = npb::make_machine(s, false);
+            sim::Machine legacy = npb::make_machine(s, false);
+            cached.set_engine(sim::Engine::Cached);
+            legacy.set_engine(sim::Engine::Switch);
+            cached.run_until(20'000);
+            legacy.run_until(20'000);
+            core::FaultTarget t;
+            t.kind = core::FaultTarget::Kind::GPR;
+            t.core = 1;
+            t.reg = 13; // SP-ish on both profiles: likely to derail control
+            t.bit = 5;
+            core::apply_fault(cached, t);
+            core::apply_fault(legacy, t);
+            cached.run_until(3'000'000);
+            legacy.run_until(3'000'000);
+            ASSERT_EQ(fingerprint(cached), fingerprint(legacy))
+                << s.name();
+        }
+    }
+}
+
+TEST(Engine, CampaignDatabasesAreByteIdenticalAcrossEnginesAndKinds) {
+    const npb::Scenario v7{isa::Profile::V7, npb::App::EP, npb::Api::Serial, 1,
+                           npb::Klass::Mini};
+    const npb::Scenario v8{isa::Profile::V8, npb::App::IS, npb::Api::Serial, 1,
+                           npb::Klass::Mini};
+    core::CampaignConfig gpr;
+    gpr.n_faults = 25;
+    gpr.seed = 0xE2E;
+    core::CampaignConfig fp = gpr;
+    fp.include_fp_regs = true;
+    core::CampaignConfig mem = gpr;
+    mem.memory_faults = true;
+
+    std::string out[2];
+    for (const sim::Engine e : {sim::Engine::Cached, sim::Engine::Switch}) {
+        std::ostringstream csv, jsonl;
+        orch::BatchOptions opts;
+        opts.threads = 4;
+        opts.engine = e;
+        orch::BatchRunner runner(opts);
+        runner.set_csv_sink(&csv);
+        runner.set_json_sink(&jsonl);
+        runner.add(v7, gpr);
+        runner.add(v8, fp);
+        runner.add(v7, mem);
+        runner.add(v8, mem);
+        runner.run_all();
+        out[e == sim::Engine::Switch] = csv.str() + "\x1e" + jsonl.str();
+    }
+    EXPECT_EQ(out[0], out[1]);
+    EXPECT_NE(out[0].find("mem"), std::string::npos);
+}
+
+TEST(Engine, TextFaultForcesRedecodeOfTheStruckPage) {
+    // A memory fault into the text mirror must change execution (through a
+    // page re-decode), identically on both engines. Flipping a bit of a
+    // MOVI immediate must surface in the computed result; flipping the
+    // opcode byte into an invalid encoding must trap as UNDEF.
+    std::uint64_t movi_addr = 0;
+    const auto body = [&](Assembler& a) {
+        movi_addr = a.here();
+        a.movi(a.tmp(0), 42);
+        a.nop();
+        a.syswr(isa::SysReg::SHUTDOWN, a.tmp(0)); // exit code = t0
+    };
+
+    // Pristine: exits with 42.
+    {
+        sim::Machine m = build_snippet(isa::Profile::V8, body);
+        m.run_until(1000);
+        ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+        ASSERT_EQ(m.exit_code(), 42);
+        ASSERT_EQ(m.code_overlay_pages(), 0u);
+    }
+
+    for (const sim::Engine e : {sim::Engine::Cached, sim::Engine::Switch}) {
+        sim::Machine m = build_snippet(isa::Profile::V8, body);
+        m.set_engine(e);
+        const std::uint64_t idx = m.image().instr_index(movi_addr);
+        const std::uint64_t rec =
+            m.mem().text_base() + idx * isa::kTextRecordBytes;
+        // Record byte 16 is the immediate's low byte: 42 ^ (1<<3) = 34.
+        m.flip_mem(rec + 16, 3);
+        m.run_until(1000);
+        EXPECT_EQ(m.status(), sim::RunStatus::Shutdown) << "engine " << int(e);
+        EXPECT_EQ(m.exit_code(), 34) << "engine " << int(e);
+        EXPECT_EQ(m.code_overlay_pages(), 1u) << "engine " << int(e);
+    }
+
+    for (const sim::Engine e : {sim::Engine::Cached, sim::Engine::Switch}) {
+        sim::Machine m = build_snippet(isa::Profile::V8, body);
+        m.set_engine(e);
+        const std::uint64_t idx = m.image().instr_index(movi_addr);
+        const std::uint64_t rec =
+            m.mem().text_base() + idx * isa::kTextRecordBytes;
+        // Byte 0 is the opcode; MOVI=0, so setting bit 7 gives 128 >= the
+        // opcode count -> decodes as UDF -> kernel-mode UNDEF panic.
+        m.flip_mem(rec + 0, 7);
+        m.run_until(1000);
+        EXPECT_EQ(m.status(), sim::RunStatus::KernelPanic) << "engine " << int(e);
+        EXPECT_EQ(m.panic_cause(), isa::TrapCause::UNDEF) << "engine " << int(e);
+    }
+}
+
+TEST(Engine, DeltaSnapshotRestoreRedecodesCorruptedText) {
+    // The re-decode funnel must also fire when corrupted text arrives via a
+    // dirty-page delta restore instead of a direct flip.
+    std::uint64_t movi_addr = 0;
+    const auto body = [&](Assembler& a) {
+        movi_addr = a.here();
+        a.movi(a.tmp(0), 42);
+        a.syswr(isa::SysReg::SHUTDOWN, a.tmp(0));
+    };
+    sim::Machine m = build_snippet(isa::Profile::V7, body);
+    const sim::Machine base = m;
+    m.mem().clear_dirty();
+    const std::uint64_t idx = m.image().instr_index(movi_addr);
+    m.flip_mem(m.mem().text_base() + idx * isa::kTextRecordBytes + 16, 3);
+
+    const sim::MachineDelta d = sim::make_machine_delta(m, base);
+    sim::Machine restored = sim::restore_machine_delta(d, base);
+    restored.run_until(1000);
+    EXPECT_EQ(restored.status(), sim::RunStatus::Shutdown);
+    EXPECT_EQ(restored.exit_code(), 34);
+    EXPECT_GE(restored.code_overlay_pages(), 1u);
+
+    // And the base is untouched: restoring it runs the pristine program.
+    sim::Machine clean = base;
+    clean.run_until(1000);
+    EXPECT_EQ(clean.exit_code(), 42);
+}
+
+TEST(Engine, SharedExecCacheIsReusedAcrossMachinesAndClones) {
+    const npb::Scenario s{isa::Profile::V8, npb::App::EP, npb::Api::Serial, 1,
+                          npb::Klass::Mini};
+    const npb::BuiltProgram prog = npb::build_program(s);
+    sim::MachineConfig cfg;
+    cfg.procs = prog.procs;
+    sim::Machine a(prog.image, cfg);
+    sim::Machine b(prog.image, cfg);
+    const sim::Machine c = a; // clone (what every fault run does)
+    EXPECT_EQ(a.exec_cache().get(), b.exec_cache().get());
+    EXPECT_EQ(a.exec_cache().get(), c.exec_cache().get());
+    EXPECT_EQ(a.exec_cache()->size(), prog.image->code.size());
+}

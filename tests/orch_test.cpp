@@ -149,20 +149,28 @@ TEST(CheckpointLadder, DeltaLaddersMatchFullLaddersAndShrinkPeakBytes) {
         << delta.peak_footprint_bytes();
 }
 
-TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsStridesAndSnapshots) {
+TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsStridesSnapshotsAndEngines) {
     // The header's hard invariant: same seed => byte-identical counts and
-    // CSV whatever the pool width, checkpoint stride (including disabled),
-    // or snapshot representation (full copies vs dirty-page deltas).
+    // CSV whatever the pool width, checkpoint stride (including disabled and
+    // the adaptive auto-stride), snapshot representation (full copies vs
+    // dirty-page deltas), or execution engine (cached dispatch vs legacy
+    // switch).
     struct Variant {
         unsigned threads;
         std::uint64_t stride;
         bool enabled;
         bool delta;
+        bool adaptive = true;
+        sim::Engine engine = sim::Engine::Cached;
     };
     const Variant variants[] = {
         {1, 30'000, true, true}, {2, 30'000, true, true}, {8, 30'000, true, true},
         {2, 30'000, true, false}, {2, 7'000, true, true}, {8, 911, true, false},
         {2, 0, false, true},
+        {2, 0, true, true, true},                        // adaptive auto stride
+        {2, 0, true, true, false},                       // legacy auto thinning
+        {2, 30'000, true, true, true, sim::Engine::Switch}, // legacy engine
+        {2, 0, true, true, true, sim::Engine::Switch},
     };
     std::vector<std::array<std::uint64_t, core::kOutcomeCount>> counts;
     std::vector<std::string> csvs, jsons;
@@ -172,6 +180,8 @@ TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsStridesAndSnapshots) {
         opts.ladder.stride = v.stride;
         opts.ladder.enabled = v.enabled;
         opts.ladder.delta_snapshots = v.delta;
+        opts.ladder.adaptive = v.adaptive;
+        opts.engine = v.engine;
         orch::BatchRunner runner(opts);
         runner.add(kSmall, small_config(40, 0xDAC2018));
         const auto results = runner.run_all();
@@ -185,6 +195,75 @@ TEST(BatchRunner, OutcomesIdenticalAcrossThreadCountsStridesAndSnapshots) {
         EXPECT_EQ(csvs[i], csvs[0]) << "variant " << i;
         EXPECT_EQ(jsons[i], jsons[0]) << "variant " << i;
     }
+}
+
+TEST(CheckpointLadder, AdaptiveStrideTracksGoldenRunLength) {
+    // Auto mode with adaptation: one probe execution measures the golden
+    // length, then the rungs are spaced ceil(len / max_checkpoints) apart —
+    // a full-budget, evenly spaced ladder instead of whatever power-of-two
+    // multiple of the fixed initial stride thinning would leave.
+    sim::Machine m = npb::make_machine(kSmall, false);
+    orch::LadderOptions opts; // stride = 0 (auto), adaptive = true
+    opts.max_checkpoints = 16;
+    orch::CheckpointLadder ladder = orch::run_golden_with_ladder(m, opts);
+    ASSERT_EQ(m.status(), sim::RunStatus::Shutdown);
+    const std::uint64_t len = m.total_retired();
+    EXPECT_EQ(ladder.stride(), (len + 15) / 16);
+    EXPECT_LE(ladder.checkpoints(), 16u);
+    EXPECT_GE(ladder.checkpoints(), 8u); // evenly spaced => near-full budget
+
+    // Without adaptation the stride falls back to the fixed initial one.
+    sim::Machine m2 = npb::make_machine(kSmall, false);
+    opts.adaptive = false;
+    orch::CheckpointLadder fixed = orch::run_golden_with_ladder(m2, opts);
+    EXPECT_EQ(m2.total_retired(), len);
+    EXPECT_NE(fixed.stride(), ladder.stride());
+    // The adaptive ladder never fast-forwards more than its (tighter) stride.
+    EXPECT_LE(ladder.stride(), std::max<std::uint64_t>(1, len / 8));
+}
+
+TEST(BatchRunner, CampaignKindsAllProduceClassifiedOutcomes) {
+    // The three fault-target spaces the CLI exposes as --kind=gpr|fp|mem.
+    core::CampaignConfig gpr = small_config(30, 0x71D5);
+    core::CampaignConfig fp = gpr;
+    fp.include_fp_regs = true;
+    // Seed 6 is chosen so this fault list provably strikes the text mirror
+    // (2 of 30 faults land on guest code for this scenario).
+    core::CampaignConfig mem = small_config(30, 6);
+    mem.memory_faults = true;
+
+    orch::BatchRunner runner;
+    runner.add(kSmall, gpr);    // integer registers (V7)
+    runner.add(kSmallV8, fp);   // + FP register file (V8)
+    runner.add(kSmallV8, mem);  // data memory + text mirror
+    const auto results = runner.run_all();
+    ASSERT_EQ(results.size(), 3u);
+    for (const core::CampaignResult& r : results) {
+        EXPECT_EQ(r.total(), 30u);
+        EXPECT_EQ(r.records.size(), 30u);
+        for (const core::FaultRecord& rec : r.records)
+            EXPECT_GT(rec.retired, 0u);
+    }
+    // The fp job really targeted FP registers and the mem job raw memory.
+    const auto has_kind = [](const core::CampaignResult& r,
+                             core::FaultTarget::Kind k) {
+        for (const core::FaultRecord& rec : r.records)
+            if (rec.fault.target.kind == k) return true;
+        return false;
+    };
+    EXPECT_TRUE(has_kind(results[1], core::FaultTarget::Kind::FP));
+    EXPECT_TRUE(has_kind(results[2], core::FaultTarget::Kind::MEM));
+    EXPECT_FALSE(has_kind(results[0], core::FaultTarget::Kind::FP));
+
+    // The memory fault space covers the text mirror: with this seed at
+    // least one strike lands on guest code (the decode-once engine's
+    // re-decode path runs inside a real campaign).
+    const sim::Machine probe = npb::make_machine(kSmallV8, false);
+    bool text_struck = false;
+    for (const core::FaultRecord& rec : results[2].records)
+        text_struck |= rec.fault.target.kind == core::FaultTarget::Kind::MEM &&
+                       rec.fault.target.phys >= probe.mem().text_base();
+    EXPECT_TRUE(text_struck);
 }
 
 TEST(BatchRunner, MatchesRunCampaignWrapper) {
@@ -354,6 +433,22 @@ TEST(Shard, ShardedRunsMergeByteIdenticalToUnsharded) {
     orch::merge_shards(dbs, &csv, &jsonl);
     EXPECT_EQ(csv.str(), ref_csv);
     EXPECT_EQ(jsonl.str(), ref_jsonl);
+}
+
+TEST(Shard, ShardDatabasesIdenticalAcrossEngines) {
+    // Engine choice must not leak into shard outcome databases either: a
+    // shard run on the legacy switch interpreter emits the same bytes.
+    for (unsigned index : {0u, 1u}) {
+        std::string db[2];
+        for (const sim::Engine e : {sim::Engine::Cached, sim::Engine::Switch}) {
+            orch::BatchOptions opts;
+            opts.engine = e;
+            std::ostringstream os;
+            orch::run_shard(shard_jobs(), {index, 2}, opts, os);
+            db[e == sim::Engine::Switch] = os.str();
+        }
+        EXPECT_EQ(db[0], db[1]) << "shard " << index;
+    }
 }
 
 TEST(Shard, MergeValidatesManifests) {

@@ -13,11 +13,18 @@
 //
 // Filters / config (campaign and shard modes, defaults in brackets):
 //   --class=S|Mini [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|CG|...
+//   --kind=gpr|fp|mem [gpr] (fault target space; fp implies --isa=v8)
 //   --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]
-//   --stride=R [auto]  --no-checkpoints  --no-delta (full-copy rungs)
+//   --engine=cached|switch [cached]  --stride=R [auto]  --no-adaptive
+//   --no-checkpoints  --no-delta (full-copy rungs)
 //
 // Use --key=value forms: a bare `--key value` greedily eats the next token,
 // which matters once positional shard-file operands follow.
+//
+// Exit codes (also in --help): 0 success; 2 usage error (bad flags, unknown
+// subcommand, filters matching nothing); 3 shard-database validation
+// failure (manifests that do not belong together, corrupt or incomplete
+// databases); 4 runtime error (I/O, internal failure).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -29,6 +36,11 @@
 using namespace serep;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitValidation = 3;
+constexpr int kExitRuntime = 4;
 
 std::vector<orch::ShardJobSpec> jobs_from_cli(const util::Cli& cli) {
     orch::CampaignFilter filter;
@@ -42,10 +54,26 @@ std::vector<orch::ShardJobSpec> jobs_from_cli(const util::Cli& cli) {
     cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xDAC2018));
     cfg.host_threads = static_cast<unsigned>(cli.get_int("threads", 2));
 
+    // Fault-target space: gpr (integer register file), fp (adds the V8 FP
+    // register file), mem (data memory + guest text mirror).
+    const std::string kind = cli.get("kind", "gpr");
+    if (kind == "fp") {
+        util::check_usage(filter.isa != "v7",
+                          "--kind=fp targets the FP register file, which only "
+                          "the v8 profile has (drop --isa=v7)");
+        filter.isa = "v8";
+        cfg.include_fp_regs = true;
+    } else if (kind == "mem") {
+        cfg.memory_faults = true;
+    } else {
+        util::check_usage(kind == "gpr",
+                          "unknown --kind '" + kind + "' (gpr | fp | mem)");
+    }
+
     std::vector<orch::ShardJobSpec> jobs;
     for (const npb::Scenario& s : orch::filter_scenarios(filter))
         jobs.push_back({s, cfg});
-    util::check(!jobs.empty(), "no scenarios match the given filters");
+    util::check_usage(!jobs.empty(), "no scenarios match the given filters");
     return jobs;
 }
 
@@ -55,6 +83,15 @@ orch::BatchOptions batch_options_from_cli(const util::Cli& cli) {
     opts.ladder.stride = static_cast<std::uint64_t>(cli.get_int("stride", 0));
     opts.ladder.enabled = !cli.has("no-checkpoints");
     opts.ladder.delta_snapshots = !cli.has("no-delta");
+    opts.ladder.adaptive = !cli.has("no-adaptive");
+    const std::string engine = cli.get("engine", "cached");
+    if (engine == "switch") {
+        opts.engine = sim::Engine::Switch;
+    } else {
+        util::check_usage(engine == "cached",
+                          "unknown --engine '" + engine + "' (cached | switch)");
+        opts.engine = sim::Engine::Cached;
+    }
     return opts;
 }
 
@@ -74,7 +111,7 @@ int cmd_campaign(const util::Cli& cli) {
                     results[i].scenario.name().c_str(), results[i].masked_pct());
     std::printf("campaign: %zu jobs -> %s_faults.csv, %s_campaigns.jsonl\n",
                 jobs.size(), out.c_str(), out.c_str());
-    return 0;
+    return kExitOk;
 }
 
 int cmd_shard(const util::Cli& cli) {
@@ -92,14 +129,15 @@ int cmd_shard(const util::Cli& cli) {
     std::printf("shard %u/%u: %zu jobs, injected %zu of %zu faults -> %s\n",
                 plan.index, plan.count, jobs.size(), stats.owned,
                 stats.fault_space, out.c_str());
-    return 0;
+    return kExitOk;
 }
 
 int cmd_merge(const util::Cli& cli) {
     const std::string out = cli.get("out", "merged");
     const auto& files = cli.positional();
-    util::check(files.size() >= 2, "merge: give the shard database files "
-                                   "(after the 'merge' subcommand)");
+    util::check_usage(files.size() >= 2,
+                      "merge: give the shard database files "
+                      "(after the 'merge' subcommand)");
     std::vector<std::string> dbs;
     for (std::size_t i = 1; i < files.size(); ++i) { // files[0] == "merge"
         std::ifstream in(files[i]);
@@ -110,11 +148,48 @@ int cmd_merge(const util::Cli& cli) {
     }
     std::ofstream csv(out + "_faults.csv");
     std::ofstream jsonl(out + "_campaigns.jsonl");
-    const auto results = orch::merge_shards(dbs, &csv, &jsonl);
+    std::vector<core::CampaignResult> results;
+    try {
+        results = orch::merge_shards(dbs, &csv, &jsonl);
+    } catch (const util::ValidationError&) {
+        throw;
+    } catch (const util::Error& e) {
+        // Anything merge_shards trips over (unparsable JSON included) means
+        // the inputs are not a consistent shard set.
+        throw util::ValidationError(e.what());
+    }
     std::printf("merge: %zu shard databases, %zu jobs -> %s_faults.csv, "
                 "%s_campaigns.jsonl\n",
                 dbs.size(), results.size(), out.c_str(), out.c_str());
-    return 0;
+    return kExitOk;
+}
+
+int usage(std::FILE* to) {
+    std::fprintf(
+        to,
+        "usage: serep campaign|shard|merge [--key=value ...]\n"
+        "  campaign  run the (filtered) campaign in-process\n"
+        "  shard     run one 1-of-N slice to a shard database\n"
+        "  merge     merge shard databases into the unsharded CSV/JSONL\n"
+        "\n"
+        "campaign / shard options (defaults in brackets):\n"
+        "  --class=S|Mini|W [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|...\n"
+        "  --kind=gpr|fp|mem [gpr]  fault targets: integer registers, +FP\n"
+        "                           registers (v8 only), or data memory\n"
+        "                           including the guest text mirror\n"
+        "  --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]\n"
+        "  --engine=cached|switch [cached]  execution engine (bit-identical\n"
+        "                           outcomes; switch is the legacy reference)\n"
+        "  --stride=R [auto]  --no-adaptive  --no-checkpoints  --no-delta\n"
+        "shard options: --shard=I --shards=N [0/1]\n"
+        "merge options: --out=PREFIX, then the shard database files\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  2  usage error (bad flags, unknown subcommand, filters match nothing)\n"
+        "  3  shard-database validation failure (incompatible or corrupt DBs)\n"
+        "  4  runtime error (I/O or internal failure)\n");
+    return to == stdout ? kExitOk : kExitUsage;
 }
 
 } // namespace
@@ -123,18 +198,23 @@ int main(int argc, char** argv) {
     util::Cli cli(argc, argv);
     const std::string mode =
         cli.positional().empty() ? "" : cli.positional().front();
+    if (cli.has("help")) return usage(stdout);
     try {
         if (mode == "campaign") return cmd_campaign(cli);
         if (mode == "shard") return cmd_shard(cli);
         if (mode == "merge") return cmd_merge(cli);
+    } catch (const util::UsageError& e) {
+        std::fprintf(stderr, "serep %s: %s\n", mode.c_str(), e.what());
+        return kExitUsage;
+    } catch (const util::ValidationError& e) {
+        std::fprintf(stderr, "serep %s: %s\n", mode.c_str(), e.what());
+        return kExitValidation;
     } catch (const util::Error& e) {
         std::fprintf(stderr, "serep %s: %s\n", mode.c_str(), e.what());
-        return 1;
+        return kExitRuntime;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "serep %s: %s\n", mode.c_str(), e.what());
+        return kExitRuntime;
     }
-    std::fprintf(stderr,
-                 "usage: serep campaign|shard|merge [--key=value ...]\n"
-                 "  campaign  run the (filtered) campaign in-process\n"
-                 "  shard     run one 1-of-N slice to a shard database\n"
-                 "  merge     merge shard databases into the unsharded CSV/JSONL\n");
-    return 2;
+    return usage(stderr);
 }
