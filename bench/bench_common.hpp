@@ -13,6 +13,7 @@
 #include "mine/mining.hpp"
 #include "orch/batch_runner.hpp"
 #include "prof/profile.hpp"
+#include "stats/report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -65,6 +66,32 @@ inline std::vector<core::CampaignResult> run_fi_batch(
 /// "SER-1" / "MPI-4" style column id used in the paper's figures.
 inline std::string cell_id(npb::Api api, unsigned cores) {
     return std::string(npb::api_name(api)) + "-" + std::to_string(cores);
+}
+
+/// Fold campaign results into a stats tally (the shared table pipeline).
+inline stats::OutcomeTally tally_results(
+    const std::vector<core::CampaignResult>& results) {
+    stats::OutcomeTally t;
+    for (const core::CampaignResult& r : results) t.add_result(r);
+    return t;
+}
+
+/// Stats-table key of a scenario's campaign (register campaigns are "gpr").
+inline stats::GroupKey scenario_key(const npb::Scenario& s,
+                                    const std::string& kind = "gpr") {
+    stats::GroupKey key = stats::parse_scenario_name(s.name());
+    key.kind = kind;
+    return key;
+}
+
+/// Print the shared outcome-rate table (rates % with Wilson CI half-widths)
+/// for a batch of campaign results, plus any driver-specific metric columns.
+inline void print_outcome_table(const std::vector<core::CampaignResult>& results,
+                                const stats::ExtraColumns* extra = nullptr) {
+    const stats::OutcomeTally t = tally_results(results);
+    std::printf("%s\n",
+                stats::render_outcome_table(t, stats::ReportOptions{}, extra)
+                    .c_str());
 }
 
 inline std::vector<std::string> outcome_cells(const core::CampaignResult& r) {

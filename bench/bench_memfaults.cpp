@@ -2,6 +2,10 @@
 // supports both, as the related-work simulators in the paper's §2 do).
 // Memory faults hit mostly cold data (large arrays, single-use) and mask
 // even more often; strikes in result arrays surface directly as OMM.
+//
+// Output goes through the shared stats renderer: the tally's fault-kind
+// column separates the register and memory campaigns of each scenario, and
+// every rate carries its Wilson CI half-width.
 #include "bench_common.hpp"
 
 using namespace serep;
@@ -10,20 +14,20 @@ using namespace serep::bench;
 int main(int argc, char** argv) {
     const Opts o = Opts::parse(argc, argv, 200);
     std::printf("=== Fault-target ablation: registers vs data memory\n\n");
-    util::Table t({"scenario", "target", "Vanish", "ONA", "OMM", "UT", "Hang"});
-    for (npb::App app : {npb::App::IS, npb::App::MG}) {
-        for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
-            const npb::Scenario s{p, app, npb::Api::Serial, 1, o.klass};
+    // All 8 campaigns run as one orchestrated batch on a shared pool.
+    orch::BatchOptions bopts;
+    bopts.threads = std::max(1u, o.threads);
+    orch::BatchRunner runner(bopts);
+    stats::ExtraColumns layout; // rows in the ablation's app/ISA/target order
+    for (npb::App app : {npb::App::IS, npb::App::MG})
+        for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8})
             for (bool mem : {false, true}) {
                 auto cfg = o.campaign_config();
                 cfg.memory_faults = mem;
-                const auto r = core::run_campaign(s, cfg);
-                auto cells = outcome_cells(r);
-                cells.insert(cells.begin(), {s.name(), mem ? "memory" : "registers"});
-                t.add_row(cells);
+                const npb::Scenario s{p, app, npb::Api::Serial, 1, o.klass};
+                runner.add(s, cfg);
+                layout.row_order.push_back(scenario_key(s, mem ? "mem" : "gpr"));
             }
-        }
-    }
-    std::printf("%s\n", t.str().c_str());
+    print_outcome_table(runner.run_all(), &layout);
     return 0;
 }

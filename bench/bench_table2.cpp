@@ -12,32 +12,28 @@ using namespace serep::bench;
 int main(int argc, char** argv) {
     const Opts o = Opts::parse(argc, argv, 150);
     std::printf("=== Table 2: Hang vs normalized F*B index (IS)\n\n");
-    util::Table t({"scenario", "cores", "Hang%", "branches", "f.calls", "F*B"});
-    // All 12 campaigns run as one orchestrated batch on a shared pool.
+    // All 12 campaigns run as one orchestrated batch on a shared pool; the
+    // outcome columns come from the shared stats renderer (with CIs), the
+    // F*B profile metrics ride along as extra columns.
     std::vector<npb::Scenario> scenarios;
     for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8})
         for (npb::Api api : {npb::Api::MPI, npb::Api::OMP})
             for (unsigned cores : {1u, 2u, 4u})
                 scenarios.push_back({p, npb::App::IS, api, cores, o.klass});
     const auto results = run_fi_batch(scenarios, o);
-    std::size_t idx = 0;
-    for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
-        for (npb::Api api : {npb::Api::MPI, npb::Api::OMP}) {
-            std::optional<prof::ProfileData> base;
-            for (unsigned cores : {1u, 2u, 4u}) {
-                const npb::Scenario& s = scenarios[idx];
-                const auto& fi = results[idx++];
-                const auto pd = prof::profile_scenario(s);
-                if (!base) base = pd;
-                const std::string block = std::string("IS ") + npb::api_name(api) +
-                                          " " + isa::profile_name(p);
-                t.add_row({cores == 1 ? block : "", std::to_string(cores),
-                           util::Table::num(fi.pct(core::Outcome::Hang), 3),
-                           std::to_string(pd.branches), std::to_string(pd.fb_calls),
-                           util::Table::num(mine::fb_index(pd, *base), 3)});
-            }
-        }
+
+    stats::ExtraColumns extra;
+    extra.names = {"branches", "f.calls", "F*B"};
+    std::optional<prof::ProfileData> base;
+    for (std::size_t idx = 0; idx < scenarios.size(); ++idx) {
+        const npb::Scenario& s = scenarios[idx];
+        const auto pd = prof::profile_scenario(s);
+        if (idx % 3 == 0) base = pd; // F*B normalized within each 3-core block
+        extra.row_order.push_back(scenario_key(s)); // paper block order
+        extra.cells[scenario_key(s)] = {std::to_string(pd.branches),
+                                        std::to_string(pd.fb_calls),
+                                        util::Table::num(mine::fb_index(pd, *base), 3)};
     }
-    std::printf("%s\n", t.str().c_str());
+    print_outcome_table(results, &extra);
     return 0;
 }

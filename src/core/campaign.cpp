@@ -28,6 +28,12 @@ double CampaignResult::masked_pct() const noexcept {
     return pct(Outcome::Vanished) + pct(Outcome::ONA);
 }
 
+void CampaignResult::recount() noexcept {
+    counts = {};
+    for (const FaultRecord& rec : records)
+        ++counts[static_cast<unsigned>(rec.outcome)];
+}
+
 std::vector<Fault> make_fault_list(const sim::Machine& m, const GoldenRef& golden,
                                    const CampaignConfig& cfg) {
     util::check(golden.total_retired > golden.app_start,

@@ -47,6 +47,9 @@ struct CampaignResult {
     double pct(Outcome o) const noexcept;
     /// "masking rate": executions with no user-visible error (Vanished+ONA).
     double masked_pct() const noexcept;
+    /// Rebuild `counts` from `records` (the phase-4 finisher step; shared by
+    /// the batch runner, the shard merger, and the stats sizer).
+    void recount() noexcept;
 };
 
 /// Generate the fault list (phase 2) — exposed for tests and tools.

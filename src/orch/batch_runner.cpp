@@ -21,6 +21,7 @@ struct BatchRunner::GoldenEntry {
 struct BatchRunner::JobState {
     npb::Scenario scenario;
     core::CampaignConfig cfg;
+    JobFaultFilter filter; ///< overrides opts_.fault_filter when set
     GoldenEntry* golden = nullptr;
     std::vector<core::Fault> faults;     ///< faults actually injected
     std::vector<std::uint32_t> ordinals; ///< full-list position per fault (sharding)
@@ -32,14 +33,15 @@ struct BatchRunner::JobState {
     bool flushed = false;
 };
 
-namespace {
-
-/// Golden runs (and ladders) depend on everything in the scenario.
-/// Scenario::name() omits klass and the fma flag, so append both.
-std::string golden_key(const npb::Scenario& s) {
+std::string scenario_cache_key(const npb::Scenario& s) {
     return s.name() + "|k" + std::to_string(static_cast<unsigned>(s.klass)) +
            (s.contract_fma ? "|fma" : "|nofma");
 }
+
+namespace {
+
+/// Golden runs (and ladders) depend on everything in the scenario.
+std::string golden_key(const npb::Scenario& s) { return scenario_cache_key(s); }
 
 } // namespace
 
@@ -49,10 +51,12 @@ BatchRunner::BatchRunner(BatchOptions opts) : opts_(opts) {
 
 BatchRunner::~BatchRunner() = default;
 
-std::size_t BatchRunner::add(const npb::Scenario& s, const core::CampaignConfig& cfg) {
+std::size_t BatchRunner::add(const npb::Scenario& s, const core::CampaignConfig& cfg,
+                             JobFaultFilter filter) {
     auto job = std::make_unique<JobState>();
     job->scenario = s;
     job->cfg = cfg;
+    job->filter = std::move(filter);
     jobs_.push_back(std::move(job));
     return jobs_.size() - 1;
 }
@@ -65,16 +69,17 @@ BatchRunner::GoldenEntry* BatchRunner::golden_for(const npb::Scenario& s) {
 }
 
 void BatchRunner::complete_job(JobState& job) {
-    for (const core::FaultRecord& r : job.result.records)
-        ++job.result.counts[static_cast<unsigned>(r.outcome)];
+    job.result.recount();
     job.done.store(true, std::memory_order_release);
     // Last job on this scenario in the batch: no injection run can touch the
     // ladder anymore (every task finishes with its clone before decrementing
     // its job's counter), so release all rungs. A later batch on the same
     // runner still hits the golden cache (reference + fault list reuse) and
-    // reinstalls a rebuilt base for from-reset replay.
+    // reinstalls a rebuilt base for from-reset replay. retain_ladders keeps
+    // the rungs instead, for callers that re-queue the same scenarios.
     if (job.golden &&
-        job.golden->active_jobs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        job.golden->active_jobs.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        !opts_.retain_ladders)
         job.golden->ladder.release_all();
     flush_ready();
 }
@@ -100,13 +105,6 @@ void BatchRunner::flush_ready() {
         ++next_flush_;
     }
 }
-
-namespace {
-/// Distinct scenarios whose ladders may be live at once; bounds batch memory
-/// to LadderOptions::memory_budget_bytes (split across the wave) while still
-/// interleaving every wave's fault runs on one pool.
-constexpr std::size_t kMaxLaddersInFlight = 16;
-} // namespace
 
 void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
                            Scheduler& pool) {
@@ -160,11 +158,13 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
         std::vector<core::Fault> full =
             core::make_fault_list(base, job.golden->ref, job.cfg);
         job.fault_space = static_cast<std::uint32_t>(full.size());
-        if (opts_.fault_filter) {
+        if (job.filter || opts_.fault_filter) {
             job.faults.clear();
             job.ordinals.clear();
             for (std::uint32_t i = 0; i < full.size(); ++i) {
-                if (!opts_.fault_filter(full[i])) continue;
+                const bool take = job.filter ? job.filter(i, full[i])
+                                             : opts_.fault_filter(full[i]);
+                if (!take) continue;
                 job.faults.push_back(full[i]);
                 job.ordinals.push_back(i);
             }

@@ -26,6 +26,20 @@
 
 namespace serep::orch {
 
+/// Cache identity of a scenario's golden run: everything that changes the
+/// executed instruction stream. Scenario::name() omits klass and the fma
+/// flag, so they are appended. Shared by the BatchRunner golden cache and
+/// the weighted-shard probe so the two can never disagree about which jobs
+/// share a golden execution.
+std::string scenario_cache_key(const npb::Scenario& s);
+
+/// Distinct scenarios whose checkpoint ladders may be live at once. The
+/// batch runner processes jobs in waves of at most this many scenarios and
+/// splits LadderOptions::memory_budget_bytes across them; anything that
+/// retains ladders across run_all() calls (the stats sizer's chunks) must
+/// bound itself by the same constant or the budget argument breaks.
+inline constexpr std::size_t kMaxLaddersInFlight = 16;
+
 struct BatchOptions {
     unsigned threads = 0; ///< pool width; 0 = the shared process-wide pool
     LadderOptions ladder; ///< checkpoint-ladder knobs (batch-wide)
@@ -38,17 +52,33 @@ struct BatchOptions {
     /// full deterministic fault list (phase 2), but only the faults the
     /// filter accepts are injected; their positions in the full list are
     /// kept as per-job ordinals (job_ordinals) so a merger can reassemble
-    /// the unsharded record array. Golden runs are unaffected.
+    /// the unsharded record array. Golden runs are unaffected. A per-job
+    /// filter passed to add() takes precedence over this batch-wide one.
     std::function<bool(const core::Fault&)> fault_filter;
+    /// Keep each scenario's checkpoint ladder alive after its last job of a
+    /// run_all() completes, so a later batch on the same runner resumes from
+    /// real rungs instead of a from-reset base. Used by the sequential
+    /// (confidence-driven) campaign sizer, which re-queues the same
+    /// scenarios round after round; costs one ladder of memory per distinct
+    /// scenario until the runner dies, so leave it off for one-shot batches.
+    bool retain_ladders = false;
 };
 
 class BatchRunner {
 public:
+    /// Per-job fault filter: receives each fault's full-list ordinal plus
+    /// the fault itself, so callers can select exact list positions (the
+    /// sequential sizer's content-id prefixes) as well as content-keyed
+    /// subsets (weighted shard ranges).
+    using JobFaultFilter = std::function<bool(std::uint32_t, const core::Fault&)>;
+
     explicit BatchRunner(BatchOptions opts = {});
     ~BatchRunner();
 
     /// Queue one campaign; returns its job index (also its result index).
-    std::size_t add(const npb::Scenario& s, const core::CampaignConfig& cfg);
+    /// A non-null `filter` overrides BatchOptions::fault_filter for this job.
+    std::size_t add(const npb::Scenario& s, const core::CampaignConfig& cfg,
+                    JobFaultFilter filter = nullptr);
 
     /// Merged per-fault CSV rows, one header for the whole batch.
     void set_csv_sink(std::ostream* os) { csv_sink_ = os; }

@@ -47,11 +47,55 @@ struct ShardPlan {
     }
 };
 
+/// Work-weighted 1-of-N assignment. The uniform ShardPlan gives every shard
+/// ~1/N of *each* job's faults, so every shard pays the golden-run and
+/// ladder cost of *every* scenario. The weighted plan instead slices the
+/// campaign as one line of per-job work (weight ~ measured golden-run
+/// length x fault count) cut into N equal-work pieces: most jobs land
+/// wholly on one shard (no redundant goldens), only the jobs straddling a
+/// cut are split — by contiguous ranges of `fault_id(f) % resolution`, so
+/// ownership still depends only on fault content. Cut points are exact and
+/// monotone; the N plans of a campaign always cover every fault exactly
+/// once, and the shard databases merge with the ordinary merge_shards().
+struct WeightedShardPlan {
+    unsigned index = 0;
+    unsigned count = 1;
+    std::uint32_t resolution = 1u << 20; ///< id-space granularity of cuts
+    /// This shard's [lo, hi) slice of each job's id space.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> job_ranges;
+    /// Hash of the complete cut matrix (every shard's ranges) — identical on
+    /// every shard built from the same weights/count/resolution. Written to
+    /// the shard manifest as the partition id, so databases cut by
+    /// different schemes (uniform vs weighted, or differently weighted)
+    /// refuse to blend in `serep report` instead of silently double-counting
+    /// or dropping faults.
+    std::uint64_t partition_hash = 0;
+
+    bool owns(std::size_t job, const core::Fault& f) const noexcept {
+        const auto& r = job_ranges[job];
+        const std::uint32_t id =
+            static_cast<std::uint32_t>(fault_id(f) % resolution);
+        return r.first <= id && id < r.second;
+    }
+};
+
+/// Build shard `index` of `count`'s weighted plan from per-job weights
+/// (any positive scale; probe_job_weights() supplies golden-length-based
+/// ones). Weights <= 0 are treated as empty jobs.
+WeightedShardPlan make_weighted_plan(const std::vector<double>& weights,
+                                     unsigned index, unsigned count,
+                                     std::uint32_t resolution = 1u << 20);
+
 /// One campaign job, the unit both sharded and unsharded runs agree on.
 struct ShardJobSpec {
     npb::Scenario scenario;
     core::CampaignConfig cfg;
 };
+
+/// Measured per-job work weights for make_weighted_plan(): golden-run
+/// length (one throwaway probe execution per distinct scenario, the same
+/// probe the adaptive checkpoint stride runs) x the job's fault count.
+std::vector<double> probe_job_weights(const std::vector<ShardJobSpec>& jobs);
 
 /// Scenario subset selection shared by full_campaign and the serep tool.
 /// Empty strings match everything; names follow the CLI convention:
@@ -81,6 +125,14 @@ struct ShardRunStats {
 /// outcome database to `os`.
 ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs, const ShardPlan& plan,
                         BatchOptions opts, std::ostream& os);
+
+/// Weighted variant: same database format, same merge path — only the
+/// fault-to-shard assignment differs (plan.job_ranges per job). The N
+/// weighted shard databases of one campaign merge byte-identically to the
+/// unsharded run, exactly like uniform shards.
+ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs,
+                        const WeightedShardPlan& plan, BatchOptions opts,
+                        std::ostream& os);
 
 /// Merge shard databases (file *contents*, any order). Validates manifests
 /// and record cover, returns the per-job results in job order, and — when

@@ -1,0 +1,164 @@
+#include "stats/ci.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace serep::stats {
+
+namespace {
+
+/// Acklam's rational approximation to the inverse standard-normal CDF.
+/// Relative error < 1.15e-9 over (0, 1); plenty for a z multiplier.
+double inverse_normal_cdf(double p) {
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+    if (p < p_low) {
+        const double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p <= 1 - p_low) {
+        const double q = p - 0.5, r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+    }
+    const double q = std::sqrt(-2 * std::log1p(-p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+/// Continued fraction for the incomplete beta function (Lentz's method,
+/// Numerical Recipes formulation). Converges fast for x < (a+1)/(a+b+2).
+double betacf(double a, double b, double x) {
+    constexpr int kMaxIter = 300;
+    constexpr double kEps = 3e-16, kTiny = 1e-300;
+    const double qab = a + b, qap = a + 1, qam = a - 1;
+    double c = 1, d = 1 - qab * x / qap;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    d = 1 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+        const double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1 + aa * d;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = 1 + aa / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1 + aa * d;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = 1 + aa / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1) < kEps) break;
+    }
+    return h;
+}
+
+} // namespace
+
+double point_rate(std::uint64_t k, std::uint64_t n) noexcept {
+    return n == 0 ? 0.0 : static_cast<double>(k) / static_cast<double>(n);
+}
+
+double z_for_confidence(double confidence) {
+    util::check(confidence > 0 && confidence < 1,
+                "confidence level must be in (0, 1)");
+    // Common levels pinned to fixed literals: the Wilson path then uses no
+    // transcendental libm calls at all, keeping rendered reports
+    // byte-identical across toolchains (the golden-report CI diff).
+    constexpr double kEps = 1e-12;
+    if (std::fabs(confidence - 0.90) < kEps) return 1.6448536269514722;
+    if (std::fabs(confidence - 0.95) < kEps) return 1.959963984540054;
+    if (std::fabs(confidence - 0.99) < kEps) return 2.5758293035489004;
+    return inverse_normal_cdf(1 - (1 - confidence) / 2);
+}
+
+Interval wilson(std::uint64_t k, std::uint64_t n, double confidence) {
+    util::check(k <= n, "wilson: k > n");
+    if (n == 0) return {0.0, 1.0};
+    const double z = z_for_confidence(confidence);
+    const double kd = static_cast<double>(k), nd = static_cast<double>(n);
+    const double z2 = z * z;
+    const double center = (kd + z2 / 2) / (nd + z2);
+    const double hw =
+        z / (nd + z2) * std::sqrt(kd * (nd - kd) / nd + z2 / 4);
+    // The score interval lies in [0, 1] mathematically; clamp the floating
+    // residue (k = 0 gives lo ~ 1e-18, not 0) so databases stay clean.
+    return {std::max(0.0, center - hw), std::min(1.0, center + hw)};
+}
+
+double betainc_reg(double a, double b, double x) {
+    util::check(a > 0 && b > 0, "betainc_reg: a, b must be positive");
+    if (x <= 0) return 0;
+    if (x >= 1) return 1;
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                            std::lgamma(b) + a * std::log(x) +
+                            b * std::log1p(-x);
+    if (x < (a + 1) / (a + b + 2))
+        return std::exp(ln_front) * betacf(a, b, x) / a;
+    return 1 - std::exp(ln_front) * betacf(b, a, 1 - x) / b;
+}
+
+double beta_quantile(double a, double b, double p) {
+    util::check(p >= 0 && p <= 1, "beta_quantile: p outside [0, 1]");
+    if (p <= 0) return 0;
+    if (p >= 1) return 1;
+    // Deterministic bisection: 200 halvings reach full double precision and
+    // cost ~200 incomplete-beta evaluations — irrelevant at reporting rates,
+    // and immune to the divergence Newton steps can hit at the tails.
+    double lo = 0, hi = 1;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = (lo + hi) / 2;
+        if (betainc_reg(a, b, mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-15) break;
+    }
+    return (lo + hi) / 2;
+}
+
+Interval clopper_pearson(std::uint64_t k, std::uint64_t n, double confidence) {
+    util::check(k <= n, "clopper_pearson: k > n");
+    if (n == 0) return {0.0, 1.0};
+    const double alpha = 1 - confidence;
+    const double kd = static_cast<double>(k), nd = static_cast<double>(n);
+    Interval iv;
+    iv.lo = k == 0 ? 0.0 : beta_quantile(kd, nd - kd + 1, alpha / 2);
+    iv.hi = k == n ? 1.0 : beta_quantile(kd + 1, nd - kd, 1 - alpha / 2);
+    return iv;
+}
+
+std::uint64_t min_trials_for_half_width(double target_half_width,
+                                        double confidence) {
+    util::check(target_half_width > 0, "target half-width must be positive");
+    // The narrowest Wilson interval at a given n is the k == 0 one, with
+    // half-width z^2 / (2 (n + z^2)); solve for n.
+    const double z2 = z_for_confidence(confidence) * z_for_confidence(confidence);
+    if (target_half_width >= 0.5) return 1;
+    const double n = z2 / (2 * target_half_width) - z2;
+    return n <= 1 ? 1 : static_cast<std::uint64_t>(std::ceil(n));
+}
+
+} // namespace serep::stats

@@ -1,0 +1,64 @@
+// Binomial rate estimation for campaign statistics (the paper's §4 numbers).
+//
+// Every headline result of the paper is a proportion — the fraction of
+// injections in one outcome class — so the whole analytics subsystem reduces
+// to "k failures out of n trials" plus an honest confidence interval. Two
+// interval families are provided:
+//
+//  * Wilson score — the workhorse. Closed form (only +,-,*,/ and sqrt, so
+//    bit-deterministic across compilers), well-centred for small n and for
+//    rates near 0/1, never escapes [0,1]. The report renderer and the
+//    sequential stopping rule both use it.
+//  * Clopper-Pearson — the exact (conservative) interval, via Beta-quantile
+//    inversion of the regularized incomplete beta function. Guaranteed
+//    coverage >= the nominal level; the machine-readable CSV report carries
+//    it next to Wilson so downstream analyses can pick their trade-off.
+//
+// Conventions: `confidence` is the two-sided level (0.95 = 95%). n == 0
+// yields the vacuous interval [0, 1].
+#pragma once
+
+#include <cstdint>
+
+namespace serep::stats {
+
+/// Closed confidence interval for a proportion, within [0, 1].
+struct Interval {
+    double lo = 0.0;
+    double hi = 1.0;
+    double half_width() const noexcept { return (hi - lo) / 2.0; }
+    bool contains(double p) const noexcept { return lo <= p && p <= hi; }
+};
+
+/// Point estimate k/n (0 when n == 0).
+double point_rate(std::uint64_t k, std::uint64_t n) noexcept;
+
+/// Upper-tail standard-normal quantile for a two-sided confidence level
+/// (e.g. 0.95 -> 1.95996...). Common levels (0.90 / 0.95 / 0.99) come from a
+/// built-in table so the hot reporting path involves no libm transcendental
+/// calls; anything else falls back to an inverse-normal approximation
+/// (|relative error| < 1.2e-9).
+double z_for_confidence(double confidence);
+
+/// Wilson score interval for k successes in n trials.
+Interval wilson(std::uint64_t k, std::uint64_t n, double confidence = 0.95);
+
+/// Clopper-Pearson ("exact") interval for k successes in n trials.
+Interval clopper_pearson(std::uint64_t k, std::uint64_t n,
+                         double confidence = 0.95);
+
+/// Regularized incomplete beta function I_x(a, b) (continued-fraction
+/// evaluation; exposed for the stats tests' independent cross-checks).
+double betainc_reg(double a, double b, double x);
+
+/// Quantile of the Beta(a, b) distribution: the x with I_x(a, b) == p,
+/// found by deterministic bisection.
+double beta_quantile(double a, double b, double p);
+
+/// Smallest n for which a Wilson interval can possibly reach the target
+/// half-width at the given confidence (attained at k == 0). The sequential
+/// stopping rule uses it to skip CI evaluation for hopelessly small samples.
+std::uint64_t min_trials_for_half_width(double target_half_width,
+                                        double confidence);
+
+} // namespace serep::stats

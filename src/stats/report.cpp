@@ -1,0 +1,240 @@
+#include "stats/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "stats/ci.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace serep::stats {
+
+namespace {
+
+std::string fmt(const char* spec, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, spec, v);
+    return buf;
+}
+
+/// "52.0 ±9.6" — rate and Wilson half-width, both in percent.
+std::string rate_cell(std::uint64_t k, std::uint64_t n, double confidence) {
+    if (n == 0) return "-";
+    const Interval iv = wilson(k, n, confidence);
+    return fmt("%.1f", 100 * point_rate(k, n)) + " ±" +
+           fmt("%.1f", 100 * iv.half_width());
+}
+
+std::string md_row(const std::vector<std::string>& cells) {
+    std::string row = "|";
+    for (const std::string& c : cells) row += " " + c + " |";
+    return row + "\n";
+}
+
+std::string confidence_label(double confidence) {
+    return fmt("%.0f", confidence * 100) + "%";
+}
+
+std::string render_markdown(const OutcomeTally& t, const ReportOptions& o) {
+    std::ostringstream os;
+    os << "# " << o.title << "\n\n";
+    os << t.total_records() << " injections across " << t.groups().size()
+       << " configuration groups; " << confidence_label(o.confidence)
+       << " Wilson score intervals (rates in %, \xC2\xB1 is the CI "
+          "half-width).\n";
+
+    // One section per fault kind, in key order (fp / gpr / mem).
+    std::vector<std::string> kinds;
+    for (const auto& [key, counts] : t.groups())
+        if (std::find(kinds.begin(), kinds.end(), key.kind) == kinds.end())
+            kinds.push_back(key.kind);
+    std::sort(kinds.begin(), kinds.end());
+    for (const std::string& kind : kinds) {
+        os << "\n## Fault kind: " << kind << "\n\n";
+        os << md_row({"scenario", "n", "Vanished", "ONA", "OMM", "UT", "Hang",
+                      "masked"});
+        os << md_row({"---", "---:", "---:", "---:", "---:", "---:", "---:",
+                      "---:"});
+        for (const auto& [key, counts] : t.groups()) {
+            if (key.kind != kind) continue;
+            std::vector<std::string> cells{key.scenario(),
+                                           std::to_string(counts.total())};
+            for (unsigned oc = 0; oc < core::kOutcomeCount; ++oc)
+                cells.push_back(
+                    rate_cell(counts.counts[oc], counts.total(), o.confidence));
+            cells.push_back(
+                rate_cell(counts.masked(), counts.total(), o.confidence));
+            os << md_row(cells);
+        }
+    }
+
+    if (o.top_registers > 0 && !t.registers().empty()) {
+        // AVF-style per-target vulnerability: failure rate per struck
+        // register, most vulnerable first (ties broken by key order so the
+        // table is deterministic).
+        std::vector<std::pair<RegKey, GroupCounts>> regs(t.registers().begin(),
+                                                         t.registers().end());
+        std::stable_sort(regs.begin(), regs.end(),
+                         [](const auto& a, const auto& b) {
+                             return point_rate(a.second.failed(),
+                                               a.second.total()) >
+                                    point_rate(b.second.failed(),
+                                               b.second.total());
+                         });
+        os << "\n## Register vulnerability (top "
+           << std::min(o.top_registers, regs.size()) << " of " << regs.size()
+           << " struck targets by failure rate)\n\n";
+        os << md_row({"isa", "kind", "reg", "n", "failures", "rate",
+                      confidence_label(o.confidence) + " CI"});
+        os << md_row({"---", "---", "---:", "---:", "---:", "---:", "---"});
+        for (std::size_t i = 0; i < regs.size() && i < o.top_registers; ++i) {
+            const RegKey& key = regs[i].first;
+            const GroupCounts& c = regs[i].second;
+            const Interval iv = wilson(c.failed(), c.total(), o.confidence);
+            os << md_row({key.isa, key.kind, std::to_string(key.reg),
+                          std::to_string(c.total()),
+                          std::to_string(c.failed()),
+                          fmt("%.1f", 100 * point_rate(c.failed(), c.total())),
+                          "[" + fmt("%.1f", 100 * iv.lo) + ", " +
+                              fmt("%.1f", 100 * iv.hi) + "]"});
+        }
+    }
+    return os.str();
+}
+
+std::string render_csv(const OutcomeTally& t, const ReportOptions& o) {
+    std::ostringstream os;
+    os << "isa,app,api,cores,kind,outcome,count,total,rate,"
+          "wilson_lo,wilson_hi,cp_lo,cp_hi\n";
+    for (const auto& [key, counts] : t.groups()) {
+        for (unsigned oc = 0; oc < core::kOutcomeCount; ++oc) {
+            const std::uint64_t k = counts.counts[oc], n = counts.total();
+            const Interval w = wilson(k, n, o.confidence);
+            const Interval cp = clopper_pearson(k, n, o.confidence);
+            os << key.isa << ',' << key.app << ',' << key.api << ','
+               << key.cores << ',' << key.kind << ','
+               << core::outcome_name(static_cast<core::Outcome>(oc)) << ','
+               << k << ',' << n << ',' << fmt("%.6f", point_rate(k, n)) << ','
+               << fmt("%.6f", w.lo) << ',' << fmt("%.6f", w.hi) << ','
+               << fmt("%.6f", cp.lo) << ',' << fmt("%.6f", cp.hi) << '\n';
+        }
+    }
+    return os.str();
+}
+
+std::string render_figure_json(const OutcomeTally& t, const ReportOptions& o) {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.begin_object();
+    w.key("confidence").value(o.confidence);
+    w.key("total_records").value(t.total_records());
+    // Figure 2/3 shape: one series per (isa, kind, app), cells in
+    // api/cores order — exactly the bar groups of the paper's figures.
+    w.key("groups").begin_array();
+    for (const auto& [key, counts] : t.groups()) {
+        w.begin_object();
+        w.key("scenario").value(key.scenario());
+        w.key("isa").value(key.isa);
+        w.key("app").value(key.app);
+        w.key("api").value(key.api);
+        w.key("cores").value(key.cores);
+        w.key("kind").value(key.kind);
+        w.key("n").value(counts.total());
+        w.key("outcomes").begin_object();
+        for (unsigned oc = 0; oc < core::kOutcomeCount; ++oc) {
+            const std::uint64_t k = counts.counts[oc], n = counts.total();
+            const Interval iv = wilson(k, n, o.confidence);
+            w.key(core::outcome_name(static_cast<core::Outcome>(oc)))
+                .begin_object();
+            w.key("count").value(k);
+            w.key("rate").value(point_rate(k, n));
+            w.key("lo").value(iv.lo);
+            w.key("hi").value(iv.hi);
+            w.end_object();
+        }
+        w.end_object();
+        w.key("masked_rate").value(point_rate(counts.masked(), counts.total()));
+        w.key("failure_rate").value(point_rate(counts.failed(), counts.total()));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("registers").begin_array();
+    for (const auto& [key, counts] : t.registers()) {
+        w.begin_object();
+        w.key("isa").value(key.isa);
+        w.key("kind").value(key.kind);
+        w.key("reg").value(key.reg);
+        w.key("n").value(counts.total());
+        w.key("failures").value(counts.failed());
+        w.key("failure_rate").value(point_rate(counts.failed(), counts.total()));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    return os.str();
+}
+
+} // namespace
+
+std::string render_outcome_table(const OutcomeTally& t, const ReportOptions& o,
+                                 const ExtraColumns* extra) {
+    std::ostringstream os;
+    std::vector<std::string> head{"scenario", "kind",  "n",  "Vanished",
+                                  "ONA",      "OMM",   "UT", "Hang",
+                                  "masked"};
+    std::vector<std::string> rule{"---",  "---",  "---:", "---:", "---:",
+                                  "---:", "---:", "---:", "---:"};
+    if (extra)
+        for (const std::string& name : extra->names) {
+            head.push_back(name);
+            rule.push_back("---:");
+        }
+    os << md_row(head) << md_row(rule);
+    // Row order: the caller's explicit (paper) layout first, then whatever
+    // else the tally holds in sorted-key order.
+    std::vector<const std::map<GroupKey, GroupCounts>::value_type*> rows;
+    if (extra && !extra->row_order.empty()) {
+        for (const GroupKey& key : extra->row_order) {
+            const auto it = t.groups().find(key);
+            if (it != t.groups().end()) rows.push_back(&*it);
+        }
+    }
+    for (const auto& group : t.groups()) {
+        bool listed = false;
+        for (const auto* r : rows) listed = listed || &group == r;
+        if (!listed) rows.push_back(&group);
+    }
+    for (const auto* row : rows) {
+        const GroupKey& key = row->first;
+        const GroupCounts& counts = row->second;
+        std::vector<std::string> cells{key.scenario(), key.kind,
+                                       std::to_string(counts.total())};
+        for (unsigned oc = 0; oc < core::kOutcomeCount; ++oc)
+            cells.push_back(
+                rate_cell(counts.counts[oc], counts.total(), o.confidence));
+        cells.push_back(rate_cell(counts.masked(), counts.total(), o.confidence));
+        if (extra) {
+            const auto it = extra->cells.find(key);
+            util::check(it == extra->cells.end() ||
+                            it->second.size() == extra->names.size(),
+                        "render_outcome_table: extra column arity mismatch");
+            for (std::size_t c = 0; c < extra->names.size(); ++c)
+                cells.push_back(it == extra->cells.end() ? "-" : it->second[c]);
+        }
+        os << md_row(cells);
+    }
+    return os.str();
+}
+
+std::string render_report(const OutcomeTally& t, const ReportOptions& o) {
+    switch (o.format) {
+        case ReportOptions::Format::Markdown: return render_markdown(t, o);
+        case ReportOptions::Format::Csv: return render_csv(t, o);
+        case ReportOptions::Format::FigureJson: return render_figure_json(t, o);
+    }
+    util::fail("render_report: unknown format");
+}
+
+} // namespace serep::stats

@@ -1,0 +1,60 @@
+// Report renderer (layer 4 of src/stats/): one table pipeline for every
+// campaign driver and for `serep report`.
+//
+// Three output shapes from one OutcomeTally:
+//  * Markdown — the human-readable paper tables: per-fault-kind outcome-rate
+//    sections (rate % with Wilson CI half-width per cell) plus the
+//    AVF-style register-vulnerability table. This is also the format the
+//    stats-report-golden CI job byte-diffs, so it deliberately uses only
+//    IEEE-deterministic arithmetic (integer counters, Wilson's sqrt form
+//    with table-pinned z) — no libm transcendentals.
+//  * Csv — the flat machine-readable form, one row per (group, outcome)
+//    with both Wilson and Clopper-Pearson bounds.
+//  * FigureJson — figure-data JSON mirroring the paper's Figures 2/3 series
+//    (per-app cells in SER-1/API-1/API-2/API-4 order), for plotting.
+//
+// Rendering is a pure function of the tally, so reports over merged and
+// unmerged shard databases are byte-identical (tests/stats_test.cpp).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/tally.hpp"
+
+namespace serep::stats {
+
+struct ReportOptions {
+    enum class Format { Markdown, Csv, FigureJson };
+    Format format = Format::Markdown;
+    double confidence = 0.95;
+    /// Rows in the register-vulnerability table (0 disables the section).
+    std::size_t top_registers = 8;
+    /// Optional title line for the markdown report.
+    std::string title = "serep campaign report";
+};
+
+/// Extra per-group metric columns for the paper tables (bench_table2-4 add
+/// their profile-derived indices this way instead of hand-rolling tables).
+struct ExtraColumns {
+    std::vector<std::string> names;
+    std::map<GroupKey, std::vector<std::string>> cells;
+    /// Optional explicit row order (the paper's block layout, e.g. Table
+    /// 4's A-I tags). Rows listed here print first, in this order; any
+    /// remaining tally groups follow in sorted-key order. Empty = sorted
+    /// key order throughout.
+    std::vector<GroupKey> row_order;
+};
+
+/// The markdown outcome-rate table alone (no preamble/sections) — the shared
+/// row format every bench driver prints. One row per group, columns:
+/// scenario, kind, n, the five outcome rates as "r ±hw", masked rate, then
+/// any extra columns.
+std::string render_outcome_table(const OutcomeTally& t, const ReportOptions& o,
+                                 const ExtraColumns* extra = nullptr);
+
+/// Full report in the requested format.
+std::string render_report(const OutcomeTally& t, const ReportOptions& o);
+
+} // namespace serep::stats

@@ -1,0 +1,310 @@
+#include "stats/tally.hpp"
+
+#include <tuple>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace serep::stats {
+
+namespace {
+
+core::Outcome outcome_or_throw(const std::string& name, const std::string& ctx) {
+    core::Outcome o;
+    util::check_valid(core::outcome_from_name(name, o),
+                      ctx + ": unknown outcome '" + name + "'");
+    return o;
+}
+
+core::FaultTarget::Kind kind_or_throw(const std::string& name,
+                                      const std::string& ctx) {
+    core::FaultTarget::Kind k;
+    util::check_valid(core::fault_kind_from_name(name, k),
+                      ctx + ": unknown fault kind '" + name + "'");
+    return k;
+}
+
+/// Iterate the '\n'-separated lines of a database body, starting at byte
+/// `start` — offset-based so skipping a manifest line never copies the
+/// (potentially huge) body.
+template <typename Fn>
+void for_lines(const std::string& text, std::size_t start, Fn&& fn) {
+    std::size_t pos = start;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) eol = text.size();
+        if (eol > pos) fn(text.substr(pos, eol - pos));
+        pos = eol + 1;
+    }
+}
+
+} // namespace
+
+std::string GroupKey::scenario() const {
+    return isa + "-" + app + "-" + api + "-" + std::to_string(cores);
+}
+
+bool GroupKey::operator<(const GroupKey& o) const noexcept {
+    return std::tie(isa, app, api, cores, kind) <
+           std::tie(o.isa, o.app, o.api, o.cores, o.kind);
+}
+
+bool GroupKey::operator==(const GroupKey& o) const noexcept {
+    return std::tie(isa, app, api, cores, kind) ==
+           std::tie(o.isa, o.app, o.api, o.cores, o.kind);
+}
+
+bool RegKey::operator<(const RegKey& o) const noexcept {
+    return std::tie(isa, kind, reg) < std::tie(o.isa, o.kind, o.reg);
+}
+
+std::uint64_t GroupCounts::total() const noexcept {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts) t += c;
+    return t;
+}
+
+std::uint64_t GroupCounts::masked() const noexcept {
+    return of(core::Outcome::Vanished) + of(core::Outcome::ONA);
+}
+
+std::uint64_t GroupCounts::failed() const noexcept {
+    return of(core::Outcome::OMM) + of(core::Outcome::UT) +
+           of(core::Outcome::Hang);
+}
+
+GroupKey parse_scenario_name(const std::string& name) {
+    // "ARMv7-EP-SER-1": isa, app, api, cores, '-'-separated. App/api names
+    // never contain '-', so plain splitting is unambiguous.
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos <= name.size()) {
+        const std::size_t dash = name.find('-', pos);
+        if (dash == std::string::npos) {
+            parts.push_back(name.substr(pos));
+            break;
+        }
+        parts.push_back(name.substr(pos, dash - pos));
+        pos = dash + 1;
+    }
+    util::check_valid(parts.size() == 4 && !parts[0].empty() &&
+                          !parts[1].empty() && !parts[2].empty() &&
+                          !parts[3].empty(),
+                      "malformed scenario name '" + name + "'");
+    GroupKey key;
+    key.isa = parts[0];
+    key.app = parts[1];
+    key.api = parts[2];
+    for (char c : parts[3])
+        util::check_valid(c >= '0' && c <= '9',
+                          "malformed scenario core count in '" + name + "'");
+    try {
+        key.cores = static_cast<unsigned>(std::stoul(parts[3]));
+    } catch (const std::exception&) { // out_of_range on absurd digit runs
+        throw util::ValidationError("malformed scenario core count in '" +
+                                    name + "'");
+    }
+    return key;
+}
+
+void OutcomeTally::add_record(const GroupKey& key, core::Outcome outcome,
+                              bool has_reg, unsigned reg) {
+    add_record_from(key, outcome, has_reg, reg, Source::Plain, "add_record");
+}
+
+void OutcomeTally::add_record_from(const GroupKey& key, core::Outcome outcome,
+                                   bool has_reg, unsigned reg, Source src,
+                                   const std::string& label) {
+    std::uint8_t& sources = group_sources_[key];
+    util::check_valid(
+        !(sources & ~static_cast<std::uint8_t>(src)),
+        label + ": " + key.scenario() + " (" + key.kind +
+            ") already has records from a " +
+            (src == Source::Shard ? "merged or plain" : "shard") +
+            " database — a merged database contains its shards' records, so "
+            "mixing the two double-counts the campaign (merge the shards "
+            "first, or report them separately)");
+    sources |= static_cast<std::uint8_t>(src);
+    ++groups_[key].counts[static_cast<unsigned>(outcome)];
+    ++total_records_;
+    if (has_reg)
+        ++registers_[RegKey{key.isa, key.kind, reg}]
+              .counts[static_cast<unsigned>(outcome)];
+}
+
+void OutcomeTally::add_result(const core::CampaignResult& r) {
+    GroupKey base = parse_scenario_name(r.scenario.name());
+    for (const core::FaultRecord& rec : r.records) {
+        GroupKey key = base;
+        key.kind = core::fault_kind_name(rec.fault.target.kind);
+        const bool has_reg = rec.fault.target.kind != core::FaultTarget::Kind::MEM;
+        add_record(key, rec.outcome, has_reg, rec.fault.target.reg);
+    }
+}
+
+void OutcomeTally::add_database(const std::string& contents,
+                                const std::string& label) {
+    util::check_valid(!contents.empty(), label + ": empty database");
+    if (contents.rfind("scenario,", 0) == 0) {
+        add_csv(contents, label);
+    } else if (contents.front() == '{') {
+        // Shard DBs and campaign JSONL both start with '{'; only shard DBs
+        // carry the manifest magic in their first line.
+        const std::size_t eol = contents.find('\n');
+        const std::string first =
+            contents.substr(0, eol == std::string::npos ? contents.size() : eol);
+        if (first.find("\"magic\":\"serep-shard\"") != std::string::npos)
+            add_shard_db(contents, label);
+        else
+            add_campaign_jsonl(contents, label);
+    } else {
+        throw util::ValidationError(
+            "unrecognized database format (expected a serep shard DB, "
+            "campaign JSONL, or per-fault CSV): " +
+            label);
+    }
+    ++databases_;
+}
+
+void OutcomeTally::add_shard_db(const std::string& contents,
+                                const std::string& label) {
+    const std::size_t eol = contents.find('\n');
+    util::check_valid(eol != std::string::npos, label + ": missing manifest line");
+    util::JsonValue manifest;
+    try {
+        manifest = util::json_parse(contents.substr(0, eol));
+    } catch (const util::Error& e) {
+        throw util::ValidationError(label + ": bad manifest: " + e.what());
+    }
+
+    // Config-hash + partition cross-validation: every shard DB folded into
+    // one tally must come from the same campaign *and* the same
+    // fault-to-shard assignment scheme (a uniform and a weighted shard of
+    // one campaign overlap and leave gaps — blending them would silently
+    // double-count some faults and drop others), and no shard twice.
+    const std::string hash = manifest.at("config_hash").as_string();
+    const unsigned count = static_cast<unsigned>(manifest.at("count").as_u64());
+    const unsigned index = static_cast<unsigned>(manifest.at("shard").as_u64());
+    const util::JsonValue* part = manifest.find("partition");
+    const std::string partition = part ? part->as_string() : "uniform";
+    util::check_valid(count >= 1 && index < count, label + ": bad shard index");
+    if (shard_hash_.empty()) {
+        shard_hash_ = hash;
+        shard_count_ = count;
+        shard_partition_ = partition;
+    } else {
+        util::check_valid(hash == shard_hash_,
+                          label + ": config hash mismatch — this shard "
+                                  "database comes from a different campaign");
+        util::check_valid(count == shard_count_,
+                          label + ": shard count differs from earlier databases");
+        util::check_valid(partition == shard_partition_,
+                          label + ": partition scheme mismatch — this shard "
+                                  "was cut by a different assignment than "
+                                  "earlier databases");
+    }
+    util::check_valid(shard_seen_.insert(index).second,
+                      label + ": shard " + std::to_string(index) +
+                          " already folded into this tally");
+
+    // Jobs array gives each record's scenario via its "job" index.
+    std::vector<GroupKey> job_keys;
+    for (const util::JsonValue& jv : manifest.at("jobs").arr) {
+        GroupKey key;
+        key.isa = jv.at("isa").as_string();
+        key.app = jv.at("app").as_string();
+        key.api = jv.at("api").as_string();
+        key.cores = static_cast<unsigned>(jv.at("cores").as_u64());
+        job_keys.push_back(std::move(key));
+    }
+    util::check_valid(!job_keys.empty(), label + ": empty job list");
+
+    std::size_t line_no = 1;
+    for_lines(contents, eol + 1, [&](const std::string& line) {
+        ++line_no;
+        util::JsonValue rv;
+        try {
+            rv = util::json_parse(line);
+        } catch (const util::Error& e) {
+            throw util::ValidationError(label + " line " +
+                                        std::to_string(line_no) + ": " +
+                                        e.what());
+        }
+        const std::size_t job = rv.at("job").as_u64();
+        util::check_valid(job < job_keys.size(),
+                          label + ": record for unknown job");
+        GroupKey key = job_keys[job];
+        const core::FaultTarget::Kind kind =
+            kind_or_throw(rv.at("kind").as_string(), label);
+        key.kind = core::fault_kind_name(kind);
+        add_record_from(key,
+                        outcome_or_throw(rv.at("outcome").as_string(), label),
+                        kind != core::FaultTarget::Kind::MEM,
+                        static_cast<unsigned>(rv.at("reg").as_u64()),
+                        Source::Shard, label);
+    });
+}
+
+void OutcomeTally::add_campaign_jsonl(const std::string& contents,
+                                      const std::string& label) {
+    std::size_t line_no = 0;
+    for_lines(contents, 0, [&](const std::string& line) {
+        ++line_no;
+        util::JsonValue cv;
+        try {
+            cv = util::json_parse(line);
+        } catch (const util::Error& e) {
+            throw util::ValidationError(label + " line " +
+                                        std::to_string(line_no) + ": " +
+                                        e.what());
+        }
+        const GroupKey base = parse_scenario_name(cv.at("scenario").as_string());
+        for (const util::JsonValue& rv : cv.at("records").arr) {
+            GroupKey key = base;
+            const core::FaultTarget::Kind kind =
+                kind_or_throw(rv.at("kind").as_string(), label);
+            key.kind = core::fault_kind_name(kind);
+            add_record_from(
+                key, outcome_or_throw(rv.at("outcome").as_string(), label),
+                kind != core::FaultTarget::Kind::MEM,
+                static_cast<unsigned>(rv.at("reg").as_u64()), Source::Plain,
+                label);
+        }
+    });
+}
+
+void OutcomeTally::add_csv(const std::string& contents,
+                           const std::string& label) {
+    const std::vector<std::vector<std::string>> rows = util::csv_parse(contents);
+    util::check_valid(!rows.empty(), label + ": empty CSV");
+    const std::vector<std::string>& header = rows.front();
+    auto column = [&](const std::string& name) {
+        for (std::size_t c = 0; c < header.size(); ++c)
+            if (header[c] == name) return c;
+        throw util::ValidationError(label + ": CSV lacks column '" + name + "'");
+    };
+    const std::size_t c_scenario = column("scenario"), c_kind = column("kind"),
+                      c_reg = column("reg"), c_outcome = column("outcome");
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const std::vector<std::string>& row = rows[i];
+        util::check_valid(row.size() == header.size(),
+                          label + " row " + std::to_string(i) +
+                              ": wrong cell count");
+        GroupKey key = parse_scenario_name(row[c_scenario]);
+        const core::FaultTarget::Kind kind = kind_or_throw(row[c_kind], label);
+        key.kind = core::fault_kind_name(kind);
+        unsigned reg = 0;
+        try {
+            reg = static_cast<unsigned>(std::stoul(row[c_reg]));
+        } catch (const std::exception&) {
+            throw util::ValidationError(label + " row " + std::to_string(i) +
+                                        ": malformed reg '" + row[c_reg] + "'");
+        }
+        add_record_from(key, outcome_or_throw(row[c_outcome], label),
+                        kind != core::FaultTarget::Kind::MEM, reg,
+                        Source::Plain, label);
+    }
+}
+
+} // namespace serep::stats

@@ -1,0 +1,138 @@
+// Outcome aggregation across campaign databases (layer 1 of src/stats/).
+//
+// The repo produces outcome data in three shapes — in-process
+// core::CampaignResult objects, BatchRunner's merged per-fault CSV, and the
+// PR-2 shard/campaign JSONL databases — and the paper's analysis needs all
+// of them folded into one set of counters keyed by configuration. An
+// OutcomeTally is that fold: counts per (ISA profile, application,
+// programming model, core count, fault kind) x outcome class, plus a
+// per-register breakdown for the AVF-style vulnerability table.
+//
+// Ingestion is order-independent (keys live in ordered maps; counters only
+// add), so a report rendered from N unmerged shard databases is
+// byte-identical to one rendered from the merged database — asserted in
+// tests/stats_test.cpp and by the stats-report-golden CI job. Shard
+// databases are cross-validated with the PR-2 config-hash machinery: DBs
+// from different campaigns, or the same shard twice, throw
+// util::ValidationError instead of silently blending.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace serep::stats {
+
+/// One configuration cell of the paper's tables. All fields are the string
+/// spellings the databases use (Scenario::name() fragments), so a tally can
+/// be built from any database without reconstructing npb enums.
+struct GroupKey {
+    std::string isa;    ///< "ARMv7" / "ARMv8"
+    std::string app;    ///< "EP", "CG", ...
+    std::string api;    ///< "SER" / "OMP" / "MPI"
+    unsigned cores = 0;
+    std::string kind;   ///< fault-target space: "gpr" / "fp" / "mem"
+
+    std::string scenario() const; ///< "ARMv7-EP-SER-1" spelling
+    bool operator<(const GroupKey& o) const noexcept;
+    bool operator==(const GroupKey& o) const noexcept;
+};
+
+/// Per-group outcome counters.
+struct GroupCounts {
+    std::array<std::uint64_t, core::kOutcomeCount> counts{};
+
+    std::uint64_t total() const noexcept;
+    std::uint64_t of(core::Outcome o) const noexcept {
+        return counts[static_cast<unsigned>(o)];
+    }
+    /// Masked injections: no user-visible error (Vanished + ONA).
+    std::uint64_t masked() const noexcept;
+    /// AVF-style failures: user-visible misbehaviour (OMM + UT + Hang).
+    std::uint64_t failed() const noexcept;
+};
+
+/// Per-register vulnerability cell (GPR/FP strikes only; memory strikes have
+/// no architectural register target).
+struct RegKey {
+    std::string isa;
+    std::string kind; ///< "gpr" / "fp"
+    unsigned reg = 0;
+    bool operator<(const RegKey& o) const noexcept;
+};
+
+class OutcomeTally {
+public:
+    /// Fold one in-process campaign result (records carry kind + outcome).
+    void add_result(const core::CampaignResult& r);
+
+    /// Fold one database by content sniffing: a serep shard DB (JSONL with a
+    /// manifest line), a campaign JSONL stream (core::campaign_json lines),
+    /// or a merged per-fault CSV (campaign_csv header). `label` names the
+    /// input in error messages (usually the file name). Throws
+    /// util::ValidationError on malformed input or shard DBs that do not
+    /// belong to the same campaign as previously ingested ones.
+    void add_database(const std::string& contents, const std::string& label);
+
+    /// Direct single-record fold (used by every ingestion path; exposed so
+    /// drivers with custom record sources can reuse the tally).
+    void add_record(const GroupKey& key, core::Outcome outcome, bool has_reg,
+                    unsigned reg);
+
+    const std::map<GroupKey, GroupCounts>& groups() const noexcept {
+        return groups_;
+    }
+    const std::map<RegKey, GroupCounts>& registers() const noexcept {
+        return registers_;
+    }
+
+    std::uint64_t total_records() const noexcept { return total_records_; }
+    std::size_t databases() const noexcept { return databases_; }
+    bool empty() const noexcept { return groups_.empty(); }
+
+    /// Shard-cover bookkeeping: how many shard DBs were folded and how many
+    /// the campaign was cut into (0 when no shard DB was ingested). A tally
+    /// over an incomplete cover reports a *sample* of the campaign, not the
+    /// campaign — `serep report` refuses it unless --partial is given.
+    std::size_t shards_seen() const noexcept { return shard_seen_.size(); }
+    unsigned shard_count() const noexcept { return shard_count_; }
+    bool shard_cover_complete() const noexcept {
+        return shard_seen_.size() == shard_count_;
+    }
+
+private:
+    void add_shard_db(const std::string& contents, const std::string& label);
+    void add_campaign_jsonl(const std::string& contents, const std::string& label);
+    void add_csv(const std::string& contents, const std::string& label);
+    /// add_record with provenance: a group fed by both a shard DB and a
+    /// merged/plain database is almost certainly the same campaign counted
+    /// twice (the merged DB *contains* the shards' records), which would
+    /// silently double n and shrink every CI — refused instead.
+    enum class Source : std::uint8_t { Plain = 1, Shard = 2 };
+    void add_record_from(const GroupKey& key, core::Outcome outcome,
+                         bool has_reg, unsigned reg, Source src,
+                         const std::string& label);
+
+    std::map<GroupKey, GroupCounts> groups_;
+    std::map<GroupKey, std::uint8_t> group_sources_;
+    std::map<RegKey, GroupCounts> registers_;
+    std::uint64_t total_records_ = 0;
+    std::size_t databases_ = 0;
+    /// Shard cross-validation state (config_hash and partition scheme of
+    /// the first shard DB, the shard count, and which indices have been
+    /// folded already).
+    std::string shard_hash_;
+    std::string shard_partition_;
+    unsigned shard_count_ = 0;
+    std::set<unsigned> shard_seen_;
+};
+
+/// Split a "ARMv7-EP-SER-1" scenario name into the key's scenario fields
+/// (kind left empty). Throws util::ValidationError on malformed names.
+GroupKey parse_scenario_name(const std::string& name);
+
+} // namespace serep::stats

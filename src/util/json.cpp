@@ -119,6 +119,12 @@ JsonWriter& JsonWriter::value(bool v) {
     return *this;
 }
 
+JsonWriter& JsonWriter::value_null() {
+    pre_value();
+    out_ << "null";
+    return *this;
+}
+
 // ---- parser ----
 
 const JsonValue* JsonValue::find(const std::string& key) const noexcept {

@@ -65,6 +65,7 @@ public:
     JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
     JsonWriter& value(double v);
     JsonWriter& value(bool v);
+    JsonWriter& value_null();
 
 private:
     void pre_value();

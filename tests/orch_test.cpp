@@ -366,7 +366,7 @@ std::vector<std::string> run_all_shards(unsigned count) {
     std::vector<std::string> dbs;
     for (unsigned i = 0; i < count; ++i) {
         std::ostringstream os;
-        orch::run_shard(shard_jobs(), {i, count}, orch::BatchOptions{}, os);
+        orch::run_shard(shard_jobs(), orch::ShardPlan{i, count}, orch::BatchOptions{}, os);
         dbs.push_back(os.str());
     }
     return dbs;
@@ -444,7 +444,7 @@ TEST(Shard, ShardDatabasesIdenticalAcrossEngines) {
             orch::BatchOptions opts;
             opts.engine = e;
             std::ostringstream os;
-            orch::run_shard(shard_jobs(), {index, 2}, opts, os);
+            orch::run_shard(shard_jobs(), orch::ShardPlan{index, 2}, opts, os);
             db[e == sim::Engine::Switch] = os.str();
         }
         EXPECT_EQ(db[0], db[1]) << "shard " << index;
@@ -462,7 +462,7 @@ TEST(Shard, MergeValidatesManifests) {
     auto other_jobs = shard_jobs();
     other_jobs[0].cfg.seed = 0xBAD5EED;
     std::ostringstream os;
-    orch::run_shard(other_jobs, {1, 3}, orch::BatchOptions{}, os);
+    orch::run_shard(other_jobs, orch::ShardPlan{1, 3}, orch::BatchOptions{}, os);
     EXPECT_THROW(orch::merge_shards({dbs[0], os.str(), dbs[2]}), util::Error);
     // Garbage input.
     EXPECT_THROW(orch::merge_shards({"not a manifest\n"}), util::Error);

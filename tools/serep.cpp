@@ -1,15 +1,20 @@
 // serep — the campaign command-line front end.
 //
 //   serep campaign [filters] --out=ref          one-process run, merged DB
+//   serep campaign --target-ci=0.05 [filters]   confidence-driven sizing
 //   serep shard --shard=1 --shards=3 [filters] --out=shard1.jsonl
+//   serep shard --weighted ...                  work-weighted fault split
 //   serep merge --out=merged shard0.jsonl shard1.jsonl shard2.jsonl
+//   serep report [--format=md|csv|json] db1 [db2 ...]
 //
 // `shard` runs one deterministic 1-of-N slice of the fault space (stable
 // fault-id assignment, see orch/shard.hpp) to a self-contained outcome
 // database; shards of one campaign can run in different processes or on
 // different hosts. `merge` validates the shard manifests and reassembles
 // the exact CSV + JSONL a single-process `campaign` run would have written
-// — byte-identical, which CI enforces.
+// — byte-identical, which CI enforces. `report` folds any mix of shard
+// databases, campaign JSONL, and per-fault CSV into the paper's
+// outcome-rate tables with confidence intervals (src/stats/).
 //
 // Filters / config (campaign and shard modes, defaults in brackets):
 //   --class=S|Mini [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|CG|...
@@ -17,6 +22,8 @@
 //   --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]
 //   --engine=cached|switch [cached]  --stride=R [auto]  --no-adaptive
 //   --no-checkpoints  --no-delta (full-copy rungs)
+// campaign sizing: --target-ci=W (0<W<0.5) --confidence=C [0.95]
+//   --ci-batch=N [50] --ci-min=N [20]
 //
 // Use --key=value forms: a bare `--key value` greedily eats the next token,
 // which matters once positional shard-file operands follow.
@@ -30,6 +37,8 @@
 #include <sstream>
 
 #include "orch/shard.hpp"
+#include "stats/report.hpp"
+#include "stats/sizing.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -95,14 +104,74 @@ orch::BatchOptions batch_options_from_cli(const util::Cli& cli) {
     return opts;
 }
 
+/// `campaign --target-ci=W`: the sequential stopping rule instead of the
+/// fixed fault count. cfg.n_faults stays the fault-space *ceiling* (the
+/// fixed campaign this run is a prefix of); the sizer stops each scenario as
+/// soon as every outcome rate's CI half-width is <= W.
+int cmd_campaign_adaptive(const util::Cli& cli,
+                          const std::vector<orch::ShardJobSpec>& jobs,
+                          const std::string& out) {
+    stats::StatsOptions sopts;
+    sopts.target_half_width = cli.get_double("target-ci", 0.05);
+    sopts.confidence = cli.get_double("confidence", 0.95);
+    const std::int64_t batch = cli.get_int("ci-batch", 50);
+    const std::int64_t min_faults = cli.get_int("ci-min", 20);
+    // Range-check here so a negative value cannot wrap through the uint32
+    // casts below into an absurd-but-positive batch size.
+    util::check_usage(batch > 0 && batch <= 1'000'000,
+                      "--ci-batch must be in [1, 1000000]");
+    util::check_usage(min_faults >= 0 && min_faults <= 1'000'000,
+                      "--ci-min must be in [0, 1000000]");
+    sopts.batch_faults = static_cast<std::uint32_t>(batch);
+    sopts.min_faults = static_cast<std::uint32_t>(min_faults);
+
+    const std::vector<stats::AdaptiveJobResult> adaptive =
+        stats::run_adaptive_campaign(jobs, batch_options_from_cli(cli), sopts);
+
+    std::ofstream csv(out + "_faults.csv");
+    std::ofstream jsonl(out + "_campaigns.jsonl");
+    util::check(csv.good(), "cannot open output file " + out + "_faults.csv");
+    util::check(jsonl.good(),
+                "cannot open output file " + out + "_campaigns.jsonl");
+    std::size_t injected = 0, space = 0;
+    for (std::size_t i = 0; i < adaptive.size(); ++i) {
+        const stats::AdaptiveJobResult& a = adaptive[i];
+        if (i == 0) {
+            csv << core::campaign_csv(a.result);
+        } else {
+            const std::string rows = core::campaign_csv(a.result);
+            csv << rows.substr(rows.find('\n') + 1);
+        }
+        jsonl << core::campaign_json(a.result) << '\n';
+        injected += a.result.records.size();
+        space += a.fault_space;
+        std::printf("[%3zu] %-18s injected %4zu/%u in %u rounds, "
+                    "masked=%5.1f%% maxCI=%.3f%s\n",
+                    i + 1, a.result.scenario.name().c_str(),
+                    a.result.records.size(), a.fault_space, a.rounds,
+                    a.result.masked_pct(), a.max_half_width,
+                    a.converged ? "" : " (fault space exhausted)");
+    }
+    util::check(csv.good() && jsonl.good(), "error writing campaign databases");
+    std::printf("campaign --target-ci=%.3f: injected %zu of %zu faults "
+                "-> %s_faults.csv, %s_campaigns.jsonl\n",
+                sopts.target_half_width, injected, space, out.c_str(),
+                out.c_str());
+    return kExitOk;
+}
+
 int cmd_campaign(const util::Cli& cli) {
     const std::string out = cli.get("out", "campaign");
     const std::vector<orch::ShardJobSpec> jobs = jobs_from_cli(cli);
+    if (cli.has("target-ci")) return cmd_campaign_adaptive(cli, jobs, out);
     orch::BatchRunner runner(batch_options_from_cli(cli));
     for (const orch::ShardJobSpec& j : jobs) runner.add(j.scenario, j.cfg);
 
     std::ofstream csv(out + "_faults.csv");
     std::ofstream jsonl(out + "_campaigns.jsonl");
+    util::check(csv.good(), "cannot open output file " + out + "_faults.csv");
+    util::check(jsonl.good(),
+                "cannot open output file " + out + "_campaigns.jsonl");
     runner.set_csv_sink(&csv);
     runner.set_json_sink(&jsonl);
     const auto results = runner.run_all();
@@ -115,20 +184,145 @@ int cmd_campaign(const util::Cli& cli) {
 }
 
 int cmd_shard(const util::Cli& cli) {
-    orch::ShardPlan plan;
-    plan.index = static_cast<unsigned>(cli.get_int("shard", 0));
-    plan.count = static_cast<unsigned>(cli.get_int("shards", 1));
+    const unsigned index = static_cast<unsigned>(cli.get_int("shard", 0));
+    const unsigned count = static_cast<unsigned>(cli.get_int("shards", 1));
     const std::string out =
-        cli.get("out", "shard" + std::to_string(plan.index) + ".jsonl");
+        cli.get("out", "shard" + std::to_string(index) + ".jsonl");
     const std::vector<orch::ShardJobSpec> jobs = jobs_from_cli(cli);
 
     std::ofstream os(out);
     util::check(os.good(), "cannot open output file " + out);
-    const orch::ShardRunStats stats =
-        orch::run_shard(jobs, plan, batch_options_from_cli(cli), os);
-    std::printf("shard %u/%u: %zu jobs, injected %zu of %zu faults -> %s\n",
-                plan.index, plan.count, jobs.size(), stats.owned,
-                stats.fault_space, out.c_str());
+    orch::ShardRunStats stats;
+    if (cli.has("weighted")) {
+        // Work-weighted split: cut the campaign into equal-work slices so
+        // most scenarios land wholly on one shard and each shard pays
+        // golden/ladder cost only for the scenarios it owns. Weights come
+        // from --weights=w0,w1,... when given (probe once, reuse on every
+        // host); otherwise this process probes each distinct scenario's
+        // golden length and prints the vector for the other shards.
+        std::vector<double> weights;
+        const std::string wspec = cli.get("weights", "");
+        if (wspec.empty()) {
+            weights = orch::probe_job_weights(jobs);
+            std::string joined;
+            for (double w : weights) {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%.0f", w);
+                joined += (joined.empty() ? "" : ",") + std::string(buf);
+            }
+            std::printf("probed weights (pass --weights=%s to the other "
+                        "shards to skip probing)\n",
+                        joined.c_str());
+        } else {
+            std::size_t pos = 0;
+            while (pos <= wspec.size()) {
+                const std::size_t comma = wspec.find(',', pos);
+                const std::string tok =
+                    wspec.substr(pos, comma == std::string::npos
+                                          ? std::string::npos
+                                          : comma - pos);
+                try {
+                    std::size_t used = 0;
+                    weights.push_back(std::stod(tok, &used));
+                    util::check_usage(used == tok.size() && !tok.empty(),
+                                      "--weights: bad number '" + tok + "'");
+                } catch (const util::UsageError&) {
+                    throw;
+                } catch (const std::exception&) {
+                    throw util::UsageError("--weights: bad number '" + tok +
+                                           "'");
+                }
+                if (comma == std::string::npos) break;
+                pos = comma + 1;
+            }
+            util::check_usage(weights.size() == jobs.size(),
+                              "--weights: expected " +
+                                  std::to_string(jobs.size()) +
+                                  " comma-separated values (one per job), "
+                                  "got " +
+                                  std::to_string(weights.size()));
+        }
+        const orch::WeightedShardPlan plan =
+            orch::make_weighted_plan(weights, index, count);
+        stats = orch::run_shard(jobs, plan, batch_options_from_cli(cli), os);
+    } else {
+        stats = orch::run_shard(jobs, orch::ShardPlan{index, count},
+                                batch_options_from_cli(cli), os);
+    }
+    std::printf("shard %u/%u%s: %zu jobs, injected %zu of %zu faults -> %s\n",
+                index, count, cli.has("weighted") ? " (weighted)" : "",
+                jobs.size(), stats.owned, stats.fault_space, out.c_str());
+    return kExitOk;
+}
+
+int cmd_report(const util::Cli& cli) {
+    // files[0] == "report". A bare `--partial` greedily eats the following
+    // operand as its "value" (the documented --key/value ambiguity); hand
+    // that file back so `report --partial shard0 shard1` covers both shards
+    // instead of silently reporting on a subset the user never chose.
+    std::vector<std::string> files(cli.positional().begin() + 1,
+                                   cli.positional().end());
+    const std::string eaten = cli.get("partial", "");
+    if (!eaten.empty()) files.insert(files.begin(), eaten);
+    util::check_usage(!files.empty(),
+                      "report: give the database files (shard DBs, campaign "
+                      "JSONL, or per-fault CSV) after the 'report' subcommand");
+    const double confidence = cli.get_double("confidence", 0.95);
+    util::check_usage(confidence > 0 && confidence < 1,
+                      "report: --confidence must be in (0, 1)");
+    const std::int64_t top_regs = cli.get_int("top-regs", 8);
+    util::check_usage(top_regs >= 0, "report: --top-regs must be >= 0");
+
+    stats::OutcomeTally tally;
+    for (const std::string& file : files) {
+        std::ifstream in(file);
+        util::check(in.good(), "cannot read database " + file);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        tally.add_database(ss.str(), file);
+    }
+    if (!tally.shard_cover_complete()) {
+        // Rates over a subset of shards are a sample of the campaign, not
+        // the campaign; make that an explicit choice, not an accident of a
+        // forgotten file (merge hard-fails on the same situation).
+        util::check_valid(cli.has("partial"),
+                          "report: only " + std::to_string(tally.shards_seen()) +
+                              " of " + std::to_string(tally.shard_count()) +
+                              " shard databases given — pass --partial to "
+                              "report on an incomplete campaign sample");
+        std::fprintf(stderr,
+                     "report: partial campaign sample (%zu of %u shards)\n",
+                     tally.shards_seen(), tally.shard_count());
+    }
+
+    stats::ReportOptions opts;
+    opts.confidence = confidence;
+    opts.top_registers = static_cast<std::size_t>(top_regs);
+    const std::string format = cli.get("format", "md");
+    if (format == "md") {
+        opts.format = stats::ReportOptions::Format::Markdown;
+    } else if (format == "csv") {
+        opts.format = stats::ReportOptions::Format::Csv;
+    } else {
+        util::check_usage(format == "json",
+                          "unknown --format '" + format + "' (md | csv | json)");
+        opts.format = stats::ReportOptions::Format::FigureJson;
+    }
+
+    const std::string report = stats::render_report(tally, opts);
+    const std::string out = cli.get("out", "");
+    if (out.empty()) {
+        std::fputs(report.c_str(), stdout);
+    } else {
+        std::ofstream os(out);
+        util::check(os.good(), "cannot open output file " + out);
+        os << report;
+        util::check(os.good(), "error writing " + out);
+        std::printf("report: %zu databases, %llu records -> %s\n",
+                    tally.databases(),
+                    static_cast<unsigned long long>(tally.total_records()),
+                    out.c_str());
+    }
     return kExitOk;
 }
 
@@ -167,10 +361,11 @@ int cmd_merge(const util::Cli& cli) {
 int usage(std::FILE* to) {
     std::fprintf(
         to,
-        "usage: serep campaign|shard|merge [--key=value ...]\n"
+        "usage: serep campaign|shard|merge|report [--key=value ...]\n"
         "  campaign  run the (filtered) campaign in-process\n"
         "  shard     run one 1-of-N slice to a shard database\n"
         "  merge     merge shard databases into the unsharded CSV/JSONL\n"
+        "  report    outcome-rate tables + confidence intervals from DBs\n"
         "\n"
         "campaign / shard options (defaults in brackets):\n"
         "  --class=S|Mini|W [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|...\n"
@@ -181,8 +376,23 @@ int usage(std::FILE* to) {
         "  --engine=cached|switch [cached]  execution engine (bit-identical\n"
         "                           outcomes; switch is the legacy reference)\n"
         "  --stride=R [auto]  --no-adaptive  --no-checkpoints  --no-delta\n"
+        "campaign sizing: --target-ci=W  stop each scenario once every\n"
+        "                           outcome rate's CI half-width <= W; the\n"
+        "                           injected set is a stable content-id\n"
+        "                           prefix of the fixed --faults campaign\n"
+        "  --confidence=C [0.95]  --ci-batch=N [50]  --ci-min=N [20]\n"
         "shard options: --shard=I --shards=N [0/1]\n"
+        "  --weighted  equal-work split by golden-run length: each shard\n"
+        "              runs goldens/ladders only for the scenarios it owns\n"
+        "  --weights=w0,w1,...  reuse a printed probe vector (skip probing)\n"
         "merge options: --out=PREFIX, then the shard database files\n"
+        "report options: --format=md|csv|json [md]  --confidence=C [0.95]\n"
+        "  --top-regs=N [8]  --out=FILE [stdout]  --partial (allow an\n"
+        "  incomplete shard cover), then the database files\n"
+        "  (shard DBs, campaign JSONL, and per-fault CSV are auto-detected;\n"
+        "   shard DBs are config-hash + partition checked against each other,\n"
+        "   and mixing a shard set with its own merged DB is refused — every\n"
+        "   fault must appear in exactly one input)\n"
         "\n"
         "exit codes:\n"
         "  0  success\n"
@@ -203,6 +413,7 @@ int main(int argc, char** argv) {
         if (mode == "campaign") return cmd_campaign(cli);
         if (mode == "shard") return cmd_shard(cli);
         if (mode == "merge") return cmd_merge(cli);
+        if (mode == "report") return cmd_report(cli);
     } catch (const util::UsageError& e) {
         std::fprintf(stderr, "serep %s: %s\n", mode.c_str(), e.what());
         return kExitUsage;
