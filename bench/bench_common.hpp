@@ -10,8 +10,8 @@
 #include <string>
 
 #include "core/campaign.hpp"
+#include "exp/driver.hpp"
 #include "mine/mining.hpp"
-#include "orch/batch_runner.hpp"
 #include "prof/profile.hpp"
 #include "stats/report.hpp"
 #include "util/cli.hpp"
@@ -51,16 +51,30 @@ inline core::CampaignResult run_fi(const npb::Scenario& s, const Opts& o) {
     return core::run_campaign(s, o.campaign_config());
 }
 
-/// Run many scenarios as one orchestrated batch: golden runs are cached per
-/// scenario and every campaign's fault runs interleave on one work-stealing
-/// pool. Results come back in scenario order.
+/// Run many scenarios as one orchestrated batch, phrased as an in-memory
+/// experiment spec (explicit cells, no output files) executed by the
+/// exp::Driver — the same pipeline `serep run` drives. Golden runs are
+/// cached per scenario and every campaign's fault runs interleave on one
+/// work-stealing pool. Results come back in scenario order (the planner
+/// preserves explicit-cell order).
 inline std::vector<core::CampaignResult> run_fi_batch(
     const std::vector<npb::Scenario>& scenarios, const Opts& o) {
-    orch::BatchOptions opts;
-    opts.threads = std::max(1u, o.threads);
-    orch::BatchRunner runner(opts);
-    for (const auto& s : scenarios) runner.add(s, o.campaign_config());
-    return runner.run_all();
+    exp::ExperimentSpec spec;
+    spec.name = "bench";
+    spec.out.clear(); // in-memory: results only, no database files
+    spec.klass = npb::klass_name(o.klass);
+    spec.cross_product = false;
+    for (const auto& s : scenarios)
+        spec.cells.push_back({isa::profile_short_name(s.isa),
+                              npb::app_name(s.app), npb::api_name(s.api),
+                              s.cores});
+    spec.faults = o.faults;
+    spec.seed = o.seed;
+    spec.threads = std::max(1u, o.threads);
+    exp::ExperimentPlan plan(std::move(spec));
+    exp::DriverOptions dopts;
+    dopts.log = nullptr; // the table drivers print their own rows
+    return exp::run_experiment(plan, dopts).results;
 }
 
 /// "SER-1" / "MPI-4" style column id used in the paper's figures.

@@ -1,8 +1,7 @@
 // Phase-4 database tool: run the paper's full 130-scenario campaign (or a
-// filtered subset) as ONE orchestrated batch and stream the merged per-fault
-// record database (CSV), the per-campaign summaries (JSONL) and the joined
-// profiling dataset (CSV) — the artifacts the paper's data-mining tool
-// consumes.
+// filtered subset) and stream the merged per-fault record database (CSV),
+// the per-campaign summaries (JSONL) and the joined profiling dataset
+// (CSV) — the artifacts the paper's data-mining tool consumes.
 //
 //   ./full_campaign --faults 100 --out campaign
 //   ./full_campaign --isa v8 --api MPI --faults 500 --threads 8
@@ -10,71 +9,54 @@
 //   ./full_campaign --no-checkpoints       # from-reset replay per fault
 //   ./full_campaign --no-delta             # full-copy checkpoint rungs
 //
-// To split the campaign across processes or hosts, use `serep shard` /
-// `serep merge` (tools/serep.cpp) — the merged database is byte-identical
-// to this tool's single-process output.
+// This is now a thin client of src/exp/: the flags synthesize an
+// ExperimentSpec and exp::run_experiment drives the whole pipeline — the
+// same code path as `serep run` / `serep campaign`, byte-identical
+// databases included. For sharding across processes or hosts, declare
+// shard.count in a spec and use `serep run spec.json --shard=k/n`, or the
+// legacy `serep shard` / `serep merge`.
 #include <cstdio>
 #include <fstream>
 
+#include "exp/driver.hpp"
 #include "mine/mining.hpp"
-#include "orch/shard.hpp"
+#include "prof/profile.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 
 using namespace serep;
 
 int main(int argc, char** argv) {
     util::Cli cli(argc, argv);
-    core::CampaignConfig cfg;
-    cfg.n_faults = static_cast<unsigned>(cli.get_int("faults", 100));
-    cfg.host_threads = static_cast<unsigned>(cli.get_int("threads", 2));
-    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xDAC2018));
-    const std::string out = cli.get("out", "campaign");
+    try {
+        cli.require_known(exp::legacy_cli_flags());
+        exp::ExperimentPlan plan(exp::spec_from_legacy_cli(cli));
+        const exp::ExperimentSpec& spec = plan.spec();
+        std::printf("campaign over %zu of the paper's scenarios, %u faults "
+                    "each, %u threads, checkpoints %s\n",
+                    plan.jobs().size(), spec.faults, spec.threads,
+                    spec.checkpoints ? "on" : "off");
 
-    orch::CampaignFilter filter;
-    filter.isa = cli.get("isa", "");
-    filter.api = cli.get("api", "");
-    filter.app = cli.get("app", "");
-    filter.klass = orch::parse_klass(cli.get("class", "S"));
+        exp::DriverOptions opts;
+        opts.resume = false;
+        opts.direct = true; // legacy single-pass semantics, bytes unchanged
+        const exp::DriverResult res = exp::run_experiment(plan, opts);
 
-    orch::BatchOptions opts;
-    opts.threads = std::max(1u, cfg.host_threads);
-    opts.ladder.stride = static_cast<std::uint64_t>(cli.get_int("stride", 0));
-    opts.ladder.enabled = !cli.has("no-checkpoints");
-    opts.ladder.delta_snapshots = !cli.has("no-delta");
-
-    orch::BatchRunner runner(opts);
-    const std::vector<npb::Scenario> selected = orch::filter_scenarios(filter);
-    for (const auto& s : selected) runner.add(s, cfg);
-    std::printf("campaign over %zu of the paper's scenarios, %u faults each, "
-                "%u threads, checkpoints %s\n",
-                selected.size(), cfg.n_faults, opts.threads,
-                opts.ladder.enabled ? "on" : "off");
-
-    std::ofstream db(out + "_faults.csv");
-    std::ofstream jsonl(out + "_campaigns.jsonl");
-    runner.set_csv_sink(&db);
-    runner.set_json_sink(&jsonl);
-    const auto results = runner.run_all();
-
-    mine::Dataset dataset;
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-        const auto& fi = results[i];
-        const auto pd = prof::profile_scenario(selected[i]);
-        dataset.add(fi, pd);
-        std::printf("[%3zu] %-18s V=%4.1f%% ONA=%4.1f%% OMM=%4.1f%% UT=%4.1f%% "
-                    "Hang=%4.1f%%\n",
-                    i + 1, selected[i].name().c_str(),
-                    fi.pct(core::Outcome::Vanished), fi.pct(core::Outcome::ONA),
-                    fi.pct(core::Outcome::OMM), fi.pct(core::Outcome::UT),
-                    fi.pct(core::Outcome::Hang));
+        mine::Dataset dataset;
+        for (std::size_t i = 0; i < plan.jobs().size(); ++i)
+            dataset.add(res.results[i],
+                        prof::profile_scenario(plan.jobs()[i].scenario));
+        std::ofstream(spec.out + "_dataset.csv") << dataset.to_csv();
+        std::printf("wrote %s_faults.csv (per-fault records), "
+                    "%s_campaigns.jsonl (per-campaign summaries) and "
+                    "%s_dataset.csv (scenario x metric join)\n",
+                    spec.out.c_str(), spec.out.c_str(), spec.out.c_str());
+    } catch (const util::UsageError& e) {
+        std::fprintf(stderr, "full_campaign: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "full_campaign: %s\n", e.what());
+        return 4;
     }
-    std::ofstream(out + "_dataset.csv") << dataset.to_csv();
-    std::printf("%zu golden executions for %zu campaigns (cache hits: %zu)\n",
-                runner.golden_executions(), selected.size(),
-                selected.size() - runner.golden_executions());
-    std::printf("wrote %s_faults.csv (per-fault records), %s_campaigns.jsonl "
-                "(per-campaign summaries) and %s_dataset.csv (scenario x "
-                "metric join)\n",
-                out.c_str(), out.c_str(), out.c_str());
     return 0;
 }

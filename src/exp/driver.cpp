@@ -1,0 +1,453 @@
+#include "exp/driver.hpp"
+
+#include <cstdarg>
+#include <fstream>
+#include <sstream>
+
+#include "stats/report.hpp"
+#include "stats/sizing.hpp"
+#include "stats/tally.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace serep::exp {
+
+namespace {
+
+constexpr const char* kStateMagic = "serep-exp-state";
+
+void logf(std::FILE* f, const char* fmt, ...) {
+    if (!f) return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(f, fmt, ap);
+    va_end(ap);
+}
+
+/// Read a whole file; false when it cannot be opened (missing = resumable).
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path);
+    if (!in.good()) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+orch::BatchOptions batch_options_impl(const ExperimentSpec& spec) {
+    orch::BatchOptions opts;
+    opts.threads = spec.threads < 1 ? 1 : spec.threads;
+    opts.ladder.stride = spec.stride;
+    opts.ladder.enabled = spec.checkpoints;
+    opts.ladder.delta_snapshots = spec.delta;
+    opts.ladder.adaptive = spec.adaptive;
+    opts.engine =
+        spec.engine == "switch" ? sim::Engine::Switch : sim::Engine::Cached;
+    return opts;
+}
+
+enum class DbState { Missing, Match, Incomplete };
+
+/// Resume probe for one shard database: Missing (run it), Match (skip it),
+/// Incomplete (THIS spec's shard, but record lines were truncated by a
+/// killed worker — safe to re-run and overwrite), or a ValidationError —
+/// anything at the path that is not THIS spec's shard k-of-n output must
+/// never be silently blended or overwritten.
+DbState check_shard_db(const std::string& path, const ExperimentPlan& plan,
+                       unsigned k, unsigned n) {
+    std::string contents;
+    if (!read_file(path, contents) || contents.empty()) return DbState::Missing;
+    const std::size_t eol = contents.find('\n');
+    util::JsonValue manifest;
+    try {
+        manifest = util::json_parse(
+            contents.substr(0, eol == std::string::npos ? contents.size() : eol));
+        util::check_valid(manifest.find("magic") &&
+                              manifest.at("magic").as_string() == "serep-shard",
+                          "not a serep shard database");
+    } catch (const util::Error&) {
+        throw util::ValidationError(
+            "resume: " + path +
+            " exists but is not a serep shard database — delete it or move "
+            "it out of the way");
+    }
+    // Field extraction can trip on a truncated manifest; that is a corrupt
+    // artifact (exit 3 + a delete-or-move hint), not an internal error.
+    bool has_hash = false;
+    std::string hash;
+    std::uint64_t got_shard = 0, got_count = 0, want_records = 0;
+    bool has_records = false;
+    try {
+        if (const util::JsonValue* h = manifest.find("spec_hash")) {
+            hash = h->as_string();
+            has_hash = true;
+        }
+        if (const util::JsonValue* r = manifest.find("records")) {
+            want_records = r->as_u64();
+            has_records = true;
+        }
+        got_shard = manifest.at("shard").as_u64();
+        got_count = manifest.at("count").as_u64();
+    } catch (const util::Error& e) {
+        throw util::ValidationError("resume: " + path +
+                                    ": corrupt shard manifest (" +
+                                    std::string(e.what()) +
+                                    ") — delete it or move it out of the way");
+    }
+    util::check_valid(has_hash,
+                      "resume: " + path +
+                          " carries no experiment annotation (written by a "
+                          "legacy `serep shard`?) — delete it or move it out "
+                          "of the way");
+    util::check_valid(
+        hash == plan.spec_hash_hex(),
+        "resume: " + path + " belongs to a different experiment (spec " +
+            hash + ", this spec is " + plan.spec_hash_hex() +
+            ") — refusing to blend; delete the file or restore the "
+            "original spec");
+    util::check_valid(got_shard == k && got_count == n,
+                      "resume: " + path + " is shard " +
+                          std::to_string(got_shard) + " of " +
+                          std::to_string(got_count) + ", expected " +
+                          std::to_string(k) + " of " + std::to_string(n));
+    // The manifest belongs to this spec — now make sure the record lines
+    // behind it are all there. A worker killed mid-write leaves a database
+    // that must be RE-RUN, not skipped (and then blamed by the merge).
+    if (contents.back() != '\n') return DbState::Incomplete; // torn last line
+    if (eol == std::string::npos) return DbState::Incomplete;
+    std::uint64_t lines = 0;
+    std::size_t pos = eol + 1;
+    while (pos < contents.size()) {
+        std::size_t next = contents.find('\n', pos);
+        if (next == std::string::npos) next = contents.size();
+        if (next > pos) ++lines; // skip blank lines, count records
+        pos = next + 1;
+    }
+    if (has_records && lines != want_records) return DbState::Incomplete;
+    return DbState::Match;
+}
+
+/// Render the spec's requested report files from the merged campaign JSONL
+/// (the same input shape `serep report` consumes, so the rendered bytes are
+/// identical to the legacy report pipeline's).
+void render_reports(ExperimentPlan& plan, DriverResult& res, std::FILE* log) {
+    const ExperimentSpec& spec = plan.spec();
+    if (spec.report_md.empty() && spec.report_csv.empty() &&
+        spec.report_json.empty())
+        return;
+    std::string jsonl;
+    util::check(read_file(plan.jsonl_path(), jsonl),
+                "cannot read campaign database " + plan.jsonl_path());
+    stats::OutcomeTally tally;
+    tally.add_database(jsonl, plan.jsonl_path());
+
+    stats::ReportOptions ropts;
+    ropts.confidence = spec.confidence;
+    ropts.top_registers = spec.top_regs;
+    const struct {
+        const std::string* path;
+        stats::ReportOptions::Format format;
+        const char* what;
+    } outputs[] = {
+        {&spec.report_md, stats::ReportOptions::Format::Markdown, "markdown"},
+        {&spec.report_csv, stats::ReportOptions::Format::Csv, "csv"},
+        {&spec.report_json, stats::ReportOptions::Format::FigureJson,
+         "figure-json"},
+    };
+    for (const auto& o : outputs) {
+        if (o.path->empty()) continue;
+        ropts.format = o.format;
+        const std::string report = stats::render_report(tally, ropts);
+        std::ofstream os(*o.path);
+        util::check(os.good(), "cannot open report file " + *o.path);
+        os << report;
+        util::check(os.good(), "error writing " + *o.path);
+        logf(log, "report: %s -> %s\n", o.what, o.path->c_str());
+        res.report_written = true;
+    }
+}
+
+void write_state(ExperimentPlan& plan) {
+    std::ofstream os(plan.state_path());
+    util::check(os.good(), "cannot open state file " + plan.state_path());
+    util::JsonWriter w(os);
+    w.begin_object();
+    w.key("magic").value(kStateMagic);
+    w.key("experiment").value(plan.spec().name);
+    w.key("spec_hash").value(plan.spec_hash_hex());
+    w.key("complete").value(true);
+    w.end_object();
+    os << '\n';
+    util::check(os.good(), "error writing " + plan.state_path());
+}
+
+/// Adaptive resume: true when the sidecar records a completed run of THIS
+/// spec and the outputs are still present. A sidecar for a different spec
+/// is refused, not overwritten.
+bool state_matches(ExperimentPlan& plan) {
+    std::string contents;
+    if (!read_file(plan.state_path(), contents)) return false;
+    util::JsonValue state;
+    try {
+        state = util::json_parse(contents);
+        util::check_valid(state.find("magic") &&
+                              state.at("magic").as_string() == kStateMagic,
+                          "bad magic");
+    } catch (const util::Error&) {
+        throw util::ValidationError("resume: " + plan.state_path() +
+                                    " exists but is not a serep experiment "
+                                    "state file — delete it");
+    }
+    std::string hash;
+    bool complete = false;
+    try {
+        hash = state.at("spec_hash").as_string();
+        complete = state.at("complete").as_bool();
+    } catch (const util::Error& e) {
+        throw util::ValidationError("resume: " + plan.state_path() +
+                                    ": corrupt experiment state file (" +
+                                    std::string(e.what()) + ") — delete it");
+    }
+    util::check_valid(
+        hash == plan.spec_hash_hex(),
+        "resume: " + plan.state_path() +
+            " records a different experiment (spec " + hash +
+            ", this spec is " + plan.spec_hash_hex() +
+            ") — refusing to blend; delete the file or restore the "
+            "original spec");
+    std::string ignored;
+    return complete && read_file(plan.csv_path(), ignored) &&
+           read_file(plan.jsonl_path(), ignored);
+}
+
+DriverResult run_adaptive(ExperimentPlan& plan, const DriverOptions& opts) {
+    const ExperimentSpec& spec = plan.spec();
+    util::check_usage(!spec.out.empty(),
+                      "adaptive (target_ci) experiments need spec.out");
+    DriverResult res;
+    res.fault_space = plan.jobs().size() * spec.faults;
+    if (opts.resume && state_matches(plan)) {
+        logf(opts.log, "[skip] experiment complete (state %s matches spec %s)\n",
+             plan.state_path().c_str(), plan.spec_hash_hex().c_str());
+        res.shards_skipped = 1;
+        render_reports(plan, res, opts.log);
+        return res;
+    }
+
+    stats::StatsOptions sopts;
+    sopts.target_half_width = spec.target_ci;
+    sopts.confidence = spec.ci_confidence;
+    sopts.batch_faults = spec.ci_batch;
+    sopts.min_faults = spec.ci_min;
+    const std::vector<stats::AdaptiveJobResult> adaptive =
+        stats::run_adaptive_campaign(plan.shard_jobs(), batch_options(spec),
+                                     sopts);
+
+    std::ofstream csv(plan.csv_path());
+    std::ofstream jsonl(plan.jsonl_path());
+    util::check(csv.good(), "cannot open output file " + plan.csv_path());
+    util::check(jsonl.good(), "cannot open output file " + plan.jsonl_path());
+    std::size_t space = 0;
+    for (std::size_t i = 0; i < adaptive.size(); ++i) {
+        const stats::AdaptiveJobResult& a = adaptive[i];
+        if (i == 0) {
+            csv << core::campaign_csv(a.result);
+        } else {
+            const std::string rows = core::campaign_csv(a.result);
+            csv << rows.substr(rows.find('\n') + 1);
+        }
+        jsonl << core::campaign_json(a.result) << '\n';
+        res.injected += a.result.records.size();
+        space += a.fault_space;
+        logf(opts.log,
+             "[%3zu] %-18s injected %4zu/%u in %u rounds, masked=%5.1f%% "
+             "maxCI=%.3f%s\n",
+             i + 1, a.result.scenario.name().c_str(), a.result.records.size(),
+             a.fault_space, a.rounds, a.result.masked_pct(), a.max_half_width,
+             a.converged ? "" : " (fault space exhausted)");
+    }
+    // Close before rendering: render_reports re-reads the JSONL from disk,
+    // and a small experiment's tail can otherwise still sit in the filebuf.
+    csv.close();
+    jsonl.close();
+    util::check(!csv.fail() && !jsonl.fail(),
+                "error writing campaign databases");
+    res.fault_space = space;
+    res.shards_run = 1;
+    res.merged = true;
+    logf(opts.log,
+         "sizing target-ci=%.3f: injected %zu of %zu faults -> %s, %s\n",
+         spec.target_ci, res.injected, space, plan.csv_path().c_str(),
+         plan.jsonl_path().c_str());
+    // The completion sidecar exists only for the resume machinery; the
+    // legacy shim (resume off) must not leave artifacts the old
+    // `serep campaign --target-ci` never produced.
+    if (opts.resume) write_state(plan);
+    res.results.reserve(adaptive.size());
+    for (const stats::AdaptiveJobResult& a : adaptive)
+        res.results.push_back(a.result);
+    render_reports(plan, res, opts.log);
+    return res;
+}
+
+DriverResult run_direct(ExperimentPlan& plan, const DriverOptions& opts) {
+    const ExperimentSpec& spec = plan.spec();
+    DriverResult res;
+    res.fault_space = plan.jobs().size() * spec.faults;
+
+    orch::BatchRunner runner(batch_options(spec));
+    for (const PlannedJob& j : plan.jobs()) runner.add(j.scenario, j.cfg);
+
+    std::ofstream csv, jsonl;
+    if (!spec.out.empty()) {
+        csv.open(plan.csv_path());
+        jsonl.open(plan.jsonl_path());
+        util::check(csv.good(), "cannot open output file " + plan.csv_path());
+        util::check(jsonl.good(),
+                    "cannot open output file " + plan.jsonl_path());
+        runner.set_csv_sink(&csv);
+        runner.set_json_sink(&jsonl);
+    }
+    res.results = runner.run_all();
+    for (std::size_t i = 0; i < res.results.size(); ++i) {
+        res.injected += res.results[i].records.size();
+        logf(opts.log, "[%3zu] %-18s masked=%5.1f%%\n", i + 1,
+             res.results[i].scenario.name().c_str(),
+             res.results[i].masked_pct());
+    }
+    res.shards_run = 1;
+    if (!spec.out.empty()) {
+        // Close before rendering: render_reports re-reads the JSONL from
+        // disk and must see the buffered tail.
+        csv.close();
+        jsonl.close();
+        util::check(!csv.fail() && !jsonl.fail(),
+                    "error writing campaign databases");
+        res.merged = true;
+        logf(opts.log, "campaign: %zu jobs -> %s, %s\n", plan.jobs().size(),
+             plan.csv_path().c_str(), plan.jsonl_path().c_str());
+        render_reports(plan, res, opts.log);
+    }
+    return res;
+}
+
+DriverResult run_sharded(ExperimentPlan& plan, const DriverOptions& opts) {
+    const ExperimentSpec& spec = plan.spec();
+    util::check_usage(!spec.out.empty(),
+                      "sharded experiments need spec.out (file prefix for "
+                      "the shard and campaign databases)");
+    const unsigned n = plan.shard_count();
+    const std::vector<orch::ShardJobSpec> jobs = plan.shard_jobs();
+    const orch::ShardDbAnnotation note{spec.name, plan.spec_hash_hex()};
+    const orch::BatchOptions bopts = batch_options(spec);
+
+    DriverResult res;
+    res.fault_space = jobs.size() * spec.faults;
+
+    const auto run_one = [&](unsigned k, const std::string& path) {
+        if (opts.resume) {
+            const DbState state = check_shard_db(path, plan, k, n);
+            if (state == DbState::Match) {
+                logf(opts.log, "[skip] shard %u/%u: %s matches spec %s\n", k,
+                     n, path.c_str(), plan.spec_hash_hex().c_str());
+                ++res.shards_skipped;
+                return;
+            }
+            if (state == DbState::Incomplete)
+                logf(opts.log,
+                     "shard %u/%u: %s is truncated (interrupted worker?) — "
+                     "re-running\n",
+                     k, n, path.c_str());
+        }
+        // The weighted cut probes golden lengths at most once per plan; say
+        // so the first time, with the bakeable vector, so remote workers
+        // can skip the probe entirely.
+        if (plan.weighted() && !plan.weights_ready())
+            logf(opts.log,
+                 "probing golden lengths for the weighted cut (bake the "
+                 "weights the plan prints into shard.weights to skip this)\n");
+        std::ofstream os(path);
+        util::check(os.good(), "cannot open output file " + path);
+        const orch::ShardRunStats st =
+            plan.weighted()
+                ? orch::run_shard(jobs, plan.weighted_plan(k), bopts, os, &note)
+                : orch::run_shard(jobs, orch::ShardPlan{k, n}, bopts, os,
+                                  &note);
+        util::check(os.good(), "error writing shard database " + path);
+        logf(opts.log, "shard %u/%u%s: injected %zu of %zu faults -> %s\n", k,
+             n, plan.weighted() ? " (weighted)" : "", st.owned, st.fault_space,
+             path.c_str());
+        ++res.shards_run;
+        res.injected += st.owned;
+        res.fault_space = st.fault_space;
+    };
+
+    if (opts.only_shard >= 0) {
+        const unsigned k = static_cast<unsigned>(opts.only_shard);
+        util::check_usage(k < n, "shard index " + std::to_string(k) +
+                                     " out of range (the spec declares " +
+                                     std::to_string(n) + " shards)");
+        run_one(k, opts.shard_out.empty() ? plan.shard_db_path(k)
+                                          : opts.shard_out);
+        return res;
+    }
+
+    for (unsigned k = 0; k < n; ++k) run_one(k, plan.shard_db_path(k));
+
+    // Merge — a cheap pure function of the shard databases; always re-run
+    // so the canonical CSV/JSONL and reports exist even when every shard
+    // resumed.
+    std::vector<std::string> dbs(n);
+    for (unsigned k = 0; k < n; ++k)
+        util::check(read_file(plan.shard_db_path(k), dbs[k]),
+                    "cannot read shard database " + plan.shard_db_path(k));
+    std::ofstream csv(plan.csv_path());
+    std::ofstream jsonl(plan.jsonl_path());
+    util::check(csv.good(), "cannot open output file " + plan.csv_path());
+    util::check(jsonl.good(), "cannot open output file " + plan.jsonl_path());
+    try {
+        res.results = orch::merge_shards(dbs, &csv, &jsonl);
+    } catch (const util::ValidationError&) {
+        throw;
+    } catch (const util::Error& e) {
+        // Anything merge_shards trips over means the shard databases are
+        // not a consistent set.
+        throw util::ValidationError(e.what());
+    }
+    // Close before rendering: render_reports re-reads the JSONL from disk,
+    // and a small experiment's tail can otherwise still sit in the filebuf.
+    csv.close();
+    jsonl.close();
+    util::check(!csv.fail() && !jsonl.fail(),
+                "error writing campaign databases");
+    res.merged = true;
+    logf(opts.log, "merge: %u shard databases, %zu jobs -> %s, %s\n", n,
+         res.results.size(), plan.csv_path().c_str(),
+         plan.jsonl_path().c_str());
+    render_reports(plan, res, opts.log);
+    return res;
+}
+
+} // namespace
+
+orch::BatchOptions batch_options(const ExperimentSpec& spec) {
+    return batch_options_impl(spec);
+}
+
+DriverResult run_experiment(ExperimentPlan& plan, const DriverOptions& opts) {
+    const ExperimentSpec& spec = plan.spec();
+    if (spec.target_ci > 0) {
+        util::check_usage(opts.only_shard < 0,
+                          "adaptive (target_ci) experiments cannot run as "
+                          "shards");
+        return run_adaptive(plan, opts);
+    }
+    if (opts.direct || spec.out.empty()) {
+        util::check_usage(opts.only_shard < 0,
+                          "only_shard requires the sharded execution path");
+        return run_direct(plan, opts);
+    }
+    return run_sharded(plan, opts);
+}
+
+} // namespace serep::exp

@@ -1,0 +1,82 @@
+// exp::Driver (layer 3 of src/exp/): execute a planned experiment end to
+// end — golden runs, shard/fault runs, merge, report — with resume.
+//
+// Three execution paths, chosen by the spec:
+//
+//  * adaptive (fault.target_ci > 0): the stats sizer's sequential stopping
+//    rule, single process; CSV/JSONL outputs byte-identical to the legacy
+//    `serep campaign --target-ci` path. Completion is recorded in a small
+//    `<out>.exp.json` sidecar carrying the spec hash (the CSV itself
+//    cannot carry one without changing bytes).
+//  * direct (DriverOptions::direct, or spec.out empty): one BatchRunner
+//    pass streaming CSV/JSONL exactly like the legacy `serep campaign` /
+//    `full_campaign` code — the compatibility shim path. No resume, no
+//    intermediate files. With spec.out empty nothing is written at all and
+//    the results come back in memory (the bench drivers).
+//  * sharded (default for `serep run`, any shard count >= 1): each shard k
+//    runs to `<out>_shard<k>.jsonl` — its manifest annotated with the spec
+//    hash — then the shards merge into the canonical `<out>_faults.csv` /
+//    `<out>_campaigns.jsonl`, byte-identical to the single-process run
+//    (the PR-2 invariant), and the requested reports are rendered from the
+//    merged database.
+//
+// Resume: a shard database already on disk whose manifest carries this
+// spec's hash is skipped (its bytes ARE the job's output — determinism
+// makes re-running it pointless); a database at that path with a different
+// or missing spec hash is REFUSED (util::ValidationError, serep exit 3) —
+// stale artifacts never silently blend into a fresh experiment. Merge and
+// report are cheap pure functions of the shard databases and re-run every
+// time. DriverOptions::only_shard runs exactly one shard and stops before
+// the merge — the remote-worker unit (`serep run spec.json --shard=k/n`);
+// gathering the files and re-running `serep run spec.json` merges them.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/plan.hpp"
+
+namespace serep::exp {
+
+struct DriverOptions {
+    /// Skip shard databases whose manifests match the spec hash; refuse
+    /// mismatches. Off = always re-run, overwrite (legacy shim semantics).
+    bool resume = true;
+    /// >= 0: run only this shard index, write its database, stop (no merge,
+    /// no report).
+    int only_shard = -1;
+    /// Override the shard database path when only_shard >= 0 (the legacy
+    /// `serep shard --out=FILE` spelling). Empty = plan.shard_db_path(k).
+    std::string shard_out;
+    /// Force the direct single-pass path regardless of spec.shards (legacy
+    /// `serep campaign` / `full_campaign` compatibility).
+    bool direct = false;
+    /// Progress stream (skip/run/merge/report lines); null = quiet.
+    std::FILE* log = stdout;
+};
+
+struct DriverResult {
+    /// Per-job campaign results in plan order. Empty when only_shard was
+    /// used (the merge step reassembles them later) and when every stage
+    /// of a resumed run was skipped.
+    std::vector<core::CampaignResult> results;
+    std::size_t shards_run = 0;
+    std::size_t shards_skipped = 0;
+    std::size_t injected = 0;    ///< fault records written by this invocation
+    std::size_t fault_space = 0; ///< total fault space of the experiment
+    bool merged = false;         ///< canonical CSV/JSONL were (re)written
+    bool report_written = false; ///< at least one report file was rendered
+};
+
+/// Execute the experiment. Throws util::UsageError on contradictory
+/// options, util::ValidationError on resume conflicts (spec-hash mismatch,
+/// corrupt shard databases), util::Error on I/O failure.
+DriverResult run_experiment(ExperimentPlan& plan,
+                            const DriverOptions& opts = {});
+
+/// The BatchOptions every execution path derives from a spec — the single
+/// successor of the old per-tool `batch_options_from_cli` plumbing.
+orch::BatchOptions batch_options(const ExperimentSpec& spec);
+
+} // namespace serep::exp

@@ -1,0 +1,221 @@
+#include "exp/plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace serep::exp {
+
+namespace {
+
+npb::Klass klass_from_spec(const std::string& name) {
+    for (npb::Klass k : {npb::Klass::Mini, npb::Klass::S, npb::Klass::W})
+        if (name == npb::klass_name(k)) return k;
+    util::fail_usage("spec: unknown problem class '" + name +
+                     "' (expected Mini, S, or W)");
+}
+
+const char* isa_str(const npb::Scenario& s) noexcept {
+    return isa::profile_short_name(s.isa);
+}
+
+template <typename T>
+bool matches(const std::vector<T>& set, const T& v) {
+    return set.empty() || std::find(set.begin(), set.end(), v) != set.end();
+}
+
+bool same_cell(const npb::Scenario& s, const CellSpec& c) {
+    return c.isa == isa_str(s) && c.app == npb::app_name(s.app) &&
+           c.api == npb::api_name(s.api) && c.cores == s.cores;
+}
+
+} // namespace
+
+ExperimentPlan::ExperimentPlan(ExperimentSpec spec) : spec_(std::move(spec)) {
+    spec_.validate();
+    spec_hash_ = spec_.spec_hash();
+    hash_hex_ = spec_.spec_hash_hex();
+
+    const npb::Klass klass = klass_from_spec(spec_.klass);
+    core::CampaignConfig cfg;
+    cfg.n_faults = spec_.faults;
+    cfg.seed = spec_.seed;
+    cfg.watchdog_factor = spec_.watchdog;
+    cfg.include_fp_regs = spec_.kind == "fp";
+    cfg.memory_faults = spec_.kind == "mem";
+    cfg.host_threads = spec_.threads;
+
+    // fp campaigns only exist on the v8 profile; an unconstrained matrix
+    // narrows to it (an explicit v7 was already rejected in validate()).
+    std::vector<std::string> isas = spec_.isas;
+    if (spec_.kind == "fp" && isas.empty()) isas = {"v8"};
+
+    const std::vector<npb::Scenario> all = npb::paper_scenarios(klass);
+    std::vector<npb::Scenario> selected;
+
+    // Explicit cells first, in spec order (the bench drivers depend on
+    // result order matching their table layout).
+    for (const CellSpec& c : spec_.cells) {
+        const auto it = std::find_if(all.begin(), all.end(),
+                                     [&](const npb::Scenario& s) {
+                                         return same_cell(s, c);
+                                     });
+        util::check_usage(
+            it != all.end(),
+            "spec: matrix.cells names a configuration the paper does not "
+            "have: " + c.isa + "-" + c.app + "-" + c.api + "-" +
+                std::to_string(c.cores) +
+                " (check app/API availability and the BT/SP MPI "
+                "square-core restriction)");
+        const bool dup = std::any_of(selected.begin(), selected.end(),
+                                     [&](const npb::Scenario& s) {
+                                         return same_cell(s, c);
+                                     });
+        util::check_usage(!dup, "spec: matrix.cells lists " + it->name() +
+                                    " more than once");
+        selected.push_back(*it);
+    }
+
+    // Cross-product matches in canonical paper order, minus cell duplicates.
+    if (spec_.cross_product) {
+        for (const npb::Scenario& s : all) {
+            if (!matches(isas, std::string(isa_str(s)))) continue;
+            if (!matches(spec_.apps, std::string(npb::app_name(s.app))))
+                continue;
+            if (!matches(spec_.apis, std::string(npb::api_name(s.api))))
+                continue;
+            if (!matches(spec_.cores, s.cores)) continue;
+            const bool dup =
+                std::any_of(spec_.cells.begin(), spec_.cells.end(),
+                            [&](const CellSpec& c) { return same_cell(s, c); });
+            if (!dup) selected.push_back(s);
+        }
+    }
+    util::check_usage(!selected.empty(),
+                      "spec: no scenarios match the given matrix");
+
+    for (const npb::Scenario& s : selected) {
+        PlannedJob j;
+        j.scenario = s;
+        j.cfg = cfg;
+        j.id = s.name() + "-" + spec_.klass + "-" + spec_.kind;
+        jobs_.push_back(std::move(j));
+    }
+
+    util::check_usage(spec_.weights.empty() ||
+                          spec_.weights.size() == jobs_.size(),
+                      "spec: shard.weights has " +
+                          std::to_string(spec_.weights.size()) +
+                          " entries but the matrix expands to " +
+                          std::to_string(jobs_.size()) +
+                          " jobs (one weight per job)");
+}
+
+std::vector<orch::ShardJobSpec> ExperimentPlan::shard_jobs() const {
+    std::vector<orch::ShardJobSpec> out;
+    out.reserve(jobs_.size());
+    for (const PlannedJob& j : jobs_) out.push_back({j.scenario, j.cfg});
+    return out;
+}
+
+const std::vector<double>& ExperimentPlan::weights() {
+    if (!spec_.weights.empty()) return spec_.weights;
+    if (weights_.empty()) weights_ = orch::probe_job_weights(shard_jobs());
+    return weights_;
+}
+
+orch::WeightedShardPlan ExperimentPlan::weighted_plan(unsigned index) {
+    return orch::make_weighted_plan(weights(), index, spec_.shards);
+}
+
+std::string ExperimentPlan::listing() {
+    std::ostringstream os;
+    char buf[160];
+
+    os << "experiment " << spec_.name << " (spec " << hash_hex_ << ")\n";
+    std::snprintf(buf, sizeof buf,
+                  "fault model: kind=%s faults/job=%u seed=0x%llx\n",
+                  spec_.kind.c_str(), spec_.faults,
+                  static_cast<unsigned long long>(spec_.seed));
+    os << buf;
+    if (spec_.target_ci > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "sizing: target-ci=%.3g @ %.2f confidence (batch %u, "
+                      "min %u); faults/job is the ceiling\n",
+                      spec_.target_ci, spec_.ci_confidence, spec_.ci_batch,
+                      spec_.ci_min);
+        os << buf;
+    }
+    std::snprintf(buf, sizeof buf, "engine: %s, %u threads, checkpoints %s\n",
+                  spec_.engine.c_str(), spec_.threads,
+                  !spec_.checkpoints ? "off"
+                  : spec_.adaptive
+                      ? (spec_.delta ? "on (adaptive stride, delta rungs)"
+                                     : "on (adaptive stride, full rungs)")
+                      : (spec_.delta ? "on (fixed stride, delta rungs)"
+                                     : "on (fixed stride, full rungs)"));
+    os << buf;
+
+    const std::uint64_t space =
+        static_cast<std::uint64_t>(jobs_.size()) * spec_.faults;
+    std::snprintf(buf, sizeof buf, "jobs: %zu, fault space %llu\n",
+                  jobs_.size(), static_cast<unsigned long long>(space));
+    os << buf;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        std::snprintf(buf, sizeof buf, "  [%3zu] %s\n", i,
+                      jobs_[i].id.c_str());
+        os << buf;
+    }
+
+    if (spec_.shards > 1) {
+        std::snprintf(buf, sizeof buf, "shards: %u %s -> %s_shard<k>.jsonl",
+                      spec_.shards, spec_.partition.c_str(),
+                      spec_.out.c_str());
+        os << buf;
+        if (!weighted()) {
+            std::snprintf(buf, sizeof buf, ", ~%llu faults/shard\n",
+                          static_cast<unsigned long long>(
+                              (space + spec_.shards - 1) / spec_.shards));
+            os << buf;
+        } else if (weights_ready()) {
+            // The cached (or baked) vector feeds this estimate AND every
+            // shard cut of a subsequent run in this process — one probe per
+            // experiment, never one per shard.
+            const std::vector<double>& w = weights();
+            double total = 0;
+            for (double x : w) total += x > 0 ? x : 0;
+            std::snprintf(buf, sizeof buf,
+                          ", equal-work cut: ~%.3g weight units/shard\n",
+                          total / spec_.shards);
+            os << buf;
+            os << "  weights: [";
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                std::snprintf(buf, sizeof buf, "%s%.0f", i ? ", " : "", w[i]);
+                os << buf;
+            }
+            os << "]  (bake into shard.weights to skip probing)\n";
+        } else {
+            // Listing never probes on its own: a fully-resumed `serep run`
+            // must stay golden-run-free. `serep plan` probes explicitly and
+            // prints the bakeable vector through the branch above.
+            os << ", equal-work cut (weights probed at run time; `serep "
+                  "plan` prints a bakeable vector)\n";
+        }
+    } else {
+        os << "shards: none (single process)\n";
+    }
+
+    if (!spec_.out.empty())
+        os << "outputs: " << csv_path() << ", " << jsonl_path() << "\n";
+    if (!spec_.report_md.empty())
+        os << "report: markdown -> " << spec_.report_md << "\n";
+    if (!spec_.report_csv.empty())
+        os << "report: csv -> " << spec_.report_csv << "\n";
+    if (!spec_.report_json.empty())
+        os << "report: figure-json -> " << spec_.report_json << "\n";
+    return os.str();
+}
+
+} // namespace serep::exp

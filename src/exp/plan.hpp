@@ -1,0 +1,91 @@
+// Planner (layer 2 of src/exp/): expand an ExperimentSpec into the
+// canonical ExperimentPlan — the exact, ordered job list every execution
+// path (direct, sharded, adaptive) agrees on.
+//
+// Canonical job order is the paper_scenarios() order PR 1's filter_scenarios
+// has always produced (so a spec-driven run is byte-identical to the legacy
+// flag-driven one), with one extension: explicit matrix.cells come first, in
+// the order the spec lists them, and the cross-product matches follow minus
+// any duplicates. Each job gets a stable human-readable id
+// ("ARMv7-EP-SER-1-Mini-gpr") and the whole plan carries the spec hash that
+// flows into shard manifests, resume checks, and report provenance.
+//
+// The plan also owns the weighted-partition probe: weights are probed at
+// most ONCE per plan (or taken verbatim from spec.shard.weights) and the
+// cached vector feeds both the dry-run work estimate (`serep plan`) and
+// every shard's cut (`serep run`) — golden-length probing happens at most
+// once per experiment instead of once per shard invocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "orch/shard.hpp"
+
+namespace serep::exp {
+
+struct PlannedJob {
+    std::string id; ///< "ARMv7-EP-SER-1-Mini-gpr" — stable across runs
+    npb::Scenario scenario;
+    core::CampaignConfig cfg;
+};
+
+class ExperimentPlan {
+public:
+    /// Expand (and re-validate) the spec. Throws util::UsageError when the
+    /// matrix matches no paper scenario, an explicit cell names a
+    /// configuration the paper does not have, or spec.shard.weights has the
+    /// wrong length for the job list.
+    explicit ExperimentPlan(ExperimentSpec spec);
+
+    const ExperimentSpec& spec() const noexcept { return spec_; }
+    const std::vector<PlannedJob>& jobs() const noexcept { return jobs_; }
+    std::uint64_t spec_hash() const noexcept { return spec_hash_; }
+    const std::string& spec_hash_hex() const noexcept { return hash_hex_; }
+
+    /// The job list in the shape the orch layer consumes.
+    std::vector<orch::ShardJobSpec> shard_jobs() const;
+
+    bool weighted() const noexcept { return spec_.partition == "weighted"; }
+    unsigned shard_count() const noexcept { return spec_.shards; }
+
+    /// Per-job work weights for the weighted partition: spec.shard.weights
+    /// when baked in, otherwise probed (one golden execution per distinct
+    /// scenario) on first call and cached — the single probe the dry-run
+    /// estimate and every shard cut share.
+    const std::vector<double>& weights();
+    /// True once weights() would return without running any probe.
+    bool weights_ready() const noexcept {
+        return !weights_.empty() || !spec_.weights.empty();
+    }
+
+    /// Shard `index`'s weighted cut, built from weights().
+    orch::WeightedShardPlan weighted_plan(unsigned index);
+
+    /// Dry-run listing: spec hash, fault model, job ids, shard layout and
+    /// an estimated-work line. Never probes on its own (a fully-resumed
+    /// `serep run` must stay golden-run-free): the weighted estimate and
+    /// the ready-to-bake "weights": [...] line appear only once weights
+    /// are cached or baked — `serep plan` probes explicitly first.
+    std::string listing();
+
+    // Output-file naming shared by the driver, the CLI, and the tests.
+    std::string csv_path() const { return spec_.out + "_faults.csv"; }
+    std::string jsonl_path() const { return spec_.out + "_campaigns.jsonl"; }
+    std::string shard_db_path(unsigned k) const {
+        return spec_.out + "_shard" + std::to_string(k) + ".jsonl";
+    }
+    /// Completion sidecar for the adaptive (target_ci) path, whose CSV/JSONL
+    /// outputs cannot carry the spec hash themselves.
+    std::string state_path() const { return spec_.out + ".exp.json"; }
+
+private:
+    ExperimentSpec spec_;
+    std::vector<PlannedJob> jobs_;
+    std::uint64_t spec_hash_ = 0;
+    std::string hash_hex_;
+    std::vector<double> weights_; ///< probe cache (empty until needed)
+};
+
+} // namespace serep::exp

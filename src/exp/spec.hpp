@@ -1,0 +1,146 @@
+// Declarative experiment specifications (layer 1 of src/exp/).
+//
+// The paper's contribution is breadth — 570M injections over a 130-cell
+// scenario matrix — and reproducing any slice of it used to mean hand-wiring
+// CampaignConfig, BatchOptions, StatsOptions and per-subcommand serep flags.
+// An ExperimentSpec is the replacement: ONE serializable document that names
+// an entire experiment —
+//
+//   * the scenario matrix (ISA / app / API / cores sets, cross-product
+//     and/or explicit cells),
+//   * the fault model (gpr | fp | mem, fixed count or --target-ci sizing),
+//   * engine and checkpoint knobs,
+//   * shard partitioning (uniform or weighted, shard count, baked weights),
+//   * report outputs (markdown / CSV / figure-JSON paths).
+//
+// Specs load from JSON (util::json), serialize back to a *canonical* compact
+// form (fixed field order, every field present), and carry a stable
+// spec hash: an FNV-1a fold of the canonical serialization of the
+// experiment-identity fields (matrix + fault model + shard count and
+// partition scheme). The hash subsumes orch::campaign_config_hash — the job
+// list derives deterministically from those fields — and is written into
+// every shard outcome database the exp::Driver produces, so resumed runs
+// can tell "this database belongs to this spec" apart from "stale artifact
+// of some other experiment". Presentation and execution knobs (name, out
+// prefix, engine, threads, report paths) are deliberately NOT part of the
+// hash: both engines are bit-identical in every observable and thread count
+// never changes outcomes, so completed work survives those edits. Baked
+// shard.weights are excluded too — the probe is deterministic, so pasting
+// the vector `serep plan` prints into the spec must not invalidate shards
+// that finished before the bake (a genuinely different cut is still caught
+// by the partition id every manifest carries).
+//
+// Everything here throws util::UsageError on malformed or contradictory
+// input (the spec is operator input, exit code 2 in serep), with messages
+// that name the offending key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace serep::exp {
+
+/// One explicit scenario cell of the matrix ("that exact configuration").
+struct CellSpec {
+    std::string isa; ///< "v7" / "v8"
+    std::string app; ///< "EP", "CG", ...
+    std::string api; ///< "SER" / "OMP" / "MPI"
+    unsigned cores = 1;
+};
+
+struct ExperimentSpec {
+    // ---- identity / outputs -------------------------------------------
+    std::string name = "experiment";
+    /// Output file prefix: <out>_faults.csv, <out>_campaigns.jsonl,
+    /// <out>_shard<k>.jsonl. Empty = in-memory experiment (no files; only
+    /// the direct single-process path supports this — the bench drivers).
+    std::string out = "campaign";
+
+    // ---- scenario matrix ----------------------------------------------
+    std::string klass = "S"; ///< problem class: "Mini" / "S" / "W"
+    /// Cross-product selectors; an empty list means "no constraint". The
+    /// product is only applied when `cross_product` is true — a spec that
+    /// gives only explicit `cells` runs exactly those cells.
+    std::vector<std::string> isas; ///< subset of {"v7","v8"}
+    std::vector<std::string> apps; ///< subset of the NPB app names
+    std::vector<std::string> apis; ///< subset of {"SER","OMP","MPI"}
+    std::vector<unsigned> cores;   ///< subset of the paper's core counts
+    std::vector<CellSpec> cells;   ///< explicit cells, unioned with the product
+    /// True when the cross-product form participates (always, unless the
+    /// JSON matrix gives cells and none of the four selector keys).
+    bool cross_product = true;
+
+    // ---- fault model ---------------------------------------------------
+    std::string kind = "gpr"; ///< fault-target space: "gpr" / "fp" / "mem"
+    unsigned faults = 100;    ///< fault-space size per job (ceiling when adaptive)
+    std::uint64_t seed = 0xDAC2018;
+    double watchdog = 4.0; ///< hang threshold: golden length x this factor
+    /// > 0 enables confidence-driven sizing (the sequential stopping rule):
+    /// stop each job once every outcome rate's CI half-width is <= this.
+    double target_ci = 0;
+    double ci_confidence = 0.95;
+    unsigned ci_batch = 50;
+    unsigned ci_min = 20;
+
+    // ---- engine / checkpoint knobs (not part of the spec hash) ---------
+    std::string engine = "cached"; ///< "cached" / "switch"
+    unsigned threads = 2;
+    std::uint64_t stride = 0; ///< fixed checkpoint stride; 0 = auto
+    bool checkpoints = true;
+    bool delta = true;    ///< dirty-page delta snapshot rungs
+    bool adaptive = true; ///< probe-based adaptive stride
+
+    // ---- shard partitioning -------------------------------------------
+    unsigned shards = 1;
+    std::string partition = "uniform"; ///< "uniform" / "weighted"
+    /// Optional pre-probed per-job work weights (weighted partition only):
+    /// bake the vector `serep plan` prints into the spec and no worker ever
+    /// probes golden lengths again.
+    std::vector<double> weights;
+
+    // ---- report outputs (not part of the spec hash) --------------------
+    std::string report_md;   ///< markdown report path ("" = skip)
+    std::string report_csv;  ///< rates-CSV report path ("" = skip)
+    std::string report_json; ///< figure-JSON report path ("" = skip)
+    double confidence = 0.95;
+    unsigned top_regs = 8;
+
+    /// Parse + validate a spec from JSON text. Unknown keys are rejected
+    /// with the offending key and its location named (same policy as the
+    /// serep unknown-flag audit: silent typos never reconfigure a campaign).
+    static ExperimentSpec load(const std::string& json_text);
+
+    /// Canonical compact JSON: fixed field order, every field emitted.
+    /// load(canonical_json()) == *this, and two specs that differ only in
+    /// JSON field order canonicalize identically.
+    std::string canonical_json() const;
+
+    /// Stable experiment-identity hash (see file comment). Hex spelling via
+    /// spec_hash_hex() is what shard manifests and resume checks carry.
+    std::uint64_t spec_hash() const;
+    std::string spec_hash_hex() const;
+
+    /// Re-check invariants (load() already calls this; programmatic
+    /// constructors call it through the planner). Throws util::UsageError.
+    void validate() const;
+};
+
+/// Synthesize a spec from the legacy serep/full_campaign flag set
+/// (--isa/--api/--app/--class/--kind/--faults/--seed/--threads/--engine/
+/// --stride/--no-checkpoints/--no-delta/--no-adaptive/--target-ci/
+/// --confidence/--ci-batch/--ci-min/--out). This is the compatibility shim
+/// the legacy subcommands run through — the old per-subcommand CLI->options
+/// plumbing lives nowhere else anymore.
+ExperimentSpec spec_from_legacy_cli(const util::Cli& cli);
+
+/// The filter/config flags spec_from_legacy_cli understands (without the
+/// campaign-only --target-ci family) — the one list every legacy front end
+/// (serep shims, full_campaign) passes to Cli::require_known, so the audit
+/// can never drift from the parser.
+std::vector<std::string> legacy_cli_flags();
+
+} // namespace serep::exp

@@ -51,6 +51,13 @@ inline const char* profile_name(Profile p) noexcept {
     return p == Profile::V7 ? "ARMv7" : "ARMv8";
 }
 
+/// Lowercase CLI/spec spelling ("v7" / "v8") — the convention serep flags,
+/// experiment-spec matrices, and scenario filters share. profile_name() is
+/// the database/report spelling ("ARMv7" / "ARMv8").
+inline const char* profile_short_name(Profile p) noexcept {
+    return p == Profile::V7 ? "v7" : "v8";
+}
+
 /// Register-name helper ("r4", "sp", "pc", "x19", ...).
 std::string reg_name(Profile p, unsigned index);
 std::string fp_reg_name(unsigned index);

@@ -37,6 +37,15 @@ const char* api_name(Api a) noexcept {
     return "??";
 }
 
+const char* klass_name(Klass k) noexcept {
+    switch (k) {
+        case Klass::Mini: return "Mini";
+        case Klass::S: return "S";
+        case Klass::W: return "W";
+    }
+    return "??";
+}
+
 bool app_has_api(App app, Api api) noexcept {
     if (api == Api::MPI) return app != App::DC && app != App::UA;
     if (api == Api::OMP) return app != App::DT;

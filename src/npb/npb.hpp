@@ -32,6 +32,7 @@ inline constexpr App kAllApps[] = {App::BT, App::CG, App::DC, App::DT,
 
 const char* app_name(App a) noexcept;
 const char* api_name(Api a) noexcept;
+const char* klass_name(Klass k) noexcept;
 
 /// Does this (app, api) combination exist (paper §3.3.2)?
 bool app_has_api(App app, Api api) noexcept;

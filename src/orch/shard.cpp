@@ -16,14 +16,7 @@ namespace {
 using util::fnv1a_str;
 using util::fnv1a_u64;
 
-const char* klass_name(npb::Klass k) noexcept {
-    switch (k) {
-        case npb::Klass::Mini: return "Mini";
-        case npb::Klass::S: return "S";
-        case npb::Klass::W: return "W";
-    }
-    return "??";
-}
+using npb::klass_name;
 
 npb::Klass klass_from_name(const std::string& s) {
     for (npb::Klass k : {npb::Klass::Mini, npb::Klass::S, npb::Klass::W})
@@ -76,8 +69,7 @@ std::uint64_t fault_id(const core::Fault& f) noexcept {
 std::vector<npb::Scenario> filter_scenarios(const CampaignFilter& f) {
     std::vector<npb::Scenario> out;
     for (const npb::Scenario& s : npb::paper_scenarios(f.klass)) {
-        if (!f.isa.empty() &&
-            f.isa != (s.isa == isa::Profile::V7 ? "v7" : "v8"))
+        if (!f.isa.empty() && f.isa != isa::profile_short_name(s.isa))
             continue;
         if (!f.api.empty() && f.api != npb::api_name(s.api)) continue;
         if (!f.app.empty() && f.app != npb::app_name(s.app)) continue;
@@ -134,7 +126,8 @@ ShardRunStats write_shard_db(const std::vector<ShardJobSpec>& jobs,
                              unsigned index, unsigned count,
                              const std::string& partition,
                              const std::vector<ShardJobOutput>& outputs,
-                             std::ostream& os) {
+                             std::ostream& os,
+                             const ShardDbAnnotation* note) {
     // Manifest line: everything a merger needs to validate compatibility and
     // rebuild the unsharded database.
     {
@@ -146,6 +139,16 @@ ShardRunStats write_shard_db(const std::vector<ShardJobSpec>& jobs,
         w.key("count").value(count);
         w.key("partition").value(partition);
         w.key("config_hash").value(hash_hex(campaign_config_hash(jobs)));
+        if (note) {
+            w.key("experiment").value(note->experiment);
+            w.key("spec_hash").value(note->spec_hash);
+            // Record-line count, so a resume check can tell a complete
+            // database from one truncated by a killed worker.
+            std::uint64_t records = 0;
+            for (const ShardJobOutput& o : outputs)
+                if (o.records) records += o.records->size();
+            w.key("records").value(records);
+        }
         w.key("jobs").begin_array();
         for (std::size_t j = 0; j < jobs.size(); ++j) {
             const ShardJobSpec& spec = jobs[j];
@@ -208,7 +211,8 @@ ShardRunStats write_shard_db(const std::vector<ShardJobSpec>& jobs,
 } // namespace
 
 ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs, const ShardPlan& plan,
-                        BatchOptions opts, std::ostream& os) {
+                        BatchOptions opts, std::ostream& os,
+                        const ShardDbAnnotation* note) {
     util::check_usage(plan.count >= 1 && plan.index < plan.count,
                       "run_shard: shard index out of range");
     util::check_usage(!jobs.empty(), "run_shard: empty job list");
@@ -220,12 +224,13 @@ ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs, const ShardPlan& 
     for (std::size_t j = 0; j < jobs.size(); ++j)
         outputs[j] = {runner.job_fault_space(j), &results[j].golden,
                       &results[j].records, &runner.job_ordinals(j)};
-    return write_shard_db(jobs, plan.index, plan.count, "uniform", outputs, os);
+    return write_shard_db(jobs, plan.index, plan.count, "uniform", outputs, os,
+                          note);
 }
 
 ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs,
                         const WeightedShardPlan& plan, BatchOptions opts,
-                        std::ostream& os) {
+                        std::ostream& os, const ShardDbAnnotation* note) {
     util::check_usage(plan.count >= 1 && plan.index < plan.count,
                       "run_shard: shard index out of range");
     util::check_usage(!jobs.empty(), "run_shard: empty job list");
@@ -262,7 +267,7 @@ ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs,
     }
     return write_shard_db(jobs, plan.index, plan.count,
                           "weighted-" + hash_hex(plan.partition_hash), outputs,
-                          os);
+                          os, note);
 }
 
 WeightedShardPlan make_weighted_plan(const std::vector<double>& weights,

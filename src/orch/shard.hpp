@@ -120,11 +120,22 @@ struct ShardRunStats {
     std::size_t fault_space = 0; ///< total faults across all jobs
 };
 
+/// Optional experiment provenance written into the shard manifest
+/// ("experiment" + "spec_hash" keys) — the exp::Driver's resume key: a
+/// database at a spec's shard path is reused only when its spec hash
+/// matches. Readers that predate these keys ignore them; merge
+/// compatibility is still governed by config hash + partition id.
+struct ShardDbAnnotation {
+    std::string experiment; ///< ExperimentSpec name
+    std::string spec_hash;  ///< ExperimentSpec::spec_hash_hex()
+};
+
 /// Run shard `plan` of `jobs` on a BatchRunner configured from `opts`
 /// (opts.fault_filter is overwritten with the plan) and write the shard's
 /// outcome database to `os`.
 ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs, const ShardPlan& plan,
-                        BatchOptions opts, std::ostream& os);
+                        BatchOptions opts, std::ostream& os,
+                        const ShardDbAnnotation* note = nullptr);
 
 /// Weighted variant: same database format, same merge path — only the
 /// fault-to-shard assignment differs (plan.job_ranges per job). The N
@@ -132,7 +143,8 @@ ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs, const ShardPlan& 
 /// unsharded run, exactly like uniform shards.
 ShardRunStats run_shard(const std::vector<ShardJobSpec>& jobs,
                         const WeightedShardPlan& plan, BatchOptions opts,
-                        std::ostream& os);
+                        std::ostream& os,
+                        const ShardDbAnnotation* note = nullptr);
 
 /// Merge shard databases (file *contents*, any order). Validates manifests
 /// and record cover, returns the per-job results in job order, and — when

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/check.hpp"
+
 namespace serep::util {
 
 Cli::Cli(int argc, const char* const* argv) {
@@ -38,6 +40,29 @@ std::int64_t Cli::get_int(const std::string& key, std::int64_t dflt) const {
 double Cli::get_double(const std::string& key, double dflt) const {
     const auto it = kv_.find(key);
     return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+void Cli::require_known(const std::vector<std::string>& known) const {
+    std::string offenders;
+    for (const auto& kv : kv_) {
+        if (kv.first == "help") continue;
+        bool ok = false;
+        for (const std::string& k : known) ok = ok || kv.first == k;
+        if (!ok) offenders += (offenders.empty() ? "--" : ", --") + kv.first;
+    }
+    if (offenders.empty()) return;
+    if (known.empty())
+        fail_usage("unknown flag " + offenders +
+                   " (this command takes no --flags)");
+    std::string expected;
+    for (const std::string& k : known)
+        expected += (expected.empty() ? "--" : ", --") + k;
+    fail_usage("unknown flag " + offenders + " (known flags here: " +
+               expected + ")");
+}
+
+void Cli::require_known(std::initializer_list<const char*> known) const {
+    require_known(std::vector<std::string>(known.begin(), known.end()));
 }
 
 } // namespace serep::util

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,6 +25,15 @@ public:
 
     /// Arguments that are neither flags nor flag values, in argv order.
     const std::vector<std::string>& positional() const { return positional_; }
+
+    /// The unknown-flag audit: throw util::UsageError naming every parsed
+    /// --flag outside `known` ("--help" is always allowed). A mistyped flag
+    /// must never be silently ignored — before this audit, `serep campaign
+    /// --fault=500` happily ran 100 faults.
+    void require_known(std::initializer_list<const char*> known) const;
+    /// Same audit over a runtime-assembled list (shared flag sets like
+    /// exp::legacy_cli_flags()).
+    void require_known(const std::vector<std::string>& known) const;
 
 private:
     std::map<std::string, std::string> kv_;

@@ -1,0 +1,469 @@
+// src/exp/ — the declarative experiment-spec API.
+//
+// Contracts gated here:
+//  * Specs round-trip: load -> canonical_json -> load is the identity, and
+//    the canonical form is a fixed point.
+//  * The spec hash is stable under JSON field reordering and blind to
+//    presentation/execution knobs (name, out, reports, engine, threads) —
+//    but moves with every experiment-identity field (matrix, fault model,
+//    shard partitioning).
+//  * Malformed specs are rejected with actionable messages that name the
+//    offending key (unknown keys included — a typo must never silently
+//    reconfigure a campaign).
+//  * The planner expands a spec to the same job list, in the same order,
+//    as the legacy flag-driven filter (byte-identity of the spec pipeline
+//    rests on this), preserves explicit-cell order, and its dry-run
+//    listing matches a checked-in golden.
+//  * The driver's sharded path writes CSV/JSONL byte-identical to the
+//    direct single-pass path, annotates shard manifests with the spec
+//    hash, skips finished shards on re-run (resume), and REFUSES a shard
+//    database whose spec hash does not match instead of blending it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "exp/driver.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+using namespace serep;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string src_path(const std::string& rel) {
+    return std::string(SEREP_SOURCE_DIR) + "/" + rel;
+}
+
+/// Per-test output prefix. TempDir() contents survive across test runs, so
+/// scrub every file the driver could have left — otherwise the resume
+/// machinery under test "resumes" from a previous invocation of the suite.
+std::string tmp_prefix(const std::string& tag) {
+    const std::string prefix = testing::TempDir() + "exp_test_" + tag;
+    for (const std::string& suffix :
+         {std::string("_faults.csv"), std::string("_campaigns.jsonl"),
+          std::string(".exp.json"), std::string("_shard0.jsonl"),
+          std::string("_shard1.jsonl"), std::string("_shard2.jsonl")})
+        std::remove((prefix + suffix).c_str());
+    return prefix;
+}
+
+/// Loading `json` must throw util::UsageError whose message contains
+/// `needle` — rejections have to name the offender to be actionable.
+void expect_reject(const std::string& json, const std::string& needle) {
+    try {
+        exp::ExperimentSpec::load(json);
+        FAIL() << "spec accepted: " << json;
+    } catch (const util::UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message '" << e.what() << "' does not mention '" << needle
+            << "'";
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------- round trip
+
+TEST(ExperimentSpec, LoadSaveLoadIsIdentity) {
+    const std::string text = R"({
+        "name": "roundtrip", "out": "rt",
+        "matrix": {"class": "Mini", "isa": ["v7"], "app": ["EP", "CG"],
+                   "api": ["SER", "OMP"], "cores": [1, 2],
+                   "cells": [{"isa": "v8", "app": "FT", "api": "MPI",
+                              "cores": 4}]},
+        "fault": {"kind": "gpr", "faults": 77, "seed": "0xABC",
+                  "watchdog": 3.5, "target_ci": 0, "ci_confidence": 0.9,
+                  "ci_batch": 40, "ci_min": 10},
+        "engine": {"engine": "switch", "threads": 3, "stride": 1000,
+                   "checkpoints": false, "delta": false, "adaptive": false},
+        "shard": {"count": 3, "partition": "weighted",
+                  "weights": [1.5, 2.0, 3.0]},
+        "report": {"markdown": "a.md", "csv": "b.csv",
+                   "figure_json": "c.json", "confidence": 0.99,
+                   "top_regs": 4}
+    })";
+    const exp::ExperimentSpec a = exp::ExperimentSpec::load(text);
+    const std::string canon = a.canonical_json();
+    const exp::ExperimentSpec b = exp::ExperimentSpec::load(canon);
+    EXPECT_EQ(canon, b.canonical_json()); // canonical form is a fixed point
+    EXPECT_EQ(a.spec_hash(), b.spec_hash());
+    EXPECT_EQ(a.seed, 0xABCu);
+    EXPECT_EQ(b.weights.size(), 3u);
+    EXPECT_FALSE(b.checkpoints);
+}
+
+TEST(ExperimentSpec, EmptyDocumentIsTheFullDefaultExperiment) {
+    const exp::ExperimentSpec s = exp::ExperimentSpec::load("{}");
+    EXPECT_EQ(s.out, "campaign");
+    EXPECT_EQ(s.kind, "gpr");
+    EXPECT_TRUE(s.cross_product);
+    // Defaults expand to the paper's full 130-scenario matrix (65 per ISA).
+    exp::ExperimentPlan plan(s);
+    EXPECT_EQ(plan.jobs().size(), 130u);
+}
+
+// -------------------------------------------------------------- spec hash
+
+TEST(ExperimentSpec, HashStableUnderFieldReordering) {
+    const std::string a = R"({"matrix": {"app": ["EP"], "class": "Mini"},
+                              "fault": {"faults": 60, "kind": "gpr"}})";
+    const std::string b = R"({"fault": {"kind": "gpr", "faults": 60},
+                              "matrix": {"class": "Mini", "app": "EP"}})";
+    EXPECT_EQ(exp::ExperimentSpec::load(a).spec_hash(),
+              exp::ExperimentSpec::load(b).spec_hash());
+}
+
+TEST(ExperimentSpec, HashIgnoresPresentationButTracksIdentity) {
+    exp::ExperimentSpec base;
+    const std::uint64_t h = base.spec_hash();
+
+    exp::ExperimentSpec cosmetic = base;
+    cosmetic.name = "renamed";
+    cosmetic.out = "elsewhere";
+    cosmetic.report_md = "report.md";
+    cosmetic.engine = "switch";
+    cosmetic.threads = 16;
+    cosmetic.stride = 12345;
+    EXPECT_EQ(cosmetic.spec_hash(), h)
+        << "presentation/execution knobs must not invalidate finished work";
+
+    // Baking the (deterministic) probed weight vector into a weighted spec
+    // is the documented probe-once workflow — it must not strand shard
+    // databases finished before the bake.
+    exp::ExperimentSpec weighted = base;
+    weighted.partition = "weighted";
+    exp::ExperimentSpec baked = weighted;
+    baked.weights = {100.0, 200.0};
+    EXPECT_EQ(baked.spec_hash(), weighted.spec_hash());
+
+    for (const auto& mutate :
+         std::vector<std::function<void(exp::ExperimentSpec&)>>{
+             [](exp::ExperimentSpec& s) { s.faults += 1; },
+             [](exp::ExperimentSpec& s) { s.seed += 1; },
+             [](exp::ExperimentSpec& s) { s.kind = "mem"; },
+             [](exp::ExperimentSpec& s) { s.klass = "Mini"; },
+             [](exp::ExperimentSpec& s) { s.apps = {"EP"}; },
+             [](exp::ExperimentSpec& s) { s.shards = 3; },
+             [](exp::ExperimentSpec& s) {
+                 s.partition = "weighted";
+                 s.weights = {1, 2};
+             },
+             [](exp::ExperimentSpec& s) { s.target_ci = 0.05; },
+         }) {
+        exp::ExperimentSpec changed = base;
+        mutate(changed);
+        EXPECT_NE(changed.spec_hash(), h);
+    }
+}
+
+// ------------------------------------------------------------- rejections
+
+TEST(ExperimentSpec, RejectsMalformedSpecsNamingTheOffender) {
+    expect_reject("nonsense", "not valid JSON");
+    expect_reject("[1,2]", "must be a JSON object");
+    expect_reject(R"({"frobnicate": 1})", "frobnicate");
+    expect_reject(R"({"matrix": {"klass": "S"}})", "klass"); // it is "class"
+    expect_reject(R"({"fault": {"kind": "rom"}})", "rom");
+    expect_reject(R"({"matrix": {"class": "XL"}})", "XL");
+    expect_reject(R"({"matrix": {"app": ["EQ"]}})", "EQ");
+    expect_reject(R"({"matrix": {"isa": "v9"}})", "v9");
+    expect_reject(R"({"matrix": {"api": ["POSIX"]}})", "POSIX");
+    expect_reject(R"({"fault": {"kind": "fp"}, "matrix": {"isa": "v7"}})",
+                  "v8 profile");
+    expect_reject(R"({"fault": {"faults": 0}})", "faults");
+    expect_reject(R"({"fault": {"target_ci": 0.7}})", "target_ci");
+    expect_reject(R"({"fault": {"target_ci": 0.05}, "shard": {"count": 2}})",
+                  "shard.count");
+    expect_reject(R"({"shard": {"count": 0}})", "shard.count");
+    expect_reject(R"({"shard": {"partition": "striped"}})", "striped");
+    expect_reject(R"({"shard": {"weights": [1, 2]}})", "weighted");
+    expect_reject(R"({"engine": {"engine": "jit"}})", "jit");
+    expect_reject(R"({"fault": {"seed": "0xZZ"}})", "0xZZ");
+    expect_reject(R"({"report": {"confidence": 1.5}})", "confidence");
+    // 2^32 + 60 must not silently wrap into a 60-fault campaign (whose spec
+    // hash would even collide with the honest 60-fault experiment's).
+    expect_reject(R"({"fault": {"faults": 4294967356}})", "out of range");
+    expect_reject(R"({"shard": {"count": 4294967298}})", "out of range");
+    expect_reject(R"({"matrix": {"cores": [4294967297]}})", "32-bit");
+    // An out-less (in-memory) experiment cannot render reports — declared
+    // report paths must be rejected, not silently dropped.
+    expect_reject(R"({"out": "", "report": {"markdown": "lost.md"}})",
+                  "spec.out");
+}
+
+TEST(ExperimentPlan, RejectsImpossibleMatrices) {
+    // Valid names, empty intersection: UA exists but has no MPI variant.
+    exp::ExperimentSpec s;
+    s.apps = {"UA"};
+    s.apis = {"MPI"};
+    EXPECT_THROW(exp::ExperimentPlan p(s), util::UsageError);
+
+    // An explicit cell the paper does not have: BT-MPI needs square cores.
+    exp::ExperimentSpec c;
+    c.cross_product = false;
+    c.cells = {{"v7", "BT", "MPI", 2}};
+    EXPECT_THROW(exp::ExperimentPlan p(c), util::UsageError);
+
+    // Baked weights must match the job count.
+    exp::ExperimentSpec w;
+    w.klass = "Mini";
+    w.apps = {"EP"};
+    w.partition = "weighted";
+    w.weights = {1.0, 2.0}; // 14 jobs expand from the EP matrix
+    EXPECT_THROW(exp::ExperimentPlan p(w), util::UsageError);
+}
+
+// ---------------------------------------------------------------- planner
+
+TEST(ExperimentPlan, MatchesTheLegacyFlagFilterOrder) {
+    exp::ExperimentSpec s;
+    s.klass = "Mini";
+    s.apps = {"EP"};
+    exp::ExperimentPlan plan(s);
+
+    orch::CampaignFilter filter;
+    filter.app = "EP";
+    filter.klass = npb::Klass::Mini;
+    const std::vector<npb::Scenario> legacy = orch::filter_scenarios(filter);
+
+    ASSERT_EQ(plan.jobs().size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(plan.jobs()[i].scenario.name(), legacy[i].name()) << i;
+        EXPECT_EQ(plan.jobs()[i].cfg.n_faults, 100u);
+        EXPECT_EQ(plan.jobs()[i].cfg.seed, 0xDAC2018u);
+    }
+    // Same jobs -> same config hash -> spec-made and legacy-made shard
+    // databases stay merge-compatible.
+    std::vector<orch::ShardJobSpec> legacy_jobs;
+    core::CampaignConfig cfg;
+    cfg.n_faults = 100;
+    cfg.seed = 0xDAC2018;
+    cfg.host_threads = 2;
+    for (const npb::Scenario& sc : legacy) legacy_jobs.push_back({sc, cfg});
+    EXPECT_EQ(orch::campaign_config_hash(plan.shard_jobs()),
+              orch::campaign_config_hash(legacy_jobs));
+}
+
+TEST(ExperimentPlan, ExplicitCellsKeepSpecOrderAndUnionWithProduct) {
+    exp::ExperimentSpec s;
+    s.klass = "Mini";
+    s.cross_product = false;
+    s.cells = {{"v8", "EP", "SER", 1}, {"v7", "EP", "SER", 1}};
+    exp::ExperimentPlan plan(s);
+    ASSERT_EQ(plan.jobs().size(), 2u);
+    EXPECT_EQ(plan.jobs()[0].scenario.name(), "ARMv8-EP-SER-1");
+    EXPECT_EQ(plan.jobs()[1].scenario.name(), "ARMv7-EP-SER-1");
+
+    // Union form: the cell is pulled to the front, the product fills in the
+    // rest without duplicating it.
+    exp::ExperimentSpec u;
+    u.klass = "Mini";
+    u.apps = {"EP"};
+    u.apis = {"SER"};
+    u.cells = {{"v8", "EP", "SER", 1}};
+    u.cross_product = true;
+    exp::ExperimentPlan uplan(u);
+    ASSERT_EQ(uplan.jobs().size(), 2u);
+    EXPECT_EQ(uplan.jobs()[0].scenario.name(), "ARMv8-EP-SER-1");
+    EXPECT_EQ(uplan.jobs()[1].scenario.name(), "ARMv7-EP-SER-1");
+}
+
+TEST(ExperimentPlan, ListingMatchesCheckedInGolden) {
+    const exp::ExperimentSpec spec =
+        exp::ExperimentSpec::load(slurp(src_path("examples/specs/paper_mini.json")));
+    exp::ExperimentPlan plan(spec);
+    EXPECT_EQ(plan.listing(), slurp(src_path("tests/golden/plan_paper_mini.txt")))
+        << "regenerate with: ./build/serep plan examples/specs/paper_mini.json "
+           "> tests/golden/plan_paper_mini.txt";
+}
+
+TEST(ExperimentPlan, EveryCheckedInSpecLoadsAndPlans) {
+    for (const char* rel :
+         {"examples/specs/paper_mini.json", "examples/specs/paper_full_s.json",
+          "examples/specs/fp_v8_s.json", "examples/specs/mem_mini.json",
+          "examples/specs/adaptive_ci_s.json"}) {
+        const exp::ExperimentSpec spec =
+            exp::ExperimentSpec::load(slurp(src_path(rel)));
+        exp::ExperimentPlan plan(spec);
+        EXPECT_FALSE(plan.jobs().empty()) << rel;
+        EXPECT_FALSE(plan.spec_hash_hex().empty()) << rel;
+    }
+}
+
+TEST(ExperimentPlan, LegacyFaultsFlagRejectsWrappingValues) {
+    for (const char* bad : {"--faults=-3", "--faults=0", "--faults=4294967356"}) {
+        const char* argv[] = {"serep", bad};
+        util::Cli cli(2, argv);
+        EXPECT_THROW(exp::spec_from_legacy_cli(cli), util::UsageError) << bad;
+    }
+}
+
+TEST(ExperimentPlan, LegacyFlagSynthesis) {
+    const char* argv[] = {"serep",        "--class=Mini", "--app=EP",
+                          "--kind=fp",    "--faults=40",  "--seed=7",
+                          "--threads=3",  "--engine=switch"};
+    util::Cli cli(8, argv);
+    exp::ExperimentPlan plan(exp::spec_from_legacy_cli(cli));
+    EXPECT_FALSE(plan.jobs().empty());
+    for (const exp::PlannedJob& j : plan.jobs()) {
+        EXPECT_EQ(j.scenario.isa, isa::Profile::V8); // fp implies v8
+        EXPECT_TRUE(j.cfg.include_fp_regs);
+        EXPECT_EQ(j.cfg.n_faults, 40u);
+        EXPECT_EQ(j.cfg.seed, 7u);
+    }
+    EXPECT_EQ(plan.spec().engine, "switch");
+}
+
+// ----------------------------------------------------------------- driver
+
+TEST(Driver, ShardedRunMatchesDirectByteForByteAndResumes) {
+    exp::ExperimentSpec spec;
+    spec.name = "driver-identity";
+    spec.klass = "Mini";
+    spec.apps = {"EP"};
+    spec.apis = {"SER"};
+    spec.faults = 24;
+    spec.seed = 0x5EED;
+    spec.threads = 2;
+    spec.shards = 2;
+
+    exp::DriverOptions quiet;
+    quiet.log = nullptr;
+
+    // Reference: the direct single-pass path (the legacy campaign shim).
+    exp::ExperimentSpec direct_spec = spec;
+    direct_spec.out = tmp_prefix("direct");
+    exp::ExperimentPlan direct_plan(direct_spec);
+    exp::DriverOptions direct_opts = quiet;
+    direct_opts.direct = true;
+    direct_opts.resume = false;
+    const exp::DriverResult direct = exp::run_experiment(direct_plan, direct_opts);
+    ASSERT_EQ(direct.results.size(), 2u); // v7 + v8 EP-SER
+
+    // Sharded pipeline: run shards, merge — byte-identical outputs.
+    exp::ExperimentSpec sharded_spec = spec;
+    sharded_spec.out = tmp_prefix("sharded");
+    exp::ExperimentPlan sharded_plan(sharded_spec);
+    const exp::DriverResult sharded = exp::run_experiment(sharded_plan, quiet);
+    EXPECT_EQ(sharded.shards_run, 2u);
+    EXPECT_TRUE(sharded.merged);
+    EXPECT_EQ(slurp(sharded_plan.csv_path()), slurp(direct_plan.csv_path()));
+    EXPECT_EQ(slurp(sharded_plan.jsonl_path()), slurp(direct_plan.jsonl_path()));
+
+    // The shard manifest carries the spec hash (the resume key).
+    const std::string db = slurp(sharded_plan.shard_db_path(0));
+    const util::JsonValue manifest =
+        util::json_parse(db.substr(0, db.find('\n')));
+    EXPECT_EQ(manifest.at("spec_hash").as_string(),
+              sharded_plan.spec_hash_hex());
+    EXPECT_EQ(manifest.at("experiment").as_string(), "driver-identity");
+
+    // Resume: a second run skips every shard and re-merges identically.
+    exp::ExperimentPlan again(sharded_spec);
+    const exp::DriverResult resumed = exp::run_experiment(again, quiet);
+    EXPECT_EQ(resumed.shards_run, 0u);
+    EXPECT_EQ(resumed.shards_skipped, 2u);
+    EXPECT_EQ(slurp(again.csv_path()), slurp(direct_plan.csv_path()));
+
+    // Refusal: the same out prefix under a *different* spec must not blend.
+    exp::ExperimentSpec tampered = sharded_spec;
+    tampered.seed += 1;
+    exp::ExperimentPlan tampered_plan(tampered);
+    EXPECT_THROW(exp::run_experiment(tampered_plan, quiet),
+                 util::ValidationError);
+
+    // A record-truncated shard database (killed worker) must be re-run,
+    // not resumed as complete and then blamed by the merge.
+    const std::string tdb = slurp(again.shard_db_path(1));
+    const std::size_t second_line = tdb.find('\n', tdb.find('\n') + 1);
+    ASSERT_NE(second_line, std::string::npos);
+    std::ofstream(again.shard_db_path(1)) << tdb.substr(0, second_line + 1);
+    exp::ExperimentPlan healed(sharded_spec);
+    const exp::DriverResult rerun = exp::run_experiment(healed, quiet);
+    EXPECT_EQ(rerun.shards_run, 1u); // only the truncated shard re-ran
+    EXPECT_EQ(rerun.shards_skipped, 1u);
+    EXPECT_EQ(slurp(healed.csv_path()), slurp(direct_plan.csv_path()));
+}
+
+TEST(Driver, AdaptiveShimLeavesNoSidecarButResumeDoes) {
+    exp::ExperimentSpec spec;
+    spec.name = "adaptive-sidecar";
+    spec.out = tmp_prefix("adsidecar");
+    spec.klass = "Mini";
+    spec.cross_product = false;
+    spec.cells = {{"v7", "EP", "SER", 1}};
+    spec.faults = 60;
+    spec.seed = 0x5EED;
+    spec.threads = 2;
+    spec.target_ci = 0.2; // loose target: converges in a round or two
+    exp::ExperimentPlan plan(spec);
+    exp::DriverOptions shim;
+    shim.log = nullptr;
+    shim.resume = false; // legacy `serep campaign --target-ci` semantics
+    exp::run_experiment(plan, shim);
+    EXPECT_FALSE(std::ifstream(plan.state_path()).good())
+        << "the legacy shim must not leave a " << plan.state_path();
+
+    exp::DriverOptions resumable;
+    resumable.log = nullptr;
+    exp::ExperimentPlan plan2(spec);
+    exp::run_experiment(plan2, resumable);
+    EXPECT_TRUE(std::ifstream(plan2.state_path()).good());
+    exp::ExperimentPlan plan3(spec);
+    const exp::DriverResult skipped = exp::run_experiment(plan3, resumable);
+    EXPECT_EQ(skipped.shards_run, 0u);
+    EXPECT_EQ(skipped.shards_skipped, 1u);
+}
+
+TEST(Driver, TinyExperimentStillRendersItsReport) {
+    // Regression: render_reports re-reads the campaign JSONL from disk; a
+    // small experiment's whole database used to sit unflushed in the still-
+    // open ofstream's buffer, so the report stage saw an empty file.
+    exp::ExperimentSpec spec;
+    spec.name = "tiny-report";
+    spec.out = tmp_prefix("tinyrep");
+    spec.klass = "Mini";
+    spec.cross_product = false;
+    spec.cells = {{"v7", "EP", "SER", 1}};
+    spec.faults = 5;
+    spec.seed = 0x5EED;
+    spec.threads = 2;
+    spec.report_md = spec.out + "_report.md";
+    std::remove(spec.report_md.c_str());
+    exp::ExperimentPlan plan(spec);
+    exp::DriverOptions quiet;
+    quiet.log = nullptr;
+    const exp::DriverResult res = exp::run_experiment(plan, quiet);
+    EXPECT_TRUE(res.report_written);
+    const std::string report = slurp(spec.report_md);
+    EXPECT_NE(report.find("ARMv7-EP-SER-1"), std::string::npos);
+}
+
+TEST(Driver, InMemoryExperimentReturnsResultsWithoutFiles) {
+    exp::ExperimentSpec spec;
+    spec.out.clear();
+    spec.klass = "Mini";
+    spec.cross_product = false;
+    spec.cells = {{"v7", "EP", "SER", 1}};
+    spec.faults = 16;
+    spec.seed = 0x5EED;
+    spec.threads = 2;
+    exp::ExperimentPlan plan(spec);
+    exp::DriverOptions quiet;
+    quiet.log = nullptr;
+    const exp::DriverResult res = exp::run_experiment(plan, quiet);
+    ASSERT_EQ(res.results.size(), 1u);
+    EXPECT_EQ(res.results[0].records.size(), 16u);
+    EXPECT_EQ(res.results[0].scenario.name(), "ARMv7-EP-SER-1");
+}

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/bitops.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -142,4 +143,41 @@ TEST(Cli, ParsesForms) {
     EXPECT_EQ(cli.get("cls", "S"), "W");
     EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
     EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+}
+
+// The unknown-flag audit: a mistyped flag must fail with a UsageError that
+// names the offender (serep maps that to exit 2), never be silently
+// ignored — `serep campaign --fault=500` used to happily run 100 faults.
+TEST(Cli, RequireKnownAcceptsTheDeclaredSet) {
+    const char* argv[] = {"prog", "--faults=500", "--fast", "--help"};
+    su::Cli cli(4, argv);
+    EXPECT_NO_THROW(cli.require_known({"faults", "fast"})); // help is free
+}
+
+TEST(Cli, RequireKnownNamesEveryOffender) {
+    const char* argv[] = {"prog", "--faults=500", "--bogus=1", "--wrnog"};
+    su::Cli cli(4, argv);
+    try {
+        cli.require_known({"faults"});
+        FAIL() << "unknown flags accepted";
+    } catch (const serep::util::UsageError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--bogus"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("--wrnog"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("--faults"), std::string::npos)
+            << "message should list the known flags: " << msg;
+    }
+}
+
+TEST(Cli, RequireKnownEmptySetSaysNoFlagsTaken) {
+    const char* argv[] = {"prog", "--x=1"};
+    su::Cli cli(2, argv);
+    try {
+        cli.require_known({});
+        FAIL() << "unknown flag accepted";
+    } catch (const serep::util::UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find("takes no --flags"),
+                  std::string::npos)
+            << e.what();
+    }
 }

@@ -1,20 +1,33 @@
 // serep — the campaign command-line front end.
 //
+// The primary interface is declarative: ONE JSON experiment spec names the
+// whole pipeline (scenario matrix, fault model, engine knobs, shard
+// partitioning, report outputs — see src/exp/spec.hpp and the README's
+// "Experiment specs" section):
+//
+//   serep run spec.json                 whole experiment: plan -> shard/run
+//                                       -> merge -> report, with resume
+//   serep run spec.json --shard=1/4     one shard of the spec (remote worker)
+//   serep plan spec.json                dry run: job list, shard layout,
+//                                       estimated work — nothing executes
+//
+// `run` is resumable: a shard outcome database already on disk whose
+// manifest carries this spec's hash is skipped; one with a different hash
+// is refused (exit 3) instead of silently blended. Re-running `run` after
+// remote workers produced the `--shard` pieces therefore just merges and
+// reports. `plan` probes golden lengths once for weighted partitions and
+// prints the weight vector so it can be baked into the spec.
+//
+// The legacy imperative subcommands remain as thin shims that synthesize a
+// spec from their flags (exp::spec_from_legacy_cli) and run the same
+// driver — their output bytes are unchanged:
+//
 //   serep campaign [filters] --out=ref          one-process run, merged DB
 //   serep campaign --target-ci=0.05 [filters]   confidence-driven sizing
 //   serep shard --shard=1 --shards=3 [filters] --out=shard1.jsonl
 //   serep shard --weighted ...                  work-weighted fault split
 //   serep merge --out=merged shard0.jsonl shard1.jsonl shard2.jsonl
 //   serep report [--format=md|csv|json] db1 [db2 ...]
-//
-// `shard` runs one deterministic 1-of-N slice of the fault space (stable
-// fault-id assignment, see orch/shard.hpp) to a self-contained outcome
-// database; shards of one campaign can run in different processes or on
-// different hosts. `merge` validates the shard manifests and reassembles
-// the exact CSV + JSONL a single-process `campaign` run would have written
-// — byte-identical, which CI enforces. `report` folds any mix of shard
-// databases, campaign JSONL, and per-fault CSV into the paper's
-// outcome-rate tables with confidence intervals (src/stats/).
 //
 // Filters / config (campaign and shard modes, defaults in brackets):
 //   --class=S|Mini [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|CG|...
@@ -25,20 +38,23 @@
 // campaign sizing: --target-ci=W (0<W<0.5) --confidence=C [0.95]
 //   --ci-batch=N [50] --ci-min=N [20]
 //
-// Use --key=value forms: a bare `--key value` greedily eats the next token,
-// which matters once positional shard-file operands follow.
+// Every subcommand audits its flags: an unknown --flag is a usage error
+// (exit 2) naming the offender, never a silent no-op.
 //
-// Exit codes (also in --help): 0 success; 2 usage error (bad flags, unknown
-// subcommand, filters matching nothing); 3 shard-database validation
-// failure (manifests that do not belong together, corrupt or incomplete
-// databases); 4 runtime error (I/O, internal failure).
+// Use --key=value forms: a bare `--key value` greedily eats the next token,
+// which matters once positional spec/shard-file operands follow.
+//
+// Exit codes (also in --help): 0 success; 2 usage error (bad flags or spec,
+// unknown subcommand, filters matching nothing); 3 validation failure
+// (shard databases that do not belong together, resume spec-hash mismatch,
+// corrupt or incomplete databases); 4 runtime error (I/O, internal failure).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
-#include "orch/shard.hpp"
+#include "exp/driver.hpp"
 #include "stats/report.hpp"
-#include "stats/sizing.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -51,211 +67,173 @@ constexpr int kExitUsage = 2;
 constexpr int kExitValidation = 3;
 constexpr int kExitRuntime = 4;
 
-std::vector<orch::ShardJobSpec> jobs_from_cli(const util::Cli& cli) {
-    orch::CampaignFilter filter;
-    filter.isa = cli.get("isa", "");
-    filter.api = cli.get("api", "");
-    filter.app = cli.get("app", "");
-    filter.klass = orch::parse_klass(cli.get("class", "S"));
-
-    core::CampaignConfig cfg;
-    cfg.n_faults = static_cast<unsigned>(cli.get_int("faults", 100));
-    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xDAC2018));
-    cfg.host_threads = static_cast<unsigned>(cli.get_int("threads", 2));
-
-    // Fault-target space: gpr (integer register file), fp (adds the V8 FP
-    // register file), mem (data memory + guest text mirror).
-    const std::string kind = cli.get("kind", "gpr");
-    if (kind == "fp") {
-        util::check_usage(filter.isa != "v7",
-                          "--kind=fp targets the FP register file, which only "
-                          "the v8 profile has (drop --isa=v7)");
-        filter.isa = "v8";
-        cfg.include_fp_regs = true;
-    } else if (kind == "mem") {
-        cfg.memory_faults = true;
-    } else {
-        util::check_usage(kind == "gpr",
-                          "unknown --kind '" + kind + "' (gpr | fp | mem)");
-    }
-
-    std::vector<orch::ShardJobSpec> jobs;
-    for (const npb::Scenario& s : orch::filter_scenarios(filter))
-        jobs.push_back({s, cfg});
-    util::check_usage(!jobs.empty(), "no scenarios match the given filters");
-    return jobs;
+/// exp::legacy_cli_flags() plus the subcommand's own extras — the audit
+/// list always tracks the shared legacy parser.
+std::vector<std::string> legacy_flags_plus(
+    std::initializer_list<const char*> extra) {
+    std::vector<std::string> flags = exp::legacy_cli_flags();
+    flags.insert(flags.end(), extra.begin(), extra.end());
+    return flags;
 }
 
-orch::BatchOptions batch_options_from_cli(const util::Cli& cli) {
-    orch::BatchOptions opts;
-    opts.threads = std::max<unsigned>(1, static_cast<unsigned>(cli.get_int("threads", 2)));
-    opts.ladder.stride = static_cast<std::uint64_t>(cli.get_int("stride", 0));
-    opts.ladder.enabled = !cli.has("no-checkpoints");
-    opts.ladder.delta_snapshots = !cli.has("no-delta");
-    opts.ladder.adaptive = !cli.has("no-adaptive");
-    const std::string engine = cli.get("engine", "cached");
-    if (engine == "switch") {
-        opts.engine = sim::Engine::Switch;
-    } else {
-        util::check_usage(engine == "cached",
-                          "unknown --engine '" + engine + "' (cached | switch)");
-        opts.engine = sim::Engine::Cached;
-    }
-    return opts;
+/// Load a spec file named as the single positional operand after the
+/// subcommand.
+exp::ExperimentSpec load_spec_operand(const util::Cli& cli,
+                                      const char* subcommand) {
+    const auto& pos = cli.positional();
+    util::check_usage(pos.size() == 2,
+                      std::string(subcommand) +
+                          ": give exactly one experiment spec file (serep " +
+                          subcommand + " spec.json)");
+    std::ifstream in(pos[1]);
+    util::check_usage(in.good(), "cannot read experiment spec " + pos[1]);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return exp::ExperimentSpec::load(ss.str());
 }
 
-/// `campaign --target-ci=W`: the sequential stopping rule instead of the
-/// fixed fault count. cfg.n_faults stays the fault-space *ceiling* (the
-/// fixed campaign this run is a prefix of); the sizer stops each scenario as
-/// soon as every outcome rate's CI half-width is <= W.
-int cmd_campaign_adaptive(const util::Cli& cli,
-                          const std::vector<orch::ShardJobSpec>& jobs,
-                          const std::string& out) {
-    stats::StatsOptions sopts;
-    sopts.target_half_width = cli.get_double("target-ci", 0.05);
-    sopts.confidence = cli.get_double("confidence", 0.95);
-    const std::int64_t batch = cli.get_int("ci-batch", 50);
-    const std::int64_t min_faults = cli.get_int("ci-min", 20);
-    // Range-check here so a negative value cannot wrap through the uint32
-    // casts below into an absurd-but-positive batch size.
-    util::check_usage(batch > 0 && batch <= 1'000'000,
-                      "--ci-batch must be in [1, 1000000]");
-    util::check_usage(min_faults >= 0 && min_faults <= 1'000'000,
-                      "--ci-min must be in [0, 1000000]");
-    sopts.batch_faults = static_cast<std::uint32_t>(batch);
-    sopts.min_faults = static_cast<std::uint32_t>(min_faults);
+/// Parse `--shard=K/N` and check it against the spec's declared count.
+int parse_shard_selector(const std::string& sel, unsigned spec_shards) {
+    const std::size_t slash = sel.find('/');
+    util::check_usage(slash != std::string::npos && slash > 0 &&
+                          slash + 1 < sel.size(),
+                      "--shard must be K/N (e.g. --shard=0/4), got '" + sel +
+                          "'");
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(sel.c_str(), &end, 10);
+    util::check_usage(end == sel.c_str() + slash,
+                      "--shard: bad shard index in '" + sel + "'");
+    const char* nstart = sel.c_str() + slash + 1;
+    const unsigned long n = std::strtoul(nstart, &end, 10);
+    util::check_usage(end && *end == '\0' && n >= 1,
+                      "--shard: bad shard count in '" + sel + "'");
+    util::check_usage(
+        n == spec_shards,
+        "--shard=" + sel + " disagrees with the spec's shard.count=" +
+            std::to_string(spec_shards) + " — edit the spec or drop --shard");
+    util::check_usage(k < n, "--shard: index " + std::to_string(k) +
+                                 " out of range (count " + std::to_string(n) +
+                                 ")");
+    return static_cast<int>(k);
+}
 
-    const std::vector<stats::AdaptiveJobResult> adaptive =
-        stats::run_adaptive_campaign(jobs, batch_options_from_cli(cli), sopts);
+int cmd_run(const util::Cli& cli) {
+    cli.require_known({"shard"});
+    exp::ExperimentSpec spec = load_spec_operand(cli, "run");
+    exp::ExperimentPlan plan(std::move(spec));
 
-    std::ofstream csv(out + "_faults.csv");
-    std::ofstream jsonl(out + "_campaigns.jsonl");
-    util::check(csv.good(), "cannot open output file " + out + "_faults.csv");
-    util::check(jsonl.good(),
-                "cannot open output file " + out + "_campaigns.jsonl");
-    std::size_t injected = 0, space = 0;
-    for (std::size_t i = 0; i < adaptive.size(); ++i) {
-        const stats::AdaptiveJobResult& a = adaptive[i];
-        if (i == 0) {
-            csv << core::campaign_csv(a.result);
-        } else {
-            const std::string rows = core::campaign_csv(a.result);
-            csv << rows.substr(rows.find('\n') + 1);
-        }
-        jsonl << core::campaign_json(a.result) << '\n';
-        injected += a.result.records.size();
-        space += a.fault_space;
-        std::printf("[%3zu] %-18s injected %4zu/%u in %u rounds, "
-                    "masked=%5.1f%% maxCI=%.3f%s\n",
-                    i + 1, a.result.scenario.name().c_str(),
-                    a.result.records.size(), a.fault_space, a.rounds,
-                    a.result.masked_pct(), a.max_half_width,
-                    a.converged ? "" : " (fault space exhausted)");
-    }
-    util::check(csv.good() && jsonl.good(), "error writing campaign databases");
-    std::printf("campaign --target-ci=%.3f: injected %zu of %zu faults "
-                "-> %s_faults.csv, %s_campaigns.jsonl\n",
-                sopts.target_half_width, injected, space, out.c_str(),
-                out.c_str());
+    exp::DriverOptions opts;
+    const std::string sel = cli.get("shard", "");
+    if (!sel.empty())
+        opts.only_shard = parse_shard_selector(sel, plan.shard_count());
+
+    // The dry-run listing doubles as the run preamble. It never probes:
+    // a fully-resumed run must stay golden-run-free, so an unbaked
+    // weighted cut is probed lazily by the driver — once per process —
+    // and only when a shard actually has to execute.
+    std::fputs(plan.listing().c_str(), stdout);
+    const exp::DriverResult res = exp::run_experiment(plan, opts);
+    std::printf("run: %zu shard(s) executed, %zu resumed%s%s\n",
+                res.shards_run, res.shards_skipped,
+                res.merged ? ", databases merged" : "",
+                res.report_written ? ", reports rendered" : "");
+    return kExitOk;
+}
+
+int cmd_plan(const util::Cli& cli) {
+    cli.require_known({});
+    exp::ExperimentSpec spec = load_spec_operand(cli, "plan");
+    exp::ExperimentPlan plan(std::move(spec));
+    // `plan` is the one place that probes an unbaked weighted cut: the
+    // estimate and the printed weights vector are the point of a dry run,
+    // and baking that vector into the spec makes every subsequent `run`
+    // probe-free.
+    if (plan.weighted() && !plan.weights_ready()) plan.weights();
+    std::fputs(plan.listing().c_str(), stdout);
     return kExitOk;
 }
 
 int cmd_campaign(const util::Cli& cli) {
-    const std::string out = cli.get("out", "campaign");
-    const std::vector<orch::ShardJobSpec> jobs = jobs_from_cli(cli);
-    if (cli.has("target-ci")) return cmd_campaign_adaptive(cli, jobs, out);
-    orch::BatchRunner runner(batch_options_from_cli(cli));
-    for (const orch::ShardJobSpec& j : jobs) runner.add(j.scenario, j.cfg);
-
-    std::ofstream csv(out + "_faults.csv");
-    std::ofstream jsonl(out + "_campaigns.jsonl");
-    util::check(csv.good(), "cannot open output file " + out + "_faults.csv");
-    util::check(jsonl.good(),
-                "cannot open output file " + out + "_campaigns.jsonl");
-    runner.set_csv_sink(&csv);
-    runner.set_json_sink(&jsonl);
-    const auto results = runner.run_all();
-    for (std::size_t i = 0; i < results.size(); ++i)
-        std::printf("[%3zu] %-18s masked=%5.1f%%\n", i + 1,
-                    results[i].scenario.name().c_str(), results[i].masked_pct());
-    std::printf("campaign: %zu jobs -> %s_faults.csv, %s_campaigns.jsonl\n",
-                jobs.size(), out.c_str(), out.c_str());
+    cli.require_known(
+        legacy_flags_plus({"target-ci", "confidence", "ci-batch", "ci-min"}));
+    exp::ExperimentPlan plan(exp::spec_from_legacy_cli(cli));
+    // Legacy semantics: always a fresh single-process run, outputs
+    // overwritten, no resume — and byte-identical CSV/JSONL to every serep
+    // release since PR 2 (the spec pipeline's direct path is the same
+    // BatchRunner streaming).
+    exp::DriverOptions opts;
+    opts.resume = false;
+    opts.direct = true;
+    exp::run_experiment(plan, opts);
     return kExitOk;
 }
 
 int cmd_shard(const util::Cli& cli) {
-    const unsigned index = static_cast<unsigned>(cli.get_int("shard", 0));
-    const unsigned count = static_cast<unsigned>(cli.get_int("shards", 1));
-    const std::string out =
-        cli.get("out", "shard" + std::to_string(index) + ".jsonl");
-    const std::vector<orch::ShardJobSpec> jobs = jobs_from_cli(cli);
+    cli.require_known(
+        legacy_flags_plus({"shard", "shards", "weighted", "weights"}));
+    const std::int64_t index = cli.get_int("shard", 0);
+    const std::int64_t count = cli.get_int("shards", 1);
+    util::check_usage(count >= 1 && index >= 0 && index < count,
+                      "run_shard: shard index out of range");
 
-    std::ofstream os(out);
-    util::check(os.good(), "cannot open output file " + out);
-    orch::ShardRunStats stats;
+    exp::ExperimentSpec spec = exp::spec_from_legacy_cli(cli);
+    spec.shards = static_cast<unsigned>(count);
     if (cli.has("weighted")) {
-        // Work-weighted split: cut the campaign into equal-work slices so
-        // most scenarios land wholly on one shard and each shard pays
-        // golden/ladder cost only for the scenarios it owns. Weights come
-        // from --weights=w0,w1,... when given (probe once, reuse on every
-        // host); otherwise this process probes each distinct scenario's
-        // golden length and prints the vector for the other shards.
-        std::vector<double> weights;
+        spec.partition = "weighted";
+        // --weights=w0,w1,...: reuse a previously printed probe vector so
+        // probing happens once per campaign, not once per shard process.
         const std::string wspec = cli.get("weights", "");
-        if (wspec.empty()) {
-            weights = orch::probe_job_weights(jobs);
-            std::string joined;
-            for (double w : weights) {
-                char buf[32];
-                std::snprintf(buf, sizeof buf, "%.0f", w);
-                joined += (joined.empty() ? "" : ",") + std::string(buf);
+        std::size_t pos = 0;
+        while (!wspec.empty() && pos <= wspec.size()) {
+            const std::size_t comma = wspec.find(',', pos);
+            const std::string tok =
+                wspec.substr(pos, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - pos);
+            try {
+                std::size_t used = 0;
+                spec.weights.push_back(std::stod(tok, &used));
+                util::check_usage(used == tok.size() && !tok.empty(),
+                                  "--weights: bad number '" + tok + "'");
+            } catch (const util::UsageError&) {
+                throw;
+            } catch (const std::exception&) {
+                throw util::UsageError("--weights: bad number '" + tok + "'");
             }
-            std::printf("probed weights (pass --weights=%s to the other "
-                        "shards to skip probing)\n",
-                        joined.c_str());
-        } else {
-            std::size_t pos = 0;
-            while (pos <= wspec.size()) {
-                const std::size_t comma = wspec.find(',', pos);
-                const std::string tok =
-                    wspec.substr(pos, comma == std::string::npos
-                                          ? std::string::npos
-                                          : comma - pos);
-                try {
-                    std::size_t used = 0;
-                    weights.push_back(std::stod(tok, &used));
-                    util::check_usage(used == tok.size() && !tok.empty(),
-                                      "--weights: bad number '" + tok + "'");
-                } catch (const util::UsageError&) {
-                    throw;
-                } catch (const std::exception&) {
-                    throw util::UsageError("--weights: bad number '" + tok +
-                                           "'");
-                }
-                if (comma == std::string::npos) break;
-                pos = comma + 1;
-            }
-            util::check_usage(weights.size() == jobs.size(),
-                              "--weights: expected " +
-                                  std::to_string(jobs.size()) +
-                                  " comma-separated values (one per job), "
-                                  "got " +
-                                  std::to_string(weights.size()));
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
         }
-        const orch::WeightedShardPlan plan =
-            orch::make_weighted_plan(weights, index, count);
-        stats = orch::run_shard(jobs, plan, batch_options_from_cli(cli), os);
     } else {
-        stats = orch::run_shard(jobs, orch::ShardPlan{index, count},
-                                batch_options_from_cli(cli), os);
+        util::check_usage(!cli.has("weights"),
+                          "--weights only applies with --weighted");
     }
-    std::printf("shard %u/%u%s: %zu jobs, injected %zu of %zu faults -> %s\n",
-                index, count, cli.has("weighted") ? " (weighted)" : "",
-                jobs.size(), stats.owned, stats.fault_space, out.c_str());
+
+    exp::ExperimentPlan plan(std::move(spec));
+    if (cli.has("weighted") && !cli.has("weights")) {
+        // Probe and print BEFORE running, so the operator can launch the
+        // other N-1 shards with --weights=... while this one executes;
+        // the driver below reuses the cached vector (one probe total).
+        std::string joined;
+        for (double w : plan.weights()) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.0f", w);
+            joined += (joined.empty() ? "" : ",") + std::string(buf);
+        }
+        std::printf("probed weights (pass --weights=%s to the other shards "
+                    "to skip probing)\n",
+                    joined.c_str());
+    }
+    exp::DriverOptions opts;
+    opts.resume = false; // legacy semantics: always run, overwrite
+    opts.only_shard = static_cast<int>(index);
+    opts.shard_out =
+        cli.get("out", "shard" + std::to_string(index) + ".jsonl");
+    exp::run_experiment(plan, opts);
     return kExitOk;
 }
 
 int cmd_report(const util::Cli& cli) {
+    cli.require_known({"format", "confidence", "top-regs", "out", "partial"});
     // files[0] == "report". A bare `--partial` greedily eats the following
     // operand as its "value" (the documented --key/value ambiguity); hand
     // that file back so `report --partial shard0 shard1` covers both shards
@@ -263,7 +241,7 @@ int cmd_report(const util::Cli& cli) {
     std::vector<std::string> files(cli.positional().begin() + 1,
                                    cli.positional().end());
     const std::string eaten = cli.get("partial", "");
-    if (!eaten.empty()) files.insert(files.begin(), eaten);
+    if (!eaten.empty() && eaten != "1") files.insert(files.begin(), eaten);
     util::check_usage(!files.empty(),
                       "report: give the database files (shard DBs, campaign "
                       "JSONL, or per-fault CSV) after the 'report' subcommand");
@@ -327,6 +305,7 @@ int cmd_report(const util::Cli& cli) {
 }
 
 int cmd_merge(const util::Cli& cli) {
+    cli.require_known({"out"});
     const std::string out = cli.get("out", "merged");
     const auto& files = cli.positional();
     util::check_usage(files.size() >= 2,
@@ -361,9 +340,18 @@ int cmd_merge(const util::Cli& cli) {
 int usage(std::FILE* to) {
     std::fprintf(
         to,
-        "usage: serep campaign|shard|merge|report [--key=value ...]\n"
-        "  campaign  run the (filtered) campaign in-process\n"
-        "  shard     run one 1-of-N slice to a shard database\n"
+        "usage: serep run|plan|campaign|shard|merge|report [--key=value ...]\n"
+        "  run SPEC.json       execute the whole experiment the spec declares\n"
+        "                      (golden -> shard/run -> merge -> report), with\n"
+        "                      resume: finished shard DBs matching the spec\n"
+        "                      hash are skipped, mismatches refused\n"
+        "  run SPEC --shard=K/N   run one shard of the spec (remote worker);\n"
+        "                      re-running `run SPEC` merges gathered shards\n"
+        "  plan SPEC.json      dry run: spec hash, job ids, shard layout,\n"
+        "                      estimated work; weighted specs probe golden\n"
+        "                      lengths once and print a bakeable weights line\n"
+        "  campaign  run the (filtered) campaign in-process (legacy shim)\n"
+        "  shard     run one 1-of-N slice to a shard database (legacy shim)\n"
         "  merge     merge shard databases into the unsharded CSV/JSONL\n"
         "  report    outcome-rate tables + confidence intervals from DBs\n"
         "\n"
@@ -394,10 +382,16 @@ int usage(std::FILE* to) {
         "   and mixing a shard set with its own merged DB is refused — every\n"
         "   fault must appear in exactly one input)\n"
         "\n"
+        "every subcommand rejects flags it does not know (exit 2, naming the\n"
+        "flag); see the README's \"Experiment specs\" section for the spec\n"
+        "JSON schema and the legacy-flag -> spec-field migration table\n"
+        "\n"
         "exit codes:\n"
         "  0  success\n"
-        "  2  usage error (bad flags, unknown subcommand, filters match nothing)\n"
-        "  3  shard-database validation failure (incompatible or corrupt DBs)\n"
+        "  2  usage error (bad flags or spec, unknown subcommand, filters\n"
+        "     match nothing)\n"
+        "  3  validation failure (incompatible or corrupt databases, resume\n"
+        "     spec-hash mismatch)\n"
         "  4  runtime error (I/O or internal failure)\n");
     return to == stdout ? kExitOk : kExitUsage;
 }
@@ -410,6 +404,8 @@ int main(int argc, char** argv) {
         cli.positional().empty() ? "" : cli.positional().front();
     if (cli.has("help")) return usage(stdout);
     try {
+        if (mode == "run") return cmd_run(cli);
+        if (mode == "plan") return cmd_plan(cli);
         if (mode == "campaign") return cmd_campaign(cli);
         if (mode == "shard") return cmd_shard(cli);
         if (mode == "merge") return cmd_merge(cli);
