@@ -135,6 +135,9 @@ std::string campaign_json(const CampaignResult& r) {
         j.key("phys").value(rec.fault.target.phys);
         j.key("outcome").value(outcome_name(rec.outcome));
         j.key("retired").value(rec.retired);
+        // Only pruned campaigns carry the provenance key, keeping unpruned
+        // databases byte-identical to every release since PR 2.
+        if (rec.inferred) j.key("inferred").value(true);
         j.end_object();
     }
     j.end_array();

@@ -43,7 +43,46 @@ orch::BatchOptions batch_options_impl(const ExperimentSpec& spec) {
     opts.ladder.adaptive = spec.adaptive;
     opts.engine =
         spec.engine == "switch" ? sim::Engine::Switch : sim::Engine::Cached;
+    opts.prune = spec.prune;
     return opts;
+}
+
+/// spec.prune with the CLI override folded in (`serep run --prune=...`).
+/// Verification is never implied by the spec alone — it doubles part of the
+/// work, so it runs only when explicitly asked for.
+orch::BatchOptions resolved_batch_options(const ExperimentSpec& spec,
+                                          const DriverOptions& opts) {
+    orch::BatchOptions b = batch_options_impl(spec);
+    switch (opts.prune) {
+    case PruneMode::Spec:
+        break;
+    case PruneMode::Off:
+        b.prune = false;
+        break;
+    case PruneMode::On:
+        b.prune = true;
+        break;
+    case PruneMode::Verify:
+        b.prune = true;
+        b.prune_verify = spec.prune_verify;
+        break;
+    }
+    return b;
+}
+
+void log_prune(const orch::BatchRunner& runner, const orch::BatchOptions& b,
+               std::FILE* log) {
+    if (!b.prune) return;
+    logf(log,
+         "prune: %zu of %zu fault records simulated, %zu inferred from "
+         "equivalence classes%s",
+         runner.simulated_runs(),
+         runner.simulated_runs() + runner.inferred_records(),
+         runner.inferred_records(),
+         b.prune_verify > 0 ? "" : "\n");
+    if (b.prune_verify > 0)
+        logf(log, " (%zu re-simulated and verified)\n",
+             runner.verified_records());
 }
 
 enum class DbState { Missing, Match, Incomplete };
@@ -224,6 +263,13 @@ DriverResult run_adaptive(ExperimentPlan& plan, const DriverOptions& opts) {
     const ExperimentSpec& spec = plan.spec();
     util::check_usage(!spec.out.empty(),
                       "adaptive (target_ci) experiments need spec.out");
+    // spec.validate() already rejects prune.enabled + target_ci; this
+    // catches the CLI spelling (`--prune=on` against an adaptive spec).
+    util::check_usage(opts.prune != PruneMode::On &&
+                          opts.prune != PruneMode::Verify,
+                      "adaptive (target_ci) experiments cannot prune: the "
+                      "sequential sizer draws incremental fault lists, "
+                      "pruning classifies a fixed list up front");
     DriverResult res;
     res.fault_space = plan.jobs().size() * spec.faults;
     if (opts.resume && state_matches(plan)) {
@@ -273,6 +319,7 @@ DriverResult run_adaptive(ExperimentPlan& plan, const DriverOptions& opts) {
     util::check(!csv.fail() && !jsonl.fail(),
                 "error writing campaign databases");
     res.fault_space = space;
+    res.simulated = res.injected;
     res.shards_run = 1;
     res.merged = true;
     logf(opts.log,
@@ -295,7 +342,8 @@ DriverResult run_direct(ExperimentPlan& plan, const DriverOptions& opts) {
     DriverResult res;
     res.fault_space = plan.jobs().size() * spec.faults;
 
-    orch::BatchRunner runner(batch_options(spec));
+    const orch::BatchOptions bopts = resolved_batch_options(spec, opts);
+    orch::BatchRunner runner(bopts);
     for (const PlannedJob& j : plan.jobs()) runner.add(j.scenario, j.cfg);
 
     std::ofstream csv, jsonl;
@@ -315,6 +363,9 @@ DriverResult run_direct(ExperimentPlan& plan, const DriverOptions& opts) {
              res.results[i].scenario.name().c_str(),
              res.results[i].masked_pct());
     }
+    res.simulated = runner.simulated_runs();
+    res.inferred = runner.inferred_records();
+    log_prune(runner, bopts, opts.log);
     res.shards_run = 1;
     if (!spec.out.empty()) {
         // Close before rendering: render_reports re-reads the JSONL from
@@ -339,7 +390,7 @@ DriverResult run_sharded(ExperimentPlan& plan, const DriverOptions& opts) {
     const unsigned n = plan.shard_count();
     const std::vector<orch::ShardJobSpec> jobs = plan.shard_jobs();
     const orch::ShardDbAnnotation note{spec.name, plan.spec_hash_hex()};
-    const orch::BatchOptions bopts = batch_options(spec);
+    const orch::BatchOptions bopts = resolved_batch_options(spec, opts);
 
     DriverResult res;
     res.fault_space = jobs.size() * spec.faults;
@@ -374,11 +425,21 @@ DriverResult run_sharded(ExperimentPlan& plan, const DriverOptions& opts) {
                 : orch::run_shard(jobs, orch::ShardPlan{k, n}, bopts, os,
                                   &note);
         util::check(os.good(), "error writing shard database " + path);
-        logf(opts.log, "shard %u/%u%s: injected %zu of %zu faults -> %s\n", k,
-             n, plan.weighted() ? " (weighted)" : "", st.owned, st.fault_space,
-             path.c_str());
+        if (st.inferred > 0)
+            logf(opts.log,
+                 "shard %u/%u%s: %zu of %zu faults -> %s (%zu simulated, "
+                 "%zu inferred by pruning)\n",
+                 k, n, plan.weighted() ? " (weighted)" : "", st.owned,
+                 st.fault_space, path.c_str(), st.owned - st.inferred,
+                 st.inferred);
+        else
+            logf(opts.log, "shard %u/%u%s: injected %zu of %zu faults -> %s\n",
+                 k, n, plan.weighted() ? " (weighted)" : "", st.owned,
+                 st.fault_space, path.c_str());
         ++res.shards_run;
         res.injected += st.owned;
+        res.simulated += st.owned - st.inferred;
+        res.inferred += st.inferred;
         res.fault_space = st.fault_space;
     };
 

@@ -39,6 +39,16 @@
 
 namespace serep::exp {
 
+/// CLI override of the spec's equivalence-pruning block
+/// (`serep run --prune=off|on|verify`).
+enum class PruneMode : std::uint8_t {
+    Spec,   ///< follow spec.prune (the default: no flag given)
+    Off,    ///< force full simulation, ignore spec.prune
+    On,     ///< force pruning on
+    Verify, ///< pruning on + re-simulate a seeded sample of inferred
+            ///< faults; any outcome/retired mismatch fails the run
+};
+
 struct DriverOptions {
     /// Skip shard databases whose manifests match the spec hash; refuse
     /// mismatches. Off = always re-run, overwrite (legacy shim semantics).
@@ -52,6 +62,8 @@ struct DriverOptions {
     /// Force the direct single-pass path regardless of spec.shards (legacy
     /// `serep campaign` / `full_campaign` compatibility).
     bool direct = false;
+    /// Equivalence-pruning override; Spec = whatever spec.prune says.
+    PruneMode prune = PruneMode::Spec;
     /// Progress stream (skip/run/merge/report lines); null = quiet.
     std::FILE* log = stdout;
 };
@@ -64,6 +76,9 @@ struct DriverResult {
     std::size_t shards_run = 0;
     std::size_t shards_skipped = 0;
     std::size_t injected = 0;    ///< fault records written by this invocation
+    std::size_t simulated = 0;   ///< injection runs actually executed (equals
+                                 ///< injected unless pruning inferred some)
+    std::size_t inferred = 0;    ///< records derived by equivalence pruning
     std::size_t fault_space = 0; ///< total fault space of the experiment
     bool merged = false;         ///< canonical CSV/JSONL were (re)written
     bool report_written = false; ///< at least one report file was rendered

@@ -148,6 +148,15 @@ std::string ExperimentPlan::listing() {
                       spec_.ci_min);
         os << buf;
     }
+    // Emitted only for prune-enabled specs: the listing of every existing
+    // spec (tests/golden/plan_paper_mini.txt) must stay byte-identical.
+    if (spec_.prune) {
+        std::snprintf(buf, sizeof buf,
+                      "prune: fault-equivalence classes on (verify sample "
+                      "%u/job)\n",
+                      spec_.prune_verify);
+        os << buf;
+    }
     std::snprintf(buf, sizeof buf, "engine: %s, %u threads, checkpoints %s\n",
                   spec_.engine.c_str(), spec_.threads,
                   !spec_.checkpoints ? "off"

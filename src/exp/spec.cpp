@@ -204,6 +204,12 @@ std::string identity_json(const ExperimentSpec& s) {
     w.key("ci_min").value(s.ci_min);
     w.key("shards").value(s.shards);
     w.key("partition").value(s.partition);
+    // Pruning changes which faults are *simulated* but not any reported
+    // outcome, so hashing it at all is a judgment call; it IS hashed when
+    // enabled (the shard databases' per-record provenance flags differ),
+    // but only then — a key emitted unconditionally would change every
+    // existing spec's hash and strand every finished shard database.
+    if (s.prune) w.key("prune").value(true);
     // shard.weights is deliberately NOT hashed: the probe is deterministic,
     // so baking the vector `serep plan` prints into the spec (the
     // documented probe-once workflow) must not strand shard databases that
@@ -226,8 +232,8 @@ ExperimentSpec ExperimentSpec::load(const std::string& json_text) {
     util::check_usage(root.type == JsonValue::Type::Object,
                       "spec: the document must be a JSON object");
     reject_unknown(root, "the spec",
-                   {"name", "out", "matrix", "fault", "engine", "shard",
-                    "report"});
+                   {"name", "out", "matrix", "fault", "engine", "prune",
+                    "shard", "report"});
 
     ExperimentSpec s;
     s.name = get_string(root, "name", s.name, "spec");
@@ -287,6 +293,12 @@ ExperimentSpec ExperimentSpec::load(const std::string& json_text) {
         s.checkpoints = get_bool(*e, "checkpoints", s.checkpoints, "engine");
         s.delta = get_bool(*e, "delta", s.delta, "engine");
         s.adaptive = get_bool(*e, "adaptive", s.adaptive, "engine");
+    }
+
+    if (const JsonValue* p = root.find("prune")) {
+        reject_unknown(*p, "prune", {"enabled", "verify_sample"});
+        s.prune = get_bool(*p, "enabled", s.prune, "prune");
+        s.prune_verify = get_uint(*p, "verify_sample", s.prune_verify, "prune");
     }
 
     if (const JsonValue* sh = root.find("shard")) {
@@ -383,6 +395,12 @@ void ExperimentSpec::validate() const {
                           "combined with shard.count > 1");
     }
 
+    util::check_usage(!prune || target_ci == 0,
+                      "spec: prune.enabled cannot be combined with "
+                      "fault.target_ci (the sequential sizer draws its own "
+                      "incremental fault lists; pruning classifies a fixed "
+                      "list up front)");
+
     util::check_usage(engine == "cached" || engine == "switch",
                       "spec: engine.engine '" + engine +
                           "' (cached | switch)");
@@ -460,6 +478,10 @@ std::string ExperimentSpec::canonical_json() const {
     w.key("checkpoints").value(checkpoints);
     w.key("delta").value(delta);
     w.key("adaptive").value(adaptive);
+    w.end_object();
+    w.key("prune").begin_object();
+    w.key("enabled").value(prune);
+    w.key("verify_sample").value(prune_verify);
     w.end_object();
     w.key("shard").begin_object();
     w.key("count").value(shards);

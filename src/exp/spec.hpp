@@ -94,6 +94,19 @@ struct ExperimentSpec {
     bool delta = true;    ///< dirty-page delta snapshot rungs
     bool adaptive = true; ///< probe-based adaptive stride
 
+    // ---- equivalence pruning ------------------------------------------
+    /// Simulate one representative per fault-equivalence class and infer
+    /// the rest from the golden run's def-use walk (src/prune/). Outcome
+    /// counts and report bytes match the unpruned run exactly; records gain
+    /// an "inferred" provenance flag. Part of the spec hash ONLY when
+    /// enabled, so every existing spec's hash (and its finished shard
+    /// databases) is untouched.
+    bool prune = false;
+    /// Sample size for `serep run --prune=verify`: per job, up to this many
+    /// pruning-derived records are re-simulated and compared. Not part of
+    /// the spec hash (verification never changes outcomes).
+    unsigned prune_verify = 32;
+
     // ---- shard partitioning -------------------------------------------
     unsigned shards = 1;
     std::string partition = "uniform"; ///< "uniform" / "weighted"

@@ -1,9 +1,13 @@
 #include "orch/batch_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "npb/npb.hpp"
+#include "prune/prune.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace serep::orch {
 
@@ -27,6 +31,11 @@ struct BatchRunner::JobState {
     std::vector<std::uint32_t> ordinals; ///< full-list position per fault (sharding)
     std::uint32_t fault_space = 0;       ///< full (pre-filter) fault-list size
     std::uint64_t budget = 0;
+    /// Equivalence-pruning plan (parallel to `faults`); null when pruning is
+    /// off. With pruning, `remaining` counts class representatives only.
+    std::unique_ptr<prune::PruneAnalysis> prune;
+    /// followers[i]: fault indices that copy representative i's record.
+    std::vector<std::vector<std::uint32_t>> followers;
     std::atomic<std::size_t> remaining{0};
     core::CampaignResult result;
     std::atomic<bool> done{false}; ///< counts merged, ready to flush
@@ -68,19 +77,24 @@ BatchRunner::GoldenEntry* BatchRunner::golden_for(const npb::Scenario& s) {
     return nullptr;
 }
 
+void BatchRunner::drop_golden_ref(GoldenEntry* golden) {
+    // Last reference on this scenario in the batch: no injection (or verify)
+    // run can touch the ladder anymore (every task finishes with its clone
+    // before dropping its reference), so release all rungs. A later batch on
+    // the same runner still hits the golden cache (reference + fault list
+    // reuse) and reinstalls a rebuilt base for from-reset replay.
+    // retain_ladders keeps the rungs instead, for callers that re-queue the
+    // same scenarios.
+    if (golden &&
+        golden->active_jobs.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        !opts_.retain_ladders)
+        golden->ladder.release_all();
+}
+
 void BatchRunner::complete_job(JobState& job) {
     job.result.recount();
     job.done.store(true, std::memory_order_release);
-    // Last job on this scenario in the batch: no injection run can touch the
-    // ladder anymore (every task finishes with its clone before decrementing
-    // its job's counter), so release all rungs. A later batch on the same
-    // runner still hits the golden cache (reference + fault list reuse) and
-    // reinstalls a rebuilt base for from-reset replay. retain_ladders keeps
-    // the rungs instead, for callers that re-queue the same scenarios.
-    if (job.golden &&
-        job.golden->active_jobs.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-        !opts_.retain_ladders)
-        job.golden->ladder.release_all();
+    drop_golden_ref(job.golden);
     flush_ready();
 }
 
@@ -141,6 +155,7 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
 
     // Phase 3 setup: fault lists (deterministic from seed + golden ref).
     std::vector<std::pair<JobState*, std::uint32_t>> tasks;
+    std::vector<JobState*> to_analyze; // pruning: jobs awaiting the diff walk
     for (std::size_t j : wave_jobs) {
         JobState& job = *jobs_[j];
         job.golden = golden_for(job.scenario);
@@ -176,13 +191,71 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
                          static_cast<double>(job.golden->ref.total_retired) *
                          job.cfg.watchdog_factor) +
                      200'000;
+        if (opts_.prune && !job.faults.empty()) {
+            to_analyze.push_back(&job);
+            continue; // tasks queued after the analysis phase below
+        }
         job.remaining.store(job.faults.size(), std::memory_order_relaxed);
         if (job.faults.empty()) {
             complete_job(job);
             continue;
         }
+        simulated_runs_ += job.faults.size();
         for (std::uint32_t i = 0; i < job.faults.size(); ++i)
             tasks.emplace_back(&job, i);
+    }
+
+    // Phase 2.5 (pruning only): one instrumented golden replay per job
+    // classifies its whole fault list into equivalence classes — jobs in
+    // parallel, like the golden runs themselves. Faults whose corruption
+    // never reaches a "real use" get their records written here (inferred);
+    // only class representatives join the injection task list, and each
+    // representative's record is copied to its followers when it lands.
+    pool.parallel_for(to_analyze.size(), [&](std::size_t a) {
+        JobState& job = *to_analyze[a];
+        job.prune = std::make_unique<prune::PruneAnalysis>(
+            prune::analyze(job.scenario, opts_.engine, job.faults));
+    });
+    for (JobState* jp : to_analyze) {
+        JobState& job = *jp;
+        const prune::PruneAnalysis& pa = *job.prune;
+        job.followers.assign(job.faults.size(), {});
+        std::size_t reps = 0;
+        for (std::uint32_t i = 0; i < job.faults.size(); ++i) {
+            const prune::FaultPlan& p = pa.plan[i];
+            switch (p.action) {
+            case prune::FaultPlan::Action::Simulate:
+                ++reps;
+                break;
+            case prune::FaultPlan::Action::Follow:
+                job.followers[p.rep].push_back(i);
+                break;
+            case prune::FaultPlan::Action::Infer: {
+                core::FaultRecord rec;
+                rec.fault = job.faults[i];
+                rec.outcome = p.outcome;
+                rec.retired = p.retired;
+                rec.inferred = true;
+                job.result.records[i] = rec;
+                break;
+            }
+            }
+        }
+        simulated_runs_ += reps;
+        inferred_records_ += job.faults.size() - reps;
+        // The verify sample clones from this job's ladder after the job
+        // completes; hold an extra golden reference so complete_job cannot
+        // trim the rungs first.
+        if (opts_.prune_verify > 0)
+            job.golden->active_jobs.fetch_add(1, std::memory_order_relaxed);
+        job.remaining.store(reps, std::memory_order_relaxed);
+        if (reps == 0) {
+            complete_job(job);
+            continue;
+        }
+        for (std::uint32_t i = 0; i < job.faults.size(); ++i)
+            if (pa.plan[i].action == prune::FaultPlan::Action::Simulate)
+                tasks.emplace_back(&job, i);
     }
 
     // Phase 3: every job's injection runs interleaved on one pool. Each run
@@ -203,10 +276,82 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
         rec.outcome = core::classify(run, job.golden->ref, watchdog);
         rec.retired = run.total_retired();
         job.result.records[i] = rec;
+        // Pruning: every member of this representative's equivalence class
+        // has a bit-identical faulty future, so its record is this one with
+        // the fault field swapped and inferred provenance.
+        if (job.prune)
+            for (std::uint32_t fi : job.followers[i]) {
+                core::FaultRecord frec = rec;
+                frec.fault = job.faults[fi];
+                frec.inferred = true;
+                job.result.records[fi] = frec;
+            }
         // Phase 4: the finisher merges counts and streams the job in order.
         if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
             complete_job(job);
     });
+
+    // Phase 3.5 (prune=verify): re-simulate a seeded sample of the
+    // pruning-derived records and demand bit-identical outcome + retired
+    // count. Sampling is deterministic (cfg.seed), so CI and a laptop check
+    // the same faults. Mismatches are collected and thrown from run_all()
+    // after every job has flushed — the databases on disk stay complete for
+    // post-mortem diffing.
+    if (opts_.prune && opts_.prune_verify > 0) {
+        struct VerifyTask {
+            JobState* job;
+            std::uint32_t i;
+        };
+        std::vector<VerifyTask> vtasks;
+        for (std::size_t j : wave_jobs) {
+            JobState& job = *jobs_[j];
+            if (!job.prune) continue;
+            std::vector<std::uint32_t> derived;
+            for (std::uint32_t i = 0; i < job.faults.size(); ++i)
+                if (job.prune->plan[i].action !=
+                    prune::FaultPlan::Action::Simulate)
+                    derived.push_back(i);
+            // Partial Fisher-Yates: the first k entries become the sample.
+            util::Rng rng(job.cfg.seed ^ 0x7072756e65ULL); // "prune"
+            const std::size_t k =
+                std::min<std::size_t>(opts_.prune_verify, derived.size());
+            for (std::size_t s = 0; s < k; ++s) {
+                const std::size_t pick =
+                    s + static_cast<std::size_t>(rng.below(derived.size() - s));
+                std::swap(derived[s], derived[pick]);
+                vtasks.push_back({&job, derived[s]});
+            }
+        }
+        std::atomic<std::size_t> verified{0};
+        pool.parallel_for(vtasks.size(), [&](std::size_t t) {
+            JobState& job = *vtasks[t].job;
+            const std::uint32_t i = vtasks[t].i;
+            const core::Fault& f = job.faults[i];
+            sim::Machine run = job.golden->ladder.clone_nearest(f.at_retired);
+            run.run_until(f.at_retired);
+            core::apply_fault(run, f.target);
+            run.run_until(job.budget);
+            const bool watchdog = run.status() == sim::RunStatus::Running;
+            const core::Outcome outcome =
+                core::classify(run, job.golden->ref, watchdog);
+            const std::uint64_t retired = run.total_retired();
+            const core::FaultRecord& rec = job.result.records[i];
+            if (outcome == rec.outcome && retired == rec.retired) {
+                verified.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            std::lock_guard<std::mutex> lk(verify_mu_);
+            verify_failures_.push_back(
+                job.scenario.name() + " fault " + std::to_string(i) +
+                " (at=" + std::to_string(f.at_retired) +
+                "): recorded " + core::outcome_name(rec.outcome) + "/" +
+                std::to_string(rec.retired) + ", simulated " +
+                core::outcome_name(outcome) + "/" + std::to_string(retired));
+        });
+        verified_records_ += verified.load(std::memory_order_relaxed);
+        for (std::size_t j : wave_jobs)
+            if (jobs_[j]->prune) drop_golden_ref(jobs_[j]->golden);
+    }
 }
 
 std::uint32_t BatchRunner::job_fault_space(std::size_t j) const {
@@ -239,6 +384,16 @@ std::vector<core::CampaignResult> BatchRunner::run_all() {
             wave.push_back(cursor++);
         }
         run_wave(wave, pool);
+    }
+
+    if (!verify_failures_.empty()) {
+        std::string msg = "prune verify: " +
+                          std::to_string(verify_failures_.size()) +
+                          " of " + std::to_string(verified_records_ +
+                                                  verify_failures_.size()) +
+                          " sampled inferred records diverge from simulation:";
+        for (const std::string& f : verify_failures_) msg += "\n  " + f;
+        throw util::Error(msg);
     }
 
     std::vector<core::CampaignResult> results;

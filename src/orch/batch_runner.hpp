@@ -62,6 +62,18 @@ struct BatchOptions {
     /// scenarios round after round; costs one ladder of memory per distinct
     /// scenario until the runner dies, so leave it off for one-shot batches.
     bool retain_ladders = false;
+    /// Fault-equivalence pruning (src/prune/): replay each job's golden run
+    /// once with the def-use tracer attached, simulate one representative
+    /// per equivalence class, and derive the rest — records carry
+    /// FaultRecord::inferred. Outcome counts and report bytes are identical
+    /// to the unpruned run (the analyzer is exact, and gated in CI); only
+    /// per-fault provenance differs.
+    bool prune = false;
+    /// With prune: re-simulate up to this many pruning-derived records per
+    /// job (seeded, deterministic sample) after the job completes and
+    /// compare outcome + retired count. Any mismatch makes run_all() throw
+    /// util::Error once all jobs have flushed. 0 = no verification.
+    unsigned prune_verify = 0;
 };
 
 class BatchRunner {
@@ -102,6 +114,17 @@ public:
         return ff_retired_.load(std::memory_order_relaxed);
     }
 
+    /// Injection runs actually executed across all jobs so far. Without
+    /// pruning this equals the total record count; with pruning it is the
+    /// number of class representatives (the denominator of the >= 3.5x
+    /// job-reduction gate in CI).
+    std::size_t simulated_runs() const noexcept { return simulated_runs_; }
+    /// Records whose outcome was derived by pruning instead of simulated.
+    std::size_t inferred_records() const noexcept { return inferred_records_; }
+    /// Pruning-derived records re-simulated by the verify sample (and found
+    /// to match — a mismatch throws from run_all()).
+    std::size_t verified_records() const noexcept { return verified_records_; }
+
     /// Size of job j's full (pre-filter) fault list. Equals the record count
     /// unless a fault_filter is installed. Valid after run_all().
     std::uint32_t job_fault_space(std::size_t j) const;
@@ -121,6 +144,7 @@ private:
     GoldenEntry* golden_for(const npb::Scenario& s);
     void run_wave(const std::vector<std::size_t>& wave_jobs, Scheduler& pool);
     void complete_job(JobState& job);
+    void drop_golden_ref(GoldenEntry* golden);
     void flush_ready();
 
     BatchOptions opts_;
@@ -134,6 +158,13 @@ private:
     std::size_t next_flush_ = 0;
     bool csv_header_written_ = false;
     std::atomic<std::uint64_t> ff_retired_{0};
+    std::size_t simulated_runs_ = 0;
+    std::size_t inferred_records_ = 0;
+    std::size_t verified_records_ = 0;
+    /// Verify-sample mismatches ("job f<ordinal>: recorded X, simulated Y");
+    /// reported as one util::Error at the end of run_all().
+    std::vector<std::string> verify_failures_;
+    std::mutex verify_mu_;
 };
 
 } // namespace serep::orch

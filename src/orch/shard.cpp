@@ -200,6 +200,12 @@ ShardRunStats write_shard_db(const std::vector<ShardJobSpec>& jobs,
             w.key("phys").value(rec.fault.target.phys);
             w.key("outcome").value(core::outcome_name(rec.outcome));
             w.key("retired").value(rec.retired);
+            // Emitted only when set, so unpruned shard databases stay
+            // byte-identical to every release since PR 2.
+            if (rec.inferred) {
+                w.key("inferred").value(true);
+                ++stats.inferred;
+            }
             w.end_object();
             os << '\n';
             ++stats.owned;
@@ -520,6 +526,9 @@ std::vector<core::CampaignResult> merge_shards(
                         "shard merge: unknown outcome");
             rec.outcome = o;
             rec.retired = rv.at("retired").as_u64();
+            // Provenance flag from pruned campaigns (absent = simulated).
+            if (const util::JsonValue* inf = rv.find("inferred"))
+                rec.inferred = inf->as_bool();
         }
     }
 

@@ -1,0 +1,1536 @@
+#include "prune/prune.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#ifdef PRUNE_TRACE
+#include <cstdio>
+#endif
+#include <limits>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/encode.hpp"
+#include "isa/flags.hpp"
+#include "sim/machine.hpp"
+#include "util/bitops.hpp"
+#include "util/check.hpp"
+
+namespace serep::prune {
+
+namespace {
+
+using core::Fault;
+using core::FaultTarget;
+using core::Outcome;
+using isa::Flags;
+using isa::Instr;
+using isa::Op;
+using isa::SysReg;
+using isa::TrapCause;
+using sim::DecodedInstr;
+using sim::Machine;
+using sim::Mode;
+using util::low_mask;
+
+// ---- diff locations -------------------------------------------------------
+// A fault's pending corruption is a sparse map Loc -> XOR mask. Loc packs a
+// kind tag (bits 60..63) over an address:
+//   GPR   core<<8 | slot          width-bits mask
+//   FP    core<<8 | reg           64-bit mask
+//   FLAGS core                    NZCV nibble mask
+//   MEM   physical byte           8-bit mask
+//   USP   core (banked_sp)        width-bits mask
+//   EPC   core                    width-bits mask
+//   TLS   core                    width-bits mask
+constexpr std::uint64_t kLGpr = 1, kLFp = 2, kLFlags = 3, kLMem = 4,
+                        kLUsp = 5, kLEpc = 6, kLTls = 7;
+
+constexpr std::uint64_t make_loc(std::uint64_t kind, std::uint64_t a) noexcept {
+    return (kind << 60) | a;
+}
+constexpr std::uint64_t loc_gpr(unsigned c, unsigned slot) noexcept {
+    return make_loc(kLGpr, (std::uint64_t{c} << 8) | slot);
+}
+constexpr std::uint64_t loc_fp(unsigned c, unsigned reg) noexcept {
+    return make_loc(kLFp, (std::uint64_t{c} << 8) | reg);
+}
+constexpr std::uint64_t loc_flags(unsigned c) noexcept { return make_loc(kLFlags, c); }
+constexpr std::uint64_t loc_mem(std::uint64_t phys) noexcept { return make_loc(kLMem, phys); }
+constexpr std::uint64_t loc_usp(unsigned c) noexcept { return make_loc(kLUsp, c); }
+constexpr std::uint64_t loc_epc(unsigned c) noexcept { return make_loc(kLEpc, c); }
+constexpr std::uint64_t loc_tls(unsigned c) noexcept { return make_loc(kLTls, c); }
+constexpr std::uint64_t loc_kind(std::uint64_t l) noexcept { return l >> 60; }
+constexpr std::uint64_t loc_byte(std::uint64_t l) noexcept {
+    return l & ((std::uint64_t{1} << 60) - 1);
+}
+
+// ---- exact replicas of the engine's ALU primitives ------------------------
+// (sim/exec_ops.cpp keeps its copies private; these must stay bit-identical.)
+
+struct Alu {
+    std::uint64_t value;
+    Flags flags;
+};
+
+Alu carry_add(std::uint64_t a, std::uint64_t b, std::uint64_t cin,
+              unsigned w) noexcept {
+    const std::uint64_t mask = low_mask(w);
+    a &= mask;
+    b &= mask;
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(a) + b + (cin & 1);
+    const std::uint64_t r = static_cast<std::uint64_t>(wide) & mask;
+    Alu out{r, {}};
+    out.flags.n = ((r >> (w - 1)) & 1) != 0;
+    out.flags.z = r == 0;
+    out.flags.c = (wide >> w) != 0;
+    out.flags.v = (((~(a ^ b) & (a ^ r)) >> (w - 1)) & 1) != 0;
+    return out;
+}
+
+std::uint64_t shl(std::uint64_t v, unsigned amt, unsigned w) noexcept {
+    return amt >= w ? 0 : (v << amt) & low_mask(w);
+}
+std::uint64_t shr(std::uint64_t v, unsigned amt, unsigned w) noexcept {
+    v &= low_mask(w);
+    return amt >= w ? 0 : v >> amt;
+}
+std::uint64_t sar(std::uint64_t v, unsigned amt, unsigned w) noexcept {
+    const std::int64_t s = util::sign_extend(v, w);
+    if (amt >= w) amt = w - 1;
+    return static_cast<std::uint64_t>(s >> amt) & low_mask(w);
+}
+
+std::uint64_t clz_result(std::uint64_t a, unsigned w) noexcept {
+    if (a == 0) return w;
+    if (w == 32) return util::clz(a, 32);
+    return util::clz(a, 64);
+}
+
+std::int64_t sdiv_result(std::uint64_t an, std::uint64_t am, unsigned w) noexcept {
+    const std::int64_t a = util::sign_extend(an, w);
+    const std::int64_t b = util::sign_extend(am, w);
+    if (b == 0) return 0;
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+    return a / b;
+}
+
+Flags fcmp_flags(double a, double b) noexcept {
+    if (std::isnan(a) || std::isnan(b)) return Flags{false, false, true, true};
+    if (a == b) return Flags{false, true, true, false};
+    if (a < b) return Flags{true, false, false, false};
+    return Flags{false, false, true, false};
+}
+
+std::int64_t fcvtzs_result(double d) noexcept {
+    if (std::isnan(d)) return 0;
+    if (d >= 9.2233720368547758e18) return std::numeric_limits<std::int64_t>::max();
+    if (d <= -9.2233720368547758e18) return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(d);
+}
+
+// ---- pure integer data-op evaluator ---------------------------------------
+// One transcription of every integer ALU / flag / conditional-select op,
+// evaluated under a caller-supplied register reader + flags value, so the
+// same code computes the golden result, the faulty result, and (for V7
+// predicate flips) the one side that actually executes. These ops have no
+// memory access, no control transfer, and flat tick cost, which is what
+// makes a predicate flip on them a pure data event.
+
+struct DataEffect {
+    bool wr_rd = false, wr_ra = false, wr_flags = false;
+    std::uint64_t rd = 0, ra = 0;
+    std::uint8_t flags = 0;
+};
+
+template <typename RX>
+bool eval_int_data(const Instr& ins, unsigned w, RX x, Flags fl, DataEffect& e) {
+    const std::uint64_t imm = static_cast<std::uint64_t>(ins.imm);
+    const auto rd = [&](std::uint64_t v) { e.wr_rd = true; e.rd = v; };
+    const auto ra = [&](std::uint64_t v) { e.wr_ra = true; e.ra = v; };
+    const auto ff = [&](Flags nf) {
+        e.wr_flags = true;
+        e.flags = static_cast<std::uint8_t>(nf.pack());
+    };
+    const auto alu = [&](const Alu& a) { ff(a.flags); rd(a.value); };
+    switch (ins.op) {
+        case Op::MOVI: rd(imm); return true;
+        case Op::MOV: rd(x(ins.rn)); return true;
+        case Op::MVN: rd(~x(ins.rn)); return true;
+        case Op::ADD: rd(x(ins.rn) + x(ins.rm)); return true;
+        case Op::SUB: rd(x(ins.rn) - x(ins.rm)); return true;
+        case Op::AND: rd(x(ins.rn) & x(ins.rm)); return true;
+        case Op::ORR: rd(x(ins.rn) | x(ins.rm)); return true;
+        case Op::EOR: rd(x(ins.rn) ^ x(ins.rm)); return true;
+        case Op::MUL: rd(x(ins.rn) * x(ins.rm)); return true;
+        case Op::ADDI: rd(x(ins.rn) + imm); return true;
+        case Op::SUBI: rd(x(ins.rn) - imm); return true;
+        case Op::ANDI: rd(x(ins.rn) & imm); return true;
+        case Op::ORRI: rd(x(ins.rn) | imm); return true;
+        case Op::EORI: rd(x(ins.rn) ^ imm); return true;
+        case Op::ADDS: alu(carry_add(x(ins.rn), x(ins.rm), 0, w)); return true;
+        case Op::SUBS: alu(carry_add(x(ins.rn), ~x(ins.rm), 1, w)); return true;
+        case Op::ADDSI: alu(carry_add(x(ins.rn), imm, 0, w)); return true;
+        case Op::SUBSI: alu(carry_add(x(ins.rn), ~imm, 1, w)); return true;
+        case Op::ADCS: alu(carry_add(x(ins.rn), x(ins.rm), fl.c, w)); return true;
+        case Op::SBCS: alu(carry_add(x(ins.rn), ~x(ins.rm), fl.c, w)); return true;
+        case Op::UMULL: {
+            const std::uint64_t p =
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(x(ins.rn))) *
+                static_cast<std::uint32_t>(x(ins.rm));
+            rd(p & 0xFFFFFFFFu);
+            ra(p >> 32);
+            return true;
+        }
+        case Op::SMULL: {
+            const std::int64_t p =
+                static_cast<std::int64_t>(static_cast<std::int32_t>(x(ins.rn))) *
+                static_cast<std::int32_t>(x(ins.rm));
+            rd(static_cast<std::uint64_t>(p) & 0xFFFFFFFFu);
+            ra(static_cast<std::uint64_t>(p) >> 32);
+            return true;
+        }
+        case Op::UMULH:
+            rd(static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(x(ins.rn)) * x(ins.rm)) >> 64));
+            return true;
+        case Op::UDIV: {
+            const std::uint64_t b = x(ins.rm);
+            rd(b == 0 ? 0 : x(ins.rn) / b);
+            return true;
+        }
+        case Op::SDIV:
+            rd(static_cast<std::uint64_t>(sdiv_result(x(ins.rn), x(ins.rm), w)));
+            return true;
+        case Op::LSLI: rd(shl(x(ins.rn), static_cast<unsigned>(imm), w)); return true;
+        case Op::LSRI: rd(shr(x(ins.rn), static_cast<unsigned>(imm), w)); return true;
+        case Op::ASRI: rd(sar(x(ins.rn), static_cast<unsigned>(imm), w)); return true;
+        case Op::LSLV:
+            rd(shl(x(ins.rn), static_cast<unsigned>(x(ins.rm) & 0xFF), w));
+            return true;
+        case Op::LSRV:
+            rd(shr(x(ins.rn), static_cast<unsigned>(x(ins.rm) & 0xFF), w));
+            return true;
+        case Op::ASRV:
+            rd(sar(x(ins.rn), static_cast<unsigned>(x(ins.rm) & 0xFF), w));
+            return true;
+        case Op::LSLSI: {
+            const unsigned sh = static_cast<unsigned>(imm);
+            const std::uint64_t a = x(ins.rn);
+            const std::uint64_t r = shl(a, sh, w);
+            Flags nf = fl; // V preserved
+            nf.c = util::get_bit(a, w - sh);
+            nf.n = util::get_bit(r, w - 1);
+            nf.z = r == 0;
+            ff(nf);
+            rd(r);
+            return true;
+        }
+        case Op::LSRSI: {
+            const unsigned sh = static_cast<unsigned>(imm);
+            const std::uint64_t a = x(ins.rn);
+            const std::uint64_t r = shr(a, sh, w);
+            Flags nf = fl; // V preserved
+            nf.c = util::get_bit(a, sh - 1);
+            nf.n = false;
+            nf.z = r == 0;
+            ff(nf);
+            rd(r);
+            return true;
+        }
+        case Op::CLZ: rd(clz_result(x(ins.rn), w)); return true;
+        case Op::CMP: ff(carry_add(x(ins.rn), ~x(ins.rm), 1, w).flags); return true;
+        case Op::CMPI: ff(carry_add(x(ins.rn), ~imm, 1, w).flags); return true;
+        case Op::CMN: ff(carry_add(x(ins.rn), x(ins.rm), 0, w).flags); return true;
+        case Op::TST: {
+            const std::uint64_t r = (x(ins.rn) & x(ins.rm)) & low_mask(w);
+            Flags nf = fl; // C/V preserved
+            nf.n = util::get_bit(r, w - 1);
+            nf.z = r == 0;
+            ff(nf);
+            return true;
+        }
+        case Op::CSEL:
+            rd(isa::cond_holds(ins.cond, fl) ? x(ins.rn) : x(ins.rm));
+            return true;
+        case Op::CSET: rd(isa::cond_holds(ins.cond, fl) ? 1 : 0); return true;
+        default:
+            return false;
+    }
+}
+
+void append_hex(std::string& s, std::uint64_t v) {
+    char buf[17];
+    int n = 0;
+    do {
+        buf[n++] = "0123456789abcdef"[v & 0xF];
+        v >>= 4;
+    } while (v != 0);
+    while (n > 0) s += buf[--n];
+}
+
+// ---- static register liveness ---------------------------------------------
+//
+// May-read-before-overwrite analysis over the image's code, used to shrink
+// divergence fingerprints. When a conditional branch decision flips, the
+// faulty run continues at a *known* static pc; a register whose value is
+// provably never consumed as data from that pc onward (written on every
+// path before any read, call, indirect jump, or trap) cannot influence
+// control flow, addresses, stores, traps, output, or exit codes. Two faults
+// whose divergence diffs differ only in such registers therefore execute the
+// same faulty future and classify identically: the dead values ride along as
+// inert diffs that are either overwritten on every path or, when an
+// interrupt spills them through fixed PCB slots, leave kernel-memory residue
+// whose *presence* (what classification sees) is equal for both. Kernel
+// excursions are transparent to the analysis because context save/restore
+// moves register values without consuming them and scheduler decisions
+// depend on retire counts, never on user register contents.
+//
+// Bits 0..32 track the integer register slots, kFlagsBit the NZCV nibble.
+// Indirect control (BR/BLR/RET/ERET), traps (SVC/UDF), halt states, writes
+// to the V7 pc register, and out-of-image targets are sinks: everything is
+// conservatively live there.
+class StaticLiveness {
+public:
+    static constexpr std::uint64_t kFlagsBit = std::uint64_t{1} << 40;
+    static constexpr std::uint64_t kAllLive = ~std::uint64_t{0};
+
+    explicit StaticLiveness(const kasm::Image& img) : img_(img) {
+        const isa::ProfileInfo info = isa::profile_info(img.profile);
+        const std::size_t n = img.code.size();
+        use_.resize(n);
+        def_.resize(n);
+        succ_.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            derive(i, info.pc_is_gpr, info.pc_index, info.lr_index);
+        live_.assign(n, 0);
+        // Backward fixpoint; reverse sweeps converge in a handful of passes
+        // on mostly-forward control flow, loops adding one pass per nest.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = n; i-- > 0;) {
+                std::uint64_t out = 0;
+                for (const std::size_t s : succ_[i]) {
+                    if (s == kSink) {
+                        out = kAllLive;
+                        break;
+                    }
+                    if (s != kNone) out |= live_[s];
+                }
+                const std::uint64_t in = use_[i] | (out & ~def_[i]);
+                if (in != live_[i]) {
+                    live_[i] = in;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// May-read set at code byte address `pc`; all-live outside the image.
+    std::uint64_t live_at(std::uint64_t pc) const {
+        return img_.contains_code(pc) ? live_[img_.instr_index(pc)] : kAllLive;
+    }
+
+private:
+    static constexpr std::size_t kSink = ~std::size_t{0};
+    static constexpr std::size_t kNone = kSink - 1;
+
+    void derive(std::size_t i, bool v7, unsigned pc_slot, unsigned lr_slot) {
+        const Instr& ins = img_.code[i];
+        std::uint64_t use = 0, def = 0;
+        const auto rd_of = [&](unsigned r) {
+            return r < 33 ? std::uint64_t{1} << r : 0;
+        };
+        const auto R = [&](unsigned r) { use |= rd_of(r); };
+        const auto D = [&](unsigned r) { def |= rd_of(r); };
+        std::size_t s0 = i + 1 < img_.code.size() ? i + 1 : kSink;
+        std::size_t s1 = kNone;
+        const auto target = [&](std::int64_t t) {
+            const std::uint64_t a = static_cast<std::uint64_t>(t);
+            return img_.contains_code(a) ? img_.instr_index(a) : kSink;
+        };
+        bool sink = false;
+        switch (ins.op) {
+            // moves / ALU
+            case Op::MOVI: D(ins.rd); break;
+            case Op::MOV:
+            case Op::MVN:
+            case Op::CLZ:
+                R(ins.rn);
+                D(ins.rd);
+                break;
+            case Op::ADD:
+            case Op::SUB:
+            case Op::AND:
+            case Op::ORR:
+            case Op::EOR:
+            case Op::MUL:
+            case Op::UMULH:
+            case Op::UDIV:
+            case Op::SDIV:
+            case Op::LSLV:
+            case Op::LSRV:
+            case Op::ASRV:
+                R(ins.rn);
+                R(ins.rm);
+                D(ins.rd);
+                break;
+            case Op::ADDI:
+            case Op::SUBI:
+            case Op::ANDI:
+            case Op::ORRI:
+            case Op::EORI:
+            case Op::LSLI:
+            case Op::LSRI:
+            case Op::ASRI:
+                R(ins.rn);
+                D(ins.rd);
+                break;
+            case Op::ADDS:
+            case Op::SUBS:
+                R(ins.rn);
+                R(ins.rm);
+                D(ins.rd);
+                def |= kFlagsBit;
+                break;
+            case Op::ADDSI:
+            case Op::SUBSI:
+            case Op::LSLSI:
+            case Op::LSRSI:
+                R(ins.rn);
+                D(ins.rd);
+                def |= kFlagsBit;
+                break;
+            case Op::ADCS:
+            case Op::SBCS:
+                R(ins.rn);
+                R(ins.rm);
+                use |= kFlagsBit;
+                D(ins.rd);
+                def |= kFlagsBit;
+                break;
+            case Op::UMULL:
+            case Op::SMULL:
+                R(ins.rn);
+                R(ins.rm);
+                D(ins.rd);
+                D(ins.ra);
+                break;
+            case Op::CMP:
+            case Op::CMN:
+            case Op::TST:
+                R(ins.rn);
+                R(ins.rm);
+                def |= kFlagsBit;
+                break;
+            case Op::CMPI:
+                R(ins.rn);
+                def |= kFlagsBit;
+                break;
+            case Op::CSEL:
+                if (ins.cond != isa::Cond::AL) use |= kFlagsBit;
+                R(ins.rn);
+                R(ins.rm);
+                D(ins.rd);
+                break;
+            case Op::CSET:
+                if (ins.cond != isa::Cond::AL) use |= kFlagsBit;
+                D(ins.rd);
+                break;
+            // branches
+            case Op::B: s0 = target(ins.imm); break;
+            case Op::BCOND:
+                use |= kFlagsBit;
+                s1 = target(ins.imm);
+                break;
+            case Op::BL:
+                D(lr_slot);
+                s0 = target(ins.imm);
+                break;
+            case Op::BLR:
+            case Op::BR:
+                R(ins.rn);
+                sink = true;
+                break;
+            case Op::RET:
+                R(lr_slot);
+                sink = true;
+                break;
+            case Op::CBZ:
+            case Op::CBNZ:
+                R(ins.rn);
+                s1 = target(ins.imm);
+                break;
+            // memory
+            case Op::LDR:
+            case Op::LDRW:
+            case Op::LDRB:
+                R(ins.rn);
+                R(ins.rm);
+                D(ins.rd);
+                break;
+            case Op::STR:
+            case Op::STRW:
+            case Op::STRB:
+                R(ins.rn);
+                R(ins.rm);
+                R(ins.rd);
+                break;
+            case Op::LDM:
+                R(ins.rn);
+                for (unsigned r = 0; r < 15; ++r)
+                    if (ins.regmask & (1u << r)) D(r);
+                if (ins.wb) D(ins.rn);
+                break;
+            case Op::STM:
+                R(ins.rn);
+                for (unsigned r = 0; r < 15; ++r)
+                    if (ins.regmask & (1u << r)) R(r);
+                if (ins.wb) D(ins.rn);
+                break;
+            case Op::LDP:
+                R(ins.rn);
+                D(ins.rd);
+                D(ins.ra);
+                break;
+            case Op::STP:
+                R(ins.rn);
+                R(ins.rd);
+                R(ins.ra);
+                break;
+            case Op::LDREX:
+                R(ins.rn);
+                D(ins.rd);
+                break;
+            case Op::STREX:
+                R(ins.rn);
+                R(ins.rm);
+                D(ins.rd);
+                break;
+            // FP: integer-visible pieces only (FP regs are never projected)
+            case Op::FCMP: def |= kFlagsBit; break;
+            case Op::FCVTZS:
+            case Op::FMOVVX:
+                D(ins.rd);
+                break;
+            case Op::SCVTF:
+            case Op::FMOVXV:
+                R(ins.rn);
+                break;
+            case Op::FLDR:
+            case Op::FSTR:
+                R(ins.rn);
+                R(ins.rm);
+                break;
+            case Op::FADD:
+            case Op::FSUB:
+            case Op::FMUL:
+            case Op::FDIV:
+            case Op::FSQRT:
+            case Op::FNEG:
+            case Op::FABS:
+            case Op::FMADD:
+            case Op::FMOV:
+            case Op::FMOVI:
+                break;
+            // system
+            case Op::SVC: sink = true; break; // kernel consumes syscall args
+            case Op::SYSRD: D(ins.rd); break;
+            case Op::SYSWR: R(ins.rn); break;
+            case Op::ERET:
+            case Op::WFI:
+            case Op::HLT:
+            case Op::UDF:
+                sink = true;
+                break;
+            case Op::NOP: break;
+        }
+        // V7 predication: a guarded write may not happen (no kill) and the
+        // guard itself reads the flags.
+        if (v7 && ins.cond != isa::Cond::AL && ins.op != Op::BCOND) {
+            use |= kFlagsBit;
+            def = 0;
+        }
+        // Writes to the V7 pc register are computed control transfers.
+        if (v7 && ((def >> pc_slot) & 1) != 0) {
+            def &= ~(std::uint64_t{1} << pc_slot);
+            sink = true;
+        }
+        if (sink) {
+            s0 = kSink;
+            s1 = kNone;
+        }
+        use_[i] = use;
+        def_[i] = def;
+        succ_[i] = {s0, s1};
+    }
+
+    const kasm::Image& img_;
+    std::vector<std::uint64_t> use_, def_;
+    std::vector<std::array<std::size_t, 2>> succ_;
+    std::vector<std::uint64_t> live_;
+};
+
+// ---- per-fault tracking state ---------------------------------------------
+
+struct FaultState {
+    /// Pending XOR diff per location (sorted map: key construction and the
+    /// at-rest classification both iterate deterministically).
+    std::map<std::uint64_t, std::uint64_t> diff;
+    /// Sticky, classification-visible deltas that no future state can undo:
+    /// PROC_EXIT codes (overwrite semantics; zero entries erased),
+    std::map<unsigned, unsigned> proc_xor;
+    /// SHUTDOWN exit code (overwrite semantics),
+    unsigned shutdown_xor = 0;
+    /// and console output (append-only, so a single divergent byte latches).
+    bool output_differs = false;
+    bool active = false;
+    bool resolved = false;
+    std::uint64_t cand_stamp = 0; ///< per-step candidate dedup
+    std::string key;              ///< class fingerprint (resolved only)
+};
+
+// ---- the walker -----------------------------------------------------------
+
+class Walker final : public sim::StepObserver {
+public:
+    Walker(const Machine& m, const std::vector<Fault>& faults)
+        : faults_(faults), fs_(faults.size()), liveness_(m.image()) {
+        const isa::ProfileInfo info =
+            isa::profile_info(m.core(0).regs.profile());
+        wbits_ = info.width_bits;
+        wmask_ = low_mask(wbits_);
+        v7_ = info.pc_is_gpr;
+        pc_slot_ = info.pc_index;
+        sp_slot_ = info.sp_index;
+        lr_slot_ = info.lr_index;
+        has_fp_ = info.has_fp_regs;
+        kern_size_ = m.mem().kern_size();
+        user_size_ = m.mem().user_size();
+        nprocs_ = m.config().procs;
+        udata_ = m.image().udata_size;
+        has_text_ = m.mem().has_text();
+        text_base_ = m.mem().text_base();
+        text_size_ = m.mem().text_size();
+        order_.resize(faults.size());
+        for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+        std::stable_sort(order_.begin(), order_.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return faults[a].at_retired < faults[b].at_retired;
+                         });
+    }
+
+    bool all_resolved() const noexcept {
+        return next_act_ == order_.size() && resolved_ == fs_.size();
+    }
+
+    void on_step(const Machine& m, unsigned ci, const DecodedInstr& di,
+                 std::uint64_t pc, bool executed) override {
+        ++seq_;
+        activate_due(m);
+        if (watchers_.empty() && text_watch_.empty()) return;
+
+        // Fetch uses: a tainted PC changes which instruction runs; a fetch
+        // through a tainted text-mirror record may execute a different
+        // decode. Both diverge here — conservatively for text records (the
+        // flipped bit might be decode-neutral, but proving that would need
+        // the decoder; a few extra simulations are cheaper).
+        if (auto it = watchers_.find(loc_gpr(ci, pc_slot_));
+            it != watchers_.end()) {
+            const std::vector<std::uint32_t> hit = it->second;
+            for (std::uint32_t fi : hit) real_use(fi);
+        }
+        if (!text_watch_.empty() && m.image().contains_code(pc)) {
+            if (auto it = text_watch_.find(m.image().instr_index(pc));
+                it != text_watch_.end()) {
+                const std::vector<std::uint32_t> hit = it->second;
+                for (std::uint32_t fi : hit) real_use(fi);
+            }
+        }
+        if (watchers_.empty()) return;
+
+        collect(m, ci, di);
+        for (std::uint32_t fi : cands_)
+            if (!fs_[fi].resolved) transform(m, ci, di, pc, executed, fi);
+    }
+
+    void on_trap(const Machine& m, unsigned ci, TrapCause cause) override {
+        ++seq_;
+        activate_due(m);
+        if (watchers_.empty()) return;
+        // take_trap: EPC <- pc (pc+4 for SVC), SP <-> banked SP, pc <-
+        // vec_entry, cause/badaddr <- clean values. An IRQ preemption can
+        // carry a tainted PC (no fetch happened this step), which the trap
+        // funnels into EPC; a prefetch abort on a tainted PC is a real use
+        // instead — the faulty fetch may well succeed.
+        cands_.clear();
+        ++stamp_;
+        add_loc(loc_gpr(ci, pc_slot_));
+        add_loc(loc_gpr(ci, sp_slot_));
+        add_loc(loc_usp(ci));
+        add_loc(loc_epc(ci));
+        for (std::uint32_t fi : cands_) {
+            FaultState& f = fs_[fi];
+            if (f.resolved) continue;
+            const std::uint64_t dpc = get(f, loc_gpr(ci, pc_slot_));
+            if (dpc != 0 && cause == TrapCause::PREFETCH_ABORT) {
+                real_use(fi);
+                continue;
+            }
+            set(fi, loc_epc(ci), dpc); // pc+4 (SVC) has the same XOR diff
+            set(fi, loc_gpr(ci, pc_slot_), 0);
+            const std::uint64_t dsp = get(f, loc_gpr(ci, sp_slot_));
+            const std::uint64_t dusp = get(f, loc_usp(ci));
+            set(fi, loc_gpr(ci, sp_slot_), dusp);
+            set(fi, loc_usp(ci), dsp);
+        }
+    }
+
+    PruneAnalysis finish(const Machine& m) {
+        // Faults struck after the last callback rest at their initial flip.
+        while (next_act_ < order_.size()) activate(order_[next_act_++]);
+        PruneAnalysis out;
+        out.plan.resize(fs_.size());
+        std::unordered_map<std::string, std::uint32_t> reps;
+        reps.reserve(fs_.size());
+        for (std::uint32_t i = 0; i < fs_.size(); ++i) {
+            FaultPlan& p = out.plan[i];
+            FaultState& f = fs_[i];
+            if (f.resolved) {
+                const auto ins = reps.emplace(f.key, i);
+                if (ins.second) {
+                    p.action = FaultPlan::Action::Simulate;
+                    ++out.n_simulate;
+                } else {
+                    p.action = FaultPlan::Action::Follow;
+                    p.rep = ins.first->second;
+                    ++out.n_follow;
+                }
+            } else {
+                p.action = FaultPlan::Action::Infer;
+                p.outcome = classify_at_rest(m, f);
+                p.retired = m.total_retired();
+                ++out.n_infer;
+            }
+        }
+        return out;
+    }
+
+private:
+    // ---- diff bookkeeping ----
+    std::uint64_t get(const FaultState& f, std::uint64_t l) const {
+        const auto it = f.diff.find(l);
+        return it == f.diff.end() ? 0 : it->second;
+    }
+
+    void set(std::uint32_t fi, std::uint64_t l, std::uint64_t mask) {
+        FaultState& f = fs_[fi];
+        if (f.resolved) return;
+#ifdef PRUNE_TRACE
+        if (fi == PRUNE_TRACE)
+            std::fprintf(stderr, "W seq=%llu set loc=%llx mask=%llx\n",
+                         (unsigned long long)seq_, (unsigned long long)l,
+                         (unsigned long long)mask);
+#endif
+        const auto it = f.diff.find(l);
+        if (it == f.diff.end()) {
+            if (mask == 0) return;
+            f.diff.emplace(l, mask);
+            watchers_[l].push_back(fi);
+        } else if (mask == 0) {
+            f.diff.erase(it);
+            unwatch(l, fi);
+        } else {
+            it->second = mask;
+        }
+    }
+
+    /// Is this diff component part of the class fingerprint, given the
+    /// faulty path's static live set? Only integer registers and flags are
+    /// ever projected; everything else is conservatively kept.
+    bool loc_live(std::uint64_t l, std::uint64_t live) const {
+        if (live == StaticLiveness::kAllLive) return true;
+        const std::uint64_t kind = loc_kind(l);
+        if (kind == kLGpr) {
+            const unsigned slot = static_cast<unsigned>(l & 0xFF);
+            if (slot >= 33 || slot == pc_slot_) return true;
+            return ((live >> slot) & 1) != 0;
+        }
+        if (kind == kLFlags)
+            return (live & StaticLiveness::kFlagsBit) != 0;
+        return true;
+    }
+
+    void unwatch(std::uint64_t l, std::uint32_t fi) {
+        const auto w = watchers_.find(l);
+        if (w == watchers_.end()) return;
+        std::vector<std::uint32_t>& v = w->second;
+        v.erase(std::remove(v.begin(), v.end(), fi), v.end());
+        if (v.empty()) watchers_.erase(w);
+    }
+
+    /// The corrupted state influenced execution: freeze the fault's diff
+    /// signature. Faults resolving at the same instant with identical diffs
+    /// and sticky deltas have bit-identical faulty machine states, hence
+    /// bit-identical futures — one simulation covers the whole class.
+    ///
+    /// When the divergence is a conditional-branch decision flip, the faulty
+    /// run's continuation pc is known statically; pass it as `faulty_pc` and
+    /// diff components in registers that are provably dead-as-data from
+    /// there onward are projected out of the fingerprint, merging faults
+    /// that differ only in inert temporaries (see StaticLiveness).
+    static constexpr std::uint64_t kNoPc = ~std::uint64_t{0};
+
+    void real_use(std::uint32_t fi, std::uint64_t faulty_pc = kNoPc) {
+        FaultState& f = fs_[fi];
+        if (f.resolved) return;
+#ifdef PRUNE_TRACE
+        std::fprintf(stderr, "W f=%u seq=%llu REAL USE\n", fi,
+                     (unsigned long long)seq_);
+#endif
+        std::uint64_t live = StaticLiveness::kAllLive;
+        if (faulty_pc != kNoPc) {
+            live = liveness_.live_at(faulty_pc);
+            // A corrupted text-mirror record could decode into anything —
+            // the static code no longer describes the faulty path.
+            for (const auto& d : f.diff)
+                if (loc_kind(d.first) == kLMem && has_text_ &&
+                    loc_byte(d.first) >= text_base_ &&
+                    loc_byte(d.first) < text_base_ + text_size_) {
+                    live = StaticLiveness::kAllLive;
+                    break;
+                }
+        }
+        std::string key;
+        key.reserve(24 + f.diff.size() * 20);
+        append_hex(key, seq_);
+        for (const auto& d : f.diff) {
+            if (!loc_live(d.first, live)) continue;
+            key += ';';
+            append_hex(key, d.first);
+            key += ':';
+            append_hex(key, d.second);
+        }
+#ifdef PRUNE_TRACE
+        if (faulty_pc != kNoPc)
+            std::fprintf(stderr,
+                         "W f=%u seq=%llu PROJ fpc=%llx live=%llx diff=%zu key=%s\n",
+                         fi, (unsigned long long)seq_,
+                         (unsigned long long)faulty_pc, (unsigned long long)live,
+                         f.diff.size(), key.c_str());
+#endif
+        if (f.output_differs) key += "|o";
+        if (f.shutdown_xor != 0) {
+            key += "|s";
+            append_hex(key, f.shutdown_xor);
+        }
+        for (const auto& px : f.proc_xor) {
+            key += "|p";
+            append_hex(key, px.first);
+            key += ':';
+            append_hex(key, px.second);
+        }
+        f.key = std::move(key);
+        f.resolved = true;
+        ++resolved_;
+        for (const auto& d : f.diff) unwatch(d.first, fi);
+        const FaultTarget& t = faults_[fi].target;
+        if (t.kind == FaultTarget::Kind::MEM && has_text_ &&
+            t.phys >= text_base_ && t.phys < text_base_ + text_size_) {
+            const auto it =
+                text_watch_.find((t.phys - text_base_) / isa::kTextRecordBytes);
+            if (it != text_watch_.end()) {
+                std::vector<std::uint32_t>& v = it->second;
+                v.erase(std::remove(v.begin(), v.end(), fi), v.end());
+                if (v.empty()) text_watch_.erase(it);
+            }
+        }
+    }
+
+    // ---- activation ----
+    void activate_due(const Machine& m) {
+        while (next_act_ < order_.size() &&
+               faults_[order_[next_act_]].at_retired <= m.total_retired())
+            activate(order_[next_act_++]);
+    }
+
+    void activate(std::uint32_t fi) {
+        const FaultTarget& t = faults_[fi].target;
+        fs_[fi].active = true;
+        switch (t.kind) {
+            case FaultTarget::Kind::GPR: {
+                // flip_gpr_bit masks: flipping past the width is a no-op.
+                const std::uint64_t mask = (std::uint64_t{1} << t.bit) & wmask_;
+                if (mask != 0) set(fi, loc_gpr(t.core, t.reg), mask);
+                break;
+            }
+            case FaultTarget::Kind::FP:
+                set(fi, loc_fp(t.core, t.reg), std::uint64_t{1} << t.bit);
+                break;
+            case FaultTarget::Kind::MEM:
+                set(fi, loc_mem(t.phys), std::uint64_t{1} << (t.bit % 8));
+                if (has_text_ && t.phys >= text_base_ &&
+                    t.phys < text_base_ + text_size_)
+                    text_watch_[(t.phys - text_base_) / isa::kTextRecordBytes]
+                        .push_back(fi);
+                break;
+        }
+    }
+
+    // ---- per-step candidate collection ----
+    void add_loc(std::uint64_t l) {
+        const auto it = watchers_.find(l);
+        if (it == watchers_.end()) return;
+        for (std::uint32_t fi : it->second) {
+            if (fs_[fi].cand_stamp == stamp_) continue;
+            fs_[fi].cand_stamp = stamp_;
+            cands_.push_back(fi);
+        }
+    }
+    void add_reg(unsigned ci, unsigned r) {
+        if (r < 33) add_loc(loc_gpr(ci, r));
+    }
+    void add_fp(unsigned ci, unsigned r) {
+        if (r < 32) add_loc(loc_fp(ci, r));
+    }
+    void add_mem_range(const Machine& m, const sim::CoreState& k,
+                       std::uint64_t vaddr, unsigned size) {
+        const sim::Translation t =
+            m.mem().translate(vaddr, size, k.mode == Mode::KERNEL, k.curproc);
+        if (!t.ok()) return;
+        for (unsigned i = 0; i < size; ++i) add_loc(loc_mem(t.phys + i));
+    }
+
+    std::uint64_t golden_addr_of(const sim::CoreState& k, const Instr& ins) const {
+        const std::uint64_t off = ins.rm != isa::kNoReg
+                                      ? (k.regs.x(ins.rm) << ins.shift)
+                                      : static_cast<std::uint64_t>(ins.imm);
+        return (k.regs.x(ins.rn) + off) & wmask_;
+    }
+
+    /// Conservative superset of the locations this step reads *or*
+    /// overwrites. Over-collection is harmless — the transform of a fault
+    /// whose diffs turn out irrelevant computes zero deltas and changes
+    /// nothing — so candidates err on the broad side (flags always, every
+    /// operand field even when the op ignores it).
+    void collect(const Machine& m, unsigned ci, const DecodedInstr& di) {
+        cands_.clear();
+        ++stamp_;
+        const Instr& ins = di.ins;
+        const sim::CoreState& k = m.core(ci);
+        add_reg(ci, ins.rd);
+        add_reg(ci, ins.rn);
+        add_reg(ci, ins.rm);
+        add_reg(ci, ins.ra);
+        add_loc(loc_flags(ci));
+        switch (ins.op) {
+            case Op::BL:
+            case Op::BLR:
+            case Op::RET:
+                add_reg(ci, lr_slot_);
+                break;
+            case Op::SYSRD:
+            case Op::SYSWR:
+                add_loc(loc_epc(ci));
+                add_loc(loc_usp(ci));
+                add_loc(loc_tls(ci));
+                break;
+            case Op::ERET:
+                add_loc(loc_epc(ci));
+                add_loc(loc_usp(ci));
+                add_reg(ci, sp_slot_);
+                break;
+            case Op::LDR:
+            case Op::STR:
+            case Op::LDRW:
+            case Op::STRW:
+            case Op::LDRB:
+            case Op::STRB:
+                add_mem_range(m, k, golden_addr_of(k, ins), di.mem_size);
+                break;
+            case Op::FLDR:
+            case Op::FSTR:
+                add_fp(ci, ins.rd);
+                add_mem_range(m, k, golden_addr_of(k, ins), 8);
+                break;
+            case Op::LDP:
+            case Op::STP: {
+                const std::uint64_t a = golden_addr_of(k, ins);
+                add_mem_range(m, k, a, 8);
+                add_mem_range(m, k, a + 8, 8);
+                break;
+            }
+            case Op::LDM:
+            case Op::STM: {
+                const std::uint64_t a = k.regs.x(ins.rn) & wmask_;
+                unsigned n = 0;
+                for (unsigned r = 0; r < 15; ++r) {
+                    if (!(ins.regmask & (1u << r))) continue;
+                    add_reg(ci, r); // STM source / LDM overwritten dest
+                    add_mem_range(m, k, a + 4 * n, 4);
+                    ++n;
+                }
+                break;
+            }
+            case Op::LDREX:
+            case Op::STREX:
+                add_mem_range(m, k, k.regs.x(ins.rn) & wmask_, di.mem_size);
+                break;
+            default:
+                break;
+        }
+        if (has_fp_) {
+            switch (ins.op) {
+                case Op::FADD:
+                case Op::FSUB:
+                case Op::FMUL:
+                case Op::FDIV:
+                case Op::FSQRT:
+                case Op::FNEG:
+                case Op::FABS:
+                case Op::FMADD:
+                case Op::FMOV:
+                case Op::FMOVI:
+                case Op::FCMP:
+                case Op::FCVTZS:
+                case Op::SCVTF:
+                case Op::FMOVVX:
+                case Op::FMOVXV:
+                    add_fp(ci, ins.rd);
+                    add_fp(ci, ins.rn);
+                    add_fp(ci, ins.rm);
+                    add_fp(ci, ins.ra);
+                    break;
+                default:
+                    break;
+            }
+        }
+    }
+
+    // ---- the exact diff transform ----
+    // Golden pre-step state plus this fault's diff map IS the faulty
+    // machine; every case below computes `golden_result ^ faulty_result`
+    // with the same primitives the engine handlers use (sim/exec_ops.cpp —
+    // any semantic change there must be mirrored here; prune_test's
+    // inferred-vs-simulated identity check is the tripwire). Divergence
+    // points — addresses, branch decisions, jump targets, behavioral sysreg
+    // writes — end the walk via real_use() instead.
+    void transform(const Machine& m, unsigned ci, const DecodedInstr& di,
+                   std::uint64_t pc, bool executed, std::uint32_t fi) {
+        FaultState& f = fs_[fi];
+        const sim::CoreState& k = m.core(ci);
+        const Instr& ins = di.ins;
+
+        const auto gx = [&](unsigned r) { return k.regs.x(r); };
+        const auto dx = [&](unsigned r) { return get(f, loc_gpr(ci, r)); };
+        const auto fx = [&](unsigned r) { return gx(r) ^ dx(r); };
+        const auto setx = [&](unsigned r, std::uint64_t dmask) {
+            dmask &= wmask_;
+            if (v7_ && r == 15) {
+                // write_gpr to R15 is a jump; a differing value is a
+                // divergent target, an equal one leaves PC clean.
+                if (dmask != 0) real_use(fi);
+                return;
+            }
+            set(fi, loc_gpr(ci, r), dmask);
+        };
+
+        const Flags gflags = k.regs.flags();
+        const std::uint64_t dflags = get(f, loc_flags(ci)) & 0xF;
+        const Flags fflags = Flags::unpack(gflags.pack() ^ dflags);
+        const auto set_flags_diff = [&](std::uint64_t nibble) {
+            set(fi, loc_flags(ci), nibble & 0xF);
+        };
+
+        // V7 predicate: a shared skip leaves all state untouched. A decision
+        // flip on a pure integer data op is still a pure data event — the pc
+        // stream and tick cost are identical whether the op executes or
+        // retires as a bubble, so only the destination/flags differ and the
+        // executing side's result is exactly computable. A flip on anything
+        // else (memory, control transfer, system) diverges.
+        if (di.check_cond) {
+            const bool fexec = isa::cond_holds(ins.cond, fflags);
+            if (fexec != executed) {
+                DataEffect e;
+                const bool pure = executed
+                                      ? eval_int_data(ins, wbits_, gx, gflags, e)
+                                      : eval_int_data(ins, wbits_, fx, fflags, e);
+                if (!pure) {
+                    real_use(fi);
+                    return;
+                }
+                // V7 write to R15 is a jump: one side takes it, the other
+                // falls through — control divergence unless the target IS
+                // the fall-through address.
+                if (v7_ && ((e.wr_rd && ins.rd == 15) || (e.wr_ra && ins.ra == 15))) {
+                    const std::uint64_t tgt = e.wr_ra && ins.ra == 15 ? e.ra : e.rd;
+                    if (((tgt ^ (gx(15) + 4)) & wmask_) != 0) {
+                        real_use(fi);
+                        return;
+                    }
+                    if (ins.rd == 15) e.wr_rd = false;
+                    if (ins.ra == 15) e.wr_ra = false;
+                }
+                // diff_post = golden_post ^ faulty_post; the skipping side
+                // keeps its pre-step value. Capture pre-diffs before any set.
+                const std::uint64_t nd_rd =
+                    e.wr_rd ? e.rd ^ gx(ins.rd) ^ (executed ? dx(ins.rd) : 0) : 0;
+                const std::uint64_t nd_ra =
+                    e.wr_ra ? e.ra ^ gx(ins.ra) ^ (executed ? dx(ins.ra) : 0) : 0;
+                if (e.wr_rd) setx(ins.rd, nd_rd);
+                if (e.wr_ra) setx(ins.ra, nd_ra);
+                if (e.wr_flags)
+                    set_flags_diff(executed ? e.flags ^ gflags.pack() ^ dflags
+                                            : gflags.pack() ^ e.flags);
+                return;
+            }
+            if (!executed) return;
+        }
+
+        // Both runs execute: integer data ops evaluate once per side.
+        {
+            DataEffect eg;
+            if (eval_int_data(ins, wbits_, gx, gflags, eg)) {
+                DataEffect ef;
+                eval_int_data(ins, wbits_, fx, fflags, ef);
+                if (eg.wr_rd) setx(ins.rd, eg.rd ^ ef.rd);
+                if (eg.wr_ra) setx(ins.ra, eg.ra ^ ef.ra);
+                if (eg.wr_flags) set_flags_diff(eg.flags ^ ef.flags);
+                return;
+            }
+        }
+
+        const auto gvb = [&](unsigned r) { return k.regs.v_bits(r); };
+        const auto dvb = [&](unsigned r) { return get(f, loc_fp(ci, r)); };
+        const auto fvb = [&](unsigned r) { return gvb(r) ^ dvb(r); };
+        const auto gvd = [&](unsigned r) { return util::bits_f64(gvb(r)); };
+        const auto fvd = [&](unsigned r) { return util::bits_f64(fvb(r)); };
+        const auto setv = [&](unsigned r, std::uint64_t dmask) {
+            set(fi, loc_fp(ci, r), dmask);
+        };
+        const auto fp2 = [&](double g, double fv) {
+            setv(ins.rd, util::f64_bits(g) ^ util::f64_bits(fv));
+        };
+
+        const auto xlate = [&](std::uint64_t vaddr, unsigned size,
+                               std::uint64_t& phys) {
+            const sim::Translation t = m.mem().translate(
+                vaddr, size, k.mode == Mode::KERNEL, k.curproc);
+            phys = t.phys;
+            return t.ok();
+        };
+        const auto mem_diff = [&](std::uint64_t phys, unsigned size) {
+            std::uint64_t d = 0;
+            for (unsigned i = 0; i < size; ++i)
+                d |= get(f, loc_mem(phys + i)) << (8 * i);
+            return d;
+        };
+        const auto store_diff = [&](std::uint64_t phys, unsigned size,
+                                    std::uint64_t d) {
+            for (unsigned i = 0; i < size; ++i)
+                set(fi, loc_mem(phys + i), (d >> (8 * i)) & 0xFF);
+        };
+        // addr_of both ways, exactly: base and offset taints may cancel.
+        std::uint64_t ag = 0, af = 0;
+        const auto addr_diverges = [&]() {
+            const std::uint64_t offg = ins.rm != isa::kNoReg
+                                           ? (gx(ins.rm) << ins.shift)
+                                           : static_cast<std::uint64_t>(ins.imm);
+            const std::uint64_t offf = ins.rm != isa::kNoReg
+                                           ? (fx(ins.rm) << ins.shift)
+                                           : static_cast<std::uint64_t>(ins.imm);
+            ag = (gx(ins.rn) + offg) & wmask_;
+            af = (fx(ins.rn) + offf) & wmask_;
+            if (ag != af) {
+                real_use(fi);
+                return true;
+            }
+            return false;
+        };
+
+        switch (ins.op) {
+            // ---- branches ----
+            case Op::B: break; // immediate target, clean either way
+            case Op::BCOND: {
+                const bool gdec = isa::cond_holds(ins.cond, gflags);
+                if (gdec != isa::cond_holds(ins.cond, fflags))
+                    real_use(fi, gdec ? pc + isa::kInstrBytes
+                                      : static_cast<std::uint64_t>(ins.imm));
+                break;
+            }
+            case Op::BL:
+                set(fi, loc_gpr(ci, lr_slot_), 0); // pc+4 is clean
+                break;
+            case Op::BLR:
+                if (dx(ins.rn) != 0) {
+                    real_use(fi);
+                    break;
+                }
+                set(fi, loc_gpr(ci, lr_slot_), 0);
+                break;
+            case Op::BR:
+                if (dx(ins.rn) != 0) real_use(fi);
+                break;
+            case Op::RET:
+                if (get(f, loc_gpr(ci, lr_slot_)) != 0) real_use(fi);
+                break;
+            case Op::CBZ:
+            case Op::CBNZ: {
+                const bool fzero = fx(ins.rn) == 0;
+                if ((gx(ins.rn) == 0) != fzero) {
+                    const bool ftaken = fzero == (ins.op == Op::CBZ);
+                    real_use(fi, ftaken ? static_cast<std::uint64_t>(ins.imm)
+                                        : pc + isa::kInstrBytes);
+                }
+                break;
+            }
+
+            // ---- memory ----
+            case Op::LDR:
+            case Op::LDRW:
+            case Op::LDRB: {
+                if (addr_diverges()) break;
+                std::uint64_t phys;
+                if (!xlate(ag, di.mem_size, phys)) break; // aborts in both runs
+                setx(ins.rd, mem_diff(phys, di.mem_size));
+                break;
+            }
+            case Op::STR: {
+                if (addr_diverges()) break;
+                std::uint64_t phys;
+                if (!xlate(ag, di.mem_size, phys)) break;
+                store_diff(phys, di.mem_size, dx(ins.rd));
+                break;
+            }
+            case Op::STRW: {
+                if (addr_diverges()) break;
+                std::uint64_t phys;
+                if (!xlate(ag, 4, phys)) break;
+                store_diff(phys, 4, dx(ins.rd) & 0xFFFFFFFFu);
+                break;
+            }
+            case Op::STRB: {
+                if (addr_diverges()) break;
+                std::uint64_t phys;
+                if (!xlate(ag, 1, phys)) break;
+                store_diff(phys, 1, dx(ins.rd) & 0xFF);
+                break;
+            }
+            case Op::LDM: {
+                if (dx(ins.rn) != 0) { // a = x(rn) & mask: any taint diverges
+                    real_use(fi);
+                    break;
+                }
+                const std::uint64_t a = gx(ins.rn) & wmask_;
+                std::uint64_t rn_g = gx(ins.rn), rn_d = 0;
+                unsigned n = 0;
+                bool aborted = false;
+                for (unsigned r = 0; r < 15; ++r) {
+                    if (!(ins.regmask & (1u << r))) continue;
+                    std::uint64_t phys;
+                    if (!xlate(a + 4 * n, 4, phys)) {
+                        aborted = true;
+                        break;
+                    }
+                    const std::uint64_t vd = mem_diff(phys, 4);
+                    setx(r, vd);
+                    if (r == ins.rn) { // writeback reads the loaded value
+                        rn_g = m.mem().load(phys, 4);
+                        rn_d = vd;
+                    }
+                    ++n;
+                }
+                if (!aborted && ins.wb)
+                    setx(ins.rn, ((rn_g + 4 * n) & wmask_) ^
+                                     (((rn_g ^ rn_d) + 4 * n) & wmask_));
+                break;
+            }
+            case Op::STM: {
+                if (dx(ins.rn) != 0) {
+                    real_use(fi);
+                    break;
+                }
+                const std::uint64_t a = gx(ins.rn) & wmask_;
+                unsigned n = 0;
+                bool aborted = false;
+                for (unsigned r = 0; r < 15; ++r) {
+                    if (!(ins.regmask & (1u << r))) continue;
+                    std::uint64_t phys;
+                    if (!xlate(a + 4 * n, 4, phys)) {
+                        aborted = true;
+                        break;
+                    }
+                    store_diff(phys, 4, dx(r) & 0xFFFFFFFFu);
+                    ++n;
+                }
+                if (!aborted && ins.wb) setx(ins.rn, 0); // rn is clean here
+                break;
+            }
+            case Op::LDP: {
+                if (addr_diverges()) break;
+                std::uint64_t p1, p2;
+                if (!xlate(ag, 8, p1) || !xlate(ag + 8, 8, p2)) break;
+                const std::uint64_t d1 = mem_diff(p1, 8);
+                const std::uint64_t d2 = mem_diff(p2, 8);
+                setx(ins.rd, d1);
+                setx(ins.ra, d2);
+                break;
+            }
+            case Op::STP: {
+                if (addr_diverges()) break;
+                std::uint64_t p1, p2;
+                if (!xlate(ag, 8, p1)) break;
+                store_diff(p1, 8, dx(ins.rd)); // first store commits even if
+                if (!xlate(ag + 8, 8, p2)) break; // the second one faults
+                store_diff(p2, 8, dx(ins.ra));
+                break;
+            }
+            case Op::LDREX: {
+                if (dx(ins.rn) != 0) {
+                    real_use(fi);
+                    break;
+                }
+                std::uint64_t phys;
+                if (!xlate(gx(ins.rn) & wmask_, di.mem_size, phys)) break;
+                setx(ins.rd, mem_diff(phys, di.mem_size));
+                break;
+            }
+            case Op::STREX: {
+                if (dx(ins.rn) != 0) {
+                    real_use(fi);
+                    break;
+                }
+                std::uint64_t phys;
+                if (!xlate(gx(ins.rn) & wmask_, di.mem_size, phys)) break;
+                // identical reservation state in both runs: same branch
+                if (k.excl_valid && k.excl_addr == phys)
+                    store_diff(phys, di.mem_size, dx(ins.rm));
+                setx(ins.rd, 0); // 0/1 success flag, identical
+                break;
+            }
+
+            // ---- floating point ----
+            case Op::FADD: fp2(gvd(ins.rn) + gvd(ins.rm), fvd(ins.rn) + fvd(ins.rm)); break;
+            case Op::FSUB: fp2(gvd(ins.rn) - gvd(ins.rm), fvd(ins.rn) - fvd(ins.rm)); break;
+            case Op::FMUL: fp2(gvd(ins.rn) * gvd(ins.rm), fvd(ins.rn) * fvd(ins.rm)); break;
+            case Op::FDIV: fp2(gvd(ins.rn) / gvd(ins.rm), fvd(ins.rn) / fvd(ins.rm)); break;
+            case Op::FSQRT: fp2(std::sqrt(gvd(ins.rn)), std::sqrt(fvd(ins.rn))); break;
+            case Op::FNEG: fp2(-gvd(ins.rn), -fvd(ins.rn)); break;
+            case Op::FABS: fp2(std::fabs(gvd(ins.rn)), std::fabs(fvd(ins.rn))); break;
+            case Op::FMADD:
+                fp2(std::fma(gvd(ins.rn), gvd(ins.rm), gvd(ins.ra)),
+                    std::fma(fvd(ins.rn), fvd(ins.rm), fvd(ins.ra)));
+                break;
+            case Op::FMOV: setv(ins.rd, dvb(ins.rn)); break; // raw bit copy
+            case Op::FMOVI: setv(ins.rd, 0); break;
+            case Op::FCMP:
+                set_flags_diff(fcmp_flags(gvd(ins.rn), gvd(ins.rm)).pack() ^
+                               fcmp_flags(fvd(ins.rn), fvd(ins.rm)).pack());
+                break;
+            case Op::FCVTZS:
+                setx(ins.rd,
+                     static_cast<std::uint64_t>(fcvtzs_result(gvd(ins.rn))) ^
+                         static_cast<std::uint64_t>(fcvtzs_result(fvd(ins.rn))));
+                break;
+            case Op::SCVTF:
+                fp2(static_cast<double>(static_cast<std::int64_t>(gx(ins.rn))),
+                    static_cast<double>(static_cast<std::int64_t>(fx(ins.rn))));
+                break;
+            case Op::FMOVVX: setx(ins.rd, dvb(ins.rn)); break;
+            case Op::FMOVXV: setv(ins.rd, dx(ins.rn)); break;
+            case Op::FLDR: {
+                if (addr_diverges()) break;
+                std::uint64_t phys;
+                if (!xlate(ag, 8, phys)) break;
+                setv(ins.rd, mem_diff(phys, 8));
+                break;
+            }
+            case Op::FSTR: {
+                if (addr_diverges()) break;
+                std::uint64_t phys;
+                if (!xlate(ag, 8, phys)) break;
+                store_diff(phys, 8, dvb(ins.rd));
+                break;
+            }
+
+            // ---- system ----
+            case Op::SVC:
+                break; // pure control; the trap transform runs via on_trap
+            case Op::SYSRD: {
+                // Mirror sysreg_read's permission matrix: a privileged read
+                // from user mode takes UNDEF in both runs and writes nothing.
+                const bool kernel = k.mode == Mode::KERNEL;
+                switch (static_cast<SysReg>(ins.imm)) {
+                    case SysReg::CORE_ID:
+                    case SysReg::INSTRET:
+                    case SysReg::NCORES: setx(ins.rd, 0); break;
+                    case SysReg::TLS: setx(ins.rd, get(f, loc_tls(ci))); break;
+                    case SysReg::TIMER:
+                    case SysReg::CAUSE:
+                    case SysReg::BADADDR:
+                    case SysReg::CURPROC:
+                        if (kernel) setx(ins.rd, 0);
+                        break;
+                    case SysReg::EPC:
+                        if (kernel) setx(ins.rd, get(f, loc_epc(ci)));
+                        break;
+                    case SysReg::USP:
+                        if (kernel) setx(ins.rd, get(f, loc_usp(ci)));
+                        break;
+                    case SysReg::FLAGS:
+                        if (kernel) setx(ins.rd, dflags);
+                        break;
+                    default: break; // UNDEF in both runs
+                }
+                break;
+            }
+            case Op::SYSWR: {
+                if (k.mode != Mode::KERNEL) break; // UNDEF in both runs
+                const std::uint64_t dv = dx(ins.rn);
+                const std::uint64_t vg = gx(ins.rn);
+                switch (static_cast<SysReg>(ins.imm)) {
+                    // Writes that change timing, scheduling, address
+                    // translation or the address space: a tainted value is
+                    // behavioral divergence.
+                    case SysReg::TIMER:
+                    case SysReg::IPI_SEND:
+                    case SysReg::MAP_BRK:
+                    case SysReg::CURPROC:
+                        if (dv != 0) real_use(fi);
+                        break;
+                    case SysReg::EPC: set(fi, loc_epc(ci), dv); break;
+                    case SysReg::USP: set(fi, loc_usp(ci), dv); break;
+                    case SysReg::TLS: set(fi, loc_tls(ci), dv); break;
+                    case SysReg::FLAGS: set_flags_diff(dv & 0xF); break;
+                    case SysReg::CONSOLE:
+                        // append-only device; classification only ever asks
+                        // *whether* output differs, so one byte latches
+                        if ((dv & 0xFF) != 0) f.output_differs = true;
+                        break;
+                    case SysReg::SHUTDOWN:
+                        f.shutdown_xor = static_cast<unsigned>(dv & 0xFF);
+                        break;
+                    case SysReg::PROC_EXIT: {
+                        if ((dv >> 8) != 0) { // a *different* process exits
+                            real_use(fi);
+                            break;
+                        }
+                        const std::uint64_t proc = vg >> 8;
+                        if (proc >= nprocs_) break; // UNDEF in both runs
+                        const unsigned x = static_cast<unsigned>(dv & 0xFF);
+                        if (x == 0)
+                            f.proc_xor.erase(static_cast<unsigned>(proc));
+                        else
+                            f.proc_xor[static_cast<unsigned>(proc)] = x;
+                        break;
+                    }
+                    default: break; // UNDEF in both runs
+                }
+                break;
+            }
+            case Op::ERET: {
+                if (k.mode != Mode::KERNEL) break; // UNDEF in both runs
+                // SP and the banked user SP swap; the diffs ride along.
+                const std::uint64_t dsp = get(f, loc_gpr(ci, sp_slot_));
+                const std::uint64_t dusp = get(f, loc_usp(ci));
+                set(fi, loc_gpr(ci, sp_slot_), dusp);
+                set(fi, loc_usp(ci), dsp);
+                if (get(f, loc_epc(ci)) != 0) real_use(fi); // jump target
+                break;
+            }
+            case Op::WFI:
+            case Op::HLT:
+            case Op::NOP:
+            case Op::UDF:
+                break; // control / trap only; no tainted data can flow
+            default:
+                break; // integer data ops: handled exactly by eval_int_data
+        }
+    }
+
+    // ---- end-of-run classification ----
+    /// core::classify() transcribed onto a sparse diff: the faulty run had
+    /// bit-identical control flow, so status, retire count and everything
+    /// not under a diff equal the golden run's.
+    Outcome classify_at_rest(const Machine& m, const FaultState& f) const {
+        // abnormal termination (per-proc exit codes are faulty = golden ^ x)
+        for (unsigned p = 0; p < nprocs_; ++p) {
+            const auto it = f.proc_xor.find(p);
+            const int x = it == f.proc_xor.end() ? 0 : static_cast<int>(it->second);
+            if ((m.proc_exit_code(p) ^ x) != 0) return Outcome::UT;
+        }
+        if (f.shutdown_xor != 0) return Outcome::UT;
+        // silent data corruption: console output or static data regions
+        if (f.output_differs) return Outcome::OMM;
+        const std::uint64_t user_bytes = std::uint64_t{nprocs_} * user_size_;
+        for (const auto& d : f.diff) {
+            if (loc_kind(d.first) != kLMem) continue;
+            const std::uint64_t phys = loc_byte(d.first);
+            if (phys < kern_size_ || phys >= kern_size_ + user_bytes) continue;
+            if ((phys - kern_size_) % user_size_ < udata_) return Outcome::OMM;
+        }
+        // architectural traces: register files or the kernel region
+        for (const auto& d : f.diff) {
+            const std::uint64_t kind = loc_kind(d.first);
+            if (kind == kLGpr || kind == kLFlags) return Outcome::ONA;
+            if (kind == kLFp && has_fp_) return Outcome::ONA;
+            if (kind == kLMem && loc_byte(d.first) < kern_size_)
+                return Outcome::ONA;
+        }
+        // survivors: EPC/USP/TLS, unhashed user bytes, the text mirror
+        return Outcome::Vanished;
+    }
+
+    const std::vector<Fault>& faults_;
+    std::vector<FaultState> fs_;
+    std::vector<std::uint32_t> order_; ///< fault indices by at_retired
+    std::size_t next_act_ = 0;
+    std::size_t resolved_ = 0;
+    std::uint64_t seq_ = 0;   ///< callback counter — identifies the instant
+    std::uint64_t stamp_ = 0; ///< candidate-dedup generation
+    std::vector<std::uint32_t> cands_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> watchers_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> text_watch_;
+    StaticLiveness liveness_;
+
+    unsigned wbits_ = 0;
+    std::uint64_t wmask_ = 0;
+    bool v7_ = false;
+    unsigned pc_slot_ = 0, sp_slot_ = 0, lr_slot_ = 0;
+    bool has_fp_ = false;
+    std::uint64_t kern_size_ = 0, user_size_ = 0, udata_ = 0;
+    unsigned nprocs_ = 0;
+    bool has_text_ = false;
+    std::uint64_t text_base_ = 0, text_size_ = 0;
+};
+
+} // namespace
+
+std::uint64_t static_live_mask(const kasm::Image& img, std::uint64_t pc) {
+    return StaticLiveness(img).live_at(pc);
+}
+
+std::uint64_t static_live_flags_bit() noexcept {
+    return StaticLiveness::kFlagsBit;
+}
+
+PruneAnalysis analyze(const npb::Scenario& s, sim::Engine engine,
+                      const std::vector<core::Fault>& faults) {
+    Machine m = npb::make_machine(s, false);
+    m.set_engine(engine);
+    Walker w(m, faults);
+    m.set_step_observer(&w);
+    // Chunked so the walk can stop as soon as every fault is resolved.
+    while (m.status() == sim::RunStatus::Running && !w.all_resolved())
+        m.run_until(m.total_retired() + (std::uint64_t{1} << 22));
+    m.set_step_observer(nullptr);
+    util::check(w.all_resolved() || m.status() == sim::RunStatus::Shutdown,
+                "prune: golden replay did not terminate cleanly for " + s.name());
+    return w.finish(m);
+}
+
+} // namespace serep::prune

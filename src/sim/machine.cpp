@@ -160,6 +160,9 @@ void Machine::panic(TrapCause cause) {
 
 void Machine::take_trap(CoreState& core, TrapCause cause, std::uint64_t aux,
                         std::uint64_t badaddr) {
+    if (observer_.ptr)
+        observer_.ptr->on_trap(*this, static_cast<unsigned>(&core - cores_.data()),
+                               cause);
     mcounters_.traps[static_cast<std::size_t>(cause)]++;
     if (cause == TrapCause::SVC) mcounters_.syscalls[aux & 15]++;
     core.epc = cause == TrapCause::SVC ? core.regs.pc() + isa::kInstrBytes
@@ -452,6 +455,8 @@ void Machine::step_cached(unsigned ci) {
     const bool executed =
         !di->check_cond || cond_holds(di->ins.cond, core.regs.flags());
 
+    if (observer_.ptr) observer_.ptr->on_step(*this, ci, *di, pc, executed);
+
     StepCtx cx{core, cnt, *di, ci, pc, cost, true};
     if (executed) di->fn(*this, cx);
 
@@ -531,7 +536,8 @@ void Machine::step_switch(unsigned ci) {
     // Read through the text overlay so a fault-corrupted (re-decoded) page
     // is visible to the legacy engine too — both engines execute the same
     // instruction stream whatever the mirror holds.
-    const Instr& ins = fetch_decoded(idx)->ins;
+    const DecodedInstr* dec = fetch_decoded(idx);
+    const Instr& ins = dec->ins;
     const Mode mode_at_fetch = core.mode;
     next_pc_ = pc + isa::kInstrBytes;
     branch_taken_ = false;
@@ -542,6 +548,8 @@ void Machine::step_switch(unsigned ci) {
         !cond_holds(ins.cond, core.regs.flags())) {
         executed = false;
     }
+
+    if (observer_.ptr) observer_.ptr->on_step(*this, ci, *dec, pc, executed);
 
     bool retire = true;     // false when the instruction faulted
     if (executed) {

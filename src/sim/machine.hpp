@@ -49,6 +49,24 @@ const char* run_status_name(RunStatus s) noexcept;
 
 class Machine;
 
+/// Execution-trace observer (prune/ dynamic def-use analysis). Callbacks run
+/// on the machine's stepping thread with the machine in its *pre-step* state:
+/// on_step fires after fetch and V7 predicate resolution but before the
+/// handler mutates anything, on_trap at take_trap entry before the SP bank
+/// swap / EPC capture. Observers are deliberately not part of machine value
+/// state: copying a Machine (checkpoint rungs, fault-run clones) never copies
+/// the observer hookup, so instrumented golden replays stay the only traced
+/// executions.
+class StepObserver {
+public:
+    virtual ~StepObserver() = default;
+    /// `executed` is false for a V7 predicate-failed bubble (which still
+    /// retires). BCOND reports executed=true; its decision is the handler's.
+    virtual void on_step(const Machine& m, unsigned ci, const DecodedInstr& di,
+                         std::uint64_t pc, bool executed) = 0;
+    virtual void on_trap(const Machine& m, unsigned ci, isa::TrapCause cause) = 0;
+};
+
 /// Copy the image's initialized data into guest memory and map the pages
 /// they (and the main stacks) live on: kernel chunks once, user chunks into
 /// every process (SPMD images). The OS loader builds on this.
@@ -163,6 +181,11 @@ public:
     /// because a fault (or a snapshot restore) dirtied them. Test hook.
     std::size_t code_overlay_pages() const noexcept { return overlay_.size(); }
 
+    /// Attach a step observer (nullptr detaches). Not copied with the
+    /// machine — see StepObserver. The observer must outlive every
+    /// run_until() on this machine.
+    void set_step_observer(StepObserver* o) noexcept { observer_.ptr = o; }
+
     RunStatus status() const noexcept { return status_; }
     int exit_code() const noexcept { return exit_code_; }
     isa::TrapCause panic_cause() const noexcept { return panic_cause_; }
@@ -249,6 +272,21 @@ private:
         std::vector<DecodedInstr> recs;
     };
     std::vector<OverlayPage> overlay_; ///< sorted by first, few entries
+    /// Observer hookup with copy-reset semantics: clones (ladder rungs,
+    /// fault runs) must never inherit the golden replay's tracer.
+    struct ObserverSlot {
+        StepObserver* ptr = nullptr;
+        ObserverSlot() noexcept = default;
+        ObserverSlot(const ObserverSlot&) noexcept {}
+        ObserverSlot& operator=(const ObserverSlot&) noexcept { return *this; }
+        ObserverSlot(ObserverSlot&& o) noexcept : ptr(o.ptr) { o.ptr = nullptr; }
+        ObserverSlot& operator=(ObserverSlot&& o) noexcept {
+            ptr = o.ptr;
+            o.ptr = nullptr;
+            return *this;
+        }
+    };
+    ObserverSlot observer_;
     std::uint64_t code_gen_seen_ = 0;
     bool sched_event_ = false; ///< cached-engine burst break (IPI posted)
     // Profile-wide constants hoisted out of the per-step path.

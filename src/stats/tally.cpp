@@ -109,13 +109,14 @@ GroupKey parse_scenario_name(const std::string& name) {
 }
 
 void OutcomeTally::add_record(const GroupKey& key, core::Outcome outcome,
-                              bool has_reg, unsigned reg) {
-    add_record_from(key, outcome, has_reg, reg, Source::Plain, "add_record");
+                              bool has_reg, unsigned reg, bool inferred) {
+    add_record_from(key, outcome, has_reg, reg, inferred, Source::Plain,
+                    "add_record");
 }
 
 void OutcomeTally::add_record_from(const GroupKey& key, core::Outcome outcome,
-                                   bool has_reg, unsigned reg, Source src,
-                                   const std::string& label) {
+                                   bool has_reg, unsigned reg, bool inferred,
+                                   Source src, const std::string& label) {
     std::uint8_t& sources = group_sources_[key];
     util::check_valid(
         !(sources & ~static_cast<std::uint8_t>(src)),
@@ -126,6 +127,10 @@ void OutcomeTally::add_record_from(const GroupKey& key, core::Outcome outcome,
             "mixing the two double-counts the campaign (merge the shards "
             "first, or report them separately)");
     sources |= static_cast<std::uint8_t>(src);
+    if (inferred) ++inferred_records_;
+    // --no-inferred: pruning-derived outcomes are tallied above for the
+    // provenance note but excluded from every counter a report reads.
+    if (inferred && !include_inferred_) return;
     ++groups_[key].counts[static_cast<unsigned>(outcome)];
     ++total_records_;
     if (has_reg)
@@ -139,7 +144,8 @@ void OutcomeTally::add_result(const core::CampaignResult& r) {
         GroupKey key = base;
         key.kind = core::fault_kind_name(rec.fault.target.kind);
         const bool has_reg = rec.fault.target.kind != core::FaultTarget::Kind::MEM;
-        add_record(key, rec.outcome, has_reg, rec.fault.target.reg);
+        add_record(key, rec.outcome, has_reg, rec.fault.target.reg,
+                   rec.inferred);
     }
 }
 
@@ -238,11 +244,12 @@ void OutcomeTally::add_shard_db(const std::string& contents,
         const core::FaultTarget::Kind kind =
             kind_or_throw(rv.at("kind").as_string(), label);
         key.kind = core::fault_kind_name(kind);
+        const util::JsonValue* inf = rv.find("inferred");
         add_record_from(key,
                         outcome_or_throw(rv.at("outcome").as_string(), label),
                         kind != core::FaultTarget::Kind::MEM,
                         static_cast<unsigned>(rv.at("reg").as_u64()),
-                        Source::Shard, label);
+                        inf && inf->as_bool(), Source::Shard, label);
     });
 }
 
@@ -265,11 +272,12 @@ void OutcomeTally::add_campaign_jsonl(const std::string& contents,
             const core::FaultTarget::Kind kind =
                 kind_or_throw(rv.at("kind").as_string(), label);
             key.kind = core::fault_kind_name(kind);
+            const util::JsonValue* inf = rv.find("inferred");
             add_record_from(
                 key, outcome_or_throw(rv.at("outcome").as_string(), label),
                 kind != core::FaultTarget::Kind::MEM,
-                static_cast<unsigned>(rv.at("reg").as_u64()), Source::Plain,
-                label);
+                static_cast<unsigned>(rv.at("reg").as_u64()),
+                inf && inf->as_bool(), Source::Plain, label);
         }
     });
 }
@@ -301,8 +309,10 @@ void OutcomeTally::add_csv(const std::string& contents,
             throw util::ValidationError(label + " row " + std::to_string(i) +
                                         ": malformed reg '" + row[c_reg] + "'");
         }
+        // The per-fault CSV carries no provenance column (its byte format
+        // predates pruning and must stay stable); records fold as simulated.
         add_record_from(key, outcome_or_throw(row[c_outcome], label),
-                        kind != core::FaultTarget::Kind::MEM, reg,
+                        kind != core::FaultTarget::Kind::MEM, reg, false,
                         Source::Plain, label);
     }
 }

@@ -80,8 +80,23 @@ public:
 
     /// Direct single-record fold (used by every ingestion path; exposed so
     /// drivers with custom record sources can reuse the tally).
+    /// `inferred` marks a pruning-derived outcome (FaultRecord::inferred).
     void add_record(const GroupKey& key, core::Outcome outcome, bool has_reg,
-                    unsigned reg);
+                    unsigned reg, bool inferred = false);
+
+    /// When false, pruning-derived records (the "inferred" provenance flag)
+    /// are counted by inferred_records() but excluded from every group and
+    /// register counter — `serep report --no-inferred`. Set before
+    /// ingesting; default true (inferred outcomes are exact and gated in
+    /// CI, so reports include them unless explicitly asked not to).
+    void set_include_inferred(bool include) noexcept {
+        include_inferred_ = include;
+    }
+    /// Records with inferred provenance seen during ingestion (counted
+    /// whether or not they were included).
+    std::uint64_t inferred_records() const noexcept {
+        return inferred_records_;
+    }
 
     const std::map<GroupKey, GroupCounts>& groups() const noexcept {
         return groups_;
@@ -114,13 +129,15 @@ private:
     /// silently double n and shrink every CI — refused instead.
     enum class Source : std::uint8_t { Plain = 1, Shard = 2 };
     void add_record_from(const GroupKey& key, core::Outcome outcome,
-                         bool has_reg, unsigned reg, Source src,
+                         bool has_reg, unsigned reg, bool inferred, Source src,
                          const std::string& label);
 
     std::map<GroupKey, GroupCounts> groups_;
     std::map<GroupKey, std::uint8_t> group_sources_;
     std::map<RegKey, GroupCounts> registers_;
     std::uint64_t total_records_ = 0;
+    std::uint64_t inferred_records_ = 0;
+    bool include_inferred_ = true;
     std::size_t databases_ = 0;
     /// Shard cross-validation state (config_hash and partition scheme of
     /// the first shard DB, the shard count, and which indices have been

@@ -6,7 +6,13 @@
 
 namespace serep::util {
 
-Cli::Cli(int argc, const char* const* argv) {
+Cli::Cli(int argc, const char* const* argv,
+         std::initializer_list<const char*> bool_flags) {
+    const auto is_bool = [&](const std::string& key) {
+        for (const char* f : bool_flags)
+            if (key == f) return true;
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
@@ -17,7 +23,8 @@ Cli::Cli(int argc, const char* const* argv) {
         const auto eq = arg.find('=');
         if (eq != std::string::npos) {
             kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
-        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        } else if (!is_bool(arg) && i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
             kv_[arg] = argv[++i];
         } else {
             kv_[arg] = "1";

@@ -1,9 +1,13 @@
 // Tiny command-line flag parser for the bench harnesses, examples, and the
 // serep tool. Supports `--key value`, `--key=value`, boolean `--flag`, and
 // positional operands (subcommands, input files) collected in argv order.
-// Note the inherent `--flag positional` ambiguity: a bare `--key` greedily
-// takes the next non-flag token as its value, so pass `--key=value` when
-// positionals follow.
+//
+// The `--flag positional` ambiguity: a bare `--key` greedily takes the next
+// non-flag token as its value, so `serep report --partial out.csv` used to
+// swallow the input file as the value of --partial. Commands resolve this by
+// declaring their boolean flags up front (`bool_flags`): a declared flag
+// never consumes the following token. Undeclared keys keep the greedy
+// `--key value` form, so pass `--key=value` when positionals follow one.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +20,10 @@ namespace serep::util {
 
 class Cli {
 public:
-    Cli(int argc, const char* const* argv);
+    /// `bool_flags` names the value-less flags of this command; a bare
+    /// occurrence parses as "1" instead of eating the next positional.
+    Cli(int argc, const char* const* argv,
+        std::initializer_list<const char*> bool_flags = {});
 
     bool has(const std::string& key) const { return kv_.count(key) != 0; }
     std::string get(const std::string& key, const std::string& dflt) const;

@@ -40,12 +40,18 @@ public:
         return result;
     }
 
-    /// Uniform in [0, bound) without modulo bias (bound > 0).
+    /// Uniform in [0, bound) without modulo bias. Contract: below(0) is
+    /// defined and returns 0 (an empty range has no other sensible answer;
+    /// callers that would be surprised should check first). One next() is
+    /// still consumed only when bound > 0.
     std::uint64_t below(std::uint64_t bound) noexcept;
 
-    /// Uniform in [lo, hi] inclusive.
+    /// Uniform in [lo, hi] inclusive (lo <= hi). The span hi - lo + 1 wraps
+    /// to 0 when [lo, hi] covers the full u64 range; that case degenerates
+    /// to a raw next() draw instead of below(0) == 0.
     std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
-        return lo + below(hi - lo + 1);
+        const std::uint64_t span = hi - lo + 1;
+        return span == 0 ? next() : lo + below(span);
     }
 
     /// Uniform double in [0, 1).

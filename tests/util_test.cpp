@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/bitops.hpp"
 #include "util/check.hpp"
@@ -179,5 +182,111 @@ TEST(Cli, RequireKnownEmptySetSaysNoFlagsTaken) {
         EXPECT_NE(std::string(e.what()).find("takes no --flags"),
                   std::string::npos)
             << e.what();
+    }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZeroWithoutDraw) {
+    // The documented empty-range contract, and the no-draw guarantee: the
+    // stream must stay aligned with a generator that never saw the call.
+    su::Rng a(31), b(31);
+    EXPECT_EQ(a.below(0), 0u);
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeDegenerateAndFullSpan) {
+    su::Rng r(32);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(r.range(77, 77), 77u);
+
+    // [0, 2^64-1] makes the span wrap to 0; the fixed range() degenerates
+    // to a raw draw instead of below(0)'s constant lo. A constant would be
+    // caught here with probability 1 - 2^-640.
+    su::Rng f(33);
+    bool nonzero = false;
+    for (int i = 0; i < 10; ++i)
+        nonzero |= f.range(0, ~std::uint64_t{0}) != 0;
+    EXPECT_TRUE(nonzero);
+
+    // Any lo anchors the same wrap: the old `lo + below(0)` bug pinned
+    // range(1, 0) to the constant 1.
+    su::Rng g(34);
+    bool not_lo = false;
+    for (int i = 0; i < 64; ++i) not_lo |= g.range(1, 0) != 1u;
+    EXPECT_TRUE(not_lo);
+}
+
+TEST(Cli, DeclaredBooleanFlagDoesNotConsumePositional) {
+    // The --flag positional ambiguity: `serep report --partial out.csv`
+    // used to swallow the input file as the value of --partial.
+    const char* argv[] = {"prog", "report", "--partial", "out.csv"};
+    su::Cli cli(4, argv, {"partial"});
+    EXPECT_TRUE(cli.has("partial"));
+    EXPECT_EQ(cli.get("partial", ""), "1");
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "report");
+    EXPECT_EQ(cli.positional()[1], "out.csv");
+}
+
+TEST(Cli, UndeclaredFlagKeepsGreedyValueForm) {
+    // Without the declaration the historical `--key value` form still holds.
+    const char* argv[] = {"prog", "report", "--threads", "8"};
+    su::Cli cli(4, argv);
+    EXPECT_EQ(cli.get_int("threads", 0), 8);
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "report");
+}
+
+TEST(Cli, DeclaredBooleanStillAcceptsExplicitValue) {
+    const char* argv[] = {"prog", "--partial=0", "file.csv"};
+    su::Cli cli(3, argv, {"partial"});
+    EXPECT_EQ(cli.get("partial", ""), "0");
+    ASSERT_EQ(cli.positional().size(), 1u);
+}
+
+TEST(Cli, FuzzMatchesReferenceParser) {
+    // Differential fuzz of the parser against a transliteration of its
+    // documented grammar: --key=value | declared bare flag -> "1" |
+    // undeclared --key eats one following non-flag token | everything else
+    // is positional, in argv order.
+    su::Rng rng(0xC11F);
+    const std::vector<std::string> vocab = {
+        "--alpha", "--beta",  "--alpha=1", "--beta=x=y", "--gamma=",
+        "alpha",   "in.csv",  "--",        "-x",         "run",
+    };
+    for (int iter = 0; iter < 500; ++iter) {
+        std::vector<std::string> args = {"prog"};
+        const unsigned n = static_cast<unsigned>(rng.below(8));
+        for (unsigned i = 0; i < n; ++i)
+            args.push_back(vocab[rng.below(vocab.size())]);
+        std::vector<const char*> argv;
+        for (const std::string& a : args) argv.push_back(a.c_str());
+
+        // Reference model ("alpha" is the declared boolean flag).
+        std::map<std::string, std::string> kv;
+        std::vector<std::string> pos;
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            const std::string& a = args[i];
+            if (a.rfind("--", 0) != 0) {
+                pos.push_back(a);
+                continue;
+            }
+            const std::string key = a.substr(2);
+            const auto eq = key.find('=');
+            if (eq != std::string::npos)
+                kv[key.substr(0, eq)] = key.substr(eq + 1);
+            else if (key != "alpha" && i + 1 < args.size() &&
+                     args[i + 1].rfind("--", 0) != 0)
+                kv[key] = args[++i];
+            else
+                kv[key] = "1";
+        }
+
+        su::Cli cli(static_cast<int>(argv.size()), argv.data(), {"alpha"});
+        EXPECT_EQ(cli.positional(), pos) << "iter " << iter;
+        for (const auto& [k, v] : kv)
+            EXPECT_EQ(cli.get(k, "<absent>"), v) << "iter " << iter
+                                                 << " key " << k;
+        for (const char* k : {"alpha", "beta", "gamma"})
+            EXPECT_EQ(cli.has(k), kv.count(k) != 0) << "iter " << iter
+                                                    << " key " << k;
     }
 }

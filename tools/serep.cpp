@@ -41,8 +41,10 @@
 // Every subcommand audits its flags: an unknown --flag is a usage error
 // (exit 2) naming the offender, never a silent no-op.
 //
-// Use --key=value forms: a bare `--key value` greedily eats the next token,
-// which matters once positional spec/shard-file operands follow.
+// Prefer --key=value forms for value-carrying flags: a bare `--key value`
+// greedily eats the next token, which matters once positional spec/shard-file
+// operands follow. Value-less flags (--partial, --weighted, --no-*) are
+// declared to the parser and never consume the following operand.
 //
 // Exit codes (also in --help): 0 success; 2 usage error (bad flags or spec,
 // unknown subcommand, filters matching nothing); 3 validation failure
@@ -118,7 +120,7 @@ int parse_shard_selector(const std::string& sel, unsigned spec_shards) {
 }
 
 int cmd_run(const util::Cli& cli) {
-    cli.require_known({"shard"});
+    cli.require_known({"shard", "prune"});
     exp::ExperimentSpec spec = load_spec_operand(cli, "run");
     exp::ExperimentPlan plan(std::move(spec));
 
@@ -126,6 +128,18 @@ int cmd_run(const util::Cli& cli) {
     const std::string sel = cli.get("shard", "");
     if (!sel.empty())
         opts.only_shard = parse_shard_selector(sel, plan.shard_count());
+    const std::string prune = cli.get("prune", "");
+    if (prune == "off") {
+        opts.prune = exp::PruneMode::Off;
+    } else if (prune == "on") {
+        opts.prune = exp::PruneMode::On;
+    } else if (prune == "verify") {
+        opts.prune = exp::PruneMode::Verify;
+    } else {
+        util::check_usage(prune.empty(),
+                          "--prune must be off, on or verify (got '" + prune +
+                              "')");
+    }
 
     // The dry-run listing doubles as the run preamble. It never probes:
     // a fully-resumed run must stay golden-run-free, so an unbaked
@@ -233,15 +247,12 @@ int cmd_shard(const util::Cli& cli) {
 }
 
 int cmd_report(const util::Cli& cli) {
-    cli.require_known({"format", "confidence", "top-regs", "out", "partial"});
-    // files[0] == "report". A bare `--partial` greedily eats the following
-    // operand as its "value" (the documented --key/value ambiguity); hand
-    // that file back so `report --partial shard0 shard1` covers both shards
-    // instead of silently reporting on a subset the user never chose.
+    cli.require_known(
+        {"format", "confidence", "top-regs", "out", "partial", "no-inferred"});
+    // files[0] == "report". --partial and --no-inferred are declared boolean
+    // flags, so they never consume the following database operand.
     std::vector<std::string> files(cli.positional().begin() + 1,
                                    cli.positional().end());
-    const std::string eaten = cli.get("partial", "");
-    if (!eaten.empty() && eaten != "1") files.insert(files.begin(), eaten);
     util::check_usage(!files.empty(),
                       "report: give the database files (shard DBs, campaign "
                       "JSONL, or per-fault CSV) after the 'report' subcommand");
@@ -252,12 +263,28 @@ int cmd_report(const util::Cli& cli) {
     util::check_usage(top_regs >= 0, "report: --top-regs must be >= 0");
 
     stats::OutcomeTally tally;
+    tally.set_include_inferred(!cli.has("no-inferred"));
     for (const std::string& file : files) {
         std::ifstream in(file);
         util::check(in.good(), "cannot read database " + file);
         std::ostringstream ss;
         ss << in.rdbuf();
         tally.add_database(ss.str(), file);
+    }
+    if (tally.inferred_records() > 0) {
+        // Provenance note on stderr so report bytes stay comparable across
+        // pruned and unpruned campaigns. total_records() counts only what
+        // was folded, so add the excluded records back for the "of" total.
+        const std::uint64_t ingested =
+            tally.total_records() +
+            (cli.has("no-inferred") ? tally.inferred_records() : 0);
+        std::fprintf(stderr,
+                     "report: %llu of %llu records carry inferred outcomes "
+                     "(equivalence pruning)%s\n",
+                     static_cast<unsigned long long>(tally.inferred_records()),
+                     static_cast<unsigned long long>(ingested),
+                     cli.has("no-inferred") ? " — excluded (--no-inferred)"
+                                            : "");
     }
     if (!tally.shard_cover_complete()) {
         // Rates over a subset of shards are a sample of the campaign, not
@@ -347,6 +374,12 @@ int usage(std::FILE* to) {
         "                      hash are skipped, mismatches refused\n"
         "  run SPEC --shard=K/N   run one shard of the spec (remote worker);\n"
         "                      re-running `run SPEC` merges gathered shards\n"
+        "  run SPEC --prune=off|on|verify   override the spec's equivalence-\n"
+        "                      pruning block: on simulates one representative\n"
+        "                      per fault-equivalence class and infers the\n"
+        "                      rest (records flagged \"inferred\"); verify\n"
+        "                      additionally re-simulates a seeded sample of\n"
+        "                      inferred faults and fails on any mismatch\n"
         "  plan SPEC.json      dry run: spec hash, job ids, shard layout,\n"
         "                      estimated work; weighted specs probe golden\n"
         "                      lengths once and print a bakeable weights line\n"
@@ -376,7 +409,10 @@ int usage(std::FILE* to) {
         "merge options: --out=PREFIX, then the shard database files\n"
         "report options: --format=md|csv|json [md]  --confidence=C [0.95]\n"
         "  --top-regs=N [8]  --out=FILE [stdout]  --partial (allow an\n"
-        "  incomplete shard cover), then the database files\n"
+        "  incomplete shard cover)  --no-inferred (tally only simulated\n"
+        "  records, dropping pruning-inferred outcomes), then the database\n"
+        "  files. Value-less flags like --partial are declared and never\n"
+        "  consume the following operand (fixed; no --partial=1 needed)\n"
         "  (shard DBs, campaign JSONL, and per-fault CSV are auto-detected;\n"
         "   shard DBs are config-hash + partition checked against each other,\n"
         "   and mixing a shard set with its own merged DB is refused — every\n"
@@ -399,7 +435,11 @@ int usage(std::FILE* to) {
 } // namespace
 
 int main(int argc, char** argv) {
-    util::Cli cli(argc, argv);
+    // Declaring the value-less flags up front keeps a bare `--partial` (etc.)
+    // from greedily eating the next positional operand — see util::Cli.
+    util::Cli cli(argc, argv,
+                  {"help", "partial", "weighted", "no-adaptive",
+                   "no-checkpoints", "no-delta", "no-inferred"});
     const std::string mode =
         cli.positional().empty() ? "" : cli.positional().front();
     if (cli.has("help")) return usage(stdout);
