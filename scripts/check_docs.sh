@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Documentation gates (CI `docs` job; run locally as
+# `scripts/check_docs.sh ./build/serep`):
+#
+#   1. Every relative markdown link in README.md and docs/*.md resolves to
+#      a file in the repo (anchors are stripped; http(s) links are skipped).
+#   2. Every fenced ```json block in docs/*.md is a COMPLETE experiment
+#      spec: it must parse and plan via `serep plan`. Illustrative JSON
+#      fragments must use a different fence tag (```jsonc) — the rule keeps
+#      copy-paste examples runnable forever.
+set -euo pipefail
+
+SEREP=${1:-./build/serep}
+if [ ! -x "$SEREP" ]; then
+    echo "check_docs: serep binary not found at $SEREP" >&2
+    echo "usage: scripts/check_docs.sh path/to/serep" >&2
+    exit 2
+fi
+SEREP=$(cd "$(dirname "$SEREP")" && pwd)/$(basename "$SEREP")
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- 1. relative links -----------------------------------------------------
+for md in README.md docs/*.md; do
+    dir=$(dirname "$md")
+    # [text](target) — one link per line via grep -o; tolerate several per line.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | "#"*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "BROKEN LINK in $md: ($target)" >&2
+            fail=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*(\(.*\))/\1/')
+done
+
+# ---- 2. spec examples plan cleanly ----------------------------------------
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for md in docs/*.md; do
+    n=0
+    # Extract each ```json ... ``` block into its own file.
+    awk -v dir="$tmpdir" -v md="$(basename "$md")" '
+        /^```json$/ { f = dir "/" md "." ++n ".json"; inblock = 1; next }
+        /^```/ { inblock = 0; next }
+        inblock { print > f }
+    ' "$md"
+    for spec in "$tmpdir/$(basename "$md")".*.json; do
+        [ -e "$spec" ] || continue
+        n=$((n + 1))
+        if ! (cd "$tmpdir" && "$SEREP" plan "$spec" > /dev/null 2> "$spec.err"); then
+            echo "SPEC EXAMPLE $n in $md does not plan:" >&2
+            sed 's/^/    /' "$spec.err" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: all links resolve, all spec examples plan"

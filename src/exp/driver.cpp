@@ -9,6 +9,7 @@
 #include "stats/tally.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
+#include "util/zframe.hpp"
 
 namespace serep::exp {
 
@@ -85,17 +86,33 @@ void log_prune(const orch::BatchRunner& runner, const orch::BatchOptions& b,
              runner.verified_records());
 }
 
-enum class DbState { Missing, Match, Incomplete };
+} // namespace
 
-/// Resume probe for one shard database: Missing (run it), Match (skip it),
-/// Incomplete (THIS spec's shard, but record lines were truncated by a
-/// killed worker — safe to re-run and overwrite), or a ValidationError —
-/// anything at the path that is not THIS spec's shard k-of-n output must
-/// never be silently blended or overwritten.
-DbState check_shard_db(const std::string& path, const ExperimentPlan& plan,
-                       unsigned k, unsigned n) {
-    std::string contents;
-    if (!read_file(path, contents) || contents.empty()) return DbState::Missing;
+/// Resume probe for one shard database's bytes: Missing (run it), Match
+/// (skip it), Incomplete (THIS spec's shard, but record lines were
+/// truncated by a killed worker — safe to re-run and overwrite), or a
+/// ValidationError — anything that is not THIS spec's shard k-of-n output
+/// must never be silently blended or overwritten.
+ShardDbState classify_shard_db(const std::string& raw,
+                               const std::string& label,
+                               const ExperimentPlan& plan, unsigned k,
+                               unsigned n) {
+    if (raw.empty()) return ShardDbState::Missing;
+    // Fleet workers stream (and land) shard DBs zstd-framed; a framed
+    // container that fails to decode is a worker killed mid-stream, not a
+    // foreign artifact — re-run, don't refuse.
+    std::string decoded;
+    const std::string* body = &raw;
+    if (util::zframe_is(raw)) {
+        try {
+            decoded = util::zframe_decompress(raw);
+        } catch (const util::ValidationError&) {
+            return ShardDbState::Incomplete;
+        }
+        if (decoded.empty()) return ShardDbState::Incomplete;
+        body = &decoded;
+    }
+    const std::string& contents = *body;
     const std::size_t eol = contents.find('\n');
     util::JsonValue manifest;
     try {
@@ -106,7 +123,7 @@ DbState check_shard_db(const std::string& path, const ExperimentPlan& plan,
                           "not a serep shard database");
     } catch (const util::Error&) {
         throw util::ValidationError(
-            "resume: " + path +
+            label +
             " exists but is not a serep shard database — delete it or move "
             "it out of the way");
     }
@@ -128,32 +145,30 @@ DbState check_shard_db(const std::string& path, const ExperimentPlan& plan,
         got_shard = manifest.at("shard").as_u64();
         got_count = manifest.at("count").as_u64();
     } catch (const util::Error& e) {
-        throw util::ValidationError("resume: " + path +
-                                    ": corrupt shard manifest (" +
+        throw util::ValidationError(label + ": corrupt shard manifest (" +
                                     std::string(e.what()) +
                                     ") — delete it or move it out of the way");
     }
     util::check_valid(has_hash,
-                      "resume: " + path +
+                      label +
                           " carries no experiment annotation (written by a "
                           "legacy `serep shard`?) — delete it or move it out "
                           "of the way");
     util::check_valid(
         hash == plan.spec_hash_hex(),
-        "resume: " + path + " belongs to a different experiment (spec " +
-            hash + ", this spec is " + plan.spec_hash_hex() +
+        label + " belongs to a different experiment (spec " + hash +
+            ", this spec is " + plan.spec_hash_hex() +
             ") — refusing to blend; delete the file or restore the "
             "original spec");
     util::check_valid(got_shard == k && got_count == n,
-                      "resume: " + path + " is shard " +
-                          std::to_string(got_shard) + " of " +
-                          std::to_string(got_count) + ", expected " +
+                      label + " is shard " + std::to_string(got_shard) +
+                          " of " + std::to_string(got_count) + ", expected " +
                           std::to_string(k) + " of " + std::to_string(n));
     // The manifest belongs to this spec — now make sure the record lines
     // behind it are all there. A worker killed mid-write leaves a database
     // that must be RE-RUN, not skipped (and then blamed by the merge).
-    if (contents.back() != '\n') return DbState::Incomplete; // torn last line
-    if (eol == std::string::npos) return DbState::Incomplete;
+    if (contents.back() != '\n') return ShardDbState::Incomplete; // torn line
+    if (eol == std::string::npos) return ShardDbState::Incomplete;
     std::uint64_t lines = 0;
     std::size_t pos = eol + 1;
     while (pos < contents.size()) {
@@ -162,9 +177,38 @@ DbState check_shard_db(const std::string& path, const ExperimentPlan& plan,
         if (next > pos) ++lines; // skip blank lines, count records
         pos = next + 1;
     }
-    if (has_records && lines != want_records) return DbState::Incomplete;
-    return DbState::Match;
+    if (has_records && lines != want_records) return ShardDbState::Incomplete;
+    return ShardDbState::Match;
 }
+
+ShardDbState probe_shard_db(const ExperimentPlan& plan, unsigned k, unsigned n,
+                            std::string* found_path) {
+    // A Match at either path wins even when the other form is a truncated
+    // leftover — a re-run under a different encoding must not be forced to
+    // repeat work a complete database already covers.
+    ShardDbState verdict = ShardDbState::Missing;
+    std::string where;
+    for (const std::string& path :
+         {plan.shard_db_path(k), plan.shard_db_path(k) + ".zst"}) {
+        std::string contents;
+        if (!read_file(path, contents)) continue;
+        const ShardDbState state =
+            classify_shard_db(contents, "resume: " + path, plan, k, n);
+        if (state == ShardDbState::Match) {
+            if (found_path) *found_path = path;
+            return state;
+        }
+        if (state == ShardDbState::Incomplete &&
+            verdict == ShardDbState::Missing) {
+            verdict = state;
+            where = path;
+        }
+    }
+    if (verdict != ShardDbState::Missing && found_path) *found_path = where;
+    return verdict;
+}
+
+namespace {
 
 /// Render the spec's requested report files from the merged campaign JSONL
 /// (the same input shape `serep report` consumes, so the rendered bytes are
@@ -395,21 +439,13 @@ DriverResult run_sharded(ExperimentPlan& plan, const DriverOptions& opts) {
     DriverResult res;
     res.fault_space = jobs.size() * spec.faults;
 
-    const auto run_one = [&](unsigned k, const std::string& path) {
-        if (opts.resume) {
-            const DbState state = check_shard_db(path, plan, k, n);
-            if (state == DbState::Match) {
-                logf(opts.log, "[skip] shard %u/%u: %s matches spec %s\n", k,
-                     n, path.c_str(), plan.spec_hash_hex().c_str());
-                ++res.shards_skipped;
-                return;
-            }
-            if (state == DbState::Incomplete)
-                logf(opts.log,
-                     "shard %u/%u: %s is truncated (interrupted worker?) — "
-                     "re-running\n",
-                     k, n, path.c_str());
-        }
+    // Actual on-disk database per shard, recorded as shards land: a resumed
+    // shard may sit at either the plain or the compressed path.
+    std::vector<std::string> db_paths(n);
+
+    // Run shard k into `os` (plain or zstd-framed per opts.compress_shards).
+    const auto run_into = [&](unsigned k, std::ostream& os,
+                              const std::string& what) {
         // The weighted cut probes golden lengths at most once per plan; say
         // so the first time, with the bakeable vector, so remote workers
         // can skip the probe entirely.
@@ -417,14 +453,47 @@ DriverResult run_sharded(ExperimentPlan& plan, const DriverOptions& opts) {
             logf(opts.log,
                  "probing golden lengths for the weighted cut (bake the "
                  "weights the plan prints into shard.weights to skip this)\n");
-        std::ofstream os(path);
+        orch::ShardRunStats st;
+        if (opts.compress_shards) {
+            util::ZstdFrameWriter zw(os);
+            st = plan.weighted()
+                     ? orch::run_shard(jobs, plan.weighted_plan(k), bopts,
+                                       zw.stream(), &note)
+                     : orch::run_shard(jobs, orch::ShardPlan{k, n}, bopts,
+                                       zw.stream(), &note);
+            zw.finish();
+        } else {
+            st = plan.weighted()
+                     ? orch::run_shard(jobs, plan.weighted_plan(k), bopts, os,
+                                       &note)
+                     : orch::run_shard(jobs, orch::ShardPlan{k, n}, bopts, os,
+                                       &note);
+        }
+        util::check(os.good(), "error writing shard database " + what);
+        return st;
+    };
+
+    const auto run_one = [&](unsigned k, const std::string& path) {
+        if (k < n) db_paths[k] = path;
+        if (opts.resume) {
+            std::string found;
+            const ShardDbState state = probe_shard_db(plan, k, n, &found);
+            if (state == ShardDbState::Match) {
+                logf(opts.log, "[skip] shard %u/%u: %s matches spec %s\n", k,
+                     n, found.c_str(), plan.spec_hash_hex().c_str());
+                if (k < n) db_paths[k] = found;
+                ++res.shards_skipped;
+                return;
+            }
+            if (state == ShardDbState::Incomplete)
+                logf(opts.log,
+                     "shard %u/%u: %s is truncated (interrupted worker?) — "
+                     "re-running\n",
+                     k, n, found.c_str());
+        }
+        std::ofstream os(path, std::ios::binary);
         util::check(os.good(), "cannot open output file " + path);
-        const orch::ShardRunStats st =
-            plan.weighted()
-                ? orch::run_shard(jobs, plan.weighted_plan(k), bopts, os, &note)
-                : orch::run_shard(jobs, orch::ShardPlan{k, n}, bopts, os,
-                                  &note);
-        util::check(os.good(), "error writing shard database " + path);
+        const orch::ShardRunStats st = run_into(k, os, path);
         if (st.inferred > 0)
             logf(opts.log,
                  "shard %u/%u%s: %zu of %zu faults -> %s (%zu simulated, "
@@ -443,25 +512,47 @@ DriverResult run_sharded(ExperimentPlan& plan, const DriverOptions& opts) {
         res.fault_space = st.fault_space;
     };
 
+    // Canonical write path for shard k under the requested encoding.
+    const auto shard_path = [&](unsigned k) {
+        return opts.compress_shards ? plan.shard_db_path(k) + ".zst"
+                                    : plan.shard_db_path(k);
+    };
+
     if (opts.only_shard >= 0) {
         const unsigned k = static_cast<unsigned>(opts.only_shard);
         util::check_usage(k < n, "shard index " + std::to_string(k) +
                                      " out of range (the spec declares " +
                                      std::to_string(n) + " shards)");
-        run_one(k, opts.shard_out.empty() ? plan.shard_db_path(k)
-                                          : opts.shard_out);
+        if (opts.shard_stream) {
+            // Fleet worker mode: the database goes down the stream (the
+            // worker's stdout), nothing lands on this host's disk, and
+            // resume does not apply — the controller already probed.
+            const orch::ShardRunStats st =
+                run_into(k, *opts.shard_stream, "<shard stream>");
+            logf(opts.log, "shard %u/%u%s: injected %zu of %zu faults -> "
+                 "<stream>\n",
+                 k, n, plan.weighted() ? " (weighted)" : "", st.owned,
+                 st.fault_space);
+            ++res.shards_run;
+            res.injected += st.owned;
+            res.simulated += st.owned - st.inferred;
+            res.inferred += st.inferred;
+            res.fault_space = st.fault_space;
+            return res;
+        }
+        run_one(k, opts.shard_out.empty() ? shard_path(k) : opts.shard_out);
         return res;
     }
 
-    for (unsigned k = 0; k < n; ++k) run_one(k, plan.shard_db_path(k));
+    for (unsigned k = 0; k < n; ++k) run_one(k, shard_path(k));
 
     // Merge — a cheap pure function of the shard databases; always re-run
     // so the canonical CSV/JSONL and reports exist even when every shard
-    // resumed.
+    // resumed. merge_shards decompresses zstd-framed databases itself.
     std::vector<std::string> dbs(n);
     for (unsigned k = 0; k < n; ++k)
-        util::check(read_file(plan.shard_db_path(k), dbs[k]),
-                    "cannot read shard database " + plan.shard_db_path(k));
+        util::check(read_file(db_paths[k], dbs[k]),
+                    "cannot read shard database " + db_paths[k]);
     std::ofstream csv(plan.csv_path());
     std::ofstream jsonl(plan.jsonl_path());
     util::check(csv.good(), "cannot open output file " + plan.csv_path());

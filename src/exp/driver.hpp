@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdio>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,14 @@ struct DriverOptions {
     bool direct = false;
     /// Equivalence-pruning override; Spec = whatever spec.prune says.
     PruneMode prune = PruneMode::Spec;
+    /// Write shard databases zstd-framed to `<shard path>.zst` (store codec
+    /// when the build lacks libzstd). Resume and merge accept either form,
+    /// so compressed and plain runs of one spec interoperate.
+    bool compress_shards = false;
+    /// With only_shard >= 0: stream the shard database here instead of to a
+    /// file — the fleet worker's stdout. Combined with compress_shards the
+    /// stream carries the zstd-framed form.
+    std::ostream* shard_stream = nullptr;
     /// Progress stream (skip/run/merge/report lines); null = quiet.
     std::FILE* log = stdout;
 };
@@ -89,6 +98,30 @@ struct DriverResult {
 /// corrupt shard databases), util::Error on I/O failure.
 DriverResult run_experiment(ExperimentPlan& plan,
                             const DriverOptions& opts = {});
+
+/// Resume-probe verdict for one shard database (file or payload).
+enum class ShardDbState {
+    Missing,    ///< nothing there — run the shard
+    Match,      ///< complete output of THIS spec's shard k/n — skip it
+    Incomplete, ///< this spec's shard, but truncated (killed worker) — re-run
+};
+
+/// Classify shard-database bytes against shard k of n of `plan`. Accepts
+/// plain and zstd-framed contents; a framed payload that fails to decode is
+/// Incomplete (a worker died mid-stream). Throws util::ValidationError —
+/// naming `label` — for anything that is NOT this spec's shard k/n output:
+/// foreign files, spec-hash mismatches, wrong shard indices. The fleet uses
+/// this to vet streamed worker payloads before committing them.
+ShardDbState classify_shard_db(const std::string& contents,
+                               const std::string& label,
+                               const ExperimentPlan& plan, unsigned k,
+                               unsigned n);
+
+/// Probe shard k's on-disk database: `<out>_shard<k>.jsonl` first, then the
+/// compressed `.jsonl.zst` form. When `found_path` is non-null it receives
+/// the path of the database that decided the verdict (unset for Missing).
+ShardDbState probe_shard_db(const ExperimentPlan& plan, unsigned k, unsigned n,
+                            std::string* found_path = nullptr);
 
 /// The BatchOptions every execution path derives from a spec — the single
 /// successor of the old per-tool `batch_options_from_cli` plumbing.

@@ -233,7 +233,7 @@ ExperimentSpec ExperimentSpec::load(const std::string& json_text) {
                       "spec: the document must be a JSON object");
     reject_unknown(root, "the spec",
                    {"name", "out", "matrix", "fault", "engine", "prune",
-                    "shard", "report"});
+                    "shard", "report", "fleet"});
 
     ExperimentSpec s;
     s.name = get_string(root, "name", s.name, "spec");
@@ -314,6 +314,29 @@ ExperimentSpec ExperimentSpec::load(const std::string& json_text) {
                 s.weights.push_back(e.number);
             }
         }
+    }
+
+    if (const JsonValue* fl = root.find("fleet")) {
+        reject_unknown(*fl, "fleet",
+                       {"backend", "hosts", "workers", "workers_per_host",
+                        "heartbeat_interval", "heartbeat_timeout",
+                        "max_retries", "compress", "remote_cmd"});
+        s.fleet_backend = get_string(*fl, "backend", s.fleet_backend, "fleet");
+        s.fleet_hosts = get_string_list(*fl, "hosts", "fleet");
+        s.fleet_workers = get_uint(*fl, "workers", s.fleet_workers, "fleet");
+        s.fleet_workers_per_host =
+            get_uint(*fl, "workers_per_host", s.fleet_workers_per_host,
+                     "fleet");
+        s.fleet_heartbeat_interval = get_double(
+            *fl, "heartbeat_interval", s.fleet_heartbeat_interval, "fleet");
+        s.fleet_heartbeat_timeout = get_double(
+            *fl, "heartbeat_timeout", s.fleet_heartbeat_timeout, "fleet");
+        s.fleet_max_retries =
+            get_uint(*fl, "max_retries", s.fleet_max_retries, "fleet");
+        s.fleet_compress =
+            get_bool(*fl, "compress", s.fleet_compress, "fleet");
+        s.fleet_remote_cmd =
+            get_string(*fl, "remote_cmd", s.fleet_remote_cmd, "fleet");
     }
 
     if (const JsonValue* r = root.find("report")) {
@@ -419,6 +442,28 @@ void ExperimentSpec::validate() const {
                           "spec: shard.weights entries must be finite and "
                           ">= 0");
 
+    util::check_usage(fleet_backend == "local-proc" || fleet_backend == "ssh",
+                      "spec: fleet.backend '" + fleet_backend +
+                          "' (local-proc | ssh)");
+    util::check_usage(fleet_hosts.empty() || fleet_backend == "ssh",
+                      "spec: fleet.hosts only applies to the ssh backend "
+                      "(set fleet.backend to \"ssh\")");
+    for (const std::string& h : fleet_hosts)
+        util::check_usage(!h.empty(), "spec: fleet.hosts entries must be "
+                                      "non-empty ssh destinations");
+    util::check_usage(fleet_workers_per_host >= 1,
+                      "spec: fleet.workers_per_host must be >= 1");
+    util::check_usage(fleet_heartbeat_interval > 0,
+                      "spec: fleet.heartbeat_interval must be > 0 seconds");
+    util::check_usage(fleet_heartbeat_timeout > fleet_heartbeat_interval,
+                      "spec: fleet.heartbeat_timeout must exceed "
+                      "fleet.heartbeat_interval");
+    util::check_usage(fleet_max_retries >= 1 && fleet_max_retries <= 100,
+                      "spec: fleet.max_retries must be in [1, 100]");
+    util::check_usage(!fleet_remote_cmd.empty(),
+                      "spec: fleet.remote_cmd must name the serep executable "
+                      "on the remote hosts");
+
     util::check_usage(confidence > 0 && confidence < 1,
                       "spec: report.confidence must be in (0, 1)");
     // Reports are rendered from the on-disk campaign JSONL; an out-less
@@ -496,6 +541,18 @@ std::string ExperimentSpec::canonical_json() const {
     w.key("figure_json").value(report_json);
     w.key("confidence").value(confidence);
     w.key("top_regs").value(top_regs);
+    w.end_object();
+    w.key("fleet").begin_object();
+    w.key("backend").value(fleet_backend);
+    w.key("hosts");
+    write_strings(w, fleet_hosts);
+    w.key("workers").value(fleet_workers);
+    w.key("workers_per_host").value(fleet_workers_per_host);
+    w.key("heartbeat_interval").value(fleet_heartbeat_interval);
+    w.key("heartbeat_timeout").value(fleet_heartbeat_timeout);
+    w.key("max_retries").value(fleet_max_retries);
+    w.key("compress").value(fleet_compress);
+    w.key("remote_cmd").value(fleet_remote_cmd);
     w.end_object();
     w.end_object();
     return os.str();

@@ -122,6 +122,23 @@ struct ExperimentSpec {
     double confidence = 0.95;
     unsigned top_regs = 8;
 
+    // ---- fleet (distributed launcher; not part of the spec hash) -------
+    // Where and how `serep fleet` fans the shards out. Deliberately
+    // hash-neutral: the fleet topology never changes a single outcome byte
+    // (the merged DB is byte-identical to the single-process run), so
+    // re-pointing a campaign at different hosts must not strand finished
+    // shard databases.
+    std::string fleet_backend = "local-proc"; ///< "local-proc" / "ssh"
+    std::vector<std::string> fleet_hosts;     ///< ssh destinations (ssh only)
+    unsigned fleet_workers = 0; ///< concurrent workers; 0 = one per shard,
+                                ///< capped at 8 (local-proc) or the host list
+    unsigned fleet_workers_per_host = 1;   ///< ssh: workers per destination
+    double fleet_heartbeat_interval = 1.0; ///< worker heartbeat period (s)
+    double fleet_heartbeat_timeout = 30.0; ///< silence -> presumed dead (s)
+    unsigned fleet_max_retries = 3; ///< attempts per shard before quarantine
+    bool fleet_compress = true;     ///< stream shard DBs zstd-framed
+    std::string fleet_remote_cmd = "serep"; ///< serep spelling on remote hosts
+
     /// Parse + validate a spec from JSON text. Unknown keys are rejected
     /// with the offending key and its location named (same policy as the
     /// serep unknown-flag audit: silent typos never reconfigure a campaign).

@@ -1,0 +1,97 @@
+#include "fleet/backend.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace serep::fleet {
+
+namespace {
+
+/// Redirect `fd` to `path` in the child; exits the child on failure (the
+/// parent sees a nonzero worker exit, which is the failure channel).
+void redirect_or_die(int fd, const std::string& path, int flags) {
+    const int f = ::open(path.empty() ? "/dev/null" : path.c_str(), flags,
+                         0644);
+    if (f < 0 || ::dup2(f, fd) < 0) _exit(127);
+    ::close(f);
+}
+
+} // namespace
+
+ProcBackend::~ProcBackend() {
+    for (auto& [id, p] : procs_) {
+        if (p.exited || p.pid <= 0) continue;
+        ::kill(static_cast<pid_t>(p.pid), SIGKILL);
+        int status = 0;
+        ::waitpid(static_cast<pid_t>(p.pid), &status, 0);
+    }
+}
+
+int ProcBackend::launch(const WorkerSpawn& spawn) {
+    util::check(!spawn.argv.empty(), "fleet: empty worker argv");
+    std::vector<char*> argv;
+    argv.reserve(spawn.argv.size() + 1);
+    for (const std::string& a : spawn.argv)
+        argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    util::check(pid >= 0, "fleet: fork failed");
+    if (pid == 0) {
+        redirect_or_die(STDIN_FILENO, spawn.stdin_path, O_RDONLY);
+        redirect_or_die(STDOUT_FILENO, spawn.stdout_path,
+                        O_WRONLY | O_CREAT | O_TRUNC);
+        redirect_or_die(STDERR_FILENO, spawn.stderr_path,
+                        O_WRONLY | O_CREAT | O_TRUNC);
+        ::execvp(argv[0], argv.data());
+        _exit(127); // exec failed; 127 = "command not found" convention
+    }
+    const int id = next_id_++;
+    procs_[id] = Proc{pid, false, 0};
+    return id;
+}
+
+WorkerBackend::Status ProcBackend::poll(int worker_id) {
+    const auto it = procs_.find(worker_id);
+    util::check(it != procs_.end(), "fleet: poll of unknown worker id");
+    Proc& p = it->second;
+    if (!p.exited) {
+        int status = 0;
+        const pid_t r =
+            ::waitpid(static_cast<pid_t>(p.pid), &status, WNOHANG);
+        if (r == static_cast<pid_t>(p.pid)) {
+            p.exited = true;
+            p.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                          : WIFSIGNALED(status) ? 128 + WTERMSIG(status)
+                                                : 128;
+        }
+    }
+    Status s;
+    s.running = !p.exited;
+    s.exit_code = p.exit_code;
+    return s;
+}
+
+void ProcBackend::kill(int worker_id) {
+    const auto it = procs_.find(worker_id);
+    util::check(it != procs_.end(), "fleet: kill of unknown worker id");
+    if (it->second.exited) return;
+    ::kill(static_cast<pid_t>(it->second.pid), SIGKILL);
+    // Reap synchronously so the pid cannot be recycled under us.
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(it->second.pid), &status, 0);
+    it->second.exited = true;
+    it->second.exit_code =
+        WIFSIGNALED(status) ? 128 + WTERMSIG(status)
+        : WIFEXITED(status) ? WEXITSTATUS(status)
+                            : 128;
+}
+
+} // namespace serep::fleet

@@ -1,0 +1,346 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include <sys/stat.h>
+
+#include "stats/ci.hpp"
+#include "stats/tally.hpp"
+#include "util/check.hpp"
+
+namespace serep::fleet {
+
+namespace {
+
+void logf(std::FILE* f, const char* fmt, ...) {
+    if (!f) return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(f, fmt, ap);
+    va_end(ap);
+    std::fflush(f);
+}
+
+double now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+std::uint64_t file_size(const std::string& path) {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0) return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+/// A shard waiting for a worker: not before `ready_at` (retry backoff).
+struct PendingShard {
+    unsigned shard = 0;
+    double ready_at = 0;
+};
+
+} // namespace
+
+FleetOptions fleet_options_from_spec(const exp::ExperimentSpec& spec) {
+    FleetOptions o;
+    o.backend = spec.fleet_backend;
+    o.hosts = spec.fleet_hosts;
+    o.workers = spec.fleet_workers;
+    o.workers_per_host = spec.fleet_workers_per_host;
+    o.heartbeat_interval = spec.fleet_heartbeat_interval;
+    o.heartbeat_timeout = spec.fleet_heartbeat_timeout;
+    o.max_retries = spec.fleet_max_retries;
+    o.compress = spec.fleet_compress;
+    o.remote_cmd = spec.fleet_remote_cmd;
+    return o;
+}
+
+FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
+                      WorkerBackend* backend_override) {
+    const exp::ExperimentSpec& spec = plan.spec();
+    util::check_usage(!opts.spec_path.empty(),
+                      "fleet: a spec file path is required (workers re-read "
+                      "the spec themselves)");
+    util::check_usage(!spec.out.empty(),
+                      "fleet: the spec needs spec.out (shard databases are "
+                      "the unit of transport)");
+    util::check_usage(spec.target_ci == 0,
+                      "fleet: adaptive (target_ci) experiments are a "
+                      "single-process sequential rule — they cannot be "
+                      "fanned out");
+    util::check_usage(opts.backend == "local-proc" || opts.backend == "ssh",
+                      "fleet: unknown backend '" + opts.backend +
+                          "' (local-proc | ssh)");
+    util::check_usage(opts.backend != "ssh" || !opts.hosts.empty(),
+                      "fleet: the ssh backend needs at least one host "
+                      "(--hosts=h1,h2,... or fleet.hosts in the spec)");
+    util::check_usage(opts.heartbeat_timeout > opts.heartbeat_interval,
+                      "fleet: heartbeat_timeout must exceed "
+                      "heartbeat_interval");
+    util::check_usage(opts.max_retries >= 1, "fleet: max_retries must be >= 1");
+
+    const unsigned n = plan.shard_count();
+    FleetResult res;
+    res.shards_total = n;
+
+    // ---- phase 0: resume probe — landed shards never launch ------------
+    stats::OutcomeTally tally;
+    std::deque<PendingShard> queue;
+    std::size_t landed = 0;
+    for (unsigned k = 0; k < n; ++k) {
+        std::string found;
+        if (exp::probe_shard_db(plan, k, n, &found) ==
+            exp::ShardDbState::Match) {
+            logf(opts.log, "[skip] shard %u/%u: %s matches spec %s\n", k, n,
+                 found.c_str(), plan.spec_hash_hex().c_str());
+            std::string contents;
+            util::check(read_file(found, contents),
+                        "fleet: cannot re-read " + found);
+            tally.add_database(contents, found);
+            ++res.resumed;
+            ++landed;
+        } else {
+            queue.push_back({k, 0});
+        }
+    }
+
+    if (!queue.empty()) {
+        // ---- worker slots ----------------------------------------------
+        std::vector<std::string> free_slots; // one entry per idle slot: host
+        if (opts.backend == "ssh") {
+            for (const std::string& h : opts.hosts)
+                for (unsigned i = 0; i < opts.workers_per_host; ++i)
+                    free_slots.push_back(h);
+            if (opts.workers > 0 && opts.workers < free_slots.size())
+                free_slots.resize(opts.workers);
+        } else {
+            const std::size_t w =
+                opts.workers > 0 ? opts.workers
+                                 : std::min<std::size_t>(queue.size(), 8);
+            free_slots.assign(std::max<std::size_t>(w, 1), "");
+        }
+        if (free_slots.size() > queue.size())
+            free_slots.resize(queue.size());
+        const std::string exe =
+            !opts.serep_exe.empty() ? opts.serep_exe : self_exe_path();
+        logf(opts.log, "fleet: %zu shard(s) pending, %zu %s worker slot(s)\n",
+             queue.size(), free_slots.size(), opts.backend.c_str());
+
+        ProcBackend default_backend;
+        WorkerBackend* be =
+            backend_override ? backend_override : &default_backend;
+
+        std::vector<WorkerLease> active;
+        std::map<unsigned, unsigned> attempts;   // launches so far per shard
+        std::vector<unsigned> quarantined;
+
+        const auto final_db_path = [&](unsigned k) {
+            return opts.compress ? plan.shard_db_path(k) + ".zst"
+                                 : plan.shard_db_path(k);
+        };
+        const auto log_path = [&](unsigned k) {
+            return plan.shard_db_path(k) + ".worker.log";
+        };
+
+        // Failed attempt: re-queue with backoff or quarantine.
+        const auto fail_shard = [&](const WorkerLease& lease,
+                                    const std::string& why) {
+            const unsigned k = lease.job.shard;
+            std::remove(lease.job.payload_path.c_str());
+            if (attempts[k] >= opts.max_retries) {
+                logf(opts.log,
+                     "fleet: shard %u/%u attempt %u FAILED (%s) — retry "
+                     "budget exhausted, quarantining (worker log: %s)\n",
+                     k, n, lease.job.attempt + 1, why.c_str(),
+                     lease.job.log_path.c_str());
+                quarantined.push_back(k);
+                return;
+            }
+            const double delay =
+                opts.retry_backoff * double(1u << (attempts[k] - 1));
+            logf(opts.log,
+                 "fleet: shard %u/%u attempt %u failed (%s) — reassigning "
+                 "in %.1fs\n",
+                 k, n, lease.job.attempt + 1, why.c_str(), delay);
+            queue.push_back({k, now_seconds() + delay});
+            ++res.reassigned;
+        };
+
+        // Successful exit: the payload commits only as a complete Match.
+        const auto try_commit = [&](const WorkerLease& lease) -> bool {
+            const unsigned k = lease.job.shard;
+            std::string payload;
+            if (!read_file(lease.job.payload_path, payload)) {
+                fail_shard(lease, "no payload");
+                return false;
+            }
+            exp::ShardDbState state;
+            try {
+                state = exp::classify_shard_db(
+                    payload, "fleet: shard " + std::to_string(k) + " payload",
+                    plan, k, n);
+            } catch (const util::ValidationError& e) {
+                fail_shard(lease, e.what());
+                return false;
+            }
+            if (state != exp::ShardDbState::Match) {
+                fail_shard(lease, state == exp::ShardDbState::Missing
+                                      ? "empty payload"
+                                      : "truncated payload");
+                return false;
+            }
+            const std::string dest = final_db_path(k);
+            util::check(std::rename(lease.job.payload_path.c_str(),
+                                    dest.c_str()) == 0,
+                        "fleet: cannot move " + lease.job.payload_path +
+                            " to " + dest);
+            std::remove(lease.job.log_path.c_str());
+            tally.add_database(payload, dest);
+            ++landed;
+            double max_hw = 0;
+            for (const auto& [key, gc] : tally.groups())
+                max_hw = std::max(max_hw, stats::wilson(gc.masked(),
+                                                        gc.total(),
+                                                        spec.confidence)
+                                              .half_width());
+            logf(opts.log,
+                 "fleet: shard %u/%u landed -> %s (%zu/%u shards, %llu "
+                 "records, max masked-CI half-width %.3f)\n",
+                 k, n, dest.c_str(), landed, n,
+                 static_cast<unsigned long long>(tally.total_records()),
+                 max_hw);
+            return true;
+        };
+
+        while (!queue.empty() || !active.empty()) {
+            // Launch into free slots every shard whose backoff has expired.
+            for (std::size_t qi = 0;
+                 !free_slots.empty() && qi < queue.size();) {
+                if (queue[qi].ready_at > now_seconds()) {
+                    ++qi;
+                    continue;
+                }
+                const unsigned k = queue[qi].shard;
+                queue.erase(queue.begin() +
+                            static_cast<std::ptrdiff_t>(qi));
+                WorkerLease lease;
+                lease.job.shard = k;
+                lease.job.count = n;
+                lease.job.attempt = attempts[k]++;
+                lease.job.host = free_slots.back();
+                lease.job.spec_path = opts.spec_path;
+                lease.job.compress = opts.compress;
+                lease.job.heartbeat_interval = opts.heartbeat_interval;
+                lease.job.payload_path = final_db_path(k) + ".part" +
+                                         std::to_string(lease.job.attempt);
+                lease.job.log_path = log_path(k);
+                const WorkerSpawn spawn =
+                    opts.backend == "ssh"
+                        ? ssh_spawn(lease.job, opts.remote_cmd)
+                        : local_spawn(lease.job, exe);
+                lease.worker_id = be->launch(spawn);
+                lease.started = lease.last_signal = now_seconds();
+                lease.log_bytes = 0;
+                ++res.launched;
+                logf(opts.log, "fleet: shard %u/%u attempt %u -> worker %d%s%s\n",
+                     k, n, lease.job.attempt + 1, lease.worker_id,
+                     lease.job.host.empty() ? "" : " on ",
+                     lease.job.host.c_str());
+                // Test/CI hook: a deterministic mid-campaign worker death.
+                if (opts.kill_shard >= 0 &&
+                    k == static_cast<unsigned>(opts.kill_shard) &&
+                    lease.job.attempt == 0) {
+                    logf(opts.log,
+                         "fleet: killing worker %d (--kill-shard=%d)\n",
+                         lease.worker_id, opts.kill_shard);
+                    be->kill(lease.worker_id);
+                }
+                free_slots.pop_back();
+                active.push_back(lease);
+            }
+
+            // Poll active leases: exits commit or fail; silence kills.
+            for (std::size_t i = 0; i < active.size();) {
+                WorkerLease& lease = active[i];
+                const WorkerBackend::Status st = be->poll(lease.worker_id);
+                bool release = false;
+                if (!st.running) {
+                    if (st.exit_code == 0)
+                        try_commit(lease);
+                    else
+                        fail_shard(lease, "worker exit code " +
+                                              std::to_string(st.exit_code));
+                    release = true;
+                } else {
+                    const std::uint64_t sz = file_size(lease.job.log_path);
+                    if (sz != lease.log_bytes) {
+                        lease.log_bytes = sz;
+                        lease.last_signal = now_seconds();
+                    } else if (now_seconds() - lease.last_signal >
+                               opts.heartbeat_timeout) {
+                        be->kill(lease.worker_id);
+                        fail_shard(lease, "heartbeat timeout (" +
+                                              std::to_string(
+                                                  opts.heartbeat_timeout) +
+                                              "s of silence)");
+                        release = true;
+                    }
+                }
+                if (release) {
+                    free_slots.push_back(lease.job.host);
+                    active.erase(active.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                } else {
+                    ++i;
+                }
+            }
+
+            if (!queue.empty() || !active.empty())
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    active.empty() ? std::min(opts.poll_interval, 0.05)
+                                   : opts.poll_interval));
+        }
+
+        if (!quarantined.empty()) {
+            std::sort(quarantined.begin(), quarantined.end());
+            std::string list;
+            for (unsigned k : quarantined)
+                list += (list.empty() ? "" : ", ") + std::to_string(k);
+            throw util::ValidationError(
+                "fleet: shard(s) " + list + " quarantined after " +
+                std::to_string(opts.max_retries) +
+                " failed attempts each — poison shards; inspect "
+                "<out>_shard<k>.jsonl.worker.log, fix the cause, and re-run "
+                "(landed shards resume)");
+        }
+    }
+
+    // ---- final merge: ONE resume run of the ordinary driver ------------
+    // Every shard probes as Match, so merge + report reuse the exact
+    // single-process machinery — byte-identity is inherited, not re-proven.
+    exp::DriverOptions dopts;
+    dopts.resume = true;
+    dopts.compress_shards = opts.compress;
+    dopts.log = opts.log;
+    res.final = exp::run_experiment(plan, dopts);
+    return res;
+}
+
+} // namespace serep::fleet

@@ -1,0 +1,80 @@
+#include "fleet/protocol.hpp"
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace serep::fleet {
+
+namespace {
+
+std::string format_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+/// Single-quote `s` for the remote shell ssh always interposes. Classic
+/// POSIX quoting: close the quote, emit an escaped quote, reopen.
+std::string shell_quote(const std::string& s) {
+    std::string out = "'";
+    for (const char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out.push_back(c);
+    }
+    out.push_back('\'');
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string> worker_run_args(const WorkerJob& job) {
+    std::vector<std::string> args = {
+        "--shard=" + std::to_string(job.shard) + "/" +
+            std::to_string(job.count),
+        "--shard-stdout",
+        "--heartbeat=" + format_double(job.heartbeat_interval),
+    };
+    if (job.compress) args.push_back("--compress");
+    return args;
+}
+
+WorkerSpawn local_spawn(const WorkerJob& job, const std::string& serep_exe) {
+    util::check(!serep_exe.empty(), "fleet: empty worker executable path");
+    WorkerSpawn s;
+    s.argv = {serep_exe, "run", job.spec_path};
+    for (const std::string& a : worker_run_args(job)) s.argv.push_back(a);
+    s.stdout_path = job.payload_path;
+    s.stderr_path = job.log_path;
+    return s;
+}
+
+WorkerSpawn ssh_spawn(const WorkerJob& job, const std::string& remote_cmd) {
+    util::check(!job.host.empty(), "fleet: ssh spawn needs a host");
+    util::check(!remote_cmd.empty(), "fleet: empty remote serep command");
+    // `serep run -`: the spec rides stdin, so the remote host needs nothing
+    // staged — ssh forwards the three protocol streams as-is. BatchMode
+    // turns auth prompts into immediate failures the retry machinery can
+    // see, instead of a hung worker holding a lease until timeout.
+    std::string remote = shell_quote(remote_cmd) + " run -";
+    for (const std::string& a : worker_run_args(job))
+        remote += " " + shell_quote(a);
+    WorkerSpawn s;
+    s.argv = {"ssh", "-o", "BatchMode=yes", job.host, remote};
+    s.stdin_path = job.spec_path;
+    s.stdout_path = job.payload_path;
+    s.stderr_path = job.log_path;
+    return s;
+}
+
+std::string self_exe_path() {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    util::check(n > 0, "fleet: cannot resolve /proc/self/exe");
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+} // namespace serep::fleet

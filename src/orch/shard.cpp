@@ -8,6 +8,7 @@
 #include "util/check.hpp"
 #include "util/hash.hpp"
 #include "util/json.hpp"
+#include "util/zframe.hpp"
 
 namespace serep::orch {
 
@@ -438,7 +439,12 @@ std::vector<core::CampaignResult> merge_shards(
     std::vector<std::uint8_t> seen_shards;
     bool first_db = true; // explicit: an empty jobs array must not re-arm it
 
-    for (const std::string& db : shard_dbs) {
+    for (const std::string& raw_db : shard_dbs) {
+        // Fleet workers stream shard DBs back zstd-framed; accept them
+        // everywhere a plain one is by decompressing transparently.
+        std::string decoded;
+        if (util::zframe_is(raw_db)) decoded = util::zframe_decompress(raw_db);
+        const std::string& db = util::zframe_is(raw_db) ? decoded : raw_db;
         std::size_t pos = db.find('\n');
         util::check_valid(pos != std::string::npos, "shard merge: missing manifest line");
         const util::JsonValue manifest = util::json_parse(db.substr(0, pos));

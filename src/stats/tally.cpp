@@ -5,6 +5,7 @@
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
+#include "util/zframe.hpp"
 
 namespace serep::stats {
 
@@ -152,6 +153,12 @@ void OutcomeTally::add_result(const core::CampaignResult& r) {
 void OutcomeTally::add_database(const std::string& contents,
                                 const std::string& label) {
     util::check_valid(!contents.empty(), label + ": empty database");
+    if (util::zframe_is(contents)) {
+        // zstd-framed (fleet-streamed) databases: decompress, then sniff the
+        // plaintext as usual. Recursion is bounded: frames never nest.
+        add_database(util::zframe_decompress(contents), label);
+        return;
+    }
     if (contents.rfind("scenario,", 0) == 0) {
         add_csv(contents, label);
     } else if (contents.front() == '{') {

@@ -1,0 +1,310 @@
+#include "zframe.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "check.hpp"
+#include "hash.hpp"
+
+#if defined(SEREP_HAVE_ZSTD)
+// Minimal stable subset of the zstd simple API, declared directly: the
+// target container ships libzstd.so.1 but not the development header, and
+// installing packages is off the table. These signatures have been frozen
+// since zstd 1.0.
+extern "C" {
+size_t ZSTD_compressBound(size_t srcSize);
+size_t ZSTD_compress(void* dst, size_t dstCapacity, const void* src,
+                     size_t srcSize, int compressionLevel);
+size_t ZSTD_decompress(void* dst, size_t dstCapacity, const void* src,
+                       size_t srcSize);
+unsigned ZSTD_isError(size_t code);
+const char* ZSTD_getErrorName(size_t code);
+}
+#endif
+
+namespace serep::util {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'R', 'Z', 'F'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8;
+constexpr int kZstdLevel = 3;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const char* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(p[i]);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(static_cast<unsigned char>(p[i])) << (8 * i);
+    return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(static_cast<unsigned char>(p[i])) << (8 * i);
+    return v;
+}
+
+ZFrameCodec effective_codec(ZFrameCodec wanted) {
+    if (wanted == ZFrameCodec::Zstd && !zstd_available())
+        return ZFrameCodec::Store;
+    return wanted;
+}
+
+std::string header(ZFrameCodec codec) {
+    std::string out(kMagic, sizeof kMagic);
+    out.push_back(char(kVersion));
+    out.push_back(char(static_cast<std::uint8_t>(codec)));
+    out.push_back('\0');
+    out.push_back('\0');
+    return out;
+}
+
+/// Compress one frame's payload with `codec`. Zstd falls back to Store for
+/// frames the codec cannot shrink (tiny inputs), matching what the reader
+/// accepts: codec describes the *file's* strongest transform, and every
+/// frame whose comp_len == raw_len is stored verbatim.
+std::string encode_payload(ZFrameCodec codec, const char* p, std::size_t n) {
+#if defined(SEREP_HAVE_ZSTD)
+    if (codec == ZFrameCodec::Zstd && n > 0) {
+        std::string comp(ZSTD_compressBound(n), '\0');
+        const size_t len =
+            ZSTD_compress(comp.data(), comp.size(), p, n, kZstdLevel);
+        check(!ZSTD_isError(len),
+              std::string("zstd compression failed: ") + ZSTD_getErrorName(len));
+        if (len < n) {
+            comp.resize(len);
+            return comp;
+        }
+    }
+#else
+    (void)codec;
+#endif
+    return std::string(p, n);
+}
+
+std::string decode_payload(ZFrameCodec codec, const char* p, std::size_t comp,
+                           std::size_t raw) {
+    if (comp == raw) return std::string(p, comp); // stored frame
+#if defined(SEREP_HAVE_ZSTD)
+    if (codec == ZFrameCodec::Zstd) {
+        std::string out(raw, '\0');
+        const size_t len = ZSTD_decompress(out.data(), raw, p, comp);
+        check_valid(!ZSTD_isError(len) && len == raw,
+                    "zstd-framed database: corrupted frame (zstd payload does "
+                    "not decompress to the declared length)");
+        return out;
+    }
+#endif
+    if (codec == ZFrameCodec::Zstd)
+        throw ValidationError(
+            "zstd-framed database: unsupported codec (file uses zstd frames "
+            "but this build has no libzstd; rebuild with zstd or regenerate "
+            "the database uncompressed)");
+    throw ValidationError(
+        "zstd-framed database: corrupted frame (store-codec frame with "
+        "mismatched lengths)");
+}
+
+} // namespace
+
+bool zstd_available() noexcept {
+#if defined(SEREP_HAVE_ZSTD)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool zframe_is(const std::string& bytes) noexcept {
+    return bytes.size() >= sizeof kMagic &&
+           std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+ZstdFrameReader::ZstdFrameReader(const std::string& bytes)
+    : bytes_(bytes), running_hash_(kFnvOffset), codec_(ZFrameCodec::Store) {
+    check_valid(bytes_.size() >= kHeaderBytes && zframe_is(bytes_),
+                "zstd-framed database: bad magic (not an SRZF container)");
+    check_valid(static_cast<std::uint8_t>(bytes_[4]) == kVersion,
+                "zstd-framed database: unsupported container version " +
+                    std::to_string(static_cast<std::uint8_t>(bytes_[4])));
+    const auto codec = static_cast<std::uint8_t>(bytes_[5]);
+    check_valid(codec <= static_cast<std::uint8_t>(ZFrameCodec::Zstd),
+                "zstd-framed database: unknown codec id " +
+                    std::to_string(codec));
+    codec_ = static_cast<ZFrameCodec>(codec);
+    pos_ = kHeaderBytes;
+}
+
+bool ZstdFrameReader::next(std::string& out) {
+    if (done_) return false;
+    check_valid(pos_ + kFrameHeaderBytes <= bytes_.size(),
+                "zstd-framed database: truncated frame (file ends inside a "
+                "frame header; the writer died before finish())");
+    const std::uint32_t raw_len = get_u32(bytes_.data() + pos_);
+    const std::uint32_t comp_len = get_u32(bytes_.data() + pos_ + 4);
+    const std::uint64_t checksum = get_u64(bytes_.data() + pos_ + 8);
+    pos_ += kFrameHeaderBytes;
+
+    if (raw_len == 0 && comp_len == 0) {
+        // End marker: its checksum covers every raw byte of the stream.
+        check_valid(checksum == running_hash_,
+                    "zstd-framed database: corrupted frame (whole-stream "
+                    "checksum mismatch at end marker)");
+        check_valid(pos_ == bytes_.size(),
+                    "zstd-framed database: corrupted frame (trailing bytes "
+                    "after end marker)");
+        done_ = true;
+        return false;
+    }
+
+    check_valid(pos_ + comp_len <= bytes_.size(),
+                "zstd-framed database: truncated frame (file ends inside a "
+                "frame payload; the writer died before finish())");
+    out = decode_payload(codec_, bytes_.data() + pos_, comp_len, raw_len);
+    pos_ += comp_len;
+    check_valid(fnv_bytes(kFnvOffset, out.data(), out.size()) == checksum,
+                "zstd-framed database: corrupted frame (per-frame checksum "
+                "mismatch)");
+    running_hash_ = fnv_bytes(running_hash_, out.data(), out.size());
+    return true;
+}
+
+std::string zframe_decompress(const std::string& bytes) {
+    ZstdFrameReader reader(bytes);
+    std::string out;
+    std::string frame;
+    while (reader.next(frame)) out += frame;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+class ZstdFrameWriter::Buf : public std::streambuf {
+public:
+    Buf(std::ostream& sink, std::size_t frame_raw_bytes, ZFrameCodec codec)
+        : sink_(sink), frame_raw_bytes_(frame_raw_bytes ? frame_raw_bytes : 1),
+          codec_(effective_codec(codec)), running_hash_(kFnvOffset) {
+        sink_ << header(codec_);
+    }
+
+    void finish() {
+        if (finished_) return;
+        drain(true);
+        std::string end;
+        put_u32(end, 0);
+        put_u32(end, 0);
+        put_u64(end, running_hash_);
+        sink_ << end;
+        sink_.flush();
+        finished_ = true;
+        check(sink_.good(), "zstd frame writer: sink stream failed");
+    }
+
+    bool finished() const { return finished_; }
+
+protected:
+    int_type overflow(int_type ch) override {
+        if (ch == traits_type::eof()) return traits_type::not_eof(ch);
+        const char c = traits_type::to_char_type(ch);
+        pending_.push_back(c);
+        if (pending_.size() >= frame_raw_bytes_) drain(false);
+        return ch;
+    }
+
+    std::streamsize xsputn(const char* s, std::streamsize n) override {
+        pending_.append(s, static_cast<std::size_t>(n));
+        if (pending_.size() >= frame_raw_bytes_) drain(false);
+        return n;
+    }
+
+    int sync() override {
+        // Intentionally does NOT cut a frame: callers flush after every JSONL
+        // record and per-record frames would defeat the compressor.
+        return sink_.good() ? 0 : -1;
+    }
+
+private:
+    void emit_frame(const char* raw, std::size_t n) {
+        const std::string payload = encode_payload(codec_, raw, n);
+        std::string head;
+        put_u32(head, static_cast<std::uint32_t>(n));
+        put_u32(head, static_cast<std::uint32_t>(payload.size()));
+        put_u64(head, fnv_bytes(kFnvOffset, raw, n));
+        sink_ << head << payload;
+        running_hash_ = fnv_bytes(running_hash_, raw, n);
+    }
+
+    /// Emit every full frame_raw_bytes_-sized frame pending_ holds — one
+    /// oversized write becomes many bounded frames, never one huge one —
+    /// plus, when `all` (finish()), the final short frame.
+    void drain(bool all) {
+        std::size_t off = 0;
+        while (pending_.size() - off >= frame_raw_bytes_) {
+            emit_frame(pending_.data() + off, frame_raw_bytes_);
+            off += frame_raw_bytes_;
+        }
+        if (all && off < pending_.size()) {
+            emit_frame(pending_.data() + off, pending_.size() - off);
+            off = pending_.size();
+        }
+        pending_.erase(0, off);
+    }
+
+    std::ostream& sink_;
+    std::size_t frame_raw_bytes_;
+    ZFrameCodec codec_;
+    std::uint64_t running_hash_;
+    std::string pending_;
+    bool finished_ = false;
+};
+
+ZstdFrameWriter::ZstdFrameWriter(std::ostream& sink,
+                                 std::size_t frame_raw_bytes,
+                                 ZFrameCodec codec)
+    : buf_(std::make_unique<Buf>(sink, frame_raw_bytes, codec)),
+      stream_(buf_.get()) {}
+
+ZstdFrameWriter::~ZstdFrameWriter() {
+    try {
+        finish();
+    } catch (...) {
+        // Destructor path: the sink already failed; finish() explicitly to
+        // observe the error.
+    }
+}
+
+void ZstdFrameWriter::finish() { buf_->finish(); }
+
+std::string zframe_compress(const std::string& text, ZFrameCodec codec) {
+    std::ostringstream out;
+    {
+        ZstdFrameWriter zw(out, ZstdFrameWriter::kDefaultFrameBytes, codec);
+        zw.stream().write(text.data(),
+                          static_cast<std::streamsize>(text.size()));
+        zw.finish();
+    }
+    return out.str();
+}
+
+} // namespace serep::util

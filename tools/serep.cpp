@@ -50,12 +50,18 @@
 // unknown subcommand, filters matching nothing); 3 validation failure
 // (shard databases that do not belong together, resume spec-hash mismatch,
 // corrupt or incomplete databases); 4 runtime error (I/O, internal failure).
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "exp/driver.hpp"
+#include "fleet/fleet.hpp"
 #include "stats/report.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -79,7 +85,9 @@ std::vector<std::string> legacy_flags_plus(
 }
 
 /// Load a spec file named as the single positional operand after the
-/// subcommand.
+/// subcommand. The operand `-` reads the spec from stdin — that is how
+/// ssh fleet workers receive it (the controller pipes the spec file in,
+/// so remote hosts need no shared filesystem).
 exp::ExperimentSpec load_spec_operand(const util::Cli& cli,
                                       const char* subcommand) {
     const auto& pos = cli.positional();
@@ -87,12 +95,54 @@ exp::ExperimentSpec load_spec_operand(const util::Cli& cli,
                       std::string(subcommand) +
                           ": give exactly one experiment spec file (serep " +
                           subcommand + " spec.json)");
-    std::ifstream in(pos[1]);
-    util::check_usage(in.good(), "cannot read experiment spec " + pos[1]);
     std::ostringstream ss;
-    ss << in.rdbuf();
+    if (pos[1] == "-") {
+        ss << std::cin.rdbuf();
+        util::check_usage(!ss.str().empty(),
+                          "spec operand '-' given but stdin is empty");
+    } else {
+        std::ifstream in(pos[1]);
+        util::check_usage(in.good(), "cannot read experiment spec " + pos[1]);
+        ss << in.rdbuf();
+    }
     return exp::ExperimentSpec::load(ss.str());
 }
+
+/// Worker-liveness beacon: `hb <i>` on stderr every `interval` seconds.
+/// The fleet controller watches the worker's stderr file grow; any growth
+/// counts as a heartbeat, so log lines and hb lines both prove liveness —
+/// the beacon matters exactly when a long shard would otherwise be silent.
+class Heartbeat {
+public:
+    explicit Heartbeat(double interval) {
+        if (interval <= 0) return;
+        th_ = std::thread([this, interval] {
+            std::unique_lock<std::mutex> lk(m_);
+            for (unsigned long long i = 1;; ++i) {
+                if (cv_.wait_for(lk, std::chrono::duration<double>(interval),
+                                 [this] { return stop_; }))
+                    return;
+                std::fprintf(stderr, "hb %llu\n", i);
+                std::fflush(stderr);
+            }
+        });
+    }
+    ~Heartbeat() {
+        if (!th_.joinable()) return;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        th_.join();
+    }
+
+private:
+    std::thread th_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
 
 /// Parse `--shard=K/N` and check it against the spec's declared count.
 int parse_shard_selector(const std::string& sel, unsigned spec_shards) {
@@ -120,7 +170,8 @@ int parse_shard_selector(const std::string& sel, unsigned spec_shards) {
 }
 
 int cmd_run(const util::Cli& cli) {
-    cli.require_known({"shard", "prune"});
+    cli.require_known(
+        {"shard", "prune", "shard-stdout", "heartbeat", "compress"});
     exp::ExperimentSpec spec = load_spec_operand(cli, "run");
     exp::ExperimentPlan plan(std::move(spec));
 
@@ -140,17 +191,105 @@ int cmd_run(const util::Cli& cli) {
                           "--prune must be off, on or verify (got '" + prune +
                               "')");
     }
+    opts.compress_shards = cli.has("compress");
+
+    // Worker mode: --shard-stdout streams the one shard's database to
+    // stdout (zstd-framed with --compress) instead of writing it next to
+    // the spec's outputs. Stdout then carries NOTHING but the payload, so
+    // the listing, driver log, and summary all move to stderr.
+    const bool worker = cli.has("shard-stdout");
+    util::check_usage(!worker || !sel.empty(),
+                      "--shard-stdout requires --shard=K/N (a worker streams "
+                      "exactly one shard)");
+    if (worker) {
+        opts.shard_stream = &std::cout;
+        opts.log = stderr;
+    }
+    const double hb = cli.get_double("heartbeat", 0.0);
+    util::check_usage(hb >= 0, "--heartbeat must be > 0 seconds");
+    Heartbeat beacon(hb);
 
     // The dry-run listing doubles as the run preamble. It never probes:
     // a fully-resumed run must stay golden-run-free, so an unbaked
     // weighted cut is probed lazily by the driver — once per process —
     // and only when a shard actually has to execute.
-    std::fputs(plan.listing().c_str(), stdout);
+    std::FILE* info = worker ? stderr : stdout;
+    std::fputs(plan.listing().c_str(), info);
     const exp::DriverResult res = exp::run_experiment(plan, opts);
-    std::printf("run: %zu shard(s) executed, %zu resumed%s%s\n",
-                res.shards_run, res.shards_skipped,
-                res.merged ? ", databases merged" : "",
-                res.report_written ? ", reports rendered" : "");
+    std::fprintf(info, "run: %zu shard(s) executed, %zu resumed%s%s\n",
+                 res.shards_run, res.shards_skipped,
+                 res.merged ? ", databases merged" : "",
+                 res.report_written ? ", reports rendered" : "");
+    if (worker) std::cout.flush();
+    return kExitOk;
+}
+
+int cmd_fleet(const util::Cli& cli) {
+    cli.require_known({"backend", "hosts", "workers", "workers-per-host",
+                       "heartbeat-interval", "heartbeat-timeout",
+                       "max-retries", "no-compress", "serep-exe", "remote-cmd",
+                       "kill-shard"});
+    const auto& pos = cli.positional();
+    util::check_usage(pos.size() == 2 && pos[1] != "-",
+                      "fleet: give exactly one experiment spec FILE (workers "
+                      "re-read it, so stdin is not accepted)");
+    exp::ExperimentSpec spec = load_spec_operand(cli, "fleet");
+
+    fleet::FleetOptions opts = fleet::fleet_options_from_spec(spec);
+    opts.spec_path = pos[1];
+    if (cli.has("backend")) opts.backend = cli.get("backend", opts.backend);
+    const std::string hosts = cli.get("hosts", "");
+    if (!hosts.empty()) {
+        opts.hosts.clear();
+        std::size_t at = 0;
+        while (at <= hosts.size()) {
+            const std::size_t comma = hosts.find(',', at);
+            opts.hosts.push_back(hosts.substr(
+                at, comma == std::string::npos ? std::string::npos
+                                               : comma - at));
+            if (comma == std::string::npos) break;
+            at = comma + 1;
+        }
+        if (!cli.has("backend")) opts.backend = "ssh";
+    }
+    if (cli.has("workers")) {
+        const std::int64_t w = cli.get_int("workers", 0);
+        util::check_usage(w >= 0, "fleet: --workers must be >= 0");
+        opts.workers = static_cast<unsigned>(w);
+    }
+    if (cli.has("workers-per-host")) {
+        const std::int64_t w = cli.get_int("workers-per-host", 1);
+        util::check_usage(w >= 1, "fleet: --workers-per-host must be >= 1");
+        opts.workers_per_host = static_cast<unsigned>(w);
+    }
+    if (cli.has("heartbeat-interval"))
+        opts.heartbeat_interval = cli.get_double("heartbeat-interval", 1.0);
+    if (cli.has("heartbeat-timeout"))
+        opts.heartbeat_timeout = cli.get_double("heartbeat-timeout", 30.0);
+    if (cli.has("max-retries")) {
+        const std::int64_t r = cli.get_int("max-retries", 3);
+        util::check_usage(r >= 1, "fleet: --max-retries must be >= 1");
+        opts.max_retries = static_cast<unsigned>(r);
+    }
+    if (cli.has("no-compress")) opts.compress = false;
+    if (cli.has("serep-exe")) opts.serep_exe = cli.get("serep-exe", "");
+    if (cli.has("remote-cmd"))
+        opts.remote_cmd = cli.get("remote-cmd", opts.remote_cmd);
+    if (cli.has("kill-shard")) {
+        // CI/chaos hook: SIGKILL the first attempt at this shard right
+        // after launch, proving the reassignment path end to end.
+        const std::int64_t k = cli.get_int("kill-shard", -1);
+        util::check_usage(k >= 0, "fleet: --kill-shard must be >= 0");
+        opts.kill_shard = static_cast<int>(k);
+    }
+
+    exp::ExperimentPlan plan(std::move(spec));
+    const fleet::FleetResult res = fleet::run_fleet(plan, opts);
+    std::printf("fleet: %zu shard(s) — %zu resumed, %zu launched, "
+                "%zu reassigned%s%s\n",
+                res.shards_total, res.resumed, res.launched, res.reassigned,
+                res.final.merged ? ", databases merged" : "",
+                res.final.report_written ? ", reports rendered" : "");
     return kExitOk;
 }
 
@@ -364,10 +503,144 @@ int cmd_merge(const util::Cli& cli) {
     return kExitOk;
 }
 
+/// Shared tail of every subcommand's --help: the exit-code contract.
+constexpr const char* kExitContract =
+    "\n"
+    "exit codes:\n"
+    "  0  success\n"
+    "  2  usage error (unknown flag, bad value, malformed spec)\n"
+    "  3  validation failure (incompatible or corrupt databases, resume\n"
+    "     spec-hash mismatch, quarantined poison shards)\n"
+    "  4  runtime error (I/O or internal failure)\n";
+
+/// `serep <subcommand> --help`: focused flag reference, one line per flag,
+/// ending in the exit-code contract. Golden-tested (tests/golden/help_*.txt)
+/// so help drift fails CI. Returns -1 for a mode with no dedicated page.
+int help_for(const std::string& mode) {
+    static const struct {
+        const char* mode;
+        const char* text;
+    } pages[] = {
+        {"run",
+         "usage: serep run SPEC.json [flags]\n"
+         "\n"
+         "Execute the whole experiment the spec declares (golden -> shard/run\n"
+         "-> merge -> report), with resume: finished shard DBs matching the\n"
+         "spec hash are skipped, mismatches refused. SPEC may be '-' (stdin).\n"
+         "\n"
+         "flags:\n"
+         "  --shard=K/N        run only shard K of the spec's N (remote\n"
+         "                     worker); re-running `run SPEC` merges\n"
+         "  --prune=off|on|verify  override the spec's equivalence-pruning\n"
+         "                     block (verify re-simulates a seeded sample)\n"
+         "  --compress         land shard DBs zstd-framed (.jsonl.zst);\n"
+         "                     merge/report/resume read both forms\n"
+         "  --shard-stdout     worker mode: stream the one shard's DB to\n"
+         "                     stdout (requires --shard; listing, log and\n"
+         "                     summary move to stderr)\n"
+         "  --heartbeat=SECS   emit `hb <i>` on stderr every SECS seconds so\n"
+         "                     a fleet controller can tell slow from dead\n"},
+        {"plan",
+         "usage: serep plan SPEC.json\n"
+         "\n"
+         "Dry run: spec hash, job ids, shard layout, estimated work; nothing\n"
+         "executes. Weighted specs probe golden lengths once and print a\n"
+         "bakeable weights line. SPEC may be '-' (stdin).\n"
+         "\n"
+         "flags: none\n"},
+        {"fleet",
+         "usage: serep fleet SPEC.json [flags]\n"
+         "\n"
+         "Distribute the spec's shards across workers, stream their DBs back\n"
+         "(zstd-framed), retry/reassign dead workers, then merge + report —\n"
+         "byte-identical to `serep run SPEC.json`. Flags override the spec's\n"
+         "(hash-neutral) `fleet` block field by field. See docs/fleet.md.\n"
+         "\n"
+         "flags:\n"
+         "  --backend=local-proc|ssh  worker transport [spec, else local-proc]\n"
+         "  --hosts=h1,h2,...  ssh destinations (implies --backend=ssh)\n"
+         "  --workers=N        concurrent workers; 0 = auto (local-proc:\n"
+         "                     min(shards, 8); ssh: hosts x workers-per-host)\n"
+         "  --workers-per-host=N   ssh workers per host [1]\n"
+         "  --heartbeat-interval=SECS  worker `hb` period [1]\n"
+         "  --heartbeat-timeout=SECS   stderr silence -> presumed dead [30]\n"
+         "  --max-retries=N    attempts per shard before quarantine [3]\n"
+         "  --no-compress      stream/land plain JSONL instead of .jsonl.zst\n"
+         "  --serep-exe=PATH   local worker binary [this binary]\n"
+         "  --remote-cmd=CMD   serep spelling on ssh hosts [serep]\n"
+         "  --kill-shard=K     chaos hook: SIGKILL shard K's first attempt\n"
+         "                     right after launch (CI reassignment gate)\n"},
+        {"campaign",
+         "usage: serep campaign [filters] [--out=PREFIX]\n"
+         "\n"
+         "Legacy shim: run the (filtered) campaign in one process, outputs\n"
+         "overwritten, no resume — synthesizes a spec and drives the same\n"
+         "pipeline as `serep run`, byte-identical outputs.\n"
+         "\n"
+         "filters / config (defaults in brackets):\n"
+         "  --class=S|Mini|W [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|...\n"
+         "  --kind=gpr|fp|mem [gpr]  fault targets (fp implies --isa=v8)\n"
+         "  --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]\n"
+         "  --engine=cached|switch [cached]  --stride=R [auto]\n"
+         "  --no-adaptive  --no-checkpoints  --no-delta\n"
+         "sizing:\n"
+         "  --target-ci=W      stop each scenario once every outcome rate's\n"
+         "                     CI half-width <= W (0 < W < 0.5)\n"
+         "  --confidence=C [0.95]  --ci-batch=N [50]  --ci-min=N [20]\n"},
+        {"shard",
+         "usage: serep shard --shard=I --shards=N [filters] --out=FILE\n"
+         "\n"
+         "Legacy shim: run one 1-of-N slice to a shard database. Accepts the\n"
+         "same filters/config as `serep campaign` (see `serep campaign\n"
+         "--help`), plus:\n"
+         "\n"
+         "flags:\n"
+         "  --shard=I --shards=N   which slice [0/1]\n"
+         "  --weighted         equal-work split by golden-run length\n"
+         "  --weights=w0,w1,...    reuse a printed probe vector (skip probing)\n"
+         "  --out=FILE         shard database path [shardI.jsonl]\n"},
+        {"merge",
+         "usage: serep merge --out=PREFIX DB1 DB2 [...]\n"
+         "\n"
+         "Merge shard databases into the unsharded PREFIX_faults.csv and\n"
+         "PREFIX_campaigns.jsonl. Inputs are config-hash + partition checked\n"
+         "against each other; every fault must appear in exactly one input.\n"
+         "Plain .jsonl and zstd-framed .jsonl.zst inputs may be mixed.\n"
+         "\n"
+         "flags:\n"
+         "  --out=PREFIX       output prefix [merged]\n"},
+        {"report",
+         "usage: serep report [flags] DB1 [DB2 ...]\n"
+         "\n"
+         "Outcome-rate tables + confidence intervals from databases (shard\n"
+         "DBs — plain or .zst — campaign JSONL, or per-fault CSV, auto-\n"
+         "detected). Mixing a shard set with its own merged DB is refused.\n"
+         "\n"
+         "flags:\n"
+         "  --format=md|csv|json [md]  report format\n"
+         "  --confidence=C [0.95]      CI level (0 < C < 1)\n"
+         "  --top-regs=N [8]   rows in the per-register table\n"
+         "  --out=FILE         write the report here [stdout]\n"
+         "  --partial          allow an incomplete shard cover (rates are a\n"
+         "                     sample of the campaign — e.g. mid-fleet)\n"
+         "  --no-inferred      tally only simulated records, dropping\n"
+         "                     pruning-inferred outcomes\n"},
+    };
+    for (const auto& p : pages) {
+        if (mode == p.mode) {
+            std::fputs(p.text, stdout);
+            std::fputs(kExitContract, stdout);
+            return kExitOk;
+        }
+    }
+    return -1;
+}
+
 int usage(std::FILE* to) {
     std::fprintf(
         to,
-        "usage: serep run|plan|campaign|shard|merge|report [--key=value ...]\n"
+        "usage: serep run|plan|fleet|campaign|shard|merge|report "
+        "[--key=value ...]\n"
         "  run SPEC.json       execute the whole experiment the spec declares\n"
         "                      (golden -> shard/run -> merge -> report), with\n"
         "                      resume: finished shard DBs matching the spec\n"
@@ -383,6 +656,11 @@ int usage(std::FILE* to) {
         "  plan SPEC.json      dry run: spec hash, job ids, shard layout,\n"
         "                      estimated work; weighted specs probe golden\n"
         "                      lengths once and print a bakeable weights line\n"
+        "  fleet SPEC.json     distribute the spec's shards across workers\n"
+        "                      (--backend=local-proc|ssh --hosts=h1,h2,...),\n"
+        "                      stream shard DBs back zstd-framed, retry dead\n"
+        "                      workers, merge + report byte-identically to\n"
+        "                      `serep run` — see `serep fleet --help`\n"
         "  campaign  run the (filtered) campaign in-process (legacy shim)\n"
         "  shard     run one 1-of-N slice to a shard database (legacy shim)\n"
         "  merge     merge shard databases into the unsharded CSV/JSONL\n"
@@ -419,8 +697,9 @@ int usage(std::FILE* to) {
         "   fault must appear in exactly one input)\n"
         "\n"
         "every subcommand rejects flags it does not know (exit 2, naming the\n"
-        "flag); see the README's \"Experiment specs\" section for the spec\n"
-        "JSON schema and the legacy-flag -> spec-field migration table\n"
+        "flag), and documents itself: `serep <subcommand> --help`; see\n"
+        "docs/spec-schema.md for the spec JSON schema and docs/fleet.md for\n"
+        "distributed campaigns\n"
         "\n"
         "exit codes:\n"
         "  0  success\n"
@@ -439,13 +718,18 @@ int main(int argc, char** argv) {
     // from greedily eating the next positional operand — see util::Cli.
     util::Cli cli(argc, argv,
                   {"help", "partial", "weighted", "no-adaptive",
-                   "no-checkpoints", "no-delta", "no-inferred"});
+                   "no-checkpoints", "no-delta", "no-inferred",
+                   "shard-stdout", "compress", "no-compress"});
     const std::string mode =
         cli.positional().empty() ? "" : cli.positional().front();
-    if (cli.has("help")) return usage(stdout);
+    if (cli.has("help")) {
+        const int paged = help_for(mode);
+        return paged >= 0 ? paged : usage(stdout);
+    }
     try {
         if (mode == "run") return cmd_run(cli);
         if (mode == "plan") return cmd_plan(cli);
+        if (mode == "fleet") return cmd_fleet(cli);
         if (mode == "campaign") return cmd_campaign(cli);
         if (mode == "shard") return cmd_shard(cli);
         if (mode == "merge") return cmd_merge(cli);
