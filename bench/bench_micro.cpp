@@ -3,19 +3,50 @@
 // cost — the engineering numbers behind the campaign-time estimates.
 //
 // Engine-comparison mode (no google-benchmark needed):
-//   bench_micro --engines [--class=S] [--reps=3] [--gate=1.5]
-// runs the paper's class-S serial scenarios once per execution engine,
-// prints a JSON report of steps/sec (retired guest instructions per second)
-// for the legacy switch interpreter vs the decode-once cached engine, and
-// exits non-zero when the geometric-mean speedup falls below --gate. The
-// per-scenario runs are verified to retire identical instruction counts —
-// the engines must only differ in speed, never in behavior.
+//   bench_micro --engines [--class=S] [--reps=3] [--gate=1.3]
+//               [--trace-gate-solo=1.2] [--trace-gate-multi=0.9]
+//               [--out=BENCH_engines.json]
+//               [--baseline=bench/BENCH_engines_baseline.json]
+//               [--tolerance=0.2]
+// runs a fixed matrix of serial and multi-core scenarios once per execution
+// engine (switch / cached / trace) and emits a stable machine-readable JSON
+// report of steps/sec (retired guest instructions per second) per engine x
+// scenario. Exit is non-zero when:
+//   * the cached/switch geomean falls below --gate,
+//   * the trace/cached geomean falls below --trace-gate-solo on the
+//     solo-core scenarios or --trace-gate-multi on the multi-core ones,
+//   * any engine retired a different instruction count (engines must only
+//     differ in speed, never in behavior), or
+//   * --baseline names a previous report and a geomean engine ratio
+//     regressed by more than --tolerance (relative). Geomean ratios, not
+//     absolute steps/sec or per-scenario ratios, are compared: ratios are
+//     stable across host generations (both engines run on the same box) and
+//     the geomean averages out per-scenario scheduler noise that makes
+//     single rows swing tens of percent on loaded hosts.
+// --out additionally writes the same JSON to a file (the perf-smoke CI job
+// archives it as the bench trajectory).
+//
+// Why the multi-core trace gate asserts "no regression" (~1x) rather than a
+// large speedup: the engines' gated contract is bit-identical campaign
+// output, and with shared guest memory and a shared L2 model, cross-core
+// instruction order is observable — so the reference schedule (argmin over
+// per-core ticks, ties to the lowest index) must be reproduced exactly, at
+// per-instruction granularity, whenever two or more cores are runnable.
+// Near-lockstep cores therefore force a scheduling decision every 1-2
+// instructions no matter how traces are formed. Engine::Trace amortizes
+// what that schedule permits (equal-tick rounds, claim-horizon bursts,
+// parked per-core trace cursors cut scheduler scans ~4x), which buys
+// roughly 1.0-1.25x over cached there, while solo-core regimes — where the
+// schedule is unconstrained — get the full superblock win (>= 1.2x gated,
+// ~1.3-1.8x measured).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/campaign.hpp"
@@ -100,12 +131,67 @@ EngineRun measure(const npb::Scenario& s, sim::Engine engine, unsigned reps) {
     return best;
 }
 
+/// One row of the comparison matrix. `multi` marks multi-core scenarios,
+/// gated separately from solo rows: the bit-identity contract pins the
+/// multi-core schedule to per-instruction granularity (see the header
+/// comment), so they carry a no-regression gate instead of the solo
+/// speedup gate.
+struct BenchScenario {
+    npb::Scenario s;
+    bool multi = false;
+};
+
+/// Baseline regression check: compare this run's geomean engine ratios
+/// against a previous report (--baseline). Geomean ratios — not absolute
+/// steps/sec, not per-scenario ratios — are compared because they are
+/// approximately host-independent (both engines run on the same machine,
+/// so CPU-generation differences divide out) and robust to the
+/// tens-of-percent per-scenario swings a loaded CI host produces. Returns
+/// false (and prints why) when a geomean regressed by more than `tolerance`
+/// relative; a baseline missing a geomean key fails the check (forcing a
+/// baseline refresh when the report format changes).
+bool check_baseline(const util::JsonValue& base, double geo_cached,
+                    double geo_trace_solo, double geo_trace_multi,
+                    double tolerance) {
+    bool ok = true;
+    const struct {
+        const char* key;
+        double current;
+    } ratios[] = {{"geomean_cached_over_switch", geo_cached},
+                  {"geomean_trace_over_cached_solo", geo_trace_solo},
+                  {"geomean_trace_over_cached_multi", geo_trace_multi}};
+    for (const auto& r : ratios) {
+        const util::JsonValue* b = base.find(r.key);
+        if (!b) {
+            std::fprintf(stderr, "BASELINE: missing key %s\n", r.key);
+            ok = false;
+            continue;
+        }
+        const double floor = b->as_double() * (1.0 - tolerance);
+        if (r.current < floor) {
+            std::fprintf(stderr,
+                         "BASELINE: %s %.2fx below baseline %.2fx "
+                         "(tolerance %.0f%%)\n",
+                         r.key, r.current, b->as_double(), tolerance * 100);
+            ok = false;
+        }
+    }
+    return ok;
+}
+
 int engine_compare(const util::Cli& cli) {
     // This is a CI gate: refuse nonsense instead of silently disarming
     // (a strtod failure would otherwise yield gate = 0, which always passes).
-    const double gate = cli.get_double("gate", 1.5);
-    if (!(gate > 0)) {
-        std::fprintf(stderr, "--gate must be a positive number\n");
+    const double gate = cli.get_double("gate", 1.3);
+    const double trace_gate_solo = cli.get_double("trace-gate-solo", 1.2);
+    const double trace_gate_multi = cli.get_double("trace-gate-multi", 0.9);
+    if (!(gate > 0) || !(trace_gate_solo > 0) || !(trace_gate_multi > 0)) {
+        std::fprintf(stderr, "gates must be positive numbers\n");
+        return 2;
+    }
+    const double tolerance = cli.get_double("tolerance", 0.2);
+    if (!(tolerance >= 0) || tolerance >= 1) {
+        std::fprintf(stderr, "--tolerance must be in [0, 1)\n");
         return 2;
     }
     const std::int64_t reps_raw = cli.get_int("reps", 3);
@@ -116,53 +202,132 @@ int engine_compare(const util::Cli& cli) {
     const unsigned reps = static_cast<unsigned>(reps_raw);
     const npb::Klass klass = orch::parse_klass(cli.get("class", "S"));
 
-    std::vector<npb::Scenario> scenarios;
+    util::JsonValue baseline;
+    const std::string baseline_path = cli.get("baseline", "");
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open baseline %s\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        baseline = util::json_parse(text.str());
+    }
+
+    std::vector<BenchScenario> scenarios;
     for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8})
         for (npb::App app : {npb::App::IS, npb::App::EP, npb::App::CG})
-            scenarios.push_back({p, app, npb::Api::Serial, 1, klass});
+            scenarios.push_back({{p, app, npb::Api::Serial, 1, klass}, false});
+    // Multi-core rows: round/burst scheduling territory. Integer (IS) and
+    // float-heavy (EP) kernels at both core counts that campaigns use.
+    scenarios.push_back({{isa::Profile::V7, npb::App::EP, npb::Api::OMP, 2, klass}, true});
+    scenarios.push_back({{isa::Profile::V8, npb::App::EP, npb::Api::OMP, 2, klass}, true});
+    scenarios.push_back({{isa::Profile::V8, npb::App::IS, npb::Api::OMP, 4, klass}, true});
 
-    double log_ratio_sum = 0;
+    double log_cached = 0, log_trace_solo = 0, log_trace_multi = 0;
+    std::size_t n_solo = 0, n_multi = 0;
     bool identical = true;
-    util::JsonWriter j(std::cout);
+    bool baseline_ok = true;
+    std::ostringstream out;
+    util::JsonWriter j(out);
     j.begin_object();
     j.key("bench").value("engine_compare");
+    j.key("class").value(cli.get("class", "S"));
     j.key("reps").value(reps);
     j.key("scenarios").begin_array();
-    for (const npb::Scenario& s : scenarios) {
-        const EngineRun sw = measure(s, sim::Engine::Switch, reps);
-        const EngineRun ca = measure(s, sim::Engine::Cached, reps);
-        const double ratio = ca.steps_per_sec / sw.steps_per_sec;
-        log_ratio_sum += std::log(ratio);
-        identical = identical && sw.retired == ca.retired;
+    for (const BenchScenario& bs : scenarios) {
+        const EngineRun sw = measure(bs.s, sim::Engine::Switch, reps);
+        const EngineRun ca = measure(bs.s, sim::Engine::Cached, reps);
+        const EngineRun tr = measure(bs.s, sim::Engine::Trace, reps);
+        const double cached_over_switch = ca.steps_per_sec / sw.steps_per_sec;
+        const double trace_over_cached = tr.steps_per_sec / ca.steps_per_sec;
+        log_cached += std::log(cached_over_switch);
+        if (bs.multi) {
+            log_trace_multi += std::log(trace_over_cached);
+            ++n_multi;
+        } else {
+            log_trace_solo += std::log(trace_over_cached);
+            ++n_solo;
+        }
+        identical =
+            identical && sw.retired == ca.retired && ca.retired == tr.retired;
+        const std::string name = bs.s.name();
         j.begin_object();
-        j.key("scenario").value(s.name());
+        j.key("scenario").value(name);
+        j.key("cores").value(static_cast<std::uint64_t>(bs.s.cores));
+        j.key("multi_core").value(bs.multi);
         j.key("retired").value(sw.retired);
         j.key("switch_steps_per_sec").value(sw.steps_per_sec);
         j.key("cached_steps_per_sec").value(ca.steps_per_sec);
-        j.key("ratio").value(ratio);
+        j.key("trace_steps_per_sec").value(tr.steps_per_sec);
+        j.key("cached_over_switch").value(cached_over_switch);
+        j.key("trace_over_cached").value(trace_over_cached);
         j.end_object();
     }
     j.end_array();
-    const double geomean =
-        std::exp(log_ratio_sum / static_cast<double>(scenarios.size()));
-    j.key("geomean_ratio").value(geomean);
-    j.key("gate").value(gate);
+    const double geo_cached =
+        std::exp(log_cached / static_cast<double>(scenarios.size()));
+    const double geo_trace_solo =
+        n_solo ? std::exp(log_trace_solo / static_cast<double>(n_solo)) : 1.0;
+    const double geo_trace_multi =
+        n_multi ? std::exp(log_trace_multi / static_cast<double>(n_multi)) : 1.0;
+    if (!baseline_path.empty())
+        baseline_ok = check_baseline(baseline, geo_cached, geo_trace_solo,
+                                     geo_trace_multi, tolerance);
+    j.key("geomean_cached_over_switch").value(geo_cached);
+    j.key("geomean_trace_over_cached_solo").value(geo_trace_solo);
+    j.key("geomean_trace_over_cached_multi").value(geo_trace_multi);
+    j.key("gates").begin_object();
+    j.key("cached_over_switch").value(gate);
+    j.key("trace_solo").value(trace_gate_solo);
+    j.key("trace_multi").value(trace_gate_multi);
+    j.end_object();
     j.key("retired_identical").value(identical);
-    const bool pass = identical && geomean >= gate;
+    j.key("baseline_checked").value(!baseline_path.empty());
+    j.key("baseline_ok").value(baseline_ok);
+    const bool pass = identical && baseline_ok && geo_cached >= gate &&
+                      geo_trace_solo >= trace_gate_solo &&
+                      geo_trace_multi >= trace_gate_multi;
     j.key("pass").value(pass);
     j.end_object();
-    std::cout << "\n";
+
+    const std::string report = out.str();
+    std::cout << report << "\n";
+    const std::string out_path = cli.get("out", "");
+    if (!out_path.empty()) {
+        std::ofstream f(out_path);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 2;
+        }
+        f << report << "\n";
+    }
+
     if (!identical)
         std::fprintf(stderr, "FAIL: engines retired different counts\n");
-    else if (!pass)
+    else if (geo_cached < gate)
         std::fprintf(stderr,
                      "FAIL: cached-engine speedup %.2fx below the %.2fx gate\n",
-                     geomean, gate);
+                     geo_cached, gate);
+    else if (geo_trace_solo < trace_gate_solo)
+        std::fprintf(stderr,
+                     "FAIL: trace solo speedup %.2fx below the %.2fx gate\n",
+                     geo_trace_solo, trace_gate_solo);
+    else if (geo_trace_multi < trace_gate_multi)
+        std::fprintf(stderr,
+                     "FAIL: trace multi-core speedup %.2fx below the %.2fx gate\n",
+                     geo_trace_multi, trace_gate_multi);
+    else if (!baseline_ok)
+        std::fprintf(stderr, "FAIL: regression against %s\n",
+                     baseline_path.c_str());
     return pass ? 0 : 1;
 }
 
 } // namespace
 
+BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int_trace, kV8, sim::Engine::Trace);
 BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int_cached, kV8, sim::Engine::Cached);
 BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int_switch, kV8, sim::Engine::Switch);
 BENCHMARK_CAPTURE(BM_SimulatorMips, v7_int_cached, kV7, sim::Engine::Cached);

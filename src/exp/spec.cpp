@@ -424,9 +424,9 @@ void ExperimentSpec::validate() const {
                       "incremental fault lists; pruning classifies a fixed "
                       "list up front)");
 
-    util::check_usage(engine == "cached" || engine == "switch",
-                      "spec: engine.engine '" + engine +
-                          "' (cached | switch)");
+    util::check_usage(
+        engine == "cached" || engine == "switch" || engine == "trace",
+        "spec: engine.engine '" + engine + "' (cached | switch | trace)");
     util::check_usage(threads >= 1, "spec: engine.threads must be >= 1");
 
     util::check_usage(shards >= 1 && shards <= 4096,

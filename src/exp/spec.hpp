@@ -87,7 +87,7 @@ struct ExperimentSpec {
     unsigned ci_min = 20;
 
     // ---- engine / checkpoint knobs (not part of the spec hash) ---------
-    std::string engine = "cached"; ///< "cached" / "switch"
+    std::string engine = "cached"; ///< "cached" / "switch" / "trace"
     unsigned threads = 2;
     std::uint64_t stride = 0; ///< fixed checkpoint stride; 0 = auto
     bool checkpoints = true;

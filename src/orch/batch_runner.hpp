@@ -44,9 +44,11 @@ struct BatchOptions {
     unsigned threads = 0; ///< pool width; 0 = the shared process-wide pool
     LadderOptions ladder; ///< checkpoint-ladder knobs (batch-wide)
     /// Execution engine for golden and fault runs. Outcomes are bit-identical
-    /// either way (gated in tests and CI); Cached is ~1.5-2x faster. The
-    /// scenario's decode-once ExecCache is built with the golden machine and
-    /// shared by every clone the checkpoint ladder materializes.
+    /// across all three (gated in tests and CI); Cached is ~1.5-2x faster
+    /// than Switch, Trace another ~2x over Cached on multi-core scenarios
+    /// (superblocks + tick-horizon bursts). The scenario's decode-once
+    /// ExecCache is built with the golden machine and shared by every clone
+    /// the checkpoint ladder materializes.
     sim::Engine engine = sim::Engine::Cached;
     /// Fault-space sharding hook: when set, each job still generates its
     /// full deterministic fault list (phase 2), but only the faults the

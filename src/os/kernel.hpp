@@ -15,7 +15,14 @@
 namespace serep::os {
 
 struct KernelConfig {
-    unsigned quantum = 4000;          ///< time-slice in retired instructions
+    unsigned quantum = 4000;          ///< time-slice in retired instructions.
+                                      ///  Also the natural upper bound on a
+                                      ///  user-mode trace-engine burst: the
+                                      ///  TIMER countdown it arms clips every
+                                      ///  superblock budget (sim::Machine::
+                                      ///  burst_trace), so preemptions land
+                                      ///  on the same instruction under all
+                                      ///  engines.
     std::uint64_t user_size = isa::layout::kDefaultUserSize;
     std::uint64_t kern_size = isa::layout::kDefaultKernSize;
     std::uint64_t heap_guard = 64 * 1024; ///< unmapped gap below the main stack

@@ -17,10 +17,14 @@
 //    bit-identical faulty futures, so one representative per class is
 //    simulated (Simulate) and the rest inherit its outcome (Follow).
 //
-// Soundness rests on the same determinism contract the two execution
-// engines already share: timing, cache and scheduler evolution depend only
-// on addresses, branch decisions and op identities, all of which are
-// bit-equal between the golden and the faulty run up to the first real use.
+// Soundness rests on the same determinism contract the execution engines
+// already share: timing, cache and scheduler evolution depend only on
+// addresses, branch decisions and op identities, all of which are bit-equal
+// between the golden and the faulty run up to the first real use. The walk
+// additionally relies on on_step firing exactly once per retired
+// instruction under every engine — superblock traces included (the trace
+// engine keeps the observer callback per step; engine_test gates this) —
+// since a skipped callback would silently corrupt the XOR diff.
 // The differential check (`serep run --prune=verify`) re-simulates a seeded
 // sample of inferred faults and fails loudly on any outcome mismatch.
 #pragma once

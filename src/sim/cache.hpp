@@ -37,6 +37,12 @@ public:
     /// ages bit-identical — only the hit counter still needs to advance.
     void credit_hit() noexcept { ++hits_; }
 
+    /// Bulk form of credit_hit: the trace engine counts consecutive
+    /// MRU-filtered I-fetch hits inside a superblock segment locally and
+    /// flushes them in one call at the segment end (or at a side exit, so a
+    /// trace that traps mid-way credits exactly the fetches that happened).
+    void credit_hits(std::uint64_t n) noexcept { hits_ += n; }
+
     void reset() noexcept;
 
     std::uint64_t hits() const noexcept { return hits_; }

@@ -1,5 +1,6 @@
 #include "sim/exec_cache.hpp"
 
+#include <algorithm>
 #include <mutex>
 
 #include "isa/op.hpp"
@@ -51,12 +52,58 @@ void ExecCache::decode_records(const std::uint8_t* bytes, std::size_t count,
     }
 }
 
+bool ExecCache::trace_ender(const isa::Instr& ins, isa::Profile p) noexcept {
+    switch (ins.op) {
+        // Control transfers (everything with OpInfo::is_branch).
+        case isa::Op::B:
+        case isa::Op::BCOND:
+        case isa::Op::BL:
+        case isa::Op::BLR:
+        case isa::Op::BR:
+        case isa::Op::RET:
+        case isa::Op::CBZ:
+        case isa::Op::CBNZ:
+        // System ops: redirect control (SVC/ERET), change the runnable set
+        // (WFI/HLT), or reach machine-wide state (SYSRD/SYSWR — IPI_SEND,
+        // SHUTDOWN, TIMER writes). All rare; single-stepping them is free.
+        case isa::Op::SVC:
+        case isa::Op::SYSRD:
+        case isa::Op::SYSWR:
+        case isa::Op::ERET:
+        case isa::Op::WFI:
+        case isa::Op::HLT:
+        case isa::Op::UDF: return true;
+        default: break;
+    }
+    if (p == isa::Profile::V7) {
+        // write_gpr(15) is a jump on V7. rd/ra of 15 covers every explicit
+        // destination (LDM never loads r15: its register loop stops at r14);
+        // writeback with rn == 15 covers the LDM/STM base update.
+        if (ins.rd == 15 || ins.ra == 15) return true;
+        if (ins.wb && ins.rn == 15) return true;
+    }
+    return false;
+}
+
 ExecCache::ExecCache(const kasm::Image& img) {
     instrs_.reserve(img.code.size());
     for (std::size_t i = 0; i < img.code.size(); ++i) {
         const std::uint64_t addr = img.code_base + i * isa::kInstrBytes;
         instrs_.push_back(
             make_decoded(img.code[i], img.profile, addr >= img.kernel_text_end));
+    }
+    // Superblock run lengths, computed backward: a non-ender extends the run
+    // that starts right after it, clipped at text-mirror page boundaries so
+    // the Machine's copy-on-write overlay check stays one page lookup per
+    // trace (kTextRecordsPerPage = 128, so lengths fit comfortably).
+    const std::size_t n = instrs_.size();
+    runs_.assign(n, 0);
+    for (std::size_t i = n; i-- > 0;) {
+        if (trace_ender(instrs_[i].ins, img.profile)) continue;
+        const bool page_end = (i + 1) % isa::kTextRecordsPerPage == 0;
+        const std::uint32_t next = (i + 1 < n && !page_end) ? runs_[i + 1] : 0;
+        runs_[i] = static_cast<std::uint16_t>(
+            std::min<std::uint32_t>(next + 1, 0xFFFF));
     }
 }
 

@@ -63,6 +63,22 @@ public:
         return instrs_[i];
     }
 
+    /// Superblock run length for the trace engine: the number of consecutive
+    /// records starting at `i` that are straight-line safe — every one of
+    /// them, when it retires, falls through to pc+4 without touching the
+    /// interpreter's branch state. 0 means record `i` itself is a trace
+    /// ender (branch / syscall / privileged-state op / V7 PC-writer) and
+    /// must go through single-step dispatch. Runs never cross a text-mirror
+    /// page boundary, so one overlay lookup validates a whole trace.
+    std::uint32_t run_len(std::size_t i) const noexcept { return runs_[i]; }
+
+    /// True when `ins` may not execute inside a superblock: every control
+    /// transfer, every op that can redirect or privilege-switch the core
+    /// (SVC/SYSRD/SYSWR/ERET/WFI/HLT/UDF), and — V7 only — any instruction
+    /// that can write R15 through write_gpr (rd/ra operand 15, or LDM/STM
+    /// writeback with rn == 15), which is an implicit jump.
+    static bool trace_ender(const isa::Instr& ins, isa::Profile p) noexcept;
+
     /// Decode one DecodedInstr from an already-validated structural word.
     static DecodedInstr make_decoded(const isa::Instr& ins, isa::Profile p,
                                      bool user_ok) noexcept;
@@ -79,6 +95,7 @@ private:
     explicit ExecCache(const kasm::Image& img);
 
     std::vector<DecodedInstr> instrs_;
+    std::vector<std::uint16_t> runs_; ///< superblock run lengths (see run_len)
 };
 
 } // namespace serep::sim

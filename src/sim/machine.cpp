@@ -11,6 +11,7 @@
 
 namespace serep::sim {
 
+
 using isa::Cond;
 using isa::Flags;
 using isa::Instr;
@@ -66,6 +67,25 @@ std::uint64_t shift_right_arith(std::uint64_t v, unsigned amt, unsigned w) noexc
     const std::int64_t s = util::sign_extend(v, w);
     if (amt >= w) amt = w - 1;
     return static_cast<std::uint64_t>(s >> amt) & low_mask(w);
+}
+
+/// Can the trace engine execute this ender inline and keep bursting? Pure
+/// control transfers cannot change mode, trap, or touch machine-wide state;
+/// everything else ends the burst: SVC/ERET (mode switch), WFI/HLT (runnable
+/// set), SYSRD/SYSWR (IPIs, timers, shutdown), UDF (trap), and V7 pc-writing
+/// data ops (generic ops classified as enders; rare).
+constexpr bool trace_chainable(Op op) noexcept {
+    switch (op) {
+        case Op::B:
+        case Op::BCOND:
+        case Op::BL:
+        case Op::BLR:
+        case Op::BR:
+        case Op::RET:
+        case Op::CBZ:
+        case Op::CBNZ: return true;
+        default: return false;
+    }
 }
 
 } // namespace
@@ -335,16 +355,36 @@ RunStatus Machine::run_until(std::uint64_t stop_at) {
                      !k.sleeping && !k.halted);
             continue;
         }
+        if (engine_ == Engine::Trace) {
+            if (runnable == 1) {
+                // Solo regime: no rival can claim the scan (sleepers stay
+                // asleep without an IPI, which sets sched_event_), so the
+                // burst is unbounded — run until a scheduling event.
+                CoreState& k = cores_[static_cast<unsigned>(best)];
+                sched_event_ = false;
+                do {
+                    burst_trace(static_cast<unsigned>(best), stop_at);
+                } while (status_ == RunStatus::Running &&
+                         total_retired_ < stop_at && !sched_event_ &&
+                         !k.sleeping && !k.halted);
+            } else {
+                run_trace_multi(stop_at);
+            }
+            continue;
+        }
         step(static_cast<unsigned>(best));
     }
     return status_;
 }
 
 void Machine::step(unsigned ci) {
-    if (engine_ == Engine::Cached) {
-        step_cached(ci);
-    } else {
+    // The trace engine single-steps through step_cached (same ExecCache
+    // facts, same step mechanics) — burst_trace falls back to it for trace
+    // enders, overlaid pages, and interrupt delivery.
+    if (engine_ == Engine::Switch) {
         step_switch(ci);
+    } else {
+        step_cached(ci);
     }
 }
 
@@ -488,6 +528,528 @@ void Machine::step_cached(unsigned ci) {
         ++func_instr_[image_->func_of_instr[image_->instr_index(pc)]];
     if (core.timer > 0 && --core.timer == 0) core.pending_timer = true;
     core.local_tick += cx.cost;
+}
+
+bool Machine::trace_page_overlaid(std::size_t idx) const noexcept {
+    const std::uint64_t first =
+        (idx / isa::kTextRecordsPerPage) * isa::kTextRecordsPerPage;
+    for (const OverlayPage& p : overlay_)
+        if (p.first == first) return true;
+    return false;
+}
+
+/// One trace unit of the superblock engine. Semantics are *defined* by
+/// step_cached (and transitively by step_switch): executing a superblock is
+/// exactly the sequence of step_cached calls for its instructions, with the
+/// per-step work that is provably constant across the run hoisted out:
+///
+///  * fetch validity / user_ok — a run is straight-line and ascending, and
+///    user_ok is monotone in the address, so the first record's check
+///    covers the whole run; kernel fetches are always legal;
+///  * overlay lookup — runs never cross a text page (ExecCache clips them),
+///    so one page lookup validates every fetch in the trace. A text fault
+///    or snapshot restore that re-decoded this page (the PR-3 CoW funnel)
+///    drops the trace back to single-step dispatch through step_cached,
+///    which reads through the overlay;
+///  * next_pc_/branch_taken_ bookkeeping — no in-trace instruction can
+///    branch (trace enders are excluded), so every retirement is pc += 4;
+///  * branch/call counter tests — in-trace cflags are always 0;
+///  * retired-mode bucket — mode only changes via traps and enders, so the
+///    kernel/user attribution is constant inside a trace;
+///  * I-line MRU credits — consecutive filtered hits accumulate locally and
+///    flush in one credit_hits call per segment (including at side exits,
+///    so a trace that traps mid-way credits exactly the fetches it made).
+///
+/// Everything that can vary per step stays per step: the tick-horizon
+/// check (step costs vary with cache misses and FP latency, so a step
+/// budget alone cannot bound ticks), the V7 predicate, the observer
+/// callback (prune's XOR-diff walk must see every retired instruction,
+/// mid-trace included), data aborts (side exit: trap taken, instruction
+/// does not retire — identical to the step_cached epilogue), the timer
+/// decrement, and the per-step tick/retire accounting.
+///
+/// The step budget is clipped to min(run length, instructions left until
+/// stop_at, pending-timer distance): a fault instant or checkpoint rung is
+/// a stop_at from run_until's callers, so a pending injection inside the
+/// window clips the trace rather than the trace skidding past it.
+void Machine::burst_trace(unsigned ci, std::uint64_t stop_at) {
+    CoreState& core = cores_[ci];
+    CoreCounters& cnt = counters_[ci];
+
+    // Interrupt delivery preempts user code between instructions — one
+    // trace unit, same transcription as the step_cached preamble.
+    if (core.mode == Mode::USER && (core.pending_timer || core.pending_ipi)) {
+        TrapCause cause;
+        if (core.pending_timer) {
+            cause = TrapCause::IRQ_TIMER;
+            core.pending_timer = false;
+        } else {
+            cause = TrapCause::IRQ_IPI;
+            core.pending_ipi = false;
+        }
+        take_trap(core, cause, 0, 0);
+        core.local_tick += 2;
+        return;
+    }
+
+    std::uint64_t lpc = core.regs.pc();
+    std::size_t idx;
+    const DecodedInstr* di;
+    std::uint64_t seg; // straight-line records executable from lpc
+
+    // (Re)derive the segment state at lpc: translation, run length, overlay
+    // page check, user fetch permission. Returns false when the burst must
+    // not fetch from lpc through the hoisted-check fast path (wild pc,
+    // fault-redecoded page, user fetch into kernel text) — those all fall
+    // back to step_cached, which re-checks everything per step.
+    const auto load_segment = [&]() -> bool {
+        if (!image_->contains_code(lpc)) return false;
+        idx = image_->instr_index(lpc);
+        if (!overlay_.empty() && trace_page_overlaid(idx)) return false;
+        di = &(*xcache_)[idx];
+        if (core.mode != Mode::KERNEL && !di->user_ok) return false;
+        seg = xcache_->run_len(idx);
+        return true;
+    };
+
+    // Text generation moves only between run_until calls (no VA translates
+    // into the text mirror, so guest stores cannot dirty code mid-burst);
+    // checking here keeps the per-trace overlay lookup sound for the rest
+    // of the burst.
+    if (mem_.code_gen() != code_gen_seen_) refresh_code_overlay();
+    if (!load_segment() || (seg == 0 && !trace_chainable(di->ins.op))) {
+        step_cached(ci); // single step with full per-step checks
+        return;
+    }
+
+    std::uint64_t* retired_bucket =
+        core.mode == Mode::KERNEL ? &cnt.kernel_retired : &cnt.user_retired;
+    Cache& l1i = l1i_[ci];
+    std::uint64_t iline_credits = 0;
+    const bool profile = cfg_.profile;
+
+    for (;;) {
+        if (seg == 0) {
+            // The record at lpc is a chainable control transfer. Execute it
+            // inline — the step_cached transcription with next_pc_ /
+            // branch_taken_ / branch-counter mechanics restored — then
+            // rederive the segment at the target and keep bursting.
+            std::uint64_t cost = 1;
+            const std::uint64_t iline = lpc >> 6;
+            if (iline == core.last_iline) {
+                ++iline_credits;
+            } else {
+                if (iline_credits != 0) {
+                    l1i.credit_hits(iline_credits);
+                    iline_credits = 0;
+                }
+                if (!l1i.access(lpc)) {
+                    cost += kL1MissPenalty;
+                    if (!l2_.access(lpc)) cost += kL2MissPenalty;
+                }
+                core.last_iline = iline;
+            }
+            const bool executed =
+                !di->check_cond || cond_holds(di->ins.cond, core.regs.flags());
+            if (observer_.ptr)
+                observer_.ptr->on_step(*this, ci, *di, lpc, executed);
+            next_pc_ = lpc + isa::kInstrBytes;
+            branch_taken_ = false;
+            StepCtx cx{core, cnt, *di, ci, lpc, cost, true};
+            if (executed) di->fn(*this, cx);
+            if (status_ == RunStatus::KernelPanic) break;
+            if (!cx.retire) {
+                core.local_tick += cx.cost + 2;
+                break;
+            }
+            core.regs.set_pc(next_pc_); // never SVC here (not chainable)
+            if (branch_taken_) cx.cost += 1;
+            ++core.retired;
+            ++total_retired_;
+            ++*retired_bucket;
+            if (executed) {
+                if (di->cflags & kDiBranch) {
+                    ++cnt.branches;
+                    if (branch_taken_) ++cnt.taken_branches;
+                }
+                if (di->cflags & kDiCall) ++cnt.calls;
+            }
+            if (profile) ++func_instr_[image_->func_of_instr[idx]];
+            if (core.timer > 0 && --core.timer == 0) core.pending_timer = true;
+            core.local_tick += cx.cost;
+            lpc = next_pc_;
+        } else {
+            // Straight-line superblock segment: seg records from di/lpc.
+            std::uint64_t max_steps = seg;
+            const std::uint64_t left = stop_at - total_retired_; // >= 1 here
+            if (left < max_steps) max_steps = left;
+            // Clip at the pending-timer distance so the timer fires exactly
+            // on the step that drains it; the preemption preamble then runs
+            // at the next burst entry.
+            if (core.timer > 0 && core.timer < max_steps)
+                max_steps = core.timer;
+
+            std::uint64_t done = 0;
+            for (; done < max_steps; ++done) {
+                std::uint64_t cost = 1;
+                const std::uint64_t iline = lpc >> 6; // 64-byte lines
+                if (iline == core.last_iline) {
+                    ++iline_credits;
+                } else {
+                    if (iline_credits != 0) {
+                        l1i.credit_hits(iline_credits);
+                        iline_credits = 0;
+                    }
+                    if (!l1i.access(lpc)) {
+                        cost += kL1MissPenalty;
+                        if (!l2_.access(lpc)) cost += kL2MissPenalty;
+                    }
+                    core.last_iline = iline;
+                }
+
+                const DecodedInstr& d = di[done];
+                const bool executed =
+                    !d.check_cond || cond_holds(d.ins.cond, core.regs.flags());
+                if (observer_.ptr)
+                    observer_.ptr->on_step(*this, ci, d, lpc, executed);
+
+                StepCtx cx{core, cnt, d, ci, lpc, cost, true};
+                if (executed) d.fn(*this, cx);
+
+                if (status_ == RunStatus::KernelPanic) goto out;
+                if (!cx.retire) {
+                    // Side exit: the instruction faulted, trap already taken
+                    // (core.regs.pc() still held the faulting pc for epc).
+                    core.local_tick += cx.cost + 2;
+                    goto out;
+                }
+
+                lpc += isa::kInstrBytes;
+                core.regs.set_pc(lpc);
+                ++core.retired;
+                ++total_retired_;
+                ++*retired_bucket;
+                if (profile) ++func_instr_[image_->func_of_instr[idx + done]];
+                if (core.timer > 0 && --core.timer == 0)
+                    core.pending_timer = true;
+                core.local_tick += cx.cost;
+            }
+            // A stop_at or timer clip ends the burst mid-run; the timer
+            // fires exactly on the step that drained it, and the next burst
+            // entry delivers the preemption.
+            if (done < seg) break;
+            // Segment exhausted: lpc sits at the next record — an ender, or
+            // the head of the next text page (runs never cross pages).
+        }
+
+        // Between chain links: deliver pending user interrupts at the next
+        // burst entry, and end the burst when the next pc leaves the
+        // hoisted-check fast path.
+        if (core.mode == Mode::USER &&
+            (core.pending_timer || core.pending_ipi))
+            break;
+        if (total_retired_ >= stop_at) break;
+        if (!load_segment()) break;
+        if (seg == 0 && !trace_chainable(di->ins.op)) break;
+    }
+out:
+    if (iline_credits != 0) l1i.credit_hits(iline_credits);
+}
+
+/// One scheduler-grade step of core `ci` under the trace engine, with a
+/// persistent per-core cursor (tcur_[ci]) memoising the segment derivation
+/// — translation, overlay-page check, user fetch permission, run length —
+/// across the interleaved steps of run_trace_multi. The cursor is a pure
+/// memo keyed by pc: it is consulted only when (left != 0 && lpc ==
+/// core.regs.pc()), and every path that redirects the pc (trap, ender,
+/// fallback) either updates it or zeroes `left`, so a hit can never be
+/// stale. Mode changes always redirect the pc (trap vector / ERET target),
+/// so pc equality also re-keys the hoisted mode-dependent facts (user_ok,
+/// retired bucket). Step mechanics are the step_cached transcription with
+/// the derivation replaced by the cursor; per-step facts (iline MRU,
+/// predicate, observer, timer, tick) stay per step.
+void Machine::trace_step_one(unsigned ci) {
+    CoreState& core = cores_[ci];
+    CoreCounters& cnt = counters_[ci];
+    TraceCursor& cur = tcur_[ci];
+
+    if (core.mode == Mode::USER && (core.pending_timer || core.pending_ipi)) {
+        TrapCause cause;
+        if (core.pending_timer) {
+            cause = TrapCause::IRQ_TIMER;
+            core.pending_timer = false;
+        } else {
+            cause = TrapCause::IRQ_IPI;
+            core.pending_ipi = false;
+        }
+        take_trap(core, cause, 0, 0);
+        core.local_tick += 2;
+        cur.left = 0;
+        return;
+    }
+
+    const std::uint64_t lpc = core.regs.pc();
+    const DecodedInstr* d;
+    std::size_t idx;
+    bool at_ender;
+    if (cur.left != 0 && cur.lpc == lpc) {
+        d = cur.di;
+        idx = cur.idx;
+        at_ender = cur.ender;
+    } else {
+        // Cursor miss: (re)derive the segment at lpc. Text cannot change
+        // inside the window (run_trace_multi refreshed the overlay at
+        // entry; guest stores cannot reach the text mirror), so the
+        // overlay-page check made here stays valid for the cursor's life.
+        if (!image_->contains_code(lpc)) {
+            cur.left = 0;
+            step_cached(ci);
+            return;
+        }
+        idx = image_->instr_index(lpc);
+        if (!overlay_.empty() && trace_page_overlaid(idx)) {
+            cur.left = 0;
+            step_cached(ci);
+            return;
+        }
+        d = &(*xcache_)[idx];
+        if (core.mode != Mode::KERNEL && !d->user_ok) {
+            cur.left = 0;
+            step_cached(ci);
+            return;
+        }
+        const std::uint64_t seg = xcache_->run_len(idx);
+        at_ender = seg == 0;
+        if (!at_ender) {
+            cur.di = d;
+            cur.lpc = lpc;
+            cur.idx = idx;
+            cur.left = static_cast<std::uint32_t>(seg);
+            cur.ender = false;
+        }
+    }
+
+    if (at_ender) {
+        // Ender at lpc. Chainable control transfers execute inline with the
+        // next_pc_/branch_taken_ mechanics of step_cached; everything else
+        // single-steps with full checks. The ender's user_ok needs no
+        // re-check on a parked resume: runs ascend within a page and
+        // user_ok is monotone in the address, so the segment head's check
+        // covers it (and the mode cannot have changed — that would have
+        // redirected the pc and missed the cursor).
+        cur.left = 0;
+        if (!trace_chainable(d->ins.op)) {
+            step_cached(ci);
+            return;
+        }
+        std::uint64_t cost = 1;
+        const std::uint64_t iline = lpc >> 6;
+        if (iline == core.last_iline) {
+            l1i_[ci].credit_hit();
+        } else {
+            if (!l1i_[ci].access(lpc)) {
+                cost += kL1MissPenalty;
+                if (!l2_.access(lpc)) cost += kL2MissPenalty;
+            }
+            core.last_iline = iline;
+        }
+        const bool executed =
+            !d->check_cond || cond_holds(d->ins.cond, core.regs.flags());
+        if (observer_.ptr) observer_.ptr->on_step(*this, ci, *d, lpc, executed);
+        next_pc_ = lpc + isa::kInstrBytes;
+        branch_taken_ = false;
+        StepCtx cx{core, cnt, *d, ci, lpc, cost, true};
+        if (executed) d->fn(*this, cx);
+        if (status_ == RunStatus::KernelPanic) return;
+        if (!cx.retire) {
+            core.local_tick += cx.cost + 2;
+            return;
+        }
+        core.regs.set_pc(next_pc_); // never SVC here (not chainable)
+        if (branch_taken_) cx.cost += 1;
+        ++core.retired;
+        ++total_retired_;
+        if (core.mode == Mode::KERNEL) {
+            ++cnt.kernel_retired;
+        } else {
+            ++cnt.user_retired;
+        }
+        if (executed) {
+            if (d->cflags & kDiBranch) {
+                ++cnt.branches;
+                if (branch_taken_) ++cnt.taken_branches;
+            }
+            if (d->cflags & kDiCall) ++cnt.calls;
+        }
+        if (cfg_.profile) ++func_instr_[image_->func_of_instr[idx]];
+        if (core.timer > 0 && --core.timer == 0) core.pending_timer = true;
+        core.local_tick += cx.cost;
+        return;
+    }
+
+    // One straight-line record off the cursor: no branch is possible, so
+    // retirement is pc += 4 and the branch bookkeeping is skipped (in-run
+    // cflags are always 0, and only V7 generic ops carry check_cond).
+    std::uint64_t cost = 1;
+    const std::uint64_t iline = lpc >> 6;
+    if (iline == core.last_iline) {
+        l1i_[ci].credit_hit();
+    } else {
+        if (!l1i_[ci].access(lpc)) {
+            cost += kL1MissPenalty;
+            if (!l2_.access(lpc)) cost += kL2MissPenalty;
+        }
+        core.last_iline = iline;
+    }
+    const bool executed =
+        !d->check_cond || cond_holds(d->ins.cond, core.regs.flags());
+    if (observer_.ptr) observer_.ptr->on_step(*this, ci, *d, lpc, executed);
+
+    StepCtx cx{core, cnt, *d, ci, lpc, cost, true};
+    if (executed) d->fn(*this, cx);
+
+    if (status_ == RunStatus::KernelPanic) {
+        cur.left = 0;
+        return;
+    }
+    if (!cx.retire) {
+        // Side exit: trap taken, the instruction does not retire, and the
+        // trap redirected the pc off the segment.
+        core.local_tick += cx.cost + 2;
+        cur.left = 0;
+        return;
+    }
+
+    core.regs.set_pc(lpc + isa::kInstrBytes);
+    ++core.retired;
+    ++total_retired_;
+    if (core.mode == Mode::KERNEL) {
+        ++cnt.kernel_retired;
+    } else {
+        ++cnt.user_retired;
+    }
+    if (cfg_.profile) ++func_instr_[image_->func_of_instr[idx]];
+    if (core.timer > 0 && --core.timer == 0) core.pending_timer = true;
+    core.local_tick += cx.cost;
+
+    // Advance the cursor; when the run exhausts on the same text page the
+    // next record is its genuine ender (the page clip did not bind), so
+    // park it and skip the next step's preamble.
+    if (--cur.left == 0) {
+        const std::size_t nidx = idx + 1;
+        if (nidx % isa::kTextRecordsPerPage != 0) {
+            cur.di = d + 1;
+            cur.idx = nidx;
+            cur.lpc = lpc + isa::kInstrBytes;
+            cur.left = 1;
+            cur.ender = true;
+        }
+    } else {
+        cur.di = d + 1;
+        cur.idx = idx + 1;
+        cur.lpc = lpc + isa::kInstrBytes;
+    }
+}
+
+void Machine::run_trace_multi(std::uint64_t stop_at) {
+    // Inner scheduling loop for the >= 2 runnable-cores regime. The
+    // reference schedule (argmin over local ticks, ties to the lowest core
+    // index) is reproduced in rounds: scan once for the minimum tick S,
+    // then step — in index order — every runnable core whose tick is still
+    // S when its turn comes. A full round is always scan-order-valid:
+    // every member holds the minimum tick at its turn (stepped members
+    // moved strictly past S, since a step costs >= 1 tick; rivals sit
+    // strictly above S; ties break to the lowest unstepped index), so the
+    // round equals the per-instruction argmin schedule bit-for-bit while
+    // costing one scan per round instead of one per step. Any prefix of a
+    // round is equally valid, so the mid-round breaks (stop_at reached,
+    // status change, sched_event_) also preserve the schedule; the
+    // run_until re-scan then re-picks the same core the reference would.
+    //
+    // Wakes and IPIs set sched_event_, so the runnable set can only shrink
+    // inside a round (a member's own step sleeping or halting it) — a
+    // sleeper never silently rejoins mid-round. Shrink to < 2 runnable
+    // cores returns to run_until for solo bursts / deadlock handling.
+    const std::size_t n = cores_.size();
+    if (tcur_.size() != n) tcur_.assign(n, TraceCursor{});
+    else
+        for (TraceCursor& c : tcur_) c.left = 0;
+    if (mem_.code_gen() != code_gen_seen_) refresh_code_overlay();
+
+    sched_event_ = false;
+    for (;;) {
+        if (status_ != RunStatus::Running || total_retired_ >= stop_at ||
+            sched_event_)
+            return;
+        // One scan for the minimum tick t1 (lowest holder i1, holder count
+        // count_min) and the first rival level above it: tnext = smallest
+        // tick strictly greater than t1, inext = its lowest-indexed holder.
+        // count_min tells the regime apart: several cores at the minimum
+        // -> round; a lone holder -> burst up to the tnext claim.
+        constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t t1 = kMax, tnext = kMax;
+        unsigned i1 = 0, inext = 0, runnable = 0, count_min = 0;
+        for (unsigned c = 0; c < n; ++c) {
+            const CoreState& k = cores_[c];
+            if (k.halted || k.sleeping) continue;
+            ++runnable;
+            if (k.local_tick < t1) {
+                tnext = t1;
+                inext = i1;
+                t1 = k.local_tick;
+                i1 = c;
+                count_min = 1;
+            } else if (k.local_tick == t1) {
+                ++count_min;
+            } else if (k.local_tick < tnext) {
+                tnext = k.local_tick;
+                inext = c;
+            }
+        }
+        if (runnable < 2) return;
+        if (count_min > 1) {
+            // Round regime (near-lockstep ticks): step every runnable core
+            // still holding t1 when its turn comes, in index order. When a
+            // round is uniform — every member's step cost exactly one tick
+            // and none slept or halted — and no rival sits at t1 + 1 (t2
+            // bounds them all), the member set at t1 + 1 is provably the
+            // same set in the same order, so the next round runs without
+            // rescanning. Lockstep phases then pay one scan per run of
+            // uniform rounds instead of one per round.
+            for (;;) {
+                bool uniform = true;
+                for (unsigned c = i1; c < n; ++c) {
+                    const CoreState& k = cores_[c];
+                    if (k.halted || k.sleeping || k.local_tick != t1)
+                        continue;
+                    trace_step_one(c);
+                    if (status_ != RunStatus::Running ||
+                        total_retired_ >= stop_at || sched_event_)
+                        return;
+                    if (k.local_tick != t1 + 1 || k.sleeping || k.halted)
+                        uniform = false;
+                }
+                if (!uniform || tnext <= t1 + 1) break;
+                ++t1;
+            }
+        } else {
+            // Burst regime (diverged ticks, e.g. an FP latency or a cache
+            // miss on the rivals): core i1 stays the argmin pick while its
+            // tick is below every rival's claim. The nearest claim comes
+            // from inext — the lowest-indexed rival at the next tick level
+            // — whose claim i1 undercuts at equality iff i1 < inext.
+            // Rivals above tnext claim no earlier, so the burst is exactly
+            // the reference schedule's run of consecutive i1 picks.
+            const std::uint64_t horizon = tnext + (i1 < inext ? 1 : 0);
+            CoreState& k = cores_[i1];
+            do {
+                trace_step_one(i1);
+            } while (k.local_tick < horizon &&
+                     status_ == RunStatus::Running &&
+                     total_retired_ < stop_at && !sched_event_ &&
+                     !k.sleeping && !k.halted);
+        }
+    }
 }
 
 void Machine::step_switch(unsigned ci) {

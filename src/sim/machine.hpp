@@ -28,7 +28,7 @@ namespace serep::sim {
 
 enum class Mode : std::uint8_t { USER, KERNEL };
 
-/// Execution engine selection. Both engines are bit-identical in every
+/// Execution engine selection. All engines are bit-identical in every
 /// observable (registers, memory, outcome databases, counters, ticks) —
 /// gated by tests/engine_test.cpp — so the choice is purely about speed:
 ///  * Switch — the legacy single-switch interpreter, kept as the reference
@@ -36,7 +36,11 @@ enum class Mode : std::uint8_t { USER, KERNEL };
 ///  * Cached — decode-once engine: pre-resolved handler dispatch through the
 ///    shared ExecCache, MRU line filters in front of the L1 models, and a
 ///    solo-core burst loop in run_until().
-enum class Engine : std::uint8_t { Switch, Cached };
+///  * Trace — superblock engine on top of the same ExecCache: straight-line
+///    runs of predecoded handlers (ExecCache::run_len) execute as a unit
+///    with hoisted per-trace checks, and run_until() gives *every* runnable
+///    core a tick-horizon burst between scheduler scans (see run_until).
+enum class Engine : std::uint8_t { Switch, Cached, Trace };
 
 enum class RunStatus : std::uint8_t {
     Running,      ///< stopped because the instruction budget was reached
@@ -225,6 +229,54 @@ private:
     void step(unsigned c);
     void step_switch(unsigned c);
     void step_cached(unsigned c);
+    /// Resumable superblock position of one core inside a run_trace_multi
+    /// window. Between a core's interleaved steps, the remaining (record
+    /// pointer, index, budget) is parked here so resuming the same core
+    /// skips the whole segment preamble (translation, run lookup, overlay
+    /// scan, user_ok). Validity is checked by `left != 0 && lpc == core
+    /// pc`: every control transfer (trap, ERET, branch — all enders)
+    /// redirects the pc, so a stale cursor can never match, and `di`/`idx`
+    /// are pure functions of the pc while the text generation is unchanged
+    /// (cursors never outlive one window, and text only moves between
+    /// run_until calls). When a run exhausts without leaving its text page,
+    /// the ender itself is parked (`ender = true`, `left = 1`) so branch
+    /// steps skip the preamble too; page-crossing exhaustion re-derives,
+    /// because the next page's overlay state is unchecked.
+    struct TraceCursor {
+        const DecodedInstr* di = nullptr; ///< next record to execute
+        std::uint64_t lpc = 0;            ///< pc of `di`
+        std::size_t idx = 0;              ///< instruction index of `di`
+        std::uint32_t left = 0;           ///< records remaining; 0 = invalid
+        bool ender = false;               ///< `di` ends its run (left == 1)
+    };
+    /// Solo-regime trace burst: execute chained superblocks (straight-line
+    /// runs linked through stable branch targets, executed inline) until a
+    /// non-chainable ender, a trap, `stop_at`, or a pending-timer clip ends
+    /// the unit. Only called with exactly one runnable core, so there is no
+    /// tick horizon: no rival can win the scheduler scan (sleepers need an
+    /// IPI, which sets sched_event_ and ends the enclosing burst loop).
+    void burst_trace(unsigned c, std::uint64_t stop_at);
+    /// One instruction of the multi-core trace interleave: resume the
+    /// core's cursor (or re-derive it), execute a single straight-line
+    /// record or chainable branch inline, or fall back to step_cached for
+    /// everything else. The per-core cursor makes the near-lockstep
+    /// tick-interleave pay the segment preamble once per branch target
+    /// instead of once per step.
+    void trace_step_one(unsigned c);
+    /// Multi-core trace scheduling loop (tick-horizon bursts): scan once
+    /// for the set of lowest-tick runnable cores, then execute one
+    /// instruction on *each* of them in index order — a full round over an
+    /// equal-tick set is always scan-order-valid: every member holds the
+    /// minimum tick when its turn comes (stepped members move strictly
+    /// past it, rivals sit strictly above it), so the round equals the
+    /// per-instruction argmin schedule bit-for-bit while costing one scan
+    /// per round instead of one per step. Runs until a scheduling event
+    /// (IPI), a solo/deadlock regime, stop_at, or a non-Running status
+    /// hands control back to the full run_until scan.
+    void run_trace_multi(std::uint64_t stop_at);
+    /// Is the text page holding instruction index `idx` shadowed by a
+    /// fault-redecode overlay? (Trace runs never cross a page boundary.)
+    bool trace_page_overlaid(std::size_t idx) const noexcept;
     /// Decoded record for instruction index `idx`, reading through the
     /// copy-on-write overlay of fault-dirtied text pages.
     const DecodedInstr* fetch_decoded(std::size_t idx);
@@ -272,6 +324,10 @@ private:
         std::vector<DecodedInstr> recs;
     };
     std::vector<OverlayPage> overlay_; ///< sorted by first, few entries
+    /// Per-core parked trace positions (run_trace_multi). Invalidated
+    /// wholesale at every window entry, so nothing here survives a
+    /// run_until call — snapshots may copy it freely.
+    std::vector<TraceCursor> tcur_;
     /// Observer hookup with copy-reset semantics: clones (ladder rungs,
     /// fault runs) must never inherit the golden replay's tracer.
     struct ObserverSlot {
@@ -288,7 +344,15 @@ private:
     };
     ObserverSlot observer_;
     std::uint64_t code_gen_seen_ = 0;
-    bool sched_event_ = false; ///< cached-engine burst break (IPI posted)
+    /// Burst-break flag — the contract between sysreg_write(IPI_SEND) and
+    /// the burst loops in run_until(): cleared when a scheduler scan hands
+    /// a core its burst, set by any IPI post, and checked after every step
+    /// (cached engine) or trace unit (trace engine). An IPI posted
+    /// mid-burst therefore ends the burst at the next unit boundary and
+    /// forces a fresh scan — which recomputes the runnable set and the next
+    /// tick horizon with the newly woken core included. Never consulted
+    /// while the per-instruction scheduler scan is in charge.
+    bool sched_event_ = false;
     // Profile-wide constants hoisted out of the per-step path.
     std::uint64_t width_mask_ = 0;
     unsigned width_bits_ = 0;

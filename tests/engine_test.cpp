@@ -1,11 +1,15 @@
-// Differential tests for the decode-once execution engine.
+// Differential tests for the decode-once execution engines.
 //
 // The cached engine (pre-decoded ExecCache + handler-table dispatch + MRU
-// line/translation filters + burst scheduling) must be bit-identical to the
+// line/translation filters + burst scheduling) and the trace engine
+// (superblocks of straight-line predecoded handlers with hoisted per-trace
+// checks + tick-horizon multicore bursts) must both be bit-identical to the
 // legacy switch interpreter in every observable: registers, memory, ticks,
-// counters, outcome databases. This file cross-checks the two independent
-// implementations on random programs, random faults, whole campaigns, and
-// on fault-corrupted guest text (the mirror/overlay re-decode path).
+// counters, outcome databases, and the StepObserver callback stream. This
+// file cross-checks the three independent implementations on random
+// programs, random faults, whole campaigns, fault-corrupted guest text
+// (the mirror/overlay re-decode path — including corruption landing *ahead*
+// of a parked mid-trace cursor), and IPI ping-pong scheduling.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -50,22 +54,53 @@ std::uint64_t fingerprint(const sim::Machine& m) {
     return h;
 }
 
+/// Every engine, reference implementation first: differential loops below
+/// compare each engine's observables against the Switch run of the same
+/// program.
+constexpr sim::Engine kAllEngines[] = {sim::Engine::Switch, sim::Engine::Cached,
+                                       sim::Engine::Trace};
+
 /// run_kernel_snippet, but returning the *unrun* machine so the test can
 /// pick an engine (and corrupt text) before execution.
 sim::Machine build_snippet(isa::Profile p,
-                           const std::function<void(Assembler&)>& body) {
+                           const std::function<void(Assembler&)>& body,
+                           unsigned cores = 1) {
     Assembler a(p);
     a.func("boot", kasm::ModTag::KERNEL);
     a.set_kernel_boot(a.here());
     body(a);
     a.end_kernel_text();
     auto img = std::make_shared<const kasm::Image>(a.finalize());
-    sim::Machine m(std::move(img), sim::MachineConfig{});
+    sim::MachineConfig cfg;
+    cfg.cores = cores;
+    sim::Machine m(std::move(img), cfg);
     sim::load_image_data(m);
-    m.core(0).regs.set_pc(m.image().kernel_boot);
-    m.core(0).regs.set_sp(kKernStackTop(0));
+    for (unsigned c = 0; c < cores; ++c) {
+        m.core(c).regs.set_pc(m.image().kernel_boot);
+        m.core(c).regs.set_sp(kKernStackTop(c));
+    }
     return m;
 }
+
+/// Folds the full observer callback stream into (count, hash): the
+/// exactly-once contract says `steps` equals the retired delta on
+/// abort-free runs and the fold is engine-invariant always.
+struct CountingObserver final : sim::StepObserver {
+    std::uint64_t steps = 0, traps = 0, h = 0;
+    void on_step(const sim::Machine&, unsigned ci, const sim::DecodedInstr& di,
+                 std::uint64_t pc, bool executed) override {
+        ++steps;
+        h = h * 0x100000001B3ull ^ pc ^ (std::uint64_t{ci} << 56) ^
+            (static_cast<std::uint64_t>(di.ins.op) << 40) ^
+            (executed ? 0u : 1u);
+    }
+    void on_trap(const sim::Machine&, unsigned ci,
+                 isa::TrapCause cause) override {
+        ++traps;
+        h = h * 0x100000001B3ull ^ 0xFEEDu ^ (std::uint64_t{ci} << 56) ^
+            (static_cast<std::uint64_t>(cause) << 40);
+    }
+};
 
 /// Emit a random but terminating kernel program: ALU soup over scratch
 /// registers, flag-setting ops, forward branches, and loads/stores into a
@@ -190,7 +225,7 @@ class EngineBothProfiles : public ::testing::TestWithParam<isa::Profile> {};
 INSTANTIATE_TEST_SUITE_P(Profiles, EngineBothProfiles,
                          ::testing::Values(isa::Profile::V7, isa::Profile::V8));
 
-TEST_P(EngineBothProfiles, RandomProgramsRunBitIdenticallyOnBothEngines) {
+TEST_P(EngineBothProfiles, RandomProgramsRunBitIdenticallyOnAllEngines) {
     const isa::Profile p = GetParam();
     for (std::uint64_t seed = 1; seed <= 25; ++seed) {
         util::Rng rng(seed * 0x9E3779B9u);
@@ -199,33 +234,38 @@ TEST_P(EngineBothProfiles, RandomProgramsRunBitIdenticallyOnBothEngines) {
             util::Rng prog_rng(seed);
             random_program(a, prog_rng, len);
         };
-        sim::Machine cached = build_snippet(p, body);
-        sim::Machine legacy = build_snippet(p, body);
-        cached.set_engine(sim::Engine::Cached);
-        legacy.set_engine(sim::Engine::Switch);
-        cached.run_until(1'000'000);
-        legacy.run_until(1'000'000);
-        ASSERT_EQ(cached.status(), sim::RunStatus::Shutdown) << "seed " << seed;
-        ASSERT_EQ(fingerprint(cached), fingerprint(legacy)) << "seed " << seed;
+        std::uint64_t ref = 0;
+        for (const sim::Engine e : kAllEngines) {
+            sim::Machine m = build_snippet(p, body);
+            m.set_engine(e);
+            m.run_until(1'000'000);
+            ASSERT_EQ(m.status(), sim::RunStatus::Shutdown) << "seed " << seed;
+            if (e == sim::Engine::Switch)
+                ref = fingerprint(m);
+            else
+                ASSERT_EQ(fingerprint(m), ref)
+                    << "seed " << seed << " engine " << static_cast<int>(e);
+        }
     }
 }
 
-TEST_P(EngineBothProfiles, RandomFaultsDivergeIdenticallyOnBothEngines) {
-    // Inject the same random register/memory faults mid-run on both engines;
-    // the (possibly crashing, hanging, or trapping) aftermath must match
-    // bit for bit.
+TEST_P(EngineBothProfiles, RandomFaultsDivergeIdenticallyOnAllEngines) {
+    // Inject the same random register/memory faults mid-run on all three
+    // engines; the (possibly crashing, hanging, or trapping) aftermath must
+    // match bit for bit. The fault instant is a run_until stop_at, so under
+    // the trace engine it lands *inside* superblock windows — the budget
+    // clip must park the trace exactly at the injection point, and a MEM
+    // fault striking text must invalidate the parked cursor.
     const isa::Profile p = GetParam();
     const npb::Scenario s{p, npb::App::DC, npb::Api::Serial, 1,
                           npb::Klass::Mini};
     util::Rng rng(0xFA017);
     for (unsigned trial = 0; trial < 12; ++trial) {
-        sim::Machine cached = npb::make_machine(s, false);
-        sim::Machine legacy = npb::make_machine(s, false);
-        cached.set_engine(sim::Engine::Cached);
-        legacy.set_engine(sim::Engine::Switch);
+        sim::Machine machines[] = {npb::make_machine(s, false),
+                                   npb::make_machine(s, false),
+                                   npb::make_machine(s, false)};
+        for (unsigned i = 0; i < 3; ++i) machines[i].set_engine(kAllEngines[i]);
         const std::uint64_t at = 1000 + rng.below(60'000);
-        cached.run_until(at);
-        legacy.run_until(at);
 
         core::FaultTarget t;
         const unsigned which = static_cast<unsigned>(rng.below(3));
@@ -241,44 +281,50 @@ TEST_P(EngineBothProfiles, RandomFaultsDivergeIdenticallyOnBothEngines) {
             t.bit = static_cast<unsigned>(rng.below(64));
         } else {
             t.kind = core::FaultTarget::Kind::MEM;
-            t.phys = rng.below(cached.mem().phys_size());
+            t.phys = rng.below(machines[0].mem().phys_size());
             t.bit = static_cast<unsigned>(rng.below(8));
         }
-        core::apply_fault(cached, t);
-        core::apply_fault(legacy, t);
-        cached.run_until(2'000'000);
-        legacy.run_until(2'000'000);
-        ASSERT_EQ(fingerprint(cached), fingerprint(legacy))
-            << "trial " << trial << " kind " << static_cast<int>(t.kind)
-            << " phys " << t.phys;
-        ASSERT_EQ(cached.code_overlay_pages(), legacy.code_overlay_pages());
+        for (sim::Machine& m : machines) {
+            m.run_until(at);
+            core::apply_fault(m, t);
+            m.run_until(2'000'000);
+        }
+        for (unsigned i = 1; i < 3; ++i) {
+            ASSERT_EQ(fingerprint(machines[i]), fingerprint(machines[0]))
+                << "trial " << trial << " engine " << i << " kind "
+                << static_cast<int>(t.kind) << " phys " << t.phys;
+            ASSERT_EQ(machines[i].code_overlay_pages(),
+                      machines[0].code_overlay_pages());
+        }
     }
 }
 
-TEST(Engine, MulticoreOmpAndMpiRunBitIdenticallyOnBothEngines) {
-    // Multicore exercises what serial cannot: the burst loop's fallback to
-    // the scheduler scan, IPI wakeups (sched_event), per-core MRU filters,
-    // and the shared L2. Faulted runs perturb the interleaving too.
+TEST(Engine, MulticoreOmpAndMpiRunBitIdenticallyOnAllEngines) {
+    // Multicore exercises what serial cannot: the burst loops' fallback to
+    // the scheduler scan, IPI wakeups (sched_event_), per-core MRU filters,
+    // the trace engine's round/tick-horizon scheduling, and the shared L2.
+    // Faulted runs perturb the interleaving too.
     for (npb::Api api : {npb::Api::OMP, npb::Api::MPI}) {
         for (isa::Profile p : {isa::Profile::V7, isa::Profile::V8}) {
             const npb::Scenario s{p, npb::App::IS, api, 2, npb::Klass::Mini};
-            sim::Machine cached = npb::make_machine(s, false);
-            sim::Machine legacy = npb::make_machine(s, false);
-            cached.set_engine(sim::Engine::Cached);
-            legacy.set_engine(sim::Engine::Switch);
-            cached.run_until(20'000);
-            legacy.run_until(20'000);
             core::FaultTarget t;
             t.kind = core::FaultTarget::Kind::GPR;
             t.core = 1;
             t.reg = 13; // SP-ish on both profiles: likely to derail control
             t.bit = 5;
-            core::apply_fault(cached, t);
-            core::apply_fault(legacy, t);
-            cached.run_until(3'000'000);
-            legacy.run_until(3'000'000);
-            ASSERT_EQ(fingerprint(cached), fingerprint(legacy))
-                << s.name();
+            std::uint64_t ref = 0;
+            for (const sim::Engine e : kAllEngines) {
+                sim::Machine m = npb::make_machine(s, false);
+                m.set_engine(e);
+                m.run_until(20'000);
+                core::apply_fault(m, t);
+                m.run_until(3'000'000);
+                if (e == sim::Engine::Switch)
+                    ref = fingerprint(m);
+                else
+                    ASSERT_EQ(fingerprint(m), ref)
+                        << s.name() << " engine " << static_cast<int>(e);
+            }
         }
     }
 }
@@ -296,12 +342,12 @@ TEST(Engine, CampaignDatabasesAreByteIdenticalAcrossEnginesAndKinds) {
     core::CampaignConfig mem = gpr;
     mem.memory_faults = true;
 
-    std::string out[2];
-    for (const sim::Engine e : {sim::Engine::Cached, sim::Engine::Switch}) {
+    std::string out[3];
+    for (unsigned i = 0; i < 3; ++i) {
         std::ostringstream csv, jsonl;
         orch::BatchOptions opts;
         opts.threads = 4;
-        opts.engine = e;
+        opts.engine = kAllEngines[i];
         orch::BatchRunner runner(opts);
         runner.set_csv_sink(&csv);
         runner.set_json_sink(&jsonl);
@@ -310,9 +356,10 @@ TEST(Engine, CampaignDatabasesAreByteIdenticalAcrossEnginesAndKinds) {
         runner.add(v7, mem);
         runner.add(v8, mem);
         runner.run_all();
-        out[e == sim::Engine::Switch] = csv.str() + "\x1e" + jsonl.str();
+        out[i] = csv.str() + "\x1e" + jsonl.str();
     }
     EXPECT_EQ(out[0], out[1]);
+    EXPECT_EQ(out[0], out[2]);
     EXPECT_NE(out[0].find("mem"), std::string::npos);
 }
 
@@ -338,7 +385,7 @@ TEST(Engine, TextFaultForcesRedecodeOfTheStruckPage) {
         ASSERT_EQ(m.code_overlay_pages(), 0u);
     }
 
-    for (const sim::Engine e : {sim::Engine::Cached, sim::Engine::Switch}) {
+    for (const sim::Engine e : kAllEngines) {
         sim::Machine m = build_snippet(isa::Profile::V8, body);
         m.set_engine(e);
         const std::uint64_t idx = m.image().instr_index(movi_addr);
@@ -352,7 +399,7 @@ TEST(Engine, TextFaultForcesRedecodeOfTheStruckPage) {
         EXPECT_EQ(m.code_overlay_pages(), 1u) << "engine " << int(e);
     }
 
-    for (const sim::Engine e : {sim::Engine::Cached, sim::Engine::Switch}) {
+    for (const sim::Engine e : kAllEngines) {
         sim::Machine m = build_snippet(isa::Profile::V8, body);
         m.set_engine(e);
         const std::uint64_t idx = m.image().instr_index(movi_addr);
@@ -383,16 +430,187 @@ TEST(Engine, DeltaSnapshotRestoreRedecodesCorruptedText) {
     m.flip_mem(m.mem().text_base() + idx * isa::kTextRecordBytes + 16, 3);
 
     const sim::MachineDelta d = sim::make_machine_delta(m, base);
-    sim::Machine restored = sim::restore_machine_delta(d, base);
-    restored.run_until(1000);
-    EXPECT_EQ(restored.status(), sim::RunStatus::Shutdown);
-    EXPECT_EQ(restored.exit_code(), 34);
-    EXPECT_GE(restored.code_overlay_pages(), 1u);
+    for (const sim::Engine e : kAllEngines) {
+        sim::Machine restored = sim::restore_machine_delta(d, base);
+        restored.set_engine(e);
+        restored.run_until(1000);
+        EXPECT_EQ(restored.status(), sim::RunStatus::Shutdown)
+            << "engine " << static_cast<int>(e);
+        EXPECT_EQ(restored.exit_code(), 34) << "engine " << static_cast<int>(e);
+        EXPECT_GE(restored.code_overlay_pages(), 1u);
+    }
 
     // And the base is untouched: restoring it runs the pristine program.
     sim::Machine clean = base;
     clean.run_until(1000);
     EXPECT_EQ(clean.exit_code(), 42);
+}
+
+TEST_P(EngineBothProfiles, StepObserverFiresExactlyOncePerRetiredInstruction) {
+    // The same deterministic program under every engine: the observer's
+    // (steps, traps, fold) must be engine-invariant, and on an abort-free
+    // run `steps` equals exactly the retired count — no instruction is
+    // observed twice (burst restarts, trace re-derivation) or skipped
+    // (mid-trace retirements execute through the hoisted fast path).
+    const isa::Profile p = GetParam();
+    const auto body = [](Assembler& a) {
+        util::Rng rng(0x0B5);
+        random_program(a, rng, 250);
+    };
+    CountingObserver want;
+    for (const sim::Engine e : kAllEngines) {
+        sim::Machine m = build_snippet(p, body);
+        m.set_engine(e);
+        CountingObserver obs;
+        m.set_step_observer(&obs);
+        m.run_until(1'000'000);
+        ASSERT_EQ(m.status(), sim::RunStatus::Shutdown)
+            << "engine " << static_cast<int>(e);
+        EXPECT_EQ(obs.steps, m.total_retired())
+            << "engine " << static_cast<int>(e);
+        if (e == sim::Engine::Switch) want = obs;
+        EXPECT_EQ(obs.steps, want.steps) << "engine " << static_cast<int>(e);
+        EXPECT_EQ(obs.traps, want.traps) << "engine " << static_cast<int>(e);
+        EXPECT_EQ(obs.h, want.h) << "engine " << static_cast<int>(e);
+    }
+}
+
+TEST(Engine, StepObserverAttachedMidRunSeesEveryRemainingInstruction) {
+    // Attach at an instant the trace engine reaches with a parked mid-trace
+    // cursor (run_until clips superblock budgets to stop exactly at the
+    // boundary): from there on, every engine must observe the identical
+    // callback stream, and the count must equal the retired delta — the
+    // resumed trace may not replay the pre-attach prefix of its superblock.
+    const npb::Scenario s{isa::Profile::V8, npb::App::DC, npb::Api::Serial, 1,
+                          npb::Klass::Mini};
+    CountingObserver want;
+    for (const sim::Engine e : kAllEngines) {
+        sim::Machine m = npb::make_machine(s, false);
+        m.set_engine(e);
+        m.run_until(30'000);
+        ASSERT_EQ(m.total_retired(), 30'000u)
+            << "engine " << static_cast<int>(e);
+        CountingObserver obs;
+        m.set_step_observer(&obs);
+        m.run_until(60'000);
+        EXPECT_EQ(obs.steps, m.total_retired() - 30'000)
+            << "engine " << static_cast<int>(e);
+        if (e == sim::Engine::Switch) want = obs;
+        EXPECT_EQ(obs.steps, want.steps) << "engine " << static_cast<int>(e);
+        EXPECT_EQ(obs.traps, want.traps) << "engine " << static_cast<int>(e);
+        EXPECT_EQ(obs.h, want.h) << "engine " << static_cast<int>(e);
+    }
+}
+
+TEST(Engine, StepObserverCountsEveryCoreUnderTheMulticoreScheduler) {
+    // 2-core OMP under the trace engine runs through run_trace_multi's
+    // round/tick-horizon regimes; the per-core interleaving is part of the
+    // observer fold, so the hash check pins the schedule itself.
+    const npb::Scenario s{isa::Profile::V8, npb::App::IS, npb::Api::OMP, 2,
+                          npb::Klass::Mini};
+    CountingObserver want;
+    for (const sim::Engine e : kAllEngines) {
+        sim::Machine m = npb::make_machine(s, false);
+        m.set_engine(e);
+        CountingObserver obs;
+        m.set_step_observer(&obs);
+        m.run_until(100'000);
+        EXPECT_EQ(obs.steps, m.total_retired())
+            << "engine " << static_cast<int>(e);
+        if (e == sim::Engine::Switch) want = obs;
+        EXPECT_EQ(obs.steps, want.steps) << "engine " << static_cast<int>(e);
+        EXPECT_EQ(obs.traps, want.traps) << "engine " << static_cast<int>(e);
+        EXPECT_EQ(obs.h, want.h) << "engine " << static_cast<int>(e);
+    }
+}
+
+TEST_P(EngineBothProfiles, IpiPingPongSchedulesIdenticallyOnAllEngines) {
+    // The sched_event_ contract: IPI_SEND must break every engine's burst
+    // (solo and multicore) so the wake is delivered at the same instant
+    // everywhere. Two cores ping-pong four IPIs through WFI; the final
+    // machine state — including wfi_sleeps and tick counts — must be
+    // engine-invariant, and somebody must have genuinely slept.
+    const isa::Profile p = GetParam();
+    const auto body = [](Assembler& a) {
+        const auto t = a.tmp(0);
+        const auto n = a.sav(0);
+        auto core1 = a.newl();
+        a.sysrd(t, isa::SysReg::CORE_ID);
+        a.cmpi(t, 0);
+        a.b(Cond::NE, core1);
+        // core 0: ping, then sleep until the pong, four rounds.
+        a.movi(n, 4);
+        auto loop0 = a.newl();
+        a.bind(loop0);
+        a.movi(t, 0b10);
+        a.syswr(isa::SysReg::IPI_SEND, t);
+        a.wfi();
+        a.subsi(n, n, 1);
+        a.b(Cond::NE, loop0);
+        finish(a, 7);
+        // core 1: sleep until the ping, then pong, four rounds.
+        a.bind(core1);
+        a.movi(n, 4);
+        auto loop1 = a.newl();
+        a.bind(loop1);
+        a.wfi();
+        a.movi(t, 0b01);
+        a.syswr(isa::SysReg::IPI_SEND, t);
+        a.subsi(n, n, 1);
+        a.b(Cond::NE, loop1);
+        a.hlt();
+    };
+    std::uint64_t ref = 0;
+    for (const sim::Engine e : kAllEngines) {
+        sim::Machine m = build_snippet(p, body, 2);
+        m.set_engine(e);
+        m.run_until(1'000'000);
+        ASSERT_EQ(m.status(), sim::RunStatus::Shutdown)
+            << "engine " << static_cast<int>(e);
+        EXPECT_EQ(m.exit_code(), 7) << "engine " << static_cast<int>(e);
+        EXPECT_GT(m.counters(0).wfi_sleeps + m.counters(1).wfi_sleeps, 0u);
+        if (e == sim::Engine::Switch)
+            ref = fingerprint(m);
+        else
+            EXPECT_EQ(fingerprint(m), ref) << "engine " << static_cast<int>(e);
+    }
+}
+
+TEST(Engine, TextFaultAheadOfAParkedTraceCursorInvalidatesTheTrace) {
+    // Corrupt an instruction *downstream* of where run_until parked a
+    // mid-superblock cursor: the resumed trace must not execute the stale
+    // predecoded record. 200 straight-line `add 1` steps make one long
+    // trace; we stop inside it, flip the 150th add into `add 9`, resume,
+    // and every engine must exit with 42 + 199*1 + 9 = 250.
+    std::uint64_t first_add = 0;
+    const auto body = [&](Assembler& a) {
+        const auto t = a.tmp(0);
+        a.movi(t, 42);
+        first_add = a.here();
+        for (unsigned i = 0; i < 200; ++i) a.addi(t, t, 1);
+        a.syswr(isa::SysReg::SHUTDOWN, t);
+    };
+    std::uint64_t ref = 0;
+    for (const sim::Engine e : kAllEngines) {
+        sim::Machine m = build_snippet(isa::Profile::V8, body);
+        m.set_engine(e);
+        // Stop mid-block: 1 movi + 49 adds retired, cursor parked at add #50.
+        m.run_until(50);
+        ASSERT_EQ(m.total_retired(), 50u) << "engine " << static_cast<int>(e);
+        const std::uint64_t idx = m.image().instr_index(first_add) + 149;
+        // Immediate low byte (record byte 16): 1 ^ (1<<3) = 9.
+        m.flip_mem(m.mem().text_base() + idx * isa::kTextRecordBytes + 16, 3);
+        m.run_until(10'000);
+        EXPECT_EQ(m.status(), sim::RunStatus::Shutdown)
+            << "engine " << static_cast<int>(e);
+        EXPECT_EQ(m.exit_code(), 250) << "engine " << static_cast<int>(e);
+        EXPECT_EQ(m.code_overlay_pages(), 1u)
+            << "engine " << static_cast<int>(e);
+        if (e == sim::Engine::Switch)
+            ref = fingerprint(m);
+        else
+            EXPECT_EQ(fingerprint(m), ref) << "engine " << static_cast<int>(e);
+    }
 }
 
 TEST(Engine, SharedExecCacheIsReusedAcrossMachinesAndClones) {

@@ -33,7 +33,7 @@
 //   --class=S|Mini [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|CG|...
 //   --kind=gpr|fp|mem [gpr] (fault target space; fp implies --isa=v8)
 //   --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]
-//   --engine=cached|switch [cached]  --stride=R [auto]  --no-adaptive
+//   --engine=cached|switch|trace [cached]  --stride=R [auto]  --no-adaptive
 //   --no-checkpoints  --no-delta (full-copy rungs)
 // campaign sizing: --target-ci=W (0<W<0.5) --confidence=C [0.95]
 //   --ci-batch=N [50] --ci-min=N [20]
@@ -581,7 +581,7 @@ int help_for(const std::string& mode) {
          "  --class=S|Mini|W [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|...\n"
          "  --kind=gpr|fp|mem [gpr]  fault targets (fp implies --isa=v8)\n"
          "  --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]\n"
-         "  --engine=cached|switch [cached]  --stride=R [auto]\n"
+         "  --engine=cached|switch|trace [cached]  --stride=R [auto]\n"
          "  --no-adaptive  --no-checkpoints  --no-delta\n"
          "sizing:\n"
          "  --target-ci=W      stop each scenario once every outcome rate's\n"
@@ -672,8 +672,9 @@ int usage(std::FILE* to) {
         "                           registers (v8 only), or data memory\n"
         "                           including the guest text mirror\n"
         "  --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]\n"
-        "  --engine=cached|switch [cached]  execution engine (bit-identical\n"
-        "                           outcomes; switch is the legacy reference)\n"
+        "  --engine=cached|switch|trace [cached]  execution engine (bit-\n"
+        "                           identical outcomes; switch is the legacy\n"
+        "                           reference, trace the superblock engine)\n"
         "  --stride=R [auto]  --no-adaptive  --no-checkpoints  --no-delta\n"
         "campaign sizing: --target-ci=W  stop each scenario once every\n"
         "                           outcome rate's CI half-width <= W; the\n"
