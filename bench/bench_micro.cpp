@@ -26,6 +26,9 @@
 // --out additionally writes the same JSON to a file (the perf-smoke CI job
 // archives it as the bench trajectory).
 //
+// Telemetry-overhead mode (--telemetry) gates the cost of the telemetry
+// hooks on the campaign path; see telemetry_overhead() below.
+//
 // Why the multi-core trace gate asserts "no regression" (~1x) rather than a
 // large speedup: the engines' gated contract is bit-identical campaign
 // output, and with shared guest memory and a shared L2 model, cross-core
@@ -53,6 +56,7 @@
 #include "npb/npb.hpp"
 #include "orch/shard.hpp"
 #include "sim/cache.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 
@@ -325,6 +329,103 @@ int engine_compare(const util::Cli& cli) {
     return pass ? 0 : 1;
 }
 
+// ---- telemetry-overhead mode (--telemetry) -----------------------------
+//
+//   bench_micro --telemetry [--reps=7] [--faults=24] [--gate=0.98]
+//               [--metrics-out=FILE]
+//
+// Gates the telemetry hook cost on the campaign path: the same
+// deterministic campaign (golden + faults through orch::BatchRunner, where
+// every hook site lives) is timed with telemetry ENABLED vs DISABLED,
+// interleaved, best-of-reps, and the run must satisfy
+//
+//   enabled_steps_per_sec >= gate * disabled_steps_per_sec   (gate 0.98)
+//
+// The disabled configuration executes a strict subset of the enabled
+// work (each hook is one relaxed load + untaken branch), so holding even
+// the ENABLED rate within 2% upper-bounds the disabled-hook overhead the
+// telemetry design promises — without needing a hookless build to compare
+// against. Steps/sec uses the campaign's deterministic instruction total
+// (counted once via the registry), so the ratio is exactly a wall-time
+// ratio over identical work.
+int telemetry_overhead(const util::Cli& cli) {
+    const double gate = cli.get_double("gate", 0.98);
+    if (!(gate > 0) || gate > 1) {
+        std::fprintf(stderr, "--gate must be in (0, 1]\n");
+        return 2;
+    }
+    const std::int64_t reps_raw = cli.get_int("reps", 7);
+    const std::int64_t faults_raw = cli.get_int("faults", 24);
+    if (reps_raw < 1 || reps_raw > 1000 || faults_raw < 1 ||
+        faults_raw > 100000) {
+        std::fprintf(stderr, "--reps/--faults out of range\n");
+        return 2;
+    }
+    core::CampaignConfig cfg;
+    cfg.n_faults = static_cast<std::size_t>(faults_raw);
+    cfg.host_threads = 1; // single-threaded: wall time == work time
+
+    // The campaign is deterministic, so its retired-instruction total is a
+    // constant — count it once through the registry, then use it to turn
+    // both wall times into steps/sec.
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    core::run_campaign(kV8, cfg);
+    const std::uint64_t steps_per_campaign =
+        telemetry::counter_value("engine.steps");
+    telemetry::set_enabled(false);
+
+    const auto timed_run = [&]() {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = core::run_campaign(kV8, cfg);
+        benchmark::DoNotOptimize(r.total());
+        const auto t1 = std::chrono::steady_clock::now();
+        return static_cast<double>(steps_per_campaign) /
+               std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    // Interleave enabled/disabled reps so thermal drift and host load hit
+    // both sides equally; best-of-reps discards scheduler noise.
+    double best_off = 0, best_on = 0;
+    for (std::int64_t r = 0; r < reps_raw; ++r) {
+        telemetry::set_enabled(false);
+        best_off = std::max(best_off, timed_run());
+        telemetry::reset(); // fresh registry per enabled rep
+        telemetry::set_enabled(true);
+        best_on = std::max(best_on, timed_run());
+        telemetry::set_enabled(false);
+    }
+    const double ratio = best_on / best_off;
+    const bool pass = ratio >= gate;
+
+    std::ostringstream out;
+    util::JsonWriter j(out);
+    j.begin_object();
+    j.key("bench").value("telemetry_overhead");
+    j.key("faults").value(static_cast<std::uint64_t>(faults_raw));
+    j.key("reps").value(static_cast<std::uint64_t>(reps_raw));
+    j.key("steps_per_campaign").value(steps_per_campaign);
+    j.key("disabled_steps_per_sec").value(best_off);
+    j.key("enabled_steps_per_sec").value(best_on);
+    j.key("enabled_over_disabled").value(ratio);
+    j.key("gate").value(gate);
+    j.key("pass").value(pass);
+    j.end_object();
+    std::cout << out.str() << "\n";
+
+    const std::string metrics_out = cli.get("metrics-out", "");
+    if (!metrics_out.empty())
+        telemetry::write_metrics_file(metrics_out,
+                                      {"bench_micro", ""});
+
+    if (!pass)
+        std::fprintf(stderr,
+                     "FAIL: telemetry-enabled rate %.3fx of disabled "
+                     "(gate %.2fx)\n",
+                     ratio, gate);
+    return pass ? 0 : 1;
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int_trace, kV8, sim::Engine::Trace);
@@ -347,6 +448,14 @@ int main(int argc, char** argv) {
             return engine_compare(cli);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "bench_micro --engines: %s\n", e.what());
+            return 2;
+        }
+    }
+    if (cli.has("telemetry")) {
+        try {
+            return telemetry_overhead(cli);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_micro --telemetry: %s\n", e.what());
             return 2;
         }
     }

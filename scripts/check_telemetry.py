@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Validate serep telemetry exports (CI `telemetry-determinism` job).
+
+Usage:
+    check_telemetry.py metrics FILE [SCHEMA]   # metrics.json sidecar
+    check_telemetry.py trace FILE              # Chrome trace-event JSON
+
+The metrics SCHEMA (default: telemetry_schema.json next to this script)
+pins the serep-metrics-v1 shape: the exact top-level key order, the
+provenance block, and the per-histogram / per-span rollup keys. Values
+(timings, rates, counts) naturally vary run to run and are only checked
+for type and internal consistency — the schema is deterministic, the
+numbers are not.
+
+Stdlib only; exit 0 on success, 1 on validation failure, 2 on usage.
+"""
+
+import json
+import os
+import sys
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_sorted(name, keys):
+    if list(keys) != sorted(keys):
+        err(f"{name}: names not sorted: {list(keys)}")
+
+
+def check_metrics(doc, schema):
+    if not isinstance(doc, dict):
+        return err("metrics: top level is not an object")
+    if list(doc.keys()) != schema["top_level_keys"]:
+        return err(f"metrics: top-level keys {list(doc.keys())} != "
+                   f"{schema['top_level_keys']}")
+    if doc["schema"] != schema["schema"]:
+        err(f"metrics: schema tag {doc['schema']!r} != "
+            f"{schema['schema']!r}")
+
+    prov = doc["provenance"]
+    if list(prov.keys()) != schema["provenance_keys"]:
+        err(f"metrics: provenance keys {list(prov.keys())} != "
+            f"{schema['provenance_keys']}")
+    else:
+        for k in ("tool", "spec_hash", "version", "compiler", "build_type"):
+            if not isinstance(prov[k], str):
+                err(f"metrics: provenance.{k} is not a string")
+        if prov["tool"] == "":
+            err("metrics: provenance.tool is empty")
+        if not is_uint(prov["cxx_standard"]):
+            err("metrics: provenance.cxx_standard is not an integer")
+        if not isinstance(prov["zstd"], bool):
+            err("metrics: provenance.zstd is not a bool")
+
+    if not is_number(doc["elapsed_s"]) or doc["elapsed_s"] < 0:
+        err("metrics: elapsed_s is not a non-negative number")
+
+    check_sorted("counters", doc["counters"].keys())
+    for name, v in doc["counters"].items():
+        if not is_uint(v):
+            err(f"metrics: counter {name} is not a non-negative integer")
+
+    check_sorted("gauges", doc["gauges"].keys())
+    for name, v in doc["gauges"].items():
+        if not is_number(v):
+            err(f"metrics: gauge {name} is not a number")
+
+    check_sorted("histograms", doc["histograms"].keys())
+    for name, h in doc["histograms"].items():
+        if list(h.keys()) != schema["histogram_keys"]:
+            err(f"metrics: histogram {name} keys {list(h.keys())} != "
+                f"{schema['histogram_keys']}")
+            continue
+        for k in ("count", "sum", "min", "max"):
+            if not is_uint(h[k]):
+                err(f"metrics: histogram {name}.{k} is not an integer")
+        if not (isinstance(h["buckets"], list)
+                and all(is_uint(b) for b in h["buckets"])):
+            err(f"metrics: histogram {name}.buckets malformed")
+        elif h["count"] != sum(h["buckets"]):
+            err(f"metrics: histogram {name}: count {h['count']} != "
+                f"bucket sum {sum(h['buckets'])}")
+        if h["count"] > 0 and h["min"] > h["max"]:
+            err(f"metrics: histogram {name}: min > max")
+
+    check_sorted("spans", doc["spans"].keys())
+    for name, s in doc["spans"].items():
+        if list(s.keys()) != schema["span_keys"]:
+            err(f"metrics: span {name} keys {list(s.keys())} != "
+                f"{schema['span_keys']}")
+            continue
+        if not is_uint(s["count"]) or s["count"] < 1:
+            err(f"metrics: span {name}.count must be a positive integer")
+        if not is_uint(s["total_ns"]):
+            err(f"metrics: span {name}.total_ns is not an integer")
+
+
+def check_trace(doc):
+    if not isinstance(doc, dict):
+        return err("trace: top level is not an object")
+    if list(doc.keys()) != ["displayTimeUnit", "traceEvents"]:
+        return err(f"trace: top-level keys {list(doc.keys())}")
+    if doc["displayTimeUnit"] != "ms":
+        err("trace: displayTimeUnit is not 'ms'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return err("trace: traceEvents is not an array")
+
+    meta_tids = set()
+    last_ts = 0
+    seen_x = False
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            if seen_x:
+                err(f"trace: event {i}: metadata after span events")
+            if e.get("name") != "thread_name":
+                err(f"trace: event {i}: unexpected metadata {e.get('name')}")
+            if not isinstance(e.get("args", {}).get("name"), str):
+                err(f"trace: event {i}: thread_name without args.name")
+            meta_tids.add(e.get("tid"))
+        elif ph == "X":
+            seen_x = True
+            missing = {"name", "cat", "pid", "tid", "ts", "dur"} - e.keys()
+            if missing:
+                err(f"trace: event {i}: missing keys {sorted(missing)}")
+                continue
+            if e["cat"] != "serep":
+                err(f"trace: event {i}: cat {e['cat']!r}")
+            if not is_uint(e["ts"]):
+                err(f"trace: event {i}: ts is not an integer")
+            elif e["ts"] < last_ts:
+                err(f"trace: event {i}: ts {e['ts']} < previous {last_ts} "
+                    "(events must be start-time ordered)")
+            else:
+                last_ts = e["ts"]
+            if not is_uint(e["dur"]) or e["dur"] < 1:
+                err(f"trace: event {i}: dur must be >= 1 "
+                    "(Perfetto drops zero-width slices)")
+            if e["tid"] not in meta_tids:
+                err(f"trace: event {i}: tid {e['tid']} has no thread_name "
+                    "metadata")
+        else:
+            err(f"trace: event {i}: unknown ph {ph!r}")
+    if not seen_x:
+        err("trace: no span events at all")
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] not in ("metrics", "trace"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    kind, path = argv[1], argv[2]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_telemetry: cannot load {path}: {e}", file=sys.stderr)
+        return 1
+
+    if kind == "metrics":
+        schema_path = argv[3] if len(argv) > 3 else os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "telemetry_schema.json")
+        with open(schema_path, encoding="utf-8") as f:
+            schema = json.load(f)
+        check_metrics(doc, schema)
+    else:
+        check_trace(doc)
+
+    if errors:
+        for e in errors:
+            print(f"check_telemetry: {e}", file=sys.stderr)
+        print(f"check_telemetry: {path}: FAILED "
+              f"({len(errors)} error(s))", file=sys.stderr)
+        return 1
+    print(f"check_telemetry: {path}: ok ({kind})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@
 #include "stats/report.hpp"
 #include "stats/sizing.hpp"
 #include "stats/tally.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 #include "util/zframe.hpp"
@@ -219,6 +220,7 @@ void render_reports(ExperimentPlan& plan, DriverResult& res, std::FILE* log) {
     if (spec.report_md.empty() && spec.report_csv.empty() &&
         spec.report_json.empty())
         return;
+    telemetry::Span span("report");
     std::string jsonl;
     util::check(read_file(plan.jsonl_path(), jsonl),
                 "cannot read campaign database " + plan.jsonl_path());
@@ -330,9 +332,12 @@ DriverResult run_adaptive(ExperimentPlan& plan, const DriverOptions& opts) {
     sopts.confidence = spec.ci_confidence;
     sopts.batch_faults = spec.ci_batch;
     sopts.min_faults = spec.ci_min;
-    const std::vector<stats::AdaptiveJobResult> adaptive =
-        stats::run_adaptive_campaign(plan.shard_jobs(), batch_options(spec),
-                                     sopts);
+    std::vector<stats::AdaptiveJobResult> adaptive;
+    {
+        telemetry::Span span("adaptive");
+        adaptive = stats::run_adaptive_campaign(plan.shard_jobs(),
+                                                batch_options(spec), sopts);
+    }
 
     std::ofstream csv(plan.csv_path());
     std::ofstream jsonl(plan.jsonl_path());
@@ -475,6 +480,7 @@ DriverResult run_sharded(ExperimentPlan& plan, const DriverOptions& opts) {
     };
 
     const auto run_one = [&](unsigned k, const std::string& path) {
+        telemetry::Span span("shard:" + std::to_string(k));
         if (k < n) db_paths[k] = path;
         if (opts.resume) {
             std::string found;
@@ -550,29 +556,34 @@ DriverResult run_sharded(ExperimentPlan& plan, const DriverOptions& opts) {
     // Merge — a cheap pure function of the shard databases; always re-run
     // so the canonical CSV/JSONL and reports exist even when every shard
     // resumed. merge_shards decompresses zstd-framed databases itself.
-    std::vector<std::string> dbs(n);
-    for (unsigned k = 0; k < n; ++k)
-        util::check(read_file(db_paths[k], dbs[k]),
-                    "cannot read shard database " + db_paths[k]);
-    std::ofstream csv(plan.csv_path());
-    std::ofstream jsonl(plan.jsonl_path());
-    util::check(csv.good(), "cannot open output file " + plan.csv_path());
-    util::check(jsonl.good(), "cannot open output file " + plan.jsonl_path());
-    try {
-        res.results = orch::merge_shards(dbs, &csv, &jsonl);
-    } catch (const util::ValidationError&) {
-        throw;
-    } catch (const util::Error& e) {
-        // Anything merge_shards trips over means the shard databases are
-        // not a consistent set.
-        throw util::ValidationError(e.what());
+    {
+        telemetry::Span merge_span("merge");
+        std::vector<std::string> dbs(n);
+        for (unsigned k = 0; k < n; ++k)
+            util::check(read_file(db_paths[k], dbs[k]),
+                        "cannot read shard database " + db_paths[k]);
+        std::ofstream csv(plan.csv_path());
+        std::ofstream jsonl(plan.jsonl_path());
+        util::check(csv.good(), "cannot open output file " + plan.csv_path());
+        util::check(jsonl.good(),
+                    "cannot open output file " + plan.jsonl_path());
+        try {
+            res.results = orch::merge_shards(dbs, &csv, &jsonl);
+        } catch (const util::ValidationError&) {
+            throw;
+        } catch (const util::Error& e) {
+            // Anything merge_shards trips over means the shard databases are
+            // not a consistent set.
+            throw util::ValidationError(e.what());
+        }
+        // Close before rendering: render_reports re-reads the JSONL from
+        // disk, and a small experiment's tail can otherwise still sit in the
+        // filebuf.
+        csv.close();
+        jsonl.close();
+        util::check(!csv.fail() && !jsonl.fail(),
+                    "error writing campaign databases");
     }
-    // Close before rendering: render_reports re-reads the JSONL from disk,
-    // and a small experiment's tail can otherwise still sit in the filebuf.
-    csv.close();
-    jsonl.close();
-    util::check(!csv.fail() && !jsonl.fail(),
-                "error writing campaign databases");
     res.merged = true;
     logf(opts.log, "merge: %u shard databases, %zu jobs -> %s, %s\n", n,
          res.results.size(), plan.csv_path().c_str(),
@@ -589,18 +600,41 @@ orch::BatchOptions batch_options(const ExperimentSpec& spec) {
 
 DriverResult run_experiment(ExperimentPlan& plan, const DriverOptions& opts) {
     const ExperimentSpec& spec = plan.spec();
-    if (spec.target_ci > 0) {
-        util::check_usage(opts.only_shard < 0,
-                          "adaptive (target_ci) experiments cannot run as "
-                          "shards");
-        return run_adaptive(plan, opts);
+    // Sidecar exports imply telemetry; everything recorded stays out of
+    // band, so enabling it cannot change a single output byte (CI-gated).
+    const bool want_export = !opts.metrics_out.empty() || !opts.trace_out.empty();
+    if (want_export) telemetry::set_enabled(true);
+
+    const auto dispatch = [&]() -> DriverResult {
+        telemetry::Span root("experiment:" + spec.name);
+        if (spec.target_ci > 0) {
+            util::check_usage(opts.only_shard < 0,
+                              "adaptive (target_ci) experiments cannot run as "
+                              "shards");
+            return run_adaptive(plan, opts);
+        }
+        if (opts.direct || spec.out.empty()) {
+            util::check_usage(opts.only_shard < 0,
+                              "only_shard requires the sharded execution path");
+            return run_direct(plan, opts);
+        }
+        return run_sharded(plan, opts);
+    };
+    DriverResult res = dispatch();
+
+    if (want_export) {
+        const telemetry::Provenance prov{"serep", plan.spec_hash_hex()};
+        if (!opts.metrics_out.empty()) {
+            telemetry::write_metrics_file(opts.metrics_out, prov);
+            logf(opts.log, "telemetry: metrics -> %s\n",
+                 opts.metrics_out.c_str());
+        }
+        if (!opts.trace_out.empty()) {
+            telemetry::write_trace_file(opts.trace_out);
+            logf(opts.log, "telemetry: trace -> %s\n", opts.trace_out.c_str());
+        }
     }
-    if (opts.direct || spec.out.empty()) {
-        util::check_usage(opts.only_shard < 0,
-                          "only_shard requires the sharded execution path");
-        return run_direct(plan, opts);
-    }
-    return run_sharded(plan, opts);
+    return res;
 }
 
 } // namespace serep::exp

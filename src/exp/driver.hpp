@@ -75,6 +75,13 @@ struct DriverOptions {
     std::ostream* shard_stream = nullptr;
     /// Progress stream (skip/run/merge/report lines); null = quiet.
     std::FILE* log = stdout;
+    /// Non-empty: enable telemetry and write the metrics.json sidecar here
+    /// when the experiment finishes. Strictly out of band — outcome
+    /// databases and reports are byte-identical either way (CI-gated).
+    std::string metrics_out;
+    /// Non-empty: enable telemetry and write Chrome trace-event JSON here
+    /// (load in Perfetto to see the phase spans).
+    std::string trace_out;
 };
 
 struct DriverResult {

@@ -14,6 +14,7 @@
 
 #include "stats/ci.hpp"
 #include "stats/tally.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace serep::fleet {
@@ -48,6 +49,20 @@ std::uint64_t file_size(const std::string& path) {
     struct stat st {};
     if (::stat(path.c_str(), &st) != 0) return 0;
     return static_cast<std::uint64_t>(st.st_size);
+}
+
+/// Last `max_bytes` of a file — enough stderr to hold a handful of
+/// heartbeat lines without re-reading a long worker log on every poll.
+std::string read_tail(const std::string& path, std::size_t max_bytes) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in.good()) return "";
+    const auto size = static_cast<std::uint64_t>(in.tellg());
+    const std::uint64_t start = size > max_bytes ? size - max_bytes : 0;
+    in.seekg(static_cast<std::streamoff>(start));
+    std::string buf(static_cast<std::size_t>(size - start), '\0');
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    buf.resize(static_cast<std::size_t>(in.gcount()));
+    return buf;
 }
 
 /// A shard waiting for a worker: not before `ready_at` (retry backoff).
@@ -96,6 +111,13 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
                       "heartbeat_interval");
     util::check_usage(opts.max_retries >= 1, "fleet: max_retries must be >= 1");
 
+    // Telemetry export requested => flip the master switch so controller
+    // spans and fleet.* counters record. Out of band like the driver's:
+    // shard DBs and merged outputs are unaffected.
+    const bool want_export =
+        !opts.metrics_out.empty() || !opts.trace_out.empty();
+    if (want_export) telemetry::set_enabled(true);
+
     const unsigned n = plan.shard_count();
     FleetResult res;
     res.shards_total = n;
@@ -104,22 +126,27 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
     stats::OutcomeTally tally;
     std::deque<PendingShard> queue;
     std::size_t landed = 0;
-    for (unsigned k = 0; k < n; ++k) {
-        std::string found;
-        if (exp::probe_shard_db(plan, k, n, &found) ==
-            exp::ShardDbState::Match) {
-            logf(opts.log, "[skip] shard %u/%u: %s matches spec %s\n", k, n,
-                 found.c_str(), plan.spec_hash_hex().c_str());
-            std::string contents;
-            util::check(read_file(found, contents),
-                        "fleet: cannot re-read " + found);
-            tally.add_database(contents, found);
-            ++res.resumed;
-            ++landed;
-        } else {
-            queue.push_back({k, 0});
+    {
+        telemetry::Span probe_span("fleet.probe");
+        for (unsigned k = 0; k < n; ++k) {
+            std::string found;
+            if (exp::probe_shard_db(plan, k, n, &found) ==
+                exp::ShardDbState::Match) {
+                logf(opts.log, "[skip] shard %u/%u: %s matches spec %s\n", k,
+                     n, found.c_str(), plan.spec_hash_hex().c_str());
+                std::string contents;
+                util::check(read_file(found, contents),
+                            "fleet: cannot re-read " + found);
+                tally.add_database(contents, found);
+                ++res.resumed;
+                ++landed;
+            } else {
+                queue.push_back({k, 0});
+            }
         }
     }
+    if (telemetry::enabled() && res.resumed)
+        telemetry::count("fleet.resumed", res.resumed);
 
     if (!queue.empty()) {
         // ---- worker slots ----------------------------------------------
@@ -147,9 +174,11 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
         WorkerBackend* be =
             backend_override ? backend_override : &default_backend;
 
+        telemetry::Span dispatch_span("fleet.dispatch");
         std::vector<WorkerLease> active;
         std::map<unsigned, unsigned> attempts;   // launches so far per shard
         std::vector<unsigned> quarantined;
+        std::map<unsigned, std::string> quarantine_info; // last snapshot text
 
         const auto final_db_path = [&](unsigned k) {
             return opts.compress ? plan.shard_db_path(k) + ".zst"
@@ -159,28 +188,37 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
             return plan.shard_db_path(k) + ".worker.log";
         };
 
-        // Failed attempt: re-queue with backoff or quarantine.
+        // Failed attempt: re-queue with backoff or quarantine. Diagnostics
+        // carry the worker's last reported metrics snapshot so a dead
+        // worker's progress (was it even stepping?) survives in the log.
         const auto fail_shard = [&](const WorkerLease& lease,
                                     const std::string& why) {
             const unsigned k = lease.job.shard;
+            const std::string snap = lease.snapshot.summary();
             std::remove(lease.job.payload_path.c_str());
             if (attempts[k] >= opts.max_retries) {
                 logf(opts.log,
                      "fleet: shard %u/%u attempt %u FAILED (%s) — retry "
-                     "budget exhausted, quarantining (worker log: %s)\n",
-                     k, n, lease.job.attempt + 1, why.c_str(),
+                     "budget exhausted, quarantining (last worker progress: "
+                     "%s; worker log: %s)\n",
+                     k, n, lease.job.attempt + 1, why.c_str(), snap.c_str(),
                      lease.job.log_path.c_str());
                 quarantined.push_back(k);
+                quarantine_info[k] = snap;
+                if (telemetry::enabled())
+                    telemetry::count("fleet.quarantined");
                 return;
             }
             const double delay =
                 opts.retry_backoff * double(1u << (attempts[k] - 1));
             logf(opts.log,
                  "fleet: shard %u/%u attempt %u failed (%s) — reassigning "
-                 "in %.1fs\n",
-                 k, n, lease.job.attempt + 1, why.c_str(), delay);
+                 "in %.1fs (last worker progress: %s)\n",
+                 k, n, lease.job.attempt + 1, why.c_str(), delay,
+                 snap.c_str());
             queue.push_back({k, now_seconds() + delay});
             ++res.reassigned;
+            if (telemetry::enabled()) telemetry::count("fleet.retries");
         };
 
         // Successful exit: the payload commits only as a complete Match.
@@ -214,6 +252,13 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
             std::remove(lease.job.log_path.c_str());
             tally.add_database(payload, dest);
             ++landed;
+            if (telemetry::enabled()) {
+                telemetry::count("fleet.landed");
+                // Fold the worker's final reported totals: approximate (the
+                // last heartbeat precedes exit) but monotone and cheap.
+                telemetry::count("fleet.worker_steps", lease.snapshot.steps);
+                telemetry::count("fleet.worker_runs", lease.snapshot.runs);
+            }
             double max_hw = 0;
             for (const auto& [key, gc] : tally.groups())
                 max_hw = std::max(max_hw, stats::wilson(gc.masked(),
@@ -227,6 +272,52 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
                  static_cast<unsigned long long>(tally.total_records()),
                  max_hw);
             return true;
+        };
+
+        // Fleet-wide live progress: every couple of heartbeat periods (but
+        // no more often than every 5s) aggregate the active workers' latest
+        // snapshots into one line — steps/sec, run and shard completion, an
+        // ETA from the summed run rates, and the rolling CI trajectory.
+        const double progress_interval =
+            std::max(5.0, 2 * opts.heartbeat_interval);
+        double last_progress = now_seconds();
+        const auto emit_progress = [&]() {
+            double steps_rate = 0, runs_rate = 0;
+            std::uint64_t runs = 0, runs_planned = 0;
+            unsigned reporting = 0;
+            for (const WorkerLease& l : active) {
+                if (!l.snapshot.valid()) continue;
+                ++reporting;
+                steps_rate += double(l.snapshot.steps) / l.snapshot.elapsed_s;
+                runs_rate += double(l.snapshot.runs) / l.snapshot.elapsed_s;
+                runs += l.snapshot.runs;
+                runs_planned += l.snapshot.runs_planned;
+            }
+            if (reporting == 0) return; // bare heartbeats only — nothing yet
+            double max_hw = 0;
+            for (const auto& [key, gc] : tally.groups())
+                max_hw = std::max(max_hw,
+                                  stats::wilson(gc.masked(), gc.total(),
+                                                spec.confidence)
+                                      .half_width());
+            // Remaining work = active leases' unfinished runs plus a
+            // per-shard estimate for everything still queued.
+            const double avg_planned =
+                double(runs_planned) / double(reporting);
+            const double remaining = double(runs_planned - runs) +
+                                     avg_planned * double(queue.size());
+            char eta[32];
+            if (runs_rate > 0)
+                std::snprintf(eta, sizeof eta, "%.0fs", remaining / runs_rate);
+            else
+                std::snprintf(eta, sizeof eta, "n/a");
+            logf(opts.log,
+                 "fleet: progress %zu/%u shards landed, %u worker(s) "
+                 "reporting, %.3g steps/s, %llu/%llu active runs, ETA %s, "
+                 "max masked-CI half-width %.3f\n",
+                 landed, n, reporting, steps_rate,
+                 static_cast<unsigned long long>(runs),
+                 static_cast<unsigned long long>(runs_planned), eta, max_hw);
         };
 
         while (!queue.empty() || !active.empty()) {
@@ -276,12 +367,19 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
                 active.push_back(lease);
             }
 
-            // Poll active leases: exits commit or fail; silence kills.
+            // Poll active leases: exits commit or fail; silence kills. Each
+            // stderr growth re-parses the log tail for the worker's latest
+            // `hb` metrics snapshot (fleet-wide progress + diagnostics).
+            const auto refresh_snapshot = [&](WorkerLease& lease) {
+                parse_worker_snapshot(read_tail(lease.job.log_path, 8192),
+                                      lease.snapshot);
+            };
             for (std::size_t i = 0; i < active.size();) {
                 WorkerLease& lease = active[i];
                 const WorkerBackend::Status st = be->poll(lease.worker_id);
                 bool release = false;
                 if (!st.running) {
+                    refresh_snapshot(lease); // catch the final heartbeats
                     if (st.exit_code == 0)
                         try_commit(lease);
                     else
@@ -293,13 +391,15 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
                     if (sz != lease.log_bytes) {
                         lease.log_bytes = sz;
                         lease.last_signal = now_seconds();
+                        refresh_snapshot(lease);
                     } else if (now_seconds() - lease.last_signal >
                                opts.heartbeat_timeout) {
                         be->kill(lease.worker_id);
-                        fail_shard(lease, "heartbeat timeout (" +
-                                              std::to_string(
-                                                  opts.heartbeat_timeout) +
-                                              "s of silence)");
+                        fail_shard(lease,
+                                   "heartbeat timeout (" +
+                                       std::to_string(opts.heartbeat_timeout) +
+                                       "s of silence; last progress: " +
+                                       lease.snapshot.summary() + ")");
                         release = true;
                     }
                 }
@@ -312,6 +412,12 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
                 }
             }
 
+            if (!active.empty() &&
+                now_seconds() - last_progress >= progress_interval) {
+                last_progress = now_seconds();
+                emit_progress();
+            }
+
             if (!queue.empty() || !active.empty())
                 std::this_thread::sleep_for(std::chrono::duration<double>(
                     active.empty() ? std::min(opts.poll_interval, 0.05)
@@ -320,15 +426,18 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
 
         if (!quarantined.empty()) {
             std::sort(quarantined.begin(), quarantined.end());
-            std::string list;
-            for (unsigned k : quarantined)
+            std::string list, snaps;
+            for (unsigned k : quarantined) {
                 list += (list.empty() ? "" : ", ") + std::to_string(k);
+                snaps += "; shard " + std::to_string(k) + " last progress: " +
+                         quarantine_info[k];
+            }
             throw util::ValidationError(
                 "fleet: shard(s) " + list + " quarantined after " +
                 std::to_string(opts.max_retries) +
                 " failed attempts each — poison shards; inspect "
                 "<out>_shard<k>.jsonl.worker.log, fix the cause, and re-run "
-                "(landed shards resume)");
+                "(landed shards resume)" + snaps);
         }
     }
 
@@ -340,6 +449,23 @@ FleetResult run_fleet(exp::ExperimentPlan& plan, const FleetOptions& opts,
     dopts.compress_shards = opts.compress;
     dopts.log = opts.log;
     res.final = exp::run_experiment(plan, dopts);
+
+    // The merge ran in-process, so its merge/report spans and counters sit
+    // in this registry alongside the fleet.* aggregates — one fleet-wide
+    // export covers controller and (committed) worker totals.
+    if (want_export) {
+        const telemetry::Provenance prov{"serep fleet",
+                                         plan.spec_hash_hex()};
+        if (!opts.metrics_out.empty()) {
+            telemetry::write_metrics_file(opts.metrics_out, prov);
+            logf(opts.log, "fleet: metrics -> %s\n",
+                 opts.metrics_out.c_str());
+        }
+        if (!opts.trace_out.empty()) {
+            telemetry::write_trace_file(opts.trace_out);
+            logf(opts.log, "fleet: trace -> %s\n", opts.trace_out.c_str());
+        }
+    }
     return res;
 }
 

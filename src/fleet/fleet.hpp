@@ -59,6 +59,13 @@ struct FleetOptions {
     int kill_shard = -1;
     double poll_interval = 0.2; ///< controller poll period (seconds)
     std::FILE* log = stdout;
+    /// Non-empty: enable telemetry and write a fleet-wide merged
+    /// metrics.json here (controller spans + fleet.* counters + the
+    /// committed workers' snapshot totals). Out of band, like the driver's.
+    std::string metrics_out;
+    /// Non-empty: enable telemetry and write the controller's Chrome
+    /// trace-event JSON here.
+    std::string trace_out;
 };
 
 struct FleetResult {

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace serep::fleet {
 
@@ -68,6 +69,48 @@ WorkerSpawn ssh_spawn(const WorkerJob& job, const std::string& remote_cmd) {
     s.stdout_path = job.payload_path;
     s.stderr_path = job.log_path;
     return s;
+}
+
+std::string WorkerSnapshot::summary() const {
+    if (!valid()) return "no metrics snapshot";
+    char buf[160];
+    const double rate = static_cast<double>(steps) / elapsed_s;
+    std::snprintf(buf, sizeof buf,
+                  "%llu/%llu runs, %.3g steps/s at %.1fs",
+                  static_cast<unsigned long long>(runs),
+                  static_cast<unsigned long long>(runs_planned), rate,
+                  elapsed_s);
+    return buf;
+}
+
+bool parse_worker_snapshot(const std::string& log_tail, WorkerSnapshot& out) {
+    // Scan lines back to front for `hb <i> {json}`; the newest parsable
+    // snapshot wins. The tail may begin mid-line (callers read a fixed-size
+    // suffix of the stderr file) — such a fragment simply fails to match.
+    std::size_t end = log_tail.size();
+    while (end > 0) {
+        std::size_t begin = log_tail.rfind('\n', end - 1);
+        begin = begin == std::string::npos ? 0 : begin + 1;
+        const std::string line = log_tail.substr(begin, end - begin);
+        end = begin == 0 ? 0 : begin - 1;
+        if (line.compare(0, 3, "hb ") != 0) continue;
+        const std::size_t brace = line.find('{');
+        if (brace == std::string::npos) continue;
+        try {
+            const util::JsonValue v = util::json_parse(line.substr(brace));
+            WorkerSnapshot snap;
+            snap.elapsed_s = v.at("elapsed_s").as_double();
+            snap.runs = v.at("runs").as_u64();
+            snap.runs_planned = v.at("runs_planned").as_u64();
+            snap.steps = v.at("steps").as_u64();
+            if (!snap.valid()) continue; // zero-elapsed startup beat
+            out = snap;
+            return true;
+        } catch (const util::Error&) {
+            continue; // torn or foreign line — keep scanning older lines
+        }
+    }
+    return false;
 }
 
 std::string self_exe_path() {

@@ -69,6 +69,28 @@ std::vector<std::string> worker_run_args(const WorkerJob& job);
 /// local-proc worker executable.
 std::string self_exe_path();
 
+/// A worker's last reported telemetry snapshot, carried on its `hb` beacon
+/// lines as `hb <i> {"elapsed_s":…,"runs":…,"runs_planned":…,"steps":…}`
+/// (telemetry::progress_json). Workers without telemetry (heartbeat off, or
+/// an older binary) emit bare `hb <i>` lines and the snapshot stays invalid
+/// — every consumer treats that as "no metrics snapshot".
+struct WorkerSnapshot {
+    double elapsed_s = 0;
+    std::uint64_t runs = 0;         ///< fault runs completed
+    std::uint64_t runs_planned = 0; ///< fault runs this shard will execute
+    std::uint64_t steps = 0;        ///< instructions retired so far
+    bool valid() const noexcept { return elapsed_s > 0; }
+    /// One-phrase rendering for kill/quarantine diagnostics, e.g.
+    /// "12/40 runs, 1.2M steps/s at 3.5s" or "no metrics snapshot".
+    std::string summary() const;
+};
+
+/// Parse the LAST snapshot-carrying `hb` line in a worker log tail.
+/// Returns false (leaving `out` untouched) when no line parses — bare
+/// heartbeats, partial trailing writes, and arbitrary log noise are all
+/// tolerated, so callers can feed any suffix of the stderr file.
+bool parse_worker_snapshot(const std::string& log_tail, WorkerSnapshot& out);
+
 /// One active claim of a shard by a worker.
 struct WorkerLease {
     WorkerJob job;
@@ -76,6 +98,7 @@ struct WorkerLease {
     double started = 0;          ///< monotonic seconds at launch
     double last_signal = 0;      ///< last observed stderr growth (heartbeat)
     std::uint64_t log_bytes = 0; ///< stderr size at the last poll
+    WorkerSnapshot snapshot;     ///< last parsed `hb` metrics snapshot
 };
 
 } // namespace serep::fleet

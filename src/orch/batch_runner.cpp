@@ -6,10 +6,59 @@
 
 #include "npb/npb.hpp"
 #include "prune/prune.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace serep::orch {
+
+namespace {
+
+namespace tm = serep::telemetry;
+
+void fold_trace_stats(const sim::Machine& m) {
+    static const tm::MetricId kBursts = tm::counter_id("engine.trace.bursts");
+    static const tm::MetricId kChains =
+        tm::counter_id("engine.trace.chain_links");
+    static const tm::MetricId kFalls =
+        tm::counter_id("engine.trace.fallbacks");
+    const sim::Machine::TraceStats& ts = m.trace_stats();
+    tm::count(kBursts, ts.bursts);
+    tm::count(kChains, ts.chain_links);
+    tm::count(kFalls, ts.fallbacks);
+}
+
+/// Fold one finished machine's engine/cache tallies into the registry.
+/// Golden machines are built fresh (counters start at zero), so absolute
+/// values are per-run deltas. Fault-run clones inherit warm rung caches, so
+/// only `steps` and the copy-reset TraceStats are folded for those — cache
+/// hit/miss rates come from golden runs alone (see docs/telemetry.md).
+void fold_golden_machine(const sim::Machine& m) {
+    if (!tm::enabled()) return;
+    static const tm::MetricId kSteps = tm::counter_id("engine.steps");
+    static const tm::MetricId kHitsI = tm::counter_id("cache.l1i.hits");
+    static const tm::MetricId kMissI = tm::counter_id("cache.l1i.misses");
+    static const tm::MetricId kCredI = tm::counter_id("cache.l1i.credits");
+    static const tm::MetricId kHitsD = tm::counter_id("cache.l1d.hits");
+    static const tm::MetricId kMissD = tm::counter_id("cache.l1d.misses");
+    static const tm::MetricId kCredD = tm::counter_id("cache.l1d.credits");
+    static const tm::MetricId kHits2 = tm::counter_id("cache.l2.hits");
+    static const tm::MetricId kMiss2 = tm::counter_id("cache.l2.misses");
+    tm::count(kSteps, m.total_retired());
+    for (unsigned c = 0; c < m.cores(); ++c) {
+        tm::count(kHitsI, m.l1i(c).hits());
+        tm::count(kMissI, m.l1i(c).misses());
+        tm::count(kCredI, m.l1i(c).credits());
+        tm::count(kHitsD, m.l1d(c).hits());
+        tm::count(kMissD, m.l1d(c).misses());
+        tm::count(kCredD, m.l1d(c).credits());
+    }
+    tm::count(kHits2, m.l2().hits());
+    tm::count(kMiss2, m.l2().misses());
+    fold_trace_stats(m);
+}
+
+} // namespace
 
 struct BatchRunner::GoldenEntry {
     GoldenEntry(CheckpointLadder l, core::GoldenRef r)
@@ -138,20 +187,27 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
         opts_.ladder.memory_budget_bytes /
         std::max<std::size_t>(1, missing.size());
     std::vector<std::unique_ptr<GoldenEntry>> built(missing.size());
-    pool.parallel_for(missing.size(), [&](std::size_t i) {
-        const npb::Scenario& s = missing[i].second;
-        sim::Machine m = npb::make_machine(s, false);
-        m.set_engine(opts_.engine); // clones (ladder rungs, fault runs) inherit
-        CheckpointLadder ladder = run_golden_with_ladder(m, ladder_opts);
-        util::check(m.status() == sim::RunStatus::Shutdown,
-                    "golden run did not terminate: " + s.name());
-        util::check(m.exit_code() == 0, "golden run failed: " + s.name());
-        core::GoldenRef ref = core::capture_golden(m);
-        built[i] = std::make_unique<GoldenEntry>(std::move(ladder), std::move(ref));
-    });
+    {
+        tm::Span phase("batch.golden");
+        pool.parallel_for(missing.size(), [&](std::size_t i) {
+            const npb::Scenario& s = missing[i].second;
+            tm::Span span("golden:" + s.name());
+            sim::Machine m = npb::make_machine(s, false);
+            m.set_engine(opts_.engine); // clones (ladder rungs, fault runs) inherit
+            CheckpointLadder ladder = run_golden_with_ladder(m, ladder_opts);
+            util::check(m.status() == sim::RunStatus::Shutdown,
+                        "golden run did not terminate: " + s.name());
+            util::check(m.exit_code() == 0, "golden run failed: " + s.name());
+            core::GoldenRef ref = core::capture_golden(m);
+            fold_golden_machine(m);
+            built[i] =
+                std::make_unique<GoldenEntry>(std::move(ladder), std::move(ref));
+        });
+    }
     for (std::size_t i = 0; i < missing.size(); ++i)
         golden_cache_.emplace_back(missing[i].first, std::move(built[i]));
     golden_runs_ += missing.size();
+    if (tm::enabled()) tm::count("batch.golden_runs", missing.size());
 
     // Phase 3 setup: fault lists (deterministic from seed + golden ref).
     std::vector<std::pair<JobState*, std::uint32_t>> tasks;
@@ -201,6 +257,7 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
             continue;
         }
         simulated_runs_ += job.faults.size();
+        if (tm::enabled()) tm::count("batch.runs_planned", job.faults.size());
         for (std::uint32_t i = 0; i < job.faults.size(); ++i)
             tasks.emplace_back(&job, i);
     }
@@ -211,16 +268,20 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
     // never reaches a "real use" get their records written here (inferred);
     // only class representatives join the injection task list, and each
     // representative's record is copied to its followers when it lands.
-    pool.parallel_for(to_analyze.size(), [&](std::size_t a) {
-        JobState& job = *to_analyze[a];
-        job.prune = std::make_unique<prune::PruneAnalysis>(
-            prune::analyze(job.scenario, opts_.engine, job.faults));
-    });
+    {
+        tm::Span phase("batch.prune_analyze");
+        pool.parallel_for(to_analyze.size(), [&](std::size_t a) {
+            JobState& job = *to_analyze[a];
+            tm::Span span("prune:" + job.scenario.name());
+            job.prune = std::make_unique<prune::PruneAnalysis>(
+                prune::analyze(job.scenario, opts_.engine, job.faults));
+        });
+    }
     for (JobState* jp : to_analyze) {
         JobState& job = *jp;
         const prune::PruneAnalysis& pa = *job.prune;
         job.followers.assign(job.faults.size(), {});
-        std::size_t reps = 0;
+        std::size_t reps = 0, follows = 0;
         for (std::uint32_t i = 0; i < job.faults.size(); ++i) {
             const prune::FaultPlan& p = pa.plan[i];
             switch (p.action) {
@@ -228,6 +289,7 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
                 ++reps;
                 break;
             case prune::FaultPlan::Action::Follow:
+                ++follows;
                 job.followers[p.rep].push_back(i);
                 break;
             case prune::FaultPlan::Action::Infer: {
@@ -243,6 +305,12 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
         }
         simulated_runs_ += reps;
         inferred_records_ += job.faults.size() - reps;
+        if (tm::enabled()) {
+            tm::count("prune.simulated", reps);
+            tm::count("prune.followed", follows);
+            tm::count("prune.inferred", job.faults.size() - reps - follows);
+            tm::count("batch.runs_planned", reps);
+        }
         // The verify sample clones from this job's ladder after the job
         // completes; hold an extra golden reference so complete_job cannot
         // trim the rungs first.
@@ -260,36 +328,50 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
 
     // Phase 3: every job's injection runs interleaved on one pool. Each run
     // resumes from the deepest ladder rung at or before its strike instant.
-    pool.parallel_for(tasks.size(), [&](std::size_t t) {
-        JobState& job = *tasks[t].first;
-        const std::uint32_t i = tasks[t].second;
-        const core::Fault& f = job.faults[i];
-        sim::Machine run = job.golden->ladder.clone_nearest(f.at_retired);
-        ff_retired_.fetch_add(f.at_retired - run.total_retired(),
-                              std::memory_order_relaxed);
-        run.run_until(f.at_retired);
-        core::apply_fault(run, f.target);
-        run.run_until(job.budget);
-        const bool watchdog = run.status() == sim::RunStatus::Running;
-        core::FaultRecord rec;
-        rec.fault = f;
-        rec.outcome = core::classify(run, job.golden->ref, watchdog);
-        rec.retired = run.total_retired();
-        job.result.records[i] = rec;
-        // Pruning: every member of this representative's equivalence class
-        // has a bit-identical faulty future, so its record is this one with
-        // the fault field swapped and inferred provenance.
-        if (job.prune)
-            for (std::uint32_t fi : job.followers[i]) {
-                core::FaultRecord frec = rec;
-                frec.fault = job.faults[fi];
-                frec.inferred = true;
-                job.result.records[fi] = frec;
+    {
+        tm::Span phase("batch.inject");
+        pool.parallel_for(tasks.size(), [&](std::size_t t) {
+            JobState& job = *tasks[t].first;
+            const std::uint32_t i = tasks[t].second;
+            const core::Fault& f = job.faults[i];
+            sim::Machine run = job.golden->ladder.clone_nearest(f.at_retired);
+            const std::uint64_t clone_retired = run.total_retired();
+            ff_retired_.fetch_add(f.at_retired - clone_retired,
+                                  std::memory_order_relaxed);
+            run.run_until(f.at_retired);
+            core::apply_fault(run, f.target);
+            run.run_until(job.budget);
+            const bool watchdog = run.status() == sim::RunStatus::Running;
+            core::FaultRecord rec;
+            rec.fault = f;
+            rec.outcome = core::classify(run, job.golden->ref, watchdog);
+            rec.retired = run.total_retired();
+            job.result.records[i] = rec;
+            if (tm::enabled()) {
+                static const tm::MetricId kSteps = tm::counter_id("engine.steps");
+                static const tm::MetricId kRuns =
+                    tm::counter_id("batch.fault_runs");
+                // Clone caches carry the rung's warm counts, so only the step
+                // delta and the copy-reset trace stats are per-run facts here.
+                tm::count(kSteps, run.total_retired() - clone_retired);
+                tm::count(kRuns);
+                fold_trace_stats(run);
             }
-        // Phase 4: the finisher merges counts and streams the job in order.
-        if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            complete_job(job);
-    });
+            // Pruning: every member of this representative's equivalence class
+            // has a bit-identical faulty future, so its record is this one
+            // with the fault field swapped and inferred provenance.
+            if (job.prune)
+                for (std::uint32_t fi : job.followers[i]) {
+                    core::FaultRecord frec = rec;
+                    frec.fault = job.faults[fi];
+                    frec.inferred = true;
+                    job.result.records[fi] = frec;
+                }
+            // Phase 4: the finisher merges counts and streams the job in order.
+            if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                complete_job(job);
+        });
+    }
 
     // Phase 3.5 (prune=verify): re-simulate a seeded sample of the
     // pruning-derived records and demand bit-identical outcome + retired
@@ -322,6 +404,7 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
                 vtasks.push_back({&job, derived[s]});
             }
         }
+        tm::Span phase("batch.prune_verify");
         std::atomic<std::size_t> verified{0};
         pool.parallel_for(vtasks.size(), [&](std::size_t t) {
             JobState& job = *vtasks[t].job;
@@ -349,6 +432,8 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
                 core::outcome_name(outcome) + "/" + std::to_string(retired));
         });
         verified_records_ += verified.load(std::memory_order_relaxed);
+        if (tm::enabled())
+            tm::count("prune.verified", verified.load(std::memory_order_relaxed));
         for (std::size_t j : wave_jobs)
             if (jobs_[j]->prune) drop_golden_ref(jobs_[j]->golden);
     }

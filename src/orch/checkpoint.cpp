@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace serep::orch {
 
 namespace {
@@ -56,6 +58,16 @@ void CheckpointLadder::offer(sim::Machine& m) {
         deltas_.push_back(sim::make_machine_delta(m, *base_));
     else
         full_.push_back(m);
+    if (telemetry::enabled()) {
+        static const telemetry::MetricId kRungs =
+            telemetry::counter_id("checkpoint.rungs_built");
+        static const telemetry::MetricId kBytes =
+            telemetry::counter_id("checkpoint.rung_bytes");
+        telemetry::count(kRungs);
+        telemetry::count(kBytes,
+                         delta_mode_ ? deltas_.back().footprint_bytes()
+                                     : sim::machine_footprint_bytes(full_.back()));
+    }
     enforce_budgets();
     peak_ = std::max(peak_, footprint_bytes());
 }
@@ -79,6 +91,11 @@ std::uint64_t CheckpointLadder::nearest_retired(std::uint64_t at) const noexcept
 }
 
 sim::Machine CheckpointLadder::clone_nearest(std::uint64_t at) const {
+    if (telemetry::enabled()) {
+        static const telemetry::MetricId kRestores =
+            telemetry::counter_id("checkpoint.restores");
+        telemetry::count(kRestores);
+    }
     // Deepest rung with total_retired() <= at; rungs are ascending.
     for (std::size_t i = deltas_.size(); i-- > 0;)
         if (deltas_[i].retired() <= at)

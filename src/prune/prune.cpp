@@ -15,6 +15,7 @@
 #include "isa/encode.hpp"
 #include "isa/flags.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bitops.hpp"
 #include "util/check.hpp"
 
@@ -1520,6 +1521,7 @@ std::uint64_t static_live_flags_bit() noexcept {
 
 PruneAnalysis analyze(const npb::Scenario& s, sim::Engine engine,
                       const std::vector<core::Fault>& faults) {
+    telemetry::Span span("prune.replay:" + s.name());
     Machine m = npb::make_machine(s, false);
     m.set_engine(engine);
     Walker w(m, faults);
@@ -1530,6 +1532,11 @@ PruneAnalysis analyze(const npb::Scenario& s, sim::Engine engine,
     m.set_step_observer(nullptr);
     util::check(w.all_resolved() || m.status() == sim::RunStatus::Shutdown,
                 "prune: golden replay did not terminate cleanly for " + s.name());
+    if (telemetry::enabled()) {
+        static const telemetry::MetricId kSteps =
+            telemetry::counter_id("engine.steps");
+        telemetry::count(kSteps, m.total_retired());
+    }
     return w.finish(m);
 }
 

@@ -24,7 +24,7 @@ void Cache::reset() noexcept {
     for (std::uint32_t s = 0; s < sets_; ++s)
         for (std::uint32_t w = 0; w < ways_; ++w)
             age_[std::size_t{s} * ways_ + w] = static_cast<std::uint8_t>(w);
-    hits_ = misses_ = 0;
+    hits_ = misses_ = credits_ = 0;
 }
 
 bool Cache::access(std::uint64_t addr) noexcept {

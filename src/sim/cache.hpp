@@ -35,25 +35,35 @@ public:
     /// re-touching the most-recently-used line is an LRU no-op (ages are
     /// already 0-rooted at that way), so skipping the lookup leaves tags and
     /// ages bit-identical — only the hit counter still needs to advance.
-    void credit_hit() noexcept { ++hits_; }
+    void credit_hit() noexcept {
+        ++hits_;
+        ++credits_;
+    }
 
     /// Bulk form of credit_hit: the trace engine counts consecutive
     /// MRU-filtered I-fetch hits inside a superblock segment locally and
     /// flushes them in one call at the segment end (or at a side exit, so a
     /// trace that traps mid-way credits exactly the fetches that happened).
-    void credit_hits(std::uint64_t n) noexcept { hits_ += n; }
+    void credit_hits(std::uint64_t n) noexcept {
+        hits_ += n;
+        credits_ += n;
+    }
 
     void reset() noexcept;
 
     std::uint64_t hits() const noexcept { return hits_; }
     std::uint64_t misses() const noexcept { return misses_; }
+    /// Hits that arrived via the MRU credit path (a subset of hits()):
+    /// telemetry reports the credit rate to show how much lookup traffic
+    /// the MRU filters absorb.
+    std::uint64_t credits() const noexcept { return credits_; }
 
 private:
     std::uint32_t sets_, ways_;
     std::uint32_t line_shift_;
     std::vector<std::uint64_t> tags_;  // sets x ways, 0 = invalid
     std::vector<std::uint8_t> age_;    // LRU ages
-    std::uint64_t hits_ = 0, misses_ = 0;
+    std::uint64_t hits_ = 0, misses_ = 0, credits_ = 0;
 };
 
 } // namespace serep::sim

@@ -618,6 +618,7 @@ void Machine::burst_trace(unsigned ci, std::uint64_t stop_at) {
     // of the burst.
     if (mem_.code_gen() != code_gen_seen_) refresh_code_overlay();
     if (!load_segment() || (seg == 0 && !trace_chainable(di->ins.op))) {
+        ++tstats_.fallbacks;
         step_cached(ci); // single step with full per-step checks
         return;
     }
@@ -634,6 +635,7 @@ void Machine::burst_trace(unsigned ci, std::uint64_t stop_at) {
             // inline — the step_cached transcription with next_pc_ /
             // branch_taken_ / branch-counter mechanics restored — then
             // rederive the segment at the target and keep bursting.
+            ++tstats_.chain_links;
             std::uint64_t cost = 1;
             const std::uint64_t iline = lpc >> 6;
             if (iline == core.last_iline) {
@@ -680,6 +682,7 @@ void Machine::burst_trace(unsigned ci, std::uint64_t stop_at) {
             lpc = next_pc_;
         } else {
             // Straight-line superblock segment: seg records from di/lpc.
+            ++tstats_.bursts;
             std::uint64_t max_steps = seg;
             const std::uint64_t left = stop_at - total_retired_; // >= 1 here
             if (left < max_steps) max_steps = left;
@@ -803,24 +806,28 @@ void Machine::trace_step_one(unsigned ci) {
         // overlay-page check made here stays valid for the cursor's life.
         if (!image_->contains_code(lpc)) {
             cur.left = 0;
+            ++tstats_.fallbacks;
             step_cached(ci);
             return;
         }
         idx = image_->instr_index(lpc);
         if (!overlay_.empty() && trace_page_overlaid(idx)) {
             cur.left = 0;
+            ++tstats_.fallbacks;
             step_cached(ci);
             return;
         }
         d = &(*xcache_)[idx];
         if (core.mode != Mode::KERNEL && !d->user_ok) {
             cur.left = 0;
+            ++tstats_.fallbacks;
             step_cached(ci);
             return;
         }
         const std::uint64_t seg = xcache_->run_len(idx);
         at_ender = seg == 0;
         if (!at_ender) {
+            ++tstats_.bursts;
             cur.di = d;
             cur.lpc = lpc;
             cur.idx = idx;
@@ -839,9 +846,11 @@ void Machine::trace_step_one(unsigned ci) {
         // redirected the pc and missed the cursor).
         cur.left = 0;
         if (!trace_chainable(d->ins.op)) {
+            ++tstats_.fallbacks;
             step_cached(ci);
             return;
         }
+        ++tstats_.chain_links;
         std::uint64_t cost = 1;
         const std::uint64_t iline = lpc >> 6;
         if (iline == core.last_iline) {

@@ -205,6 +205,24 @@ public:
 
     const CoreCounters& counters(unsigned c) const { return counters_[c]; }
     const MachineCounters& machine_counters() const noexcept { return mcounters_; }
+
+    /// Trace-engine execution tallies (telemetry only — never consulted by
+    /// the engines). Copy-reset like ObserverSlot: clones start at zero, so
+    /// per-run folds read absolute values since clone_nearest.
+    struct TraceStats {
+        std::uint64_t bursts = 0;      ///< superblock segments entered
+        std::uint64_t chain_links = 0; ///< inline chains through stable enders
+        std::uint64_t fallbacks = 0;   ///< step_cached bailouts mid-window
+        TraceStats() noexcept = default;
+        TraceStats(const TraceStats&) noexcept {}
+        TraceStats& operator=(const TraceStats&) noexcept {
+            bursts = chain_links = fallbacks = 0;
+            return *this;
+        }
+        TraceStats(TraceStats&&) noexcept = default;
+        TraceStats& operator=(TraceStats&&) noexcept = default;
+    };
+    const TraceStats& trace_stats() const noexcept { return tstats_; }
     const Cache& l1i(unsigned c) const { return l1i_[c]; }
     const Cache& l1d(unsigned c) const { return l1d_[c]; }
     const Cache& l2() const noexcept { return l2_; }
@@ -328,6 +346,7 @@ private:
     /// wholesale at every window entry, so nothing here survives a
     /// run_until call — snapshots may copy it freely.
     std::vector<TraceCursor> tcur_;
+    TraceStats tstats_;
     /// Observer hookup with copy-reset semantics: clones (ladder rungs,
     /// fault runs) must never inherit the golden replay's tracer.
     struct ObserverSlot {

@@ -1,0 +1,48 @@
+// Build provenance: the facts `serep version` prints and metrics.json
+// embeds. Compiler identity comes from predefined macros; the build type
+// is injected by CMake (SEREP_BUILD_TYPE); zstd presence is probed at
+// runtime because SEREP_HAVE_ZSTD is private to the library target.
+#include <sstream>
+
+#include "telemetry/telemetry.hpp"
+#include "util/zframe.hpp"
+
+namespace serep::telemetry {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+    std::ostringstream s;
+    s << "clang " << __clang_major__ << '.' << __clang_minor__ << '.'
+      << __clang_patchlevel__;
+    return s.str();
+#elif defined(__GNUC__)
+    std::ostringstream s;
+    s << "gcc " << __GNUC__ << '.' << __GNUC_MINOR__ << '.'
+      << __GNUC_PATCHLEVEL__;
+    return s.str();
+#elif defined(_MSC_VER)
+    return "msvc " + std::to_string(_MSC_VER);
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace
+
+BuildInfo build_info() {
+    BuildInfo bi;
+    bi.version = "0.9.0";
+    bi.compiler = compiler_string();
+    bi.cxx_standard = static_cast<long>(__cplusplus);
+#if defined(SEREP_BUILD_TYPE)
+    bi.build_type = SEREP_BUILD_TYPE;
+#else
+    bi.build_type = "";
+#endif
+    bi.zstd = util::zstd_available();
+    return bi;
+}
+
+} // namespace serep::telemetry

@@ -1,0 +1,385 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/zframe.hpp"
+
+namespace serep::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread's counter cells. Registry-owned (unique_ptr in a vector under
+/// the registry mutex) so the slab outlives its thread: pool workers finish
+/// before the exporting thread folds.
+struct Slab {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> cells{};
+    std::uint32_t tid = 0; ///< small interned thread id, shared with spans
+};
+
+struct GaugeValue {
+    double v = 0;
+};
+
+/// Power-of-two-bucket histogram: bucket[i] counts values in
+/// [2^(i-1), 2^i), bucket[0] counts zero. 65 buckets cover uint64.
+struct Histogram {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = ~0ULL;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, 65> buckets{};
+};
+
+struct SpanEvent {
+    std::string name;
+    std::uint64_t t0_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+    std::uint32_t depth = 0;
+};
+
+struct Registry {
+    std::mutex mu;
+    // Counter interning. Ids index both `names` and every slab's cells and
+    // stay valid across reset() (values are zeroed, table is kept).
+    std::map<std::string, MetricId> ids;
+    std::vector<std::string> names;
+    std::vector<std::unique_ptr<Slab>> slabs;
+    std::uint32_t next_tid = 1; ///< 0 is never handed out; see tl_cache
+    // Epoch bumps on reset(): cached thread-local slab pointers from before
+    // a reset are stale (the slab vector was cleared) and must re-register.
+    std::uint64_t epoch = 1;
+    Clock::time_point t0 = Clock::now();
+
+    std::map<std::string, GaugeValue> gauges;
+    std::map<std::string, Histogram> hists;
+    std::vector<SpanEvent> spans;
+};
+
+Registry& reg() {
+    static Registry r;
+    return r;
+}
+
+struct TlCache {
+    Slab* slab = nullptr;
+    std::uint64_t epoch = 0;
+    std::uint32_t depth = 0; ///< live Span nesting depth on this thread
+};
+thread_local TlCache tl_cache;
+
+Slab* my_slab() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (tl_cache.slab == nullptr || tl_cache.epoch != r.epoch) {
+        r.slabs.push_back(std::make_unique<Slab>());
+        r.slabs.back()->tid = r.next_tid++;
+        tl_cache.slab = r.slabs.back().get();
+        tl_cache.epoch = r.epoch;
+    }
+    return tl_cache.slab;
+}
+
+std::uint32_t my_tid() { return my_slab()->tid; }
+
+std::uint64_t ns_since(Clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+}
+
+int bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    int b = 0;
+    while (v != 0) {
+        v >>= 1;
+        ++b;
+    }
+    return b; // 1..64
+}
+
+/// Doubles in telemetry output are rounded to 6 decimals — enough for
+/// seconds-resolution elapsed times and rates, and keeps the files tidy.
+double round6(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return std::strtod(buf, nullptr);
+}
+
+} // namespace
+
+void set_enabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricId counter_id(const std::string& name) {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.ids.find(name);
+    if (it != r.ids.end()) return it->second;
+    util::check(r.names.size() < kMaxCounters,
+                "telemetry: counter intern table full (kMaxCounters)");
+    MetricId id = static_cast<MetricId>(r.names.size());
+    r.ids.emplace(name, id);
+    r.names.push_back(name);
+    return id;
+}
+
+void count(MetricId id, std::uint64_t n) noexcept {
+    if (!enabled()) return;
+    my_slab()->cells[id].fetch_add(n, std::memory_order_relaxed);
+}
+
+void count(const std::string& name, std::uint64_t n) {
+    if (!enabled()) return;
+    count(counter_id(name), n);
+}
+
+std::uint64_t counter_value(const std::string& name) {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.ids.find(name);
+    if (it == r.ids.end()) return 0;
+    std::uint64_t total = 0;
+    for (const auto& slab : r.slabs)
+        total += slab->cells[it->second].load(std::memory_order_relaxed);
+    return total;
+}
+
+void gauge(const std::string& name, double v) {
+    if (!enabled()) return;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.gauges[name].v = v;
+}
+
+void observe(const std::string& name, std::uint64_t v) {
+    if (!enabled()) return;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    Histogram& h = r.hists[name];
+    ++h.count;
+    h.sum += v;
+    h.min = std::min(h.min, v);
+    h.max = std::max(h.max, v);
+    ++h.buckets[static_cast<std::size_t>(bucket_of(v))];
+}
+
+std::uint64_t now_ns() noexcept {
+    Registry& r = reg();
+    // t0 is written only under the mutex in reset(); racing reads during a
+    // concurrent reset would misattribute timestamps, but reset() is a
+    // test-only hook documented as quiescent-use.
+    return ns_since(r.t0);
+}
+
+Span::Span(std::string name) : name_(std::move(name)) {
+    if (!enabled()) return;
+    live_ = true;
+    t0_ = now_ns();
+    ++tl_cache.depth;
+}
+
+Span::~Span() {
+    if (!live_) return;
+    std::uint64_t dur = now_ns() - t0_;
+    std::uint32_t tid = my_tid();
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    --tl_cache.depth;
+    r.spans.push_back(SpanEvent{std::move(name_), t0_, dur, tid, tl_cache.depth});
+}
+
+std::string render_metrics_json(const Provenance& prov) {
+    Registry& r = reg();
+    BuildInfo bi = build_info();
+
+    // Snapshot everything under the lock, render outside it.
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, GaugeValue> gauges;
+    std::map<std::string, Histogram> hists;
+    // Spans aggregate to {count, total_ns} per name: the full per-event
+    // detail belongs to the Chrome trace, the sidecar wants rollups.
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> span_agg;
+    double elapsed_s = 0;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (std::size_t i = 0; i < r.names.size(); ++i) {
+            std::uint64_t total = 0;
+            for (const auto& slab : r.slabs)
+                total += slab->cells[i].load(std::memory_order_relaxed);
+            counters[r.names[i]] = total;
+        }
+        gauges = r.gauges;
+        hists = r.hists;
+        for (const SpanEvent& e : r.spans) {
+            auto& agg = span_agg[e.name];
+            ++agg.first;
+            agg.second += e.dur_ns;
+        }
+        elapsed_s = static_cast<double>(ns_since(r.t0)) * 1e-9;
+    }
+
+    std::ostringstream out;
+    util::JsonWriter w(out);
+    w.begin_object();
+    w.key("schema").value("serep-metrics-v1");
+    w.key("provenance").begin_object();
+    w.key("tool").value(prov.tool);
+    w.key("spec_hash").value(prov.spec_hash);
+    w.key("version").value(bi.version);
+    w.key("compiler").value(bi.compiler);
+    w.key("cxx_standard").value(static_cast<std::int64_t>(bi.cxx_standard));
+    w.key("build_type").value(bi.build_type);
+    w.key("zstd").value(bi.zstd);
+    w.end_object();
+    w.key("elapsed_s").value(round6(elapsed_s));
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : counters) w.key(name).value(v);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, g] : gauges) w.key(name).value(round6(g.v));
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : hists) {
+        w.key(name).begin_object();
+        w.key("count").value(h.count);
+        w.key("sum").value(h.sum);
+        w.key("min").value(h.count != 0 ? h.min : 0);
+        w.key("max").value(h.max);
+        w.key("buckets").begin_array();
+        // Trailing empty buckets are trimmed so small histograms stay small.
+        std::size_t last = h.buckets.size();
+        while (last > 0 && h.buckets[last - 1] == 0) --last;
+        for (std::size_t i = 0; i < last; ++i) w.value(h.buckets[i]);
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+    w.key("spans").begin_object();
+    for (const auto& [name, agg] : span_agg) {
+        w.key(name).begin_object();
+        w.key("count").value(agg.first);
+        w.key("total_ns").value(agg.second);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    out << '\n';
+    return out.str();
+}
+
+std::string render_chrome_trace() {
+    Registry& r = reg();
+    std::vector<SpanEvent> spans;
+    std::vector<std::uint32_t> tids;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        spans = r.spans;
+        for (const auto& slab : r.slabs) tids.push_back(slab->tid);
+    }
+    // Stable event order: by start time, then track, so re-renders of the
+    // same recording compare equal.
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                         if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+                         return a.tid < b.tid;
+                     });
+    std::sort(tids.begin(), tids.end());
+
+    std::ostringstream out;
+    util::JsonWriter w(out);
+    w.begin_object();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").begin_array();
+    for (std::uint32_t tid : tids) {
+        w.begin_object();
+        w.key("name").value("thread_name");
+        w.key("ph").value("M");
+        w.key("pid").value(std::uint64_t{1});
+        w.key("tid").value(std::uint64_t{tid});
+        w.key("args").begin_object();
+        w.key("name").value(tid == 1 ? std::string("main")
+                                     : "worker-" + std::to_string(tid));
+        w.end_object();
+        w.end_object();
+    }
+    for (const SpanEvent& e : spans) {
+        w.begin_object();
+        w.key("name").value(e.name);
+        w.key("cat").value("serep");
+        w.key("ph").value("X");
+        w.key("pid").value(std::uint64_t{1});
+        w.key("tid").value(std::uint64_t{e.tid});
+        // Trace-event timestamps are microseconds (doubles); sub-us detail
+        // is below span granularity, integer us keeps the file stable-ish.
+        w.key("ts").value(e.t0_ns / 1000);
+        w.key("dur").value(std::max<std::uint64_t>(1, e.dur_ns / 1000));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+    return out.str();
+}
+
+namespace {
+void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    util::check(static_cast<bool>(out), "telemetry: cannot open " + path);
+    out << text;
+    out.flush();
+    util::check(static_cast<bool>(out), "telemetry: write failed: " + path);
+}
+} // namespace
+
+void write_metrics_file(const std::string& path, const Provenance& prov) {
+    write_text_file(path, render_metrics_json(prov));
+}
+
+void write_trace_file(const std::string& path) {
+    write_text_file(path, render_chrome_trace());
+}
+
+std::string progress_json() {
+    std::ostringstream out;
+    util::JsonWriter w(out);
+    w.begin_object();
+    w.key("elapsed_s").value(round6(static_cast<double>(now_ns()) * 1e-9));
+    w.key("runs").value(counter_value("batch.fault_runs"));
+    w.key("runs_planned").value(counter_value("batch.runs_planned"));
+    w.key("steps").value(counter_value("engine.steps"));
+    w.end_object();
+    return out.str();
+}
+
+void reset() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.slabs.clear();
+    r.next_tid = 1;
+    ++r.epoch;
+    r.gauges.clear();
+    r.hists.clear();
+    r.spans.clear();
+    r.t0 = Clock::now();
+}
+
+} // namespace serep::telemetry

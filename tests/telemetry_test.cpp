@@ -1,0 +1,289 @@
+// src/telemetry/ — the observability layer.
+//
+// Contracts gated here:
+//  * Counter folds are exact across threads: every per-thread lock-free
+//    cell is summed on read, and slabs survive thread exit.
+//  * Disabled telemetry records nothing — hooks are no-ops, not buffers.
+//  * Spans nest by containment per thread and the Chrome trace export is
+//    well-formed JSON whose events respect that containment.
+//  * metrics.json has the fixed serep-metrics-v1 top-level schema with
+//    sorted metric names and the build/provenance block.
+//  * fleet::parse_worker_snapshot reads the LAST parsable `hb` beacon out
+//    of arbitrary worker-log noise (bare beacons, torn lines).
+//  * THE invariant: campaign outputs are byte-identical with telemetry
+//    on or off — the sidecars are strictly out of band.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "exp/driver.hpp"
+#include "fleet/protocol.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+
+using namespace serep;
+namespace tel = serep::telemetry;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/// Fresh registry + known switch state for every test: the registry is
+/// process-global, and gtest gives no ordering guarantees worth leaning on.
+struct TelemetryFixture : testing::Test {
+    void SetUp() override {
+        tel::set_enabled(false);
+        tel::reset();
+    }
+    void TearDown() override {
+        tel::set_enabled(false);
+        tel::reset();
+    }
+};
+
+using Registry = TelemetryFixture;
+using Spans = TelemetryFixture;
+using Metrics = TelemetryFixture;
+using OutOfBand = TelemetryFixture;
+
+} // namespace
+
+// ---------------------------------------------------------------- registry
+
+TEST_F(Registry, CountersFoldExactlyAcrossThreads) {
+    tel::set_enabled(true);
+    const tel::MetricId id = tel::counter_id("test.fold");
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPer = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kPer; ++i) tel::count(id);
+        });
+    for (auto& th : pool) th.join();
+    // Slabs are registry-owned: the workers are gone, their counts are not.
+    EXPECT_EQ(tel::counter_value("test.fold"), kThreads * kPer);
+    tel::count(id, 5); // main thread folds into the same total
+    EXPECT_EQ(tel::counter_value("test.fold"), kThreads * kPer + 5);
+}
+
+TEST_F(Registry, InternedIdsSurviveReset) {
+    tel::set_enabled(true);
+    const tel::MetricId id = tel::counter_id("test.sticky");
+    tel::count(id, 7);
+    tel::reset();
+    EXPECT_EQ(tel::counter_value("test.sticky"), 0u) << "reset zeroes values";
+    tel::count(id, 3); // the cached id must still be valid
+    EXPECT_EQ(tel::counter_value("test.sticky"), 3u);
+}
+
+TEST_F(Registry, DisabledHooksRecordNothing) {
+    ASSERT_FALSE(tel::enabled());
+    tel::count("test.dead", 100);
+    tel::gauge("test.dead_gauge", 1.0);
+    tel::observe("test.dead_hist", 42);
+    { tel::Span s("test.dead_span"); }
+    EXPECT_EQ(tel::counter_value("test.dead"), 0u);
+    const util::JsonValue v =
+        util::json_parse(tel::render_metrics_json({"test", ""}));
+    EXPECT_TRUE(v.at("gauges").obj.empty());
+    EXPECT_TRUE(v.at("histograms").obj.empty());
+    EXPECT_TRUE(v.at("spans").obj.empty());
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST_F(Spans, TraceExportIsWellFormedAndNestsByContainment) {
+    tel::set_enabled(true);
+    {
+        tel::Span outer("test.outer");
+        { tel::Span inner("test.inner"); }
+        std::thread([] { tel::Span w("test.worker"); }).join();
+    }
+    const util::JsonValue v = util::json_parse(tel::render_chrome_trace());
+    const util::JsonValue& ev = v.at("traceEvents");
+    ASSERT_FALSE(ev.arr.empty());
+
+    const util::JsonValue *outer = nullptr, *inner = nullptr,
+                          *worker = nullptr;
+    std::size_t meta = 0;
+    for (const util::JsonValue& e : ev.arr) {
+        if (e.at("ph").as_string() == "M") {
+            EXPECT_EQ(e.at("name").as_string(), "thread_name");
+            ++meta;
+            continue;
+        }
+        EXPECT_EQ(e.at("ph").as_string(), "X");
+        EXPECT_EQ(e.at("cat").as_string(), "serep");
+        EXPECT_GE(e.at("dur").as_u64(), 1u); // Perfetto drops dur=0
+        const std::string name = e.at("name").as_string();
+        if (name == "test.outer") outer = &e;
+        if (name == "test.inner") inner = &e;
+        if (name == "test.worker") worker = &e;
+    }
+    EXPECT_GE(meta, 2u) << "main + worker thread_name metadata";
+    ASSERT_TRUE(outer && inner && worker);
+    // Same track, inner contained in outer — that containment IS the
+    // nesting Perfetto renders.
+    EXPECT_EQ(inner->at("tid").as_u64(), outer->at("tid").as_u64());
+    EXPECT_NE(worker->at("tid").as_u64(), outer->at("tid").as_u64());
+    EXPECT_GE(inner->at("ts").as_u64(), outer->at("ts").as_u64());
+    EXPECT_LE(inner->at("ts").as_u64() + inner->at("dur").as_u64(),
+              outer->at("ts").as_u64() + outer->at("dur").as_u64());
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST_F(Metrics, SchemaHasFixedTopLevelAndSortedNames) {
+    tel::set_enabled(true);
+    tel::count("z.last", 2);
+    tel::count("a.first", 1);
+    tel::gauge("test.gauge", 2.5);
+    tel::observe("test.hist", 3);
+    tel::observe("test.hist", 300);
+    { tel::Span s("test.span"); }
+
+    const util::JsonValue v =
+        util::json_parse(tel::render_metrics_json({"serep test", "deadbeef"}));
+    const char* want[] = {"schema",   "provenance", "elapsed_s", "counters",
+                          "gauges",   "histograms", "spans"};
+    ASSERT_EQ(v.obj.size(), 7u);
+    for (std::size_t i = 0; i < 7; ++i)
+        EXPECT_EQ(v.obj[i].first, want[i]) << "top-level key order";
+    EXPECT_EQ(v.at("schema").as_string(), "serep-metrics-v1");
+
+    const util::JsonValue& prov = v.at("provenance");
+    EXPECT_EQ(prov.at("tool").as_string(), "serep test");
+    EXPECT_EQ(prov.at("spec_hash").as_string(), "deadbeef");
+    EXPECT_FALSE(prov.at("version").as_string().empty());
+    EXPECT_FALSE(prov.at("compiler").as_string().empty());
+
+    // The intern table survives reset() (ids must stay valid), so names
+    // from other tests may render too — assert sortedness and our values,
+    // not an exact census.
+    const util::JsonValue& c = v.at("counters");
+    ASSERT_GE(c.obj.size(), 2u);
+    for (std::size_t i = 1; i < c.obj.size(); ++i)
+        EXPECT_LT(c.obj[i - 1].first, c.obj[i].first)
+            << "counter names sorted, not interning order";
+    EXPECT_EQ(c.at("a.first").as_u64(), 1u);
+    EXPECT_EQ(c.at("z.last").as_u64(), 2u);
+
+    const util::JsonValue& h = v.at("histograms").at("test.hist");
+    EXPECT_EQ(h.at("count").as_u64(), 2u);
+    EXPECT_EQ(h.at("sum").as_u64(), 303u);
+    EXPECT_EQ(h.at("min").as_u64(), 3u);
+    EXPECT_EQ(h.at("max").as_u64(), 300u);
+
+    const util::JsonValue& s = v.at("spans").at("test.span");
+    EXPECT_EQ(s.at("count").as_u64(), 1u);
+    EXPECT_GE(s.at("total_ns").as_u64(), 1u);
+}
+
+// --------------------------------------------------- fleet snapshot parsing
+
+TEST(WorkerSnapshot, ParsesLastBeaconOutOfLogNoise) {
+    fleet::WorkerSnapshot snap;
+    const std::string tail =
+        "worker starting\n"
+        "hb 0\n" // bare beacon: telemetry off, no snapshot
+        "hb 1 {\"elapsed_s\":1.0,\"runs\":1,\"runs_planned\":10,"
+        "\"steps\":1000}\n"
+        "[run] some progress line\n"
+        "hb 2 {\"elapsed_s\":2.5,\"runs\":3,\"runs_planned\":10,"
+        "\"steps\":12345}\n"
+        "hb 3 {\"elapsed_s\":3.1,\"runs\":4,\"runs_pl"; // torn final write
+    ASSERT_TRUE(fleet::parse_worker_snapshot(tail, snap));
+    EXPECT_DOUBLE_EQ(snap.elapsed_s, 2.5); // last COMPLETE beacon wins
+    EXPECT_EQ(snap.runs, 3u);
+    EXPECT_EQ(snap.runs_planned, 10u);
+    EXPECT_EQ(snap.steps, 12345u);
+    const std::string s = snap.summary();
+    EXPECT_NE(s.find("3/10 runs"), std::string::npos) << s;
+}
+
+TEST(WorkerSnapshot, BareBeaconsAndGarbageYieldNoSnapshot) {
+    fleet::WorkerSnapshot snap;
+    snap.elapsed_s = 9; // must be left untouched on failure
+    EXPECT_FALSE(fleet::parse_worker_snapshot("", snap));
+    EXPECT_FALSE(fleet::parse_worker_snapshot("hb 0\nhb 1\nhb 2\n", snap));
+    EXPECT_FALSE(fleet::parse_worker_snapshot("random {json} noise\n", snap));
+    EXPECT_DOUBLE_EQ(snap.elapsed_s, 9.0);
+    EXPECT_EQ(fleet::WorkerSnapshot{}.summary(), "no metrics snapshot");
+}
+
+// ------------------------------------------------------- out-of-band gate
+
+TEST_F(OutOfBand, CampaignBytesIdenticalWithTelemetryOnAndOff) {
+    exp::ExperimentSpec spec;
+    spec.name = "telemetry-oob";
+    spec.klass = "Mini";
+    spec.cross_product = false;
+    spec.cells = {{"v7", "EP", "SER", 1}};
+    spec.faults = 6;
+    spec.seed = 0x5EED;
+    spec.threads = 2;
+    spec.shards = 2;
+
+    const auto prefix = [&](const std::string& tag) {
+        const std::string p = testing::TempDir() + "telemetry_oob_" + tag;
+        for (const char* suffix :
+             {"_faults.csv", "_campaigns.jsonl", "_shard0.jsonl",
+              "_shard1.jsonl", "_report.md"})
+            std::remove((p + suffix).c_str());
+        return p;
+    };
+
+    // Plain reference run, telemetry hard-off.
+    exp::ExperimentSpec plain = spec;
+    plain.out = prefix("plain");
+    plain.report_md = plain.out + "_report.md";
+    exp::ExperimentPlan plain_plan(plain);
+    exp::DriverOptions quiet;
+    quiet.log = nullptr;
+    exp::run_experiment(plain_plan, quiet);
+
+    // Instrumented run: metrics + trace sidecars requested.
+    exp::ExperimentSpec instr = spec;
+    instr.out = prefix("instr");
+    instr.report_md = instr.out + "_report.md";
+    exp::ExperimentPlan instr_plan(instr);
+    exp::DriverOptions with = quiet;
+    with.metrics_out = instr.out + "_metrics.json";
+    with.trace_out = instr.out + "_trace.json";
+    std::remove(with.metrics_out.c_str());
+    std::remove(with.trace_out.c_str());
+    exp::run_experiment(instr_plan, with);
+
+    // THE invariant: every campaign output byte-identical.
+    EXPECT_EQ(slurp(instr_plan.csv_path()), slurp(plain_plan.csv_path()));
+    EXPECT_EQ(slurp(instr_plan.jsonl_path()), slurp(plain_plan.jsonl_path()));
+    EXPECT_EQ(slurp(instr.report_md), slurp(plain.report_md));
+
+    // And the sidecars are real: parsable, instrumented, provenance-stamped.
+    const util::JsonValue m = util::json_parse(slurp(with.metrics_out));
+    EXPECT_EQ(m.at("schema").as_string(), "serep-metrics-v1");
+    EXPECT_EQ(m.at("provenance").at("spec_hash").as_string(),
+              instr_plan.spec_hash_hex());
+    EXPECT_GE(m.at("counters").at("engine.steps").as_u64(), 1u);
+    EXPECT_EQ(m.at("counters").at("batch.fault_runs").as_u64(),
+              static_cast<std::uint64_t>(spec.faults));
+    const util::JsonValue t = util::json_parse(slurp(with.trace_out));
+    bool merge_span = false, shard_span = false;
+    for (const util::JsonValue& e : t.at("traceEvents").arr) {
+        const std::string name = e.at("name").as_string();
+        merge_span = merge_span || name == "merge";
+        shard_span = shard_span || name.rfind("shard:", 0) == 0;
+    }
+    EXPECT_TRUE(merge_span && shard_span) << slurp(with.trace_out);
+}

@@ -63,6 +63,7 @@
 #include "exp/driver.hpp"
 #include "fleet/fleet.hpp"
 #include "stats/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -112,6 +113,10 @@ exp::ExperimentSpec load_spec_operand(const util::Cli& cli,
 /// The fleet controller watches the worker's stderr file grow; any growth
 /// counts as a heartbeat, so log lines and hb lines both prove liveness —
 /// the beacon matters exactly when a long shard would otherwise be silent.
+/// With telemetry on (worker mode enables it), each beat carries a progress
+/// snapshot — `hb <i> {"elapsed_s":..,"runs":..,...}` — which the fleet
+/// controller parses into its live-progress aggregation and its
+/// kill/quarantine diagnostics (fleet::parse_worker_snapshot).
 class Heartbeat {
 public:
     explicit Heartbeat(double interval) {
@@ -122,7 +127,11 @@ public:
                 if (cv_.wait_for(lk, std::chrono::duration<double>(interval),
                                  [this] { return stop_; }))
                     return;
-                std::fprintf(stderr, "hb %llu\n", i);
+                if (telemetry::enabled())
+                    std::fprintf(stderr, "hb %llu %s\n", i,
+                                 telemetry::progress_json().c_str());
+                else
+                    std::fprintf(stderr, "hb %llu\n", i);
                 std::fflush(stderr);
             }
         });
@@ -170,8 +179,8 @@ int parse_shard_selector(const std::string& sel, unsigned spec_shards) {
 }
 
 int cmd_run(const util::Cli& cli) {
-    cli.require_known(
-        {"shard", "prune", "shard-stdout", "heartbeat", "compress"});
+    cli.require_known({"shard", "prune", "shard-stdout", "heartbeat",
+                       "compress", "metrics-out", "trace-out"});
     exp::ExperimentSpec spec = load_spec_operand(cli, "run");
     exp::ExperimentPlan plan(std::move(spec));
 
@@ -192,6 +201,8 @@ int cmd_run(const util::Cli& cli) {
                               "')");
     }
     opts.compress_shards = cli.has("compress");
+    opts.metrics_out = cli.get("metrics-out", "");
+    opts.trace_out = cli.get("trace-out", "");
 
     // Worker mode: --shard-stdout streams the one shard's database to
     // stdout (zstd-framed with --compress) instead of writing it next to
@@ -207,6 +218,10 @@ int cmd_run(const util::Cli& cli) {
     }
     const double hb = cli.get_double("heartbeat", 0.0);
     util::check_usage(hb >= 0, "--heartbeat must be > 0 seconds");
+    // A heartbeating worker turns telemetry on so its beacon carries
+    // progress snapshots for the controller — out of band by construction
+    // (stderr only; the shard payload bytes never change).
+    if (worker && hb > 0) telemetry::set_enabled(true);
     Heartbeat beacon(hb);
 
     // The dry-run listing doubles as the run preamble. It never probes:
@@ -228,7 +243,7 @@ int cmd_fleet(const util::Cli& cli) {
     cli.require_known({"backend", "hosts", "workers", "workers-per-host",
                        "heartbeat-interval", "heartbeat-timeout",
                        "max-retries", "no-compress", "serep-exe", "remote-cmd",
-                       "kill-shard"});
+                       "kill-shard", "metrics-out", "trace-out"});
     const auto& pos = cli.positional();
     util::check_usage(pos.size() == 2 && pos[1] != "-",
                       "fleet: give exactly one experiment spec FILE (workers "
@@ -282,6 +297,8 @@ int cmd_fleet(const util::Cli& cli) {
         util::check_usage(k >= 0, "fleet: --kill-shard must be >= 0");
         opts.kill_shard = static_cast<int>(k);
     }
+    opts.metrics_out = cli.get("metrics-out", "");
+    opts.trace_out = cli.get("trace-out", "");
 
     exp::ExperimentPlan plan(std::move(spec));
     const fleet::FleetResult res = fleet::run_fleet(plan, opts);
@@ -307,8 +324,9 @@ int cmd_plan(const util::Cli& cli) {
 }
 
 int cmd_campaign(const util::Cli& cli) {
-    cli.require_known(
-        legacy_flags_plus({"target-ci", "confidence", "ci-batch", "ci-min"}));
+    cli.require_known(legacy_flags_plus({"target-ci", "confidence", "ci-batch",
+                                         "ci-min", "metrics-out",
+                                         "trace-out"}));
     exp::ExperimentPlan plan(exp::spec_from_legacy_cli(cli));
     // Legacy semantics: always a fresh single-process run, outputs
     // overwritten, no resume — and byte-identical CSV/JSONL to every serep
@@ -317,6 +335,8 @@ int cmd_campaign(const util::Cli& cli) {
     exp::DriverOptions opts;
     opts.resume = false;
     opts.direct = true;
+    opts.metrics_out = cli.get("metrics-out", "");
+    opts.trace_out = cli.get("trace-out", "");
     exp::run_experiment(plan, opts);
     return kExitOk;
 }
@@ -503,6 +523,18 @@ int cmd_merge(const util::Cli& cli) {
     return kExitOk;
 }
 
+int cmd_version(const util::Cli& cli) {
+    cli.require_known({"version"}); // `serep --version` parses as a flag
+    const telemetry::BuildInfo bi = telemetry::build_info();
+    std::printf("serep %s\n", bi.version.c_str());
+    std::printf("compiler: %s (C++%ld)\n", bi.compiler.c_str(),
+                bi.cxx_standard);
+    std::printf("build: %s\n",
+                bi.build_type.empty() ? "unknown" : bi.build_type.c_str());
+    std::printf("zstd: %s\n", bi.zstd ? "yes" : "no");
+    return kExitOk;
+}
+
 /// Shared tail of every subcommand's --help: the exit-code contract.
 constexpr const char* kExitContract =
     "\n"
@@ -539,7 +571,14 @@ int help_for(const std::string& mode) {
          "                     stdout (requires --shard; listing, log and\n"
          "                     summary move to stderr)\n"
          "  --heartbeat=SECS   emit `hb <i>` on stderr every SECS seconds so\n"
-         "                     a fleet controller can tell slow from dead\n"},
+         "                     a fleet controller can tell slow from dead\n"
+         "                     (with --shard-stdout the beats carry progress\n"
+         "                     snapshots the controller aggregates)\n"
+         "  --metrics-out=FILE write a metrics.json telemetry sidecar\n"
+         "                     (counters, phase timings, build provenance —\n"
+         "                     out of band: output bytes are unchanged)\n"
+         "  --trace-out=FILE   write Chrome trace-event JSON of the phase\n"
+         "                     spans; load in Perfetto (see docs/telemetry.md)\n"},
         {"plan",
          "usage: serep plan SPEC.json\n"
          "\n"
@@ -569,7 +608,11 @@ int help_for(const std::string& mode) {
          "  --serep-exe=PATH   local worker binary [this binary]\n"
          "  --remote-cmd=CMD   serep spelling on ssh hosts [serep]\n"
          "  --kill-shard=K     chaos hook: SIGKILL shard K's first attempt\n"
-         "                     right after launch (CI reassignment gate)\n"},
+         "                     right after launch (CI reassignment gate)\n"
+         "  --metrics-out=FILE write one merged fleet metrics.json (controller\n"
+         "                     counters + aggregated worker snapshots)\n"
+         "  --trace-out=FILE   write Chrome trace-event JSON of the\n"
+         "                     controller's phase spans (Perfetto)\n"},
         {"campaign",
          "usage: serep campaign [filters] [--out=PREFIX]\n"
          "\n"
@@ -586,7 +629,9 @@ int help_for(const std::string& mode) {
          "sizing:\n"
          "  --target-ci=W      stop each scenario once every outcome rate's\n"
          "                     CI half-width <= W (0 < W < 0.5)\n"
-         "  --confidence=C [0.95]  --ci-batch=N [50]  --ci-min=N [20]\n"},
+         "  --confidence=C [0.95]  --ci-batch=N [50]  --ci-min=N [20]\n"
+         "telemetry:\n"
+         "  --metrics-out=FILE  --trace-out=FILE   as in `serep run --help`\n"},
         {"shard",
          "usage: serep shard --shard=I --shards=N [filters] --out=FILE\n"
          "\n"
@@ -625,6 +670,14 @@ int help_for(const std::string& mode) {
          "                     sample of the campaign — e.g. mid-fleet)\n"
          "  --no-inferred      tally only simulated records, dropping\n"
          "                     pruning-inferred outcomes\n"},
+        {"version",
+         "usage: serep version   (or: serep --version)\n"
+         "\n"
+         "Print build provenance: serep release, compiler and C++ standard,\n"
+         "CMake build type, and whether libzstd was linked. The same facts\n"
+         "are embedded in every telemetry metrics.json provenance block.\n"
+         "\n"
+         "flags: none\n"},
     };
     for (const auto& p : pages) {
         if (mode == p.mode) {
@@ -639,7 +692,7 @@ int help_for(const std::string& mode) {
 int usage(std::FILE* to) {
     std::fprintf(
         to,
-        "usage: serep run|plan|fleet|campaign|shard|merge|report "
+        "usage: serep run|plan|fleet|campaign|shard|merge|report|version "
         "[--key=value ...]\n"
         "  run SPEC.json       execute the whole experiment the spec declares\n"
         "                      (golden -> shard/run -> merge -> report), with\n"
@@ -665,6 +718,13 @@ int usage(std::FILE* to) {
         "  shard     run one 1-of-N slice to a shard database (legacy shim)\n"
         "  merge     merge shard databases into the unsharded CSV/JSONL\n"
         "  report    outcome-rate tables + confidence intervals from DBs\n"
+        "  version   build provenance (compiler, build type, libzstd)\n"
+        "\n"
+        "telemetry (run / campaign / fleet): --metrics-out=FILE writes a\n"
+        "  metrics.json sidecar (counters, phase timings, provenance) and\n"
+        "  --trace-out=FILE a Perfetto-loadable Chrome trace of the phase\n"
+        "  spans — both strictly out of band: outcome databases and reports\n"
+        "  are byte-identical with or without them (see docs/telemetry.md)\n"
         "\n"
         "campaign / shard options (defaults in brackets):\n"
         "  --class=S|Mini|W [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|...\n"
@@ -720,7 +780,7 @@ int main(int argc, char** argv) {
     util::Cli cli(argc, argv,
                   {"help", "partial", "weighted", "no-adaptive",
                    "no-checkpoints", "no-delta", "no-inferred",
-                   "shard-stdout", "compress", "no-compress"});
+                   "shard-stdout", "compress", "no-compress", "version"});
     const std::string mode =
         cli.positional().empty() ? "" : cli.positional().front();
     if (cli.has("help")) {
@@ -728,6 +788,8 @@ int main(int argc, char** argv) {
         return paged >= 0 ? paged : usage(stdout);
     }
     try {
+        if (mode == "version" || (mode.empty() && cli.has("version")))
+            return cmd_version(cli);
         if (mode == "run") return cmd_run(cli);
         if (mode == "plan") return cmd_plan(cli);
         if (mode == "fleet") return cmd_fleet(cli);
