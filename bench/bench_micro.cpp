@@ -29,6 +29,10 @@
 // Telemetry-overhead mode (--telemetry) gates the cost of the telemetry
 // hooks on the campaign path; see telemetry_overhead() below.
 //
+// Uncore smoke mode (--uncore) times one small campaign per uncore fault
+// kind (cache-tag / cache-data / bus) on each engine and gates their
+// outcome databases byte-identical; see uncore_smoke() below.
+//
 // Why the multi-core trace gate asserts "no regression" (~1x) rather than a
 // large speedup: the engines' gated contract is bit-identical campaign
 // output, and with shared guest memory and a shared L2 model, cross-core
@@ -426,6 +430,94 @@ int telemetry_overhead(const util::Cli& cli) {
     return pass ? 0 : 1;
 }
 
+// ---- uncore-campaign smoke mode (--uncore) -----------------------------
+//
+//   bench_micro --uncore [--faults=20] [--out=FILE]
+//
+// Perf-smoke presence gate for the uncore fault spaces: one small campaign
+// per uncore kind (cache-tag / cache-data / bus) on each execution engine,
+// timed, with the outcome databases required to be byte-identical across
+// the three engines — the uncore subsystem's determinism contract on the
+// exact path CI archives perf numbers for. Exit non-zero when the engines'
+// databases differ.
+int uncore_smoke(const util::Cli& cli) {
+    const std::int64_t faults_raw = cli.get_int("faults", 20);
+    if (faults_raw < 1 || faults_raw > 100000) {
+        std::fprintf(stderr, "--faults out of range\n");
+        return 2;
+    }
+    const npb::Scenario multi{isa::Profile::V8, npb::App::IS, npb::Api::OMP, 2,
+                              npb::Klass::Mini};
+    const auto cfg_for = [&](core::FaultTarget::Kind k) {
+        core::CampaignConfig cfg;
+        cfg.n_faults = static_cast<unsigned>(faults_raw);
+        cfg.seed = 0xDAC2018;
+        cfg.uncore_kind = k;
+        return cfg;
+    };
+
+    constexpr sim::Engine kEngines[] = {sim::Engine::Switch,
+                                        sim::Engine::Cached, sim::Engine::Trace};
+    constexpr const char* kEngineNames[] = {"switch", "cached", "trace"};
+    std::string dbs[3];
+    double secs[3] = {};
+    for (unsigned i = 0; i < 3; ++i) {
+        std::ostringstream csv, jsonl;
+        orch::BatchOptions opts;
+        opts.threads = 1; // wall time == work time
+        opts.engine = kEngines[i];
+        orch::BatchRunner runner(opts);
+        runner.set_csv_sink(&csv);
+        runner.set_json_sink(&jsonl);
+        runner.add(kV8, cfg_for(core::FaultTarget::Kind::CacheTag));
+        runner.add(kV8, cfg_for(core::FaultTarget::Kind::CacheData));
+        runner.add(multi, cfg_for(core::FaultTarget::Kind::Bus));
+        const auto t0 = std::chrono::steady_clock::now();
+        runner.run_all();
+        const auto t1 = std::chrono::steady_clock::now();
+        secs[i] = std::chrono::duration<double>(t1 - t0).count();
+        dbs[i] = csv.str() + "\x1e" + jsonl.str();
+    }
+    const bool identical = dbs[0] == dbs[1] && dbs[0] == dbs[2];
+
+    std::ostringstream out;
+    util::JsonWriter j(out);
+    j.begin_object();
+    j.key("bench").value("uncore_smoke");
+    j.key("faults_per_kind").value(static_cast<std::uint64_t>(faults_raw));
+    j.key("kinds").begin_array();
+    for (const char* k : {"cache-tag", "cache-data", "bus"}) j.value(k);
+    j.end_array();
+    j.key("engines").begin_array();
+    for (unsigned i = 0; i < 3; ++i) {
+        j.begin_object();
+        j.key("engine").value(kEngineNames[i]);
+        j.key("seconds").value(secs[i]);
+        j.key("campaigns_per_sec").value(3.0 / secs[i]);
+        j.end_object();
+    }
+    j.end_array();
+    j.key("db_bytes").value(static_cast<std::uint64_t>(dbs[0].size()));
+    j.key("db_identical").value(identical);
+    j.key("pass").value(identical);
+    j.end_object();
+    const std::string report = out.str();
+    std::cout << report << "\n";
+    const std::string out_path = cli.get("out", "");
+    if (!out_path.empty()) {
+        std::ofstream f(out_path);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 2;
+        }
+        f << report << "\n";
+    }
+    if (!identical)
+        std::fprintf(stderr,
+                     "FAIL: uncore campaign databases differ across engines\n");
+    return identical ? 0 : 1;
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_SimulatorMips, v8_int_trace, kV8, sim::Engine::Trace);
@@ -456,6 +548,14 @@ int main(int argc, char** argv) {
             return telemetry_overhead(cli);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "bench_micro --telemetry: %s\n", e.what());
+            return 2;
+        }
+    }
+    if (cli.has("uncore")) {
+        try {
+            return uncore_smoke(cli);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_micro --uncore: %s\n", e.what());
             return 2;
         }
     }

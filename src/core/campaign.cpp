@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "orch/batch_runner.hpp"
+#include "uncore/uncore.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -46,7 +47,31 @@ std::vector<Fault> make_fault_list(const sim::Machine& m, const GoldenRef& golde
     for (unsigned i = 0; i < cfg.n_faults; ++i) {
         Fault f;
         f.at_retired = rng.range(golden.app_start, golden.total_retired - 1);
-        if (cfg.memory_faults) {
+        if (is_uncore_kind(cfg.uncore_kind)) {
+            f.target.kind = cfg.uncore_kind;
+            if (cfg.uncore_kind == FaultTarget::Kind::Bus) {
+                f.target.core = static_cast<unsigned>(rng.below(cores));
+                f.target.bit = static_cast<unsigned>(rng.below(64));
+            } else {
+                // Cache strikes address a cache *cell* (set, way) — phys
+                // carries the cell id and the strike hits whatever line is
+                // resident there at the injection instant. For cache-data
+                // `bit` indexes the struck bit within the 64-byte line; for
+                // cache-tag it picks the flipped tag bit.
+                const unsigned level =
+                    static_cast<unsigned>(rng.below(uncore::kLevelCount));
+                f.target.reg = level;
+                f.target.core = level == uncore::kLevelL1D
+                                    ? static_cast<unsigned>(rng.below(cores))
+                                    : 0;
+                f.target.phys = rng.below(uncore::cell_count(level));
+                f.target.bit = static_cast<unsigned>(
+                    cfg.uncore_kind == FaultTarget::Kind::CacheData
+                        ? rng.below(64 * 8)
+                        : rng.below(uncore::tag_bit_count(
+                              level, m.mem().phys_size())));
+            }
+        } else if (cfg.memory_faults) {
             f.target.kind = FaultTarget::Kind::MEM;
             f.target.phys = rng.below(m.mem().phys_size());
             f.target.bit = static_cast<unsigned>(rng.below(8));
@@ -87,8 +112,10 @@ CampaignResult run_campaign(const npb::Scenario& s, const CampaignConfig& cfg) {
 std::string campaign_csv(const CampaignResult& r) {
     std::ostringstream os;
     util::CsvWriter w(os);
-    // `phys` is the struck physical byte for mem faults (0 for register
-    // faults, whose target is the core/reg/bit triple instead).
+    // `phys` is the struck physical byte for mem faults, the struck cache
+    // cell id (set * ways + way, with `reg` the cache level) for cache
+    // faults, and 0 for register/bus faults, whose target is the
+    // core/reg/bit triple instead.
     w.row({"scenario", "at", "kind", "core", "reg", "bit", "phys", "outcome",
            "retired"});
     for (const FaultRecord& rec : r.records) {

@@ -28,6 +28,11 @@ struct CampaignConfig {
     double watchdog_factor = 4.0;   ///< Hang when run exceeds golden x factor
     bool include_fp_regs = false;   ///< add V8 FP registers to the target space
     bool memory_faults = false;     ///< target data memory instead of registers
+    /// When set to one of the uncore kinds (CacheTag / CacheData / Bus) the
+    /// campaign targets that uncore fault space (src/uncore/) instead of the
+    /// architectural ones; GPR is the "not an uncore campaign" sentinel and
+    /// leaves include_fp_regs/memory_faults in charge.
+    FaultTarget::Kind uncore_kind = FaultTarget::Kind::GPR;
     unsigned host_threads = 2;
 };
 

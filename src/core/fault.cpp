@@ -1,6 +1,7 @@
 #include "core/fault.hpp"
 
 #include "isa/layout.hpp"
+#include "uncore/uncore.hpp"
 #include "util/hash.hpp"
 
 namespace serep::core {
@@ -27,17 +28,35 @@ bool outcome_from_name(const std::string& name, Outcome& out) noexcept {
 }
 
 const char* fault_kind_name(FaultTarget::Kind k) noexcept {
-    return k == FaultTarget::Kind::GPR ? "gpr"
-           : k == FaultTarget::Kind::FP ? "fp"
-                                        : "mem";
+    switch (k) {
+        case FaultTarget::Kind::GPR: return "gpr";
+        case FaultTarget::Kind::FP: return "fp";
+        case FaultTarget::Kind::MEM: return "mem";
+        case FaultTarget::Kind::CacheTag: return "cache-tag";
+        case FaultTarget::Kind::CacheData: return "cache-data";
+        case FaultTarget::Kind::Bus: return "bus";
+    }
+    return "??";
 }
 
 bool fault_kind_from_name(const std::string& name, FaultTarget::Kind& out) noexcept {
     if (name == "gpr") out = FaultTarget::Kind::GPR;
     else if (name == "fp") out = FaultTarget::Kind::FP;
     else if (name == "mem") out = FaultTarget::Kind::MEM;
+    else if (name == "cache-tag") out = FaultTarget::Kind::CacheTag;
+    else if (name == "cache-data") out = FaultTarget::Kind::CacheData;
+    else if (name == "bus") out = FaultTarget::Kind::Bus;
     else return false;
     return true;
+}
+
+bool is_uncore_kind(FaultTarget::Kind k) noexcept {
+    return k == FaultTarget::Kind::CacheTag ||
+           k == FaultTarget::Kind::CacheData || k == FaultTarget::Kind::Bus;
+}
+
+bool fault_kind_has_reg(FaultTarget::Kind k) noexcept {
+    return k == FaultTarget::Kind::GPR || k == FaultTarget::Kind::FP;
 }
 
 namespace {
@@ -86,6 +105,11 @@ void apply_fault(sim::Machine& m, const FaultTarget& t) {
         case FaultTarget::Kind::GPR: m.flip_gpr(t.core, t.reg, t.bit); break;
         case FaultTarget::Kind::FP: m.flip_fp(t.core, t.reg, t.bit); break;
         case FaultTarget::Kind::MEM: m.flip_mem(t.phys, t.bit % 8); break;
+        case FaultTarget::Kind::CacheTag:
+        case FaultTarget::Kind::CacheData:
+        case FaultTarget::Kind::Bus:
+            uncore::inject(m, t);
+            break;
     }
 }
 

@@ -26,17 +26,34 @@ const char* outcome_name(Outcome o) noexcept;
 bool outcome_from_name(const std::string& name, Outcome& out) noexcept;
 
 struct FaultTarget {
-    enum class Kind : std::uint8_t { GPR, FP, MEM };
+    /// GPR/FP/MEM are the architectural spaces; CacheTag/CacheData/Bus are
+    /// the uncore spaces (src/uncore/). The uncore kinds reuse the existing
+    /// fields so the database record schema is unchanged:
+    ///  * CacheTag/CacheData — `reg` is the cache level (0 = L1D of `core`,
+    ///    1 = the shared L2, with core = 0), `phys` the struck physical
+    ///    byte; `bit` is the flipped bit within the byte (CacheData) or the
+    ///    flipped tag-bit index (CacheTag).
+    ///  * Bus — `core` is the struck core, `bit` the flipped bit of the
+    ///    next in-flight transfer on that core's port; reg/phys unused.
+    enum class Kind : std::uint8_t { GPR, FP, MEM, CacheTag, CacheData, Bus };
     Kind kind = Kind::GPR;
-    unsigned core = 0;   ///< struck core (GPR/FP)
-    unsigned reg = 0;    ///< register index within the architectural file
+    unsigned core = 0;   ///< struck core (GPR/FP/Bus)
+    unsigned reg = 0;    ///< register index (GPR/FP) or cache level (uncore)
     unsigned bit = 0;    ///< flipped bit
-    std::uint64_t phys = 0; ///< physical byte (MEM)
+    std::uint64_t phys = 0; ///< physical byte (MEM / cache kinds)
 };
 
-/// "gpr" / "fp" / "mem" — the names the CSV/JSON databases use.
+/// "gpr" / "fp" / "mem" / "cache-tag" / "cache-data" / "bus" — the names the
+/// CSV/JSON databases use.
 const char* fault_kind_name(FaultTarget::Kind k) noexcept;
 bool fault_kind_from_name(const std::string& name, FaultTarget::Kind& out) noexcept;
+
+/// The kinds src/uncore/ injects (cache-tag / cache-data / bus). Pruning's
+/// register-diff def-use walk cannot reason about them and must decline.
+bool is_uncore_kind(FaultTarget::Kind k) noexcept;
+/// Does a record of this kind carry an architectural register index in
+/// `reg`? (The uncore kinds reuse `reg` as a cache level.)
+bool fault_kind_has_reg(FaultTarget::Kind k) noexcept;
 
 struct Fault {
     std::uint64_t at_retired = 0; ///< global instruction index of the strike

@@ -50,6 +50,15 @@ orch::BatchOptions batch_options_impl(const ExperimentSpec& spec) {
     return opts;
 }
 
+bool has_uncore_kind(const ExperimentSpec& spec) {
+    for (const std::string& k : spec.kinds) {
+        core::FaultTarget::Kind fk;
+        if (core::fault_kind_from_name(k, fk) && core::is_uncore_kind(fk))
+            return true;
+    }
+    return false;
+}
+
 /// spec.prune with the CLI override folded in (`serep run --prune=...`).
 /// Verification is never implied by the spec alone — it doubles part of the
 /// work, so it runs only when explicitly asked for.
@@ -63,11 +72,18 @@ orch::BatchOptions resolved_batch_options(const ExperimentSpec& spec,
         b.prune = false;
         break;
     case PruneMode::On:
-        b.prune = true;
-        break;
     case PruneMode::Verify:
+        // Mirror of the spec-level prune+uncore rejection (ValidationError,
+        // exit 3), for the CLI override spelling: pruning has no theory of
+        // cache/bus faults and must decline rather than silently mis-infer.
+        util::check_valid(
+            !has_uncore_kind(spec),
+            "--prune: uncore fault kinds (cache-tag | cache-data | bus) "
+            "cannot be pruned — equivalence pruning reasons over "
+            "architectural def-use chains and cannot infer cache/bus "
+            "outcomes; run without --prune");
         b.prune = true;
-        b.prune_verify = spec.prune_verify;
+        if (opts.prune == PruneMode::Verify) b.prune_verify = spec.prune_verify;
         break;
     }
     return b;
@@ -76,6 +92,11 @@ orch::BatchOptions resolved_batch_options(const ExperimentSpec& spec,
 void log_prune(const orch::BatchRunner& runner, const orch::BatchOptions& b,
                std::FILE* log) {
     if (!b.prune) return;
+    if (runner.prune_declined() > 0)
+        logf(log,
+             "prune: declined for %zu uncore fault runs (no equivalence "
+             "theory for cache/bus faults) — all simulated\n",
+             runner.prune_declined());
     logf(log,
          "prune: %zu of %zu fault records simulated, %zu inferred from "
          "equivalence classes%s",

@@ -39,69 +39,101 @@ ExperimentPlan::ExperimentPlan(ExperimentSpec spec) : spec_(std::move(spec)) {
     hash_hex_ = spec_.spec_hash_hex();
 
     const npb::Klass klass = klass_from_spec(spec_.klass);
-    core::CampaignConfig cfg;
-    cfg.n_faults = spec_.faults;
-    cfg.seed = spec_.seed;
-    cfg.watchdog_factor = spec_.watchdog;
-    cfg.include_fp_regs = spec_.kind == "fp";
-    cfg.memory_faults = spec_.kind == "mem";
-    cfg.host_threads = spec_.threads;
-
-    // fp campaigns only exist on the v8 profile; an unconstrained matrix
-    // narrows to it (an explicit v7 was already rejected in validate()).
-    std::vector<std::string> isas = spec_.isas;
-    if (spec_.kind == "fp" && isas.empty()) isas = {"v8"};
+    core::CampaignConfig base;
+    base.n_faults = spec_.faults;
+    base.seed = spec_.seed;
+    base.watchdog_factor = spec_.watchdog;
+    base.host_threads = spec_.threads;
 
     const std::vector<npb::Scenario> all = npb::paper_scenarios(klass);
-    std::vector<npb::Scenario> selected;
 
-    // Explicit cells first, in spec order (the bench drivers depend on
-    // result order matching their table layout).
-    for (const CellSpec& c : spec_.cells) {
-        const auto it = std::find_if(all.begin(), all.end(),
-                                     [&](const npb::Scenario& s) {
-                                         return same_cell(s, c);
-                                     });
-        util::check_usage(
-            it != all.end(),
-            "spec: matrix.cells names a configuration the paper does not "
-            "have: " + c.isa + "-" + c.app + "-" + c.api + "-" +
-                std::to_string(c.cores) +
-                " (check app/API availability and the BT/SP MPI "
-                "square-core restriction)");
-        const bool dup = std::any_of(selected.begin(), selected.end(),
-                                     [&](const npb::Scenario& s) {
-                                         return same_cell(s, c);
-                                     });
-        util::check_usage(!dup, "spec: matrix.cells lists " + it->name() +
-                                    " more than once");
-        selected.push_back(*it);
-    }
+    // Kind-major expansion: the full scenario selection for each kind in
+    // spec order, so a single-kind spec's job list is exactly the pre-list
+    // one.
+    for (const std::string& kind : spec_.kinds) {
+        core::CampaignConfig cfg = base;
+        cfg.include_fp_regs = kind == "fp";
+        cfg.memory_faults = kind == "mem";
+        core::FaultTarget::Kind fk = core::FaultTarget::Kind::GPR;
+        core::fault_kind_from_name(kind, fk);
+        if (core::is_uncore_kind(fk)) cfg.uncore_kind = fk;
 
-    // Cross-product matches in canonical paper order, minus cell duplicates.
-    if (spec_.cross_product) {
-        for (const npb::Scenario& s : all) {
-            if (!matches(isas, std::string(isa_str(s)))) continue;
-            if (!matches(spec_.apps, std::string(npb::app_name(s.app))))
-                continue;
-            if (!matches(spec_.apis, std::string(npb::api_name(s.api))))
-                continue;
-            if (!matches(spec_.cores, s.cores)) continue;
-            const bool dup =
-                std::any_of(spec_.cells.begin(), spec_.cells.end(),
-                            [&](const CellSpec& c) { return same_cell(s, c); });
-            if (!dup) selected.push_back(s);
+        // fp campaigns only exist on the v8 profile: an unconstrained
+        // matrix narrows to it, a constrained one is intersected with it
+        // (a pure-fp spec naming v7 was already rejected in validate()).
+        std::vector<std::string> isas = spec_.isas;
+        if (kind == "fp") {
+            if (isas.empty()) {
+                isas = {"v8"};
+            } else {
+                isas.erase(std::remove_if(isas.begin(), isas.end(),
+                                          [](const std::string& i) {
+                                              return i != "v8";
+                                          }),
+                           isas.end());
+                util::check_usage(!isas.empty(),
+                                  "spec: fault.kind 'fp' needs a v8 scenario "
+                                  "but matrix.isa selects none");
+            }
         }
-    }
-    util::check_usage(!selected.empty(),
-                      "spec: no scenarios match the given matrix");
 
-    for (const npb::Scenario& s : selected) {
-        PlannedJob j;
-        j.scenario = s;
-        j.cfg = cfg;
-        j.id = s.name() + "-" + spec_.klass + "-" + spec_.kind;
-        jobs_.push_back(std::move(j));
+        std::vector<npb::Scenario> selected;
+
+        // Explicit cells first, in spec order (the bench drivers depend on
+        // result order matching their table layout). In a mixed-kind spec
+        // the fp kind skips v7 cells (the other kinds still run them).
+        for (const CellSpec& c : spec_.cells) {
+            if (kind == "fp" && c.isa == "v7") continue;
+            const auto it = std::find_if(all.begin(), all.end(),
+                                         [&](const npb::Scenario& s) {
+                                             return same_cell(s, c);
+                                         });
+            util::check_usage(
+                it != all.end(),
+                "spec: matrix.cells names a configuration the paper does not "
+                "have: " + c.isa + "-" + c.app + "-" + c.api + "-" +
+                    std::to_string(c.cores) +
+                    " (check app/API availability and the BT/SP MPI "
+                    "square-core restriction)");
+            const bool dup = std::any_of(selected.begin(), selected.end(),
+                                         [&](const npb::Scenario& s) {
+                                             return same_cell(s, c);
+                                         });
+            util::check_usage(!dup, "spec: matrix.cells lists " + it->name() +
+                                        " more than once");
+            selected.push_back(*it);
+        }
+
+        // Cross-product matches in canonical paper order, minus cell
+        // duplicates.
+        if (spec_.cross_product) {
+            for (const npb::Scenario& s : all) {
+                if (!matches(isas, std::string(isa_str(s)))) continue;
+                if (!matches(spec_.apps, std::string(npb::app_name(s.app))))
+                    continue;
+                if (!matches(spec_.apis, std::string(npb::api_name(s.api))))
+                    continue;
+                if (!matches(spec_.cores, s.cores)) continue;
+                const bool dup = std::any_of(
+                    spec_.cells.begin(), spec_.cells.end(),
+                    [&](const CellSpec& c) { return same_cell(s, c); });
+                if (!dup) selected.push_back(s);
+            }
+        }
+        util::check_usage(!selected.empty(),
+                          "spec: no scenarios match the given matrix" +
+                              (spec_.kinds.size() > 1
+                                   ? " for fault kind '" + kind + "'"
+                                   : std::string()));
+
+        for (const npb::Scenario& s : selected) {
+            PlannedJob j;
+            j.scenario = s;
+            j.kind = kind;
+            j.cfg = cfg;
+            j.id = s.name() + "-" + spec_.klass + "-" + kind;
+            jobs_.push_back(std::move(j));
+        }
     }
 
     util::check_usage(spec_.weights.empty() ||
@@ -135,9 +167,12 @@ std::string ExperimentPlan::listing() {
     char buf[160];
 
     os << "experiment " << spec_.name << " (spec " << hash_hex_ << ")\n";
+    std::string kind_list;
+    for (const std::string& k : spec_.kinds)
+        kind_list += (kind_list.empty() ? "" : ",") + k;
     std::snprintf(buf, sizeof buf,
                   "fault model: kind=%s faults/job=%u seed=0x%llx\n",
-                  spec_.kind.c_str(), spec_.faults,
+                  kind_list.c_str(), spec_.faults,
                   static_cast<unsigned long long>(spec_.seed));
     os << buf;
     if (spec_.target_ci > 0) {
@@ -211,6 +246,52 @@ std::string ExperimentPlan::listing() {
             // prints the bakeable vector through the branch above.
             os << ", equal-work cut (weights probed at run time; `serep "
                   "plan` prints a bakeable vector)\n";
+        }
+        // Per-shard per-kind breakdown — only for mixed-kind specs, so
+        // every single-kind plan golden stays byte-identical.
+        if (spec_.kinds.size() > 1) {
+            if (weighted() && !weights_ready()) {
+                os << "  per-kind shard breakdown: weights probed at run "
+                      "time\n";
+            } else {
+                for (unsigned sh = 0; sh < spec_.shards; ++sh) {
+                    orch::WeightedShardPlan wp;
+                    if (weighted()) wp = weighted_plan(sh);
+                    std::snprintf(buf, sizeof buf, "  shard %u:", sh);
+                    os << buf;
+                    bool first = true;
+                    for (const std::string& kind : spec_.kinds) {
+                        std::size_t nk = 0;
+                        std::uint64_t fk = 0;
+                        for (std::size_t j = 0; j < jobs_.size(); ++j) {
+                            if (jobs_[j].kind != kind) continue;
+                            if (weighted()) {
+                                const auto& r = wp.job_ranges[j];
+                                if (r.first >= r.second) continue;
+                                ++nk;
+                                fk += static_cast<std::uint64_t>(
+                                    static_cast<double>(r.second - r.first) /
+                                        wp.resolution * spec_.faults +
+                                    0.5);
+                            } else {
+                                // Uniform: every shard owns a slice of
+                                // every job's fault list.
+                                ++nk;
+                                fk += (std::uint64_t{spec_.faults} +
+                                       spec_.shards - 1) /
+                                      spec_.shards;
+                            }
+                        }
+                        std::snprintf(buf, sizeof buf,
+                                      "%s %s %zu jobs ~%llu faults",
+                                      first ? "" : ",", kind.c_str(), nk,
+                                      static_cast<unsigned long long>(fk));
+                        os << buf;
+                        first = false;
+                    }
+                    os << "\n";
+                }
+            }
         }
     } else {
         os << "shards: none (single process)\n";

@@ -2,6 +2,10 @@
 // canonical ExperimentPlan — the exact, ordered job list every execution
 // path (direct, sharded, adaptive) agrees on.
 //
+// Multi-kind specs expand kind-major: the full scenario selection for
+// kinds[0], then for kinds[1], ... — so a single-kind spec's job list (and
+// ordering) is exactly what it was before fault.kind grew a list form.
+//
 // Canonical job order is the paper_scenarios() order PR 1's filter_scenarios
 // has always produced (so a spec-driven run is byte-identical to the legacy
 // flag-driven one), with one extension: explicit matrix.cells come first, in
@@ -26,7 +30,8 @@
 namespace serep::exp {
 
 struct PlannedJob {
-    std::string id; ///< "ARMv7-EP-SER-1-Mini-gpr" — stable across runs
+    std::string id;   ///< "ARMv7-EP-SER-1-Mini-gpr" — stable across runs
+    std::string kind; ///< the fault kind this job draws from
     npb::Scenario scenario;
     core::CampaignConfig cfg;
 };

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/fault.hpp"
 #include "npb/npb.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
@@ -159,6 +160,16 @@ bool valid_klass(const std::string& s) {
     return s == "Mini" || s == "S" || s == "W";
 }
 
+bool valid_kind(const std::string& s) {
+    core::FaultTarget::Kind k;
+    return core::fault_kind_from_name(s, k);
+}
+
+bool uncore_kind_name(const std::string& s) {
+    core::FaultTarget::Kind k;
+    return core::fault_kind_from_name(s, k) && core::is_uncore_kind(k);
+}
+
 void write_strings(util::JsonWriter& w, const std::vector<std::string>& v) {
     w.begin_array();
     for (const std::string& s : v) w.value(s);
@@ -194,7 +205,15 @@ std::string identity_json(const ExperimentSpec& s) {
         w.end_object();
     }
     w.end_array();
-    w.key("kind").value(s.kind);
+    // Scalar when single — the only form that existed before multi-kind
+    // specs, so every existing spec's hash (and its finished shard
+    // databases) is untouched.
+    if (s.kinds.size() == 1) {
+        w.key("kind").value(s.kinds.front());
+    } else {
+        w.key("kind");
+        write_strings(w, s.kinds);
+    }
     w.key("faults").value(s.faults);
     w.key("seed").value(s.seed);
     w.key("watchdog").value(s.watchdog);
@@ -272,7 +291,7 @@ ExperimentSpec ExperimentSpec::load(const std::string& json_text) {
         reject_unknown(*f, "fault",
                        {"kind", "faults", "seed", "watchdog", "target_ci",
                         "ci_confidence", "ci_batch", "ci_min"});
-        s.kind = get_string(*f, "kind", s.kind, "fault");
+        if (f->find("kind")) s.kinds = get_string_list(*f, "kind", "fault");
         s.faults = get_uint(*f, "faults", s.faults, "fault");
         s.seed = get_u64(*f, "seed", s.seed, "fault");
         s.watchdog = get_double(*f, "watchdog", s.watchdog, "fault");
@@ -386,9 +405,22 @@ void ExperimentSpec::validate() const {
                       "cores selectors, explicit cells, or neither (= the "
                       "full paper matrix)");
 
-    util::check_usage(kind == "gpr" || kind == "fp" || kind == "mem",
-                      "spec: fault.kind '" + kind + "' (gpr | fp | mem)");
-    if (kind == "fp") {
+    util::check_usage(!kinds.empty(),
+                      "spec: fault.kind must name at least one fault kind");
+    for (const std::string& k : kinds)
+        util::check_usage(valid_kind(k),
+                          "spec: fault.kind '" + k +
+                              "' (gpr | fp | mem | cache-tag | cache-data | "
+                              "bus)");
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+        for (std::size_t j = i + 1; j < kinds.size(); ++j)
+            util::check_usage(kinds[i] != kinds[j],
+                              "spec: fault.kind lists '" + kinds[i] +
+                                  "' more than once");
+    // A pure-fp spec must not name v7 at all; in a mixed-kind spec the
+    // planner instead narrows the fp jobs to the v8 scenarios (the other
+    // kinds keep the full matrix), erroring only if nothing is left.
+    if (kinds.size() == 1 && kinds.front() == "fp") {
         for (const std::string& i : isas)
             util::check_usage(i != "v7",
                               "spec: fault.kind 'fp' targets the FP register "
@@ -423,6 +455,19 @@ void ExperimentSpec::validate() const {
                       "fault.target_ci (the sequential sizer draws its own "
                       "incremental fault lists; pruning classifies a fixed "
                       "list up front)");
+    // ValidationError (exit 3), not UsageError: the spec is syntactically
+    // fine, but pruning's register-diff def-use walk has no theory of
+    // cache-tag/cache-data/bus faults and would silently mis-infer
+    // outcomes. The runner also declines at run time for CLI overrides.
+    if (prune)
+        for (const std::string& k : kinds)
+            util::check_valid(!uncore_kind_name(k),
+                              "spec: prune.enabled cannot be combined with "
+                              "uncore fault kind '" + k +
+                                  "' — equivalence pruning reasons over "
+                                  "architectural def-use chains and cannot "
+                                  "infer cache/bus outcomes (drop "
+                                  "prune.enabled or the uncore kind)");
 
     util::check_usage(
         engine == "cached" || engine == "switch" || engine == "trace",
@@ -507,7 +552,12 @@ std::string ExperimentSpec::canonical_json() const {
     w.end_array();
     w.end_object();
     w.key("fault").begin_object();
-    w.key("kind").value(kind);
+    if (kinds.size() == 1) {
+        w.key("kind").value(kinds.front());
+    } else {
+        w.key("kind");
+        write_strings(w, kinds);
+    }
     w.key("faults").value(faults);
     w.key("seed").value(seed);
     w.key("watchdog").value(watchdog);
@@ -592,7 +642,7 @@ ExperimentSpec spec_from_legacy_cli(const util::Cli& cli) {
     s.apps = one(cli.get("app", ""));
     s.apis = one(cli.get("api", ""));
 
-    s.kind = cli.get("kind", "gpr");
+    s.kinds = {cli.get("kind", "gpr")};
     // Range-check before the unsigned narrowing: --faults=-3 or a > 2^32
     // value must be a usage error, not a silent wrap into a different
     // campaign (the JSON path's get_uint guards the same field).

@@ -8,7 +8,8 @@
 //
 //   * the scenario matrix (ISA / app / API / cores sets, cross-product
 //     and/or explicit cells),
-//   * the fault model (gpr | fp | mem, fixed count or --target-ci sizing),
+//   * the fault model (gpr | fp | mem | cache-tag | cache-data | bus — one
+//     kind or a list, fixed count or --target-ci sizing),
 //   * engine and checkpoint knobs,
 //   * shard partitioning (uniform or weighted, shard count, baked weights),
 //   * report outputs (markdown / CSV / figure-JSON paths).
@@ -75,7 +76,13 @@ struct ExperimentSpec {
     bool cross_product = true;
 
     // ---- fault model ---------------------------------------------------
-    std::string kind = "gpr"; ///< fault-target space: "gpr" / "fp" / "mem"
+    /// Fault-target spaces: any subset of "gpr" / "fp" / "mem" (the
+    /// architectural spaces) and "cache-tag" / "cache-data" / "bus" (the
+    /// uncore spaces, src/uncore/). JSON accepts a scalar or a list
+    /// ("kind": "gpr" == "kind": ["gpr"]); a multi-kind spec expands to one
+    /// job per (scenario, kind), kind-major. Single-kind specs serialize
+    /// and hash exactly as before the list form existed.
+    std::vector<std::string> kinds{"gpr"};
     unsigned faults = 100;    ///< fault-space size per job (ceiling when adaptive)
     std::uint64_t seed = 0xDAC2018;
     double watchdog = 4.0; ///< hang threshold: golden length x this factor
@@ -155,7 +162,10 @@ struct ExperimentSpec {
     std::string spec_hash_hex() const;
 
     /// Re-check invariants (load() already calls this; programmatic
-    /// constructors call it through the planner). Throws util::UsageError.
+    /// constructors call it through the planner). Throws util::UsageError —
+    /// except prune+uncore-kind, which is util::ValidationError (exit 3):
+    /// the spec is well-formed, but pruning cannot produce valid outcomes
+    /// for uncore faults.
     void validate() const;
 };
 

@@ -248,8 +248,20 @@ void BatchRunner::run_wave(const std::vector<std::size_t>& wave_jobs,
                          job.cfg.watchdog_factor) +
                      200'000;
         if (opts_.prune && !job.faults.empty()) {
-            to_analyze.push_back(&job);
-            continue; // tasks queued after the analysis phase below
+            if (core::is_uncore_kind(job.cfg.uncore_kind)) {
+                // Pruning's register-diff def-use walk has no theory of
+                // cache-tag/cache-data/bus faults: decline cleanly and
+                // simulate this job's whole fault list rather than risk a
+                // silently mis-inferred outcome. The serep front end already
+                // rejects prune+uncore (exit 3); this guards programmatic
+                // callers.
+                prune_declined_ += job.faults.size();
+                if (tm::enabled())
+                    tm::count("prune.uncore_declined", job.faults.size());
+            } else {
+                to_analyze.push_back(&job);
+                continue; // tasks queued after the analysis phase below
+            }
         }
         job.remaining.store(job.faults.size(), std::memory_order_relaxed);
         if (job.faults.empty()) {

@@ -123,6 +123,10 @@ public:
     std::size_t simulated_runs() const noexcept { return simulated_runs_; }
     /// Records whose outcome was derived by pruning instead of simulated.
     std::size_t inferred_records() const noexcept { return inferred_records_; }
+    /// Fault runs pruning declined to analyze because their job targets an
+    /// uncore fault space (they were all simulated; see run_wave). The
+    /// driver logs the decline reason when this is non-zero.
+    std::size_t prune_declined() const noexcept { return prune_declined_; }
     /// Pruning-derived records re-simulated by the verify sample (and found
     /// to match — a mismatch throws from run_all()).
     std::size_t verified_records() const noexcept { return verified_records_; }
@@ -162,6 +166,7 @@ private:
     std::atomic<std::uint64_t> ff_retired_{0};
     std::size_t simulated_runs_ = 0;
     std::size_t inferred_records_ = 0;
+    std::size_t prune_declined_ = 0;
     std::size_t verified_records_ = 0;
     /// Verify-sample mismatches ("job f<ordinal>: recorded X, simulated Y");
     /// reported as one util::Error at the end of run_all().

@@ -102,6 +102,10 @@ std::uint64_t campaign_config_hash(const std::vector<ShardJobSpec>& jobs) {
         fnv1a_u64(h, wd);
         fnv1a_u64(h, j.cfg.include_fp_regs);
         fnv1a_u64(h, j.cfg.memory_faults);
+        // Folded only for uncore campaigns so every pre-uncore database
+        // keeps its hash and stays mergeable.
+        if (core::is_uncore_kind(j.cfg.uncore_kind))
+            fnv1a_u64(h, static_cast<std::uint64_t>(j.cfg.uncore_kind));
     }
     return h;
 }

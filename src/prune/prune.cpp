@@ -879,6 +879,13 @@ private:
                     text_watch_[(t.phys - text_base_) / isa::kTextRecordBytes]
                         .push_back(fi);
                 break;
+            case FaultTarget::Kind::CacheTag:
+            case FaultTarget::Kind::CacheData:
+            case FaultTarget::Kind::Bus:
+                // Unreachable: uncore jobs are declined before analysis
+                // (orch::BatchRunner) — the def-use walk cannot model them.
+                util::check(false, "prune: uncore fault kind in analyzer");
+                break;
         }
     }
 

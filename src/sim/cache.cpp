@@ -10,7 +10,9 @@ namespace serep::sim {
 Cache::Cache(const CacheConfig& cfg)
     : sets_(cfg.size_bytes / (cfg.ways * cfg.line_bytes)),
       ways_(cfg.ways),
-      line_shift_(static_cast<std::uint32_t>(util::ctz64(cfg.line_bytes))) {
+      line_shift_(static_cast<std::uint32_t>(util::ctz64(cfg.line_bytes))),
+      set_bits_(static_cast<std::uint32_t>(util::ctz64(
+          cfg.size_bytes / (cfg.ways * cfg.line_bytes)))) {
     util::check((cfg.line_bytes & (cfg.line_bytes - 1)) == 0 && (sets_ & (sets_ - 1)) == 0 && cfg.line_bytes && sets_,
                 "Cache: line size and set count must be powers of two");
     tags_.assign(std::size_t{sets_} * ways_, 0);
@@ -53,6 +55,33 @@ bool Cache::access(std::uint64_t addr) noexcept {
     ++misses_;
     t[victim] = tag;
     touch(victim);
+    return false;
+}
+
+bool Cache::probe(std::uint64_t addr) const noexcept {
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint32_t set = static_cast<std::uint32_t>(line) & (sets_ - 1);
+    const std::uint64_t tag = line | 1ULL << 63;
+    const std::uint64_t* t = &tags_[std::size_t{set} * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (t[w] == tag) return true;
+    return false;
+}
+
+bool Cache::retag(std::uint64_t old_addr, std::uint64_t new_addr) noexcept {
+    const std::uint64_t old_line = old_addr >> line_shift_;
+    const std::uint64_t new_line = new_addr >> line_shift_;
+    const std::uint32_t set = static_cast<std::uint32_t>(old_line) & (sets_ - 1);
+    if ((static_cast<std::uint32_t>(new_line) & (sets_ - 1)) != set)
+        return false;
+    const std::uint64_t old_tag = old_line | 1ULL << 63;
+    std::uint64_t* t = &tags_[std::size_t{set} * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (t[w] == old_tag) {
+            t[w] = new_line | 1ULL << 63;
+            return true;
+        }
+    }
     return false;
 }
 

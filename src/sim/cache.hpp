@@ -51,6 +51,38 @@ public:
 
     void reset() noexcept;
 
+    /// Presence check for the uncore fault model: is `addr`'s line resident?
+    /// Pure observation — no LRU touch, no allocation, no counter movement —
+    /// so probing is invisible to timing and to the hit/miss statistics.
+    bool probe(std::uint64_t addr) const noexcept;
+
+    /// Cell probe for the uncore fault model: the physical line address
+    /// resident in (set, way), or ~0ULL when that way is invalid. The
+    /// cache-tag / cache-data fault spaces are enumerated over the cache's
+    /// own cells, and a strike hits whatever line occupies the struck cell
+    /// at the injection instant. Pure observation, like probe().
+    std::uint64_t line_at(std::uint32_t set, std::uint32_t way) const noexcept {
+        const std::uint64_t t =
+            tags_[std::size_t{set & (sets_ - 1)} * ways_ + way % ways_];
+        return t ? (t & ~(1ULL << 63)) << line_shift_ : ~0ULL;
+    }
+
+    std::uint32_t sets() const noexcept { return sets_; }
+    std::uint32_t ways() const noexcept { return ways_; }
+
+    /// Silently rewrite the tag of the way holding `old_addr`'s line to
+    /// `new_addr`'s line — the uncore cache-tag fault: the stored data stays
+    /// where it is, but the cache now believes it belongs to a different
+    /// (same-set) address. LRU age and counters are untouched. Returns false
+    /// (and changes nothing) when `old_addr` is not resident or the two
+    /// addresses map to different sets (a tag flip never changes the set).
+    bool retag(std::uint64_t old_addr, std::uint64_t new_addr) noexcept;
+
+    /// log2(set count) — the uncore model needs it to compute which physical
+    /// address bit a given tag bit corresponds to.
+    std::uint32_t set_bits() const noexcept { return set_bits_; }
+    std::uint32_t line_shift() const noexcept { return line_shift_; }
+
     std::uint64_t hits() const noexcept { return hits_; }
     std::uint64_t misses() const noexcept { return misses_; }
     /// Hits that arrived via the MRU credit path (a subset of hits()):
@@ -61,6 +93,7 @@ public:
 private:
     std::uint32_t sets_, ways_;
     std::uint32_t line_shift_;
+    std::uint32_t set_bits_;
     std::vector<std::uint64_t> tags_;  // sets x ways, 0 = invalid
     std::vector<std::uint8_t> age_;    // LRU ages
     std::uint64_t hits_ = 0, misses_ = 0, credits_ = 0;

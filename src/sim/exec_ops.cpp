@@ -108,16 +108,22 @@ struct ExecOps {
             cx.core.last_tpage = t.phys & ~kPageMask;
         }
         const std::uint64_t line = phys >> kLineShift;
+        bool l1_hit = true, l2_hit = false;
         if (line == cx.core.last_dline) {
             m.l1d_[cx.ci].credit_hit();
         } else {
-            if (!m.l1d_[cx.ci].access(phys)) {
+            l1_hit = m.l1d_[cx.ci].access(phys);
+            if (!l1_hit) {
                 cx.cost += kL1MissPenalty;
-                if (!m.l2_.access(phys)) cx.cost += kL2MissPenalty;
+                l2_hit = m.l2_.access(phys);
+                if (!l2_hit) cx.cost += kL2MissPenalty;
             }
             cx.core.last_dline = line;
         }
         if (write) m.invalidate_reservations(phys, nullptr);
+        if (m.uncore_.ptr)
+            m.uncore_.ptr->on_data_access(m, cx.ci, phys, size, write, l1_hit,
+                                          l2_hit, true);
         return true;
     }
 
@@ -546,6 +552,9 @@ struct ExecOps {
             return;
         }
         if (cx.core.excl_valid && cx.core.excl_addr == t.phys) {
+            if (m.uncore_.ptr)
+                m.uncore_.ptr->on_data_access(m, cx.ci, t.phys, size, true,
+                                              false, false, false);
             m.mem_.store(t.phys, size, x(cx, i.rm));
             ++cx.cnt.stores;
             cx.core.excl_valid = false;

@@ -231,11 +231,17 @@ bool Machine::data_access(CoreState& core, std::uint64_t vaddr, unsigned size,
     }
     phys = t.phys;
     const auto ci = static_cast<unsigned>(&core - cores_.data());
-    if (!l1d_[ci].access(phys)) {
+    const bool l1_hit = l1d_[ci].access(phys);
+    bool l2_hit = false;
+    if (!l1_hit) {
         cost += kL1MissPenalty;
-        if (!l2_.access(phys)) cost += kL2MissPenalty;
+        l2_hit = l2_.access(phys);
+        if (!l2_hit) cost += kL2MissPenalty;
     }
     if (write) invalidate_reservations(phys, nullptr);
+    if (uncore_.ptr)
+        uncore_.ptr->on_data_access(*this, ci, phys, size, write, l1_hit,
+                                    l2_hit, true);
     return true;
 }
 
@@ -374,6 +380,9 @@ RunStatus Machine::run_until(std::uint64_t stop_at) {
         }
         step(static_cast<unsigned>(best));
     }
+    // Settle deferred uncore corruption (pending bus flips/restores) at the
+    // run boundary, before the caller hashes or classifies machine state.
+    if (uncore_.ptr) uncore_.ptr->on_run_boundary(*this);
     return status_;
 }
 
@@ -1450,6 +1459,9 @@ void Machine::step_switch(unsigned ci) {
                     break;
                 }
                 if (core.excl_valid && core.excl_addr == t.phys) {
+                    if (uncore_.ptr)
+                        uncore_.ptr->on_data_access(*this, ci, t.phys, size,
+                                                    true, false, false, false);
                     mem_.store(t.phys, size, x(ins.rm));
                     ++cnt.stores;
                     core.excl_valid = false;

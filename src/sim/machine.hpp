@@ -71,6 +71,29 @@ public:
     virtual void on_trap(const Machine& m, unsigned ci, isa::TrapCause cause) = 0;
 };
 
+/// Uncore fault-injection hook (src/uncore/). Armed on a fault-run clone by
+/// uncore::inject, never present on golden runs or checkpoint rungs (the
+/// slot has copy-reset semantics like StepObserver). Callbacks fire on the
+/// machine's stepping thread at points that are bit-identical across all
+/// three engines:
+///  * on_data_access — once per retiring data transaction (load or store),
+///    after the address is resolved and the cache model updated, before the
+///    bytes move. `l1_hit` is the L1D lookup result (true for MRU-filtered
+///    re-touches, which are hits by construction); `l2_hit` is meaningful
+///    only when `l1_hit` is false. `cached` is false for exclusive stores,
+///    which bypass the cache model in every engine.
+///  * on_run_boundary — when run_until() hands control back, so one-shot
+///    bus corruption can settle deterministically even if the run ends
+///    before the next data access.
+class UncoreHook {
+public:
+    virtual ~UncoreHook() = default;
+    virtual void on_data_access(Machine& m, unsigned ci, std::uint64_t phys,
+                                unsigned size, bool write, bool l1_hit,
+                                bool l2_hit, bool cached) = 0;
+    virtual void on_run_boundary(Machine& m) = 0;
+};
+
 /// Copy the image's initialized data into guest memory and map the pages
 /// they (and the main stacks) live on: kernel chunks once, user chunks into
 /// every process (SPMD images). The OS loader builds on this.
@@ -241,6 +264,29 @@ public:
     }
     void flip_mem(std::uint64_t phys, unsigned bit) { mem_.flip_phys_bit(phys, bit); }
 
+    // ---- uncore fault injection (src/uncore/) ----
+    /// Attach the uncore hook (nullptr detaches) and reset the MRU line
+    /// filters. The reset is mandatory for tag faults: retagging a way away
+    /// from the filtered line would otherwise let the cached/trace engines
+    /// credit a hit the switch engine's real lookup no longer sees. Clearing
+    /// the filters is observable-neutral (the next touch re-looks-up a line
+    /// that is still MRU, so tags/ages/hit counts stay bit-identical; only
+    /// the telemetry-only credit split moves). Like StepObserver, the slot
+    /// has copy-reset semantics: clones never inherit the hook.
+    void set_uncore_hook(std::shared_ptr<UncoreHook> h) noexcept {
+        uncore_.ptr = std::move(h);
+        for (CoreState& core : cores_) {
+            core.last_iline = CoreState::kNoLine;
+            core.last_dline = CoreState::kNoLine;
+        }
+    }
+    UncoreHook* uncore_hook() const noexcept { return uncore_.ptr.get(); }
+    /// Mutable cache handles for the uncore model's tag rewrites.
+    Cache& l1d_cache(unsigned c) noexcept { return l1d_[c]; }
+    Cache& l2_cache() noexcept { return l2_; }
+    const Cache& l1d_cache(unsigned c) const noexcept { return l1d_[c]; }
+    const Cache& l2_cache() const noexcept { return l2_; }
+
 private:
     friend struct ExecOps; ///< per-op handlers of the cached engine
 
@@ -362,6 +408,18 @@ private:
         }
     };
     ObserverSlot observer_;
+    /// Uncore-hook slot, copy-reset like ObserverSlot but owning: the hook
+    /// (an uncore::Model holding the watched-line state) lives exactly as
+    /// long as the one fault-run machine it was armed on.
+    struct UncoreSlot {
+        std::shared_ptr<UncoreHook> ptr;
+        UncoreSlot() noexcept = default;
+        UncoreSlot(const UncoreSlot&) noexcept {}
+        UncoreSlot& operator=(const UncoreSlot&) noexcept { return *this; }
+        UncoreSlot(UncoreSlot&&) noexcept = default;
+        UncoreSlot& operator=(UncoreSlot&&) noexcept = default;
+    };
+    UncoreSlot uncore_;
     std::uint64_t code_gen_seen_ = 0;
     /// Burst-break flag — the contract between sysreg_write(IPI_SEND) and
     /// the burst loops in run_until(): cleared when a scheduler scan hands

@@ -69,6 +69,28 @@ std::string render_markdown(const OutcomeTally& t, const ReportOptions& o) {
         }
     }
 
+    if (!t.uncore().empty()) {
+        // Per-structure uncore vulnerability: where in the uncore the strike
+        // landed (L1D / L2 / bus), the per-cache-level AVF breakdown. Empty
+        // unless uncore-kind records were ingested, so reports over the
+        // architectural fault spaces are byte-identical to before.
+        os << "\n## Uncore vulnerability (per struck structure)\n\n";
+        os << md_row({"isa", "kind", "where", "n", "failures", "rate",
+                      confidence_label(o.confidence) + " CI", "masked"});
+        os << md_row({"---", "---", "---", "---:", "---:", "---:", "---",
+                      "---:"});
+        for (const auto& [key, c] : t.uncore()) {
+            const Interval iv = wilson(c.failed(), c.total(), o.confidence);
+            os << md_row({key.isa, key.kind, key.where,
+                          std::to_string(c.total()),
+                          std::to_string(c.failed()),
+                          fmt("%.1f", 100 * point_rate(c.failed(), c.total())),
+                          "[" + fmt("%.1f", 100 * iv.lo) + ", " +
+                              fmt("%.1f", 100 * iv.hi) + "]",
+                          rate_cell(c.masked(), c.total(), o.confidence)});
+        }
+    }
+
     if (o.top_registers > 0 && !t.registers().empty()) {
         // AVF-style per-target vulnerability: failure rate per struck
         // register, most vulnerable first (ties broken by key order so the
@@ -118,6 +140,23 @@ std::string render_csv(const OutcomeTally& t, const ReportOptions& o) {
                << k << ',' << n << ',' << fmt("%.6f", point_rate(k, n)) << ','
                << fmt("%.6f", w.lo) << ',' << fmt("%.6f", w.hi) << ','
                << fmt("%.6f", cp.lo) << ',' << fmt("%.6f", cp.hi) << '\n';
+        }
+    }
+    if (!t.uncore().empty()) {
+        // Trailing block with its own header: plain-CSV consumers of the
+        // outcome table are unaffected when no uncore records exist.
+        os << "\nuncore_isa,uncore_kind,where,outcome,count,total,rate,"
+              "wilson_lo,wilson_hi\n";
+        for (const auto& [key, counts] : t.uncore()) {
+            for (unsigned oc = 0; oc < core::kOutcomeCount; ++oc) {
+                const std::uint64_t k = counts.counts[oc], n = counts.total();
+                const Interval w = wilson(k, n, o.confidence);
+                os << key.isa << ',' << key.kind << ',' << key.where << ','
+                   << core::outcome_name(static_cast<core::Outcome>(oc)) << ','
+                   << k << ',' << n << ',' << fmt("%.6f", point_rate(k, n))
+                   << ',' << fmt("%.6f", w.lo) << ',' << fmt("%.6f", w.hi)
+                   << '\n';
+            }
         }
     }
     return os.str();
@@ -171,6 +210,25 @@ std::string render_figure_json(const OutcomeTally& t, const ReportOptions& o) {
         w.end_object();
     }
     w.end_array();
+    if (!t.uncore().empty()) {
+        // Per-structure uncore AVF series; key absent entirely for
+        // architectural-only tallies so existing figure JSON is unchanged.
+        w.key("uncore").begin_array();
+        for (const auto& [key, counts] : t.uncore()) {
+            w.begin_object();
+            w.key("isa").value(key.isa);
+            w.key("kind").value(key.kind);
+            w.key("where").value(key.where);
+            w.key("n").value(counts.total());
+            w.key("failures").value(counts.failed());
+            w.key("failure_rate")
+                .value(point_rate(counts.failed(), counts.total()));
+            w.key("masked_rate")
+                .value(point_rate(counts.masked(), counts.total()));
+            w.end_object();
+        }
+        w.end_array();
+    }
     w.end_object();
     os << '\n';
     return os.str();

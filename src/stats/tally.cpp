@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "uncore/uncore.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -58,6 +59,10 @@ bool GroupKey::operator==(const GroupKey& o) const noexcept {
 
 bool RegKey::operator<(const RegKey& o) const noexcept {
     return std::tie(isa, kind, reg) < std::tie(o.isa, o.kind, o.reg);
+}
+
+bool UncoreKey::operator<(const UncoreKey& o) const noexcept {
+    return std::tie(isa, kind, where) < std::tie(o.isa, o.kind, o.where);
 }
 
 std::uint64_t GroupCounts::total() const noexcept {
@@ -137,6 +142,17 @@ void OutcomeTally::add_record_from(const GroupKey& key, core::Outcome outcome,
     if (has_reg)
         ++registers_[RegKey{key.isa, key.kind, reg}]
               .counts[static_cast<unsigned>(outcome)];
+    // Uncore records also fold into the per-structure map: the cache kinds
+    // carry their level in `reg` (0 = L1D, 1 = L2), bus faults land on the
+    // one shared port.
+    core::FaultTarget::Kind k;
+    if (core::fault_kind_from_name(key.kind, k) && core::is_uncore_kind(k)) {
+        const std::string where = k == core::FaultTarget::Kind::Bus
+                                      ? "bus"
+                                      : uncore::level_name(reg);
+        ++uncore_[UncoreKey{key.isa, key.kind, where}]
+              .counts[static_cast<unsigned>(outcome)];
+    }
 }
 
 void OutcomeTally::add_result(const core::CampaignResult& r) {
@@ -144,7 +160,7 @@ void OutcomeTally::add_result(const core::CampaignResult& r) {
     for (const core::FaultRecord& rec : r.records) {
         GroupKey key = base;
         key.kind = core::fault_kind_name(rec.fault.target.kind);
-        const bool has_reg = rec.fault.target.kind != core::FaultTarget::Kind::MEM;
+        const bool has_reg = core::fault_kind_has_reg(rec.fault.target.kind);
         add_record(key, rec.outcome, has_reg, rec.fault.target.reg,
                    rec.inferred);
     }
@@ -254,7 +270,7 @@ void OutcomeTally::add_shard_db(const std::string& contents,
         const util::JsonValue* inf = rv.find("inferred");
         add_record_from(key,
                         outcome_or_throw(rv.at("outcome").as_string(), label),
-                        kind != core::FaultTarget::Kind::MEM,
+                        core::fault_kind_has_reg(kind),
                         static_cast<unsigned>(rv.at("reg").as_u64()),
                         inf && inf->as_bool(), Source::Shard, label);
     });
@@ -282,7 +298,7 @@ void OutcomeTally::add_campaign_jsonl(const std::string& contents,
             const util::JsonValue* inf = rv.find("inferred");
             add_record_from(
                 key, outcome_or_throw(rv.at("outcome").as_string(), label),
-                kind != core::FaultTarget::Kind::MEM,
+                core::fault_kind_has_reg(kind),
                 static_cast<unsigned>(rv.at("reg").as_u64()),
                 inf && inf->as_bool(), Source::Plain, label);
         }
@@ -319,7 +335,7 @@ void OutcomeTally::add_csv(const std::string& contents,
         // The per-fault CSV carries no provenance column (its byte format
         // predates pruning and must stay stable); records fold as simulated.
         add_record_from(key, outcome_or_throw(row[c_outcome], label),
-                        kind != core::FaultTarget::Kind::MEM, reg, false,
+                        core::fault_kind_has_reg(kind), reg, false,
                         Source::Plain, label);
     }
 }

@@ -65,6 +65,16 @@ struct RegKey {
     bool operator<(const RegKey& o) const noexcept;
 };
 
+/// Per-structure vulnerability cell for the uncore fault spaces: where in
+/// the uncore the strike landed ("L1D" / "L2" for the cache kinds, "bus"
+/// for bus faults) — the per-cache-level AVF breakdown of the report.
+struct UncoreKey {
+    std::string isa;
+    std::string kind;  ///< "cache-tag" / "cache-data" / "bus"
+    std::string where; ///< "L1D" / "L2" / "bus"
+    bool operator<(const UncoreKey& o) const noexcept;
+};
+
 class OutcomeTally {
 public:
     /// Fold one in-process campaign result (records carry kind + outcome).
@@ -104,6 +114,11 @@ public:
     const std::map<RegKey, GroupCounts>& registers() const noexcept {
         return registers_;
     }
+    /// Per-uncore-structure counters; empty unless uncore-kind records were
+    /// ingested (reports gate their uncore section on that).
+    const std::map<UncoreKey, GroupCounts>& uncore() const noexcept {
+        return uncore_;
+    }
 
     std::uint64_t total_records() const noexcept { return total_records_; }
     std::size_t databases() const noexcept { return databases_; }
@@ -135,6 +150,7 @@ private:
     std::map<GroupKey, GroupCounts> groups_;
     std::map<GroupKey, std::uint8_t> group_sources_;
     std::map<RegKey, GroupCounts> registers_;
+    std::map<UncoreKey, GroupCounts> uncore_;
     std::uint64_t total_records_ = 0;
     std::uint64_t inferred_records_ = 0;
     bool include_inferred_ = true;

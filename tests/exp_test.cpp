@@ -106,7 +106,7 @@ TEST(ExperimentSpec, LoadSaveLoadIsIdentity) {
 TEST(ExperimentSpec, EmptyDocumentIsTheFullDefaultExperiment) {
     const exp::ExperimentSpec s = exp::ExperimentSpec::load("{}");
     EXPECT_EQ(s.out, "campaign");
-    EXPECT_EQ(s.kind, "gpr");
+    EXPECT_EQ(s.kinds, std::vector<std::string>{"gpr"});
     EXPECT_TRUE(s.cross_product);
     // Defaults expand to the paper's full 130-scenario matrix (65 per ISA).
     exp::ExperimentPlan plan(s);
@@ -151,7 +151,7 @@ TEST(ExperimentSpec, HashIgnoresPresentationButTracksIdentity) {
          std::vector<std::function<void(exp::ExperimentSpec&)>>{
              [](exp::ExperimentSpec& s) { s.faults += 1; },
              [](exp::ExperimentSpec& s) { s.seed += 1; },
-             [](exp::ExperimentSpec& s) { s.kind = "mem"; },
+             [](exp::ExperimentSpec& s) { s.kinds = {"mem"}; },
              [](exp::ExperimentSpec& s) { s.klass = "Mini"; },
              [](exp::ExperimentSpec& s) { s.apps = {"EP"}; },
              [](exp::ExperimentSpec& s) { s.shards = 3; },

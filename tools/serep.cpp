@@ -31,7 +31,9 @@
 //
 // Filters / config (campaign and shard modes, defaults in brackets):
 //   --class=S|Mini [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|CG|...
-//   --kind=gpr|fp|mem [gpr] (fault target space; fp implies --isa=v8)
+//   --kind=gpr|fp|mem|cache-tag|cache-data|bus [gpr]
+//     (fault target space; fp implies --isa=v8; cache-*/bus strike the
+//      uncore — see src/uncore/)
 //   --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]
 //   --engine=cached|switch|trace [cached]  --stride=R [auto]  --no-adaptive
 //   --no-checkpoints  --no-delta (full-copy rungs)
@@ -622,7 +624,9 @@ int help_for(const std::string& mode) {
          "\n"
          "filters / config (defaults in brackets):\n"
          "  --class=S|Mini|W [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|...\n"
-         "  --kind=gpr|fp|mem [gpr]  fault targets (fp implies --isa=v8)\n"
+         "  --kind=gpr|fp|mem|cache-tag|cache-data|bus [gpr]\n"
+         "                     fault targets (fp implies --isa=v8; cache-*/\n"
+         "                     bus strike the uncore and cannot be pruned)\n"
          "  --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]\n"
          "  --engine=cached|switch|trace [cached]  --stride=R [auto]\n"
          "  --no-adaptive  --no-checkpoints  --no-delta\n"
@@ -728,9 +732,13 @@ int usage(std::FILE* to) {
         "\n"
         "campaign / shard options (defaults in brackets):\n"
         "  --class=S|Mini|W [S]   --isa=v7|v8   --api=SER|OMP|MPI   --app=EP|...\n"
-        "  --kind=gpr|fp|mem [gpr]  fault targets: integer registers, +FP\n"
-        "                           registers (v8 only), or data memory\n"
-        "                           including the guest text mirror\n"
+        "  --kind=gpr|fp|mem|cache-tag|cache-data|bus [gpr]\n"
+        "                           fault targets: integer registers, FP\n"
+        "                           registers (v8 only), data memory\n"
+        "                           including the guest text mirror, or the\n"
+        "                           uncore spaces — cache tag arrays, cache\n"
+        "                           data arrays, core<->memory bus transfers\n"
+        "                           (uncore kinds cannot be pruned)\n"
         "  --faults=N [100]  --seed=S [0xDAC2018]  --threads=T [2]\n"
         "  --engine=cached|switch|trace [cached]  execution engine (bit-\n"
         "                           identical outcomes; switch is the legacy\n"
